@@ -1,0 +1,88 @@
+// Ablation: GPU kernel configuration. Two design choices from the paper:
+//   (1) AssignPoints runs with 128-thread blocks "to reduce unnecessary
+//       synchronizations" (§5, kernel configurations) — we sweep the block
+//       size and report the modeled device time and the assign kernel's
+//       occupancy;
+//   (2) §5.4 suggests concurrent streams for the tiny, badly utilized
+//       bookkeeping kernels — we report the modeled gain of turning them on.
+// The clustering result must be identical in every configuration (the
+// tests enforce this; here we print a check column).
+
+#include "bench/bench_common.h"
+#include "simt/device.h"
+
+int main() {
+  using namespace proclus;
+  using namespace proclus::bench;
+
+  const int64_t n = ScaledSizes({64000})[0];
+  const data::Dataset ds = MakeSynthetic(n);
+  core::ProclusParams params;
+
+  {
+    TablePrinter table(
+        "Ablation - AssignPoints block size",
+        {"block_dim", "modeled_gpu", "assign_kernel_modeled",
+         "assign_occupancy", "same_clustering"},
+        "ablation_blocksize");
+    std::vector<int> reference;
+    for (const int block_dim : {32, 128, 256, 512, 1024}) {
+      simt::Device device;
+      core::ClusterOptions options;
+      options.backend = core::ComputeBackend::kGpu;
+      options.strategy = core::Strategy::kFast;
+      options.gpu_assign_block_dim = block_dim;
+      options.device = &device;
+      const core::ProclusResult result =
+          core::ClusterOrDie(ds.points, params, options);
+      if (reference.empty()) reference = result.assignment;
+      double assign_seconds = 0.0;
+      double occupancy = 0.0;
+      for (const auto& rec : device.perf_model().KernelRecords()) {
+        if (rec.name == "assign_points") {
+          assign_seconds = rec.modeled_seconds;
+          occupancy = rec.last_occupancy.achieved;
+        }
+      }
+      table.AddRow(
+          {std::to_string(block_dim),
+           TablePrinter::FormatSeconds(result.stats.modeled_gpu_seconds),
+           TablePrinter::FormatSeconds(assign_seconds),
+           TablePrinter::FormatDouble(occupancy * 100, 1) + "%",
+           result.assignment == reference ? "yes" : "NO"});
+    }
+    table.Print();
+  }
+
+  {
+    TablePrinter table(
+        "Ablation - concurrent streams for bookkeeping kernels",
+        {"n", "streams", "modeled_gpu", "modeled_saving"},
+        "ablation_streams");
+    for (const int64_t size : ScaledSizes({4000, 16000, 64000})) {
+      const data::Dataset small = MakeSynthetic(size);
+      double without = 0.0;
+      for (const bool streams : {false, true}) {
+        core::ClusterOptions options;
+        options.backend = core::ComputeBackend::kGpu;
+        options.strategy = core::Strategy::kFast;
+        options.gpu_streams = streams;
+        const core::ProclusResult result =
+            core::ClusterOrDie(small.points, params, options);
+        if (!streams) without = result.stats.modeled_gpu_seconds;
+        table.AddRow(
+            {std::to_string(size), streams ? "on" : "off",
+             TablePrinter::FormatSeconds(result.stats.modeled_gpu_seconds),
+             streams ? TablePrinter::FormatDouble(
+                           100.0 * (without -
+                                    result.stats.modeled_gpu_seconds) /
+                               without,
+                           2) +
+                           "%"
+                     : std::string("-")});
+      }
+    }
+    table.Print();
+  }
+  return 0;
+}

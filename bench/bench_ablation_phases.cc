@@ -1,0 +1,64 @@
+// Ablation: per-phase time breakdown. §3 of the paper singles out the
+// O(n*k*d) steps — ComputeL's distance computations, AssignPoints and
+// EvaluateClusters — as the hotspots its strategies attack. This bench
+// prints where each variant actually spends its time, making the FAST
+// effect visible: the compute_distances share collapses while the other
+// phases stay put.
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "core/cpu_backend.h"
+#include "core/driver.h"
+#include "core/executor.h"
+
+int main() {
+  using namespace proclus;
+  using namespace proclus::bench;
+
+  const int64_t n = ScaledSizes({64000})[0];
+  const data::Dataset ds = MakeSynthetic(n);
+  core::ProclusParams params;
+
+  TablePrinter table(
+      "Ablation - wall-clock per phase",
+      {"variant", "greedy", "distances", "find_dims", "assign", "evaluate",
+       "refine", "total", "distances_share"},
+      "ablation_phases");
+
+  auto add_row = [&table](const char* label, const core::PhaseSeconds& ph) {
+    table.AddRow(
+        {label, TablePrinter::FormatSeconds(ph.greedy),
+         TablePrinter::FormatSeconds(ph.compute_distances),
+         TablePrinter::FormatSeconds(ph.find_dimensions),
+         TablePrinter::FormatSeconds(ph.assign_points),
+         TablePrinter::FormatSeconds(ph.evaluate),
+         TablePrinter::FormatSeconds(ph.refine),
+         TablePrinter::FormatSeconds(ph.Total()),
+         TablePrinter::FormatDouble(
+             100.0 * ph.compute_distances / ph.Total(), 1) +
+             "%"});
+  };
+
+  for (const VariantSpec& spec : AllVariants()) {
+    const VariantTiming timing = RunVariant(ds.points, params, spec);
+    add_row(spec.label, timing.result.stats.phases);
+  }
+
+  // Strategy decomposition: FAST's two ideas in isolation — the Dist cache
+  // without the incremental H update (§3's "compute distances to potential
+  // medoids only once" vs "introduce sum of distances as temporary
+  // result").
+  {
+    core::SequentialExecutor executor;
+    core::CpuBackend backend(ds.points, core::Strategy::kFast, &executor,
+                             /*h_reuse=*/false);
+    Rng rng(params.seed);
+    core::ProclusResult result;
+    if (core::RunProclusPhases(ds.points, params, backend, rng, {}, &result)
+            .ok()) {
+      add_row("FAST (Dist cache only)", result.stats.phases);
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,119 @@
+#ifndef PROCLUS_BENCH_BENCH_COMMON_H_
+#define PROCLUS_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the figure-reproduction benches. Every bench prints
+// the series the corresponding paper figure plots (plus a CSV mirror under
+// bench_results/). Absolute numbers differ from the paper — the GPU here is
+// the simulated SIMT device on a CPU host — so each bench reports both
+// measured wall-clock time and, for GPU variants, the modeled device time
+// from the analytical performance model; EXPERIMENTS.md compares shapes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "common/timer.h"
+#include "core/api.h"
+#include "core/multi_param.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+#include "proclus.h"
+
+namespace proclus::bench {
+
+struct VariantSpec {
+  const char* label;
+  core::ComputeBackend backend;
+  core::Strategy strategy;
+};
+
+// The seven variants the scalability figures plot (the paper's PROCLUS,
+// FAST, FAST*, multi-core, and the three GPU versions).
+inline std::vector<VariantSpec> AllVariants() {
+  using core::ComputeBackend;
+  using core::Strategy;
+  return {
+      {"PROCLUS", ComputeBackend::kCpu, Strategy::kBaseline},
+      {"FAST-PROCLUS", ComputeBackend::kCpu, Strategy::kFast},
+      {"FAST*-PROCLUS", ComputeBackend::kCpu, Strategy::kFastStar},
+      {"MC-FAST-PROCLUS", ComputeBackend::kMultiCore, Strategy::kFast},
+      {"GPU-PROCLUS", ComputeBackend::kGpu, Strategy::kBaseline},
+      {"GPU-FAST-PROCLUS", ComputeBackend::kGpu, Strategy::kFast},
+      {"GPU-FAST*-PROCLUS", ComputeBackend::kGpu, Strategy::kFastStar},
+  };
+}
+
+inline std::vector<VariantSpec> GpuVariants() {
+  using core::ComputeBackend;
+  using core::Strategy;
+  return {
+      {"GPU-PROCLUS", ComputeBackend::kGpu, Strategy::kBaseline},
+      {"GPU-FAST-PROCLUS", ComputeBackend::kGpu, Strategy::kFast},
+      {"GPU-FAST*-PROCLUS", ComputeBackend::kGpu, Strategy::kFastStar},
+  };
+}
+
+// Generates the paper's default synthetic workload (64,000 x 15, 10
+// clusters in 5-dim subspaces, stddev 5), min-max normalized, with
+// overrides.
+inline data::Dataset MakeSynthetic(int64_t n, int d = 15, int clusters = 10,
+                                   double stddev = 5.0, uint64_t seed = 1) {
+  data::GeneratorConfig config;
+  config.n = n;
+  config.d = d;
+  config.num_clusters = clusters;
+  config.subspace_dim = std::min(5, d);
+  config.stddev = stddev;
+  config.seed = seed;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  return ds;
+}
+
+struct VariantTiming {
+  double wall_seconds = 0.0;
+  double modeled_gpu_seconds = 0.0;  // 0 for CPU variants
+  core::ProclusResult result;
+};
+
+// Runs one variant, averaging wall-clock over BenchRepeats() repetitions
+// with distinct seeds (the paper averages 10 runs).
+inline VariantTiming RunVariant(const data::Matrix& data,
+                                core::ProclusParams params,
+                                const VariantSpec& spec) {
+  VariantTiming timing;
+  const int repeats = BenchRepeats();
+  for (int r = 0; r < repeats; ++r) {
+    core::ClusterOptions options;
+    options.backend = spec.backend;
+    options.strategy = spec.strategy;
+    params.seed = 1000 + r;
+    StopWatch watch;
+    timing.result = core::ClusterOrDie(data, params, options);
+    timing.wall_seconds += watch.ElapsedSeconds();
+    timing.modeled_gpu_seconds += timing.result.stats.modeled_gpu_seconds;
+  }
+  timing.wall_seconds /= repeats;
+  timing.modeled_gpu_seconds /= repeats;
+  return timing;
+}
+
+// The n sweep used by the scalability figures, scaled by
+// PROCLUS_BENCH_SCALE (1.0 covers 1k..64k; the paper sweeps up to 1M+, so
+// e.g. PROCLUS_BENCH_SCALE=16 reaches 1M).
+inline std::vector<int64_t> ScaledSizes(
+    std::initializer_list<int64_t> base_sizes) {
+  const double scale = BenchScale();
+  std::vector<int64_t> sizes;
+  for (const int64_t base : base_sizes) {
+    const int64_t n = static_cast<int64_t>(base * scale);
+    if (n >= 256) sizes.push_back(n);
+  }
+  if (sizes.empty()) sizes.push_back(256);
+  return sizes;
+}
+
+}  // namespace proclus::bench
+
+#endif  // PROCLUS_BENCH_BENCH_COMMON_H_

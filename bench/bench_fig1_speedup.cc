@@ -1,0 +1,37 @@
+// Fig. 1: speedup of the algorithmic strategies w.r.t. GPU-PROCLUS as n
+// grows. The paper reports GPU-FAST at 1.2-1.4x and GPU-FAST* trailing it
+// by a 1.05-1.1x slowdown (the price of the O(kn)-space variant). We print
+// the same speedup series using both wall-clock and modeled device time.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace proclus;
+  using namespace proclus::bench;
+
+  core::ProclusParams params;  // paper defaults: k=10 l=5 A=100 B=10
+  TablePrinter table(
+      "Fig 1 - speedup w.r.t. GPU-PROCLUS",
+      {"n", "variant", "wall", "modeled", "speedup(wall)",
+       "speedup(modeled)"},
+      "fig1_speedup");
+
+  for (const int64_t n : ScaledSizes({4000, 16000, 64000})) {
+    const data::Dataset ds = MakeSynthetic(n);
+    VariantTiming base;
+    for (const VariantSpec& spec : GpuVariants()) {
+      const VariantTiming timing = RunVariant(ds.points, params, spec);
+      if (spec.strategy == core::Strategy::kBaseline) base = timing;
+      table.AddRow({std::to_string(n), spec.label,
+                    TablePrinter::FormatSeconds(timing.wall_seconds),
+                    TablePrinter::FormatSeconds(timing.modeled_gpu_seconds),
+                    TablePrinter::FormatDouble(
+                        base.wall_seconds / timing.wall_seconds, 2),
+                    TablePrinter::FormatDouble(base.modeled_gpu_seconds /
+                                                   timing.modeled_gpu_seconds,
+                                               2)});
+    }
+  }
+  table.Print();
+  return 0;
+}

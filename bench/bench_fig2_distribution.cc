@@ -1,0 +1,55 @@
+// Figs. 2e-2f: effect of the data distribution — number of planted clusters
+// (2e) and cluster standard deviation (2f). The paper finds running times
+// largely unaffected by either; these tables let us verify the same
+// flatness.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace proclus;
+  using namespace proclus::bench;
+
+  const int64_t n = ScaledSizes({16000})[0];
+  core::ProclusParams params;
+
+  {
+    TablePrinter table(
+        "Fig 2e - running time vs number of planted clusters",
+        {"clusters", "variant", "wall", "modeled_gpu"},
+        "fig2e_clusters");
+    for (const int clusters : {5, 10, 15, 20}) {
+      const data::Dataset ds = MakeSynthetic(n, 15, clusters);
+      for (const VariantSpec& spec : AllVariants()) {
+        const VariantTiming timing = RunVariant(ds.points, params, spec);
+        const bool gpu = spec.backend == core::ComputeBackend::kGpu;
+        table.AddRow(
+            {std::to_string(clusters), spec.label,
+             TablePrinter::FormatSeconds(timing.wall_seconds),
+             gpu ? TablePrinter::FormatSeconds(timing.modeled_gpu_seconds)
+                 : std::string("-")});
+      }
+    }
+    table.Print();
+  }
+
+  {
+    TablePrinter table(
+        "Fig 2f - running time vs cluster standard deviation",
+        {"stddev", "variant", "wall", "modeled_gpu"},
+        "fig2f_stddev");
+    for (const double stddev : {1.0, 5.0, 10.0, 20.0}) {
+      const data::Dataset ds = MakeSynthetic(n, 15, 10, stddev);
+      for (const VariantSpec& spec : AllVariants()) {
+        const VariantTiming timing = RunVariant(ds.points, params, spec);
+        const bool gpu = spec.backend == core::ComputeBackend::kGpu;
+        table.AddRow(
+            {TablePrinter::FormatDouble(stddev, 1), spec.label,
+             TablePrinter::FormatSeconds(timing.wall_seconds),
+             gpu ? TablePrinter::FormatSeconds(timing.modeled_gpu_seconds)
+                 : std::string("-")});
+      }
+    }
+    table.Print();
+  }
+  return 0;
+}

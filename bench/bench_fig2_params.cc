@@ -1,0 +1,80 @@
+// Figs. 2g-2k: effect of each algorithm parameter (k, l, A, B, minDev) on
+// the running time of PROCLUS vs GPU-PROCLUS vs GPU-FAST-PROCLUS. The
+// paper observes near-constant times except for k and B (more medoid
+// distance rows) with the speedup factor roughly constant (~1100x on real
+// silicon; here the modeled-speedup column carries that shape).
+
+#include <functional>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using proclus::core::ProclusParams;
+
+struct ParamSweep {
+  const char* figure;
+  const char* name;
+  std::vector<double> values;
+  std::function<void(ProclusParams&, double)> apply;
+};
+
+}  // namespace
+
+int main() {
+  using namespace proclus;
+  using namespace proclus::bench;
+
+  const int64_t n = ScaledSizes({16000})[0];
+  const data::Dataset ds = MakeSynthetic(n);
+
+  const std::vector<VariantSpec> variants = {
+      {"PROCLUS", core::ComputeBackend::kCpu, core::Strategy::kBaseline},
+      {"GPU-PROCLUS", core::ComputeBackend::kGpu, core::Strategy::kBaseline},
+      {"GPU-FAST-PROCLUS", core::ComputeBackend::kGpu, core::Strategy::kFast},
+  };
+
+  const std::vector<ParamSweep> sweeps = {
+      {"2g", "k", {5, 10, 15, 20},
+       [](ProclusParams& p, double v) { p.k = static_cast<int>(v); }},
+      {"2h", "l", {3, 5, 7, 9},
+       [](ProclusParams& p, double v) { p.l = static_cast<int>(v); }},
+      {"2i", "A", {50, 100, 150},
+       [](ProclusParams& p, double v) { p.a = v; }},
+      {"2j", "B", {5, 10, 20},
+       [](ProclusParams& p, double v) { p.b = v; }},
+      {"2k", "minDev", {0.1, 0.3, 0.5, 0.7, 0.9},
+       [](ProclusParams& p, double v) { p.min_dev = v; }},
+  };
+
+  for (const ParamSweep& sweep : sweeps) {
+    TablePrinter table(
+        std::string("Fig ") + sweep.figure + " - running time vs " +
+            sweep.name,
+        {sweep.name, "variant", "wall", "modeled_gpu",
+         "speedup_vs_PROCLUS(modeled)"},
+        std::string("fig2_param_") + sweep.name);
+    for (const double value : sweep.values) {
+      ProclusParams params;
+      sweep.apply(params, value);
+      double proclus_wall = 0.0;
+      for (const VariantSpec& spec : variants) {
+        const VariantTiming timing = RunVariant(ds.points, params, spec);
+        if (spec.backend == core::ComputeBackend::kCpu) {
+          proclus_wall = timing.wall_seconds;
+        }
+        const bool gpu = spec.backend == core::ComputeBackend::kGpu;
+        table.AddRow(
+            {TablePrinter::FormatDouble(value, sweep.name[0] == 'm' ? 1 : 0),
+             spec.label, TablePrinter::FormatSeconds(timing.wall_seconds),
+             gpu ? TablePrinter::FormatSeconds(timing.modeled_gpu_seconds)
+                 : std::string("-"),
+             gpu ? TablePrinter::FormatDouble(
+                       proclus_wall / timing.modeled_gpu_seconds, 1)
+                 : std::string("-")});
+      }
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figs. 2c-2d: running time as the dimensionality d grows (n fixed). The
+// paper reports speedups from 896x to 1265x, *higher for lower d* because
+// distance computations are not parallelized across dimensions; the modeled
+// speedup column reproduces that trend.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace proclus;
+  using namespace proclus::bench;
+
+  const int64_t n = ScaledSizes({16000})[0];
+  TablePrinter table(
+      "Fig 2c-2d - running time vs d",
+      {"d", "variant", "wall", "modeled_gpu", "speedup_vs_PROCLUS(modeled)"},
+      "fig2_scale_d");
+
+  for (const int d : {5, 10, 15, 20, 30}) {
+    const data::Dataset ds = MakeSynthetic(n, d);
+    core::ProclusParams params;
+    params.l = std::min(params.l, d);
+    double proclus_wall = 0.0;
+    for (const VariantSpec& spec : AllVariants()) {
+      const VariantTiming timing = RunVariant(ds.points, params, spec);
+      if (spec.backend == core::ComputeBackend::kCpu &&
+          spec.strategy == core::Strategy::kBaseline) {
+        proclus_wall = timing.wall_seconds;
+      }
+      const bool gpu = spec.backend == core::ComputeBackend::kGpu;
+      const double speedup =
+          gpu && timing.modeled_gpu_seconds > 0.0
+              ? proclus_wall / timing.modeled_gpu_seconds
+              : proclus_wall / timing.wall_seconds;
+      table.AddRow(
+          {std::to_string(d), spec.label,
+           TablePrinter::FormatSeconds(timing.wall_seconds),
+           gpu ? TablePrinter::FormatSeconds(timing.modeled_gpu_seconds)
+               : std::string("-"),
+           TablePrinter::FormatDouble(speedup, 1)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figs. 2a-2b: average running time of single-parameter-setting runs as the
+// dataset size n grows, for every variant (PROCLUS / FAST / FAST* on one
+// core, the multi-core version, and the three GPU versions). The paper's
+// headline observations:
+//   * the algorithmic strategies alone give 1.2-1.4x,
+//   * the GPU parallelization gives ~2000x on real silicon (here: modeled
+//     device time; wall-clock on the simulated device is host-bound),
+//   * GPU-FAST-PROCLUS stays under the 100 ms interactivity limit even for
+//     1M points — we print the modeled time against that threshold.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace proclus;
+  using namespace proclus::bench;
+
+  core::ProclusParams params;
+  TablePrinter table(
+      "Fig 2a-2b - running time vs n (single parameter setting)",
+      {"n", "variant", "wall", "modeled_gpu", "speedup_vs_PROCLUS(modeled)",
+       "under_100ms"},
+      "fig2_scale_n");
+
+  for (const int64_t n : ScaledSizes({1000, 4000, 16000, 64000})) {
+    const data::Dataset ds = MakeSynthetic(n);
+    double proclus_wall = 0.0;
+    for (const VariantSpec& spec : AllVariants()) {
+      const VariantTiming timing = RunVariant(ds.points, params, spec);
+      if (spec.backend == core::ComputeBackend::kCpu &&
+          spec.strategy == core::Strategy::kBaseline) {
+        proclus_wall = timing.wall_seconds;
+      }
+      const bool gpu = spec.backend == core::ComputeBackend::kGpu;
+      // Device-time speedup over the single-core baseline: the quantity the
+      // paper's 3-orders-of-magnitude claim refers to.
+      const double speedup =
+          gpu && timing.modeled_gpu_seconds > 0.0
+              ? proclus_wall / timing.modeled_gpu_seconds
+              : proclus_wall / timing.wall_seconds;
+      const double interactive =
+          gpu ? timing.modeled_gpu_seconds : timing.wall_seconds;
+      table.AddRow(
+          {std::to_string(n), spec.label,
+           TablePrinter::FormatSeconds(timing.wall_seconds),
+           gpu ? TablePrinter::FormatSeconds(timing.modeled_gpu_seconds)
+               : std::string("-"),
+           TablePrinter::FormatDouble(speedup, 1),
+           interactive < 0.1 ? "yes" : "no"});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 3f: device space usage vs n for the three GPU variants. The paper's
+// observations, reproduced here from the device arena's peak allocation:
+//   * every variant grows linearly in n,
+//   * GPU-FAST uses about twice the memory of GPU-PROCLUS (the Bk x n Dist
+//     matrix on top of the shared buffers),
+//   * GPU-FAST* is back down at roughly GPU-PROCLUS's footprint.
+
+#include "bench/bench_common.h"
+#include "simt/device.h"
+
+int main() {
+  using namespace proclus;
+  using namespace proclus::bench;
+
+  core::ProclusParams params;
+  TablePrinter table("Fig 3f - device space usage vs n",
+                     {"n", "variant", "peak_bytes", "bytes_per_point",
+                      "ratio_vs_GPU-PROCLUS"},
+                     "fig3_space");
+
+  for (const int64_t n : ScaledSizes({16000, 64000, 256000})) {
+    const data::Dataset ds = MakeSynthetic(n);
+    uint64_t base_bytes = 0;
+    for (const VariantSpec& spec : GpuVariants()) {
+      simt::Device device;
+      core::ClusterOptions options;
+      options.backend = spec.backend;
+      options.strategy = spec.strategy;
+      options.device = &device;
+      core::ClusterOrDie(ds.points, params, options);
+      const uint64_t bytes = device.peak_allocated_bytes();
+      if (spec.strategy == core::Strategy::kBaseline) base_bytes = bytes;
+      table.AddRow({std::to_string(n), spec.label,
+                    TablePrinter::FormatBytes(bytes),
+                    TablePrinter::FormatDouble(
+                        static_cast<double>(bytes) / n, 1),
+                    TablePrinter::FormatDouble(
+                        static_cast<double>(bytes) / base_bytes, 2)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark) for the O(nkd) sub-functions the
+// paper identifies as hotspots (§3): greedy selection, the per-medoid
+// distance row, the Delta-L band scan, AssignPoints, and EvaluateClusters.
+// These support the hotspot analysis behind the FAST strategies and catch
+// performance regressions in the CPU engine.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cpu_backend.h"
+#include "core/executor.h"
+#include "core/subroutines.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+
+namespace {
+
+using namespace proclus;
+
+const data::Dataset& BenchData() {
+  static const data::Dataset& ds = [] {
+    data::GeneratorConfig config;
+    config.n = 16000;
+    config.d = 15;
+    config.num_clusters = 10;
+    config.subspace_dim = 5;
+    config.seed = 2;
+    auto* owned = new data::Dataset(data::GenerateSubspaceDataOrDie(config));
+    data::MinMaxNormalize(&owned->points);
+    return *owned;
+  }();
+  return ds;
+}
+
+core::ProclusParams BenchParams() {
+  core::ProclusParams p;
+  p.a = 20.0;
+  p.b = 5.0;
+  return p;
+}
+
+std::vector<int> PoolIds() {
+  std::vector<int> ids;
+  for (int i = 0; i < 50; ++i) ids.push_back(i * 300 + 11);
+  return ids;
+}
+
+void BM_GreedySelect(benchmark::State& state) {
+  const data::Dataset& ds = BenchData();
+  core::SequentialExecutor executor;
+  core::CpuBackend backend(ds.points, core::Strategy::kBaseline, &executor);
+  std::vector<int> candidates;
+  for (int i = 0; i < 1000; ++i) candidates.push_back(i * 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend.GreedySelect(candidates, state.range(0), 0));
+  }
+  state.SetItemsProcessed(state.iterations() * candidates.size() *
+                          state.range(0));
+}
+BENCHMARK(BM_GreedySelect)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_IterateBaseline(benchmark::State& state) {
+  const data::Dataset& ds = BenchData();
+  core::SequentialExecutor executor;
+  core::CpuBackend backend(ds.points, core::Strategy::kBaseline, &executor);
+  backend.Setup(BenchParams(), PoolIds());
+  const std::vector<int> mcur = {0, 5, 10, 15, 20, 25, 30, 35, 40, 45};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.Iterate(mcur));
+  }
+  state.SetItemsProcessed(state.iterations() * BenchData().n());
+}
+BENCHMARK(BM_IterateBaseline);
+
+void BM_IterateFastWarm(benchmark::State& state) {
+  // FAST with a warm cache: the steady-state per-iteration cost after Dist
+  // and H are filled — the quantity the paper's 1.2-1.4x speedup targets.
+  const data::Dataset& ds = BenchData();
+  core::SequentialExecutor executor;
+  core::CpuBackend backend(ds.points, core::Strategy::kFast, &executor);
+  backend.Setup(BenchParams(), PoolIds());
+  const std::vector<int> mcur = {0, 5, 10, 15, 20, 25, 30, 35, 40, 45};
+  backend.Iterate(mcur);  // warm up the caches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.Iterate(mcur));
+  }
+  state.SetItemsProcessed(state.iterations() * BenchData().n());
+}
+BENCHMARK(BM_IterateFastWarm);
+
+void BM_EuclideanDistanceRow(benchmark::State& state) {
+  const data::Dataset& ds = BenchData();
+  std::vector<float> row(ds.n());
+  const float* medoid = ds.points.Row(7);
+  for (auto _ : state) {
+    for (int64_t p = 0; p < ds.n(); ++p) {
+      row[p] =
+          core::EuclideanDistance(medoid, ds.points.Row(p), ds.d());
+    }
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ds.n());
+}
+BENCHMARK(BM_EuclideanDistanceRow);
+
+void BM_SegmentalDistanceSweep(benchmark::State& state) {
+  const data::Dataset& ds = BenchData();
+  const int dims[] = {1, 4, 7, 9, 12};
+  const float* medoid = ds.points.Row(3);
+  float sink = 0.0f;
+  for (auto _ : state) {
+    for (int64_t p = 0; p < ds.n(); ++p) {
+      sink += core::SegmentalDistance(ds.points.Row(p), medoid, dims,
+                                      static_cast<int>(state.range(0)));
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.n());
+}
+BENCHMARK(BM_SegmentalDistanceSweep)->Arg(2)->Arg(5);
+
+void BM_ComputeZ(benchmark::State& state) {
+  std::vector<double> x(10 * 15);
+  for (size_t i = 0; i < x.size(); ++i) x[i] = (i * 37 % 101) / 101.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ComputeZ(x, 10, 15));
+  }
+}
+BENCHMARK(BM_ComputeZ);
+
+void BM_SelectDimensions(benchmark::State& state) {
+  std::vector<double> z(10 * 15);
+  for (size_t i = 0; i < z.size(); ++i) z[i] = ((i * 53) % 97) / 97.0 - 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SelectDimensions(z, 10, 15, 5));
+  }
+}
+BENCHMARK(BM_SelectDimensions);
+
+}  // namespace
+
+BENCHMARK_MAIN();

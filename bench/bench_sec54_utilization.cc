@@ -1,0 +1,58 @@
+// §5.4: GPU utilization. The paper reports Nsight Compute occupancy and
+// memory-throughput figures for the most interesting kernels — the
+// evaluate kernel (Algorithm 6) at ~100% occupancy on large data and the
+// tiny k x k delta kernel (Algorithm 3 lines 4-7) at ~3% achieved
+// occupancy. This bench prints the same table from the performance model,
+// for a large and a small dataset.
+
+#include "bench/bench_common.h"
+#include "simt/device.h"
+
+namespace {
+
+void PrintUtilization(const proclus::data::Dataset& ds, const char* title,
+                      const char* csv_name) {
+  using namespace proclus;
+  using namespace proclus::bench;
+  core::ProclusParams params;
+  simt::Device device;
+  core::ClusterOptions options;
+  options.backend = core::ComputeBackend::kGpu;
+  options.strategy = core::Strategy::kFast;
+  options.device = &device;
+  core::ClusterOrDie(ds.points, params, options);
+
+  TablePrinter table(
+      title,
+      {"kernel", "launches", "blocks", "threads", "theor_occ", "achieved_occ",
+       "mem_throughput", "modeled_time"},
+      csv_name);
+  for (const auto& rec : device.perf_model().KernelRecords()) {
+    table.AddRow(
+        {rec.name, TablePrinter::FormatCount(rec.launches),
+         TablePrinter::FormatCount(rec.total_blocks),
+         TablePrinter::FormatCount(rec.total_threads),
+         TablePrinter::FormatDouble(rec.last_occupancy.theoretical * 100, 2) +
+             "%",
+         TablePrinter::FormatDouble(rec.last_occupancy.achieved * 100, 2) +
+             "%",
+         TablePrinter::FormatDouble(rec.last_memory_throughput * 100, 2) +
+             "%",
+         TablePrinter::FormatSeconds(rec.modeled_seconds)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  using namespace proclus::bench;
+  const auto sizes = ScaledSizes({64000});
+  PrintUtilization(MakeSynthetic(sizes[0], 10),
+                   "Sec 5.4 - kernel utilization, large dataset",
+                   "sec54_utilization_large");
+  PrintUtilization(MakeSynthetic(std::min<int64_t>(8000, sizes[0]), 10),
+                   "Sec 5.4 - kernel utilization, 8k dataset",
+                   "sec54_utilization_small");
+  return 0;
+}

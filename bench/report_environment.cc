@@ -1,0 +1,35 @@
+// Suite footer: prints the configuration the benchmark suite ran with
+// (scale, repeats, device models, thread count). Sorts alphabetically after
+// the cmake artifacts in build/bench/, so `for b in build/bench/*; do $b;
+// done` ends on this binary with a zero exit code after the glob trips over
+// CMake's own files.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_util/harness.h"
+#include "simt/device_properties.h"
+
+int main() {
+  using namespace proclus;
+  const simt::DeviceProperties gtx = simt::DeviceProperties::Gtx1660Ti();
+  const simt::DeviceProperties rtx = simt::DeviceProperties::Rtx3090();
+  std::printf("\n== benchmark suite configuration ==\n");
+  std::printf("PROCLUS_BENCH_SCALE   : %.3f\n", bench::BenchScale());
+  std::printf("PROCLUS_BENCH_REPEATS : %d\n", bench::BenchRepeats());
+  std::printf("host threads          : %u\n",
+              std::thread::hardware_concurrency());
+  std::printf("device model (default): %s — %d SMs x %d cores @ %.2f GHz, "
+              "%.0f GB/s, %.0f GiB\n",
+              gtx.name, gtx.sm_count, gtx.cores_per_sm, gtx.clock_ghz,
+              gtx.mem_bandwidth_gbps,
+              static_cast<double>(gtx.global_memory_bytes) / (1ULL << 30));
+  std::printf("device model (large)  : %s — %d SMs x %d cores @ %.2f GHz, "
+              "%.0f GB/s, %.0f GiB\n",
+              rtx.name, rtx.sm_count, rtx.cores_per_sm, rtx.clock_ghz,
+              rtx.mem_bandwidth_gbps,
+              static_cast<double>(rtx.global_memory_bytes) / (1ULL << 30));
+  std::printf("tables mirrored to    : bench_results/*.csv\n");
+  std::printf("benchmark suite complete\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// The paper's motivating scenario (§1): customer segmentation where each
+// segment is defined by a *subset* of traits — e.g. height matters for one
+// group and not another. Full-dimensional clustering washes these groups
+// out; projected clustering recovers both the groups and the traits that
+// define them.
+//
+// We synthesize a customer table with named traits, plant four segments
+// that each care about 3 of the 12 traits, and show PROCLUS recovering the
+// segment structure along with human-readable trait lists.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "proclus.h"
+
+namespace {
+
+const char* kTraits[] = {
+    "age",           "income",        "visits_per_month", "basket_size",
+    "discount_use",  "brand_loyalty", "online_ratio",     "returns_rate",
+    "support_calls", "referrals",     "app_sessions",     "review_score",
+};
+constexpr int kNumTraits = 12;
+
+struct Segment {
+  const char* name;
+  std::vector<int> traits;   // which traits define the segment
+  std::vector<double> means; // segment mean per defining trait (0..100)
+};
+
+}  // namespace
+
+int main() {
+  using namespace proclus;
+
+  const std::vector<Segment> segments = {
+      {"bargain hunters", {1, 4, 6}, {25.0, 90.0, 70.0}},
+      {"loyal regulars", {2, 5, 11}, {85.0, 90.0, 80.0}},
+      {"big-basket families", {0, 3, 1}, {45.0, 85.0, 60.0}},
+      {"digital natives", {6, 10, 0}, {95.0, 90.0, 22.0}},
+  };
+
+  // Build the dataset by hand so the segment semantics stay visible.
+  const int64_t per_segment = 2500;
+  const int64_t n = per_segment * static_cast<int64_t>(segments.size());
+  data::Dataset customers;
+  customers.name = "customers";
+  customers.points = data::Matrix(n, kNumTraits);
+  customers.labels.assign(n, -1);
+  Rng rng(2024);
+  int64_t row = 0;
+  for (size_t s = 0; s < segments.size(); ++s) {
+    for (int64_t i = 0; i < per_segment; ++i, ++row) {
+      customers.labels[row] = static_cast<int>(s);
+      for (int t = 0; t < kNumTraits; ++t) {
+        customers.points(row, t) =
+            static_cast<float>(rng.NextDouble() * 100.0);  // irrelevant trait
+      }
+      for (size_t t = 0; t < segments[s].traits.size(); ++t) {
+        const double v = rng.Gaussian(segments[s].means[t], 4.0);
+        customers.points(row, segments[s].traits[t]) =
+            static_cast<float>(std::clamp(v, 0.0, 100.0));
+      }
+    }
+    customers.true_subspaces.push_back(segments[s].traits);
+    std::sort(customers.true_subspaces.back().begin(),
+              customers.true_subspaces.back().end());
+  }
+  data::MinMaxNormalize(&customers.points);
+
+  std::printf("%lld customers, %d traits, %zu planted segments\n\n",
+              static_cast<long long>(n), kNumTraits, segments.size());
+
+  core::ProclusParams params;
+  params.k = static_cast<int>(segments.size());
+  params.l = 3;
+  params.seed = 7;
+  core::ClusterOptions options;
+  options.backend = core::ComputeBackend::kGpu;
+  options.strategy = core::Strategy::kFast;
+  const core::ProclusResult result =
+      core::ClusterOrDie(customers.points, params, options);
+
+  const auto sizes = result.ClusterSizes();
+  for (int c = 0; c < result.k(); ++c) {
+    // Majority planted segment in this cluster, for labeling the output.
+    std::vector<int64_t> votes(segments.size(), 0);
+    for (int64_t p = 0; p < n; ++p) {
+      if (result.assignment[p] == c) ++votes[customers.labels[p]];
+    }
+    int best = 0;
+    for (size_t s = 1; s < votes.size(); ++s) {
+      if (votes[s] > votes[best]) best = static_cast<int>(s);
+    }
+    std::printf("cluster %d (%lld customers) ~ \"%s\"\n", c,
+                static_cast<long long>(sizes[c]), segments[best].name);
+    std::printf("  defining traits found: ");
+    for (size_t s = 0; s < result.dimensions[c].size(); ++s) {
+      std::printf("%s%s", s ? ", " : "", kTraits[result.dimensions[c][s]]);
+    }
+    std::printf("\n  planted traits:        ");
+    std::vector<int> expected = segments[best].traits;
+    std::sort(expected.begin(), expected.end());
+    for (size_t s = 0; s < expected.size(); ++s) {
+      std::printf("%s%s", s ? ", " : "", kTraits[expected[s]]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nARI vs planted segments: %.3f\n",
+              eval::AdjustedRandIndex(customers.labels, result.assignment));
+  std::printf("subspace recovery (Jaccard): %.3f\n",
+              eval::SubspaceRecovery(customers.labels, result.assignment,
+                                     customers.true_subspaces,
+                                     result.dimensions));
+  return 0;
+}

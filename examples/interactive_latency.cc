@@ -1,0 +1,72 @@
+// Interactive analysis session (paper §1 / §5.1): "for real-time
+// interaction, this means executing data analysis within 100 ms". This
+// example simulates an analyst steering PROCLUS interactively — a sequence
+// of re-clustering requests with changing k and l on the same dataset —
+// and reports the latency of every request, both wall-clock on this host
+// and the modeled device time of the simulated GPU, against the 100 ms
+// budget. The engine and device memory persist across requests, exactly
+// the scenario the multi-parameter reuse (§3.1) targets.
+//
+//   ./examples/interactive_latency [n]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "proclus.h"
+
+int main(int argc, char** argv) {
+  using namespace proclus;
+
+  const int64_t n = argc > 1 ? std::atoll(argv[1]) : 100000;
+  data::GeneratorConfig gen;
+  gen.n = n;
+  gen.d = 15;
+  gen.num_clusters = 10;
+  gen.subspace_dim = 5;
+  gen.stddev = 5.0;
+  gen.seed = 21;
+  data::Dataset dataset = data::GenerateSubspaceDataOrDie(gen);
+  data::MinMaxNormalize(&dataset.points);
+  std::printf("analyst session on %lld points x %d dims\n\n",
+              static_cast<long long>(n), 15);
+
+  // The analyst's click sequence: coarse -> finer -> different subspace
+  // budget -> back again.
+  const std::vector<core::ParamSetting> clicks = {
+      {5, 4}, {10, 5}, {10, 4}, {12, 5}, {8, 6}, {10, 5},
+  };
+
+  core::ProclusParams base;
+  core::MultiParamOptions options;
+  options.reuse = core::ReuseLevel::kWarmStart;
+  options.cluster.backend = core::ComputeBackend::kGpu;
+  options.cluster.strategy = core::Strategy::kFast;
+  core::MultiParamOutput output;
+  const Status st = core::RunMultiParam(dataset.points, base, clicks,
+                                        options, &output);
+  if (!st.ok()) {
+    std::fprintf(stderr, "session failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-10s %-6s %-6s %-14s %-18s %s\n", "request", "k", "l",
+              "wall", "modeled_device", "within_100ms(model)");
+  double previous_modeled = 0.0;
+  for (size_t i = 0; i < clicks.size(); ++i) {
+    // Stats accumulate on the shared device; difference = this request.
+    const double modeled_total =
+        output.results[i].stats.modeled_gpu_seconds;
+    const double modeled = modeled_total - previous_modeled;
+    previous_modeled = modeled_total;
+    std::printf("%-10zu %-6d %-6d %-14.1f %-18.2f %s\n", i + 1,
+                clicks[i].k, clicks[i].l,
+                output.setting_seconds[i] * 1e3, modeled * 1e3,
+                modeled < 0.1 ? "yes" : "no");
+  }
+  std::printf("\nsession total: %.1f ms wall, %.2f ms modeled device time\n",
+              output.total_seconds * 1e3, previous_modeled * 1e3);
+  std::printf("(the paper's real GTX 1660 Ti keeps every request under "
+              "100 ms at 1,000,000 points)\n");
+  return 0;
+}

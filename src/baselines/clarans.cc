@@ -1,0 +1,151 @@
+#include "baselines/clarans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "core/subroutines.h"
+
+namespace proclus::baselines {
+
+namespace {
+
+// Cached per-point nearest/second-nearest medoid state, which makes the
+// classic O(n) swap evaluation possible (PAM/CLARANS bookkeeping).
+struct NearestState {
+  std::vector<int> nearest;        // index into medoids
+  std::vector<float> nearest_d;
+  std::vector<float> second_d;     // distance to second-closest medoid
+};
+
+void RecomputeNearest(const data::Matrix& data,
+                      const std::vector<int>& medoids, NearestState* state) {
+  const int64_t n = data.rows();
+  const int64_t d = data.cols();
+  const int k = static_cast<int>(medoids.size());
+  state->nearest.assign(n, 0);
+  state->nearest_d.assign(n, 0.0f);
+  state->second_d.assign(n, 0.0f);
+  for (int64_t p = 0; p < n; ++p) {
+    float best = std::numeric_limits<float>::infinity();
+    float second = std::numeric_limits<float>::infinity();
+    int arg = 0;
+    for (int i = 0; i < k; ++i) {
+      const float v = core::EuclideanDistance(
+          data.Row(p), data.Row(medoids[i]), d);
+      if (v < best) {
+        second = best;
+        best = v;
+        arg = i;
+      } else if (v < second) {
+        second = v;
+      }
+    }
+    state->nearest[p] = arg;
+    state->nearest_d[p] = best;
+    state->second_d[p] = second;
+  }
+}
+
+// Cost change of replacing medoid slot `out` with data point `in_id`,
+// computed in one pass using the nearest/second-nearest cache.
+double SwapDelta(const data::Matrix& data, const NearestState& state,
+                 int out, int in_id) {
+  const int64_t n = data.rows();
+  const int64_t d = data.cols();
+  const float* in_row = data.Row(in_id);
+  double delta = 0.0;
+  for (int64_t p = 0; p < n; ++p) {
+    const float d_in = core::EuclideanDistance(data.Row(p), in_row, d);
+    if (state.nearest[p] == out) {
+      // Loses its medoid: moves to the new one or its second-closest.
+      delta += std::min(d_in, state.second_d[p]) - state.nearest_d[p];
+    } else if (d_in < state.nearest_d[p]) {
+      // The new medoid undercuts its current one.
+      delta += d_in - state.nearest_d[p];
+    }
+  }
+  return delta;
+}
+
+}  // namespace
+
+Status Clarans(const data::Matrix& data, const ClaransParams& params,
+               ClaransResult* result) {
+  if (result == nullptr) {
+    return Status::InvalidArgument("result must not be null");
+  }
+  const int64_t n = data.rows();
+  if (n == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (params.k < 1 || params.k > n) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  if (params.num_local < 1) {
+    return Status::InvalidArgument("num_local must be >= 1");
+  }
+  const int k = params.k;
+  int64_t max_neighbors = params.max_neighbors;
+  if (max_neighbors <= 0) {
+    max_neighbors = std::max<int64_t>(
+        250, static_cast<int64_t>(0.0125 * k * (n - k)));
+  }
+
+  Rng rng(params.seed);
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<int> best_medoids;
+  result->swaps_evaluated = 0;
+  result->swaps_accepted = 0;
+
+  for (int local = 0; local < params.num_local; ++local) {
+    std::vector<int> medoids = rng.SampleWithoutReplacement(n, k);
+    std::vector<char> is_medoid(n, 0);
+    for (const int m : medoids) is_medoid[m] = 1;
+    NearestState state;
+    RecomputeNearest(data, medoids, &state);
+    double cost = 0.0;
+    for (int64_t p = 0; p < n; ++p) cost += state.nearest_d[p];
+
+    int64_t failures = 0;
+    // k == n leaves no non-medoid to swap in; the start is already optimal.
+    while (failures < max_neighbors && k < n) {
+      // Random neighbor: swap a random medoid slot for a random non-medoid.
+      const int out = static_cast<int>(rng.UniformInt(k));
+      int in_id = static_cast<int>(rng.UniformInt(n));
+      while (is_medoid[in_id]) {
+        in_id = static_cast<int>(rng.UniformInt(n));
+      }
+      ++result->swaps_evaluated;
+      const double delta = SwapDelta(data, state, out, in_id);
+      if (delta < -1e-12) {
+        is_medoid[medoids[out]] = 0;
+        is_medoid[in_id] = 1;
+        medoids[out] = in_id;
+        RecomputeNearest(data, medoids, &state);
+        cost += delta;
+        ++result->swaps_accepted;
+        failures = 0;
+      } else {
+        ++failures;
+      }
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_medoids = medoids;
+    }
+  }
+
+  result->medoids = best_medoids;
+  NearestState state;
+  RecomputeNearest(data, best_medoids, &state);
+  result->assignment = state.nearest;
+  // Recompute the exact cost (the incremental updates drift in theory).
+  result->cost = 0.0;
+  for (int64_t p = 0; p < n; ++p) result->cost += state.nearest_d[p];
+  return Status::OK();
+}
+
+}  // namespace proclus::baselines

@@ -1,0 +1,49 @@
+#ifndef PROCLUS_BASELINES_CLARANS_H_
+#define PROCLUS_BASELINES_CLARANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/matrix.h"
+
+namespace proclus::baselines {
+
+// CLARANS (Ng & Han, TKDE 2002): randomized-search k-medoids in the full
+// dimensional space. PROCLUS is the adaptation of this algorithm to
+// projected clustering; the library ships it both as the historical
+// substrate and as the full-dimensional comparison baseline used by the
+// motivation bench (projected vs full-dimensional clustering on subspace
+// data).
+//
+// The search walks the graph whose nodes are k-medoid sets and whose edges
+// swap one medoid for one non-medoid: from a random node, it examines up to
+// `max_neighbors` random neighbors, moves greedily on any improvement, and
+// declares a local minimum after max_neighbors consecutive failures;
+// `num_local` restarts keep the best local minimum.
+struct ClaransParams {
+  int k = 10;
+  // Random neighbors examined before declaring a local optimum. The paper
+  // recommends max(250, 1.25% of k*(n-k)); <= 0 selects that rule.
+  int max_neighbors = 0;
+  // Number of local minima to collect.
+  int num_local = 2;
+  uint64_t seed = 42;
+};
+
+struct ClaransResult {
+  std::vector<int> medoids;     // data-point ids, size k
+  std::vector<int> assignment;  // nearest-medoid index per point
+  double cost = 0.0;            // total distance to nearest medoids
+  int64_t swaps_evaluated = 0;
+  int64_t swaps_accepted = 0;
+};
+
+// Runs CLARANS with Euclidean distance. Returns InvalidArgument for
+// degenerate inputs (k < 1, k > n, empty data).
+Status Clarans(const data::Matrix& data, const ClaransParams& params,
+               ClaransResult* result);
+
+}  // namespace proclus::baselines
+
+#endif  // PROCLUS_BASELINES_CLARANS_H_

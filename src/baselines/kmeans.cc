@@ -1,0 +1,147 @@
+#include "baselines/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace proclus::baselines {
+
+namespace {
+
+double SquaredDistance(const float* a, const float* b, int64_t d) {
+  double sum = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    const double diff = static_cast<double>(a[j]) - static_cast<double>(b[j]);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+// k-means++ seeding: the first centroid uniform, each next one with
+// probability proportional to the squared distance to the closest chosen
+// centroid.
+std::vector<std::vector<float>> SeedCentroids(const data::Matrix& data,
+                                              int k, Rng& rng) {
+  const int64_t n = data.rows();
+  const int64_t d = data.cols();
+  std::vector<std::vector<float>> centroids;
+  centroids.reserve(k);
+  const int64_t first = rng.UniformInt(n);
+  centroids.emplace_back(data.Row(first), data.Row(first) + d);
+  std::vector<double> dist_sq(n);
+  for (int i = 1; i < k; ++i) {
+    double total = 0.0;
+    for (int64_t p = 0; p < n; ++p) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centroids) {
+        best = std::min(best, SquaredDistance(data.Row(p), c.data(), d));
+      }
+      dist_sq[p] = best;
+      total += best;
+    }
+    int64_t pick = 0;
+    if (total > 0.0) {
+      double target = rng.NextDouble() * total;
+      while (pick + 1 < n && target > dist_sq[pick]) {
+        target -= dist_sq[pick];
+        ++pick;
+      }
+    } else {
+      pick = rng.UniformInt(n);  // all points identical to some centroid
+    }
+    centroids.emplace_back(data.Row(pick), data.Row(pick) + d);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Status KMeans(const data::Matrix& data, const KMeansParams& params,
+              KMeansResult* result) {
+  if (result == nullptr) {
+    return Status::InvalidArgument("result must not be null");
+  }
+  const int64_t n = data.rows();
+  const int64_t d = data.cols();
+  if (n == 0 || d == 0) return Status::InvalidArgument("dataset is empty");
+  if (params.k < 1 || params.k > n) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  if (params.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+
+  Rng rng(params.seed);
+  std::vector<std::vector<float>> centroids =
+      SeedCentroids(data, params.k, rng);
+  std::vector<int> assignment(n, 0);
+  double previous_inertia = std::numeric_limits<double>::infinity();
+  int iteration = 0;
+  for (; iteration < params.max_iterations; ++iteration) {
+    // Assign.
+    double inertia = 0.0;
+    for (int64_t p = 0; p < n; ++p) {
+      double best = std::numeric_limits<double>::infinity();
+      int arg = 0;
+      for (int i = 0; i < params.k; ++i) {
+        const double v =
+            SquaredDistance(data.Row(p), centroids[i].data(), d);
+        if (v < best) {
+          best = v;
+          arg = i;
+        }
+      }
+      assignment[p] = arg;
+      inertia += best;
+    }
+    // Update.
+    std::vector<std::vector<double>> sums(
+        params.k, std::vector<double>(d, 0.0));
+    std::vector<int64_t> counts(params.k, 0);
+    for (int64_t p = 0; p < n; ++p) {
+      const float* row = data.Row(p);
+      auto& sum = sums[assignment[p]];
+      for (int64_t j = 0; j < d; ++j) sum[j] += row[j];
+      ++counts[assignment[p]];
+    }
+    for (int i = 0; i < params.k; ++i) {
+      if (counts[i] == 0) continue;  // empty cluster keeps its centroid
+      for (int64_t j = 0; j < d; ++j) {
+        centroids[i][j] =
+            static_cast<float>(sums[i][j] / static_cast<double>(counts[i]));
+      }
+    }
+    if (previous_inertia - inertia <=
+        params.tolerance * std::max(previous_inertia, 1e-30)) {
+      ++iteration;
+      break;
+    }
+    previous_inertia = inertia;
+  }
+  // Final assignment pass so assignment and inertia are consistent with the
+  // returned centroids.
+  double inertia = 0.0;
+  for (int64_t p = 0; p < n; ++p) {
+    double best = std::numeric_limits<double>::infinity();
+    int arg = 0;
+    for (int i = 0; i < params.k; ++i) {
+      const double v = SquaredDistance(data.Row(p), centroids[i].data(), d);
+      if (v < best) {
+        best = v;
+        arg = i;
+      }
+    }
+    assignment[p] = arg;
+    inertia += best;
+  }
+  result->inertia = inertia;
+  result->centroids = std::move(centroids);
+  result->assignment = std::move(assignment);
+  result->iterations = iteration;
+  return Status::OK();
+}
+
+}  // namespace proclus::baselines

@@ -1,0 +1,39 @@
+#ifndef PROCLUS_BASELINES_KMEANS_H_
+#define PROCLUS_BASELINES_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/matrix.h"
+
+namespace proclus::baselines {
+
+// Lloyd's k-means in the full dimensional space, with k-means++ seeding.
+// Second full-dimensional comparison baseline (the related-work GPU
+// clustering line of the paper starts from k-means); used by the
+// motivation bench to show full-dimensional methods washing out subspace
+// clusters that PROCLUS recovers.
+struct KMeansParams {
+  int k = 10;
+  int max_iterations = 100;
+  // Stop when the relative improvement of the within-cluster sum of squared
+  // distances falls below this threshold.
+  double tolerance = 1e-6;
+  uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  std::vector<std::vector<float>> centroids;  // k x d
+  std::vector<int> assignment;                // nearest-centroid per point
+  double inertia = 0.0;  // within-cluster sum of squared distances
+  int iterations = 0;
+};
+
+// Runs k-means. Returns InvalidArgument for degenerate inputs.
+Status KMeans(const data::Matrix& data, const KMeansParams& params,
+              KMeansResult* result);
+
+}  // namespace proclus::baselines
+
+#endif  // PROCLUS_BASELINES_KMEANS_H_

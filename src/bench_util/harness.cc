@@ -1,0 +1,134 @@
+#include "bench_util/harness.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/env.h"
+#include "common/timer.h"
+
+namespace proclus::bench {
+
+double BenchScale() {
+  const double scale = GetEnvDouble("PROCLUS_BENCH_SCALE", 1.0);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+int BenchRepeats() {
+  const int64_t repeats = GetEnvInt64("PROCLUS_BENCH_REPEATS", 1);
+  return repeats >= 1 ? static_cast<int>(repeats) : 1;
+}
+
+double MeasureSeconds(const std::function<void(uint64_t seed)>& fn,
+                      int repeats, uint64_t base_seed) {
+  double total = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    StopWatch watch;
+    fn(base_seed + static_cast<uint64_t>(r));
+    total += watch.ElapsedSeconds();
+  }
+  return total / repeats;
+}
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> columns,
+                           std::string csv_name)
+    : title_(std::move(title)),
+      csv_name_(std::move(csv_name)),
+      columns_(std::move(columns)) {}
+
+TablePrinter::~TablePrinter() {
+  if (!printed_) Print();
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() {
+  printed_ = true;
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%-*s  ", static_cast<int>(widths[c]), columns_[c].c_str());
+  }
+  std::printf("\n");
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%s  ", std::string(widths[c], '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+
+  if (!csv_name_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_results", ec);
+    std::ofstream csv("bench_results/" + csv_name_ + ".csv");
+    if (csv.is_open()) {
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        csv << (c ? "," : "") << columns_[c];
+      }
+      csv << '\n';
+      for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+          csv << (c ? "," : "") << row[c];
+        }
+        csv << '\n';
+      }
+    }
+  }
+}
+
+std::string TablePrinter::FormatSeconds(double seconds) {
+  char buffer[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3f s", seconds);
+  }
+  return buffer;
+}
+
+std::string TablePrinter::FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string TablePrinter::FormatBytes(uint64_t bytes) {
+  char buffer[64];
+  if (bytes >= (1ULL << 30)) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f GiB",
+                  static_cast<double>(bytes) / (1ULL << 30));
+  } else if (bytes >= (1ULL << 20)) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f MiB",
+                  static_cast<double>(bytes) / (1ULL << 20));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1f KiB",
+                  static_cast<double>(bytes) / (1ULL << 10));
+  }
+  return buffer;
+}
+
+std::string TablePrinter::FormatCount(int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  return buffer;
+}
+
+}  // namespace proclus::bench

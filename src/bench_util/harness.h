@@ -1,0 +1,58 @@
+#ifndef PROCLUS_BENCH_UTIL_HARNESS_H_
+#define PROCLUS_BENCH_UTIL_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace proclus::bench {
+
+// Scale factor for benchmark workloads, read from PROCLUS_BENCH_SCALE
+// (default 1.0). The figure benches multiply their dataset sizes by it, so
+// `PROCLUS_BENCH_SCALE=0.1 bench_fig2_scale_n` runs a 10x smaller sweep and
+// larger values approach the paper's sizes.
+double BenchScale();
+
+// Number of repetitions per measurement, from PROCLUS_BENCH_REPEATS
+// (default 1; the paper averages 10 runs over different generated sets).
+int BenchRepeats();
+
+// Runs `fn` `repeats` times on freshly seeded inputs (the seed is passed in)
+// and returns the mean wall-clock seconds.
+double MeasureSeconds(const std::function<void(uint64_t seed)>& fn,
+                      int repeats, uint64_t base_seed = 7);
+
+// Column-aligned table printer that also mirrors every table to a CSV file
+// under bench_results/ (created on demand).
+class TablePrinter {
+ public:
+  // `title` is printed as a header; `csv_name` (without extension) names the
+  // CSV mirror, empty = no CSV.
+  TablePrinter(std::string title, std::vector<std::string> columns,
+               std::string csv_name = "");
+  ~TablePrinter();
+
+  // Adds a row; cells are preformatted strings.
+  void AddRow(std::vector<std::string> cells);
+
+  // Prints the aligned table to stdout and writes the CSV mirror.
+  void Print();
+
+  // Formats helpers.
+  static std::string FormatSeconds(double seconds);
+  static std::string FormatDouble(double value, int precision = 3);
+  static std::string FormatBytes(uint64_t bytes);
+  static std::string FormatCount(int64_t value);
+
+ private:
+  std::string title_;
+  std::string csv_name_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  bool printed_ = false;
+};
+
+}  // namespace proclus::bench
+
+#endif  // PROCLUS_BENCH_UTIL_HARNESS_H_

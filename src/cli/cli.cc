@@ -1,0 +1,290 @@
+#include "cli/cli.h"
+
+#include <charconv>
+#include <fstream>
+
+#include "common/timer.h"
+#include "core/multi_param.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "data/normalize.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace proclus::cli {
+
+namespace {
+
+Status ParseInt(const std::string& value, const std::string& flag,
+                int64_t* out) {
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), *out);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    return Status::InvalidArgument("expected an integer for " + flag +
+                                   ", got '" + value + "'");
+  }
+  return Status::OK();
+}
+
+Status ParseDouble(const std::string& value, const std::string& flag,
+                   double* out) {
+  char* end = nullptr;
+  *out = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("expected a number for " + flag +
+                                   ", got '" + value + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string UsageText() {
+  return R"(proclus_cli - projected clustering with (GPU-FAST-)PROCLUS
+
+Input (one required):
+  --input FILE          headerless CSV of floats, one point per row
+  --labels              the CSV's last column is an integer class label
+  --generate N,D,C      synthesize N points, D dims, C subspace clusters
+
+Algorithm:
+  --k INT               number of clusters (default 10)
+  --l INT               average dimensions per cluster (default 5)
+  --A NUM --B NUM       sampling constants (default 100 / 10)
+  --min-dev NUM         bad-medoid threshold (default 0.7)
+  --itr-pat INT         patience (default 5)
+  --seed INT            random seed (default 42)
+  --backend NAME        cpu | mc | gpu (default gpu)
+  --strategy NAME       baseline | fast | faststar (default fast)
+  --threads INT         workers for mc (default: hardware)
+  --explore             run the 9-combination (k,l) grid with full reuse
+
+Output:
+  --output FILE         write per-point cluster ids (-1 = outlier)
+  --no-normalize        skip min-max normalization
+  --help                this text
+)";
+}
+
+Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
+  if (config == nullptr) {
+    return Status::InvalidArgument("config must not be null");
+  }
+  *config = CliConfig();
+  config->options.backend = core::ComputeBackend::kGpu;
+  config->options.strategy = core::Strategy::kFast;
+
+  auto next_value = [&args](size_t* i, const std::string& flag,
+                            std::string* value) -> Status {
+    if (*i + 1 >= args.size()) {
+      return Status::InvalidArgument("missing value for " + flag);
+    }
+    *value = args[++*i];
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    std::string value;
+    int64_t int_value = 0;
+    if (arg == "--help" || arg == "-h") {
+      config->show_help = true;
+      return Status::OK();
+    } else if (arg == "--input") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &config->input_path));
+    } else if (arg == "--labels") {
+      config->input_has_labels = true;
+    } else if (arg == "--generate") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      config->generate = true;
+      const size_t c1 = value.find(',');
+      const size_t c2 = value.find(',', c1 + 1);
+      if (c1 == std::string::npos || c2 == std::string::npos) {
+        return Status::InvalidArgument("--generate expects N,D,C");
+      }
+      int64_t d = 0;
+      int64_t clusters = 0;
+      PROCLUS_RETURN_NOT_OK(
+          ParseInt(value.substr(0, c1), arg, &config->gen_n));
+      PROCLUS_RETURN_NOT_OK(
+          ParseInt(value.substr(c1 + 1, c2 - c1 - 1), arg, &d));
+      PROCLUS_RETURN_NOT_OK(ParseInt(value.substr(c2 + 1), arg, &clusters));
+      config->gen_d = static_cast<int>(d);
+      config->gen_clusters = static_cast<int>(clusters);
+    } else if (arg == "--k") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseInt(value, arg, &int_value));
+      config->params.k = static_cast<int>(int_value);
+    } else if (arg == "--l") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseInt(value, arg, &int_value));
+      config->params.l = static_cast<int>(int_value);
+    } else if (arg == "--A") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseDouble(value, arg, &config->params.a));
+    } else if (arg == "--B") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseDouble(value, arg, &config->params.b));
+    } else if (arg == "--min-dev") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(
+          ParseDouble(value, arg, &config->params.min_dev));
+    } else if (arg == "--itr-pat") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseInt(value, arg, &int_value));
+      config->params.itr_pat = static_cast<int>(int_value);
+    } else if (arg == "--seed") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseInt(value, arg, &int_value));
+      config->params.seed = static_cast<uint64_t>(int_value);
+    } else if (arg == "--backend") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      if (value == "cpu") {
+        config->options.backend = core::ComputeBackend::kCpu;
+      } else if (value == "mc") {
+        config->options.backend = core::ComputeBackend::kMultiCore;
+      } else if (value == "gpu") {
+        config->options.backend = core::ComputeBackend::kGpu;
+      } else {
+        return Status::InvalidArgument("unknown backend: " + value);
+      }
+    } else if (arg == "--strategy") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      if (value == "baseline") {
+        config->options.strategy = core::Strategy::kBaseline;
+      } else if (value == "fast") {
+        config->options.strategy = core::Strategy::kFast;
+      } else if (value == "faststar") {
+        config->options.strategy = core::Strategy::kFastStar;
+      } else {
+        return Status::InvalidArgument("unknown strategy: " + value);
+      }
+    } else if (arg == "--threads") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseInt(value, arg, &int_value));
+      config->options.num_threads = static_cast<int>(int_value);
+    } else if (arg == "--explore") {
+      config->explore = true;
+    } else if (arg == "--output") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &config->output_path));
+    } else if (arg == "--no-normalize") {
+      config->normalize = false;
+    } else {
+      return Status::InvalidArgument("unknown flag: " + arg +
+                                     " (see --help)");
+    }
+  }
+  if (config->input_path.empty() && !config->generate) {
+    return Status::InvalidArgument(
+        "either --input or --generate is required (see --help)");
+  }
+  if (!config->input_path.empty() && config->generate) {
+    return Status::InvalidArgument("--input and --generate are exclusive");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void PrintResult(const core::ProclusResult& result,
+                 const data::Dataset& dataset, double wall_seconds,
+                 std::ostream& out) {
+  out << "iterations: " << result.stats.iterations
+      << "  iterative cost: " << result.iterative_cost
+      << "  refined cost: " << result.refined_cost << "\n";
+  out << "wall time: " << wall_seconds * 1e3 << " ms";
+  if (result.stats.modeled_gpu_seconds > 0.0) {
+    out << "  (modeled device time: "
+        << result.stats.modeled_gpu_seconds * 1e3 << " ms)";
+  }
+  out << "\n";
+  out << eval::FormatClusterTable(eval::Digest(dataset.points, result));
+  out << "outliers: " << result.NumOutliers() << "\n";
+  if (dataset.has_ground_truth()) {
+    out << "ARI vs labels: "
+        << eval::AdjustedRandIndex(dataset.labels, result.assignment)
+        << "\n";
+  }
+}
+
+Status WriteAssignment(const std::vector<int>& assignment,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  for (const int c : assignment) out << c << '\n';
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunCli(const CliConfig& config, std::ostream& out) {
+  if (config.show_help) {
+    out << UsageText();
+    return Status::OK();
+  }
+
+  data::Dataset dataset;
+  if (config.generate) {
+    data::GeneratorConfig gen;
+    gen.n = config.gen_n;
+    gen.d = config.gen_d;
+    gen.num_clusters = config.gen_clusters;
+    gen.subspace_dim = std::max(2, config.gen_d / 3);
+    gen.seed = config.params.seed;
+    PROCLUS_RETURN_NOT_OK(data::GenerateSubspaceData(gen, &dataset));
+    out << "generated " << dataset.n() << " points, " << dataset.d()
+        << " dims, " << config.gen_clusters << " clusters\n";
+  } else {
+    PROCLUS_RETURN_NOT_OK(
+        data::ReadCsv(config.input_path, config.input_has_labels, &dataset));
+    out << "loaded " << dataset.n() << " points, " << dataset.d()
+        << " dims from " << config.input_path << "\n";
+  }
+  if (config.normalize) data::MinMaxNormalize(&dataset.points);
+
+  out << "variant: "
+      << core::VariantName(config.options.backend, config.options.strategy)
+      << "\n";
+
+  if (config.explore) {
+    const std::vector<core::ParamSetting> grid =
+        core::DefaultSettingsGrid(config.params);
+    core::MultiParamOptions mp;
+    mp.cluster = config.options;
+    mp.reuse = core::ReuseLevel::kWarmStart;
+    core::MultiParamOutput output;
+    PROCLUS_RETURN_NOT_OK(core::RunMultiParam(dataset.points, config.params,
+                                              grid, mp, &output));
+    out << "explored " << grid.size() << " settings in "
+        << output.total_seconds * 1e3 << " ms\n";
+    for (size_t i = 0; i < grid.size(); ++i) {
+      out << "k=" << grid[i].k << " l=" << grid[i].l
+          << "  refined cost: " << output.results[i].refined_cost
+          << "  outliers: " << output.results[i].NumOutliers() << "\n";
+    }
+    if (!config.output_path.empty()) {
+      // Write the assignment of the last setting.
+      PROCLUS_RETURN_NOT_OK(WriteAssignment(
+          output.results.back().assignment, config.output_path));
+      out << "assignment written to " << config.output_path << "\n";
+    }
+    return Status::OK();
+  }
+
+  StopWatch watch;
+  core::ProclusResult result;
+  PROCLUS_RETURN_NOT_OK(
+      core::Cluster(dataset.points, config.params, config.options, &result));
+  PrintResult(result, dataset, watch.ElapsedSeconds(), out);
+  if (!config.output_path.empty()) {
+    PROCLUS_RETURN_NOT_OK(
+        WriteAssignment(result.assignment, config.output_path));
+    out << "assignment written to " << config.output_path << "\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace proclus::cli

@@ -1,0 +1,48 @@
+#ifndef PROCLUS_CLI_CLI_H_
+#define PROCLUS_CLI_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/api.h"
+
+namespace proclus::cli {
+
+// Configuration assembled from command-line arguments.
+struct CliConfig {
+  // Input: either a CSV file...
+  std::string input_path;
+  bool input_has_labels = false;
+  // ...or a generated synthetic dataset ("--generate n,d,clusters").
+  bool generate = false;
+  int64_t gen_n = 64000;
+  int gen_d = 15;
+  int gen_clusters = 10;
+
+  bool normalize = true;
+  core::ProclusParams params;
+  core::ClusterOptions options;
+  // Multi-parameter mode: run the 9-combination (k,l) grid with full reuse.
+  bool explore = false;
+  // Where to write the per-point assignment (empty = don't).
+  std::string output_path;
+  bool show_help = false;
+};
+
+// Usage text for --help.
+std::string UsageText();
+
+// Parses `args` (without argv[0]). Unknown flags, malformed values and
+// missing inputs yield InvalidArgument with a descriptive message.
+Status ParseArgs(const std::vector<std::string>& args, CliConfig* config);
+
+// Loads/generates the dataset, runs the configured clustering, prints a
+// report to `out` and optionally writes the assignment CSV. This is the
+// whole CLI behind the thin main() in tools/proclus_cli.cc.
+Status RunCli(const CliConfig& config, std::ostream& out);
+
+}  // namespace proclus::cli
+
+#endif  // PROCLUS_CLI_CLI_H_

@@ -1,0 +1,21 @@
+#ifndef PROCLUS_COMMON_ENV_H_
+#define PROCLUS_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace proclus {
+
+// Reads an integer from the environment, falling back to `fallback` when the
+// variable is unset or unparsable.
+int64_t GetEnvInt64(const char* name, int64_t fallback);
+
+// Reads a double from the environment, falling back to `fallback`.
+double GetEnvDouble(const char* name, double fallback);
+
+// Reads a string from the environment, falling back to `fallback`.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_COMMON_ENV_H_

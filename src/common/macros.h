@@ -1,0 +1,28 @@
+#ifndef PROCLUS_COMMON_MACROS_H_
+#define PROCLUS_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// PROCLUS_CHECK aborts the program with a diagnostic when `cond` is false.
+// It is always enabled; use it to guard invariants whose violation would make
+// continuing meaningless (out-of-bounds access, broken algorithm state).
+#define PROCLUS_CHECK(cond)                                                 \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PROCLUS_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+// PROCLUS_DCHECK is compiled out in release builds (NDEBUG).
+#ifdef NDEBUG
+#define PROCLUS_DCHECK(cond) \
+  do {                       \
+  } while (false)
+#else
+#define PROCLUS_DCHECK(cond) PROCLUS_CHECK(cond)
+#endif
+
+#endif  // PROCLUS_COMMON_MACROS_H_

@@ -1,0 +1,89 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace proclus {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::NextFloat() {
+  return static_cast<float>(NextU64() >> 40) * 0x1.0p-24f;
+}
+
+int64_t Rng::UniformInt(int64_t bound) {
+  PROCLUS_CHECK(bound > 0);
+  const uint64_t ubound = static_cast<uint64_t>(bound);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % ubound;
+  uint64_t value = NextU64();
+  while (value >= limit) value = NextU64();
+  return static_cast<int64_t>(value % ubound);
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int64_t population,
+                                               int64_t count) {
+  PROCLUS_CHECK(count >= 0);
+  PROCLUS_CHECK(count <= population);
+  std::vector<int> pool(population);
+  for (int64_t i = 0; i < population; ++i) pool[i] = static_cast<int>(i);
+  std::vector<int> picked(count);
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t j = i + UniformInt(population - i);
+    std::swap(pool[i], pool[j]);
+    picked[i] = pool[i];
+  }
+  return picked;
+}
+
+}  // namespace proclus

@@ -1,0 +1,68 @@
+#ifndef PROCLUS_COMMON_RNG_H_
+#define PROCLUS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace proclus {
+
+// Deterministic pseudo-random number generator (xoshiro256**, seeded through
+// SplitMix64). PROCLUS is a randomized algorithm; every variant in this
+// library (baseline / FAST / FAST* / multi-core / GPU) draws its random
+// decisions from an Rng in an identical, documented order so that a fixed
+// seed yields an identical clustering across variants. The draw order is:
+//
+//   1. the Data' sample (SampleWithoutReplacement),
+//   2. the first greedy medoid pick (UniformInt),
+//   3. the initial current-medoid subset (SampleWithoutReplacement),
+//   4. one replacement pick per bad medoid per iteration (UniformInt).
+//
+// Not thread-safe; each run owns its Rng.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform float in [0, 1).
+  float NextFloat();
+
+  // Uniform integer in [0, bound). Requires bound > 0. Uses rejection
+  // sampling, so the result is unbiased.
+  int64_t UniformInt(int64_t bound);
+
+  // Standard normal deviate (Box-Muller; caches the second deviate).
+  double Gaussian();
+
+  // Normal deviate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  // Draws `count` distinct indices uniformly from [0, population) via a
+  // partial Fisher-Yates shuffle. Requires 0 <= count <= population. The
+  // result order is the draw order (not sorted).
+  std::vector<int> SampleWithoutReplacement(int64_t population, int64_t count);
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (int64_t i = static_cast<int64_t>(values.size()) - 1; i > 0; --i) {
+      int64_t j = UniformInt(i + 1);
+      std::swap(values[i], values[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_COMMON_RNG_H_

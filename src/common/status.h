@@ -1,0 +1,77 @@
+#ifndef PROCLUS_COMMON_STATUS_H_
+#define PROCLUS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace proclus {
+
+// Error category for Status. Mirrors the small set of failure modes the
+// library can report; most API entry points validate their inputs and return
+// kInvalidArgument rather than aborting.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kIoError,
+  kInternal,
+};
+
+// Lightweight success-or-error result, in the style of arrow::Status.
+// A default-constructed Status is OK. Statuses are cheap to copy for the OK
+// case and carry a message otherwise.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable representation, e.g. "InvalidArgument: k must be >= 1".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Returns early from the enclosing function if `expr` evaluates to a non-OK
+// Status.
+#define PROCLUS_RETURN_NOT_OK(expr)          \
+  do {                                       \
+    ::proclus::Status _st = (expr);          \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+}  // namespace proclus
+
+#endif  // PROCLUS_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef PROCLUS_COMMON_TIMER_H_
+#define PROCLUS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace proclus {
+
+// Simple wall-clock stopwatch. Started on construction.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_COMMON_TIMER_H_

@@ -1,0 +1,89 @@
+#include "core/api.h"
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/cpu_backend.h"
+#include "core/driver.h"
+#include "core/executor.h"
+#include "core/gpu_backend.h"
+#include "parallel/thread_pool.h"
+
+namespace proclus::core {
+
+const char* BackendName(ComputeBackend backend) {
+  switch (backend) {
+    case ComputeBackend::kCpu:
+      return "CPU";
+    case ComputeBackend::kMultiCore:
+      return "MC";
+    case ComputeBackend::kGpu:
+      return "GPU";
+  }
+  return "?";
+}
+
+std::string VariantName(ComputeBackend backend, Strategy strategy) {
+  std::string name;
+  if (backend != ComputeBackend::kCpu) {
+    name += BackendName(backend);
+    name += '-';
+  }
+  name += StrategyName(strategy);
+  return name;
+}
+
+Status Cluster(const data::Matrix& data, const ProclusParams& params,
+               const ClusterOptions& options, ProclusResult* result) {
+  if (result == nullptr) {
+    return Status::InvalidArgument("result must not be null");
+  }
+  PROCLUS_RETURN_NOT_OK(params.Validate(data.rows(), data.cols()));
+
+  Rng rng(params.seed);
+  switch (options.backend) {
+    case ComputeBackend::kCpu: {
+      SequentialExecutor executor;
+      CpuBackend backend(data, options.strategy, &executor);
+      return RunProclusPhases(data, params, backend, rng, DriverOptions{},
+                              result);
+    }
+    case ComputeBackend::kMultiCore: {
+      parallel::ThreadPool pool(options.num_threads);
+      PoolExecutor executor(&pool);
+      CpuBackend backend(data, options.strategy, &executor);
+      return RunProclusPhases(data, params, backend, rng, DriverOptions{},
+                              result);
+    }
+    case ComputeBackend::kGpu: {
+      std::unique_ptr<simt::Device> owned;
+      simt::Device* device = options.device;
+      if (device == nullptr) {
+        owned = std::make_unique<simt::Device>(options.device_properties);
+        device = owned.get();
+      }
+      GpuBackendOptions gpu_options;
+      gpu_options.assign_block_dim = options.gpu_assign_block_dim;
+      gpu_options.use_streams = options.gpu_streams;
+      gpu_options.device_dim_selection = options.gpu_device_dim_selection;
+      GpuBackend backend(data, options.strategy, device, gpu_options);
+      return RunProclusPhases(data, params, backend, rng, DriverOptions{},
+                              result);
+    }
+  }
+  return Status::Internal("unknown backend");
+}
+
+ProclusResult ClusterOrDie(const data::Matrix& data,
+                           const ProclusParams& params,
+                           const ClusterOptions& options) {
+  ProclusResult result;
+  const Status st = Cluster(data, params, options, &result);
+  if (!st.ok()) {
+    std::fprintf(stderr, "Cluster: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return result;
+}
+
+}  // namespace proclus::core

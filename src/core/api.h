@@ -1,0 +1,58 @@
+#ifndef PROCLUS_CORE_API_H_
+#define PROCLUS_CORE_API_H_
+
+#include "common/status.h"
+#include "core/backend.h"
+#include "core/params.h"
+#include "core/result.h"
+#include "data/matrix.h"
+#include "simt/device.h"
+
+namespace proclus::core {
+
+// Which hardware the run executes on:
+//   kCpu       — single core (the paper's PROCLUS / FAST / FAST*).
+//   kMultiCore — thread-pool parallel CPU (the paper's OpenMP variants).
+//   kGpu       — the simulated SIMT device (GPU-PROCLUS / GPU-FAST /
+//                GPU-FAST*; see DESIGN.md for the hardware substitution).
+enum class ComputeBackend { kCpu, kMultiCore, kGpu };
+
+const char* BackendName(ComputeBackend backend);
+
+// Full variant name in the paper's nomenclature, e.g. "GPU-FAST-PROCLUS".
+std::string VariantName(ComputeBackend backend, Strategy strategy);
+
+struct ClusterOptions {
+  ComputeBackend backend = ComputeBackend::kCpu;
+  Strategy strategy = Strategy::kBaseline;
+  // kMultiCore: worker count (0 = hardware concurrency).
+  int num_threads = 0;
+  // kGpu: simulated device model used when `device` is null.
+  simt::DeviceProperties device_properties = simt::DeviceProperties::Gtx1660Ti();
+  // kGpu: run on this existing device instead of a fresh one (lets callers
+  // read kernel statistics and reuse device memory across runs). Optional.
+  simt::Device* device = nullptr;
+  // kGpu: AssignPoints threads per block (paper default 128) and the
+  // concurrent-stream optimization for the tiny bookkeeping kernels (§5.4).
+  int gpu_assign_block_dim = 128;
+  bool gpu_streams = false;
+  // kGpu: run the dimension pick on the device (identical result; only the
+  // selected ids cross the PCIe bus instead of the Z matrix).
+  bool gpu_device_dim_selection = false;
+};
+
+// Runs the selected PROCLUS variant on `data` (n x d, expected min-max
+// normalized). For a fixed `params.seed` every backend/strategy combination
+// returns the identical clustering (the FAST strategies and the GPU
+// parallelization are exact, §4.1).
+Status Cluster(const data::Matrix& data, const ProclusParams& params,
+               const ClusterOptions& options, ProclusResult* result);
+
+// Convenience wrapper that aborts on error.
+ProclusResult ClusterOrDie(const data::Matrix& data,
+                           const ProclusParams& params,
+                           const ClusterOptions& options = {});
+
+}  // namespace proclus::core
+
+#endif  // PROCLUS_CORE_API_H_

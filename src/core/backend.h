@@ -1,0 +1,78 @@
+#ifndef PROCLUS_CORE_BACKEND_H_
+#define PROCLUS_CORE_BACKEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.h"
+#include "core/result.h"
+
+namespace proclus::core {
+
+// The computation-reuse strategy of a run:
+//   kBaseline — original PROCLUS; recomputes distances and per-dimension
+//               sums every iteration.
+//   kFast     — FAST-PROCLUS (§3): Dist in R^{Bk x n} + DistFound cache
+//               distances to every potential medoid; H in R^{Bk x d} is
+//               updated incrementally from Delta-L (Theorems 3.1/3.2).
+//   kFastStar — FAST*-PROCLUS (§3.2): same reuse restricted to the k
+//               medoids of the previous iteration, O(kn) space.
+enum class Strategy { kBaseline, kFast, kFastStar };
+
+const char* StrategyName(Strategy strategy);
+
+// Result of one iterative-phase iteration. The full assignment stays inside
+// the backend (device memory for the GPU backend); the driver only needs the
+// cost and cluster sizes to steer the search.
+struct IterationOutput {
+  double cost = 0.0;
+  std::vector<int64_t> cluster_sizes;
+};
+
+// Computation backend: the CPU engine (sequential or multi-core executor)
+// or the simulated-GPU engine. The driver (driver.h) owns all randomized
+// and control-flow decisions so that every backend visits the same medoid
+// sequence for the same seed; backends only evaluate.
+//
+// Call order: GreedySelect -> Setup -> Iterate* (with SaveBest after
+// improving iterations) -> Refine. A backend instance may be reused for
+// several runs (MultiParamRunner does this to share caches); Setup is called
+// once per run and must preserve Dist/H caches when the potential-medoid set
+// is unchanged (multi-parameter reuse, §3.1).
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  // Greedily selects `pool_size` potential medoids from `candidates`
+  // (data-point ids), starting with candidates[first]; returns data-point
+  // ids in pick order (Algorithm 2).
+  virtual std::vector<int> GreedySelect(const std::vector<int>& candidates,
+                                        int64_t pool_size, int64_t first) = 0;
+
+  // Prepares a run with potential medoids `m_ids` (data-point ids) and the
+  // run's k/l parameters.
+  virtual void Setup(const ProclusParams& params,
+                     const std::vector<int>& m_ids) = 0;
+
+  // Runs ComputeL / FindDimensions / AssignPoints / EvaluateClusters for the
+  // current medoids, given as indices into the m_ids passed to Setup.
+  virtual IterationOutput Iterate(const std::vector<int>& mcur_midx) = 0;
+
+  // Snapshots the clustering of the most recent Iterate call as the best
+  // clustering (CBest); Refine uses this snapshot.
+  virtual void SaveBest() = 0;
+
+  // Refinement phase (Algorithm 1 lines 15-19) for the best medoids
+  // `mbest_midx`: recomputes dimensions from CBest, reassigns all points,
+  // removes outliers. Fills result->dimensions, result->assignment and
+  // result->refined_cost.
+  virtual void Refine(const std::vector<int>& mbest_midx,
+                      ProclusResult* result) = 0;
+
+  // Accumulated statistics for the run(s) so far.
+  virtual void FillStats(RunStats* stats) const = 0;
+};
+
+}  // namespace proclus::core
+
+#endif  // PROCLUS_CORE_BACKEND_H_

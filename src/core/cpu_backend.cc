@@ -1,0 +1,556 @@
+#include "core/cpu_backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/timer.h"
+#include "core/subroutines.h"
+
+namespace proclus::core {
+
+namespace {
+constexpr float kUnusedRadius = -1.0f;
+}  // namespace
+
+const char* StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kBaseline:
+      return "PROCLUS";
+    case Strategy::kFast:
+      return "FAST-PROCLUS";
+    case Strategy::kFastStar:
+      return "FAST*-PROCLUS";
+  }
+  return "?";
+}
+
+CpuBackend::CpuBackend(const data::Matrix& data, Strategy strategy,
+                       Executor* executor, bool h_reuse)
+    : data_(data),
+      strategy_(strategy),
+      executor_(executor),
+      h_reuse_(h_reuse) {
+  PROCLUS_CHECK(executor_ != nullptr);
+}
+
+void CpuBackend::ComputeDistRow(int medoid_id, float* row) {
+  const int64_t n = data_.rows();
+  const int64_t d = data_.cols();
+  const float* medoid = data_.Row(medoid_id);
+  const float* values = data_.data();
+  executor_->ForChunks(n, [&](int64_t, int64_t lo, int64_t hi) {
+    for (int64_t p = lo; p < hi; ++p) {
+      row[p] = EuclideanDistance(medoid, values + p * d, d);
+    }
+  });
+  euclidean_distances_ += n;
+}
+
+std::vector<int> CpuBackend::GreedySelect(const std::vector<int>& candidates,
+                                          int64_t pool_size, int64_t first) {
+  StopWatch watch;
+  const int64_t count = static_cast<int64_t>(candidates.size());
+  PROCLUS_CHECK(pool_size >= 1 && pool_size <= count);
+  PROCLUS_CHECK(first >= 0 && first < count);
+  const int64_t d = data_.cols();
+  const float* values = data_.data();
+
+  std::vector<int> picked;
+  picked.reserve(pool_size);
+  picked.push_back(candidates[first]);
+  std::vector<float> dist(count);
+  const float* first_row = data_.Row(candidates[first]);
+  executor_->ForChunks(count, [&](int64_t, int64_t lo, int64_t hi) {
+    for (int64_t c = lo; c < hi; ++c) {
+      dist[c] = EuclideanDistance(first_row, values + candidates[c] * d, d);
+    }
+  });
+  greedy_distances_ += count;
+
+  for (int64_t i = 1; i < pool_size; ++i) {
+    // Argmax of dist; ties break to the smallest candidate position so the
+    // pick is deterministic on every backend.
+    int64_t arg = 0;
+    for (int64_t c = 1; c < count; ++c) {
+      if (dist[c] > dist[arg]) arg = c;
+    }
+    picked.push_back(candidates[arg]);
+    if (i + 1 == pool_size) break;
+    const float* medoid = data_.Row(candidates[arg]);
+    executor_->ForChunks(count, [&](int64_t, int64_t lo, int64_t hi) {
+      for (int64_t c = lo; c < hi; ++c) {
+        const float v =
+            EuclideanDistance(medoid, values + candidates[c] * d, d);
+        if (v < dist[c]) dist[c] = v;
+      }
+    });
+    greedy_distances_ += count;
+  }
+  phases_.greedy += watch.ElapsedSeconds();
+  return picked;
+}
+
+void CpuBackend::Setup(const ProclusParams& params,
+                       const std::vector<int>& m_ids) {
+  const int64_t n = data_.rows();
+  const int64_t d = data_.cols();
+  const int64_t pool = static_cast<int64_t>(m_ids.size());
+  const int k = params.k;
+
+  const bool same_pool = (m_ids == m_ids_);
+  params_ = params;
+  m_ids_ = m_ids;
+  pool_size_ = pool;
+
+  switch (strategy_) {
+    case Strategy::kBaseline:
+      dist_.assign(static_cast<size_t>(k) * n, 0.0f);
+      break;
+    case Strategy::kFast:
+      if (!same_pool) {
+        // Caches are keyed by position in M; a new pool invalidates them.
+        dist_.assign(static_cast<size_t>(pool) * n, 0.0f);
+        dist_found_.assign(pool, 0);
+        h_.assign(static_cast<size_t>(pool) * d, 0.0);
+        l_size_.assign(pool, 0);
+        prev_delta_.assign(pool, kUnusedRadius);
+      }
+      break;
+    case Strategy::kFastStar:
+      // FAST* caches are per current-medoid slot; they only survive while
+      // the slot's medoid is unchanged, which never holds across runs.
+      dist_.assign(static_cast<size_t>(k) * n, 0.0f);
+      h_.assign(static_cast<size_t>(k) * d, 0.0);
+      l_size_.assign(k, 0);
+      prev_delta_.assign(k, kUnusedRadius);
+      prev_mcur_.assign(k, -1);
+      break;
+  }
+
+  delta_.assign(k, 0.0f);
+  x_.assign(static_cast<size_t>(k) * d, 0.0);
+  medoid_ids_.assign(k, -1);
+  assignment_.assign(n, 0);
+  best_assignment_.assign(n, 0);
+}
+
+const float* CpuBackend::DistRow(int i) const {
+  const int64_t n = data_.rows();
+  if (strategy_ == Strategy::kFast) {
+    // Row of the potential medoid currently in slot i.
+    return dist_.data() + static_cast<size_t>(prev_mcur_[i]) * n;
+  }
+  return dist_.data() + static_cast<size_t>(i) * n;
+}
+
+void CpuBackend::EnsureDistances(const std::vector<int>& mcur) {
+  const int64_t n = data_.rows();
+  const int64_t d = data_.cols();
+  const int k = params_.k;
+  switch (strategy_) {
+    case Strategy::kBaseline:
+      for (int i = 0; i < k; ++i) {
+        ComputeDistRow(m_ids_[mcur[i]], dist_.data() + static_cast<size_t>(i) * n);
+      }
+      break;
+    case Strategy::kFast:
+      // Compute distances only the first time a potential medoid is used
+      // (DistFound bookkeeping, §3).
+      for (int i = 0; i < k; ++i) {
+        const int midx = mcur[i];
+        if (!dist_found_[midx]) {
+          ComputeDistRow(m_ids_[midx],
+                         dist_.data() + static_cast<size_t>(midx) * n);
+          dist_found_[midx] = 1;
+        }
+      }
+      // DistRow() for kFast resolves through prev_mcur_, reused here as the
+      // slot -> pool-index map for the current iteration.
+      prev_mcur_.assign(mcur.begin(), mcur.end());
+      break;
+    case Strategy::kFastStar:
+      // Recompute only the slots whose medoid changed since the previous
+      // iteration, and reset their H bookkeeping (§3.2).
+      for (int i = 0; i < k; ++i) {
+        if (prev_mcur_[i] != mcur[i]) {
+          ComputeDistRow(m_ids_[mcur[i]],
+                         dist_.data() + static_cast<size_t>(i) * n);
+          std::fill_n(h_.begin() + static_cast<size_t>(i) * d, d, 0.0);
+          l_size_[i] = 0;
+          prev_delta_[i] = kUnusedRadius;
+          prev_mcur_[i] = mcur[i];
+        }
+      }
+      break;
+  }
+}
+
+void CpuBackend::ComputeDeltas(const std::vector<int>& mcur) {
+  const int k = params_.k;
+  for (int i = 0; i < k; ++i) {
+    const float* row = DistRow(i);
+    float best = std::numeric_limits<float>::infinity();
+    for (int j = 0; j < k; ++j) {
+      if (j == i) continue;
+      const float v = row[m_ids_[mcur[j]]];
+      if (v < best) best = v;
+    }
+    delta_[i] = best;
+  }
+}
+
+void CpuBackend::AccumulateH(const float* dist_row, int medoid_id, float lo,
+                             float hi, double lambda, double* h_row,
+                             int64_t* size) {
+  const int64_t n = data_.rows();
+  const int64_t d = data_.cols();
+  const float* medoid = data_.Row(medoid_id);
+  const float* values = data_.data();
+  const int64_t chunks = NumChunks(n);
+  chunk_scratch_.assign(static_cast<size_t>(chunks) * d, 0.0);
+  chunk_counts_.assign(chunks, 0);
+  executor_->ForChunks(n, [&](int64_t chunk, int64_t plo, int64_t phi) {
+    double* local = chunk_scratch_.data() + static_cast<size_t>(chunk) * d;
+    int64_t count = 0;
+    for (int64_t p = plo; p < phi; ++p) {
+      const float dist = dist_row[p];
+      if (dist > lo && dist <= hi) {
+        const float* point = values + p * d;
+        for (int64_t j = 0; j < d; ++j) {
+          local[j] += std::abs(static_cast<double>(point[j]) -
+                               static_cast<double>(medoid[j]));
+        }
+        ++count;
+      }
+    }
+    chunk_counts_[chunk] = count;
+  });
+  // Combine per-chunk partials in chunk order: deterministic and identical
+  // between the sequential and pooled executors.
+  int64_t total = 0;
+  for (int64_t chunk = 0; chunk < chunks; ++chunk) {
+    const double* local = chunk_scratch_.data() + static_cast<size_t>(chunk) * d;
+    for (int64_t j = 0; j < d; ++j) h_row[j] += lambda * local[j];
+    total += chunk_counts_[chunk];
+  }
+  *size += static_cast<int64_t>(lambda) * total;
+  l_points_scanned_ += n;
+}
+
+void CpuBackend::ComputeX(const std::vector<int>& mcur) {
+  const int64_t d = data_.cols();
+  const int k = params_.k;
+  for (int i = 0; i < k; ++i) {
+    const float* row = DistRow(i);
+    const int medoid_id = m_ids_[mcur[i]];
+    double* h_row = nullptr;
+    int64_t* size = nullptr;
+    float prev = kUnusedRadius;
+    std::vector<double> scratch_h;
+    int64_t scratch_size = 0;
+    switch (strategy_) {
+      case Strategy::kBaseline: {
+        // Recompute H from scratch every iteration.
+        scratch_h.assign(d, 0.0);
+        h_row = scratch_h.data();
+        size = &scratch_size;
+        prev = kUnusedRadius;
+        break;
+      }
+      case Strategy::kFast: {
+        const int midx = mcur[i];
+        h_row = h_.data() + static_cast<size_t>(midx) * d;
+        size = &l_size_[midx];
+        prev = prev_delta_[midx];
+        break;
+      }
+      case Strategy::kFastStar: {
+        h_row = h_.data() + static_cast<size_t>(i) * d;
+        size = &l_size_[i];
+        prev = prev_delta_[i];
+        break;
+      }
+    }
+    if (!h_reuse_ && strategy_ != Strategy::kBaseline) {
+      // Ablation: keep the Dist cache but rebuild H from the full sphere.
+      std::fill_n(h_row, d, 0.0);
+      *size = 0;
+      prev = kUnusedRadius;
+    }
+    const float cur = delta_[i];
+    // Theorem 3.1: the change Delta-L is the band between the previous and
+    // the current radius; lambda is +1 when the sphere grew, -1 when it
+    // shrank (Theorem 3.2). An unused radius (-1) makes the band (-1, cur],
+    // i.e. a full rebuild, since distances are never negative.
+    const float lo = std::min(prev, cur);
+    const float hi = std::max(prev, cur);
+    const double lambda = (cur >= prev) ? 1.0 : -1.0;
+    AccumulateH(row, medoid_id, lo, hi, lambda, h_row, size);
+    if (strategy_ == Strategy::kFast) {
+      prev_delta_[mcur[i]] = cur;
+    } else if (strategy_ == Strategy::kFastStar) {
+      prev_delta_[i] = cur;
+    }
+    PROCLUS_CHECK(*size > 0);  // the medoid itself is always inside L_i
+    double* x_row = x_.data() + static_cast<size_t>(i) * d;
+    for (int64_t j = 0; j < d; ++j) {
+      x_row[j] = h_row[j] / static_cast<double>(*size);
+    }
+  }
+}
+
+std::vector<std::vector<int>> CpuBackend::PickDimensions(
+    std::vector<int>* dims_flat, std::vector<int>* dims_offset) const {
+  const int64_t d = data_.cols();
+  const int k = params_.k;
+  const std::vector<double> z = ComputeZ(x_, k, d);
+  std::vector<std::vector<int>> dims = SelectDimensions(z, k, d, params_.l);
+  dims_flat->clear();
+  dims_offset->assign(k + 1, 0);
+  for (int i = 0; i < k; ++i) {
+    (*dims_offset)[i] = static_cast<int>(dims_flat->size());
+    dims_flat->insert(dims_flat->end(), dims[i].begin(), dims[i].end());
+  }
+  (*dims_offset)[k] = static_cast<int>(dims_flat->size());
+  return dims;
+}
+
+void CpuBackend::Assign(const std::vector<int>& medoid_ids,
+                        const std::vector<int>& dims_flat,
+                        const std::vector<int>& dims_offset,
+                        const std::vector<float>* outlier_radii,
+                        std::vector<int>* assignment) {
+  const int64_t n = data_.rows();
+  const int64_t d = data_.cols();
+  const int k = static_cast<int>(medoid_ids.size());
+  const float* values = data_.data();
+  assignment->resize(n);
+  executor_->ForChunks(n, [&](int64_t, int64_t lo, int64_t hi) {
+    for (int64_t p = lo; p < hi; ++p) {
+      const float* point = values + p * d;
+      float best = std::numeric_limits<float>::infinity();
+      int arg = 0;
+      bool within = false;
+      for (int i = 0; i < k; ++i) {
+        const int* dims = dims_flat.data() + dims_offset[i];
+        const int ndims = dims_offset[i + 1] - dims_offset[i];
+        const float sd = SegmentalDistance(
+            point, values + static_cast<int64_t>(medoid_ids[i]) * d, dims,
+            ndims);
+        if (sd < best) {
+          best = sd;
+          arg = i;
+        }
+        if (outlier_radii != nullptr && sd <= (*outlier_radii)[i]) {
+          within = true;
+        }
+      }
+      (*assignment)[p] =
+          (outlier_radii != nullptr && !within) ? kOutlier : arg;
+    }
+  });
+  segmental_distances_ += n * k;
+}
+
+double CpuBackend::Evaluate(const std::vector<int>& medoid_ids,
+                            const std::vector<int>& dims_flat,
+                            const std::vector<int>& dims_offset,
+                            const std::vector<int>& assignment,
+                            std::vector<int64_t>* cluster_sizes) {
+  const int64_t n = data_.rows();
+  const int64_t d = data_.cols();
+  const int k = static_cast<int>(medoid_ids.size());
+  const float* values = data_.data();
+  const int total_dims = dims_offset[k];
+  const int64_t chunks = NumChunks(n);
+
+  // Pass 1: per-cluster centroid sums over the selected dimensions.
+  chunk_scratch_.assign(static_cast<size_t>(chunks) * total_dims, 0.0);
+  chunk_counts_.assign(static_cast<size_t>(chunks) * k, 0);
+  executor_->ForChunks(n, [&](int64_t chunk, int64_t lo, int64_t hi) {
+    double* sums = chunk_scratch_.data() +
+                   static_cast<size_t>(chunk) * total_dims;
+    int64_t* counts = chunk_counts_.data() + static_cast<size_t>(chunk) * k;
+    for (int64_t p = lo; p < hi; ++p) {
+      const int c = assignment[p];
+      if (c == kOutlier) continue;
+      const float* point = values + p * d;
+      const int* dims = dims_flat.data() + dims_offset[c];
+      const int ndims = dims_offset[c + 1] - dims_offset[c];
+      double* cluster_sums = sums + dims_offset[c];
+      for (int s = 0; s < ndims; ++s) cluster_sums[s] += point[dims[s]];
+      ++counts[c];
+    }
+  });
+  std::vector<double> centroid(total_dims, 0.0);
+  std::vector<int64_t> sizes(k, 0);
+  for (int64_t chunk = 0; chunk < chunks; ++chunk) {
+    const double* sums =
+        chunk_scratch_.data() + static_cast<size_t>(chunk) * total_dims;
+    const int64_t* counts =
+        chunk_counts_.data() + static_cast<size_t>(chunk) * k;
+    for (int s = 0; s < total_dims; ++s) centroid[s] += sums[s];
+    for (int i = 0; i < k; ++i) sizes[i] += counts[i];
+  }
+  int64_t assigned = 0;
+  for (int i = 0; i < k; ++i) {
+    assigned += sizes[i];
+    if (sizes[i] == 0) continue;
+    double* row = centroid.data() + dims_offset[i];
+    const int ndims = dims_offset[i + 1] - dims_offset[i];
+    for (int s = 0; s < ndims; ++s) row[s] /= static_cast<double>(sizes[i]);
+  }
+  if (cluster_sizes != nullptr) *cluster_sizes = sizes;
+  if (assigned == 0) return 0.0;
+
+  // Pass 2: summed per-dimension deviations from the centroid (Eq. 9).
+  chunk_scratch_.assign(chunks, 0.0);
+  executor_->ForChunks(n, [&](int64_t chunk, int64_t lo, int64_t hi) {
+    double local = 0.0;
+    for (int64_t p = lo; p < hi; ++p) {
+      const int c = assignment[p];
+      if (c == kOutlier) continue;
+      const float* point = values + p * d;
+      const int* dims = dims_flat.data() + dims_offset[c];
+      const int ndims = dims_offset[c + 1] - dims_offset[c];
+      const double* mu = centroid.data() + dims_offset[c];
+      double sum = 0.0;
+      for (int s = 0; s < ndims; ++s) {
+        sum += std::abs(static_cast<double>(point[dims[s]]) - mu[s]);
+      }
+      local += sum / static_cast<double>(ndims);
+    }
+    chunk_scratch_[chunk] = local;
+  });
+  double cost = 0.0;
+  for (int64_t chunk = 0; chunk < chunks; ++chunk) {
+    cost += chunk_scratch_[chunk];
+  }
+  return cost / static_cast<double>(assigned);
+}
+
+IterationOutput CpuBackend::Iterate(const std::vector<int>& mcur_midx) {
+  PROCLUS_CHECK(static_cast<int>(mcur_midx.size()) == params_.k);
+  StopWatch watch;
+  EnsureDistances(mcur_midx);
+  ComputeDeltas(mcur_midx);
+  phases_.compute_distances += watch.ElapsedSeconds();
+  watch.Restart();
+  ComputeX(mcur_midx);
+  std::vector<int> dims_flat;
+  std::vector<int> dims_offset;
+  PickDimensions(&dims_flat, &dims_offset);
+  phases_.find_dimensions += watch.ElapsedSeconds();
+  watch.Restart();
+  for (int i = 0; i < params_.k; ++i) medoid_ids_[i] = m_ids_[mcur_midx[i]];
+  Assign(medoid_ids_, dims_flat, dims_offset, /*outlier_radii=*/nullptr,
+         &assignment_);
+  phases_.assign_points += watch.ElapsedSeconds();
+  watch.Restart();
+  IterationOutput out;
+  out.cost = Evaluate(medoid_ids_, dims_flat, dims_offset, assignment_,
+                      &out.cluster_sizes);
+  phases_.evaluate += watch.ElapsedSeconds();
+  return out;
+}
+
+void CpuBackend::SaveBest() { best_assignment_ = assignment_; }
+
+void CpuBackend::Refine(const std::vector<int>& mbest_midx,
+                        ProclusResult* result) {
+  StopWatch watch;
+  const int64_t n = data_.rows();
+  const int64_t d = data_.cols();
+  const int k = params_.k;
+  const float* values = data_.data();
+  std::vector<int> medoid_ids(k);
+  for (int i = 0; i < k; ++i) medoid_ids[i] = m_ids_[mbest_midx[i]];
+
+  // L <- CBest: per-dimension average distances over the best clusters.
+  const int64_t chunks = NumChunks(n);
+  chunk_scratch_.assign(static_cast<size_t>(chunks) * k * d, 0.0);
+  chunk_counts_.assign(static_cast<size_t>(chunks) * k, 0);
+  executor_->ForChunks(n, [&](int64_t chunk, int64_t lo, int64_t hi) {
+    double* sums =
+        chunk_scratch_.data() + static_cast<size_t>(chunk) * k * d;
+    int64_t* counts = chunk_counts_.data() + static_cast<size_t>(chunk) * k;
+    for (int64_t p = lo; p < hi; ++p) {
+      const int c = best_assignment_[p];
+      PROCLUS_DCHECK(c >= 0 && c < k);
+      const float* point = values + p * d;
+      const float* medoid =
+          values + static_cast<int64_t>(medoid_ids[c]) * d;
+      double* row = sums + static_cast<size_t>(c) * d;
+      for (int64_t j = 0; j < d; ++j) {
+        row[j] += std::abs(static_cast<double>(point[j]) -
+                           static_cast<double>(medoid[j]));
+      }
+      ++counts[c];
+    }
+  });
+  x_.assign(static_cast<size_t>(k) * d, 0.0);
+  std::vector<int64_t> sizes(k, 0);
+  for (int64_t chunk = 0; chunk < chunks; ++chunk) {
+    const double* sums =
+        chunk_scratch_.data() + static_cast<size_t>(chunk) * k * d;
+    const int64_t* counts =
+        chunk_counts_.data() + static_cast<size_t>(chunk) * k;
+    for (int64_t s = 0; s < static_cast<int64_t>(k) * d; ++s) x_[s] += sums[s];
+    for (int i = 0; i < k; ++i) sizes[i] += counts[i];
+  }
+  for (int i = 0; i < k; ++i) {
+    double* row = x_.data() + static_cast<size_t>(i) * d;
+    if (sizes[i] == 0) {
+      std::fill_n(row, d, 0.0);
+      continue;
+    }
+    for (int64_t j = 0; j < d; ++j) row[j] /= static_cast<double>(sizes[i]);
+  }
+  l_points_scanned_ += n;
+
+  std::vector<int> dims_flat;
+  std::vector<int> dims_offset;
+  result->dimensions = PickDimensions(&dims_flat, &dims_offset);
+
+  // Outlier radii: the smallest segmental distance to any other medoid, in
+  // each medoid's own subspace.
+  std::vector<float> radii(k, std::numeric_limits<float>::infinity());
+  for (int i = 0; i < k; ++i) {
+    const int* dims = dims_flat.data() + dims_offset[i];
+    const int ndims = dims_offset[i + 1] - dims_offset[i];
+    const float* mi = values + static_cast<int64_t>(medoid_ids[i]) * d;
+    for (int j = 0; j < k; ++j) {
+      if (j == i) continue;
+      const float sd = SegmentalDistance(
+          mi, values + static_cast<int64_t>(medoid_ids[j]) * d, dims, ndims);
+      if (sd < radii[i]) radii[i] = sd;
+    }
+  }
+
+  Assign(medoid_ids, dims_flat, dims_offset, &radii, &result->assignment);
+  result->refined_cost = Evaluate(medoid_ids, dims_flat, dims_offset,
+                                  result->assignment, nullptr);
+  phases_.refine += watch.ElapsedSeconds();
+}
+
+void CpuBackend::FillStats(RunStats* stats) const {
+  stats->phases = phases_;
+  stats->euclidean_distances = euclidean_distances_;
+  stats->l_points_scanned = l_points_scanned_;
+  stats->segmental_distances = segmental_distances_;
+  stats->greedy_distances = greedy_distances_;
+  stats->host_state_bytes =
+      dist_.capacity() * sizeof(float) + h_.capacity() * sizeof(double) +
+      l_size_.capacity() * sizeof(int64_t) +
+      prev_delta_.capacity() * sizeof(float) +
+      dist_found_.capacity() * sizeof(char) +
+      assignment_.capacity() * sizeof(int) +
+      best_assignment_.capacity() * sizeof(int) +
+      chunk_scratch_.capacity() * sizeof(double) +
+      chunk_counts_.capacity() * sizeof(int64_t);
+}
+
+}  // namespace proclus::core

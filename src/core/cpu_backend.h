@@ -1,0 +1,123 @@
+#ifndef PROCLUS_CORE_CPU_BACKEND_H_
+#define PROCLUS_CORE_CPU_BACKEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/executor.h"
+#include "data/matrix.h"
+
+namespace proclus::core {
+
+// CPU engine for PROCLUS / FAST-PROCLUS / FAST*-PROCLUS. The executor
+// decides single-core vs multi-core; both use the same fixed chunk
+// decomposition so results are bit-identical.
+//
+// The instance may be reused across runs (MultiParamRunner): when Setup is
+// called again with the same potential-medoid set, the FAST caches (Dist,
+// DistFound, H, |L|, previous radii) survive and keep saving work — the
+// paper's multi-parameter reuse (§3.1).
+class CpuBackend : public Backend {
+ public:
+  // `data` and `executor` must outlive the backend.
+  //
+  // `h_reuse` (kFast/kFastStar only) is an ablation knob: when false, the
+  // Dist/DistFound cache stays active but H is rebuilt from the full
+  // sphere every iteration, isolating the distance-caching half of §3 from
+  // the incremental-H half. Results are identical either way.
+  CpuBackend(const data::Matrix& data, Strategy strategy, Executor* executor,
+             bool h_reuse = true);
+
+  std::vector<int> GreedySelect(const std::vector<int>& candidates,
+                                int64_t pool_size, int64_t first) override;
+  void Setup(const ProclusParams& params,
+             const std::vector<int>& m_ids) override;
+  IterationOutput Iterate(const std::vector<int>& mcur_midx) override;
+  void SaveBest() override;
+  void Refine(const std::vector<int>& mbest_midx,
+              ProclusResult* result) override;
+  void FillStats(RunStats* stats) const override;
+
+  Strategy strategy() const { return strategy_; }
+
+ private:
+  // Fills `row` (length n) with Euclidean distances from data point
+  // `medoid_id` to every point.
+  void ComputeDistRow(int medoid_id, float* row);
+
+  // Distance row for current medoid slot `i` (strategy-dependent storage).
+  const float* DistRow(int i) const;
+
+  // Phase 1 of Iterate: make distance rows available for `mcur`.
+  void EnsureDistances(const std::vector<int>& mcur);
+
+  // Phase 2: nearest-other-medoid radius per current medoid.
+  void ComputeDeltas(const std::vector<int>& mcur);
+
+  // Phase 3: per-dimension average distances X (k x d) from the points in
+  // each medoid's sphere, via the strategy's H bookkeeping.
+  void ComputeX(const std::vector<int>& mcur);
+
+  // Full scan accumulating |p_j - m_j| over points with lo < dist <= hi into
+  // `h_row` (+= lambda * sum) and returning lambda * count added to size.
+  void AccumulateH(const float* dist_row, int medoid_id, float lo, float hi,
+                   double lambda, double* h_row, int64_t* size);
+
+  // AssignPoints (+ optional outlier removal when `outlier_radii` != null).
+  void Assign(const std::vector<int>& medoid_ids,
+              const std::vector<int>& dims_flat,
+              const std::vector<int>& dims_offset,
+              const std::vector<float>* outlier_radii,
+              std::vector<int>* assignment);
+
+  // EvaluateClusters (Eq. 2); kOutlier entries are skipped and the cost is
+  // normalized by the number of assigned points.
+  double Evaluate(const std::vector<int>& medoid_ids,
+                  const std::vector<int>& dims_flat,
+                  const std::vector<int>& dims_offset,
+                  const std::vector<int>& assignment,
+                  std::vector<int64_t>* cluster_sizes);
+
+  // Selects dimensions from x_ and flattens them.
+  std::vector<std::vector<int>> PickDimensions(
+      std::vector<int>* dims_flat, std::vector<int>* dims_offset) const;
+
+  const data::Matrix& data_;
+  const Strategy strategy_;
+  Executor* executor_;
+  const bool h_reuse_;
+
+  // Run state (Setup).
+  ProclusParams params_;
+  std::vector<int> m_ids_;
+  int64_t pool_size_ = 0;
+
+  // Strategy caches.
+  std::vector<float> dist_;        // baseline/fast*: k x n; fast: pool x n
+  std::vector<char> dist_found_;   // fast: pool
+  std::vector<double> h_;          // fast: pool x d; fast*: k x d
+  std::vector<int64_t> l_size_;    // fast: pool; fast*: k
+  std::vector<float> prev_delta_;  // fast: pool; fast*: k (-1 = unused)
+  std::vector<int> prev_mcur_;     // fast*: k (-1 = none)
+
+  // Per-iteration scratch.
+  std::vector<float> delta_;        // k
+  std::vector<double> x_;           // k x d
+  std::vector<int> medoid_ids_;     // k, data-point ids of mcur
+  std::vector<int> assignment_;     // n
+  std::vector<int> best_assignment_;
+  std::vector<double> chunk_scratch_;   // per-chunk partial accumulators
+  std::vector<int64_t> chunk_counts_;
+
+  // Counters.
+  int64_t euclidean_distances_ = 0;
+  int64_t l_points_scanned_ = 0;
+  int64_t segmental_distances_ = 0;
+  int64_t greedy_distances_ = 0;
+  PhaseSeconds phases_;
+};
+
+}  // namespace proclus::core
+
+#endif  // PROCLUS_CORE_CPU_BACKEND_H_

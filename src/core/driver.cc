@@ -1,0 +1,137 @@
+#include "core/driver.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+#include "core/subroutines.h"
+
+namespace proclus::core {
+
+std::vector<int> ReplaceBadMedoids(const std::vector<int>& mbest,
+                                   const std::vector<int>& bad,
+                                   int64_t pool_size, Rng& rng) {
+  std::vector<int> mcur = mbest;
+  // Potential medoids not currently in use, ascending.
+  std::vector<char> used(pool_size, 0);
+  for (const int midx : mcur) {
+    PROCLUS_CHECK(midx >= 0 && midx < pool_size);
+    used[midx] = 1;
+  }
+  std::vector<int> unused;
+  unused.reserve(pool_size - static_cast<int64_t>(mcur.size()));
+  for (int64_t m = 0; m < pool_size; ++m) {
+    if (!used[m]) unused.push_back(static_cast<int>(m));
+  }
+  for (const int slot : bad) {
+    PROCLUS_CHECK(slot >= 0 && slot < static_cast<int>(mcur.size()));
+    if (unused.empty()) break;  // pool exhausted (B*k == k); keep medoid
+    const int64_t pick = rng.UniformInt(static_cast<int64_t>(unused.size()));
+    mcur[slot] = unused[pick];
+    unused.erase(unused.begin() + pick);
+  }
+  return mcur;
+}
+
+Status RunProclusPhases(const data::Matrix& data, const ProclusParams& params,
+                        Backend& backend, Rng& rng,
+                        const DriverOptions& options, ProclusResult* result) {
+  PROCLUS_CHECK(result != nullptr);
+  const int64_t n = data.rows();
+  PROCLUS_RETURN_NOT_OK(params.Validate(n, data.cols()));
+
+  // --- Initialization phase -------------------------------------------------
+  std::vector<int> m_ids;
+  if (options.preset_m != nullptr) {
+    m_ids = *options.preset_m;
+    if (static_cast<int64_t>(m_ids.size()) < params.k) {
+      return Status::InvalidArgument("preset medoid pool smaller than k");
+    }
+  } else if (options.preset_candidates != nullptr) {
+    const auto& candidates = *options.preset_candidates;
+    const int64_t pool = options.preset_pool_size > 0
+                             ? options.preset_pool_size
+                             : params.MedoidPoolSize(n);
+    if (pool < params.k ||
+        pool > static_cast<int64_t>(candidates.size()) ||
+        options.preset_first < 0 ||
+        options.preset_first >= static_cast<int64_t>(candidates.size())) {
+      return Status::InvalidArgument("invalid preset greedy candidates");
+    }
+    m_ids = backend.GreedySelect(candidates, pool, options.preset_first);
+  } else {
+    const int64_t sample_size = params.SampleSize(n);
+    const int64_t pool_size = params.MedoidPoolSize(n);
+    const std::vector<int> data_prime =
+        rng.SampleWithoutReplacement(n, sample_size);
+    const int64_t first = rng.UniformInt(sample_size);
+    m_ids = backend.GreedySelect(data_prime, pool_size, first);
+    PROCLUS_CHECK(static_cast<int64_t>(m_ids.size()) == pool_size);
+  }
+  const int64_t pool_size = static_cast<int64_t>(m_ids.size());
+
+  backend.Setup(params, m_ids);
+
+  // Initial current medoids: a random k-subset of M, or the warm start.
+  std::vector<int> mcur;
+  if (options.warm_start_midx != nullptr) {
+    for (const int midx : *options.warm_start_midx) {
+      PROCLUS_CHECK(midx >= 0 && midx < pool_size);
+      if (static_cast<int>(mcur.size()) < params.k) mcur.push_back(midx);
+    }
+    if (static_cast<int>(mcur.size()) < params.k) {
+      // Top up with random distinct potential medoids.
+      std::vector<char> used(pool_size, 0);
+      for (const int midx : mcur) used[midx] = 1;
+      std::vector<int> unused;
+      for (int64_t m = 0; m < pool_size; ++m) {
+        if (!used[m]) unused.push_back(static_cast<int>(m));
+      }
+      while (static_cast<int>(mcur.size()) < params.k) {
+        const int64_t pick =
+            rng.UniformInt(static_cast<int64_t>(unused.size()));
+        mcur.push_back(unused[pick]);
+        unused.erase(unused.begin() + pick);
+      }
+    }
+  } else {
+    mcur = rng.SampleWithoutReplacement(pool_size, params.k);
+  }
+
+  // --- Iterative phase -------------------------------------------------------
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<int> mbest = mcur;
+  std::vector<int64_t> best_sizes;
+  int itr = 0;
+  int total_iterations = 0;
+  while (itr < params.itr_pat &&
+         total_iterations < params.max_total_iterations) {
+    const IterationOutput out = backend.Iterate(mcur);
+    ++total_iterations;
+    if (out.cost < best_cost) {
+      itr = 0;
+      best_cost = out.cost;
+      mbest = mcur;
+      best_sizes = out.cluster_sizes;
+      backend.SaveBest();
+    } else {
+      ++itr;
+    }
+    const std::vector<int> bad =
+        ComputeBadMedoids(best_sizes, n, params.min_dev);
+    mcur = ReplaceBadMedoids(mbest, bad, pool_size, rng);
+  }
+
+  // --- Refinement phase -------------------------------------------------------
+  result->medoids.resize(params.k);
+  for (int i = 0; i < params.k; ++i) result->medoids[i] = m_ids[mbest[i]];
+  result->iterative_cost = best_cost;
+  backend.Refine(mbest, result);
+
+  result->stats = RunStats{};
+  backend.FillStats(&result->stats);
+  result->stats.iterations = total_iterations;
+  return Status::OK();
+}
+
+}  // namespace proclus::core

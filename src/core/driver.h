@@ -1,0 +1,52 @@
+#ifndef PROCLUS_CORE_DRIVER_H_
+#define PROCLUS_CORE_DRIVER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/backend.h"
+#include "core/params.h"
+#include "core/result.h"
+#include "data/matrix.h"
+
+namespace proclus::core {
+
+// Optional driver inputs used by the multi-parameter runner (§3.1).
+struct DriverOptions {
+  // When set, skips Data' sampling and greedy selection and uses these
+  // data-point ids as the potential medoid set M (multi-param level >= 2).
+  const std::vector<int>* preset_m = nullptr;
+  // When set (and preset_m is not), skips only the Data' sampling: greedy
+  // selection still runs, over these candidate ids starting at index
+  // `preset_first`, picking `preset_pool_size` medoids (multi-param level 1,
+  // which shares Data' across settings but re-pays the greedy cost).
+  const std::vector<int>* preset_candidates = nullptr;
+  int64_t preset_first = 0;
+  int64_t preset_pool_size = 0;
+  // When set, the initial current medoids are drawn from these indices into
+  // M instead of from all of M (multi-param level 3 warm start). Must be
+  // distinct valid indices; if fewer than k, the remainder is drawn from M.
+  const std::vector<int>* warm_start_midx = nullptr;
+};
+
+// Runs the three PROCLUS phases (Algorithm 1) against `backend`. All random
+// draws come from `rng` in the documented order (common/rng.h), and all
+// control flow (termination, bad-medoid replacement) lives here, so two
+// backends driven with equal-seeded Rngs produce the identical clustering.
+//
+// On success fills `result` (including stats from the backend; wall-clock
+// time is the caller's concern).
+Status RunProclusPhases(const data::Matrix& data, const ProclusParams& params,
+                        Backend& backend, Rng& rng,
+                        const DriverOptions& options, ProclusResult* result);
+
+// Builds the next current-medoid set: MBest with the bad medoids replaced by
+// random unused potential medoids (Algorithm 1 line 14). Exposed for tests.
+std::vector<int> ReplaceBadMedoids(const std::vector<int>& mbest,
+                                   const std::vector<int>& bad,
+                                   int64_t pool_size, Rng& rng);
+
+}  // namespace proclus::core
+
+#endif  // PROCLUS_CORE_DRIVER_H_

@@ -1,0 +1,88 @@
+#ifndef PROCLUS_CORE_EXECUTOR_H_
+#define PROCLUS_CORE_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "parallel/thread_pool.h"
+
+namespace proclus::core {
+
+// Fixed chunk size used by every data-parallel loop in the CPU backends.
+// Keeping the chunk decomposition identical between the sequential and the
+// multi-core executor (and combining per-chunk partial results in chunk
+// order) makes floating-point accumulations bit-identical across executors.
+inline constexpr int64_t kLoopChunk = 8192;
+
+// Returns the number of fixed-size chunks covering [0, total).
+inline int64_t NumChunks(int64_t total, int64_t chunk = kLoopChunk) {
+  return (total + chunk - 1) / chunk;
+}
+
+// Execution policy for the CPU backends' hot loops. fn receives
+// (chunk_index, begin, end) for every chunk of `kLoopChunk` iterations.
+// Implementations guarantee all chunks have completed on return; they do NOT
+// guarantee execution order, so chunks must be independent and any
+// order-sensitive reduction must combine per-chunk partials afterwards.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual int num_workers() const = 0;
+  virtual void ForChunks(
+      int64_t total,
+      const std::function<void(int64_t, int64_t, int64_t)>& fn) = 0;
+};
+
+// Runs chunks in order on the calling thread (the paper's single-core
+// PROCLUS / FAST-PROCLUS / FAST*-PROCLUS).
+class SequentialExecutor : public Executor {
+ public:
+  int num_workers() const override { return 1; }
+  void ForChunks(
+      int64_t total,
+      const std::function<void(int64_t, int64_t, int64_t)>& fn) override {
+    const int64_t chunks = NumChunks(total);
+    for (int64_t c = 0; c < chunks; ++c) {
+      const int64_t lo = c * kLoopChunk;
+      const int64_t hi = lo + kLoopChunk < total ? lo + kLoopChunk : total;
+      fn(c, lo, hi);
+    }
+  }
+};
+
+// Distributes chunks over a thread pool (the paper's multi-core OpenMP
+// variants).
+class PoolExecutor : public Executor {
+ public:
+  explicit PoolExecutor(parallel::ThreadPool* pool) : pool_(pool) {}
+
+  int num_workers() const override { return pool_->num_threads(); }
+
+  void ForChunks(
+      int64_t total,
+      const std::function<void(int64_t, int64_t, int64_t)>& fn) override {
+    const int64_t chunks = NumChunks(total);
+    if (chunks <= 1) {
+      if (total > 0) fn(0, 0, total);
+      return;
+    }
+    parallel::ParallelForChunked(
+        *pool_, 0, chunks,
+        [&fn, total](int64_t chunk_lo, int64_t chunk_hi) {
+          for (int64_t c = chunk_lo; c < chunk_hi; ++c) {
+            const int64_t lo = c * kLoopChunk;
+            const int64_t hi =
+                lo + kLoopChunk < total ? lo + kLoopChunk : total;
+            fn(c, lo, hi);
+          }
+        },
+        /*grain=*/1);
+  }
+
+ private:
+  parallel::ThreadPool* pool_;
+};
+
+}  // namespace proclus::core
+
+#endif  // PROCLUS_CORE_EXECUTOR_H_

@@ -1,0 +1,195 @@
+#include "core/multi_param.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/cpu_backend.h"
+#include "core/driver.h"
+#include "core/executor.h"
+#include "core/gpu_backend.h"
+#include "parallel/thread_pool.h"
+
+namespace proclus::core {
+
+namespace {
+
+// Per-setting seed, derived so every setting is deterministic and
+// independent of how much is shared between settings.
+uint64_t SettingSeed(uint64_t base_seed, size_t idx) {
+  return base_seed ^ (0x9e3779b97f4a7c15ULL * (idx + 1));
+}
+
+}  // namespace
+
+const char* ReuseLevelName(ReuseLevel level) {
+  switch (level) {
+    case ReuseLevel::kNone:
+      return "independent";
+    case ReuseLevel::kCache:
+      return "multi-param 1";
+    case ReuseLevel::kGreedy:
+      return "multi-param 2";
+    case ReuseLevel::kWarmStart:
+      return "multi-param 3";
+  }
+  return "?";
+}
+
+std::vector<ParamSetting> DefaultSettingsGrid(const ProclusParams& base) {
+  std::vector<ParamSetting> settings;
+  for (const int k : {base.k - 2, base.k, base.k + 2}) {
+    for (const int l : {base.l - 1, base.l, base.l + 1}) {
+      settings.push_back({std::max(k, 1), std::max(l, 2)});
+    }
+  }
+  return settings;
+}
+
+Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
+                     const std::vector<ParamSetting>& settings,
+                     const MultiParamOptions& options,
+                     MultiParamOutput* output) {
+  if (output == nullptr) {
+    return Status::InvalidArgument("output must not be null");
+  }
+  if (settings.empty()) {
+    return Status::InvalidArgument("settings must not be empty");
+  }
+  output->results.clear();
+  output->setting_seconds.clear();
+
+  // Validate every setting up front.
+  int k_max = 0;
+  for (const ParamSetting& s : settings) {
+    ProclusParams p = base;
+    p.k = s.k;
+    p.l = s.l;
+    PROCLUS_RETURN_NOT_OK(p.Validate(data.rows(), data.cols()));
+    k_max = std::max(k_max, s.k);
+  }
+
+  StopWatch total_watch;
+
+  if (options.reuse == ReuseLevel::kNone) {
+    // Independent runs, one fresh engine per setting.
+    for (size_t idx = 0; idx < settings.size(); ++idx) {
+      ProclusParams p = base;
+      p.k = settings[idx].k;
+      p.l = settings[idx].l;
+      p.seed = SettingSeed(base.seed, idx);
+      StopWatch watch;
+      ProclusResult result;
+      PROCLUS_RETURN_NOT_OK(Cluster(data, p, options.cluster, &result));
+      output->setting_seconds.push_back(watch.ElapsedSeconds());
+      output->results.push_back(std::move(result));
+    }
+    output->total_seconds = total_watch.ElapsedSeconds();
+    return Status::OK();
+  }
+
+  // Shared engine so the Dist/H caches survive across settings.
+  parallel::ThreadPool pool(options.cluster.backend ==
+                                    ComputeBackend::kMultiCore
+                                ? options.cluster.num_threads
+                                : 1);
+  PoolExecutor pool_executor(&pool);
+  SequentialExecutor seq_executor;
+  std::unique_ptr<simt::Device> owned_device;
+  std::unique_ptr<Backend> backend;
+  switch (options.cluster.backend) {
+    case ComputeBackend::kCpu:
+      backend = std::make_unique<CpuBackend>(data, options.cluster.strategy,
+                                             &seq_executor);
+      break;
+    case ComputeBackend::kMultiCore:
+      backend = std::make_unique<CpuBackend>(data, options.cluster.strategy,
+                                             &pool_executor);
+      break;
+    case ComputeBackend::kGpu: {
+      simt::Device* device = options.cluster.device;
+      if (device == nullptr) {
+        owned_device = std::make_unique<simt::Device>(
+            options.cluster.device_properties);
+        device = owned_device.get();
+      }
+      GpuBackendOptions gpu_options;
+      gpu_options.assign_block_dim = options.cluster.gpu_assign_block_dim;
+      gpu_options.use_streams = options.cluster.gpu_streams;
+      gpu_options.device_dim_selection =
+          options.cluster.gpu_device_dim_selection;
+      backend = std::make_unique<GpuBackend>(data, options.cluster.strategy,
+                                             device, gpu_options);
+      break;
+    }
+  }
+
+  // Shared initialization draws: Data' and the greedy start are sampled once
+  // for the largest k, so M (and therefore the Dist/H caches) is identical
+  // across settings (§3.1).
+  ProclusParams sizing = base;
+  sizing.k = k_max;
+  Rng shared_rng(base.seed);
+  const int64_t sample_size = sizing.SampleSize(data.rows());
+  const int64_t pool_size = sizing.MedoidPoolSize(data.rows());
+  const std::vector<int> data_prime =
+      shared_rng.SampleWithoutReplacement(data.rows(), sample_size);
+  const int64_t first = shared_rng.UniformInt(sample_size);
+
+  std::vector<int> m_global;
+  std::unordered_map<int, int> id_to_midx;
+  if (options.reuse >= ReuseLevel::kGreedy) {
+    m_global = backend->GreedySelect(data_prime, pool_size, first);
+    for (size_t m = 0; m < m_global.size(); ++m) {
+      id_to_midx[m_global[m]] = static_cast<int>(m);
+    }
+  }
+
+  std::vector<int> warm_start;
+  for (size_t idx = 0; idx < settings.size(); ++idx) {
+    ProclusParams p = base;
+    p.k = settings[idx].k;
+    p.l = settings[idx].l;
+    p.seed = SettingSeed(base.seed, idx);
+    Rng rng(p.seed);
+
+    DriverOptions driver_options;
+    if (options.reuse >= ReuseLevel::kGreedy) {
+      driver_options.preset_m = &m_global;
+    } else {
+      driver_options.preset_candidates = &data_prime;
+      driver_options.preset_first = first;
+      driver_options.preset_pool_size = pool_size;
+    }
+    if (options.reuse >= ReuseLevel::kWarmStart && !warm_start.empty()) {
+      driver_options.warm_start_midx = &warm_start;
+    }
+
+    StopWatch watch;
+    ProclusResult result;
+    PROCLUS_RETURN_NOT_OK(RunProclusPhases(data, p, *backend, rng,
+                                           driver_options, &result));
+    output->setting_seconds.push_back(watch.ElapsedSeconds());
+
+    if (options.reuse >= ReuseLevel::kWarmStart) {
+      if (id_to_midx.empty()) {
+        // Level-3 requires the id->index map even when greedy re-ran.
+        for (size_t m = 0; m < m_global.size(); ++m) {
+          id_to_midx[m_global[m]] = static_cast<int>(m);
+        }
+      }
+      warm_start.clear();
+      for (const int id : result.medoids) {
+        const auto it = id_to_midx.find(id);
+        if (it != id_to_midx.end()) warm_start.push_back(it->second);
+      }
+    }
+    output->results.push_back(std::move(result));
+  }
+  output->total_seconds = total_watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace proclus::core

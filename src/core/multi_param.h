@@ -1,0 +1,61 @@
+#ifndef PROCLUS_CORE_MULTI_PARAM_H_
+#define PROCLUS_CORE_MULTI_PARAM_H_
+
+#include <vector>
+
+#include "core/api.h"
+#include "core/params.h"
+#include "core/result.h"
+
+namespace proclus::core {
+
+// One (k, l) parameter setting of a multi-parameter exploration (§3.1).
+struct ParamSetting {
+  int k = 10;
+  int l = 5;
+};
+
+// How much is reused between parameter settings (§3.1 / §5.3):
+//   kNone      — independent runs (the baseline the paper compares against).
+//   kCache     — multi-param 1: Data' and the greedy start are shared, so
+//                the selected pool M is identical across settings and the
+//                Dist/H caches stay valid; the greedy selection itself is
+//                re-executed per setting.
+//   kGreedy    — multi-param 2: additionally reuses the greedy picking (M is
+//                computed once, for the largest k).
+//   kWarmStart — multi-param 3: additionally initializes each setting's
+//                current medoids from the previous setting's best medoids.
+enum class ReuseLevel { kNone = 0, kCache = 1, kGreedy = 2, kWarmStart = 3 };
+
+const char* ReuseLevelName(ReuseLevel level);
+
+struct MultiParamOptions {
+  ClusterOptions cluster;  // backend / strategy / threads / device
+  ReuseLevel reuse = ReuseLevel::kWarmStart;
+};
+
+struct MultiParamOutput {
+  // One result per setting, in input order.
+  std::vector<ProclusResult> results;
+  // Wall-clock seconds per setting (the quantity Figs. 3a-3e average).
+  std::vector<double> setting_seconds;
+  double total_seconds = 0.0;
+};
+
+// Runs PROCLUS for every setting in `settings`, sharing work according to
+// `options.reuse`. `base` supplies the non-(k,l) parameters (A, B, minDev,
+// itrPat, seed); each setting overrides k and l. The potential-medoid pool
+// is sized for the largest k in `settings`, exactly as §3.1 prescribes.
+Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
+                     const std::vector<ParamSetting>& settings,
+                     const MultiParamOptions& options,
+                     MultiParamOutput* output);
+
+// The 9 (k, l) combinations used by the paper's multi-parameter experiments
+// (§5.3): k in {base.k - 2, base.k, base.k + 2} x l in {base.l - 1, base.l,
+// base.l + 1}.
+std::vector<ParamSetting> DefaultSettingsGrid(const ProclusParams& base);
+
+}  // namespace proclus::core
+
+#endif  // PROCLUS_CORE_MULTI_PARAM_H_

@@ -1,0 +1,47 @@
+#include "core/params.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace proclus::core {
+
+Status ProclusParams::Validate(int64_t n, int64_t d) const {
+  if (n <= 0) return Status::InvalidArgument("dataset is empty");
+  if (d <= 0) return Status::InvalidArgument("dataset has no dimensions");
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (l < 2) {
+    return Status::InvalidArgument(
+        "l must be >= 2 (PROCLUS picks at least two dimensions per cluster)");
+  }
+  if (l > d) {
+    return Status::InvalidArgument("l must be <= the data dimensionality");
+  }
+  if (a < 1.0) return Status::InvalidArgument("A must be >= 1");
+  if (b < 1.0) return Status::InvalidArgument("B must be >= 1");
+  if (b > a) return Status::InvalidArgument("B must be <= A");
+  if (min_dev <= 0.0 || min_dev > 1.0) {
+    return Status::InvalidArgument("minDev must be in (0, 1]");
+  }
+  if (itr_pat < 1) return Status::InvalidArgument("itrPat must be >= 1");
+  if (max_total_iterations < 1) {
+    return Status::InvalidArgument("max_total_iterations must be >= 1");
+  }
+  if (MedoidPoolSize(n) < k) {
+    return Status::InvalidArgument(
+        "potential medoid pool smaller than k (dataset too small for B*k)");
+  }
+  return Status::OK();
+}
+
+int64_t ProclusParams::SampleSize(int64_t n) const {
+  const int64_t want = static_cast<int64_t>(std::llround(a * k));
+  return std::min(want, n);
+}
+
+int64_t ProclusParams::MedoidPoolSize(int64_t n) const {
+  const int64_t want = static_cast<int64_t>(std::llround(b * k));
+  return std::min(want, SampleSize(n));
+}
+
+}  // namespace proclus::core

@@ -1,0 +1,44 @@
+#ifndef PROCLUS_CORE_PARAMS_H_
+#define PROCLUS_CORE_PARAMS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace proclus::core {
+
+// PROCLUS parameters (Table 1 of the paper). Defaults are the paper's
+// experiment defaults: k=10, l=5, A=100, B=10, minDev=0.7, itrPat=5.
+struct ProclusParams {
+  // Number of clusters.
+  int k = 10;
+  // Average number of dimensions per cluster; the algorithm selects k*l
+  // dimensions in total, at least 2 per cluster (so l >= 2 is required).
+  int l = 5;
+  // Size multiplier for the random sample Data' (|Data'| = A*k, capped at n).
+  double a = 100.0;
+  // Size multiplier for the potential-medoid set M (|M| = B*k <= |Data'|).
+  double b = 10.0;
+  // A cluster is "bad" when its size is below (n/k)*min_dev.
+  double min_dev = 0.7;
+  // The iterative phase stops after itr_pat iterations without improvement.
+  int itr_pat = 5;
+  // Seed for all random decisions; a fixed seed yields the identical
+  // clustering from every backend and strategy.
+  uint64_t seed = 42;
+  // Safety cap on total iterative-phase iterations.
+  int max_total_iterations = 1000;
+
+  // Validates the parameters against a dataset of `n` points and `d`
+  // dimensions.
+  Status Validate(int64_t n, int64_t d) const;
+
+  // |Data'| after capping at n.
+  int64_t SampleSize(int64_t n) const;
+  // |M| after capping at |Data'|.
+  int64_t MedoidPoolSize(int64_t n) const;
+};
+
+}  // namespace proclus::core
+
+#endif  // PROCLUS_CORE_PARAMS_H_

@@ -1,0 +1,34 @@
+#include "core/result.h"
+
+#include "common/macros.h"
+
+namespace proclus::core {
+
+std::vector<std::vector<int>> ProclusResult::Clusters() const {
+  std::vector<std::vector<int>> clusters(medoids.size());
+  for (int64_t p = 0; p < static_cast<int64_t>(assignment.size()); ++p) {
+    const int c = assignment[p];
+    if (c == kOutlier) continue;
+    PROCLUS_CHECK(c >= 0 && c < static_cast<int>(clusters.size()));
+    clusters[c].push_back(static_cast<int>(p));
+  }
+  return clusters;
+}
+
+std::vector<int64_t> ProclusResult::ClusterSizes() const {
+  std::vector<int64_t> sizes(medoids.size(), 0);
+  for (const int c : assignment) {
+    if (c == kOutlier) continue;
+    PROCLUS_CHECK(c >= 0 && c < static_cast<int>(sizes.size()));
+    ++sizes[c];
+  }
+  return sizes;
+}
+
+int64_t ProclusResult::NumOutliers() const {
+  int64_t count = 0;
+  for (const int c : assignment) count += (c == kOutlier) ? 1 : 0;
+  return count;
+}
+
+}  // namespace proclus::core

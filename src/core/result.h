@@ -1,0 +1,82 @@
+#ifndef PROCLUS_CORE_RESULT_H_
+#define PROCLUS_CORE_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace proclus::core {
+
+// Assignment value for points classified as outliers in the refinement
+// phase.
+inline constexpr int kOutlier = -1;
+
+// Wall-clock seconds spent per algorithm phase (host side; for the GPU
+// backend this includes simulator execution and is proportional to kernel
+// work). Supports the paper's O(n*k*d) hotspot analysis (§3): ComputeL,
+// AssignPoints and EvaluateClusters dominate.
+struct PhaseSeconds {
+  double greedy = 0.0;
+  double compute_distances = 0.0;  // ComputeL: distance rows + radii + bands
+  double find_dimensions = 0.0;    // H/X update + Z + selection
+  double assign_points = 0.0;
+  double evaluate = 0.0;
+  double refine = 0.0;
+
+  double Total() const {
+    return greedy + compute_distances + find_dimensions + assign_points +
+           evaluate + refine;
+  }
+};
+
+// Run statistics filled in by the engines; useful for the benchmarks and for
+// verifying the FAST strategies actually skip work.
+struct RunStats {
+  // Total iterative-phase iterations executed.
+  int iterations = 0;
+  // Full-dimensional Euclidean point-distance computations (the O(nkd)
+  // hotspot the FAST strategies reduce).
+  int64_t euclidean_distances = 0;
+  // Points scanned when building L (baseline) or Delta-L (FAST variants).
+  int64_t l_points_scanned = 0;
+  // Segmental distance computations (AssignPoints).
+  int64_t segmental_distances = 0;
+  // Greedy-phase distance computations.
+  int64_t greedy_distances = 0;
+  // GPU backend only: modeled device time and memory footprint.
+  double modeled_gpu_seconds = 0.0;
+  double modeled_transfer_seconds = 0.0;
+  uint64_t device_peak_bytes = 0;
+  // Host-side bytes used for algorithm state (CPU backends).
+  uint64_t host_state_bytes = 0;
+  // Per-phase wall-clock breakdown.
+  PhaseSeconds phases;
+};
+
+// Output of a PROCLUS run: k disjoint projected clusters plus outliers.
+struct ProclusResult {
+  // Data-point ids of the k medoids (MBest after refinement).
+  std::vector<int> medoids;
+  // Selected dimensions per cluster, sorted ascending; sizes sum to k*l and
+  // every cluster has >= 2 dimensions.
+  std::vector<std::vector<int>> dimensions;
+  // Cluster index in [0, k) per point, or kOutlier.
+  std::vector<int> assignment;
+  // Best clustering cost found in the iterative phase (Eq. 2).
+  double iterative_cost = 0.0;
+  // Cost of the returned (refined) clustering, outliers excluded.
+  double refined_cost = 0.0;
+  RunStats stats;
+
+  int k() const { return static_cast<int>(medoids.size()); }
+
+  // Point ids per cluster, derived from `assignment`.
+  std::vector<std::vector<int>> Clusters() const;
+  // Number of points assigned to cluster `i`.
+  std::vector<int64_t> ClusterSizes() const;
+  // Number of outlier points.
+  int64_t NumOutliers() const;
+};
+
+}  // namespace proclus::core
+
+#endif  // PROCLUS_CORE_RESULT_H_

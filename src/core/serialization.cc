@@ -1,0 +1,132 @@
+#include "core/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace proclus::core {
+
+namespace {
+constexpr const char* kHeader = "proclus-result v1";
+}  // namespace
+
+Status WriteResult(const ProclusResult& result, std::ostream& out) {
+  const int k = result.k();
+  if (static_cast<int>(result.dimensions.size()) != k) {
+    return Status::InvalidArgument(
+        "result has mismatched medoid/dimension counts");
+  }
+  out << kHeader << '\n';
+  out << "k " << k << '\n';
+  out << "n " << result.assignment.size() << '\n';
+  out << "medoids";
+  for (const int m : result.medoids) out << ' ' << m;
+  out << '\n';
+  for (int i = 0; i < k; ++i) {
+    out << "dims " << i;
+    for (const int dim : result.dimensions[i]) out << ' ' << dim;
+    out << '\n';
+  }
+  out.precision(17);
+  out << "iterative_cost " << result.iterative_cost << '\n';
+  out << "refined_cost " << result.refined_cost << '\n';
+  out << "assignment";
+  for (const int c : result.assignment) out << ' ' << c;
+  out << '\n';
+  if (!out.good()) return Status::IoError("stream write failed");
+  return Status::OK();
+}
+
+Status WriteResultToFile(const ProclusResult& result,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return WriteResult(result, out);
+}
+
+Status ReadResult(std::istream& in, ProclusResult* result) {
+  if (result == nullptr) {
+    return Status::InvalidArgument("result must not be null");
+  }
+  *result = ProclusResult();
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::IoError("missing or unsupported header");
+  }
+  auto expect_keyword = [&](const std::string& keyword,
+                            std::istringstream* body) -> Status {
+    if (!std::getline(in, line)) {
+      return Status::IoError("unexpected end of input before " + keyword);
+    }
+    body->str(line);
+    body->clear();
+    std::string word;
+    if (!(*body >> word) || word != keyword) {
+      return Status::IoError("expected '" + keyword + "' line, got: " + line);
+    }
+    return Status::OK();
+  };
+
+  std::istringstream body;
+  int k = 0;
+  PROCLUS_RETURN_NOT_OK(expect_keyword("k", &body));
+  if (!(body >> k) || k < 0) return Status::IoError("bad k");
+  int64_t n = 0;
+  PROCLUS_RETURN_NOT_OK(expect_keyword("n", &body));
+  if (!(body >> n) || n < 0) return Status::IoError("bad n");
+
+  PROCLUS_RETURN_NOT_OK(expect_keyword("medoids", &body));
+  result->medoids.resize(k);
+  for (int i = 0; i < k; ++i) {
+    if (!(body >> result->medoids[i])) {
+      return Status::IoError("truncated medoids line");
+    }
+  }
+
+  result->dimensions.resize(k);
+  for (int i = 0; i < k; ++i) {
+    PROCLUS_RETURN_NOT_OK(expect_keyword("dims", &body));
+    int cluster = -1;
+    if (!(body >> cluster) || cluster != i) {
+      return Status::IoError("dims lines out of order");
+    }
+    int dim = 0;
+    while (body >> dim) result->dimensions[i].push_back(dim);
+    if (result->dimensions[i].empty()) {
+      return Status::IoError("cluster without dimensions");
+    }
+  }
+
+  PROCLUS_RETURN_NOT_OK(expect_keyword("iterative_cost", &body));
+  if (!(body >> result->iterative_cost)) {
+    return Status::IoError("bad iterative_cost");
+  }
+  PROCLUS_RETURN_NOT_OK(expect_keyword("refined_cost", &body));
+  if (!(body >> result->refined_cost)) {
+    return Status::IoError("bad refined_cost");
+  }
+
+  PROCLUS_RETURN_NOT_OK(expect_keyword("assignment", &body));
+  result->assignment.resize(n);
+  for (int64_t p = 0; p < n; ++p) {
+    if (!(body >> result->assignment[p])) {
+      return Status::IoError("truncated assignment line");
+    }
+    if (result->assignment[p] != kOutlier &&
+        (result->assignment[p] < 0 || result->assignment[p] >= k)) {
+      return Status::IoError("assignment value out of range");
+    }
+  }
+  return Status::OK();
+}
+
+Status ReadResultFromFile(const std::string& path, ProclusResult* result) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  return ReadResult(in, result);
+}
+
+}  // namespace proclus::core

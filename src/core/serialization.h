@@ -1,0 +1,36 @@
+#ifndef PROCLUS_CORE_SERIALIZATION_H_
+#define PROCLUS_CORE_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "core/result.h"
+
+namespace proclus::core {
+
+// Plain-text serialization of a ProclusResult (medoids, dimensions,
+// assignment, costs; run statistics are not persisted). The format is
+// line-oriented and versioned:
+//
+//   proclus-result v1
+//   k <k>
+//   n <n>
+//   medoids <id> ... <id>
+//   dims <cluster> <dim> ... <dim>        (one line per cluster)
+//   iterative_cost <double>
+//   refined_cost <double>
+//   assignment <c0> <c1> ... <c{n-1}>
+//
+// Lets pipelines persist clusterings and reload them without re-running.
+
+Status WriteResult(const ProclusResult& result, std::ostream& out);
+Status WriteResultToFile(const ProclusResult& result,
+                         const std::string& path);
+
+Status ReadResult(std::istream& in, ProclusResult* result);
+Status ReadResultFromFile(const std::string& path, ProclusResult* result);
+
+}  // namespace proclus::core
+
+#endif  // PROCLUS_CORE_SERIALIZATION_H_

@@ -1,0 +1,136 @@
+#include "core/subroutines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "common/macros.h"
+#include "core/result.h"
+
+namespace proclus::core {
+
+std::vector<double> ComputeZ(const std::vector<double>& x, int k, int64_t d) {
+  PROCLUS_CHECK(static_cast<int64_t>(x.size()) == k * d);
+  PROCLUS_CHECK(d >= 2);
+  std::vector<double> z(x.size(), 0.0);
+  for (int i = 0; i < k; ++i) {
+    const double* row = x.data() + static_cast<int64_t>(i) * d;
+    double y = 0.0;
+    for (int64_t j = 0; j < d; ++j) y += row[j];
+    y /= static_cast<double>(d);
+    double var = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      const double diff = row[j] - y;
+      var += diff * diff;
+    }
+    const double sigma = std::sqrt(var / static_cast<double>(d - 1));
+    double* zrow = z.data() + static_cast<int64_t>(i) * d;
+    if (sigma > 0.0) {
+      for (int64_t j = 0; j < d; ++j) zrow[j] = (row[j] - y) / sigma;
+    }
+    // sigma == 0: leave the row at 0 (every dimension equally spread).
+  }
+  return z;
+}
+
+std::vector<std::vector<int>> SelectDimensions(const std::vector<double>& z,
+                                               int k, int64_t d, int l) {
+  PROCLUS_CHECK(static_cast<int64_t>(z.size()) == k * d);
+  PROCLUS_CHECK(l >= 2 && l <= d);
+  using Entry = std::tuple<double, int, int>;  // (Z, medoid, dim)
+  std::vector<std::vector<int>> dims(k);
+  std::vector<Entry> remaining;
+  remaining.reserve(static_cast<size_t>(k) * d);
+  // Two smallest Z per medoid.
+  for (int i = 0; i < k; ++i) {
+    const double* row = z.data() + static_cast<int64_t>(i) * d;
+    std::vector<Entry> entries;
+    entries.reserve(d);
+    for (int64_t j = 0; j < d; ++j) {
+      entries.emplace_back(row[j], i, static_cast<int>(j));
+    }
+    std::sort(entries.begin(), entries.end());
+    dims[i].push_back(std::get<2>(entries[0]));
+    dims[i].push_back(std::get<2>(entries[1]));
+    for (size_t e = 2; e < entries.size(); ++e) {
+      remaining.push_back(entries[e]);
+    }
+  }
+  // Globally smallest remaining until k*l total.
+  const int64_t extra = static_cast<int64_t>(k) * l - 2 * k;
+  PROCLUS_CHECK(extra <= static_cast<int64_t>(remaining.size()));
+  std::sort(remaining.begin(), remaining.end());
+  for (int64_t e = 0; e < extra; ++e) {
+    dims[std::get<1>(remaining[e])].push_back(std::get<2>(remaining[e]));
+  }
+  for (auto& medoid_dims : dims) {
+    std::sort(medoid_dims.begin(), medoid_dims.end());
+  }
+  return dims;
+}
+
+std::vector<int> ComputeBadMedoids(const std::vector<int64_t>& cluster_sizes,
+                                   int64_t n, double min_dev) {
+  const int k = static_cast<int>(cluster_sizes.size());
+  PROCLUS_CHECK(k > 0);
+  const double threshold =
+      static_cast<double>(n) / static_cast<double>(k) * min_dev;
+  std::vector<int> bad;
+  for (int i = 0; i < k; ++i) {
+    if (static_cast<double>(cluster_sizes[i]) < threshold) bad.push_back(i);
+  }
+  if (bad.empty()) {
+    int smallest = 0;
+    for (int i = 1; i < k; ++i) {
+      if (cluster_sizes[i] < cluster_sizes[smallest]) smallest = i;
+    }
+    bad.push_back(smallest);
+  }
+  return bad;
+}
+
+double EvaluateClustersReference(const float* data, int64_t n, int64_t d,
+                                 const std::vector<int>& assignment,
+                                 const std::vector<std::vector<int>>& dims) {
+  const int k = static_cast<int>(dims.size());
+  PROCLUS_CHECK(static_cast<int64_t>(assignment.size()) == n);
+  // Centroids over assigned points, then summed per-dimension deviations.
+  std::vector<std::vector<double>> centroid(k);
+  std::vector<int64_t> sizes(k, 0);
+  for (int i = 0; i < k; ++i) centroid[i].assign(dims[i].size(), 0.0);
+  for (int64_t p = 0; p < n; ++p) {
+    const int c = assignment[p];
+    if (c == kOutlier) continue;
+    PROCLUS_CHECK(c >= 0 && c < k);
+    ++sizes[c];
+    const float* row = data + p * d;
+    for (size_t s = 0; s < dims[c].size(); ++s) {
+      centroid[c][s] += row[dims[c][s]];
+    }
+  }
+  for (int i = 0; i < k; ++i) {
+    if (sizes[i] == 0) continue;
+    for (double& v : centroid[i]) v /= static_cast<double>(sizes[i]);
+  }
+  int64_t assigned = 0;
+  for (int i = 0; i < k; ++i) assigned += sizes[i];
+  if (assigned == 0) return 0.0;
+  double cost = 0.0;
+  for (int64_t p = 0; p < n; ++p) {
+    const int c = assignment[p];
+    if (c == kOutlier) continue;
+    const float* row = data + p * d;
+    const double inv =
+        1.0 / (static_cast<double>(dims[c].size()) *
+               static_cast<double>(assigned));
+    for (size_t s = 0; s < dims[c].size(); ++s) {
+      cost += std::abs(static_cast<double>(row[dims[c][s]]) -
+                       centroid[c][s]) *
+              inv;
+    }
+  }
+  return cost;
+}
+
+}  // namespace proclus::core

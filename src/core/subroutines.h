@@ -1,0 +1,69 @@
+#ifndef PROCLUS_CORE_SUBROUTINES_H_
+#define PROCLUS_CORE_SUBROUTINES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace proclus::core {
+
+// Primitive computations shared verbatim by every backend. Using one
+// definition for the distance kernels guarantees bitwise-identical values on
+// the CPU and the simulated GPU, which in turn makes every variant produce
+// the identical clustering for a fixed seed.
+
+// Full-dimensional Euclidean distance ||a - b||_2 over d dimensions
+// (initialization and ComputeL phases).
+inline float EuclideanDistance(const float* a, const float* b, int64_t d) {
+  float sum = 0.0f;
+  for (int64_t j = 0; j < d; ++j) {
+    const float diff = a[j] - b[j];
+    sum += diff * diff;
+  }
+  return __builtin_sqrtf(sum);
+}
+
+// Manhattan segmental distance ||p - m||_1^D / |D| (AssignPoints and
+// RemoveOutliers phases).
+inline float SegmentalDistance(const float* p, const float* m,
+                               const int* dims, int num_dims) {
+  float sum = 0.0f;
+  for (int s = 0; s < num_dims; ++s) {
+    const int j = dims[s];
+    const float diff = p[j] - m[j];
+    sum += diff < 0.0f ? -diff : diff;
+  }
+  return sum / static_cast<float>(num_dims);
+}
+
+// FindDimensions (host part): given the k x d matrix X of average
+// per-dimension distances, computes Y_i (row mean), sigma_i (row standard
+// deviation with the (d-1) denominator, as in Algorithm 4) and the spread
+// Z_{i,j} = (X_{i,j} - Y_i) / sigma_i. A zero sigma yields Z = 0 for the
+// whole row (all dimensions equally spread).
+std::vector<double> ComputeZ(const std::vector<double>& x, int k, int64_t d);
+
+// Greedy dimension pick: first the two smallest-Z dimensions per medoid,
+// then the globally smallest remaining Z values until k*l dimensions are
+// selected in total. Ties break on (Z, medoid, dimension) so the choice is
+// deterministic. Returns the sorted dimension list per medoid.
+std::vector<std::vector<int>> SelectDimensions(const std::vector<double>& z,
+                                               int k, int64_t d, int l);
+
+// Bad medoids of the best clustering: every cluster with fewer than
+// (n/k)*min_dev points; if none qualify, the smallest cluster (smallest
+// index on ties). Returned ascending.
+std::vector<int> ComputeBadMedoids(const std::vector<int64_t>& cluster_sizes,
+                                   int64_t n, double min_dev);
+
+// The clustering cost of Eq. 2: the size-weighted average Manhattan
+// segmental distance of points to their cluster centroid. `assignment` may
+// contain kOutlier entries; those points are skipped (used for the refined
+// cost). Runs on the host; both backends compute the iterative-phase cost
+// themselves and tests cross-check against this reference.
+double EvaluateClustersReference(const float* data, int64_t n, int64_t d,
+                                 const std::vector<int>& assignment,
+                                 const std::vector<std::vector<int>>& dims);
+
+}  // namespace proclus::core
+
+#endif  // PROCLUS_CORE_SUBROUTINES_H_

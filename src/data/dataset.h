@@ -1,0 +1,33 @@
+#ifndef PROCLUS_DATA_DATASET_H_
+#define PROCLUS_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace proclus::data {
+
+// Label used for generated outliers / noise points in ground truth.
+inline constexpr int kNoiseLabel = -1;
+
+// A dataset: points plus optional ground truth. `labels` and
+// `true_subspaces` are populated by the synthetic generator and empty for
+// datasets loaded without ground truth.
+struct Dataset {
+  std::string name;
+  Matrix points;
+  // Ground-truth cluster id per point (kNoiseLabel for outliers); empty if
+  // unknown.
+  std::vector<int> labels;
+  // Ground-truth relevant dimensions per cluster (sorted); empty if unknown.
+  std::vector<std::vector<int>> true_subspaces;
+
+  int64_t n() const { return points.rows(); }
+  int64_t d() const { return points.cols(); }
+  bool has_ground_truth() const { return !labels.empty(); }
+};
+
+}  // namespace proclus::data
+
+#endif  // PROCLUS_DATA_DATASET_H_

@@ -1,0 +1,148 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace proclus::data {
+
+namespace {
+
+Status Validate(const GeneratorConfig& c) {
+  if (c.n <= 0) return Status::InvalidArgument("n must be positive");
+  if (c.d <= 0) return Status::InvalidArgument("d must be positive");
+  if (c.num_clusters <= 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  if (c.subspace_dim <= 0 || c.subspace_dim > c.d) {
+    return Status::InvalidArgument("subspace_dim must be in [1, d]");
+  }
+  if (c.max_subspace_dim != 0 &&
+      (c.max_subspace_dim < c.subspace_dim || c.max_subspace_dim > c.d)) {
+    return Status::InvalidArgument(
+        "max_subspace_dim must be in [subspace_dim, d] (or 0)");
+  }
+  if (c.stddev < 0.0) return Status::InvalidArgument("stddev must be >= 0");
+  if (c.stddev_jitter < 0.0 || c.stddev_jitter >= 1.0) {
+    return Status::InvalidArgument("stddev_jitter must be in [0, 1)");
+  }
+  if (c.domain_min >= c.domain_max) {
+    return Status::InvalidArgument("domain_min must be < domain_max");
+  }
+  if (c.outlier_fraction < 0.0 || c.outlier_fraction >= 1.0) {
+    return Status::InvalidArgument("outlier_fraction must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status GenerateSubspaceData(const GeneratorConfig& config, Dataset* out) {
+  PROCLUS_CHECK(out != nullptr);
+  PROCLUS_RETURN_NOT_OK(Validate(config));
+
+  Rng rng(config.seed);
+  const int64_t num_outliers =
+      static_cast<int64_t>(std::llround(config.outlier_fraction * config.n));
+  const int64_t num_clustered = config.n - num_outliers;
+  if (num_clustered < config.num_clusters) {
+    return Status::InvalidArgument(
+        "not enough clustered points for the requested number of clusters");
+  }
+
+  // Cluster sizes.
+  std::vector<int64_t> sizes(config.num_clusters,
+                             num_clustered / config.num_clusters);
+  for (int64_t i = 0; i < num_clustered % config.num_clusters; ++i) {
+    ++sizes[i];
+  }
+  if (!config.balanced) {
+    // Shift up to half of each cluster's size to a random other cluster,
+    // keeping every cluster non-empty.
+    for (int i = 0; i < config.num_clusters; ++i) {
+      const int64_t movable = sizes[i] / 2;
+      if (movable <= 0) continue;
+      const int64_t moved = rng.UniformInt(movable + 1);
+      const int target =
+          static_cast<int>(rng.UniformInt(config.num_clusters));
+      sizes[i] -= moved;
+      sizes[target] += moved;
+    }
+  }
+
+  // Per-cluster subspaces (arbitrary dimensions, as in [18]; optionally of
+  // varying size), means, and (optionally jittered) spreads.
+  const double span = config.domain_max - config.domain_min;
+  std::vector<std::vector<int>> subspaces(config.num_clusters);
+  std::vector<std::vector<double>> means(config.num_clusters);
+  std::vector<double> stddevs(config.num_clusters, config.stddev);
+  for (int c = 0; c < config.num_clusters; ++c) {
+    int dim_count = config.subspace_dim;
+    if (config.max_subspace_dim > config.subspace_dim) {
+      dim_count += static_cast<int>(rng.UniformInt(
+          config.max_subspace_dim - config.subspace_dim + 1));
+    }
+    if (config.stddev_jitter > 0.0) {
+      stddevs[c] = config.stddev *
+                   (1.0 + config.stddev_jitter * (2.0 * rng.NextDouble() -
+                                                  1.0));
+    }
+    const double margin = std::min(3.0 * stddevs[c], span / 2.0);
+    subspaces[c] = rng.SampleWithoutReplacement(config.d, dim_count);
+    std::sort(subspaces[c].begin(), subspaces[c].end());
+    means[c].resize(dim_count);
+    for (int j = 0; j < dim_count; ++j) {
+      means[c][j] = config.domain_min + margin +
+                    rng.NextDouble() * (span - 2.0 * margin);
+    }
+  }
+
+  out->name = "synthetic";
+  out->points = Matrix(config.n, config.d);
+  out->labels.assign(config.n, kNoiseLabel);
+  out->true_subspaces = subspaces;
+
+  int64_t row = 0;
+  for (int c = 0; c < config.num_clusters; ++c) {
+    for (int64_t i = 0; i < sizes[c]; ++i, ++row) {
+      out->labels[row] = c;
+      float* p = out->points.Row(row);
+      // Irrelevant dimensions: uniform over the full domain.
+      for (int j = 0; j < config.d; ++j) {
+        p[j] = static_cast<float>(config.domain_min +
+                                  rng.NextDouble() * span);
+      }
+      // Relevant dimensions: Gaussian around the cluster mean, clamped.
+      for (size_t s = 0; s < subspaces[c].size(); ++s) {
+        const int j = subspaces[c][s];
+        double value = rng.Gaussian(means[c][s], stddevs[c]);
+        value = std::clamp(value, config.domain_min, config.domain_max);
+        p[j] = static_cast<float>(value);
+      }
+    }
+  }
+  // Outliers: uniform everywhere.
+  for (int64_t i = 0; i < num_outliers; ++i, ++row) {
+    float* p = out->points.Row(row);
+    for (int j = 0; j < config.d; ++j) {
+      p[j] =
+          static_cast<float>(config.domain_min + rng.NextDouble() * span);
+    }
+  }
+  PROCLUS_CHECK(row == config.n);
+  return Status::OK();
+}
+
+Dataset GenerateSubspaceDataOrDie(const GeneratorConfig& config) {
+  Dataset out;
+  const Status st = GenerateSubspaceData(config, &out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "GenerateSubspaceData: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return out;
+}
+
+}  // namespace proclus::data

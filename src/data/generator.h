@@ -1,0 +1,55 @@
+#ifndef PROCLUS_DATA_GENERATOR_H_
+#define PROCLUS_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace proclus::data {
+
+// Configuration for the synthetic subspace-cluster generator. Reimplements
+// the generator of Beer et al. [6] with the modification of GPU-INSCY [18]
+// that clusters may live in *arbitrary* subspaces (not just prefixes). The
+// defaults are the paper's: 64,000 points, 15 dimensions, values in
+// [0, 100], 10 Gaussian clusters in 5-dimensional subspaces with standard
+// deviation 5.0.
+struct GeneratorConfig {
+  int64_t n = 64000;
+  int d = 15;
+  int num_clusters = 10;
+  // Number of relevant dimensions per cluster. When `max_subspace_dim` > 0,
+  // each cluster's subspace size is instead drawn uniformly from
+  // [subspace_dim, max_subspace_dim] (the generator of [6] supports
+  // variable subspace sizes).
+  int subspace_dim = 5;
+  int max_subspace_dim = 0;
+  // Standard deviation of the Gaussian in each relevant dimension, in domain
+  // units (the paper normalizes afterwards). `stddev_jitter` in [0, 1)
+  // draws each cluster's stddev uniformly from
+  // [stddev*(1-jitter), stddev*(1+jitter)].
+  double stddev = 5.0;
+  double stddev_jitter = 0.0;
+  double domain_min = 0.0;
+  double domain_max = 100.0;
+  // Fraction of points generated as uniform noise (ground-truth outliers).
+  double outlier_fraction = 0.0;
+  // If true, cluster sizes are equal (up to remainder); otherwise sizes are
+  // drawn from a symmetric Dirichlet-like split with +/-50% variation.
+  bool balanced = true;
+  uint64_t seed = 1234;
+};
+
+// Generates a dataset per `config`. Ground-truth labels and subspaces are
+// filled in. Means are placed at least 3*stddev away from the domain
+// boundary (when feasible) so clusters are not clipped; values are clamped
+// to the domain. Returns InvalidArgument for inconsistent configs.
+Status GenerateSubspaceData(const GeneratorConfig& config, Dataset* out);
+
+// Convenience wrapper that aborts on invalid configs (for tests/benches
+// where the config is statically known to be valid).
+Dataset GenerateSubspaceDataOrDie(const GeneratorConfig& config);
+
+}  // namespace proclus::data
+
+#endif  // PROCLUS_DATA_GENERATOR_H_

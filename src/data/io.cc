@@ -1,0 +1,89 @@
+#include "data/io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace proclus::data {
+
+Status WriteCsv(const Dataset& dataset, const std::string& path,
+                bool include_labels) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const bool labels = include_labels && dataset.has_ground_truth();
+  for (int64_t i = 0; i < dataset.n(); ++i) {
+    const float* row = dataset.points.Row(i);
+    for (int64_t j = 0; j < dataset.d(); ++j) {
+      if (j > 0) out << ',';
+      out << row[j];
+    }
+    if (labels) out << ',' << dataset.labels[i];
+    out << '\n';
+  }
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status ReadCsv(const std::string& path, bool label_column, Dataset* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::vector<std::vector<float>> rows;
+  std::vector<int> labels;
+  std::string line;
+  int64_t expected_cols = -1;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<float> values;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      const float v = std::strtof(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        return Status::IoError("unparsable cell at line " +
+                               std::to_string(line_no) + " in " + path);
+      }
+      values.push_back(v);
+    }
+    if (label_column) {
+      if (values.empty()) {
+        return Status::IoError("missing label column at line " +
+                               std::to_string(line_no) + " in " + path);
+      }
+      labels.push_back(static_cast<int>(std::lround(values.back())));
+      values.pop_back();
+    }
+    if (expected_cols < 0) {
+      expected_cols = static_cast<int64_t>(values.size());
+      if (expected_cols == 0) {
+        return Status::IoError("no feature columns in " + path);
+      }
+    } else if (static_cast<int64_t>(values.size()) != expected_cols) {
+      return Status::IoError("inconsistent column count at line " +
+                             std::to_string(line_no) + " in " + path);
+    }
+    rows.push_back(std::move(values));
+  }
+  if (rows.empty()) return Status::IoError("empty file: " + path);
+
+  out->name = path;
+  out->points = Matrix(static_cast<int64_t>(rows.size()), expected_cols);
+  for (int64_t i = 0; i < out->n(); ++i) {
+    for (int64_t j = 0; j < expected_cols; ++j) {
+      out->points(i, j) = rows[i][j];
+    }
+  }
+  out->labels = label_column ? std::move(labels) : std::vector<int>{};
+  out->true_subspaces.clear();
+  return Status::OK();
+}
+
+}  // namespace proclus::data

@@ -1,0 +1,23 @@
+#ifndef PROCLUS_DATA_IO_H_
+#define PROCLUS_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace proclus::data {
+
+// Writes `dataset.points` (and, when present, ground-truth labels as a final
+// integer column) to a headerless CSV file.
+Status WriteCsv(const Dataset& dataset, const std::string& path,
+                bool include_labels = true);
+
+// Reads a headerless CSV file of floats. When `label_column` is true the last
+// column is parsed as the integer ground-truth label. Rows must all have the
+// same number of columns.
+Status ReadCsv(const std::string& path, bool label_column, Dataset* out);
+
+}  // namespace proclus::data
+
+#endif  // PROCLUS_DATA_IO_H_

@@ -1,0 +1,68 @@
+#ifndef PROCLUS_DATA_MATRIX_H_
+#define PROCLUS_DATA_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace proclus::data {
+
+// Dense row-major matrix of 32-bit floats: `rows` points by `cols`
+// dimensions. This is the in-memory layout every backend operates on (the
+// GPU backend copies the same layout into device memory), so a point is a
+// contiguous `cols`-element span.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), values_(rows * cols, 0.0f) {
+    PROCLUS_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  float& operator()(int64_t row, int64_t col) {
+    PROCLUS_DCHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+    return values_[row * cols_ + col];
+  }
+  float operator()(int64_t row, int64_t col) const {
+    PROCLUS_DCHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+    return values_[row * cols_ + col];
+  }
+
+  // Pointer to the first value of `row`.
+  float* Row(int64_t row) {
+    PROCLUS_DCHECK(row >= 0 && row < rows_);
+    return values_.data() + row * cols_;
+  }
+  const float* Row(int64_t row) const {
+    PROCLUS_DCHECK(row >= 0 && row < rows_);
+    return values_.data() + row * cols_;
+  }
+
+  float* data() { return values_.data(); }
+  const float* data() const { return values_.data(); }
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           values_ == other.values_;
+  }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> values_;
+};
+
+}  // namespace proclus::data
+
+#endif  // PROCLUS_DATA_MATRIX_H_

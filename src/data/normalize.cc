@@ -1,0 +1,43 @@
+#include "data/normalize.h"
+
+#include <limits>
+
+#include "common/macros.h"
+
+namespace proclus::data {
+
+std::vector<DimensionRange> MinMaxNormalize(Matrix* m) {
+  PROCLUS_CHECK(m != nullptr);
+  const int64_t n = m->rows();
+  const int64_t d = m->cols();
+  std::vector<DimensionRange> ranges(d);
+  if (n == 0) return ranges;
+  for (int64_t j = 0; j < d; ++j) {
+    float lo = std::numeric_limits<float>::infinity();
+    float hi = -std::numeric_limits<float>::infinity();
+    for (int64_t i = 0; i < n; ++i) {
+      const float v = (*m)(i, j);
+      lo = v < lo ? v : lo;
+      hi = v > hi ? v : hi;
+    }
+    ranges[j] = {lo, hi};
+    const float span = hi - lo;
+    if (span <= 0.0f) {
+      for (int64_t i = 0; i < n; ++i) (*m)(i, j) = 0.0f;
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        (*m)(i, j) = ((*m)(i, j) - lo) / span;
+      }
+    }
+  }
+  return ranges;
+}
+
+float Denormalize(const std::vector<DimensionRange>& ranges, int dim,
+                  float value) {
+  PROCLUS_CHECK(dim >= 0 && dim < static_cast<int>(ranges.size()));
+  const DimensionRange& r = ranges[dim];
+  return r.min + value * (r.max - r.min);
+}
+
+}  // namespace proclus::data

@@ -1,0 +1,27 @@
+#ifndef PROCLUS_DATA_NORMALIZE_H_
+#define PROCLUS_DATA_NORMALIZE_H_
+
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace proclus::data {
+
+// Per-dimension range observed by MinMaxNormalize.
+struct DimensionRange {
+  float min = 0.0f;
+  float max = 0.0f;
+};
+
+// Min-max normalizes every dimension of `m` to [0, 1] in place, as the paper
+// does for all datasets. Constant dimensions are mapped to 0. Returns the
+// original per-dimension ranges so values can be mapped back.
+std::vector<DimensionRange> MinMaxNormalize(Matrix* m);
+
+// Maps a normalized value in dimension `dim` back to the original domain.
+float Denormalize(const std::vector<DimensionRange>& ranges, int dim,
+                  float value);
+
+}  // namespace proclus::data
+
+#endif  // PROCLUS_DATA_NORMALIZE_H_

@@ -1,0 +1,78 @@
+#include "data/real_world.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "data/generator.h"
+#include "data/io.h"
+#include "data/normalize.h"
+
+namespace proclus::data {
+
+const std::vector<RealWorldSpec>& RealWorldSpecs() {
+  static const std::vector<RealWorldSpec>& specs =
+      *new std::vector<RealWorldSpec>{
+          // {name, n, d, classes, stand-in subspace dim}
+          {"glass", 214, 9, 6, 4},
+          {"vowel", 990, 10, 11, 5},
+          {"pendigits", 7494, 16, 10, 6},
+          {"sky1x1", 30390, 17, 8, 6},
+          {"sky2x2", 133095, 17, 8, 6},
+          {"sky5x5", 934073, 17, 8, 6},
+      };
+  return specs;
+}
+
+Status FindRealWorldSpec(const std::string& name, RealWorldSpec* out) {
+  for (const RealWorldSpec& spec : RealWorldSpecs()) {
+    if (spec.name == name) {
+      *out = spec;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown real-world dataset: " + name);
+}
+
+Status LoadRealWorld(const std::string& name, const std::string& data_dir,
+                     int64_t max_points, Dataset* out) {
+  RealWorldSpec spec;
+  PROCLUS_RETURN_NOT_OK(FindRealWorldSpec(name, &spec));
+
+  const std::filesystem::path csv =
+      std::filesystem::path(data_dir) / (name + ".csv");
+  std::error_code ec;
+  if (!data_dir.empty() && std::filesystem::exists(csv, ec)) {
+    PROCLUS_RETURN_NOT_OK(ReadCsv(csv.string(), /*label_column=*/true, out));
+    out->name = name;
+  } else {
+    // Synthetic stand-in: same n/d, `num_classes` Gaussian clusters in
+    // arbitrary subspaces plus 5% noise, fixed per-dataset seed.
+    GeneratorConfig config;
+    config.n = spec.n;
+    config.d = spec.d;
+    config.num_clusters = spec.num_classes;
+    config.subspace_dim = std::min(spec.subspace_dim, spec.d);
+    config.stddev = 5.0;
+    config.outlier_fraction = 0.05;
+    config.balanced = false;
+    config.seed = 0x9e0c0de ^ std::hash<std::string>{}(name);
+    PROCLUS_RETURN_NOT_OK(GenerateSubspaceData(config, out));
+    out->name = name + " (stand-in)";
+  }
+
+  if (max_points > 0 && out->n() > max_points) {
+    Matrix truncated(max_points, out->d());
+    for (int64_t i = 0; i < max_points; ++i) {
+      for (int64_t j = 0; j < out->d(); ++j) {
+        truncated(i, j) = out->points(i, j);
+      }
+    }
+    out->points = std::move(truncated);
+    if (!out->labels.empty()) out->labels.resize(max_points);
+  }
+
+  MinMaxNormalize(&out->points);
+  return Status::OK();
+}
+
+}  // namespace proclus::data

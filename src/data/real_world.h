@@ -1,0 +1,45 @@
+#ifndef PROCLUS_DATA_REAL_WORLD_H_
+#define PROCLUS_DATA_REAL_WORLD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace proclus::data {
+
+// Descriptor of one of the paper's real-world datasets (§5, "Real-world
+// data"): UCI glass / vowel / pendigits and three SDSS SkyServer cutouts.
+struct RealWorldSpec {
+  std::string name;
+  int64_t n = 0;
+  int d = 0;
+  int num_classes = 0;   // ground-truth classes (used by the stand-in)
+  int subspace_dim = 0;  // relevant dims assumed by the stand-in generator
+};
+
+// The six datasets used in Fig. 3g, with the sizes reported in the paper.
+const std::vector<RealWorldSpec>& RealWorldSpecs();
+
+// Returns the spec for `name` ("glass", "vowel", "pendigits", "sky1x1",
+// "sky2x2", "sky5x5"), or InvalidArgument.
+Status FindRealWorldSpec(const std::string& name, RealWorldSpec* out);
+
+// Loads the dataset `name`. If `<data_dir>/<name>.csv` exists it is read
+// (last column = class label) — this lets users drop in the genuine UCI /
+// SkyServer files. Otherwise a synthetic stand-in with the same n, d and a
+// class structure matching `num_classes` is generated from a fixed seed.
+// The original files are not redistributable here, and the paper uses them
+// only to confirm that speedups transfer to real data distributions; the
+// stand-in exercises identical code paths at identical sizes. The result is
+// min-max normalized, as in the paper.
+//
+// `max_points` (0 = unlimited) truncates large datasets; benches use it to
+// honor PROCLUS_BENCH_SCALE.
+Status LoadRealWorld(const std::string& name, const std::string& data_dir,
+                     int64_t max_points, Dataset* out);
+
+}  // namespace proclus::data
+
+#endif  // PROCLUS_DATA_REAL_WORLD_H_

@@ -1,0 +1,260 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/macros.h"
+
+namespace proclus::eval {
+
+namespace {
+
+// Remaps labels to dense ids 0..m-1; -1 stays -1.
+std::vector<int> Densify(const std::vector<int>& labels, int* num_clusters) {
+  std::map<int, int> remap;
+  std::vector<int> out(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) {
+      out[i] = -1;
+      continue;
+    }
+    auto [it, inserted] =
+        remap.emplace(labels[i], static_cast<int>(remap.size()));
+    out[i] = it->second;
+  }
+  *num_clusters = static_cast<int>(remap.size());
+  return out;
+}
+
+// Contingency table between two dense labelings (noise rows/columns get
+// index m / index c respectively, each noise point its own group is
+// approximated by excluding noise pairs in the pair counts).
+std::vector<std::vector<int64_t>> Contingency(const std::vector<int>& a,
+                                              const std::vector<int>& b,
+                                              int ka, int kb) {
+  std::vector<std::vector<int64_t>> table(ka, std::vector<int64_t>(kb, 0));
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < 0 || b[i] < 0) continue;
+    ++table[a[i]][b[i]];
+  }
+  return table;
+}
+
+double Comb2(double x) { return x * (x - 1.0) / 2.0; }
+
+}  // namespace
+
+double PairCounts::Precision() const {
+  const double denom = static_cast<double>(true_positive + false_positive);
+  return denom > 0.0 ? static_cast<double>(true_positive) / denom : 0.0;
+}
+
+double PairCounts::Recall() const {
+  const double denom = static_cast<double>(true_positive + false_negative);
+  return denom > 0.0 ? static_cast<double>(true_positive) / denom : 0.0;
+}
+
+double PairCounts::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double PairCounts::Rand() const {
+  const double total = static_cast<double>(true_positive + false_positive +
+                                           false_negative + true_negative);
+  return total > 0.0
+             ? static_cast<double>(true_positive + true_negative) / total
+             : 0.0;
+}
+
+PairCounts CountPairs(const std::vector<int>& truth,
+                      const std::vector<int>& predicted) {
+  PROCLUS_CHECK(truth.size() == predicted.size());
+  // O(n^2) pair counting via the contingency table instead: with the table
+  // N_{ij}, TP = sum C(N_ij, 2), etc.
+  int kt = 0;
+  int kp = 0;
+  const std::vector<int> t = Densify(truth, &kt);
+  const std::vector<int> p = Densify(predicted, &kp);
+  const auto table = Contingency(t, p, kt, kp);
+  int64_t n = 0;
+  std::vector<int64_t> row(kt, 0);
+  std::vector<int64_t> col(kp, 0);
+  for (int i = 0; i < kt; ++i) {
+    for (int j = 0; j < kp; ++j) {
+      row[i] += table[i][j];
+      col[j] += table[i][j];
+      n += table[i][j];
+    }
+  }
+  double tp = 0.0;
+  for (int i = 0; i < kt; ++i) {
+    for (int j = 0; j < kp; ++j) tp += Comb2(static_cast<double>(table[i][j]));
+  }
+  double same_t = 0.0;
+  for (int i = 0; i < kt; ++i) same_t += Comb2(static_cast<double>(row[i]));
+  double same_p = 0.0;
+  for (int j = 0; j < kp; ++j) same_p += Comb2(static_cast<double>(col[j]));
+  PairCounts counts;
+  counts.true_positive = static_cast<int64_t>(tp);
+  counts.false_positive = static_cast<int64_t>(same_p - tp);
+  counts.false_negative = static_cast<int64_t>(same_t - tp);
+  counts.true_negative = static_cast<int64_t>(
+      Comb2(static_cast<double>(n)) - same_p - same_t + tp);
+  return counts;
+}
+
+double AdjustedRandIndex(const std::vector<int>& truth,
+                         const std::vector<int>& predicted) {
+  PROCLUS_CHECK(truth.size() == predicted.size());
+  int kt = 0;
+  int kp = 0;
+  const std::vector<int> t = Densify(truth, &kt);
+  const std::vector<int> p = Densify(predicted, &kp);
+  if (kt == 0 || kp == 0) return 0.0;
+  const auto table = Contingency(t, p, kt, kp);
+  int64_t n = 0;
+  std::vector<int64_t> row(kt, 0);
+  std::vector<int64_t> col(kp, 0);
+  for (int i = 0; i < kt; ++i) {
+    for (int j = 0; j < kp; ++j) {
+      row[i] += table[i][j];
+      col[j] += table[i][j];
+      n += table[i][j];
+    }
+  }
+  if (n < 2) return 0.0;
+  double index = 0.0;
+  for (int i = 0; i < kt; ++i) {
+    for (int j = 0; j < kp; ++j) {
+      index += Comb2(static_cast<double>(table[i][j]));
+    }
+  }
+  double sum_row = 0.0;
+  for (int i = 0; i < kt; ++i) sum_row += Comb2(static_cast<double>(row[i]));
+  double sum_col = 0.0;
+  for (int j = 0; j < kp; ++j) sum_col += Comb2(static_cast<double>(col[j]));
+  const double expected = sum_row * sum_col / Comb2(static_cast<double>(n));
+  const double max_index = 0.5 * (sum_row + sum_col);
+  if (max_index == expected) return 0.0;
+  return (index - expected) / (max_index - expected);
+}
+
+double NormalizedMutualInformation(const std::vector<int>& truth,
+                                   const std::vector<int>& predicted) {
+  PROCLUS_CHECK(truth.size() == predicted.size());
+  int kt = 0;
+  int kp = 0;
+  const std::vector<int> t = Densify(truth, &kt);
+  const std::vector<int> p = Densify(predicted, &kp);
+  if (kt == 0 || kp == 0) return 0.0;
+  const auto table = Contingency(t, p, kt, kp);
+  int64_t n = 0;
+  std::vector<int64_t> row(kt, 0);
+  std::vector<int64_t> col(kp, 0);
+  for (int i = 0; i < kt; ++i) {
+    for (int j = 0; j < kp; ++j) {
+      row[i] += table[i][j];
+      col[j] += table[i][j];
+      n += table[i][j];
+    }
+  }
+  if (n == 0) return 0.0;
+  const double dn = static_cast<double>(n);
+  double mutual = 0.0;
+  for (int i = 0; i < kt; ++i) {
+    for (int j = 0; j < kp; ++j) {
+      if (table[i][j] == 0) continue;
+      const double pij = table[i][j] / dn;
+      mutual += pij * std::log(pij * dn * dn /
+                               (static_cast<double>(row[i]) *
+                                static_cast<double>(col[j])));
+    }
+  }
+  double ht = 0.0;
+  for (int i = 0; i < kt; ++i) {
+    if (row[i] == 0) continue;
+    const double pi = row[i] / dn;
+    ht -= pi * std::log(pi);
+  }
+  double hp = 0.0;
+  for (int j = 0; j < kp; ++j) {
+    if (col[j] == 0) continue;
+    const double pj = col[j] / dn;
+    hp -= pj * std::log(pj);
+  }
+  const double denom = 0.5 * (ht + hp);
+  return denom > 0.0 ? mutual / denom : 0.0;
+}
+
+double Purity(const std::vector<int>& truth,
+              const std::vector<int>& predicted) {
+  PROCLUS_CHECK(truth.size() == predicted.size());
+  if (truth.empty()) return 0.0;
+  std::map<int, std::map<int, int64_t>> votes;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] < 0) continue;
+    ++votes[predicted[i]][truth[i]];
+  }
+  int64_t correct = 0;
+  for (const auto& [cluster, counts] : votes) {
+    int64_t best = 0;
+    for (const auto& [label, count] : counts) best = std::max(best, count);
+    correct += best;
+  }
+  // Noise predicted as noise counts as correct.
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] < 0 && truth[i] < 0) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+double SubspaceRecovery(
+    const std::vector<int>& truth, const std::vector<int>& predicted,
+    const std::vector<std::vector<int>>& true_subspaces,
+    const std::vector<std::vector<int>>& found_dimensions) {
+  PROCLUS_CHECK(truth.size() == predicted.size());
+  if (found_dimensions.empty()) return 0.0;
+  // Match each predicted cluster to the truth cluster it overlaps most.
+  std::map<int, std::map<int, int64_t>> overlap;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] < 0 || truth[i] < 0) continue;
+    ++overlap[predicted[i]][truth[i]];
+  }
+  double total = 0.0;
+  int counted = 0;
+  for (size_t c = 0; c < found_dimensions.size(); ++c) {
+    const auto it = overlap.find(static_cast<int>(c));
+    if (it == overlap.end()) continue;
+    int best_label = -1;
+    int64_t best_count = 0;
+    for (const auto& [label, count] : it->second) {
+      if (count > best_count) {
+        best_count = count;
+        best_label = label;
+      }
+    }
+    if (best_label < 0 ||
+        best_label >= static_cast<int>(true_subspaces.size())) {
+      continue;
+    }
+    const std::set<int> found(found_dimensions[c].begin(),
+                              found_dimensions[c].end());
+    const std::set<int> expected(true_subspaces[best_label].begin(),
+                                 true_subspaces[best_label].end());
+    std::vector<int> inter;
+    std::set_intersection(found.begin(), found.end(), expected.begin(),
+                          expected.end(), std::back_inserter(inter));
+    const size_t uni = found.size() + expected.size() - inter.size();
+    total += uni > 0 ? static_cast<double>(inter.size()) /
+                           static_cast<double>(uni)
+                     : 0.0;
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+}  // namespace proclus::eval

@@ -1,0 +1,58 @@
+#ifndef PROCLUS_EVAL_METRICS_H_
+#define PROCLUS_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace proclus::eval {
+
+// Clustering-quality metrics against a ground-truth labeling. PROCLUS's
+// correctness in this reproduction is established by cross-variant
+// equivalence; these metrics verify the clusterings are *sensible* on
+// generated data (and power the examples). Noise/outliers are encoded as -1
+// in both vectors; a pair is skipped if either point is -1 unless stated
+// otherwise.
+
+// Pair-counting confusion for two labelings (noise handled as its own
+// singleton "cluster" per point).
+struct PairCounts {
+  int64_t true_positive = 0;   // same cluster in both
+  int64_t false_positive = 0;  // same in predicted, different in truth
+  int64_t false_negative = 0;  // different in predicted, same in truth
+  int64_t true_negative = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  // Rand index and Adjusted Rand Index.
+  double Rand() const;
+};
+
+// Counts point pairs over the two labelings. Vectors must be equal length.
+PairCounts CountPairs(const std::vector<int>& truth,
+                      const std::vector<int>& predicted);
+
+// Adjusted Rand Index in [-1, 1]; 1 = identical partitions.
+double AdjustedRandIndex(const std::vector<int>& truth,
+                         const std::vector<int>& predicted);
+
+// Normalized Mutual Information in [0, 1] (arithmetic-mean normalization).
+double NormalizedMutualInformation(const std::vector<int>& truth,
+                                   const std::vector<int>& predicted);
+
+// Fraction of points whose predicted cluster's majority truth label matches
+// their own (noise points count as mismatches unless predicted noise).
+double Purity(const std::vector<int>& truth,
+              const std::vector<int>& predicted);
+
+// Average Jaccard similarity between each cluster's found dimensions and the
+// true subspace of the ground-truth cluster it overlaps most (the subspace
+// recovery quality of a projected clustering).
+double SubspaceRecovery(
+    const std::vector<int>& truth, const std::vector<int>& predicted,
+    const std::vector<std::vector<int>>& true_subspaces,
+    const std::vector<std::vector<int>>& found_dimensions);
+
+}  // namespace proclus::eval
+
+#endif  // PROCLUS_EVAL_METRICS_H_

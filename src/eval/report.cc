@@ -1,0 +1,102 @@
+#include "eval/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/macros.h"
+#include "core/subroutines.h"
+#include "eval/metrics.h"
+
+namespace proclus::eval {
+
+std::vector<ClusterDigest> Digest(const data::Matrix& data,
+                                  const core::ProclusResult& result) {
+  const int k = result.k();
+  const int64_t d = data.cols();
+  PROCLUS_CHECK(static_cast<int64_t>(result.assignment.size()) ==
+                data.rows());
+  std::vector<ClusterDigest> digests(k);
+  for (int i = 0; i < k; ++i) {
+    digests[i].cluster = i;
+    digests[i].medoid = result.medoids[i];
+    digests[i].dimensions = result.dimensions[i];
+    digests[i].centroid.assign(result.dimensions[i].size(), 0.0);
+  }
+  for (int64_t p = 0; p < data.rows(); ++p) {
+    const int c = result.assignment[p];
+    if (c == core::kOutlier) continue;
+    PROCLUS_CHECK(c >= 0 && c < k);
+    ClusterDigest& digest = digests[c];
+    ++digest.size;
+    const float* row = data.Row(p);
+    for (size_t s = 0; s < digest.dimensions.size(); ++s) {
+      digest.centroid[s] += row[digest.dimensions[s]];
+    }
+    digest.mean_segmental_distance += core::SegmentalDistance(
+        row, data.Row(digest.medoid), digest.dimensions.data(),
+        static_cast<int>(digest.dimensions.size()));
+  }
+  for (ClusterDigest& digest : digests) {
+    if (digest.size == 0) continue;
+    for (double& v : digest.centroid) v /= static_cast<double>(digest.size);
+    digest.mean_segmental_distance /= static_cast<double>(digest.size);
+  }
+  (void)d;
+  return digests;
+}
+
+std::string FormatClusterTable(
+    const std::vector<ClusterDigest>& digests,
+    const std::vector<std::string>& dimension_names) {
+  std::ostringstream out;
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer), "%-8s %-8s %-8s %-12s %s\n",
+                "cluster", "size", "medoid", "mean_dist", "subspace");
+  out << buffer;
+  for (const ClusterDigest& digest : digests) {
+    std::snprintf(buffer, sizeof(buffer), "%-8d %-8lld %-8d %-12.5f ",
+                  digest.cluster, static_cast<long long>(digest.size),
+                  digest.medoid, digest.mean_segmental_distance);
+    out << buffer;
+    for (size_t s = 0; s < digest.dimensions.size(); ++s) {
+      if (s) out << ", ";
+      const int dim = digest.dimensions[s];
+      if (dim >= 0 && dim < static_cast<int>(dimension_names.size())) {
+        out << dimension_names[dim];
+      } else {
+        out << dim;
+      }
+      std::snprintf(buffer, sizeof(buffer), "=%.3f", digest.centroid[s]);
+      out << buffer;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string FormatQualitySummary(const data::Dataset& dataset,
+                                 const core::ProclusResult& result) {
+  std::ostringstream out;
+  if (!dataset.has_ground_truth()) {
+    out << "no ground truth available\n";
+    return out.str();
+  }
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "ARI=%.4f NMI=%.4f purity=%.4f",
+                AdjustedRandIndex(dataset.labels, result.assignment),
+                NormalizedMutualInformation(dataset.labels,
+                                            result.assignment),
+                Purity(dataset.labels, result.assignment));
+  out << buffer;
+  if (!dataset.true_subspaces.empty()) {
+    std::snprintf(buffer, sizeof(buffer), " subspace_recovery=%.4f",
+                  SubspaceRecovery(dataset.labels, result.assignment,
+                                   dataset.true_subspaces,
+                                   result.dimensions));
+    out << buffer;
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace proclus::eval

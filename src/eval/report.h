@@ -1,0 +1,44 @@
+#ifndef PROCLUS_EVAL_REPORT_H_
+#define PROCLUS_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "data/dataset.h"
+
+namespace proclus::eval {
+
+// Human-readable summaries of a clustering, used by the CLI and examples.
+
+// Per-cluster digest: size, subspace, medoid, in-subspace centroid and the
+// mean segmental distance of members to their medoid.
+struct ClusterDigest {
+  int cluster = 0;
+  int medoid = 0;
+  int64_t size = 0;
+  std::vector<int> dimensions;
+  std::vector<double> centroid;        // one value per selected dimension
+  double mean_segmental_distance = 0;  // members to medoid, own subspace
+};
+
+// Computes the digest for every cluster. `data` must be the matrix the
+// result was computed on.
+std::vector<ClusterDigest> Digest(const data::Matrix& data,
+                                  const core::ProclusResult& result);
+
+// Renders the digests as an aligned text table. `dimension_names` is
+// optional (empty = print indices); when provided it must have one entry
+// per data dimension.
+std::string FormatClusterTable(
+    const std::vector<ClusterDigest>& digests,
+    const std::vector<std::string>& dimension_names = {});
+
+// One-paragraph quality summary against ground truth (ARI, NMI, purity and,
+// when true subspaces are known, subspace recovery).
+std::string FormatQualitySummary(const data::Dataset& dataset,
+                                 const core::ProclusResult& result);
+
+}  // namespace proclus::eval
+
+#endif  // PROCLUS_EVAL_REPORT_H_

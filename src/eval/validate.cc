@@ -1,0 +1,98 @@
+#include "eval/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "core/subroutines.h"
+
+namespace proclus::eval {
+
+Status ValidateResult(const data::Matrix& data,
+                      const core::ProclusParams& params,
+                      const core::ProclusResult& result) {
+  const int64_t n = data.rows();
+  const int64_t d = data.cols();
+  const int k = params.k;
+
+  if (static_cast<int>(result.medoids.size()) != k) {
+    return Status::FailedPrecondition("wrong number of medoids");
+  }
+  std::set<int> medoid_set;
+  for (const int m : result.medoids) {
+    if (m < 0 || m >= n) {
+      return Status::FailedPrecondition("medoid id out of range");
+    }
+    if (!medoid_set.insert(m).second) {
+      return Status::FailedPrecondition("duplicate medoid");
+    }
+  }
+
+  if (static_cast<int>(result.dimensions.size()) != k) {
+    return Status::FailedPrecondition("wrong number of dimension sets");
+  }
+  int64_t total_dims = 0;
+  for (const auto& dims : result.dimensions) {
+    if (static_cast<int>(dims.size()) < 2) {
+      return Status::FailedPrecondition("cluster with fewer than 2 dims");
+    }
+    if (!std::is_sorted(dims.begin(), dims.end())) {
+      return Status::FailedPrecondition("dimensions not sorted");
+    }
+    if (std::adjacent_find(dims.begin(), dims.end()) != dims.end()) {
+      return Status::FailedPrecondition("duplicate dimension in cluster");
+    }
+    if (dims.front() < 0 || dims.back() >= d) {
+      return Status::FailedPrecondition("dimension out of range");
+    }
+    total_dims += static_cast<int64_t>(dims.size());
+  }
+  if (total_dims != static_cast<int64_t>(k) * params.l) {
+    return Status::FailedPrecondition(
+        "total selected dimensions != k*l (" + std::to_string(total_dims) +
+        " vs " + std::to_string(static_cast<int64_t>(k) * params.l) + ")");
+  }
+
+  if (static_cast<int64_t>(result.assignment.size()) != n) {
+    return Status::FailedPrecondition("assignment size != n");
+  }
+  for (int64_t p = 0; p < n; ++p) {
+    const int c = result.assignment[p];
+    if (c != core::kOutlier && (c < 0 || c >= k)) {
+      return Status::FailedPrecondition("assignment value out of range");
+    }
+  }
+
+  // Non-outlier points must sit with a segmental-distance-minimizing medoid.
+  for (int64_t p = 0; p < n; ++p) {
+    const int c = result.assignment[p];
+    if (c == core::kOutlier) continue;
+    const float* point = data.Row(p);
+    float best = std::numeric_limits<float>::infinity();
+    for (int i = 0; i < k; ++i) {
+      const float sd = core::SegmentalDistance(
+          point, data.Row(result.medoids[i]), result.dimensions[i].data(),
+          static_cast<int>(result.dimensions[i].size()));
+      best = std::min(best, sd);
+    }
+    const float assigned = core::SegmentalDistance(
+        point, data.Row(result.medoids[c]), result.dimensions[c].data(),
+        static_cast<int>(result.dimensions[c].size()));
+    if (assigned > best) {
+      return Status::FailedPrecondition(
+          "point " + std::to_string(p) +
+          " not assigned to the closest medoid");
+    }
+  }
+
+  if (!std::isfinite(result.iterative_cost) || result.iterative_cost < 0.0) {
+    return Status::FailedPrecondition("iterative cost not finite/positive");
+  }
+  if (!std::isfinite(result.refined_cost) || result.refined_cost < 0.0) {
+    return Status::FailedPrecondition("refined cost not finite/positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace proclus::eval

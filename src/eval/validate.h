@@ -1,0 +1,28 @@
+#ifndef PROCLUS_EVAL_VALIDATE_H_
+#define PROCLUS_EVAL_VALIDATE_H_
+
+#include "common/status.h"
+#include "core/params.h"
+#include "core/result.h"
+#include "data/matrix.h"
+
+namespace proclus::eval {
+
+// Checks the structural invariants the PROCLUS definition guarantees for a
+// result:
+//   * exactly k medoids, all distinct valid point ids;
+//   * every cluster has >= 2 dimensions, dimensions are sorted, unique and
+//     in range, and the total number of selected dimensions is k*l;
+//   * assignment has one entry per point, each in [0,k) or kOutlier;
+//   * every non-outlier point is assigned to a cluster whose medoid
+//     minimizes the Manhattan segmental distance in that cluster's subspace
+//     (ties allowed);
+//   * costs are finite and non-negative.
+// Returns the first violated invariant as FailedPrecondition.
+Status ValidateResult(const data::Matrix& data,
+                      const core::ProclusParams& params,
+                      const core::ProclusResult& result);
+
+}  // namespace proclus::eval
+
+#endif  // PROCLUS_EVAL_VALIDATE_H_

@@ -1,0 +1,95 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace proclus::parallel {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    PROCLUS_CHECK(!shutting_down_);
+    tasks_.push(std::move(task));
+    ++pending_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--pending_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelForChunked(ThreadPool& pool, int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)>& fn,
+                        int64_t grain) {
+  if (begin >= end) return;
+  PROCLUS_CHECK(grain > 0);
+  const int64_t total = end - begin;
+  // Aim for a few chunks per worker, but never below the grain size.
+  const int64_t target_chunks =
+      static_cast<int64_t>(pool.num_threads()) * 4;
+  const int64_t chunk =
+      std::max(grain, (total + target_chunks - 1) / target_chunks);
+  if (total <= chunk || pool.num_threads() == 1) {
+    fn(begin, end);
+    return;
+  }
+  for (int64_t lo = begin; lo < end; lo += chunk) {
+    const int64_t hi = std::min(end, lo + chunk);
+    pool.Submit([&fn, lo, hi] { fn(lo, hi); });
+  }
+  pool.Wait();
+}
+
+void ParallelFor(ThreadPool& pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn, int64_t grain) {
+  ParallelForChunked(
+      pool, begin, end,
+      [&fn](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
+}  // namespace proclus::parallel

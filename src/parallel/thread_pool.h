@@ -1,0 +1,66 @@
+#ifndef PROCLUS_PARALLEL_THREAD_POOL_H_
+#define PROCLUS_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace proclus::parallel {
+
+// Fixed-size worker pool. This is the substrate for the paper's multi-core
+// CPU variants (implemented with OpenMP in the original) and for running the
+// SIMT simulator's thread blocks concurrently.
+//
+// Tasks are plain std::function<void()>; ParallelFor below provides the
+// blocking fork/join pattern the algorithms need.
+class ThreadPool {
+ public:
+  // Creates a pool with `num_threads` workers. `num_threads == 0` selects
+  // std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int64_t pending_ = 0;
+  bool shutting_down_ = false;
+};
+
+// Runs fn(i) for every i in [begin, end), splitting the range into chunks
+// across the pool's workers, and blocks until all iterations complete.
+// `grain` is the minimum chunk size (defaults to a size that keeps
+// scheduling overhead negligible). Safe to call with begin >= end (no-op).
+// fn must not throw and must be safe to call concurrently for distinct i.
+void ParallelFor(ThreadPool& pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn, int64_t grain = 1024);
+
+// Chunked variant: fn(chunk_begin, chunk_end) is called once per chunk, which
+// lets hot loops keep per-chunk local accumulators.
+void ParallelForChunked(ThreadPool& pool, int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)>& fn,
+                        int64_t grain = 1024);
+
+}  // namespace proclus::parallel
+
+#endif  // PROCLUS_PARALLEL_THREAD_POOL_H_

@@ -1,0 +1,35 @@
+#ifndef PROCLUS_PROCLUS_H_
+#define PROCLUS_PROCLUS_H_
+
+// Umbrella header for the GPU-FAST-PROCLUS library: projected clustering
+// with the PROCLUS family of algorithms (baseline, FAST, FAST*) on the CPU,
+// a multi-core CPU pool, or the simulated SIMT device.
+//
+// Quick start:
+//
+//   proclus::data::Dataset data = proclus::data::GenerateSubspaceDataOrDie({});
+//   proclus::data::MinMaxNormalize(&data.points);
+//   proclus::core::ProclusParams params;           // k=10, l=5, ...
+//   proclus::core::ClusterOptions options;
+//   options.backend = proclus::core::ComputeBackend::kGpu;
+//   options.strategy = proclus::core::Strategy::kFast;
+//   proclus::core::ProclusResult result =
+//       proclus::core::ClusterOrDie(data.points, params, options);
+//
+// See README.md and examples/ for more.
+
+#include "core/api.h"
+#include "core/multi_param.h"
+#include "core/params.h"
+#include "core/result.h"
+#include "core/serialization.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "data/matrix.h"
+#include "data/normalize.h"
+#include "data/real_world.h"
+#include "eval/metrics.h"
+#include "eval/validate.h"
+
+#endif  // PROCLUS_PROCLUS_H_

@@ -1,0 +1,74 @@
+#ifndef PROCLUS_SIMT_ATOMIC_H_
+#define PROCLUS_SIMT_ATOMIC_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace proclus::simt {
+
+// CUDA-style global-memory atomics for the SIMT simulator. Thread blocks may
+// execute on different host threads, so updates to memory shared across
+// blocks must go through these helpers — exactly the discipline the paper's
+// kernels follow (atomicAdd / atomicMin / atomicMax / atomicInc).
+//
+// All functions return the value held at `addr` *before* the update, like
+// their CUDA counterparts.
+
+template <typename T>
+T AtomicAdd(T* addr, T value) {
+  std::atomic_ref<T> ref(*addr);
+  if constexpr (std::is_floating_point_v<T>) {
+    T expected = ref.load(std::memory_order_relaxed);
+    while (!ref.compare_exchange_weak(expected, expected + value,
+                                      std::memory_order_relaxed)) {
+    }
+    return expected;
+  } else {
+    return ref.fetch_add(value, std::memory_order_relaxed);
+  }
+}
+
+template <typename T>
+T AtomicMin(T* addr, T value) {
+  std::atomic_ref<T> ref(*addr);
+  T expected = ref.load(std::memory_order_relaxed);
+  while (value < expected) {
+    if (ref.compare_exchange_weak(expected, value,
+                                  std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  return expected;
+}
+
+template <typename T>
+T AtomicMax(T* addr, T value) {
+  std::atomic_ref<T> ref(*addr);
+  T expected = ref.load(std::memory_order_relaxed);
+  while (value > expected) {
+    if (ref.compare_exchange_weak(expected, value,
+                                  std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  return expected;
+}
+
+// atomicInc without wrap-around: post-increments the counter and returns the
+// previous value. Used for append-to-array slot reservation (Algorithm 3
+// line 11 / Algorithm 5 line 8).
+inline int32_t AtomicInc(int32_t* addr) { return AtomicAdd(addr, int32_t{1}); }
+inline int64_t AtomicInc(int64_t* addr) { return AtomicAdd(addr, int64_t{1}); }
+
+// Compare-and-swap; returns the old value (CUDA atomicCAS semantics).
+template <typename T>
+T AtomicCas(T* addr, T compare, T value) {
+  std::atomic_ref<T> ref(*addr);
+  T expected = compare;
+  ref.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+  return expected;
+}
+
+}  // namespace proclus::simt
+
+#endif  // PROCLUS_SIMT_ATOMIC_H_

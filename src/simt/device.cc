@@ -1,0 +1,109 @@
+#include "simt/device.h"
+
+#include <algorithm>
+
+namespace proclus::simt {
+
+namespace {
+constexpr size_t kMinChunkBytes = 8ULL << 20;  // 8 MiB
+}  // namespace
+
+Device::Device(DeviceProperties props, int host_workers)
+    : props_(props), pool_(host_workers), perf_model_(props) {}
+
+char* Device::AllocBytes(size_t bytes, size_t alignment) {
+  if (bytes == 0) bytes = alignment;
+  PROCLUS_CHECK(allocated_bytes_ + bytes <= props_.global_memory_bytes);
+  // Find a chunk with room, respecting alignment.
+  for (Chunk& chunk : chunks_) {
+    const size_t offset = (chunk.used + alignment - 1) / alignment * alignment;
+    if (offset + bytes <= chunk.capacity) {
+      chunk.used = offset + bytes;
+      allocated_bytes_ += bytes;
+      peak_allocated_bytes_ = std::max(peak_allocated_bytes_, allocated_bytes_);
+      char* ptr = chunk.data.get() + offset;
+      std::memset(ptr, 0, bytes);
+      return ptr;
+    }
+  }
+  Chunk chunk;
+  chunk.capacity = std::max(bytes, kMinChunkBytes);
+  chunk.data = std::make_unique<char[]>(chunk.capacity);
+  chunk.used = bytes;
+  chunks_.push_back(std::move(chunk));
+  allocated_bytes_ += bytes;
+  peak_allocated_bytes_ = std::max(peak_allocated_bytes_, allocated_bytes_);
+  char* ptr = chunks_.back().data.get();
+  std::memset(ptr, 0, bytes);
+  return ptr;
+}
+
+void Device::FreeAll() {
+  chunks_.clear();
+  allocated_bytes_ = 0;
+}
+
+void Device::BeginConcurrentRegion(int num_streams) {
+  PROCLUS_CHECK(!in_region_);
+  PROCLUS_CHECK(num_streams >= 1);
+  in_region_ = true;
+  current_stream_ = 0;
+  stream_seconds_.assign(num_streams, 0.0);
+}
+
+void Device::SetStream(int stream) {
+  PROCLUS_CHECK(in_region_);
+  PROCLUS_CHECK(stream >= 0 &&
+                stream < static_cast<int>(stream_seconds_.size()));
+  current_stream_ = stream;
+}
+
+void Device::EndConcurrentRegion() {
+  PROCLUS_CHECK(in_region_);
+  in_region_ = false;
+  double sum = 0.0;
+  double longest = 0.0;
+  for (const double s : stream_seconds_) {
+    sum += s;
+    longest = std::max(longest, s);
+  }
+  // The launches were recorded sequentially; fold the overlap back in.
+  perf_model_.AdjustTotal(longest - sum);
+}
+
+void Device::Launch(const char* name, LaunchConfig cfg,
+                    const WorkEstimate& work,
+                    const std::function<void(BlockContext&)>& body) {
+  PROCLUS_CHECK(cfg.grid_dim >= 0);
+  PROCLUS_CHECK(cfg.block_dim >= 1);
+  PROCLUS_CHECK(cfg.block_dim <= props_.max_threads_per_block);
+  const double seconds =
+      perf_model_.RecordLaunch(name, cfg.grid_dim, cfg.block_dim, work);
+  if (in_region_) stream_seconds_[current_stream_] += seconds;
+  if (cfg.grid_dim == 0) return;
+  if (pool_.num_threads() == 1 || cfg.grid_dim == 1) {
+    // Single host worker: run blocks in order on the calling thread. This is
+    // the fully deterministic path.
+    std::vector<char> shared(kSharedMemoryBytes);
+    for (int64_t b = 0; b < cfg.grid_dim; ++b) {
+      BlockContext block(b, cfg, &shared);
+      body(block);
+    }
+    return;
+  }
+  // Multi-worker hosts: distribute contiguous ranges of blocks.
+  const int64_t workers = pool_.num_threads();
+  const int64_t per_worker = (cfg.grid_dim + workers - 1) / workers;
+  parallel::ParallelForChunked(
+      pool_, 0, cfg.grid_dim,
+      [&](int64_t lo, int64_t hi) {
+        std::vector<char> shared(kSharedMemoryBytes);
+        for (int64_t b = lo; b < hi; ++b) {
+          BlockContext block(b, cfg, &shared);
+          body(block);
+        }
+      },
+      per_worker);
+}
+
+}  // namespace proclus::simt

@@ -1,0 +1,200 @@
+#ifndef PROCLUS_SIMT_DEVICE_H_
+#define PROCLUS_SIMT_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "parallel/thread_pool.h"
+#include "simt/device_properties.h"
+#include "simt/perf_model.h"
+
+namespace proclus::simt {
+
+class Device;
+
+// Kernel launch geometry: `grid_dim` thread blocks of `block_dim` threads.
+struct LaunchConfig {
+  int64_t grid_dim = 1;
+  int block_dim = 1;
+};
+
+// Per-block shared-memory capacity (the 48 KiB of a CUDA SM).
+inline constexpr size_t kSharedMemoryBytes = 48 * 1024;
+
+// Execution context handed to the kernel body, once per thread block.
+//
+// The simulator preserves CUDA's intra-block synchronization semantics by
+// construction: the per-thread work of one ForEachThread call completes
+// before the next call starts, so the boundary between two ForEachThread
+// calls *is* a __syncthreads() barrier. Kernels are therefore written as a
+// sequence of thread phases, exactly mirroring the paper's pseudo-code
+// ("synchronize threads" = start a new ForEachThread phase).
+//
+// Memory written by other blocks must be accessed through the atomics in
+// simt/atomic.h, since blocks may run concurrently on host worker threads.
+class BlockContext {
+ public:
+  BlockContext(int64_t block_idx, const LaunchConfig& cfg,
+               std::vector<char>* shared_arena)
+      : block_idx_(block_idx), cfg_(cfg), shared_arena_(shared_arena) {}
+
+  int64_t block_idx() const { return block_idx_; }
+  int64_t grid_dim() const { return cfg_.grid_dim; }
+  int block_dim() const { return cfg_.block_dim; }
+
+  // Runs fn(tid) for every thread tid in [0, block_dim). One phase; an
+  // implicit barrier separates consecutive phases.
+  template <typename Fn>
+  void ForEachThread(Fn&& fn) {
+    for (int tid = 0; tid < cfg_.block_dim; ++tid) fn(tid);
+  }
+
+  // Thread-strided loop over [0, count): "if the for-loop has more
+  // iterations than threads per thread block, each thread handles multiple
+  // iterations" (paper §4). Iteration i is executed by thread i % block_dim.
+  template <typename Fn>
+  void ForEachThreadStrided(int64_t count, Fn&& fn) {
+    for (int64_t i = 0; i < count; ++i) fn(i);
+  }
+
+  // Documentation marker for a __syncthreads() point. Phases are already
+  // sequential per block, so this is a no-op at runtime.
+  void Sync() {}
+
+  // Allocates `count` zero-initialized elements of block-shared memory.
+  // Valid until the block finishes. Mirrors CUDA __shared__ arrays,
+  // including the per-block capacity limit (kSharedMemoryBytes, the 48 KiB
+  // of a CUDA SM); exceeding it aborts like an oversized __shared__ array
+  // fails to launch.
+  template <typename T>
+  T* Shared(int64_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t bytes = static_cast<size_t>(count) * sizeof(T);
+    const size_t offset = (shared_used_ + alignof(T) - 1) / alignof(T) *
+                          alignof(T);
+    shared_used_ = offset + bytes;
+    PROCLUS_CHECK(shared_used_ <= shared_arena_->size());
+    char* ptr = shared_arena_->data() + offset;
+    std::memset(ptr, 0, bytes);
+    return reinterpret_cast<T*>(ptr);
+  }
+
+ private:
+  int64_t block_idx_;
+  LaunchConfig cfg_;
+  std::vector<char>* shared_arena_;
+  size_t shared_used_ = 0;
+};
+
+// Simulated GPU. Owns
+//   * a bump-pointer global-memory arena (the paper allocates all device
+//     memory once up-front and reuses it across iterations; FreeAll() plus
+//     peak_allocated_bytes() give the space-usage numbers of Fig. 3f),
+//   * a host thread pool on which thread blocks execute,
+//   * a PerfModel that prices every launch to produce modeled device time.
+class Device {
+ public:
+  explicit Device(DeviceProperties props = DeviceProperties::Gtx1660Ti(),
+                  int host_workers = 0);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceProperties& properties() const { return props_; }
+
+  // --- Global memory -------------------------------------------------------
+
+  // Allocates `count` elements of device global memory (zero-initialized).
+  // Aborts if the simulated device capacity would be exceeded, matching the
+  // paper's observation that GPU memory is the limiting factor at 8M points.
+  template <typename T>
+  T* Alloc(int64_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return reinterpret_cast<T*>(
+        AllocBytes(static_cast<size_t>(count) * sizeof(T), alignof(T)));
+  }
+
+  void Memset(void* ptr, int value, size_t bytes) {
+    std::memset(ptr, value, bytes);
+  }
+
+  // Host -> device / device -> host copies. Same address space here, but the
+  // transfer is priced by the PCIe model so benches can report transfer cost.
+  template <typename T>
+  void CopyToDevice(T* dst, const T* src, int64_t count) {
+    const size_t bytes = static_cast<size_t>(count) * sizeof(T);
+    std::memcpy(dst, src, bytes);
+    perf_model_.RecordTransfer(static_cast<double>(bytes));
+  }
+  template <typename T>
+  void CopyToHost(T* dst, const T* src, int64_t count) {
+    const size_t bytes = static_cast<size_t>(count) * sizeof(T);
+    std::memcpy(dst, src, bytes);
+    perf_model_.RecordTransfer(static_cast<double>(bytes));
+  }
+
+  size_t allocated_bytes() const { return allocated_bytes_; }
+  size_t peak_allocated_bytes() const { return peak_allocated_bytes_; }
+
+  // Releases every allocation (arena reset).
+  void FreeAll();
+
+  // --- Kernel launch -------------------------------------------------------
+
+  // Launches `body` once per block in `cfg`, distributing blocks over the
+  // host pool, and blocks until the grid completes (kernel launches in the
+  // paper's host code are implicitly ordered; we keep that semantics).
+  // `work` is the launch's total work estimate for the performance model.
+  void Launch(const char* name, LaunchConfig cfg, const WorkEstimate& work,
+              const std::function<void(BlockContext&)>& body);
+
+  // --- Concurrent-kernel regions (CUDA streams) ------------------------------
+
+  // The paper (§5.4) notes that independent small kernels could run in
+  // concurrent streams to engage more cores. Launches issued between
+  // BeginConcurrentRegion and EndConcurrentRegion are attributed to the
+  // stream selected with SetStream; the region contributes
+  // max over streams (sum of that stream's kernel times) to the modeled
+  // device time instead of the plain sum. Functional execution is
+  // unchanged (kernels in a region must be independent, as on real
+  // hardware). Regions must not nest.
+  void BeginConcurrentRegion(int num_streams);
+  void SetStream(int stream);
+  void EndConcurrentRegion();
+
+  // --- Statistics -----------------------------------------------------------
+
+  const PerfModel& perf_model() const { return perf_model_; }
+  double modeled_seconds() const { return perf_model_.modeled_seconds(); }
+  void ResetStats() { perf_model_.Reset(); }
+
+ private:
+  char* AllocBytes(size_t bytes, size_t alignment);
+
+  DeviceProperties props_;
+  parallel::ThreadPool pool_;
+  PerfModel perf_model_;
+
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t capacity = 0;
+    size_t used = 0;
+  };
+  std::vector<Chunk> chunks_;
+  size_t allocated_bytes_ = 0;
+  size_t peak_allocated_bytes_ = 0;
+
+  // Stream-region state.
+  bool in_region_ = false;
+  int current_stream_ = 0;
+  std::vector<double> stream_seconds_;
+};
+
+}  // namespace proclus::simt
+
+#endif  // PROCLUS_SIMT_DEVICE_H_

@@ -1,0 +1,50 @@
+#ifndef PROCLUS_SIMT_DEVICE_PROPERTIES_H_
+#define PROCLUS_SIMT_DEVICE_PROPERTIES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace proclus::simt {
+
+// Static description of the simulated GPU. The defaults model the GeForce
+// GTX 1660 Ti used for the paper's smaller experiments; Rtx3090() models the
+// card used for the large synthetic runs. The analytical performance model
+// (perf_model.h) converts kernel work/traffic into estimated device time
+// using these figures.
+struct DeviceProperties {
+  const char* name = "sim-gtx1660ti";
+  int sm_count = 24;              // streaming multiprocessors
+  int cores_per_sm = 64;          // CUDA cores per SM
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  int max_warps_per_sm = 32;      // 1024 resident threads per SM
+  int max_blocks_per_sm = 16;
+  double clock_ghz = 1.77;        // boost clock
+  double mem_bandwidth_gbps = 288.0;   // device DRAM bandwidth
+  double pcie_bandwidth_gbps = 12.0;   // host <-> device transfers
+  double kernel_launch_overhead_us = 4.0;
+  double atomic_cost_cycles = 20.0;    // serialized cost per global atomic
+  size_t global_memory_bytes = 6ULL << 30;
+
+  // Peak single-precision throughput in FLOP/s.
+  double PeakFlops() const {
+    return static_cast<double>(sm_count) * cores_per_sm * clock_ghz * 1e9;
+  }
+
+  static DeviceProperties Gtx1660Ti() { return DeviceProperties{}; }
+
+  static DeviceProperties Rtx3090() {
+    DeviceProperties p;
+    p.name = "sim-rtx3090";
+    p.sm_count = 82;
+    p.cores_per_sm = 128;
+    p.clock_ghz = 1.70;
+    p.mem_bandwidth_gbps = 936.0;
+    p.global_memory_bytes = 24ULL << 30;
+    return p;
+  }
+};
+
+}  // namespace proclus::simt
+
+#endif  // PROCLUS_SIMT_DEVICE_PROPERTIES_H_

@@ -1,0 +1,87 @@
+#include "simt/primitives.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "simt/atomic.h"
+
+namespace proclus::simt {
+
+namespace {
+constexpr int kBlock = 1024;
+}  // namespace
+
+void Iota(Device& device, const char* name, int* values, int64_t count) {
+  if (count <= 0) return;
+  const int64_t grid = (count + kBlock - 1) / kBlock;
+  device.Launch(name, {grid, kBlock},
+                WorkEstimate{0.0, 4.0 * count, 0.0}, [&](BlockContext& b) {
+                  b.ForEachThread([&](int tid) {
+                    const int64_t i = b.block_idx() * kBlock + tid;
+                    if (i < count) values[i] = static_cast<int>(i);
+                  });
+                });
+}
+
+double ReduceSum(Device& device, const char* name, const double* values,
+                 int64_t count, double* out) {
+  *out = 0.0;
+  if (count > 0) {
+    const int64_t grid = (count + kBlock - 1) / kBlock;
+    device.Launch(
+        name, {grid, kBlock},
+        WorkEstimate{static_cast<double>(count), 8.0 * count,
+                     static_cast<double>(grid)},
+        [&](BlockContext& b) {
+          double local = 0.0;
+          b.ForEachThread([&](int tid) {
+            const int64_t i = b.block_idx() * kBlock + tid;
+            if (i < count) local += values[i];
+          });
+          AtomicAdd(out, local);
+        });
+  }
+  return *out;
+}
+
+float ReduceMin(Device& device, const char* name, const float* values,
+                int64_t count, float* out) {
+  *out = std::numeric_limits<float>::infinity();
+  if (count > 0) {
+    const int64_t grid = (count + kBlock - 1) / kBlock;
+    device.Launch(name, {grid, kBlock},
+                  WorkEstimate{static_cast<double>(count), 4.0 * count,
+                               static_cast<double>(grid)},
+                  [&](BlockContext& b) {
+                    float local = std::numeric_limits<float>::infinity();
+                    b.ForEachThread([&](int tid) {
+                      const int64_t i = b.block_idx() * kBlock + tid;
+                      if (i < count) local = std::min(local, values[i]);
+                    });
+                    AtomicMin(out, local);
+                  });
+  }
+  return *out;
+}
+
+float ReduceMax(Device& device, const char* name, const float* values,
+                int64_t count, float* out) {
+  *out = -std::numeric_limits<float>::infinity();
+  if (count > 0) {
+    const int64_t grid = (count + kBlock - 1) / kBlock;
+    device.Launch(name, {grid, kBlock},
+                  WorkEstimate{static_cast<double>(count), 4.0 * count,
+                               static_cast<double>(grid)},
+                  [&](BlockContext& b) {
+                    float local = -std::numeric_limits<float>::infinity();
+                    b.ForEachThread([&](int tid) {
+                      const int64_t i = b.block_idx() * kBlock + tid;
+                      if (i < count) local = std::max(local, values[i]);
+                    });
+                    AtomicMax(out, local);
+                  });
+  }
+  return *out;
+}
+
+}  // namespace proclus::simt

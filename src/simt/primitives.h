@@ -1,0 +1,52 @@
+#ifndef PROCLUS_SIMT_PRIMITIVES_H_
+#define PROCLUS_SIMT_PRIMITIVES_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "simt/device.h"
+
+namespace proclus::simt {
+
+// Small library of device primitives built on Launch: value fills, iota and
+// reductions. They are kernels like any other (recorded and priced by the
+// performance model under the given name), which keeps host code honest —
+// initializing device memory costs a launch, exactly as in CUDA.
+
+// Fills values[0, count) with `value`.
+template <typename T>
+void Fill(Device& device, const char* name, T* values, int64_t count,
+          T value) {
+  if (count <= 0) return;
+  const int block = static_cast<int>(
+      std::min<int64_t>(count, device.properties().max_threads_per_block));
+  const int64_t grid = (count + block - 1) / block;
+  device.Launch(name, {grid, block},
+                WorkEstimate{0.0, static_cast<double>(count) * sizeof(T), 0.0},
+                [&](BlockContext& b) {
+                  b.ForEachThread([&](int tid) {
+                    const int64_t i = b.block_idx() * block + tid;
+                    if (i < count) values[i] = value;
+                  });
+                });
+}
+
+// values[i] = i for i in [0, count).
+void Iota(Device& device, const char* name, int* values, int64_t count);
+
+// Tree-style device reduction: per-block partial sums (sequential within a
+// block, one atomic per block), result written to *out.
+double ReduceSum(Device& device, const char* name, const double* values,
+                 int64_t count, double* out);
+
+// Reduction to the minimum; result written to *out and returned.
+float ReduceMin(Device& device, const char* name, const float* values,
+                int64_t count, float* out);
+
+// Reduction to the maximum; result written to *out and returned.
+float ReduceMax(Device& device, const char* name, const float* values,
+                int64_t count, float* out);
+
+}  // namespace proclus::simt
+
+#endif  // PROCLUS_SIMT_PRIMITIVES_H_

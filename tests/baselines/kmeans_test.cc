@@ -1,0 +1,147 @@
+#include "baselines/kmeans.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/normalize.h"
+#include "eval/metrics.h"
+
+namespace proclus::baselines {
+namespace {
+
+data::Dataset FullDimClusters(int64_t n = 600, int d = 6, int clusters = 3,
+                              uint64_t seed = 12) {
+  data::GeneratorConfig config;
+  config.n = n;
+  config.d = d;
+  config.num_clusters = clusters;
+  config.subspace_dim = d;
+  config.stddev = 1.5;
+  config.seed = seed;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  return ds;
+}
+
+TEST(KMeansTest, ResultShapeIsValid) {
+  const data::Dataset ds = FullDimClusters();
+  KMeansParams params;
+  params.k = 3;
+  KMeansResult result;
+  ASSERT_TRUE(KMeans(ds.points, params, &result).ok());
+  EXPECT_EQ(result.centroids.size(), 3u);
+  for (const auto& c : result.centroids) {
+    EXPECT_EQ(c.size(), static_cast<size_t>(ds.d()));
+  }
+  EXPECT_EQ(result.assignment.size(), static_cast<size_t>(ds.n()));
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_GT(result.inertia, 0.0);
+}
+
+TEST(KMeansTest, RecoversFullDimensionalClusters) {
+  const data::Dataset ds = FullDimClusters();
+  KMeansParams params;
+  params.k = 3;
+  KMeansResult result;
+  ASSERT_TRUE(KMeans(ds.points, params, &result).ok());
+  EXPECT_GT(eval::AdjustedRandIndex(ds.labels, result.assignment), 0.9);
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  const data::Dataset ds = FullDimClusters();
+  KMeansParams params;
+  params.k = 3;
+  KMeansResult a;
+  KMeansResult b;
+  ASSERT_TRUE(KMeans(ds.points, params, &a).ok());
+  ASSERT_TRUE(KMeans(ds.points, params, &b).ok());
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, InertiaMatchesAssignment) {
+  const data::Dataset ds = FullDimClusters(200, 4, 2);
+  KMeansParams params;
+  params.k = 2;
+  KMeansResult result;
+  ASSERT_TRUE(KMeans(ds.points, params, &result).ok());
+  double expected = 0.0;
+  for (int64_t p = 0; p < ds.n(); ++p) {
+    const auto& c = result.centroids[result.assignment[p]];
+    for (int64_t j = 0; j < ds.d(); ++j) {
+      const double diff = ds.points(p, j) - c[j];
+      expected += diff * diff;
+    }
+  }
+  EXPECT_NEAR(result.inertia, expected, 1e-6 * expected + 1e-9);
+}
+
+TEST(KMeansTest, MoreClustersNeverWorseInertia) {
+  const data::Dataset ds = FullDimClusters(400, 5, 4);
+  KMeansParams params;
+  params.k = 2;
+  KMeansResult coarse;
+  ASSERT_TRUE(KMeans(ds.points, params, &coarse).ok());
+  params.k = 8;
+  KMeansResult fine;
+  ASSERT_TRUE(KMeans(ds.points, params, &fine).ok());
+  EXPECT_LT(fine.inertia, coarse.inertia);
+}
+
+TEST(KMeansTest, KOneCentroidIsMean) {
+  data::Matrix m(4, 1);
+  m(0, 0) = 0.0f;
+  m(1, 0) = 1.0f;
+  m(2, 0) = 2.0f;
+  m(3, 0) = 3.0f;
+  KMeansParams params;
+  params.k = 1;
+  KMeansResult result;
+  ASSERT_TRUE(KMeans(m, params, &result).ok());
+  EXPECT_NEAR(result.centroids[0][0], 1.5f, 1e-5);
+}
+
+TEST(KMeansTest, ConvergesOnIdenticalPoints) {
+  data::Matrix m(50, 3);
+  for (int64_t i = 0; i < 50; ++i) {
+    for (int64_t j = 0; j < 3; ++j) m(i, j) = 0.5f;
+  }
+  KMeansParams params;
+  params.k = 4;
+  KMeansResult result;
+  ASSERT_TRUE(KMeans(m, params, &result).ok());
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+  EXPECT_LE(result.iterations, 3);
+}
+
+TEST(KMeansTest, RejectsInvalidInputs) {
+  const data::Dataset ds = FullDimClusters(50, 3, 1);
+  KMeansParams params;
+  KMeansResult result;
+  params.k = 0;
+  EXPECT_FALSE(KMeans(ds.points, params, &result).ok());
+  params.k = 51;
+  EXPECT_FALSE(KMeans(ds.points, params, &result).ok());
+  params.k = 2;
+  params.max_iterations = 0;
+  EXPECT_FALSE(KMeans(ds.points, params, &result).ok());
+  params.max_iterations = 10;
+  EXPECT_FALSE(KMeans(data::Matrix(), params, &result).ok());
+  EXPECT_FALSE(KMeans(ds.points, params, nullptr).ok());
+}
+
+TEST(KMeansTest, RespectsMaxIterations) {
+  const data::Dataset ds = FullDimClusters(500, 6, 5);
+  KMeansParams params;
+  params.k = 5;
+  params.max_iterations = 2;
+  params.tolerance = 0.0;
+  KMeansResult result;
+  ASSERT_TRUE(KMeans(ds.points, params, &result).ok());
+  EXPECT_LE(result.iterations, 2);
+}
+
+}  // namespace
+}  // namespace proclus::baselines

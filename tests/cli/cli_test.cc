@@ -1,0 +1,210 @@
+#include "cli/cli.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/io.h"
+
+namespace proclus::cli {
+namespace {
+
+Status Parse(std::initializer_list<const char*> args, CliConfig* config) {
+  return ParseArgs(std::vector<std::string>(args.begin(), args.end()),
+                   config);
+}
+
+TEST(ParseArgsTest, RequiresInputOrGenerate) {
+  CliConfig config;
+  EXPECT_FALSE(Parse({}, &config).ok());
+  EXPECT_TRUE(Parse({"--generate", "100,5,2"}, &config).ok());
+  EXPECT_TRUE(Parse({"--input", "x.csv"}, &config).ok());
+  EXPECT_FALSE(
+      Parse({"--input", "x.csv", "--generate", "100,5,2"}, &config).ok());
+}
+
+TEST(ParseArgsTest, HelpShortCircuits) {
+  CliConfig config;
+  ASSERT_TRUE(Parse({"--help"}, &config).ok());
+  EXPECT_TRUE(config.show_help);
+  ASSERT_TRUE(Parse({"-h"}, &config).ok());
+  EXPECT_TRUE(config.show_help);
+}
+
+TEST(ParseArgsTest, GenerateParsesTriple) {
+  CliConfig config;
+  ASSERT_TRUE(Parse({"--generate", "5000,12,4"}, &config).ok());
+  EXPECT_TRUE(config.generate);
+  EXPECT_EQ(config.gen_n, 5000);
+  EXPECT_EQ(config.gen_d, 12);
+  EXPECT_EQ(config.gen_clusters, 4);
+}
+
+TEST(ParseArgsTest, GenerateRejectsMalformed) {
+  CliConfig config;
+  EXPECT_FALSE(Parse({"--generate", "5000"}, &config).ok());
+  EXPECT_FALSE(Parse({"--generate", "5000,12"}, &config).ok());
+  EXPECT_FALSE(Parse({"--generate", "a,b,c"}, &config).ok());
+}
+
+TEST(ParseArgsTest, AlgorithmParameters) {
+  CliConfig config;
+  ASSERT_TRUE(Parse({"--generate", "100,5,2", "--k", "7", "--l", "3", "--A",
+                     "50", "--B", "5", "--min-dev", "0.5", "--itr-pat", "9",
+                     "--seed", "123"},
+                    &config)
+                  .ok());
+  EXPECT_EQ(config.params.k, 7);
+  EXPECT_EQ(config.params.l, 3);
+  EXPECT_DOUBLE_EQ(config.params.a, 50.0);
+  EXPECT_DOUBLE_EQ(config.params.b, 5.0);
+  EXPECT_DOUBLE_EQ(config.params.min_dev, 0.5);
+  EXPECT_EQ(config.params.itr_pat, 9);
+  EXPECT_EQ(config.params.seed, 123u);
+}
+
+TEST(ParseArgsTest, BackendAndStrategy) {
+  CliConfig config;
+  ASSERT_TRUE(Parse({"--generate", "100,5,2", "--backend", "cpu",
+                     "--strategy", "baseline"},
+                    &config)
+                  .ok());
+  EXPECT_EQ(config.options.backend, core::ComputeBackend::kCpu);
+  EXPECT_EQ(config.options.strategy, core::Strategy::kBaseline);
+  ASSERT_TRUE(Parse({"--generate", "100,5,2", "--backend", "mc",
+                     "--strategy", "faststar", "--threads", "4"},
+                    &config)
+                  .ok());
+  EXPECT_EQ(config.options.backend, core::ComputeBackend::kMultiCore);
+  EXPECT_EQ(config.options.strategy, core::Strategy::kFastStar);
+  EXPECT_EQ(config.options.num_threads, 4);
+  EXPECT_FALSE(
+      Parse({"--generate", "100,5,2", "--backend", "tpu"}, &config).ok());
+  EXPECT_FALSE(
+      Parse({"--generate", "100,5,2", "--strategy", "slow"}, &config).ok());
+}
+
+TEST(ParseArgsTest, UnknownFlagRejectedWithHint) {
+  CliConfig config;
+  const Status st = Parse({"--generate", "100,5,2", "--frobnicate"}, &config);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("--frobnicate"), std::string::npos);
+}
+
+TEST(ParseArgsTest, MissingValueRejected) {
+  CliConfig config;
+  EXPECT_FALSE(Parse({"--generate", "100,5,2", "--k"}, &config).ok());
+  EXPECT_FALSE(Parse({"--input"}, &config).ok());
+}
+
+TEST(ParseArgsTest, DefaultsMatchLibraryDefaults) {
+  CliConfig config;
+  ASSERT_TRUE(Parse({"--generate", "100,5,2"}, &config).ok());
+  EXPECT_EQ(config.params.k, 10);
+  EXPECT_EQ(config.params.l, 5);
+  EXPECT_EQ(config.options.backend, core::ComputeBackend::kGpu);
+  EXPECT_EQ(config.options.strategy, core::Strategy::kFast);
+  EXPECT_TRUE(config.normalize);
+}
+
+class RunCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "proclus_cli_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(RunCliTest, HelpPrintsUsage) {
+  CliConfig config;
+  config.show_help = true;
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(config, out).ok());
+  EXPECT_NE(out.str().find("--input"), std::string::npos);
+  EXPECT_NE(out.str().find("--strategy"), std::string::npos);
+}
+
+TEST_F(RunCliTest, GenerateAndClusterEndToEnd) {
+  CliConfig config;
+  ASSERT_TRUE(Parse({"--generate", "800,8,3", "--k", "3", "--l", "4", "--A",
+                     "20", "--B", "5", "--backend", "cpu"},
+                    &config)
+                  .ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(config, out).ok());
+  EXPECT_NE(out.str().find("cluster"), std::string::npos);
+  EXPECT_NE(out.str().find("subspace"), std::string::npos);
+  EXPECT_NE(out.str().find("ARI vs labels"), std::string::npos);
+}
+
+TEST_F(RunCliTest, CsvInputAndAssignmentOutput) {
+  data::GeneratorConfig gen;
+  gen.n = 500;
+  gen.d = 6;
+  gen.num_clusters = 2;
+  gen.subspace_dim = 3;
+  gen.seed = 5;
+  const data::Dataset ds = data::GenerateSubspaceDataOrDie(gen);
+  ASSERT_TRUE(data::WriteCsv(ds, Path("in.csv")).ok());
+
+  CliConfig config;
+  ASSERT_TRUE(Parse({"--input", Path("in.csv").c_str(), "--labels", "--k",
+                     "2", "--l", "3", "--A", "20", "--B", "5", "--backend",
+                     "gpu", "--output", Path("out.csv").c_str()},
+                    &config)
+                  .ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(config, out).ok());
+
+  std::ifstream assignment(Path("out.csv"));
+  ASSERT_TRUE(assignment.is_open());
+  int64_t lines = 0;
+  std::string line;
+  while (std::getline(assignment, line)) {
+    ++lines;
+    const int c = std::stoi(line);
+    EXPECT_GE(c, -1);
+    EXPECT_LT(c, 2);
+  }
+  EXPECT_EQ(lines, 500);
+}
+
+TEST_F(RunCliTest, MissingInputFileReportsIoError) {
+  CliConfig config;
+  ASSERT_TRUE(Parse({"--input", Path("nope.csv").c_str()}, &config).ok());
+  std::ostringstream out;
+  const Status st = RunCli(config, out);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+TEST_F(RunCliTest, InvalidParametersSurfaceAsStatus) {
+  CliConfig config;
+  ASSERT_TRUE(
+      Parse({"--generate", "800,8,3", "--l", "20"}, &config).ok());
+  std::ostringstream out;
+  EXPECT_FALSE(RunCli(config, out).ok());
+}
+
+TEST_F(RunCliTest, ExploreRunsGrid) {
+  CliConfig config;
+  ASSERT_TRUE(Parse({"--generate", "600,8,3", "--k", "4", "--l", "3", "--A",
+                     "15", "--B", "4", "--explore", "--backend", "cpu"},
+                    &config)
+                  .ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(config, out).ok());
+  EXPECT_NE(out.str().find("explored 9 settings"), std::string::npos);
+  EXPECT_NE(out.str().find("k=4 l=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace proclus::cli

@@ -1,0 +1,62 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+TEST(EnvTest, Int64FallbackWhenUnset) {
+  unsetenv("PROCLUS_TEST_INT");
+  EXPECT_EQ(GetEnvInt64("PROCLUS_TEST_INT", 42), 42);
+}
+
+TEST(EnvTest, Int64ParsesValue) {
+  setenv("PROCLUS_TEST_INT", "1234", 1);
+  EXPECT_EQ(GetEnvInt64("PROCLUS_TEST_INT", 42), 1234);
+  unsetenv("PROCLUS_TEST_INT");
+}
+
+TEST(EnvTest, Int64ParsesNegative) {
+  setenv("PROCLUS_TEST_INT", "-7", 1);
+  EXPECT_EQ(GetEnvInt64("PROCLUS_TEST_INT", 42), -7);
+  unsetenv("PROCLUS_TEST_INT");
+}
+
+TEST(EnvTest, Int64FallbackOnGarbage) {
+  setenv("PROCLUS_TEST_INT", "12abc", 1);
+  EXPECT_EQ(GetEnvInt64("PROCLUS_TEST_INT", 42), 42);
+  setenv("PROCLUS_TEST_INT", "abc", 1);
+  EXPECT_EQ(GetEnvInt64("PROCLUS_TEST_INT", 42), 42);
+  unsetenv("PROCLUS_TEST_INT");
+}
+
+TEST(EnvTest, Int64FallbackOnEmpty) {
+  setenv("PROCLUS_TEST_INT", "", 1);
+  EXPECT_EQ(GetEnvInt64("PROCLUS_TEST_INT", 42), 42);
+  unsetenv("PROCLUS_TEST_INT");
+}
+
+TEST(EnvTest, DoubleParsesValue) {
+  setenv("PROCLUS_TEST_DBL", "0.25", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("PROCLUS_TEST_DBL", 1.0), 0.25);
+  unsetenv("PROCLUS_TEST_DBL");
+}
+
+TEST(EnvTest, DoubleFallbackOnGarbage) {
+  setenv("PROCLUS_TEST_DBL", "zzz", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("PROCLUS_TEST_DBL", 1.5), 1.5);
+  unsetenv("PROCLUS_TEST_DBL");
+}
+
+TEST(EnvTest, StringValueAndFallback) {
+  unsetenv("PROCLUS_TEST_STR");
+  EXPECT_EQ(GetEnvString("PROCLUS_TEST_STR", "dflt"), "dflt");
+  setenv("PROCLUS_TEST_STR", "hello", 1);
+  EXPECT_EQ(GetEnvString("PROCLUS_TEST_STR", "dflt"), "hello");
+  unsetenv("PROCLUS_TEST_STR");
+}
+
+}  // namespace
+}  // namespace proclus

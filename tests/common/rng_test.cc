@@ -1,0 +1,156 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextU64() != b.NextU64()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextFloatInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.NextFloat();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(99);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntWithinBound) {
+  Rng rng(11);
+  for (int64_t bound : {1, 2, 3, 7, 100, 1 << 20}) {
+    for (int i = 0; i < 1000; ++i) {
+      const int64_t v = rng.UniformInt(bound);
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntBoundOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(1), 0);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(17);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(23);
+  std::vector<int> counts(8, 0);
+  const int trials = 80000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.UniformInt(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, trials / 8, trials / 8 * 0.1);
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(31);
+  const int trials = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / trials, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithMeanAndStddev) {
+  Rng rng(37);
+  const int trials = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / trials, 10.0, 0.05);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(100, 50);
+  EXPECT_EQ(sample.size(), 50u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (const int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullPopulationIsPermutation) {
+  Rng rng(43);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(20, 20);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(RngTest, SampleWithoutReplacementEmpty) {
+  Rng rng(47);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+}
+
+TEST(RngTest, SampleWithoutReplacementUnbiasedFirstElement) {
+  // Every element should appear in a size-1 sample with equal probability.
+  std::vector<int> counts(5, 0);
+  for (int seed = 0; seed < 20000; ++seed) {
+    Rng rng(seed);
+    ++counts[rng.SampleWithoutReplacement(5, 1)[0]];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 4000, 400);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(53);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = values;
+  rng.Shuffle(values);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, original);
+}
+
+}  // namespace
+}  // namespace proclus

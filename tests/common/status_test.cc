@@ -1,0 +1,63 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  const Status st = Status::InvalidArgument("k must be >= 1");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "k must be >= 1");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: k must be >= 1");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::IoError("a"), Status::IoError("a"));
+  EXPECT_FALSE(Status::IoError("a") == Status::IoError("b"));
+  EXPECT_FALSE(Status::IoError("a") == Status::Internal("a"));
+}
+
+Status FailsThenPropagates(bool fail) {
+  PROCLUS_RETURN_NOT_OK(fail ? Status::Internal("inner") : Status::OK());
+  return Status::IoError("outer");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagatesError) {
+  EXPECT_EQ(FailsThenPropagates(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(FailsThenPropagates(false).code(), StatusCode::kIoError);
+}
+
+TEST(StatusTest, ToStringForEveryCode) {
+  EXPECT_EQ(Status::OutOfRange("m").ToString(), "OutOfRange: m");
+  EXPECT_EQ(Status::ResourceExhausted("m").ToString(),
+            "ResourceExhausted: m");
+  EXPECT_EQ(Status::FailedPrecondition("m").ToString(),
+            "FailedPrecondition: m");
+}
+
+}  // namespace
+}  // namespace proclus

@@ -1,0 +1,58 @@
+// The display names of variants/backends/strategies/reuse levels are part
+// of the public API surface (benches, CLI and downstream logs parse them).
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "core/multi_param.h"
+
+namespace proclus::core {
+namespace {
+
+TEST(NamingTest, BackendNames) {
+  EXPECT_STREQ(BackendName(ComputeBackend::kCpu), "CPU");
+  EXPECT_STREQ(BackendName(ComputeBackend::kMultiCore), "MC");
+  EXPECT_STREQ(BackendName(ComputeBackend::kGpu), "GPU");
+}
+
+TEST(NamingTest, StrategyNames) {
+  EXPECT_STREQ(StrategyName(Strategy::kBaseline), "PROCLUS");
+  EXPECT_STREQ(StrategyName(Strategy::kFast), "FAST-PROCLUS");
+  EXPECT_STREQ(StrategyName(Strategy::kFastStar), "FAST*-PROCLUS");
+}
+
+TEST(NamingTest, VariantNamesMatchThePaperNomenclature) {
+  EXPECT_EQ(VariantName(ComputeBackend::kCpu, Strategy::kBaseline),
+            "PROCLUS");
+  EXPECT_EQ(VariantName(ComputeBackend::kCpu, Strategy::kFast),
+            "FAST-PROCLUS");
+  EXPECT_EQ(VariantName(ComputeBackend::kGpu, Strategy::kBaseline),
+            "GPU-PROCLUS");
+  EXPECT_EQ(VariantName(ComputeBackend::kGpu, Strategy::kFast),
+            "GPU-FAST-PROCLUS");
+  EXPECT_EQ(VariantName(ComputeBackend::kGpu, Strategy::kFastStar),
+            "GPU-FAST*-PROCLUS");
+  EXPECT_EQ(VariantName(ComputeBackend::kMultiCore, Strategy::kFast),
+            "MC-FAST-PROCLUS");
+}
+
+TEST(NamingTest, ReuseLevelNames) {
+  EXPECT_STREQ(ReuseLevelName(ReuseLevel::kNone), "independent");
+  EXPECT_STREQ(ReuseLevelName(ReuseLevel::kCache), "multi-param 1");
+  EXPECT_STREQ(ReuseLevelName(ReuseLevel::kGreedy), "multi-param 2");
+  EXPECT_STREQ(ReuseLevelName(ReuseLevel::kWarmStart), "multi-param 3");
+}
+
+TEST(NamingTest, PhaseSecondsTotalSums) {
+  PhaseSeconds phases;
+  phases.greedy = 1.0;
+  phases.compute_distances = 2.0;
+  phases.find_dimensions = 3.0;
+  phases.assign_points = 4.0;
+  phases.evaluate = 5.0;
+  phases.refine = 6.0;
+  EXPECT_DOUBLE_EQ(phases.Total(), 21.0);
+}
+
+}  // namespace
+}  // namespace proclus::core

@@ -1,0 +1,253 @@
+// White-box tests of the CPU engine: Setup/cache lifecycle, greedy
+// selection order, and iteration bookkeeping that the black-box API tests
+// cannot reach directly.
+
+#include "core/cpu_backend.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/executor.h"
+#include "core/subroutines.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+
+namespace proclus::core {
+namespace {
+
+data::Dataset TestData(uint64_t seed = 3) {
+  data::GeneratorConfig config;
+  config.n = 1000;
+  config.d = 8;
+  config.num_clusters = 4;
+  config.subspace_dim = 4;
+  config.stddev = 2.0;
+  config.seed = seed;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  return ds;
+}
+
+ProclusParams TestParams(int k = 4) {
+  ProclusParams p;
+  p.k = k;
+  p.l = 4;
+  p.a = 15.0;
+  p.b = 4.0;
+  return p;
+}
+
+std::vector<int> Pool(int size, int stride = 40, int offset = 7) {
+  std::vector<int> ids;
+  for (int i = 0; i < size; ++i) ids.push_back(i * stride + offset);
+  return ids;
+}
+
+TEST(GreedySelectTest, FirstPickIsTheGivenCandidate) {
+  const data::Dataset ds = TestData();
+  SequentialExecutor executor;
+  CpuBackend backend(ds.points, Strategy::kBaseline, &executor);
+  std::vector<int> candidates;
+  for (int i = 0; i < 100; ++i) candidates.push_back(i * 10);
+  const auto picked = backend.GreedySelect(candidates, 5, 17);
+  EXPECT_EQ(picked[0], candidates[17]);
+  EXPECT_EQ(picked.size(), 5u);
+}
+
+TEST(GreedySelectTest, PicksAreDistinctCandidates) {
+  const data::Dataset ds = TestData();
+  SequentialExecutor executor;
+  CpuBackend backend(ds.points, Strategy::kBaseline, &executor);
+  std::vector<int> candidates;
+  for (int i = 0; i < 60; ++i) candidates.push_back(i * 16 + 1);
+  const auto picked = backend.GreedySelect(candidates, 20, 0);
+  std::set<int> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const int id : picked) {
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), id) !=
+                candidates.end());
+  }
+}
+
+TEST(GreedySelectTest, SecondPickIsFarthestFromFirst) {
+  const data::Dataset ds = TestData();
+  SequentialExecutor executor;
+  CpuBackend backend(ds.points, Strategy::kBaseline, &executor);
+  std::vector<int> candidates;
+  for (int i = 0; i < 50; ++i) candidates.push_back(i * 20);
+  const auto picked = backend.GreedySelect(candidates, 2, 3);
+  const float* first = ds.points.Row(picked[0]);
+  float max_dist = 0.0f;
+  int expected = -1;
+  for (const int c : candidates) {
+    const float v = EuclideanDistance(first, ds.points.Row(c), ds.d());
+    if (v > max_dist) {
+      max_dist = v;
+      expected = c;
+    }
+  }
+  EXPECT_EQ(picked[1], expected);
+}
+
+TEST(GreedySelectTest, SelectionIsPrefixStable) {
+  // Greedy picking is incremental: the first m picks for a larger pool are
+  // exactly the picks for a pool of size m. This is what makes the
+  // multi-parameter greedy reuse valid (§3.1).
+  const data::Dataset ds = TestData();
+  SequentialExecutor executor;
+  CpuBackend backend(ds.points, Strategy::kBaseline, &executor);
+  std::vector<int> candidates;
+  for (int i = 0; i < 80; ++i) candidates.push_back(i * 12 + 2);
+  const auto large = backend.GreedySelect(candidates, 24, 5);
+  const auto small = backend.GreedySelect(candidates, 8, 5);
+  EXPECT_TRUE(std::equal(small.begin(), small.end(), large.begin()));
+}
+
+TEST(CpuBackendTest, IterateIsIdempotentForSameMedoids) {
+  const data::Dataset ds = TestData();
+  for (const Strategy strategy :
+       {Strategy::kBaseline, Strategy::kFast, Strategy::kFastStar}) {
+    SequentialExecutor executor;
+    CpuBackend backend(ds.points, strategy, &executor);
+    backend.Setup(TestParams(), Pool(16));
+    const std::vector<int> mcur = {0, 4, 8, 12};
+    const IterationOutput first = backend.Iterate(mcur);
+    const IterationOutput second = backend.Iterate(mcur);
+    EXPECT_NEAR(first.cost, second.cost, 1e-12)
+        << StrategyName(strategy);
+    EXPECT_EQ(first.cluster_sizes, second.cluster_sizes)
+        << StrategyName(strategy);
+  }
+}
+
+TEST(CpuBackendTest, FastSkipsRecomputationOnRepeat) {
+  const data::Dataset ds = TestData();
+  SequentialExecutor executor;
+  CpuBackend backend(ds.points, Strategy::kFast, &executor);
+  backend.Setup(TestParams(), Pool(16));
+  const std::vector<int> mcur = {0, 4, 8, 12};
+  backend.Iterate(mcur);
+  RunStats after_first;
+  backend.FillStats(&after_first);
+  backend.Iterate(mcur);
+  RunStats after_second;
+  backend.FillStats(&after_second);
+  // No new distance rows on the repeat.
+  EXPECT_EQ(after_first.euclidean_distances,
+            after_second.euclidean_distances);
+}
+
+TEST(CpuBackendTest, BaselineRecomputesEveryIteration) {
+  const data::Dataset ds = TestData();
+  SequentialExecutor executor;
+  CpuBackend backend(ds.points, Strategy::kBaseline, &executor);
+  backend.Setup(TestParams(), Pool(16));
+  const std::vector<int> mcur = {0, 4, 8, 12};
+  backend.Iterate(mcur);
+  RunStats after_first;
+  backend.FillStats(&after_first);
+  backend.Iterate(mcur);
+  RunStats after_second;
+  backend.FillStats(&after_second);
+  EXPECT_EQ(after_second.euclidean_distances,
+            2 * after_first.euclidean_distances);
+}
+
+TEST(CpuBackendTest, FastCacheInvalidatedByNewPool) {
+  const data::Dataset ds = TestData();
+  SequentialExecutor executor;
+  CpuBackend backend(ds.points, Strategy::kFast, &executor);
+  backend.Setup(TestParams(), Pool(16));
+  const std::vector<int> mcur = {0, 1, 2, 3};
+  const IterationOutput with_pool_a = backend.Iterate(mcur);
+
+  // New pool: the same slot indices now mean different points; results must
+  // reflect the new pool, not stale caches.
+  backend.Setup(TestParams(), Pool(16, 55, 13));
+  const IterationOutput with_pool_b = backend.Iterate(mcur);
+
+  SequentialExecutor fresh_executor;
+  CpuBackend fresh(ds.points, Strategy::kFast, &fresh_executor);
+  fresh.Setup(TestParams(), Pool(16, 55, 13));
+  const IterationOutput expected = fresh.Iterate(mcur);
+  EXPECT_NEAR(with_pool_b.cost, expected.cost, 1e-12);
+  EXPECT_EQ(with_pool_b.cluster_sizes, expected.cluster_sizes);
+  (void)with_pool_a;
+}
+
+TEST(CpuBackendTest, FastCachePreservedForSamePool) {
+  const data::Dataset ds = TestData();
+  SequentialExecutor executor;
+  CpuBackend backend(ds.points, Strategy::kFast, &executor);
+  const std::vector<int> pool = Pool(16);
+  backend.Setup(TestParams(), pool);
+  backend.Iterate({0, 1, 2, 3});
+  RunStats before;
+  backend.FillStats(&before);
+  // Re-Setup with the identical pool (multi-param reuse): the cached rows
+  // must survive, so re-iterating the same medoids computes nothing new.
+  backend.Setup(TestParams(), pool);
+  backend.Iterate({0, 1, 2, 3});
+  RunStats after;
+  backend.FillStats(&after);
+  EXPECT_EQ(before.euclidean_distances, after.euclidean_distances);
+}
+
+TEST(CpuBackendTest, FastStarCacheResetAcrossRuns) {
+  const data::Dataset ds = TestData();
+  SequentialExecutor executor;
+  CpuBackend backend(ds.points, Strategy::kFastStar, &executor);
+  const std::vector<int> pool = Pool(16);
+  backend.Setup(TestParams(), pool);
+  backend.Iterate({0, 1, 2, 3});
+  RunStats before;
+  backend.FillStats(&before);
+  backend.Setup(TestParams(), pool);
+  backend.Iterate({0, 1, 2, 3});
+  RunStats after;
+  backend.FillStats(&after);
+  // FAST* keeps per-slot caches that never survive Setup: the rerun pays
+  // the k rows again.
+  EXPECT_EQ(after.euclidean_distances,
+            before.euclidean_distances + 4 * ds.n());
+}
+
+TEST(CpuBackendTest, KChangeAcrossRunsWithSharedPool) {
+  // Multi-param runs change k between Setups while keeping the pool; the
+  // engine must resize its per-k state correctly.
+  const data::Dataset ds = TestData();
+  SequentialExecutor executor;
+  CpuBackend backend(ds.points, Strategy::kFast, &executor);
+  const std::vector<int> pool = Pool(16);
+  backend.Setup(TestParams(4), pool);
+  const IterationOutput k4 = backend.Iterate({0, 1, 2, 3});
+  EXPECT_EQ(k4.cluster_sizes.size(), 4u);
+  backend.Setup(TestParams(2), pool);
+  const IterationOutput k2 = backend.Iterate({5, 9});
+  EXPECT_EQ(k2.cluster_sizes.size(), 2u);
+  backend.Setup(TestParams(6), pool);
+  const IterationOutput k6 = backend.Iterate({0, 2, 4, 6, 8, 10});
+  EXPECT_EQ(k6.cluster_sizes.size(), 6u);
+  int64_t total = 0;
+  for (const int64_t s : k6.cluster_sizes) total += s;
+  EXPECT_EQ(total, ds.n());
+}
+
+TEST(CpuBackendTest, ClusterSizesSumToN) {
+  const data::Dataset ds = TestData();
+  for (const Strategy strategy :
+       {Strategy::kBaseline, Strategy::kFast, Strategy::kFastStar}) {
+    SequentialExecutor executor;
+    CpuBackend backend(ds.points, strategy, &executor);
+    backend.Setup(TestParams(), Pool(16));
+    const IterationOutput out = backend.Iterate({1, 5, 9, 13});
+    int64_t total = 0;
+    for (const int64_t s : out.cluster_sizes) total += s;
+    EXPECT_EQ(total, ds.n()) << StrategyName(strategy);
+  }
+}
+
+}  // namespace
+}  // namespace proclus::core

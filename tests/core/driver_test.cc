@@ -1,0 +1,299 @@
+#include "core/driver.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/backend.h"
+
+namespace proclus::core {
+namespace {
+
+TEST(ReplaceBadMedoidsTest, ReplacesOnlyBadSlots) {
+  Rng rng(1);
+  const std::vector<int> mbest = {0, 1, 2};
+  const auto mcur = ReplaceBadMedoids(mbest, {1}, 10, rng);
+  ASSERT_EQ(mcur.size(), 3u);
+  EXPECT_EQ(mcur[0], 0);
+  EXPECT_EQ(mcur[2], 2);
+  EXPECT_NE(mcur[1], 1);
+}
+
+TEST(ReplaceBadMedoidsTest, ReplacementsComeFromUnusedPool) {
+  Rng rng(2);
+  const std::vector<int> mbest = {0, 1, 2, 3};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto mcur = ReplaceBadMedoids(mbest, {0, 2}, 8, rng);
+    std::set<int> unique(mcur.begin(), mcur.end());
+    EXPECT_EQ(unique.size(), 4u);  // still distinct
+    EXPECT_GE(mcur[0], 4);         // from {4..7}
+    EXPECT_GE(mcur[2], 4);
+    EXPECT_NE(mcur[0], mcur[2]);
+  }
+}
+
+TEST(ReplaceBadMedoidsTest, ExhaustedPoolKeepsMedoid) {
+  Rng rng(3);
+  const std::vector<int> mbest = {0, 1, 2};
+  // Pool size equals k: nothing to replace with.
+  const auto mcur = ReplaceBadMedoids(mbest, {1}, 3, rng);
+  EXPECT_EQ(mcur, mbest);
+}
+
+TEST(ReplaceBadMedoidsTest, AllBad) {
+  Rng rng(4);
+  const std::vector<int> mbest = {0, 1};
+  const auto mcur = ReplaceBadMedoids(mbest, {0, 1}, 6, rng);
+  std::set<int> unique(mcur.begin(), mcur.end());
+  EXPECT_EQ(unique.size(), 2u);
+  for (const int m : mcur) EXPECT_GE(m, 2);
+}
+
+TEST(ReplaceBadMedoidsTest, DeterministicForFixedSeed) {
+  Rng a(9);
+  Rng b(9);
+  const std::vector<int> mbest = {0, 1, 2, 3, 4};
+  EXPECT_EQ(ReplaceBadMedoids(mbest, {1, 3}, 20, a),
+            ReplaceBadMedoids(mbest, {1, 3}, 20, b));
+}
+
+// A scripted backend that records driver calls and returns canned costs, to
+// pin down the driver's control flow (termination, SaveBest, refinement).
+class FakeBackend : public Backend {
+ public:
+  explicit FakeBackend(std::vector<double> costs)
+      : costs_(std::move(costs)) {}
+
+  std::vector<int> GreedySelect(const std::vector<int>& candidates,
+                                int64_t pool_size, int64_t first) override {
+    greedy_calls_ += 1;
+    std::vector<int> m(candidates.begin(), candidates.begin() + pool_size);
+    m[0] = candidates[first];
+    return m;
+  }
+
+  void Setup(const ProclusParams& params,
+             const std::vector<int>& m_ids) override {
+    params_ = params;
+    pool_ = static_cast<int64_t>(m_ids.size());
+    setup_calls_ += 1;
+  }
+
+  IterationOutput Iterate(const std::vector<int>& mcur) override {
+    EXPECT_EQ(static_cast<int>(mcur.size()), params_.k);
+    std::set<int> unique(mcur.begin(), mcur.end());
+    EXPECT_EQ(unique.size(), mcur.size());
+    IterationOutput out;
+    out.cost = iterate_calls_ < static_cast<int>(costs_.size())
+                   ? costs_[iterate_calls_]
+                   : 1e9;
+    ++iterate_calls_;
+    // Equal sizes -> the smallest-index cluster is replaced each round.
+    out.cluster_sizes.assign(params_.k, 1000);
+    return out;
+  }
+
+  void SaveBest() override { ++save_best_calls_; }
+
+  void Refine(const std::vector<int>& mbest, ProclusResult* result) override {
+    ++refine_calls_;
+    last_refine_mbest_ = mbest;
+    result->dimensions.assign(params_.k, {0, 1});
+    result->assignment.assign(16, 0);
+    result->refined_cost = 0.5;
+  }
+
+  void FillStats(RunStats* stats) const override { stats->iterations = -1; }
+
+  std::vector<double> costs_;
+  ProclusParams params_;
+  int64_t pool_ = 0;
+  int greedy_calls_ = 0;
+  int setup_calls_ = 0;
+  int iterate_calls_ = 0;
+  int save_best_calls_ = 0;
+  int refine_calls_ = 0;
+  std::vector<int> last_refine_mbest_;
+};
+
+data::Matrix TinyData() {
+  data::Matrix m(16, 4);
+  for (int64_t i = 0; i < 16; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      m(i, j) = static_cast<float>(i * 4 + j);
+    }
+  }
+  return m;
+}
+
+ProclusParams TinyParams() {
+  ProclusParams p;
+  p.k = 2;
+  p.l = 2;
+  p.a = 4.0;  // Data' = 8
+  p.b = 2.0;  // M = 4
+  p.itr_pat = 3;
+  return p;
+}
+
+TEST(DriverTest, StopsAfterItrPatNonImprovingIterations) {
+  // Costs: improve, improve, then flat. After the 2nd improvement the
+  // driver tolerates itr_pat=3 non-improving iterations -> 5 total.
+  const data::Matrix data = TinyData();
+  FakeBackend backend({5.0, 4.0, 4.5, 4.5, 4.5, 4.5, 4.5});
+  Rng rng(7);
+  ProclusResult result;
+  ASSERT_TRUE(RunProclusPhases(data, TinyParams(), backend, rng, {}, &result)
+                  .ok());
+  EXPECT_EQ(backend.iterate_calls_, 5);
+  EXPECT_EQ(backend.save_best_calls_, 2);
+  EXPECT_EQ(backend.refine_calls_, 1);
+  EXPECT_DOUBLE_EQ(result.iterative_cost, 4.0);
+  EXPECT_DOUBLE_EQ(result.refined_cost, 0.5);
+  EXPECT_EQ(result.stats.iterations, 5);
+}
+
+TEST(DriverTest, ImprovementResetsPatience) {
+  // flat, flat, improve at iteration 3 (vs first cost), then flat:
+  // costs 5, 6, 6, 4, 7, 7, 7 -> stops 3 non-improving after the 4.
+  const data::Matrix data = TinyData();
+  FakeBackend backend({5.0, 6.0, 6.0, 4.0, 7.0, 7.0, 7.0});
+  Rng rng(7);
+  ProclusResult result;
+  ASSERT_TRUE(RunProclusPhases(data, TinyParams(), backend, rng, {}, &result)
+                  .ok());
+  EXPECT_EQ(backend.iterate_calls_, 7);
+  EXPECT_DOUBLE_EQ(result.iterative_cost, 4.0);
+}
+
+TEST(DriverTest, MaxTotalIterationsCapsRunawayImprovement) {
+  // Strictly decreasing costs never trip itr_pat; the cap must stop it.
+  std::vector<double> costs;
+  for (int i = 0; i < 100; ++i) costs.push_back(100.0 - i);
+  const data::Matrix data = TinyData();
+  FakeBackend backend(costs);
+  ProclusParams params = TinyParams();
+  params.max_total_iterations = 10;
+  Rng rng(7);
+  ProclusResult result;
+  ASSERT_TRUE(
+      RunProclusPhases(data, params, backend, rng, {}, &result).ok());
+  EXPECT_EQ(backend.iterate_calls_, 10);
+}
+
+TEST(DriverTest, RefineReceivesBestNotLastMedoids) {
+  const data::Matrix data = TinyData();
+  FakeBackend backend({3.0, 9.0, 9.0, 9.0});
+  Rng rng(7);
+  ProclusResult result;
+  ASSERT_TRUE(RunProclusPhases(data, TinyParams(), backend, rng, {}, &result)
+                  .ok());
+  // The best iteration was the first; its (replaced-afterwards) medoids must
+  // be what Refine sees. All refine medoids must be valid pool indices.
+  ASSERT_EQ(backend.last_refine_mbest_.size(), 2u);
+  for (const int midx : backend.last_refine_mbest_) {
+    EXPECT_GE(midx, 0);
+    EXPECT_LT(midx, backend.pool_);
+  }
+  EXPECT_EQ(result.medoids.size(), 2u);
+}
+
+TEST(DriverTest, PresetMSkipsGreedy) {
+  const data::Matrix data = TinyData();
+  FakeBackend backend({1.0, 2.0, 2.0, 2.0});
+  const std::vector<int> preset = {3, 7, 9, 11};
+  DriverOptions options;
+  options.preset_m = &preset;
+  Rng rng(7);
+  ProclusResult result;
+  ASSERT_TRUE(RunProclusPhases(data, TinyParams(), backend, rng, options,
+                               &result)
+                  .ok());
+  EXPECT_EQ(backend.greedy_calls_, 0);
+  // Returned medoids are drawn from the preset pool.
+  for (const int m : result.medoids) {
+    EXPECT_TRUE(std::find(preset.begin(), preset.end(), m) != preset.end());
+  }
+}
+
+TEST(DriverTest, PresetMSmallerThanKRejected) {
+  const data::Matrix data = TinyData();
+  FakeBackend backend({1.0});
+  const std::vector<int> preset = {3};
+  DriverOptions options;
+  options.preset_m = &preset;
+  Rng rng(7);
+  ProclusResult result;
+  EXPECT_FALSE(RunProclusPhases(data, TinyParams(), backend, rng, options,
+                                &result)
+                   .ok());
+}
+
+TEST(DriverTest, PresetCandidatesRunGreedyWithGivenPool) {
+  const data::Matrix data = TinyData();
+  FakeBackend backend({1.0, 2.0, 2.0, 2.0});
+  const std::vector<int> candidates = {0, 2, 4, 6, 8, 10};
+  DriverOptions options;
+  options.preset_candidates = &candidates;
+  options.preset_first = 2;
+  options.preset_pool_size = 3;
+  Rng rng(7);
+  ProclusResult result;
+  ASSERT_TRUE(RunProclusPhases(data, TinyParams(), backend, rng, options,
+                               &result)
+                  .ok());
+  EXPECT_EQ(backend.greedy_calls_, 1);
+  EXPECT_EQ(backend.pool_, 3);
+}
+
+TEST(DriverTest, WarmStartUsesGivenMedoids) {
+  const data::Matrix data = TinyData();
+  FakeBackend backend({1.0, 2.0, 2.0, 2.0});
+  const std::vector<int> preset = {3, 7, 9, 11};
+  const std::vector<int> warm = {2, 0};  // midx into preset
+  DriverOptions options;
+  options.preset_m = &preset;
+  options.warm_start_midx = &warm;
+  Rng rng(7);
+  ProclusResult result;
+  ASSERT_TRUE(RunProclusPhases(data, TinyParams(), backend, rng, options,
+                               &result)
+                  .ok());
+  // k == warm size: the initial (and, with flat costs, best) medoids are the
+  // warm-start ones.
+  EXPECT_EQ(result.medoids, (std::vector<int>{9, 3}));
+}
+
+TEST(DriverTest, WarmStartTopsUpWhenShort) {
+  const data::Matrix data = TinyData();
+  FakeBackend backend({1.0, 2.0, 2.0, 2.0});
+  const std::vector<int> preset = {3, 7, 9, 11};
+  const std::vector<int> warm = {1};
+  DriverOptions options;
+  options.preset_m = &preset;
+  options.warm_start_midx = &warm;
+  Rng rng(7);
+  ProclusResult result;
+  ASSERT_TRUE(RunProclusPhases(data, TinyParams(), backend, rng, options,
+                               &result)
+                  .ok());
+  EXPECT_EQ(result.medoids[0], 7);       // warm slot
+  EXPECT_NE(result.medoids[1], 7);       // topped up with something else
+}
+
+TEST(DriverTest, InvalidParamsRejectedBeforeAnyBackendCall) {
+  const data::Matrix data = TinyData();
+  FakeBackend backend({1.0});
+  ProclusParams params = TinyParams();
+  params.l = 99;
+  Rng rng(7);
+  ProclusResult result;
+  EXPECT_FALSE(
+      RunProclusPhases(data, params, backend, rng, {}, &result).ok());
+  EXPECT_EQ(backend.greedy_calls_, 0);
+  EXPECT_EQ(backend.setup_calls_, 0);
+}
+
+}  // namespace
+}  // namespace proclus::core

@@ -1,0 +1,193 @@
+// Cross-variant equivalence: the paper's core correctness claim is that
+// FAST-PROCLUS, FAST*-PROCLUS and all GPU/multi-core parallelizations are
+// *exact* — "all our results are fully correct with respect to the PROCLUS
+// definition" (§4.1). With the shared driver and a fixed seed, every
+// backend/strategy combination must therefore produce the identical
+// clustering. These parameterized tests sweep seeds, shapes and parameters
+// and compare every variant against the single-core baseline.
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+#include "eval/validate.h"
+
+namespace proclus::core {
+namespace {
+
+struct Workload {
+  int64_t n;
+  int d;
+  int clusters;
+  double stddev;
+  double outlier_fraction;
+};
+
+data::Dataset MakeData(const Workload& w, uint64_t seed) {
+  data::GeneratorConfig config;
+  config.n = w.n;
+  config.d = w.d;
+  config.num_clusters = w.clusters;
+  config.subspace_dim = std::max(2, w.d / 2);
+  config.stddev = w.stddev;
+  config.outlier_fraction = w.outlier_fraction;
+  config.seed = seed;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  return ds;
+}
+
+void ExpectSameClustering(const ProclusResult& expected,
+                          const ProclusResult& actual,
+                          const std::string& label) {
+  EXPECT_EQ(expected.medoids, actual.medoids) << label;
+  EXPECT_EQ(expected.dimensions, actual.dimensions) << label;
+  EXPECT_EQ(expected.assignment, actual.assignment) << label;
+  EXPECT_EQ(expected.stats.iterations, actual.stats.iterations) << label;
+  // Costs are accumulated in different orders by different engines; they
+  // agree to floating-point noise.
+  EXPECT_NEAR(expected.iterative_cost, actual.iterative_cost,
+              1e-9 * (1.0 + expected.iterative_cost))
+      << label;
+  EXPECT_NEAR(expected.refined_cost, actual.refined_cost,
+              1e-9 * (1.0 + expected.refined_cost))
+      << label;
+}
+
+class EquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(EquivalenceTest, AllVariantsMatchBaseline) {
+  const auto [seed, workload_idx] = GetParam();
+  static const Workload kWorkloads[] = {
+      {600, 8, 4, 1.0, 0.0},
+      {900, 12, 5, 5.0, 0.05},
+      {400, 6, 3, 10.0, 0.0},  // heavy overlap
+  };
+  const Workload& w = kWorkloads[workload_idx];
+  const data::Dataset ds = MakeData(w, seed * 31 + 7);
+
+  ProclusParams params;
+  params.k = w.clusters;
+  params.l = std::max(2, w.d / 3);
+  params.a = 20.0;
+  params.b = 5.0;
+  params.seed = seed;
+
+  ClusterOptions base_options;
+  const ProclusResult baseline = ClusterOrDie(ds.points, params, base_options);
+  ASSERT_TRUE(eval::ValidateResult(ds.points, params, baseline).ok());
+
+  for (const ComputeBackend backend :
+       {ComputeBackend::kCpu, ComputeBackend::kMultiCore,
+        ComputeBackend::kGpu}) {
+    for (const Strategy strategy :
+         {Strategy::kBaseline, Strategy::kFast, Strategy::kFastStar}) {
+      if (backend == ComputeBackend::kCpu &&
+          strategy == Strategy::kBaseline) {
+        continue;  // that's the reference itself
+      }
+      ClusterOptions options;
+      options.backend = backend;
+      options.strategy = strategy;
+      options.num_threads = 3;
+      const ProclusResult result = ClusterOrDie(ds.points, params, options);
+      ExpectSameClustering(baseline, result,
+                           VariantName(backend, strategy));
+      EXPECT_TRUE(eval::ValidateResult(ds.points, params, result).ok())
+          << VariantName(backend, strategy);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedAndWorkloadSweep, EquivalenceTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<uint64_t, int>>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_workload" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class ParameterEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(ParameterEquivalenceTest, FastAndGpuMatchAcrossParameters) {
+  const auto [k, l, min_dev] = GetParam();
+  const data::Dataset ds = MakeData({800, 10, 5, 3.0, 0.02}, 99);
+  ProclusParams params;
+  params.k = k;
+  params.l = l;
+  params.a = 15.0;
+  params.b = 4.0;
+  params.min_dev = min_dev;
+  params.seed = 1234;
+
+  const ProclusResult baseline = ClusterOrDie(ds.points, params);
+  for (const Strategy strategy : {Strategy::kFast, Strategy::kFastStar}) {
+    ClusterOptions cpu;
+    cpu.strategy = strategy;
+    ExpectSameClustering(baseline, ClusterOrDie(ds.points, params, cpu),
+                         VariantName(ComputeBackend::kCpu, strategy));
+    ClusterOptions gpu;
+    gpu.backend = ComputeBackend::kGpu;
+    gpu.strategy = strategy;
+    ExpectSameClustering(baseline, ClusterOrDie(ds.points, params, gpu),
+                         VariantName(ComputeBackend::kGpu, strategy));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamSweep, ParameterEquivalenceTest,
+    ::testing::Combine(::testing::Values(2, 5, 8),
+                       ::testing::Values(2, 4),
+                       ::testing::Values(0.3, 0.7, 1.0)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, double>>& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_l" +
+             std::to_string(std::get<1>(info.param)) + "_mindev" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 10));
+    });
+
+TEST(EquivalenceEdgeTest, TinyDatasetAllVariantsAgree) {
+  const data::Dataset ds = MakeData({60, 5, 2, 2.0, 0.0}, 3);
+  ProclusParams params;
+  params.k = 2;
+  params.l = 3;
+  params.a = 10.0;
+  params.b = 4.0;
+  const ProclusResult baseline = ClusterOrDie(ds.points, params);
+  for (const ComputeBackend backend :
+       {ComputeBackend::kMultiCore, ComputeBackend::kGpu}) {
+    for (const Strategy strategy :
+         {Strategy::kBaseline, Strategy::kFast, Strategy::kFastStar}) {
+      ClusterOptions options;
+      options.backend = backend;
+      options.strategy = strategy;
+      ExpectSameClustering(baseline, ClusterOrDie(ds.points, params, options),
+                           VariantName(backend, strategy));
+    }
+  }
+}
+
+TEST(EquivalenceEdgeTest, HighPatienceLongRunsAgree) {
+  const data::Dataset ds = MakeData({500, 8, 4, 4.0, 0.0}, 11);
+  ProclusParams params;
+  params.k = 4;
+  params.l = 4;
+  params.a = 25.0;
+  params.b = 6.0;
+  params.itr_pat = 15;  // long tail of non-improving iterations
+  const ProclusResult baseline = ClusterOrDie(ds.points, params);
+  ClusterOptions gpu_fast;
+  gpu_fast.backend = ComputeBackend::kGpu;
+  gpu_fast.strategy = Strategy::kFast;
+  ExpectSameClustering(baseline, ClusterOrDie(ds.points, params, gpu_fast),
+                       "GPU-FAST long run");
+}
+
+}  // namespace
+}  // namespace proclus::core

@@ -1,0 +1,279 @@
+// Verifies that the FAST strategies actually *save* the work the paper says
+// they save (not only that they stay correct): the Dist cache eliminates
+// repeated distance rows, the Delta-L/H bookkeeping (Theorems 3.1/3.2)
+// yields the same X as recomputation, and FAST* trades a little reuse for
+// O(kn) space.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/api.h"
+#include "core/cpu_backend.h"
+#include "core/driver.h"
+#include "core/executor.h"
+#include "core/subroutines.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+
+namespace proclus::core {
+namespace {
+
+data::Dataset TestData(uint64_t seed = 21) {
+  data::GeneratorConfig config;
+  config.n = 1500;
+  config.d = 10;
+  config.num_clusters = 5;
+  config.subspace_dim = 5;
+  config.stddev = 2.0;
+  config.seed = seed;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  return ds;
+}
+
+ProclusParams TestParams() {
+  ProclusParams p;
+  p.k = 5;
+  p.l = 4;
+  p.a = 20.0;
+  p.b = 5.0;
+  return p;
+}
+
+RunStats RunWith(const data::Dataset& ds, Strategy strategy,
+                 const ProclusParams& params) {
+  ClusterOptions options;
+  options.strategy = strategy;
+  return ClusterOrDie(ds.points, params, options).stats;
+}
+
+TEST(FastStrategyTest, FastComputesFewerDistanceRows) {
+  const data::Dataset ds = TestData();
+  const ProclusParams params = TestParams();
+  const RunStats base = RunWith(ds, Strategy::kBaseline, params);
+  const RunStats fast = RunWith(ds, Strategy::kFast, params);
+  // The baseline recomputes k rows per iteration; FAST computes each
+  // potential medoid's row at most once, bounded by B*k = 25 rows.
+  EXPECT_LT(fast.euclidean_distances, base.euclidean_distances);
+  EXPECT_LE(fast.euclidean_distances,
+            static_cast<int64_t>(25) * ds.n());
+  EXPECT_EQ(base.euclidean_distances,
+            static_cast<int64_t>(base.iterations) * params.k * ds.n());
+}
+
+TEST(FastStrategyTest, FastStarBetweenBaselineAndFast) {
+  const data::Dataset ds = TestData();
+  const ProclusParams params = TestParams();
+  const RunStats base = RunWith(ds, Strategy::kBaseline, params);
+  const RunStats fast = RunWith(ds, Strategy::kFast, params);
+  const RunStats star = RunWith(ds, Strategy::kFastStar, params);
+  // FAST* reuses unreplaced medoids' rows from the previous iteration only:
+  // never more work than the baseline, never less than FAST.
+  EXPECT_LE(star.euclidean_distances, base.euclidean_distances);
+  EXPECT_GE(star.euclidean_distances, fast.euclidean_distances);
+}
+
+TEST(FastStrategyTest, FastStarUsesLessStateThanFast) {
+  const data::Dataset ds = TestData();
+  const ProclusParams params = TestParams();
+  const RunStats fast = RunWith(ds, Strategy::kFast, params);
+  const RunStats star = RunWith(ds, Strategy::kFastStar, params);
+  // Dist is Bk x n for FAST but k x n for FAST*: B = 5 here.
+  EXPECT_LT(star.host_state_bytes, fast.host_state_bytes);
+}
+
+TEST(FastStrategyTest, AllStrategiesScanTheSamePointsPerIteration) {
+  // Delta-L is *scanned* over all n points per medoid (the saving is in the
+  // accumulation, not the scan), so l_points_scanned only depends on the
+  // iteration count, which is identical across strategies.
+  const data::Dataset ds = TestData();
+  const ProclusParams params = TestParams();
+  const RunStats base = RunWith(ds, Strategy::kBaseline, params);
+  const RunStats fast = RunWith(ds, Strategy::kFast, params);
+  EXPECT_EQ(base.iterations, fast.iterations);
+  EXPECT_EQ(base.l_points_scanned, fast.l_points_scanned);
+}
+
+// Drives a CpuBackend manually to check Theorems 3.1/3.2: after iterating
+// with changing radii, the incrementally maintained X equals the X a full
+// recomputation produces.
+class TheoremTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = TestData(77);
+    params_ = TestParams();
+  }
+
+  // Full recomputation of X for medoid `slot` given current medoids.
+  std::vector<double> ReferenceX(const std::vector<int>& m_ids,
+                                 const std::vector<int>& mcur) {
+    const int64_t n = ds_.n();
+    const int64_t d = ds_.d();
+    const int k = static_cast<int>(mcur.size());
+    std::vector<double> x(static_cast<size_t>(k) * d, 0.0);
+    for (int i = 0; i < k; ++i) {
+      const float* mi = ds_.points.Row(m_ids[mcur[i]]);
+      // delta_i = distance to the nearest other current medoid.
+      float delta = std::numeric_limits<float>::infinity();
+      for (int j = 0; j < k; ++j) {
+        if (j == i) continue;
+        delta = std::min(
+            delta, EuclideanDistance(mi, ds_.points.Row(m_ids[mcur[j]]), d));
+      }
+      int64_t size = 0;
+      std::vector<double> h(d, 0.0);
+      for (int64_t p = 0; p < n; ++p) {
+        if (EuclideanDistance(mi, ds_.points.Row(p), d) <= delta) {
+          ++size;
+          for (int64_t jj = 0; jj < d; ++jj) {
+            h[jj] += std::abs(static_cast<double>(ds_.points(p, jj)) -
+                              static_cast<double>(mi[jj]));
+          }
+        }
+      }
+      for (int64_t jj = 0; jj < d; ++jj) {
+        x[static_cast<size_t>(i) * d + jj] = h[jj] / size;
+      }
+    }
+    return x;
+  }
+
+  data::Dataset ds_;
+  ProclusParams params_;
+};
+
+TEST_F(TheoremTest, IncrementalHMatchesRecomputationAcrossIterations) {
+  // Iterate the FAST backend through medoid sets that revisit earlier
+  // medoids with different radii — the H update must track exactly.
+  SequentialExecutor executor;
+  CpuBackend fast(ds_.points, Strategy::kFast, &executor);
+  std::vector<int> m_ids;
+  for (int i = 0; i < 12; ++i) m_ids.push_back(i * 100 + 5);
+  fast.Setup(params_, m_ids);
+
+  const std::vector<std::vector<int>> mcur_sequence = {
+      {0, 1, 2, 3, 4},  {0, 1, 2, 3, 5},  {0, 1, 2, 3, 4},
+      {6, 7, 8, 9, 10}, {0, 7, 2, 9, 4},  {0, 1, 2, 3, 4},
+      {11, 1, 2, 3, 4}, {0, 1, 2, 3, 4},
+  };
+  for (const auto& mcur : mcur_sequence) {
+    fast.Iterate(mcur);  // maintains H incrementally
+    // Independent recomputation via a throwaway baseline iteration.
+    SequentialExecutor ref_executor;
+    CpuBackend reference(ds_.points, Strategy::kBaseline, &ref_executor);
+    reference.Setup(params_, m_ids);
+    const IterationOutput ref_out = reference.Iterate(mcur);
+    const IterationOutput fast_out = fast.Iterate(mcur);
+    EXPECT_NEAR(ref_out.cost, fast_out.cost, 1e-9 * (1.0 + ref_out.cost));
+    EXPECT_EQ(ref_out.cluster_sizes, fast_out.cluster_sizes);
+  }
+}
+
+TEST_F(TheoremTest, FastStarResetsReplacedSlotsOnly) {
+  SequentialExecutor executor;
+  CpuBackend star(ds_.points, Strategy::kFastStar, &executor);
+  std::vector<int> m_ids;
+  for (int i = 0; i < 12; ++i) m_ids.push_back(i * 90 + 3);
+  star.Setup(params_, m_ids);
+
+  // Same slot-by-slot sequence; each Iterate must match a fresh baseline.
+  const std::vector<std::vector<int>> mcur_sequence = {
+      {0, 1, 2, 3, 4}, {0, 5, 2, 3, 4}, {0, 5, 2, 6, 4}, {7, 5, 2, 6, 4},
+  };
+  for (const auto& mcur : mcur_sequence) {
+    SequentialExecutor ref_executor;
+    CpuBackend reference(ds_.points, Strategy::kBaseline, &ref_executor);
+    reference.Setup(params_, m_ids);
+    const IterationOutput ref_out = reference.Iterate(mcur);
+    const IterationOutput star_out = star.Iterate(mcur);
+    EXPECT_NEAR(ref_out.cost, star_out.cost, 1e-9 * (1.0 + ref_out.cost));
+    EXPECT_EQ(ref_out.cluster_sizes, star_out.cluster_sizes);
+  }
+}
+
+TEST_F(TheoremTest, ShrinkingAndGrowingRadiiBothTracked) {
+  // Alternate between medoid sets whose nearest-other-medoid radii differ,
+  // forcing both the grow (lambda=+1) and shrink (lambda=-1) paths.
+  SequentialExecutor executor;
+  CpuBackend fast(ds_.points, Strategy::kFast, &executor);
+  std::vector<int> m_ids = {3, 200, 400, 600, 800, 1000, 1200, 50};
+  ProclusParams params = params_;
+  params.k = 3;
+  fast.Setup(params, m_ids);
+  const std::vector<std::vector<int>> mcur_sequence = {
+      {0, 1, 2}, {0, 1, 7},  // 7 is near 0: radius of 0 shrinks
+      {0, 1, 2},             // grows back
+      {0, 5, 6}, {0, 1, 2},
+  };
+  for (const auto& mcur : mcur_sequence) {
+    SequentialExecutor ref_executor;
+    CpuBackend reference(ds_.points, Strategy::kBaseline, &ref_executor);
+    reference.Setup(params, m_ids);
+    const IterationOutput ref_out = reference.Iterate(mcur);
+    const IterationOutput fast_out = fast.Iterate(mcur);
+    EXPECT_NEAR(ref_out.cost, fast_out.cost, 1e-9 * (1.0 + ref_out.cost));
+    EXPECT_EQ(ref_out.cluster_sizes, fast_out.cluster_sizes);
+  }
+}
+
+TEST(FastStrategyTest, DistCacheOnlyAblationIsExact) {
+  // The h_reuse=false ablation (Dist cache without incremental H) must
+  // still produce the identical clustering.
+  const data::Dataset ds = TestData();
+  const ProclusParams params = TestParams();
+  ClusterOptions options;
+  const ProclusResult reference = ClusterOrDie(ds.points, params, options);
+
+  SequentialExecutor executor;
+  CpuBackend ablated(ds.points, Strategy::kFast, &executor,
+                     /*h_reuse=*/false);
+  Rng rng(params.seed);
+  ProclusResult result;
+  ASSERT_TRUE(RunProclusPhases(ds.points, params, ablated, rng, {}, &result)
+                  .ok());
+  EXPECT_EQ(reference.assignment, result.assignment);
+  EXPECT_EQ(reference.medoids, result.medoids);
+  EXPECT_EQ(reference.dimensions, result.dimensions);
+}
+
+TEST(FastStrategyTest, DistCacheOnlySavesDistancesButNotHWork) {
+  const data::Dataset ds = TestData();
+  const ProclusParams params = TestParams();
+
+  auto run = [&](bool h_reuse) {
+    SequentialExecutor executor;
+    CpuBackend backend(ds.points, Strategy::kFast, &executor, h_reuse);
+    Rng rng(params.seed);
+    ProclusResult result;
+    PROCLUS_CHECK(
+        RunProclusPhases(ds.points, params, backend, rng, {}, &result).ok());
+    return result.stats;
+  };
+  const RunStats with_h = run(true);
+  const RunStats without_h = run(false);
+  // Same trajectory -> same distance-row count (the Dist cache is active in
+  // both), but the ablation rebuilds H so its phase time can only grow.
+  EXPECT_EQ(with_h.euclidean_distances, without_h.euclidean_distances);
+}
+
+TEST(FastStrategyTest, SequentialAndPooledExecutorsBitIdentical) {
+  // The fixed chunk decomposition makes the multi-core engine bit-identical
+  // to the sequential one, costs included.
+  const data::Dataset ds = TestData(5);
+  const ProclusParams params = TestParams();
+  ClusterOptions seq;
+  seq.strategy = Strategy::kFast;
+  ClusterOptions pooled;
+  pooled.backend = ComputeBackend::kMultiCore;
+  pooled.strategy = Strategy::kFast;
+  pooled.num_threads = 4;
+  const ProclusResult a = ClusterOrDie(ds.points, params, seq);
+  const ProclusResult b = ClusterOrDie(ds.points, params, pooled);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.medoids, b.medoids);
+  EXPECT_DOUBLE_EQ(a.iterative_cost, b.iterative_cost);
+  EXPECT_DOUBLE_EQ(a.refined_cost, b.refined_cost);
+}
+
+}  // namespace
+}  // namespace proclus::core

@@ -1,0 +1,216 @@
+// GPU configuration knobs: the AssignPoints block size and the
+// concurrent-stream optimization must never change the clustering, only
+// the modeled timing.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+#include "simt/device.h"
+
+namespace proclus::core {
+namespace {
+
+data::Dataset TestData() {
+  data::GeneratorConfig config;
+  config.n = 1200;
+  config.d = 10;
+  config.num_clusters = 5;
+  config.subspace_dim = 5;
+  config.stddev = 2.0;
+  config.seed = 66;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  return ds;
+}
+
+ProclusParams TestParams() {
+  ProclusParams p;
+  p.k = 5;
+  p.l = 4;
+  p.a = 20.0;
+  p.b = 4.0;
+  return p;
+}
+
+class BlockDimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockDimTest, AssignBlockSizeDoesNotChangeClustering) {
+  const data::Dataset ds = TestData();
+  ClusterOptions reference_options;
+  reference_options.backend = ComputeBackend::kGpu;
+  reference_options.strategy = Strategy::kFast;
+  const ProclusResult reference =
+      ClusterOrDie(ds.points, TestParams(), reference_options);
+
+  ClusterOptions options = reference_options;
+  options.gpu_assign_block_dim = GetParam();
+  const ProclusResult result = ClusterOrDie(ds.points, TestParams(), options);
+  EXPECT_EQ(reference.assignment, result.assignment);
+  EXPECT_EQ(reference.medoids, result.medoids);
+  EXPECT_EQ(reference.dimensions, result.dimensions);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockDims, BlockDimTest,
+                         ::testing::Values(1, 32, 64, 256, 1024));
+
+TEST(GpuStreamsTest, StreamsDoNotChangeClustering) {
+  const data::Dataset ds = TestData();
+  ClusterOptions off;
+  off.backend = ComputeBackend::kGpu;
+  off.strategy = Strategy::kFast;
+  ClusterOptions on = off;
+  on.gpu_streams = true;
+  const ProclusResult a = ClusterOrDie(ds.points, TestParams(), off);
+  const ProclusResult b = ClusterOrDie(ds.points, TestParams(), on);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.medoids, b.medoids);
+  EXPECT_NEAR(a.iterative_cost, b.iterative_cost, 1e-12);
+}
+
+TEST(GpuStreamsTest, StreamsReduceModeledTime) {
+  const data::Dataset ds = TestData();
+  ClusterOptions off;
+  off.backend = ComputeBackend::kGpu;
+  off.strategy = Strategy::kFast;
+  ClusterOptions on = off;
+  on.gpu_streams = true;
+  const ProclusResult a = ClusterOrDie(ds.points, TestParams(), off);
+  const ProclusResult b = ClusterOrDie(ds.points, TestParams(), on);
+  EXPECT_LT(b.stats.modeled_gpu_seconds, a.stats.modeled_gpu_seconds);
+}
+
+TEST(GpuStreamsTest, StreamsWorkWithEveryStrategy) {
+  const data::Dataset ds = TestData();
+  for (const Strategy strategy :
+       {Strategy::kBaseline, Strategy::kFast, Strategy::kFastStar}) {
+    ClusterOptions off;
+    off.backend = ComputeBackend::kGpu;
+    off.strategy = strategy;
+    ClusterOptions on = off;
+    on.gpu_streams = true;
+    const ProclusResult a = ClusterOrDie(ds.points, TestParams(), off);
+    const ProclusResult b = ClusterOrDie(ds.points, TestParams(), on);
+    EXPECT_EQ(a.assignment, b.assignment) << StrategyName(strategy);
+  }
+}
+
+TEST(DeviceDimSelectionTest, IdenticalToHostSelection) {
+  const data::Dataset ds = TestData();
+  for (const Strategy strategy :
+       {Strategy::kBaseline, Strategy::kFast, Strategy::kFastStar}) {
+    ClusterOptions host;
+    host.backend = ComputeBackend::kGpu;
+    host.strategy = strategy;
+    ClusterOptions device = host;
+    device.gpu_device_dim_selection = true;
+    const ProclusResult a = ClusterOrDie(ds.points, TestParams(), host);
+    const ProclusResult b = ClusterOrDie(ds.points, TestParams(), device);
+    EXPECT_EQ(a.assignment, b.assignment) << StrategyName(strategy);
+    EXPECT_EQ(a.medoids, b.medoids) << StrategyName(strategy);
+    EXPECT_EQ(a.dimensions, b.dimensions) << StrategyName(strategy);
+  }
+}
+
+TEST(DeviceDimSelectionTest, MatchesCpuBaseline) {
+  const data::Dataset ds = TestData();
+  const ProclusResult cpu = ClusterOrDie(ds.points, TestParams());
+  ClusterOptions gpu;
+  gpu.backend = ComputeBackend::kGpu;
+  gpu.strategy = Strategy::kFast;
+  gpu.gpu_device_dim_selection = true;
+  gpu.gpu_streams = true;  // combined options
+  const ProclusResult result = ClusterOrDie(ds.points, TestParams(), gpu);
+  EXPECT_EQ(cpu.assignment, result.assignment);
+  EXPECT_EQ(cpu.medoids, result.medoids);
+  EXPECT_EQ(cpu.dimensions, result.dimensions);
+}
+
+TEST(DeviceDimSelectionTest, SelectionKernelsAreLaunched) {
+  const data::Dataset ds = TestData();
+  simt::Device device;
+  ClusterOptions options;
+  options.backend = ComputeBackend::kGpu;
+  options.strategy = Strategy::kFast;
+  options.gpu_device_dim_selection = true;
+  options.device = &device;
+  ClusterOrDie(ds.points, TestParams(), options);
+  std::set<std::string> names;
+  for (const auto& rec : device.perf_model().KernelRecords()) {
+    names.insert(rec.name);
+  }
+  EXPECT_TRUE(names.count("select_mandatory"));
+  EXPECT_TRUE(names.count("select_extras"));
+  EXPECT_TRUE(names.count("build_dims"));
+}
+
+TEST(DeviceDimSelectionTest, LEqualsTwoHasNoExtras) {
+  const data::Dataset ds = TestData();
+  ProclusParams params = TestParams();
+  params.l = 2;  // only the two mandatory dimensions per medoid
+  ClusterOptions host;
+  host.backend = ComputeBackend::kGpu;
+  ClusterOptions device = host;
+  device.gpu_device_dim_selection = true;
+  const ProclusResult a = ClusterOrDie(ds.points, params, host);
+  const ProclusResult b = ClusterOrDie(ds.points, params, device);
+  EXPECT_EQ(a.dimensions, b.dimensions);
+  for (const auto& dims : b.dimensions) EXPECT_EQ(dims.size(), 2u);
+}
+
+TEST(PhaseProfileTest, PhasesCoverTheRun) {
+  const data::Dataset ds = TestData();
+  for (const ComputeBackend backend :
+       {ComputeBackend::kCpu, ComputeBackend::kGpu}) {
+    ClusterOptions options;
+    options.backend = backend;
+    options.strategy = Strategy::kFast;
+    const ProclusResult result =
+        ClusterOrDie(ds.points, TestParams(), options);
+    const PhaseSeconds& ph = result.stats.phases;
+    EXPECT_GT(ph.greedy, 0.0) << BackendName(backend);
+    EXPECT_GT(ph.compute_distances, 0.0) << BackendName(backend);
+    EXPECT_GT(ph.find_dimensions, 0.0) << BackendName(backend);
+    EXPECT_GT(ph.assign_points, 0.0) << BackendName(backend);
+    EXPECT_GT(ph.evaluate, 0.0) << BackendName(backend);
+    EXPECT_GT(ph.refine, 0.0) << BackendName(backend);
+    EXPECT_GT(ph.Total(), 0.0);
+  }
+}
+
+TEST(PhaseProfileTest, FastSpendsLessOnDistancesThanBaseline) {
+  data::GeneratorConfig config;
+  config.n = 20000;
+  config.d = 12;
+  config.num_clusters = 5;
+  config.subspace_dim = 5;
+  config.seed = 9;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  ClusterOptions base;
+  base.strategy = Strategy::kBaseline;
+  ClusterOptions fast;
+  fast.strategy = Strategy::kFast;
+  const ProclusResult a = ClusterOrDie(ds.points, TestParams(), base);
+  const ProclusResult b = ClusterOrDie(ds.points, TestParams(), fast);
+  EXPECT_LT(b.stats.phases.compute_distances,
+            a.stats.phases.compute_distances);
+}
+
+TEST(BlockDimTest, InvalidBlockDimAborts) {
+  const data::Dataset ds = TestData();
+  ClusterOptions options;
+  options.backend = ComputeBackend::kGpu;
+  options.gpu_assign_block_dim = 0;
+  ProclusResult result;
+  EXPECT_DEATH(
+      { (void)Cluster(ds.points, TestParams(), options, &result); },
+      "PROCLUS_CHECK");
+}
+
+}  // namespace
+}  // namespace proclus::core

@@ -1,0 +1,111 @@
+// Broad property sweep: for a wide grid of workload shapes, parameters and
+// backends, every run must satisfy the structural PROCLUS invariants
+// (eval::ValidateResult) and be reproducible for its seed. This is the
+// safety net for corners the focused tests do not enumerate.
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+#include "eval/validate.h"
+
+namespace proclus::core {
+namespace {
+
+struct Shape {
+  int64_t n;
+  int d;
+  int clusters;
+  double stddev;
+  double outliers;
+};
+
+const Shape kShapes[] = {
+    {200, 4, 2, 1.0, 0.0},    // small, clean
+    {750, 9, 3, 5.0, 0.10},   // noisy
+    {1500, 20, 6, 8.0, 0.02}, // wide, overlapping
+    {64, 5, 2, 2.0, 0.0},     // barely enough points for the pool
+};
+
+struct ParamShape {
+  int k;
+  int l;
+  double min_dev;
+  int itr_pat;
+};
+
+const ParamShape kParams[] = {
+    {2, 2, 0.7, 3},
+    {4, 3, 0.3, 5},
+    {6, 4, 1.0, 2},
+};
+
+class InvariantsProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(InvariantsProperty, ValidAndReproducible) {
+  const auto [shape_idx, param_idx, backend_idx] = GetParam();
+  const Shape& shape = kShapes[shape_idx];
+  const ParamShape& param_shape = kParams[param_idx];
+  const ComputeBackend backend =
+      static_cast<ComputeBackend>(backend_idx);
+
+  data::GeneratorConfig config;
+  config.n = shape.n;
+  config.d = shape.d;
+  config.num_clusters = shape.clusters;
+  config.subspace_dim = std::max(2, shape.d / 2);
+  config.stddev = shape.stddev;
+  config.outlier_fraction = shape.outliers;
+  config.seed = 101 + shape_idx;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+
+  ProclusParams params;
+  params.k = param_shape.k;
+  params.l = std::min(param_shape.l, shape.d);
+  params.min_dev = param_shape.min_dev;
+  params.itr_pat = param_shape.itr_pat;
+  params.a = 10.0;
+  params.b = 3.0;
+  params.seed = 31 * shape_idx + param_idx;
+
+  ClusterOptions options;
+  options.backend = backend;
+  options.strategy = Strategy::kFast;
+  options.num_threads = 2;
+
+  ProclusResult result;
+  ASSERT_TRUE(Cluster(ds.points, params, options, &result).ok());
+  EXPECT_TRUE(eval::ValidateResult(ds.points, params, result).ok());
+
+  // Reproducibility.
+  ProclusResult again;
+  ASSERT_TRUE(Cluster(ds.points, params, options, &again).ok());
+  EXPECT_EQ(result.assignment, again.assignment);
+  EXPECT_EQ(result.medoids, again.medoids);
+
+  // Bookkeeping invariants.
+  EXPECT_EQ(result.assignment.size(), static_cast<size_t>(ds.n()));
+  int64_t assigned = 0;
+  for (const int64_t s : result.ClusterSizes()) assigned += s;
+  EXPECT_EQ(assigned + result.NumOutliers(), ds.n());
+  EXPECT_GE(result.stats.iterations, params.itr_pat);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, InvariantsProperty,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 3),
+                       ::testing::Range(0, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
+      return "shape" + std::to_string(std::get<0>(info.param)) + "_params" +
+             std::to_string(std::get<1>(info.param)) + "_backend" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace proclus::core

@@ -1,0 +1,219 @@
+#include "core/multi_param.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/normalize.h"
+#include "eval/validate.h"
+
+namespace proclus::core {
+namespace {
+
+data::Dataset TestData() {
+  data::GeneratorConfig config;
+  config.n = 1200;
+  config.d = 10;
+  config.num_clusters = 5;
+  config.subspace_dim = 5;
+  config.stddev = 2.0;
+  config.seed = 33;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  return ds;
+}
+
+ProclusParams BaseParams() {
+  ProclusParams p;
+  p.k = 5;
+  p.l = 4;
+  p.a = 20.0;
+  p.b = 4.0;
+  return p;
+}
+
+std::vector<ParamSetting> TestSettings() {
+  return {{3, 3}, {5, 4}, {4, 5}, {5, 3}};
+}
+
+TEST(MultiParamTest, DefaultGridHasNineCombinations) {
+  const auto grid = DefaultSettingsGrid(BaseParams());
+  EXPECT_EQ(grid.size(), 9u);
+  for (const auto& s : grid) {
+    EXPECT_GE(s.k, 1);
+    EXPECT_GE(s.l, 2);
+  }
+}
+
+TEST(MultiParamTest, EveryLevelProducesValidResults) {
+  const data::Dataset ds = TestData();
+  const auto settings = TestSettings();
+  for (const ReuseLevel level :
+       {ReuseLevel::kNone, ReuseLevel::kCache, ReuseLevel::kGreedy,
+        ReuseLevel::kWarmStart}) {
+    MultiParamOptions options;
+    options.reuse = level;
+    options.cluster.strategy = Strategy::kFast;
+    MultiParamOutput output;
+    ASSERT_TRUE(
+        RunMultiParam(ds.points, BaseParams(), settings, options, &output)
+            .ok())
+        << ReuseLevelName(level);
+    ASSERT_EQ(output.results.size(), settings.size());
+    ASSERT_EQ(output.setting_seconds.size(), settings.size());
+    for (size_t i = 0; i < settings.size(); ++i) {
+      ProclusParams p = BaseParams();
+      p.k = settings[i].k;
+      p.l = settings[i].l;
+      EXPECT_TRUE(
+          eval::ValidateResult(ds.points, p, output.results[i]).ok())
+          << ReuseLevelName(level) << " setting " << i;
+    }
+  }
+}
+
+TEST(MultiParamTest, CacheAndGreedyLevelsProduceIdenticalClusterings) {
+  // Level 1 re-runs greedy from the same Data' and start, so it must select
+  // the same pool M and hence the same clusterings as level 2.
+  const data::Dataset ds = TestData();
+  const auto settings = TestSettings();
+  MultiParamOptions cache;
+  cache.reuse = ReuseLevel::kCache;
+  cache.cluster.strategy = Strategy::kFast;
+  MultiParamOptions greedy;
+  greedy.reuse = ReuseLevel::kGreedy;
+  greedy.cluster.strategy = Strategy::kFast;
+  MultiParamOutput a;
+  MultiParamOutput b;
+  ASSERT_TRUE(
+      RunMultiParam(ds.points, BaseParams(), settings, cache, &a).ok());
+  ASSERT_TRUE(
+      RunMultiParam(ds.points, BaseParams(), settings, greedy, &b).ok());
+  for (size_t i = 0; i < settings.size(); ++i) {
+    EXPECT_EQ(a.results[i].medoids, b.results[i].medoids) << i;
+    EXPECT_EQ(a.results[i].assignment, b.results[i].assignment) << i;
+    EXPECT_EQ(a.results[i].dimensions, b.results[i].dimensions) << i;
+  }
+}
+
+TEST(MultiParamTest, SharedCachesDoNotChangeResultsAcrossStrategies) {
+  // With the same reuse level, FAST and FAST* (whose caches persist
+  // differently across settings) must agree clustering-for-clustering.
+  const data::Dataset ds = TestData();
+  const auto settings = TestSettings();
+  MultiParamOutput fast;
+  MultiParamOutput star;
+  MultiParamOptions options;
+  options.reuse = ReuseLevel::kGreedy;
+  options.cluster.strategy = Strategy::kFast;
+  ASSERT_TRUE(
+      RunMultiParam(ds.points, BaseParams(), settings, options, &fast).ok());
+  options.cluster.strategy = Strategy::kFastStar;
+  ASSERT_TRUE(
+      RunMultiParam(ds.points, BaseParams(), settings, options, &star).ok());
+  for (size_t i = 0; i < settings.size(); ++i) {
+    EXPECT_EQ(fast.results[i].medoids, star.results[i].medoids) << i;
+    EXPECT_EQ(fast.results[i].assignment, star.results[i].assignment) << i;
+  }
+}
+
+TEST(MultiParamTest, GpuMatchesCpuAtEveryLevel) {
+  const data::Dataset ds = TestData();
+  const auto settings = TestSettings();
+  for (const ReuseLevel level :
+       {ReuseLevel::kCache, ReuseLevel::kGreedy, ReuseLevel::kWarmStart}) {
+    MultiParamOptions cpu;
+    cpu.reuse = level;
+    cpu.cluster.strategy = Strategy::kFast;
+    MultiParamOptions gpu = cpu;
+    gpu.cluster.backend = ComputeBackend::kGpu;
+    MultiParamOutput a;
+    MultiParamOutput b;
+    ASSERT_TRUE(
+        RunMultiParam(ds.points, BaseParams(), settings, cpu, &a).ok());
+    ASSERT_TRUE(
+        RunMultiParam(ds.points, BaseParams(), settings, gpu, &b).ok());
+    for (size_t i = 0; i < settings.size(); ++i) {
+      EXPECT_EQ(a.results[i].medoids, b.results[i].medoids)
+          << ReuseLevelName(level) << " setting " << i;
+      EXPECT_EQ(a.results[i].assignment, b.results[i].assignment)
+          << ReuseLevelName(level) << " setting " << i;
+    }
+  }
+}
+
+TEST(MultiParamTest, CacheReuseSavesDistanceComputations) {
+  // The shared FAST caches mean later settings recompute almost nothing:
+  // total distance rows across 4 settings stay bounded by the pool size,
+  // while independent runs pay per setting.
+  const data::Dataset ds = TestData();
+  const auto settings = TestSettings();
+  MultiParamOptions independent;
+  independent.reuse = ReuseLevel::kNone;
+  independent.cluster.strategy = Strategy::kFast;
+  MultiParamOptions shared;
+  shared.reuse = ReuseLevel::kGreedy;
+  shared.cluster.strategy = Strategy::kFast;
+  MultiParamOutput a;
+  MultiParamOutput b;
+  ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(), settings, independent,
+                            &a)
+                  .ok());
+  ASSERT_TRUE(
+      RunMultiParam(ds.points, BaseParams(), settings, shared, &b).ok());
+  int64_t independent_rows = 0;
+  for (const auto& r : a.results) {
+    independent_rows += r.stats.euclidean_distances;
+  }
+  // Shared-backend stats are cumulative; the last result carries the total.
+  const int64_t shared_rows = b.results.back().stats.euclidean_distances;
+  EXPECT_LT(shared_rows, independent_rows);
+  // Bounded by one row per potential medoid (pool = B * k_max = 20).
+  EXPECT_LE(shared_rows, 20 * ds.n());
+}
+
+TEST(MultiParamTest, WarmStartStillFindsGoodClusterings) {
+  const data::Dataset ds = TestData();
+  const auto settings = TestSettings();
+  MultiParamOptions warm;
+  warm.reuse = ReuseLevel::kWarmStart;
+  warm.cluster.strategy = Strategy::kFast;
+  MultiParamOutput output;
+  ASSERT_TRUE(
+      RunMultiParam(ds.points, BaseParams(), settings, warm, &output).ok());
+  for (const auto& result : output.results) {
+    EXPECT_GT(result.iterative_cost, 0.0);
+    EXPECT_GE(result.stats.iterations, BaseParams().itr_pat);
+  }
+}
+
+TEST(MultiParamTest, RejectsEmptySettings) {
+  const data::Dataset ds = TestData();
+  MultiParamOutput output;
+  EXPECT_FALSE(
+      RunMultiParam(ds.points, BaseParams(), {}, {}, &output).ok());
+}
+
+TEST(MultiParamTest, RejectsInvalidSetting) {
+  const data::Dataset ds = TestData();
+  MultiParamOutput output;
+  EXPECT_FALSE(RunMultiParam(ds.points, BaseParams(), {{5, 99}}, {}, &output)
+                   .ok());
+  EXPECT_FALSE(
+      RunMultiParam(ds.points, BaseParams(), {{5, 4}}, {}, nullptr).ok());
+}
+
+TEST(MultiParamTest, SettingsReportedInInputOrder) {
+  const data::Dataset ds = TestData();
+  const std::vector<ParamSetting> settings = {{2, 2}, {6, 5}};
+  MultiParamOptions options;
+  options.reuse = ReuseLevel::kGreedy;
+  MultiParamOutput output;
+  ASSERT_TRUE(
+      RunMultiParam(ds.points, BaseParams(), settings, options, &output)
+          .ok());
+  EXPECT_EQ(output.results[0].medoids.size(), 2u);
+  EXPECT_EQ(output.results[1].medoids.size(), 6u);
+}
+
+}  // namespace
+}  // namespace proclus::core

@@ -1,0 +1,101 @@
+#include "core/params.h"
+
+#include <gtest/gtest.h>
+
+namespace proclus::core {
+namespace {
+
+TEST(ParamsTest, DefaultsMatchThePaper) {
+  ProclusParams p;
+  EXPECT_EQ(p.k, 10);
+  EXPECT_EQ(p.l, 5);
+  EXPECT_DOUBLE_EQ(p.a, 100.0);
+  EXPECT_DOUBLE_EQ(p.b, 10.0);
+  EXPECT_DOUBLE_EQ(p.min_dev, 0.7);
+  EXPECT_EQ(p.itr_pat, 5);
+}
+
+TEST(ParamsTest, DefaultsValidateOnLargeData) {
+  ProclusParams p;
+  EXPECT_TRUE(p.Validate(64000, 15).ok());
+}
+
+TEST(ParamsTest, RejectsEmptyData) {
+  ProclusParams p;
+  EXPECT_FALSE(p.Validate(0, 15).ok());
+  EXPECT_FALSE(p.Validate(100, 0).ok());
+}
+
+TEST(ParamsTest, RejectsBadK) {
+  ProclusParams p;
+  p.k = 0;
+  EXPECT_FALSE(p.Validate(1000, 15).ok());
+}
+
+TEST(ParamsTest, RejectsLBelowTwo) {
+  // PROCLUS picks at least two dimensions per cluster.
+  ProclusParams p;
+  p.l = 1;
+  EXPECT_FALSE(p.Validate(64000, 15).ok());
+}
+
+TEST(ParamsTest, RejectsLAboveD) {
+  ProclusParams p;
+  p.l = 16;
+  EXPECT_FALSE(p.Validate(64000, 15).ok());
+  p.l = 15;
+  EXPECT_TRUE(p.Validate(64000, 15).ok());
+}
+
+TEST(ParamsTest, RejectsBGreaterThanA) {
+  ProclusParams p;
+  p.a = 5.0;
+  p.b = 10.0;
+  EXPECT_FALSE(p.Validate(64000, 15).ok());
+}
+
+TEST(ParamsTest, RejectsBadMinDev) {
+  ProclusParams p;
+  p.min_dev = 0.0;
+  EXPECT_FALSE(p.Validate(64000, 15).ok());
+  p.min_dev = 1.5;
+  EXPECT_FALSE(p.Validate(64000, 15).ok());
+  p.min_dev = 1.0;
+  EXPECT_TRUE(p.Validate(64000, 15).ok());
+}
+
+TEST(ParamsTest, RejectsBadItrPat) {
+  ProclusParams p;
+  p.itr_pat = 0;
+  EXPECT_FALSE(p.Validate(64000, 15).ok());
+}
+
+TEST(ParamsTest, SampleSizeCappedAtN) {
+  ProclusParams p;  // A*k = 1000
+  EXPECT_EQ(p.SampleSize(64000), 1000);
+  EXPECT_EQ(p.SampleSize(500), 500);
+}
+
+TEST(ParamsTest, MedoidPoolSizeCappedAtSample) {
+  ProclusParams p;  // B*k = 100
+  EXPECT_EQ(p.MedoidPoolSize(64000), 100);
+  EXPECT_EQ(p.MedoidPoolSize(50), 50);
+}
+
+TEST(ParamsTest, TinyDatasetRejectedWhenPoolBelowK) {
+  ProclusParams p;  // k = 10
+  EXPECT_FALSE(p.Validate(5, 15).ok());  // pool of 5 < k
+  EXPECT_TRUE(p.Validate(10, 15).ok());
+}
+
+TEST(ParamsTest, FractionalAAndBRound) {
+  ProclusParams p;
+  p.k = 3;
+  p.a = 2.5;
+  p.b = 1.5;
+  EXPECT_EQ(p.SampleSize(1000), 8);      // round(2.5 * 3)
+  EXPECT_EQ(p.MedoidPoolSize(1000), 5);  // round(1.5 * 3)
+}
+
+}  // namespace
+}  // namespace proclus::core

@@ -1,0 +1,208 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "core/subroutines.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+#include "eval/metrics.h"
+#include "eval/validate.h"
+
+namespace proclus::core {
+namespace {
+
+data::Dataset WellSeparatedData(int64_t n = 1200, int d = 8, int clusters = 4,
+                                uint64_t seed = 5) {
+  data::GeneratorConfig config;
+  config.n = n;
+  config.d = d;
+  config.num_clusters = clusters;
+  config.subspace_dim = 4;
+  config.stddev = 1.0;  // tight clusters
+  config.seed = seed;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  return ds;
+}
+
+ProclusParams SmallParams(int k = 4, int l = 4) {
+  ProclusParams p;
+  p.k = k;
+  p.l = l;
+  p.a = 20.0;
+  p.b = 5.0;
+  return p;
+}
+
+TEST(ProclusTest, ResultSatisfiesAllInvariants) {
+  const data::Dataset ds = WellSeparatedData();
+  const ProclusParams params = SmallParams();
+  const ProclusResult result = ClusterOrDie(ds.points, params);
+  EXPECT_TRUE(eval::ValidateResult(ds.points, params, result).ok());
+}
+
+TEST(ProclusTest, RecoversWellSeparatedClusters) {
+  const data::Dataset ds = WellSeparatedData();
+  const ProclusResult result = ClusterOrDie(ds.points, SmallParams());
+  const double ari = eval::AdjustedRandIndex(ds.labels, result.assignment);
+  EXPECT_GT(ari, 0.55) << "ARI too low for well-separated clusters";
+}
+
+TEST(ProclusTest, RecoversSubspaces) {
+  const data::Dataset ds = WellSeparatedData();
+  const ProclusResult result = ClusterOrDie(ds.points, SmallParams());
+  const double recovery = eval::SubspaceRecovery(
+      ds.labels, result.assignment, ds.true_subspaces, result.dimensions);
+  EXPECT_GT(recovery, 0.5);
+}
+
+TEST(ProclusTest, DeterministicForFixedSeed) {
+  const data::Dataset ds = WellSeparatedData();
+  const ProclusResult a = ClusterOrDie(ds.points, SmallParams());
+  const ProclusResult b = ClusterOrDie(ds.points, SmallParams());
+  EXPECT_EQ(a.medoids, b.medoids);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.dimensions, b.dimensions);
+  EXPECT_DOUBLE_EQ(a.iterative_cost, b.iterative_cost);
+}
+
+TEST(ProclusTest, DifferentSeedsUsuallyDiffer) {
+  const data::Dataset ds = WellSeparatedData();
+  ProclusParams p1 = SmallParams();
+  ProclusParams p2 = SmallParams();
+  p2.seed = p1.seed + 1;
+  const ProclusResult a = ClusterOrDie(ds.points, p1);
+  const ProclusResult b = ClusterOrDie(ds.points, p2);
+  // Medoid *sets* may coincide, but the full random trajectory rarely does.
+  EXPECT_TRUE(a.medoids != b.medoids || a.assignment == b.assignment);
+}
+
+TEST(ProclusTest, CostsAreConsistentWithReference) {
+  const data::Dataset ds = WellSeparatedData();
+  const ProclusResult result = ClusterOrDie(ds.points, SmallParams());
+  const double reference = EvaluateClustersReference(
+      ds.points.data(), ds.n(), ds.d(), result.assignment,
+      result.dimensions);
+  EXPECT_NEAR(result.refined_cost, reference, 1e-9);
+}
+
+TEST(ProclusTest, StatsCountWork) {
+  const data::Dataset ds = WellSeparatedData();
+  const ProclusResult result = ClusterOrDie(ds.points, SmallParams());
+  EXPECT_GT(result.stats.iterations, 0);
+  EXPECT_GT(result.stats.euclidean_distances, 0);
+  EXPECT_GT(result.stats.segmental_distances, 0);
+  EXPECT_GT(result.stats.greedy_distances, 0);
+  EXPECT_GT(result.stats.l_points_scanned, 0);
+}
+
+TEST(ProclusTest, KOneProducesSingleCluster) {
+  const data::Dataset ds = WellSeparatedData(300, 6, 2);
+  ProclusParams params = SmallParams(1, 3);
+  const ProclusResult result = ClusterOrDie(ds.points, params);
+  EXPECT_EQ(result.medoids.size(), 1u);
+  // With one medoid nothing is beyond the (infinite) outlier radius.
+  for (const int c : result.assignment) EXPECT_EQ(c, 0);
+  EXPECT_TRUE(eval::ValidateResult(ds.points, params, result).ok());
+}
+
+TEST(ProclusTest, MoreMedoidsThanClustersStillValid) {
+  const data::Dataset ds = WellSeparatedData(600, 8, 2);
+  const ProclusParams params = SmallParams(6, 3);
+  const ProclusResult result = ClusterOrDie(ds.points, params);
+  EXPECT_TRUE(eval::ValidateResult(ds.points, params, result).ok());
+}
+
+TEST(ProclusTest, DuplicatePointsHandled) {
+  // All points identical except two tiny clusters; distances tie everywhere.
+  data::Matrix m(64, 4);
+  for (int64_t i = 0; i < 64; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      m(i, j) = i < 32 ? 0.25f : 0.75f;
+    }
+  }
+  ProclusParams params = SmallParams(2, 2);
+  params.a = 10.0;
+  params.b = 3.0;
+  ProclusResult result;
+  ASSERT_TRUE(Cluster(m, params, {}, &result).ok());
+  EXPECT_TRUE(eval::ValidateResult(m, params, result).ok());
+}
+
+TEST(ProclusTest, ConstantDimensionHandled) {
+  data::Dataset ds = WellSeparatedData(400, 6, 2);
+  for (int64_t i = 0; i < ds.n(); ++i) ds.points(i, 3) = 0.5f;
+  const ProclusParams params = SmallParams(2, 3);
+  ProclusResult result;
+  ASSERT_TRUE(Cluster(ds.points, params, {}, &result).ok());
+  EXPECT_TRUE(eval::ValidateResult(ds.points, params, result).ok());
+}
+
+TEST(ProclusTest, SmallestViableDataset) {
+  // n = B*k so the pool is exactly k after capping.
+  data::Matrix m(8, 4);
+  for (int64_t i = 0; i < 8; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      m(i, j) = static_cast<float>((i * 7 + j * 3) % 5) / 5.0f;
+    }
+  }
+  ProclusParams params = SmallParams(2, 2);
+  ProclusResult result;
+  ASSERT_TRUE(Cluster(m, params, {}, &result).ok());
+  EXPECT_TRUE(eval::ValidateResult(m, params, result).ok());
+}
+
+TEST(ProclusTest, RejectsInvalidParameters) {
+  const data::Dataset ds = WellSeparatedData(200, 6, 2);
+  ProclusParams params = SmallParams();
+  params.l = 12;  // > d
+  ProclusResult result;
+  EXPECT_FALSE(Cluster(ds.points, params, {}, &result).ok());
+}
+
+TEST(ProclusTest, RejectsNullResult) {
+  const data::Dataset ds = WellSeparatedData(200, 6, 2);
+  EXPECT_FALSE(Cluster(ds.points, SmallParams(), {}, nullptr).ok());
+}
+
+TEST(ProclusTest, OutliersDetectedInNoisyData) {
+  data::GeneratorConfig config;
+  config.n = 1000;
+  config.d = 8;
+  config.num_clusters = 3;
+  config.subspace_dim = 4;
+  config.stddev = 1.0;
+  config.outlier_fraction = 0.1;
+  config.seed = 17;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  const ProclusResult result = ClusterOrDie(ds.points, SmallParams(3, 4));
+  EXPECT_GT(result.NumOutliers(), 0);
+  EXPECT_LT(result.NumOutliers(), ds.n() / 2);
+}
+
+TEST(ProclusTest, ClusterAccessorsConsistent) {
+  const data::Dataset ds = WellSeparatedData();
+  const ProclusResult result = ClusterOrDie(ds.points, SmallParams());
+  const auto clusters = result.Clusters();
+  const auto sizes = result.ClusterSizes();
+  ASSERT_EQ(clusters.size(), sizes.size());
+  int64_t total = 0;
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    EXPECT_EQ(static_cast<int64_t>(clusters[i].size()), sizes[i]);
+    total += sizes[i];
+  }
+  EXPECT_EQ(total + result.NumOutliers(), ds.n());
+}
+
+TEST(ProclusTest, IterativeCostDecreasedFromFirstIteration) {
+  const data::Dataset ds = WellSeparatedData();
+  const ProclusResult result = ClusterOrDie(ds.points, SmallParams());
+  EXPECT_GT(result.iterative_cost, 0.0);
+  EXPECT_GE(result.stats.iterations, ProclusParams().itr_pat);
+}
+
+}  // namespace
+}  // namespace proclus::core

@@ -1,0 +1,164 @@
+// Refinement-phase semantics (Algorithm 1 lines 15-19): dimensions are
+// recomputed from the best clusters, points are reassigned, and outliers
+// are exactly the points outside every medoid's sphere of radius
+// Delta_i = min_{j != i} segdist(m_i, m_j, D_i).
+
+#include <algorithm>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "core/subroutines.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+
+namespace proclus::core {
+namespace {
+
+struct Fixture {
+  data::Dataset ds;
+  ProclusParams params;
+  ProclusResult result;
+};
+
+Fixture MakeFixture(double outlier_fraction = 0.08, uint64_t seed = 19) {
+  Fixture f;
+  data::GeneratorConfig config;
+  config.n = 900;
+  config.d = 8;
+  config.num_clusters = 3;
+  config.subspace_dim = 4;
+  config.stddev = 1.0;
+  config.outlier_fraction = outlier_fraction;
+  config.seed = seed;
+  f.ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&f.ds.points);
+  f.params.k = 3;
+  f.params.l = 4;
+  f.params.a = 20.0;
+  f.params.b = 5.0;
+  f.result = ClusterOrDie(f.ds.points, f.params);
+  return f;
+}
+
+// Recomputes the outlier radii from the returned medoids/dimensions.
+std::vector<float> Radii(const Fixture& f) {
+  const int k = f.result.k();
+  std::vector<float> radii(k, std::numeric_limits<float>::infinity());
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      if (i == j) continue;
+      const float sd = SegmentalDistance(
+          f.ds.points.Row(f.result.medoids[i]),
+          f.ds.points.Row(f.result.medoids[j]),
+          f.result.dimensions[i].data(),
+          static_cast<int>(f.result.dimensions[i].size()));
+      radii[i] = std::min(radii[i], sd);
+    }
+  }
+  return radii;
+}
+
+TEST(RefinementTest, OutliersAreOutsideEverySphere) {
+  const Fixture f = MakeFixture();
+  const std::vector<float> radii = Radii(f);
+  ASSERT_GT(f.result.NumOutliers(), 0);
+  for (int64_t p = 0; p < f.ds.n(); ++p) {
+    if (f.result.assignment[p] != kOutlier) continue;
+    for (int i = 0; i < f.result.k(); ++i) {
+      const float sd = SegmentalDistance(
+          f.ds.points.Row(p), f.ds.points.Row(f.result.medoids[i]),
+          f.result.dimensions[i].data(),
+          static_cast<int>(f.result.dimensions[i].size()));
+      EXPECT_GT(sd, radii[i]) << "outlier " << p << " inside sphere " << i;
+    }
+  }
+}
+
+TEST(RefinementTest, NonOutliersAreInsideSomeSphere) {
+  const Fixture f = MakeFixture();
+  const std::vector<float> radii = Radii(f);
+  for (int64_t p = 0; p < f.ds.n(); ++p) {
+    if (f.result.assignment[p] == kOutlier) continue;
+    bool inside_any = false;
+    for (int i = 0; i < f.result.k(); ++i) {
+      const float sd = SegmentalDistance(
+          f.ds.points.Row(p), f.ds.points.Row(f.result.medoids[i]),
+          f.result.dimensions[i].data(),
+          static_cast<int>(f.result.dimensions[i].size()));
+      if (sd <= radii[i]) inside_any = true;
+    }
+    EXPECT_TRUE(inside_any) << "assigned point " << p << " in no sphere";
+  }
+}
+
+TEST(RefinementTest, MedoidsAssignedToTheirOwnClusters) {
+  const Fixture f = MakeFixture();
+  for (int i = 0; i < f.result.k(); ++i) {
+    // A medoid is at distance 0 of itself, inside its own sphere, so it is
+    // never an outlier; argmin ties could in principle send it elsewhere,
+    // but distance 0 is a strict minimum unless another medoid coincides.
+    EXPECT_EQ(f.result.assignment[f.result.medoids[i]], i);
+  }
+}
+
+TEST(RefinementTest, PlantedNoiseIsEnrichedAmongOutliers) {
+  const Fixture f = MakeFixture(0.10);
+  // The generator appends uniform noise; outlier detection should flag
+  // noise points at a clearly higher rate than cluster members.
+  int64_t noise_total = 0;
+  int64_t noise_flagged = 0;
+  int64_t member_total = 0;
+  int64_t member_flagged = 0;
+  for (int64_t p = 0; p < f.ds.n(); ++p) {
+    const bool is_noise = f.ds.labels[p] == data::kNoiseLabel;
+    const bool flagged = f.result.assignment[p] == kOutlier;
+    noise_total += is_noise;
+    noise_flagged += is_noise && flagged;
+    member_total += !is_noise;
+    member_flagged += !is_noise && flagged;
+  }
+  ASSERT_GT(noise_total, 0);
+  const double noise_rate =
+      static_cast<double>(noise_flagged) / noise_total;
+  const double member_rate =
+      static_cast<double>(member_flagged) / member_total;
+  EXPECT_GT(noise_rate, 4.0 * member_rate + 0.05);
+}
+
+TEST(RefinementTest, CleanDataHasFewOutliers) {
+  const Fixture f = MakeFixture(0.0);
+  EXPECT_LT(f.result.NumOutliers(), f.ds.n() / 20);
+}
+
+TEST(RefinementTest, RefinedDimensionsStillSumToKL) {
+  const Fixture f = MakeFixture();
+  int64_t total = 0;
+  for (const auto& dims : f.result.dimensions) {
+    total += static_cast<int64_t>(dims.size());
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(f.params.k) * f.params.l);
+}
+
+TEST(RefinementTest, RefinedCostConsistentWithReference) {
+  const Fixture f = MakeFixture();
+  const double reference = EvaluateClustersReference(
+      f.ds.points.data(), f.ds.n(), f.ds.d(), f.result.assignment,
+      f.result.dimensions);
+  EXPECT_NEAR(f.result.refined_cost, reference,
+              1e-9 * (1.0 + reference));
+}
+
+TEST(RefinementTest, GpuRefinementMatchesCpu) {
+  Fixture f = MakeFixture();
+  ClusterOptions gpu;
+  gpu.backend = ComputeBackend::kGpu;
+  const ProclusResult gpu_result = ClusterOrDie(f.ds.points, f.params, gpu);
+  EXPECT_EQ(f.result.assignment, gpu_result.assignment);
+  EXPECT_EQ(f.result.dimensions, gpu_result.dimensions);
+  EXPECT_EQ(f.result.NumOutliers(), gpu_result.NumOutliers());
+}
+
+}  // namespace
+}  // namespace proclus::core

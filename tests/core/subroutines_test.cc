@@ -1,0 +1,231 @@
+#include "core/subroutines.h"
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/result.h"
+
+namespace proclus::core {
+namespace {
+
+TEST(DistanceTest, EuclideanMatchesHandComputation) {
+  const float a[] = {0.0f, 0.0f, 0.0f};
+  const float b[] = {1.0f, 2.0f, 2.0f};
+  EXPECT_FLOAT_EQ(EuclideanDistance(a, b, 3), 3.0f);
+}
+
+TEST(DistanceTest, EuclideanZeroForIdenticalPoints) {
+  const float a[] = {1.5f, -2.5f, 3.0f, 0.25f};
+  EXPECT_FLOAT_EQ(EuclideanDistance(a, a, 4), 0.0f);
+}
+
+TEST(DistanceTest, EuclideanSymmetric) {
+  const float a[] = {1.0f, 2.0f};
+  const float b[] = {4.0f, 6.0f};
+  EXPECT_FLOAT_EQ(EuclideanDistance(a, b, 2), EuclideanDistance(b, a, 2));
+  EXPECT_FLOAT_EQ(EuclideanDistance(a, b, 2), 5.0f);
+}
+
+TEST(DistanceTest, SegmentalAveragesOverSubspace) {
+  const float p[] = {1.0f, 100.0f, 3.0f, 7.0f};
+  const float m[] = {0.0f, 0.0f, 1.0f, 3.0f};
+  const int dims[] = {0, 2, 3};  // skips the wildly different dim 1
+  EXPECT_FLOAT_EQ(SegmentalDistance(p, m, dims, 3), (1.0f + 2.0f + 4.0f) / 3);
+}
+
+TEST(DistanceTest, SegmentalSingleDimension) {
+  const float p[] = {5.0f, 0.0f};
+  const float m[] = {2.0f, 0.0f};
+  const int dims[] = {0};
+  EXPECT_FLOAT_EQ(SegmentalDistance(p, m, dims, 1), 3.0f);
+}
+
+TEST(ComputeZTest, UniformRowYieldsZeroZ) {
+  // sigma == 0: the whole row must map to Z = 0.
+  const std::vector<double> x = {2.0, 2.0, 2.0, 2.0};
+  const std::vector<double> z = ComputeZ(x, 1, 4);
+  for (const double v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ComputeZTest, MatchesHandComputation) {
+  // X = [1, 2, 3]: Y = 2, sigma = sqrt((1+0+1)/2) = 1.
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> z = ComputeZ(x, 1, 3);
+  EXPECT_DOUBLE_EQ(z[0], -1.0);
+  EXPECT_DOUBLE_EQ(z[1], 0.0);
+  EXPECT_DOUBLE_EQ(z[2], 1.0);
+}
+
+TEST(ComputeZTest, RowsAreIndependent) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 10.0, 20.0, 30.0};
+  const std::vector<double> z = ComputeZ(x, 2, 3);
+  // Both rows have the same shape, so the same Z.
+  EXPECT_DOUBLE_EQ(z[0], z[3]);
+  EXPECT_DOUBLE_EQ(z[1], z[4]);
+  EXPECT_DOUBLE_EQ(z[2], z[5]);
+}
+
+TEST(ComputeZTest, SmallerXGetsSmallerZ) {
+  const std::vector<double> x = {0.1, 5.0, 5.0, 5.0};
+  const std::vector<double> z = ComputeZ(x, 1, 4);
+  EXPECT_LT(z[0], z[1]);
+}
+
+TEST(SelectDimensionsTest, PicksTwoSmallestPerMedoid) {
+  // k=2, d=3, l=2 -> exactly two per medoid, no extras.
+  const std::vector<double> z = {0.5, -1.0, 0.0,   // medoid 0: dims 1, 2
+                                 -2.0, 3.0, -1.5}; // medoid 1: dims 0, 2
+  const auto dims = SelectDimensions(z, 2, 3, 2);
+  ASSERT_EQ(dims.size(), 2u);
+  EXPECT_EQ(dims[0], (std::vector<int>{1, 2}));
+  EXPECT_EQ(dims[1], (std::vector<int>{0, 2}));
+}
+
+TEST(SelectDimensionsTest, ExtrasGoToGloballySmallestZ) {
+  // k=2, d=4, l=3 -> 6 dims total: 2+2 mandatory plus 2 globally smallest
+  // remaining.
+  const std::vector<double> z = {
+      0.0, 1.0, 2.0, -5.0,   // medoid 0: mandatory {3, 0}; remaining 1.0, 2.0
+      0.0, 1.0, 9.0, -5.0};  // medoid 1: mandatory {3, 0}; remaining 1.0, 9.0
+  const auto dims = SelectDimensions(z, 2, 4, 3);
+  int64_t total = 0;
+  for (const auto& v : dims) total += static_cast<int64_t>(v.size());
+  EXPECT_EQ(total, 6);
+  // The two extra picks are the 1.0 entries (dim 1 of each medoid).
+  EXPECT_EQ(dims[0], (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(dims[1], (std::vector<int>{0, 1, 3}));
+}
+
+TEST(SelectDimensionsTest, ExtrasCanConcentrateOnOneMedoid) {
+  const std::vector<double> z = {
+      -1.0, -2.0, -3.0, -4.0,  // medoid 0: everything small
+      10.0, 20.0, 30.0, 40.0}; // medoid 1: everything large
+  const auto dims = SelectDimensions(z, 2, 4, 3);
+  EXPECT_EQ(dims[0].size(), 4u);  // 2 mandatory + 2 extras
+  EXPECT_EQ(dims[1].size(), 2u);  // only the mandatory two
+}
+
+TEST(SelectDimensionsTest, EveryMedoidKeepsAtLeastTwo) {
+  const std::vector<double> z = {
+      -9.0, -8.0, 1.0, 1.0, 1.0,
+      0.0, 0.1, 0.2, 0.3, 0.4,
+      5.0, 5.0, 5.0, 5.0, 5.0};
+  const auto dims = SelectDimensions(z, 3, 5, 3);
+  for (const auto& v : dims) EXPECT_GE(v.size(), 2u);
+  int64_t total = 0;
+  for (const auto& v : dims) total += static_cast<int64_t>(v.size());
+  EXPECT_EQ(total, 9);
+}
+
+TEST(SelectDimensionsTest, ResultsSortedAndUnique) {
+  const std::vector<double> z = {3.0, -1.0, 2.0, 0.5, -0.5,
+                                 1.0, 1.5, -2.0, 0.0, 2.5};
+  const auto dims = SelectDimensions(z, 2, 5, 4);
+  for (const auto& v : dims) {
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+    std::set<int> unique(v.begin(), v.end());
+    EXPECT_EQ(unique.size(), v.size());
+  }
+}
+
+TEST(SelectDimensionsTest, LEqualsDSelectsEverything) {
+  const std::vector<double> z = {1.0, 2.0, 3.0};
+  const auto dims = SelectDimensions(z, 1, 3, 3);
+  EXPECT_EQ(dims[0], (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SelectDimensionsTest, TieBreakIsDeterministic) {
+  const std::vector<double> z(8, 0.0);  // everything tied
+  const auto a = SelectDimensions(z, 2, 4, 2);
+  const auto b = SelectDimensions(z, 2, 4, 2);
+  EXPECT_EQ(a, b);
+  // With all-equal Z, the two smallest per medoid are dims {0, 1}.
+  EXPECT_EQ(a[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(a[1], (std::vector<int>{0, 1}));
+}
+
+TEST(BadMedoidsTest, BelowThresholdFlagged) {
+  // n=100, k=4, minDev=0.7 -> threshold 17.5.
+  const std::vector<int64_t> sizes = {30, 10, 40, 20};
+  const auto bad = ComputeBadMedoids(sizes, 100, 0.7);
+  EXPECT_EQ(bad, (std::vector<int>{1}));
+}
+
+TEST(BadMedoidsTest, MultipleBelowThreshold) {
+  const std::vector<int64_t> sizes = {5, 60, 10, 25};
+  const auto bad = ComputeBadMedoids(sizes, 100, 0.7);
+  EXPECT_EQ(bad, (std::vector<int>{0, 2}));
+}
+
+TEST(BadMedoidsTest, SmallestWhenNoneBelowThreshold) {
+  const std::vector<int64_t> sizes = {25, 26, 24, 25};
+  const auto bad = ComputeBadMedoids(sizes, 100, 0.7);
+  EXPECT_EQ(bad, (std::vector<int>{2}));
+}
+
+TEST(BadMedoidsTest, SmallestTieBreaksToLowestIndex) {
+  const std::vector<int64_t> sizes = {25, 24, 24, 27};
+  const auto bad = ComputeBadMedoids(sizes, 100, 0.9);
+  EXPECT_EQ(bad, (std::vector<int>{1}));
+}
+
+TEST(BadMedoidsTest, EmptyClusterIsAlwaysBad) {
+  const std::vector<int64_t> sizes = {50, 0, 50};
+  const auto bad = ComputeBadMedoids(sizes, 100, 0.7);
+  ASSERT_FALSE(bad.empty());
+  EXPECT_EQ(bad[0], 1);
+}
+
+TEST(EvaluateReferenceTest, SinglePointClustersHaveZeroCost) {
+  // Each point is its own centroid.
+  const std::vector<float> data = {0.0f, 0.0f, 10.0f, 10.0f};
+  const std::vector<int> assignment = {0, 1};
+  const std::vector<std::vector<int>> dims = {{0, 1}, {0, 1}};
+  EXPECT_DOUBLE_EQ(
+      EvaluateClustersReference(data.data(), 2, 2, assignment, dims), 0.0);
+}
+
+TEST(EvaluateReferenceTest, MatchesHandComputation) {
+  // 4 points in one cluster, 1-d subspace {0}: values 0, 1, 2, 3.
+  // Centroid 1.5; mean |dev| = (1.5 + 0.5 + 0.5 + 1.5)/4 = 1.
+  const std::vector<float> data = {0.0f, 9.0f, 1.0f, 9.0f,
+                                   2.0f, 9.0f, 3.0f, 9.0f};
+  const std::vector<int> assignment = {0, 0, 0, 0};
+  const std::vector<std::vector<int>> dims = {{0}};
+  EXPECT_DOUBLE_EQ(
+      EvaluateClustersReference(data.data(), 4, 2, assignment, dims), 1.0);
+}
+
+TEST(EvaluateReferenceTest, OutliersSkippedAndDenominatorAdjusted) {
+  const std::vector<float> data = {0.0f, 2.0f, 100.0f};
+  const std::vector<int> with_outlier = {0, 0, kOutlier};
+  const std::vector<std::vector<int>> dims = {{0}};
+  // Cluster {0, 2}: centroid 1, mean |dev| 1; the 100 is excluded.
+  EXPECT_DOUBLE_EQ(
+      EvaluateClustersReference(data.data(), 3, 1, with_outlier, dims), 1.0);
+}
+
+TEST(EvaluateReferenceTest, AllOutliersYieldZero) {
+  const std::vector<float> data = {1.0f, 2.0f};
+  const std::vector<int> assignment = {kOutlier, kOutlier};
+  const std::vector<std::vector<int>> dims = {{0}};
+  EXPECT_DOUBLE_EQ(
+      EvaluateClustersReference(data.data(), 2, 1, assignment, dims), 0.0);
+}
+
+TEST(EvaluateReferenceTest, WeightsBySizeViaEq9) {
+  // Two clusters on dim 0: {0, 2} (cost contribution 2 * 1) and
+  // {10} (contribution 0). cost = 2/3.
+  const std::vector<float> data = {0.0f, 2.0f, 10.0f};
+  const std::vector<int> assignment = {0, 0, 1};
+  const std::vector<std::vector<int>> dims = {{0}, {0}};
+  EXPECT_NEAR(
+      EvaluateClustersReference(data.data(), 3, 1, assignment, dims),
+      2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace proclus::core

@@ -1,0 +1,220 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace proclus::data {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.n = 2000;
+  config.d = 8;
+  config.num_clusters = 4;
+  config.subspace_dim = 3;
+  config.stddev = 2.0;
+  config.seed = 99;
+  return config;
+}
+
+TEST(GeneratorTest, ProducesRequestedShape) {
+  Dataset ds = GenerateSubspaceDataOrDie(SmallConfig());
+  EXPECT_EQ(ds.n(), 2000);
+  EXPECT_EQ(ds.d(), 8);
+  EXPECT_EQ(ds.labels.size(), 2000u);
+  EXPECT_EQ(ds.true_subspaces.size(), 4u);
+  EXPECT_TRUE(ds.has_ground_truth());
+}
+
+TEST(GeneratorTest, ValuesWithinDomain) {
+  Dataset ds = GenerateSubspaceDataOrDie(SmallConfig());
+  for (int64_t i = 0; i < ds.n(); ++i) {
+    for (int64_t j = 0; j < ds.d(); ++j) {
+      EXPECT_GE(ds.points(i, j), 0.0f);
+      EXPECT_LE(ds.points(i, j), 100.0f);
+    }
+  }
+}
+
+TEST(GeneratorTest, BalancedClusterSizes) {
+  Dataset ds = GenerateSubspaceDataOrDie(SmallConfig());
+  std::vector<int64_t> sizes(4, 0);
+  for (const int label : ds.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 4);
+    ++sizes[label];
+  }
+  for (const int64_t s : sizes) EXPECT_EQ(s, 500);
+}
+
+TEST(GeneratorTest, SubspacesAreSortedDistinctAndSized) {
+  Dataset ds = GenerateSubspaceDataOrDie(SmallConfig());
+  for (const auto& subspace : ds.true_subspaces) {
+    EXPECT_EQ(subspace.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(subspace.begin(), subspace.end()));
+    std::set<int> unique(subspace.begin(), subspace.end());
+    EXPECT_EQ(unique.size(), 3u);
+    for (const int dim : unique) {
+      EXPECT_GE(dim, 0);
+      EXPECT_LT(dim, 8);
+    }
+  }
+}
+
+TEST(GeneratorTest, RelevantDimensionsAreConcentrated) {
+  GeneratorConfig config = SmallConfig();
+  config.stddev = 1.0;
+  Dataset ds = GenerateSubspaceDataOrDie(config);
+  // For each cluster, the variance in relevant dimensions should be far
+  // below the variance of a uniform dimension (~833 for range 100).
+  for (int c = 0; c < config.num_clusters; ++c) {
+    for (const int j : ds.true_subspaces[c]) {
+      double sum = 0.0;
+      double sum_sq = 0.0;
+      int64_t count = 0;
+      for (int64_t i = 0; i < ds.n(); ++i) {
+        if (ds.labels[i] != c) continue;
+        sum += ds.points(i, j);
+        sum_sq += ds.points(i, j) * ds.points(i, j);
+        ++count;
+      }
+      const double mean = sum / count;
+      const double var = sum_sq / count - mean * mean;
+      EXPECT_LT(var, 50.0) << "cluster " << c << " dim " << j;
+    }
+  }
+}
+
+TEST(GeneratorTest, OutliersLabeledNoise) {
+  GeneratorConfig config = SmallConfig();
+  config.outlier_fraction = 0.1;
+  Dataset ds = GenerateSubspaceDataOrDie(config);
+  const int64_t noise =
+      std::count(ds.labels.begin(), ds.labels.end(), kNoiseLabel);
+  EXPECT_EQ(noise, 200);
+}
+
+TEST(GeneratorTest, DeterministicForFixedSeed) {
+  Dataset a = GenerateSubspaceDataOrDie(SmallConfig());
+  Dataset b = GenerateSubspaceDataOrDie(SmallConfig());
+  EXPECT_TRUE(a.points == b.points);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.true_subspaces, b.true_subspaces);
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentData) {
+  GeneratorConfig config = SmallConfig();
+  Dataset a = GenerateSubspaceDataOrDie(config);
+  config.seed = 1000;
+  Dataset b = GenerateSubspaceDataOrDie(config);
+  EXPECT_FALSE(a.points == b.points);
+}
+
+TEST(GeneratorTest, UnbalancedKeepsEveryClusterNonEmpty) {
+  GeneratorConfig config = SmallConfig();
+  config.balanced = false;
+  Dataset ds = GenerateSubspaceDataOrDie(config);
+  std::vector<int64_t> sizes(4, 0);
+  for (const int label : ds.labels) ++sizes[label];
+  for (const int64_t s : sizes) EXPECT_GT(s, 0);
+  int64_t total = 0;
+  for (const int64_t s : sizes) total += s;
+  EXPECT_EQ(total, config.n);
+}
+
+TEST(GeneratorTest, RejectsInvalidConfigs) {
+  Dataset out;
+  GeneratorConfig config = SmallConfig();
+  config.n = 0;
+  EXPECT_FALSE(GenerateSubspaceData(config, &out).ok());
+  config = SmallConfig();
+  config.subspace_dim = 9;  // > d
+  EXPECT_FALSE(GenerateSubspaceData(config, &out).ok());
+  config = SmallConfig();
+  config.num_clusters = 0;
+  EXPECT_FALSE(GenerateSubspaceData(config, &out).ok());
+  config = SmallConfig();
+  config.outlier_fraction = 1.0;
+  EXPECT_FALSE(GenerateSubspaceData(config, &out).ok());
+  config = SmallConfig();
+  config.domain_min = 5.0;
+  config.domain_max = 5.0;
+  EXPECT_FALSE(GenerateSubspaceData(config, &out).ok());
+  config = SmallConfig();
+  config.n = 3;
+  config.num_clusters = 4;
+  EXPECT_FALSE(GenerateSubspaceData(config, &out).ok());
+}
+
+TEST(GeneratorTest, VariableSubspaceSizes) {
+  GeneratorConfig config = SmallConfig();
+  config.subspace_dim = 2;
+  config.max_subspace_dim = 6;
+  config.num_clusters = 8;
+  Dataset ds = GenerateSubspaceDataOrDie(config);
+  size_t smallest = 99;
+  size_t largest = 0;
+  for (const auto& subspace : ds.true_subspaces) {
+    EXPECT_GE(subspace.size(), 2u);
+    EXPECT_LE(subspace.size(), 6u);
+    smallest = std::min(smallest, subspace.size());
+    largest = std::max(largest, subspace.size());
+  }
+  // With 8 clusters drawing from [2, 6], the sizes should actually vary.
+  EXPECT_LT(smallest, largest);
+}
+
+TEST(GeneratorTest, StddevJitterVariesClusterSpread) {
+  GeneratorConfig config = SmallConfig();
+  config.stddev = 3.0;
+  config.stddev_jitter = 0.8;
+  config.num_clusters = 6;
+  config.n = 6000;
+  Dataset ds = GenerateSubspaceDataOrDie(config);
+  // Measure the per-cluster spread on its first relevant dimension.
+  std::vector<double> spreads;
+  for (int c = 0; c < config.num_clusters; ++c) {
+    const int j = ds.true_subspaces[c][0];
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    int64_t count = 0;
+    for (int64_t i = 0; i < ds.n(); ++i) {
+      if (ds.labels[i] != c) continue;
+      sum += ds.points(i, j);
+      sum_sq += ds.points(i, j) * ds.points(i, j);
+      ++count;
+    }
+    const double mean = sum / count;
+    spreads.push_back(std::sqrt(sum_sq / count - mean * mean));
+  }
+  const auto [lo, hi] = std::minmax_element(spreads.begin(), spreads.end());
+  EXPECT_GT(*hi, 1.5 * *lo);
+}
+
+TEST(GeneratorTest, RejectsBadSubspaceRangeAndJitter) {
+  Dataset out;
+  GeneratorConfig config = SmallConfig();
+  config.max_subspace_dim = 2;  // < subspace_dim (3)
+  EXPECT_FALSE(GenerateSubspaceData(config, &out).ok());
+  config = SmallConfig();
+  config.max_subspace_dim = 9;  // > d
+  EXPECT_FALSE(GenerateSubspaceData(config, &out).ok());
+  config = SmallConfig();
+  config.stddev_jitter = 1.0;
+  EXPECT_FALSE(GenerateSubspaceData(config, &out).ok());
+}
+
+TEST(GeneratorTest, FullDimensionalClustersAllowed) {
+  GeneratorConfig config = SmallConfig();
+  config.subspace_dim = config.d;
+  Dataset ds = GenerateSubspaceDataOrDie(config);
+  for (const auto& subspace : ds.true_subspaces) {
+    EXPECT_EQ(static_cast<int>(subspace.size()), config.d);
+  }
+}
+
+}  // namespace
+}  // namespace proclus::data

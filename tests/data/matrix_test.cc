@@ -1,0 +1,80 @@
+#include "data/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace proclus::data {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ConstructedZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  EXPECT_FALSE(m.empty());
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0f);
+  }
+}
+
+TEST(MatrixTest, ElementReadWrite) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0f;
+  m(0, 1) = 2.0f;
+  m(1, 0) = 3.0f;
+  m(1, 1) = 4.0f;
+  EXPECT_EQ(m(0, 0), 1.0f);
+  EXPECT_EQ(m(1, 1), 4.0f);
+}
+
+TEST(MatrixTest, RowMajorLayout) {
+  Matrix m(2, 3);
+  m(1, 0) = 10.0f;
+  m(1, 2) = 12.0f;
+  const float* row = m.Row(1);
+  EXPECT_EQ(row[0], 10.0f);
+  EXPECT_EQ(row[2], 12.0f);
+  EXPECT_EQ(m.data() + 3, m.Row(1));
+}
+
+TEST(MatrixTest, CopyIsDeep) {
+  Matrix a(2, 2);
+  a(0, 0) = 5.0f;
+  Matrix b = a;
+  b(0, 0) = 7.0f;
+  EXPECT_EQ(a(0, 0), 5.0f);
+  EXPECT_EQ(b(0, 0), 7.0f);
+}
+
+TEST(MatrixTest, MoveTransfersContents) {
+  Matrix a(2, 2);
+  a(1, 1) = 9.0f;
+  Matrix b = std::move(a);
+  EXPECT_EQ(b(1, 1), 9.0f);
+  EXPECT_EQ(b.rows(), 2);
+}
+
+TEST(MatrixTest, EqualityComparesValues) {
+  Matrix a(2, 2);
+  Matrix b(2, 2);
+  EXPECT_TRUE(a == b);
+  b(0, 1) = 1.0f;
+  EXPECT_FALSE(a == b);
+  Matrix c(2, 3);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(MatrixTest, ZeroDimensionAllowed) {
+  Matrix m(0, 5);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0);
+}
+
+}  // namespace
+}  // namespace proclus::data

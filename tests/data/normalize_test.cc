@@ -1,0 +1,85 @@
+#include "data/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace proclus::data {
+namespace {
+
+TEST(NormalizeTest, MapsToUnitInterval) {
+  Matrix m(3, 2);
+  m(0, 0) = 10.0f;
+  m(1, 0) = 20.0f;
+  m(2, 0) = 30.0f;
+  m(0, 1) = -1.0f;
+  m(1, 1) = 0.0f;
+  m(2, 1) = 3.0f;
+  MinMaxNormalize(&m);
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 0.5f);
+  EXPECT_FLOAT_EQ(m(2, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 0.25f);
+  EXPECT_FLOAT_EQ(m(2, 1), 1.0f);
+}
+
+TEST(NormalizeTest, ReturnsOriginalRanges) {
+  Matrix m(2, 2);
+  m(0, 0) = 5.0f;
+  m(1, 0) = 15.0f;
+  m(0, 1) = -2.0f;
+  m(1, 1) = 2.0f;
+  const auto ranges = MinMaxNormalize(&m);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_FLOAT_EQ(ranges[0].min, 5.0f);
+  EXPECT_FLOAT_EQ(ranges[0].max, 15.0f);
+  EXPECT_FLOAT_EQ(ranges[1].min, -2.0f);
+  EXPECT_FLOAT_EQ(ranges[1].max, 2.0f);
+}
+
+TEST(NormalizeTest, ConstantDimensionBecomesZero) {
+  Matrix m(3, 1);
+  m(0, 0) = m(1, 0) = m(2, 0) = 7.0f;
+  MinMaxNormalize(&m);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(m(i, 0), 0.0f);
+}
+
+TEST(NormalizeTest, EmptyMatrixIsNoOp) {
+  Matrix m;
+  const auto ranges = MinMaxNormalize(&m);
+  EXPECT_TRUE(ranges.empty());
+}
+
+TEST(NormalizeTest, SingleRowBecomesZero) {
+  Matrix m(1, 3);
+  m(0, 0) = 4.0f;
+  m(0, 1) = 5.0f;
+  m(0, 2) = 6.0f;
+  MinMaxNormalize(&m);
+  for (int64_t j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(m(0, j), 0.0f);
+}
+
+TEST(NormalizeTest, DenormalizeRoundTrips) {
+  Matrix m(3, 1);
+  m(0, 0) = 10.0f;
+  m(1, 0) = 25.0f;
+  m(2, 0) = 40.0f;
+  Matrix original = m;
+  const auto ranges = MinMaxNormalize(&m);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(Denormalize(ranges, 0, m(i, 0)), original(i, 0), 1e-4);
+  }
+}
+
+TEST(NormalizeTest, IdempotentOnNormalizedData) {
+  Matrix m(4, 1);
+  m(0, 0) = 0.0f;
+  m(1, 0) = 0.3f;
+  m(2, 0) = 0.7f;
+  m(3, 0) = 1.0f;
+  Matrix before = m;
+  MinMaxNormalize(&m);
+  EXPECT_TRUE(m == before);
+}
+
+}  // namespace
+}  // namespace proclus::data

@@ -1,0 +1,148 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace proclus::eval {
+namespace {
+
+TEST(PairCountsTest, IdenticalPartitionsPerfect) {
+  const std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  const PairCounts counts = CountPairs(labels, labels);
+  EXPECT_EQ(counts.false_positive, 0);
+  EXPECT_EQ(counts.false_negative, 0);
+  EXPECT_EQ(counts.true_positive, 3);  // one same-cluster pair per cluster
+  EXPECT_DOUBLE_EQ(counts.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(counts.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(counts.F1(), 1.0);
+  EXPECT_DOUBLE_EQ(counts.Rand(), 1.0);
+}
+
+TEST(PairCountsTest, CompletelyMergedPrediction) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> merged = {0, 0, 0, 0};
+  const PairCounts counts = CountPairs(truth, merged);
+  EXPECT_EQ(counts.true_positive, 2);
+  EXPECT_EQ(counts.false_positive, 4);
+  EXPECT_EQ(counts.false_negative, 0);
+  EXPECT_DOUBLE_EQ(counts.Recall(), 1.0);
+  EXPECT_LT(counts.Precision(), 1.0);
+}
+
+TEST(PairCountsTest, CompletelySplitPrediction) {
+  const std::vector<int> truth = {0, 0, 0};
+  const std::vector<int> split = {0, 1, 2};
+  const PairCounts counts = CountPairs(truth, split);
+  EXPECT_EQ(counts.true_positive, 0);
+  EXPECT_EQ(counts.false_negative, 3);
+  EXPECT_DOUBLE_EQ(counts.Recall(), 0.0);
+}
+
+TEST(PairCountsTest, NoisePointsExcluded) {
+  const std::vector<int> truth = {0, 0, -1, 1};
+  const std::vector<int> predicted = {0, 0, 5, -1};
+  const PairCounts counts = CountPairs(truth, predicted);
+  // Only the pair (0, 1) is counted; points 2 and 3 carry a -1 somewhere.
+  EXPECT_EQ(counts.true_positive, 1);
+  EXPECT_EQ(counts.false_positive, 0);
+  EXPECT_EQ(counts.false_negative, 0);
+}
+
+TEST(AriTest, PerfectAgreementIsOne) {
+  const std::vector<int> labels = {0, 0, 1, 1, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(labels, labels), 1.0);
+}
+
+TEST(AriTest, LabelPermutationInvariant) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> renamed = {5, 5, 9, 9, 1, 1};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(truth, renamed), 1.0);
+}
+
+TEST(AriTest, RandomLikePartitionNearZero) {
+  // Alternating labels vs halves: no correlation pattern above chance.
+  const std::vector<int> truth = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<int> alt = {0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(AdjustedRandIndex(truth, alt), -0.14, 0.2);
+}
+
+TEST(AriTest, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({}, {}), 0.0);
+}
+
+TEST(NmiTest, PerfectAgreementIsOne) {
+  const std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(labels, labels), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsNearZero) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> cross = {0, 1, 0, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(truth, cross), 0.0, 1e-12);
+}
+
+TEST(NmiTest, SymmetricInArguments) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2, 0};
+  const std::vector<int> b = {1, 1, 1, 0, 0, 2, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b),
+              NormalizedMutualInformation(b, a), 1e-12);
+}
+
+TEST(PurityTest, PerfectClusteringIsOne) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Purity(labels, labels), 1.0);
+}
+
+TEST(PurityTest, MajorityVotePerCluster) {
+  const std::vector<int> truth = {0, 0, 0, 1};
+  const std::vector<int> predicted = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(Purity(truth, predicted), 0.75);
+}
+
+TEST(PurityTest, NoisePredictedAsNoiseCounts) {
+  const std::vector<int> truth = {0, 0, -1};
+  const std::vector<int> predicted = {0, 0, -1};
+  EXPECT_DOUBLE_EQ(Purity(truth, predicted), 1.0);
+}
+
+TEST(PurityTest, NoiseMispredictedPenalized) {
+  const std::vector<int> truth = {0, 0, -1, -1};
+  const std::vector<int> predicted = {0, 0, 0, -1};
+  // Cluster 0 holds {0,0,-1}: majority 0 -> 2 correct; last point noise
+  // predicted noise -> correct. 3/4.
+  EXPECT_DOUBLE_EQ(Purity(truth, predicted), 0.75);
+}
+
+TEST(SubspaceRecoveryTest, ExactRecoveryIsOne) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> predicted = {0, 0, 1, 1};
+  const std::vector<std::vector<int>> true_subspaces = {{0, 1}, {2, 3}};
+  const std::vector<std::vector<int>> found = {{0, 1}, {2, 3}};
+  EXPECT_DOUBLE_EQ(
+      SubspaceRecovery(truth, predicted, true_subspaces, found), 1.0);
+}
+
+TEST(SubspaceRecoveryTest, PermutedClusterIdsStillMatch) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> predicted = {1, 1, 0, 0};  // swapped names
+  const std::vector<std::vector<int>> true_subspaces = {{0, 1}, {2, 3}};
+  const std::vector<std::vector<int>> found = {{2, 3}, {0, 1}};
+  EXPECT_DOUBLE_EQ(
+      SubspaceRecovery(truth, predicted, true_subspaces, found), 1.0);
+}
+
+TEST(SubspaceRecoveryTest, PartialOverlapScoresJaccard) {
+  const std::vector<int> truth = {0, 0};
+  const std::vector<int> predicted = {0, 0};
+  const std::vector<std::vector<int>> true_subspaces = {{0, 1, 2}};
+  const std::vector<std::vector<int>> found = {{1, 2, 3}};
+  // Jaccard({0,1,2}, {1,2,3}) = 2/4.
+  EXPECT_DOUBLE_EQ(
+      SubspaceRecovery(truth, predicted, true_subspaces, found), 0.5);
+}
+
+TEST(SubspaceRecoveryTest, EmptyPredictionIsZero) {
+  EXPECT_DOUBLE_EQ(SubspaceRecovery({}, {}, {}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace proclus::eval

@@ -1,0 +1,137 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+
+namespace proclus::eval {
+namespace {
+
+struct Fixture {
+  data::Dataset ds;
+  core::ProclusResult result;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  data::GeneratorConfig config;
+  config.n = 500;
+  config.d = 6;
+  config.num_clusters = 3;
+  config.subspace_dim = 3;
+  config.stddev = 1.5;
+  config.seed = 2;
+  f.ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&f.ds.points);
+  core::ProclusParams params;
+  params.k = 3;
+  params.l = 3;
+  params.a = 20.0;
+  params.b = 5.0;
+  f.result = core::ClusterOrDie(f.ds.points, params);
+  return f;
+}
+
+TEST(DigestTest, OneDigestPerClusterSizesMatch) {
+  const Fixture f = MakeFixture();
+  const auto digests = Digest(f.ds.points, f.result);
+  ASSERT_EQ(digests.size(), 3u);
+  const auto sizes = f.result.ClusterSizes();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(digests[i].cluster, i);
+    EXPECT_EQ(digests[i].size, sizes[i]);
+    EXPECT_EQ(digests[i].medoid, f.result.medoids[i]);
+    EXPECT_EQ(digests[i].dimensions, f.result.dimensions[i]);
+    EXPECT_EQ(digests[i].centroid.size(), digests[i].dimensions.size());
+  }
+}
+
+TEST(DigestTest, CentroidValuesInDataRange) {
+  const Fixture f = MakeFixture();
+  for (const auto& digest : Digest(f.ds.points, f.result)) {
+    for (const double v : digest.centroid) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    EXPECT_GE(digest.mean_segmental_distance, 0.0);
+    EXPECT_LE(digest.mean_segmental_distance, 1.0);
+  }
+}
+
+TEST(DigestTest, SingletonClusterHasZeroMeanDistance) {
+  // Hand-built result: one point assigned to its own medoid.
+  data::Matrix m(3, 2);
+  m(0, 0) = 0.1f;
+  m(1, 0) = 0.9f;
+  m(2, 0) = 0.95f;
+  core::ProclusResult result;
+  result.medoids = {0, 1};
+  result.dimensions = {{0, 1}, {0, 1}};
+  result.assignment = {0, 1, 1};
+  const auto digests = Digest(m, result);
+  EXPECT_EQ(digests[0].size, 1);
+  EXPECT_DOUBLE_EQ(digests[0].mean_segmental_distance, 0.0);
+  EXPECT_EQ(digests[1].size, 2);
+  EXPECT_GT(digests[1].mean_segmental_distance, 0.0);
+}
+
+TEST(DigestTest, OutliersExcluded) {
+  data::Matrix m(4, 2);
+  core::ProclusResult result;
+  result.medoids = {0};
+  result.dimensions = {{0, 1}};
+  result.assignment = {0, core::kOutlier, 0, core::kOutlier};
+  const auto digests = Digest(m, result);
+  EXPECT_EQ(digests[0].size, 2);
+}
+
+TEST(FormatClusterTableTest, ContainsAllClusters) {
+  const Fixture f = MakeFixture();
+  const std::string table =
+      FormatClusterTable(Digest(f.ds.points, f.result));
+  EXPECT_NE(table.find("cluster"), std::string::npos);
+  EXPECT_NE(table.find("subspace"), std::string::npos);
+  // Three data rows + header.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 4);
+}
+
+TEST(FormatClusterTableTest, UsesDimensionNames) {
+  const Fixture f = MakeFixture();
+  const std::vector<std::string> names = {"alpha", "beta",  "gamma",
+                                          "delta", "eps",   "zeta"};
+  const std::string table =
+      FormatClusterTable(Digest(f.ds.points, f.result), names);
+  bool found_any = false;
+  for (const auto& name : names) {
+    if (table.find(name) != std::string::npos) found_any = true;
+  }
+  EXPECT_TRUE(found_any);
+}
+
+TEST(FormatClusterTableTest, FallsBackToIndicesWhenNamesShort) {
+  const Fixture f = MakeFixture();
+  const std::string table =
+      FormatClusterTable(Digest(f.ds.points, f.result), {"only_one"});
+  EXPECT_FALSE(table.empty());
+}
+
+TEST(FormatQualitySummaryTest, WithGroundTruth) {
+  const Fixture f = MakeFixture();
+  const std::string summary = FormatQualitySummary(f.ds, f.result);
+  EXPECT_NE(summary.find("ARI="), std::string::npos);
+  EXPECT_NE(summary.find("subspace_recovery="), std::string::npos);
+}
+
+TEST(FormatQualitySummaryTest, WithoutGroundTruth) {
+  Fixture f = MakeFixture();
+  f.ds.labels.clear();
+  const std::string summary = FormatQualitySummary(f.ds, f.result);
+  EXPECT_NE(summary.find("no ground truth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace proclus::eval

@@ -1,0 +1,137 @@
+#include "eval/validate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+
+namespace proclus::eval {
+namespace {
+
+using core::ProclusParams;
+using core::ProclusResult;
+
+struct Fixture {
+  data::Dataset ds;
+  ProclusParams params;
+  ProclusResult result;
+};
+
+Fixture MakeValidFixture() {
+  Fixture f;
+  data::GeneratorConfig config;
+  config.n = 400;
+  config.d = 6;
+  config.num_clusters = 3;
+  config.subspace_dim = 3;
+  config.stddev = 1.5;
+  config.seed = 8;
+  f.ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&f.ds.points);
+  f.params.k = 3;
+  f.params.l = 3;
+  f.params.a = 20.0;
+  f.params.b = 5.0;
+  f.result = core::ClusterOrDie(f.ds.points, f.params);
+  return f;
+}
+
+TEST(ValidateTest, RealResultPasses) {
+  Fixture f = MakeValidFixture();
+  EXPECT_TRUE(ValidateResult(f.ds.points, f.params, f.result).ok());
+}
+
+TEST(ValidateTest, WrongMedoidCountFails) {
+  Fixture f = MakeValidFixture();
+  f.result.medoids.pop_back();
+  EXPECT_FALSE(ValidateResult(f.ds.points, f.params, f.result).ok());
+}
+
+TEST(ValidateTest, DuplicateMedoidFails) {
+  Fixture f = MakeValidFixture();
+  f.result.medoids[1] = f.result.medoids[0];
+  EXPECT_FALSE(ValidateResult(f.ds.points, f.params, f.result).ok());
+}
+
+TEST(ValidateTest, MedoidOutOfRangeFails) {
+  Fixture f = MakeValidFixture();
+  f.result.medoids[0] = static_cast<int>(f.ds.n());
+  EXPECT_FALSE(ValidateResult(f.ds.points, f.params, f.result).ok());
+}
+
+TEST(ValidateTest, TooFewDimensionsFails) {
+  Fixture f = MakeValidFixture();
+  f.result.dimensions[0].resize(1);
+  EXPECT_FALSE(ValidateResult(f.ds.points, f.params, f.result).ok());
+}
+
+TEST(ValidateTest, WrongTotalDimensionsFails) {
+  Fixture f = MakeValidFixture();
+  // Keep >= 2 per cluster but break the k*l total.
+  f.result.dimensions[0].push_back(5);
+  EXPECT_FALSE(ValidateResult(f.ds.points, f.params, f.result).ok());
+}
+
+TEST(ValidateTest, UnsortedDimensionsFail) {
+  Fixture f = MakeValidFixture();
+  std::swap(f.result.dimensions[0][0], f.result.dimensions[0][1]);
+  EXPECT_FALSE(ValidateResult(f.ds.points, f.params, f.result).ok());
+}
+
+TEST(ValidateTest, DimensionOutOfRangeFails) {
+  Fixture f = MakeValidFixture();
+  f.result.dimensions[0].back() = 6;  // d == 6, so max valid is 5
+  EXPECT_FALSE(ValidateResult(f.ds.points, f.params, f.result).ok());
+}
+
+TEST(ValidateTest, AssignmentSizeMismatchFails) {
+  Fixture f = MakeValidFixture();
+  f.result.assignment.pop_back();
+  EXPECT_FALSE(ValidateResult(f.ds.points, f.params, f.result).ok());
+}
+
+TEST(ValidateTest, AssignmentValueOutOfRangeFails) {
+  Fixture f = MakeValidFixture();
+  f.result.assignment[0] = f.params.k;
+  EXPECT_FALSE(ValidateResult(f.ds.points, f.params, f.result).ok());
+}
+
+TEST(ValidateTest, NonClosestAssignmentFails) {
+  Fixture f = MakeValidFixture();
+  // Move a point to another cluster; with tight clusters this point can't
+  // be closest to the other medoid.
+  int victim = -1;
+  for (int64_t p = 0; p < f.ds.n(); ++p) {
+    if (f.result.assignment[p] == 0) {
+      victim = static_cast<int>(p);
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  f.result.assignment[victim] = 1;
+  EXPECT_FALSE(ValidateResult(f.ds.points, f.params, f.result).ok());
+}
+
+TEST(ValidateTest, NegativeCostFails) {
+  Fixture f = MakeValidFixture();
+  f.result.refined_cost = -1.0;
+  EXPECT_FALSE(ValidateResult(f.ds.points, f.params, f.result).ok());
+}
+
+TEST(ValidateTest, NanCostFails) {
+  Fixture f = MakeValidFixture();
+  f.result.iterative_cost = std::nan("");
+  EXPECT_FALSE(ValidateResult(f.ds.points, f.params, f.result).ok());
+}
+
+TEST(ValidateTest, OutliersAreAccepted) {
+  Fixture f = MakeValidFixture();
+  f.result.assignment[0] = core::kOutlier;
+  EXPECT_TRUE(ValidateResult(f.ds.points, f.params, f.result).ok());
+}
+
+}  // namespace
+}  // namespace proclus::eval

@@ -1,0 +1,118 @@
+#include "parallel/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace proclus::parallel {
+namespace {
+
+TEST(ThreadPoolTest, DefaultHasAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ExplicitWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, 0, 1000,
+              [&](int64_t i) { hits[i].fetch_add(1); }, /*grain=*/8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 5, 5, [&](int64_t) { counter.fetch_add(1); });
+  ParallelFor(pool, 7, 3, [&](int64_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ParallelForTest, NonZeroBegin) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(pool, 10, 20, [&](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19
+}
+
+TEST(ParallelForChunkedTest, ChunksPartitionTheRange) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelForChunked(
+      pool, 0, 10000,
+      [&](int64_t lo, int64_t hi) {
+        std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(lo, hi);
+      },
+      /*grain=*/64);
+  std::sort(chunks.begin(), chunks.end());
+  int64_t expected = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expected);
+    EXPECT_LT(lo, hi);
+    expected = hi;
+  }
+  EXPECT_EQ(expected, 10000);
+}
+
+TEST(ParallelForChunkedTest, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  int64_t sum = 0;  // no synchronization: must run on this thread
+  ParallelForChunked(pool, 0, 100,
+                     [&](int64_t lo, int64_t hi) {
+                       for (int64_t i = lo; i < hi; ++i) sum += i;
+                     });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ParallelForTest, LargeGrainFallsBackToSingleChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 0, 10, [&](int64_t) { counter.fetch_add(1); },
+              /*grain=*/1000000);
+  EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace
+}  // namespace proclus::parallel

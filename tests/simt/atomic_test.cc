@@ -1,0 +1,117 @@
+#include "simt/atomic.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace proclus::simt {
+namespace {
+
+TEST(AtomicTest, AddReturnsOldValueInt) {
+  int value = 5;
+  EXPECT_EQ(AtomicAdd(&value, 3), 5);
+  EXPECT_EQ(value, 8);
+}
+
+TEST(AtomicTest, AddReturnsOldValueFloat) {
+  float value = 1.5f;
+  EXPECT_FLOAT_EQ(AtomicAdd(&value, 0.25f), 1.5f);
+  EXPECT_FLOAT_EQ(value, 1.75f);
+}
+
+TEST(AtomicTest, AddDouble) {
+  double value = 0.0;
+  AtomicAdd(&value, 2.5);
+  AtomicAdd(&value, -0.5);
+  EXPECT_DOUBLE_EQ(value, 2.0);
+}
+
+TEST(AtomicTest, MinUpdatesOnlyWhenSmaller) {
+  float value = 10.0f;
+  EXPECT_FLOAT_EQ(AtomicMin(&value, 12.0f), 10.0f);
+  EXPECT_FLOAT_EQ(value, 10.0f);
+  AtomicMin(&value, 3.0f);
+  EXPECT_FLOAT_EQ(value, 3.0f);
+}
+
+TEST(AtomicTest, MaxUpdatesOnlyWhenLarger) {
+  int value = 10;
+  AtomicMax(&value, 7);
+  EXPECT_EQ(value, 10);
+  AtomicMax(&value, 15);
+  EXPECT_EQ(value, 15);
+}
+
+TEST(AtomicTest, IncReturnsSequentialSlots) {
+  int32_t counter = 0;
+  EXPECT_EQ(AtomicInc(&counter), 0);
+  EXPECT_EQ(AtomicInc(&counter), 1);
+  EXPECT_EQ(AtomicInc(&counter), 2);
+  EXPECT_EQ(counter, 3);
+}
+
+TEST(AtomicTest, CasSwapsWhenEqual) {
+  int value = 7;
+  EXPECT_EQ(AtomicCas(&value, 7, 9), 7);
+  EXPECT_EQ(value, 9);
+  EXPECT_EQ(AtomicCas(&value, 7, 11), 9);  // no swap
+  EXPECT_EQ(value, 9);
+}
+
+TEST(AtomicTest, ConcurrentAddIsLossless) {
+  double sum = 0.0;
+  int64_t isum = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        AtomicAdd(&sum, 1.0);
+        AtomicAdd(&isum, int64_t{1});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(sum, 80000.0);
+  EXPECT_EQ(isum, 80000);
+}
+
+TEST(AtomicTest, ConcurrentMinFindsGlobalMin) {
+  float best = std::numeric_limits<float>::infinity();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 1000; ++i) {
+        AtomicMin(&best, static_cast<float>((i * 37 + t * 11) % 5000));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FLOAT_EQ(best, 0.0f);
+}
+
+TEST(AtomicTest, ConcurrentIncProducesDistinctSlots) {
+  int32_t counter = 0;
+  std::vector<int> slots(8000, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        const int slot = AtomicInc(&counter);
+        slots[slot] += 1;  // distinct slots -> no race
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 8000);
+  for (const int s : slots) EXPECT_EQ(s, 1);
+}
+
+TEST(AtomicTest, MinWithInfinityInitial) {
+  float value = std::numeric_limits<float>::infinity();
+  AtomicMin(&value, 42.0f);
+  EXPECT_FLOAT_EQ(value, 42.0f);
+}
+
+}  // namespace
+}  // namespace proclus::simt

@@ -1,0 +1,142 @@
+#include "simt/perf_model.h"
+
+#include <gtest/gtest.h>
+
+namespace proclus::simt {
+namespace {
+
+PerfModel MakeModel() { return PerfModel(DeviceProperties::Gtx1660Ti()); }
+
+TEST(OccupancyTest, FullBlocksOnLargeGridReachFullOccupancy) {
+  PerfModel model = MakeModel();
+  const OccupancyInfo occ = model.ComputeOccupancy(100000, 1024);
+  EXPECT_DOUBLE_EQ(occ.theoretical, 1.0);
+  EXPECT_DOUBLE_EQ(occ.achieved, 1.0);
+}
+
+TEST(OccupancyTest, TinyGridHasLowAchievedOccupancy) {
+  // The k x k delta kernel of Algorithm 3 with k=10: 10 blocks of 10
+  // threads. The paper reports 50% theoretical / 3.12% achieved occupancy
+  // for this kernel; the model must reproduce the same regime (moderate
+  // theoretical cap, few-percent achieved).
+  PerfModel model = MakeModel();
+  const OccupancyInfo occ = model.ComputeOccupancy(10, 10);
+  EXPECT_LE(occ.theoretical, 0.51);
+  EXPECT_LT(occ.achieved, 0.05);
+  EXPECT_GT(occ.achieved, 0.0);
+}
+
+TEST(OccupancyTest, PartialWarpBlocksCapTheoreticalOccupancy) {
+  PerfModel model = MakeModel();
+  // 800-thread blocks: 25 warps; an SM fits only one such block (25 warps of
+  // 32 max), so theoretical occupancy is 25/32.
+  const OccupancyInfo occ = model.ComputeOccupancy(1 << 20, 800);
+  EXPECT_NEAR(occ.theoretical, 25.0 / 32.0, 1e-9);
+}
+
+TEST(OccupancyTest, ZeroGridYieldsZero) {
+  PerfModel model = MakeModel();
+  const OccupancyInfo occ = model.ComputeOccupancy(0, 128);
+  EXPECT_EQ(occ.theoretical, 0.0);
+  EXPECT_EQ(occ.achieved, 0.0);
+}
+
+TEST(PerfModelTest, LaunchOverheadIsFloor) {
+  PerfModel model = MakeModel();
+  const double seconds = model.EstimateSeconds(1, 32, {0.0, 0.0, 0.0});
+  EXPECT_NEAR(seconds,
+              DeviceProperties().kernel_launch_overhead_us * 1e-6, 1e-9);
+}
+
+TEST(PerfModelTest, ComputeBoundScalesWithFlops) {
+  PerfModel model = MakeModel();
+  const double t1 = model.EstimateSeconds(100000, 1024, {1e9, 0.0, 0.0});
+  const double t2 = model.EstimateSeconds(100000, 1024, {2e9, 0.0, 0.0});
+  const double overhead = model.EstimateSeconds(100000, 1024, {});
+  EXPECT_NEAR(t2 - overhead, 2.0 * (t1 - overhead), 1e-12);
+}
+
+TEST(PerfModelTest, MemoryBoundKernelLimitedByBandwidth) {
+  PerfModel model = MakeModel();
+  // 288 GB/s device: 288e9 bytes should take ~1 s regardless of tiny flops.
+  const double seconds =
+      model.EstimateSeconds(1 << 20, 1024, {1.0, 288e9, 0.0});
+  EXPECT_NEAR(seconds, 1.0, 0.01);
+}
+
+TEST(PerfModelTest, RooflineTakesTheMax) {
+  PerfModel model = MakeModel();
+  const double compute_only =
+      model.EstimateSeconds(1 << 20, 1024, {1e12, 0.0, 0.0});
+  const double both = model.EstimateSeconds(1 << 20, 1024, {1e12, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(compute_only, both);
+}
+
+TEST(PerfModelTest, LowOccupancySlowsComputeBoundKernels)  {
+  PerfModel model = MakeModel();
+  const double full = model.EstimateSeconds(1 << 20, 1024, {1e10, 0.0, 0.0});
+  const double tiny = model.EstimateSeconds(10, 10, {1e10, 0.0, 0.0});
+  EXPECT_GT(tiny, full);
+}
+
+TEST(PerfModelTest, AtomicsAddCost) {
+  PerfModel model = MakeModel();
+  const double without = model.EstimateSeconds(1000, 1024, {1e6, 1e6, 0.0});
+  const double with = model.EstimateSeconds(1000, 1024, {1e6, 1e6, 1e7});
+  EXPECT_GT(with, without);
+}
+
+TEST(PerfModelTest, RecordsAccumulatePerKernel) {
+  PerfModel model = MakeModel();
+  model.RecordLaunch("a", 10, 128, {1e6, 1e6, 0.0});
+  model.RecordLaunch("a", 10, 128, {1e6, 1e6, 0.0});
+  model.RecordLaunch("b", 5, 64, {1e3, 1e3, 0.0});
+  const auto records = model.KernelRecords();
+  ASSERT_EQ(records.size(), 2u);
+  // Sorted by descending modeled time: "a" ran twice with more work.
+  EXPECT_EQ(records[0].name, "a");
+  EXPECT_EQ(records[0].launches, 2);
+  EXPECT_EQ(records[0].total_blocks, 20);
+  EXPECT_EQ(records[0].total_threads, 2 * 10 * 128);
+  EXPECT_DOUBLE_EQ(records[0].total_flops, 2e6);
+  EXPECT_EQ(records[1].name, "b");
+  EXPECT_EQ(model.total_launches(), 3);
+}
+
+TEST(PerfModelTest, ModeledSecondsMatchesSumOfLaunches) {
+  PerfModel model = MakeModel();
+  double sum = 0.0;
+  sum += model.RecordLaunch("x", 100, 256, {1e8, 1e7, 1e3});
+  sum += model.RecordLaunch("y", 1, 32, {1e2, 1e2, 0.0});
+  EXPECT_DOUBLE_EQ(model.modeled_seconds(), sum);
+}
+
+TEST(PerfModelTest, MemoryThroughputFractionInUnitRange) {
+  PerfModel model = MakeModel();
+  model.RecordLaunch("mem", 1 << 18, 1024, {1.0, 1e9, 0.0});
+  const auto records = model.KernelRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_GT(records[0].last_memory_throughput, 0.5);
+  EXPECT_LE(records[0].last_memory_throughput, 1.0);
+}
+
+TEST(PerfModelTest, TransferUsesPcieBandwidth) {
+  PerfModel model = MakeModel();
+  const double seconds = model.RecordTransfer(12e9);  // 12 GB at 12 GB/s
+  EXPECT_NEAR(seconds, 1.0, 1e-9);
+  EXPECT_NEAR(model.transfer_seconds(), 1.0, 1e-9);
+}
+
+TEST(PerfModelTest, ResetClearsEverything) {
+  PerfModel model = MakeModel();
+  model.RecordLaunch("a", 10, 128, {1e6, 1e6, 0.0});
+  model.RecordTransfer(1e6);
+  model.Reset();
+  EXPECT_EQ(model.modeled_seconds(), 0.0);
+  EXPECT_EQ(model.transfer_seconds(), 0.0);
+  EXPECT_EQ(model.total_launches(), 0);
+  EXPECT_TRUE(model.KernelRecords().empty());
+}
+
+}  // namespace
+}  // namespace proclus::simt

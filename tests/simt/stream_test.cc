@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "simt/atomic.h"
+#include "simt/device.h"
+
+namespace proclus::simt {
+namespace {
+
+WorkEstimate SomeWork() { return {1e7, 1e6, 0.0}; }
+
+TEST(StreamTest, RegionFoldsOverlappingKernelsToMax) {
+  Device sequential;
+  sequential.Launch("a", {64, 256}, SomeWork(), [](BlockContext&) {});
+  sequential.Launch("b", {64, 256}, SomeWork(), [](BlockContext&) {});
+  const double sum = sequential.modeled_seconds();
+
+  Device streamed;
+  streamed.BeginConcurrentRegion(2);
+  streamed.SetStream(0);
+  streamed.Launch("a", {64, 256}, SomeWork(), [](BlockContext&) {});
+  streamed.SetStream(1);
+  streamed.Launch("b", {64, 256}, SomeWork(), [](BlockContext&) {});
+  streamed.EndConcurrentRegion();
+  // Two identical kernels overlapped: the region costs one kernel, i.e.
+  // half of the sequential time.
+  EXPECT_NEAR(streamed.modeled_seconds(), sum / 2.0, 1e-12);
+}
+
+TEST(StreamTest, SameStreamKernelsStillSerialize) {
+  Device a;
+  a.Launch("x", {64, 256}, SomeWork(), [](BlockContext&) {});
+  a.Launch("y", {64, 256}, SomeWork(), [](BlockContext&) {});
+
+  Device b;
+  b.BeginConcurrentRegion(2);
+  b.SetStream(0);
+  b.Launch("x", {64, 256}, SomeWork(), [](BlockContext&) {});
+  b.Launch("y", {64, 256}, SomeWork(), [](BlockContext&) {});
+  b.EndConcurrentRegion();
+  EXPECT_NEAR(a.modeled_seconds(), b.modeled_seconds(), 1e-12);
+}
+
+TEST(StreamTest, UnbalancedStreamsCostTheLongest) {
+  Device device;
+  device.BeginConcurrentRegion(2);
+  device.SetStream(0);
+  device.Launch("big", {64, 256}, {4e7, 0.0, 0.0}, [](BlockContext&) {});
+  device.SetStream(1);
+  device.Launch("small", {64, 256}, {1e6, 0.0, 0.0}, [](BlockContext&) {});
+  device.EndConcurrentRegion();
+
+  Device only_big;
+  only_big.Launch("big", {64, 256}, {4e7, 0.0, 0.0}, [](BlockContext&) {});
+  EXPECT_NEAR(device.modeled_seconds(), only_big.modeled_seconds(), 1e-12);
+}
+
+TEST(StreamTest, FunctionalExecutionUnaffected) {
+  Device device;
+  int* a = device.Alloc<int>(100);
+  int* b = device.Alloc<int>(100);
+  device.BeginConcurrentRegion(2);
+  device.SetStream(0);
+  device.Launch("write_a", {1, 100}, {}, [&](BlockContext& ctx) {
+    ctx.ForEachThread([&](int tid) { a[tid] = tid; });
+  });
+  device.SetStream(1);
+  device.Launch("write_b", {1, 100}, {}, [&](BlockContext& ctx) {
+    ctx.ForEachThread([&](int tid) { b[tid] = 2 * tid; });
+  });
+  device.EndConcurrentRegion();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a[i], i);
+    EXPECT_EQ(b[i], 2 * i);
+  }
+}
+
+TEST(StreamTest, LaunchesOutsideRegionUnaffected) {
+  Device device;
+  device.BeginConcurrentRegion(2);
+  device.EndConcurrentRegion();
+  device.Launch("after", {64, 256}, SomeWork(), [](BlockContext&) {});
+  Device plain;
+  plain.Launch("after", {64, 256}, SomeWork(), [](BlockContext&) {});
+  EXPECT_NEAR(device.modeled_seconds(), plain.modeled_seconds(), 1e-12);
+}
+
+TEST(StreamTest, NestedRegionAborts) {
+  Device device;
+  device.BeginConcurrentRegion(2);
+  EXPECT_DEATH(device.BeginConcurrentRegion(2), "PROCLUS_CHECK");
+}
+
+TEST(StreamTest, SetStreamOutsideRegionAborts) {
+  Device device;
+  EXPECT_DEATH(device.SetStream(0), "PROCLUS_CHECK");
+}
+
+TEST(StreamTest, InvalidStreamIdAborts) {
+  Device device;
+  device.BeginConcurrentRegion(2);
+  EXPECT_DEATH(device.SetStream(2), "PROCLUS_CHECK");
+}
+
+}  // namespace
+}  // namespace proclus::simt

@@ -1,0 +1,22 @@
+// Command-line front end for the library; see `proclus_cli --help`.
+
+#include <cstdio>
+#include <iostream>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  proclus::cli::CliConfig config;
+  proclus::Status st = proclus::cli::ParseArgs(args, &config);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  st = proclus::cli::RunCli(config, std::cout);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
