@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_multiparam.dir/bench_fig3_multiparam.cc.o"
+  "CMakeFiles/bench_fig3_multiparam.dir/bench_fig3_multiparam.cc.o.d"
+  "bench_fig3_multiparam"
+  "bench_fig3_multiparam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_multiparam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_fulldim.dir/bench_motivation_fulldim.cc.o"
+  "CMakeFiles/bench_motivation_fulldim.dir/bench_motivation_fulldim.cc.o.d"
+  "bench_motivation_fulldim"
+  "bench_motivation_fulldim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_fulldim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec54_utilization.dir/bench_sec54_utilization.cc.o"
+  "CMakeFiles/bench_sec54_utilization.dir/bench_sec54_utilization.cc.o.d"
+  "bench_sec54_utilization"
+  "bench_sec54_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec54_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

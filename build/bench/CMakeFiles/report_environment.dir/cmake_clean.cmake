@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_environment.dir/report_environment.cc.o"
+  "CMakeFiles/report_environment.dir/report_environment.cc.o.d"
+  "report_environment"
+  "report_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

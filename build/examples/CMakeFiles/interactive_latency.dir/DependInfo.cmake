@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/interactive_latency.cc" "examples/CMakeFiles/interactive_latency.dir/interactive_latency.cc.o" "gcc" "examples/CMakeFiles/interactive_latency.dir/interactive_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/proclus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/proclus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/proclus_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/proclus_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/proclus_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proclus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

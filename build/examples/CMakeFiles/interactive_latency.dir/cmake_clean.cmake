@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_latency.dir/interactive_latency.cc.o"
+  "CMakeFiles/interactive_latency.dir/interactive_latency.cc.o.d"
+  "interactive_latency"
+  "interactive_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

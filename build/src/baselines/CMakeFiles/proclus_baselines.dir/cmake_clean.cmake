@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proclus_baselines.dir/clarans.cc.o"
+  "CMakeFiles/proclus_baselines.dir/clarans.cc.o.d"
+  "CMakeFiles/proclus_baselines.dir/kmeans.cc.o"
+  "CMakeFiles/proclus_baselines.dir/kmeans.cc.o.d"
+  "libproclus_baselines.a"
+  "libproclus_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proclus_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

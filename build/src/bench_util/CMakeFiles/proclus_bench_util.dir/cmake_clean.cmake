@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proclus_bench_util.dir/harness.cc.o"
+  "CMakeFiles/proclus_bench_util.dir/harness.cc.o.d"
+  "libproclus_bench_util.a"
+  "libproclus_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proclus_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proclus_cli_lib.dir/cli.cc.o"
+  "CMakeFiles/proclus_cli_lib.dir/cli.cc.o.d"
+  "libproclus_cli_lib.a"
+  "libproclus_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proclus_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proclus_common.dir/env.cc.o"
+  "CMakeFiles/proclus_common.dir/env.cc.o.d"
+  "CMakeFiles/proclus_common.dir/rng.cc.o"
+  "CMakeFiles/proclus_common.dir/rng.cc.o.d"
+  "CMakeFiles/proclus_common.dir/status.cc.o"
+  "CMakeFiles/proclus_common.dir/status.cc.o.d"
+  "libproclus_common.a"
+  "libproclus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proclus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

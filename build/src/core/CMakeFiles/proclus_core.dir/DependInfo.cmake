@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api.cc" "src/core/CMakeFiles/proclus_core.dir/api.cc.o" "gcc" "src/core/CMakeFiles/proclus_core.dir/api.cc.o.d"
+  "/root/repo/src/core/cpu_backend.cc" "src/core/CMakeFiles/proclus_core.dir/cpu_backend.cc.o" "gcc" "src/core/CMakeFiles/proclus_core.dir/cpu_backend.cc.o.d"
+  "/root/repo/src/core/driver.cc" "src/core/CMakeFiles/proclus_core.dir/driver.cc.o" "gcc" "src/core/CMakeFiles/proclus_core.dir/driver.cc.o.d"
+  "/root/repo/src/core/gpu_backend.cc" "src/core/CMakeFiles/proclus_core.dir/gpu_backend.cc.o" "gcc" "src/core/CMakeFiles/proclus_core.dir/gpu_backend.cc.o.d"
+  "/root/repo/src/core/multi_param.cc" "src/core/CMakeFiles/proclus_core.dir/multi_param.cc.o" "gcc" "src/core/CMakeFiles/proclus_core.dir/multi_param.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/proclus_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/proclus_core.dir/params.cc.o.d"
+  "/root/repo/src/core/result.cc" "src/core/CMakeFiles/proclus_core.dir/result.cc.o" "gcc" "src/core/CMakeFiles/proclus_core.dir/result.cc.o.d"
+  "/root/repo/src/core/serialization.cc" "src/core/CMakeFiles/proclus_core.dir/serialization.cc.o" "gcc" "src/core/CMakeFiles/proclus_core.dir/serialization.cc.o.d"
+  "/root/repo/src/core/subroutines.cc" "src/core/CMakeFiles/proclus_core.dir/subroutines.cc.o" "gcc" "src/core/CMakeFiles/proclus_core.dir/subroutines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/proclus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/proclus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/proclus_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/proclus_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

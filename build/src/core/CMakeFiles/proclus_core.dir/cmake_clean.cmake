@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proclus_core.dir/api.cc.o"
+  "CMakeFiles/proclus_core.dir/api.cc.o.d"
+  "CMakeFiles/proclus_core.dir/cpu_backend.cc.o"
+  "CMakeFiles/proclus_core.dir/cpu_backend.cc.o.d"
+  "CMakeFiles/proclus_core.dir/driver.cc.o"
+  "CMakeFiles/proclus_core.dir/driver.cc.o.d"
+  "CMakeFiles/proclus_core.dir/gpu_backend.cc.o"
+  "CMakeFiles/proclus_core.dir/gpu_backend.cc.o.d"
+  "CMakeFiles/proclus_core.dir/multi_param.cc.o"
+  "CMakeFiles/proclus_core.dir/multi_param.cc.o.d"
+  "CMakeFiles/proclus_core.dir/params.cc.o"
+  "CMakeFiles/proclus_core.dir/params.cc.o.d"
+  "CMakeFiles/proclus_core.dir/result.cc.o"
+  "CMakeFiles/proclus_core.dir/result.cc.o.d"
+  "CMakeFiles/proclus_core.dir/serialization.cc.o"
+  "CMakeFiles/proclus_core.dir/serialization.cc.o.d"
+  "CMakeFiles/proclus_core.dir/subroutines.cc.o"
+  "CMakeFiles/proclus_core.dir/subroutines.cc.o.d"
+  "libproclus_core.a"
+  "libproclus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proclus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

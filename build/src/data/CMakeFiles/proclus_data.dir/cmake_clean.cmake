@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proclus_data.dir/generator.cc.o"
+  "CMakeFiles/proclus_data.dir/generator.cc.o.d"
+  "CMakeFiles/proclus_data.dir/io.cc.o"
+  "CMakeFiles/proclus_data.dir/io.cc.o.d"
+  "CMakeFiles/proclus_data.dir/normalize.cc.o"
+  "CMakeFiles/proclus_data.dir/normalize.cc.o.d"
+  "CMakeFiles/proclus_data.dir/real_world.cc.o"
+  "CMakeFiles/proclus_data.dir/real_world.cc.o.d"
+  "libproclus_data.a"
+  "libproclus_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proclus_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

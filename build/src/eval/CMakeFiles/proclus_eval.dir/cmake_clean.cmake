@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proclus_eval.dir/metrics.cc.o"
+  "CMakeFiles/proclus_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/proclus_eval.dir/report.cc.o"
+  "CMakeFiles/proclus_eval.dir/report.cc.o.d"
+  "CMakeFiles/proclus_eval.dir/validate.cc.o"
+  "CMakeFiles/proclus_eval.dir/validate.cc.o.d"
+  "libproclus_eval.a"
+  "libproclus_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proclus_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proclus_parallel.dir/thread_pool.cc.o"
+  "CMakeFiles/proclus_parallel.dir/thread_pool.cc.o.d"
+  "libproclus_parallel.a"
+  "libproclus_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proclus_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

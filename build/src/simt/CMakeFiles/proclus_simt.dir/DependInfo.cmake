@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/device.cc" "src/simt/CMakeFiles/proclus_simt.dir/device.cc.o" "gcc" "src/simt/CMakeFiles/proclus_simt.dir/device.cc.o.d"
+  "/root/repo/src/simt/perf_model.cc" "src/simt/CMakeFiles/proclus_simt.dir/perf_model.cc.o" "gcc" "src/simt/CMakeFiles/proclus_simt.dir/perf_model.cc.o.d"
+  "/root/repo/src/simt/primitives.cc" "src/simt/CMakeFiles/proclus_simt.dir/primitives.cc.o" "gcc" "src/simt/CMakeFiles/proclus_simt.dir/primitives.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/proclus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/proclus_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

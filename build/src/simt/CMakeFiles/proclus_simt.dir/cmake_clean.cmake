@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proclus_simt.dir/device.cc.o"
+  "CMakeFiles/proclus_simt.dir/device.cc.o.d"
+  "CMakeFiles/proclus_simt.dir/perf_model.cc.o"
+  "CMakeFiles/proclus_simt.dir/perf_model.cc.o.d"
+  "CMakeFiles/proclus_simt.dir/primitives.cc.o"
+  "CMakeFiles/proclus_simt.dir/primitives.cc.o.d"
+  "libproclus_simt.a"
+  "libproclus_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proclus_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

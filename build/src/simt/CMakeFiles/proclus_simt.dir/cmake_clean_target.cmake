@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libproclus_simt.a"
+)

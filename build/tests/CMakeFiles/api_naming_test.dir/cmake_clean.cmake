@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_naming_test.dir/core/api_naming_test.cc.o"
+  "CMakeFiles/api_naming_test.dir/core/api_naming_test.cc.o.d"
+  "api_naming_test"
+  "api_naming_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_naming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

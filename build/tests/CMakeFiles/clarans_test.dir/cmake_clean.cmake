@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clarans_test.dir/baselines/clarans_test.cc.o"
+  "CMakeFiles/clarans_test.dir/baselines/clarans_test.cc.o.d"
+  "clarans_test"
+  "clarans_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clarans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

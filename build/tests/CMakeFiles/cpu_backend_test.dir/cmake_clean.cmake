@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_backend_test.dir/core/cpu_backend_test.cc.o"
+  "CMakeFiles/cpu_backend_test.dir/core/cpu_backend_test.cc.o.d"
+  "cpu_backend_test"
+  "cpu_backend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

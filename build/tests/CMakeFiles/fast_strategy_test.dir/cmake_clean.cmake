@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_strategy_test.dir/core/fast_strategy_test.cc.o"
+  "CMakeFiles/fast_strategy_test.dir/core/fast_strategy_test.cc.o.d"
+  "fast_strategy_test"
+  "fast_strategy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

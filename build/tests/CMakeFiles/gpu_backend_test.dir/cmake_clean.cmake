@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_backend_test.dir/core/gpu_backend_test.cc.o"
+  "CMakeFiles/gpu_backend_test.dir/core/gpu_backend_test.cc.o.d"
+  "gpu_backend_test"
+  "gpu_backend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

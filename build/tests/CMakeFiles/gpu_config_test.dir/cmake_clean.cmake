@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_config_test.dir/core/gpu_config_test.cc.o"
+  "CMakeFiles/gpu_config_test.dir/core/gpu_config_test.cc.o.d"
+  "gpu_config_test"
+  "gpu_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_param_test.dir/core/multi_param_test.cc.o"
+  "CMakeFiles/multi_param_test.dir/core/multi_param_test.cc.o.d"
+  "multi_param_test"
+  "multi_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

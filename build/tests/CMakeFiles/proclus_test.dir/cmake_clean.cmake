@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proclus_test.dir/core/proclus_test.cc.o"
+  "CMakeFiles/proclus_test.dir/core/proclus_test.cc.o.d"
+  "proclus_test"
+  "proclus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proclus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_world_test.dir/data/real_world_test.cc.o"
+  "CMakeFiles/real_world_test.dir/data/real_world_test.cc.o.d"
+  "real_world_test"
+  "real_world_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

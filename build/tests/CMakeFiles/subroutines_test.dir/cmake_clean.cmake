@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subroutines_test.dir/core/subroutines_test.cc.o"
+  "CMakeFiles/subroutines_test.dir/core/subroutines_test.cc.o.d"
+  "subroutines_test"
+  "subroutines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subroutines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proclus_cli.dir/proclus_cli.cc.o"
+  "CMakeFiles/proclus_cli.dir/proclus_cli.cc.o.d"
+  "proclus_cli"
+  "proclus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proclus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
