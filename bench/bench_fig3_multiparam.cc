@@ -60,7 +60,7 @@ int main() {
         options.cluster.strategy = row.strategy;
         core::ProclusParams seeded = base;
         seeded.seed = 7000 + r;
-        core::MultiParamOutput output;
+        core::MultiParamResult output;
         const Status st =
             core::RunMultiParam(ds.points, seeded, grid, options, &output);
         if (!st.ok()) {

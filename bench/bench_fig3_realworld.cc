@@ -39,7 +39,7 @@ int main() {
     cpu.reuse = core::ReuseLevel::kNone;
     cpu.cluster.backend = core::ComputeBackend::kCpu;
     cpu.cluster.strategy = core::Strategy::kBaseline;
-    core::MultiParamOutput cpu_out;
+    core::MultiParamResult cpu_out;
     if (!core::RunMultiParam(ds.points, base, grid, cpu, &cpu_out).ok()) {
       continue;  // dataset too small for some setting; skip
     }
@@ -48,7 +48,7 @@ int main() {
     gpu.reuse = core::ReuseLevel::kWarmStart;
     gpu.cluster.backend = core::ComputeBackend::kGpu;
     gpu.cluster.strategy = core::Strategy::kFast;
-    core::MultiParamOutput gpu_out;
+    core::MultiParamResult gpu_out;
     if (!core::RunMultiParam(ds.points, base, grid, gpu, &gpu_out).ok()) {
       continue;
     }

@@ -78,11 +78,13 @@ int main() {
   params.k = static_cast<int>(segments.size());
   params.l = 3;
   params.seed = 7;
-  core::ClusterOptions options;
-  options.backend = core::ComputeBackend::kGpu;
-  options.strategy = core::Strategy::kFast;
-  const core::ProclusResult result =
-      core::ClusterOrDie(customers.points, params, options);
+  core::ProclusResult result;
+  const Status st = core::Cluster(customers.points, params,
+                                  core::ClusterOptions::Gpu(), &result);
+  if (!st.ok()) {
+    std::fprintf(stderr, "clustering failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
   const auto sizes = result.ClusterSizes();
   for (int c = 0; c < result.k(); ++c) {

@@ -34,15 +34,14 @@ int main(int argc, char** argv) {
   std::printf("exploring %zu (k,l) combinations on %lld points\n\n",
               grid.size(), static_cast<long long>(n));
 
-  core::MultiParamOutput last_output;
+  core::MultiParamResult last_output;
   for (const core::ReuseLevel level :
        {core::ReuseLevel::kNone, core::ReuseLevel::kCache,
         core::ReuseLevel::kGreedy, core::ReuseLevel::kWarmStart}) {
     core::MultiParamOptions options;
     options.reuse = level;
-    options.cluster.backend = core::ComputeBackend::kGpu;
-    options.cluster.strategy = core::Strategy::kFast;
-    core::MultiParamOutput output;
+    options.cluster = core::ClusterOptions::Gpu();
+    core::MultiParamResult output;
     const Status st =
         core::RunMultiParam(dataset.points, base, grid, options, &output);
     if (!st.ok()) {

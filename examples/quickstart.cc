@@ -36,11 +36,13 @@ int main(int argc, char** argv) {
   core::ProclusParams params;
   params.k = k;
   params.l = 5;
-  core::ClusterOptions options;
-  options.backend = core::ComputeBackend::kGpu;
-  options.strategy = core::Strategy::kFast;
-  const core::ProclusResult result =
-      core::ClusterOrDie(dataset.points, params, options);
+  // ClusterOrDie is deprecated (prefer Cluster() + Status) but kept here:
+  // the quickstart stays a three-line happy path.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const core::ProclusResult result = core::ClusterOrDie(
+      dataset.points, params, core::ClusterOptions::Gpu());
+#pragma GCC diagnostic pop
 
   // 3. Report.
   std::printf("\niterations: %d   iterative cost: %.6f   refined cost: %.6f\n",

@@ -39,11 +39,24 @@ int main(int argc, char** argv) {
        {core::ComputeBackend::kCpu, core::ComputeBackend::kMultiCore,
         core::ComputeBackend::kGpu}) {
     core::ClusterOptions options;
-    options.backend = backend;
-    options.strategy = core::Strategy::kFast;
+    switch (backend) {
+      case core::ComputeBackend::kCpu:
+        options = core::ClusterOptions::Cpu();
+        break;
+      case core::ComputeBackend::kMultiCore:
+        options = core::ClusterOptions::MultiCore();
+        break;
+      case core::ComputeBackend::kGpu:
+        options = core::ClusterOptions::Gpu();
+        break;
+    }
     StopWatch watch;
-    const core::ProclusResult result =
-        core::ClusterOrDie(sky.points, params, options);
+    core::ProclusResult result;
+    const Status st = core::Cluster(sky.points, params, options, &result);
+    if (!st.ok()) {
+      std::fprintf(stderr, "clustering failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
     std::printf("%-4s FAST-PROCLUS: %8.1f ms wall",
                 core::BackendName(backend), watch.ElapsedMillis());
     if (backend == core::ComputeBackend::kGpu) {

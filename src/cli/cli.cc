@@ -5,6 +5,7 @@
 
 #include "common/timer.h"
 #include "core/multi_param.h"
+#include "service/proclus_service.h"
 #include "data/generator.h"
 #include "data/io.h"
 #include "data/normalize.h"
@@ -59,6 +60,15 @@ Algorithm:
   --threads INT         workers for mc (default: hardware)
   --explore             run the 9-combination (k,l) grid with full reuse
 
+Batch mode (proclus_cli batch ...):
+  submits jobs to an in-process ProclusService (persistent devices, shared
+  worker pool) instead of one blocking run; accepts all flags above plus:
+  --jobs K:L[,K:L...]   the jobs to run (default: the configured --k/--l)
+  --sweep               submit the --jobs list as one work-sharing sweep
+  --workers INT         concurrent service workers (default 2)
+  --gpu-devices INT     pooled devices for gpu jobs (default 1)
+  --timeout-ms NUM      per-job deadline, queue wait included (default none)
+
 Output:
   --output FILE         write per-point cluster ids (-1 = outlier)
   --no-normalize        skip min-max normalization
@@ -83,7 +93,13 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
     return Status::OK();
   };
 
-  for (size_t i = 0; i < args.size(); ++i) {
+  size_t start = 0;
+  if (!args.empty() && args[0] == "batch") {
+    config->batch = true;
+    start = 1;
+  }
+
+  for (size_t i = start; i < args.size(); ++i) {
     const std::string& arg = args[i];
     std::string value;
     int64_t int_value = 0;
@@ -165,6 +181,42 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
       config->options.num_threads = static_cast<int>(int_value);
     } else if (arg == "--explore") {
       config->explore = true;
+    } else if (arg == "--jobs") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      size_t pos = 0;
+      while (pos <= value.size()) {
+        size_t comma = value.find(',', pos);
+        if (comma == std::string::npos) comma = value.size();
+        const std::string entry = value.substr(pos, comma - pos);
+        const size_t colon = entry.find(':');
+        if (colon == std::string::npos) {
+          return Status::InvalidArgument("--jobs expects K:L[,K:L...], got '" +
+                                         entry + "'");
+        }
+        int64_t k = 0;
+        int64_t l = 0;
+        PROCLUS_RETURN_NOT_OK(ParseInt(entry.substr(0, colon), arg, &k));
+        PROCLUS_RETURN_NOT_OK(ParseInt(entry.substr(colon + 1), arg, &l));
+        config->batch_jobs.emplace_back(static_cast<int>(k),
+                                        static_cast<int>(l));
+        pos = comma + 1;
+      }
+    } else if (arg == "--sweep") {
+      config->batch_sweep = true;
+    } else if (arg == "--workers") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseInt(value, arg, &int_value));
+      config->batch_workers = static_cast<int>(int_value);
+      config->batch_tuning_seen = true;
+    } else if (arg == "--gpu-devices") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseInt(value, arg, &int_value));
+      config->batch_gpu_devices = static_cast<int>(int_value);
+      config->batch_tuning_seen = true;
+    } else if (arg == "--timeout-ms") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseDouble(value, arg, &config->batch_timeout_ms));
+      config->batch_tuning_seen = true;
     } else if (arg == "--output") {
       PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &config->output_path));
     } else if (arg == "--no-normalize") {
@@ -180,6 +232,18 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
   }
   if (!config->input_path.empty() && config->generate) {
     return Status::InvalidArgument("--input and --generate are exclusive");
+  }
+  if (!config->batch && (!config->batch_jobs.empty() || config->batch_sweep ||
+                         config->batch_tuning_seen)) {
+    return Status::InvalidArgument(
+        "--jobs/--sweep/--workers/--gpu-devices/--timeout-ms require batch "
+        "mode (proclus_cli batch ...)");
+  }
+  if (config->batch && config->explore) {
+    return Status::InvalidArgument("--explore and batch mode are exclusive");
+  }
+  if (config->batch && config->batch_jobs.empty()) {
+    config->batch_jobs.emplace_back(config->params.k, config->params.l);
   }
   return Status::OK();
 }
@@ -218,6 +282,88 @@ Status WriteAssignment(const std::vector<int>& assignment,
   return Status::OK();
 }
 
+// Batch mode: run the configured jobs through a ProclusService so they
+// share the worker pool and persistent devices, then report per-job lines
+// and the service's aggregate counters.
+Status RunBatch(const CliConfig& config, const data::Dataset& dataset,
+                std::ostream& out) {
+  service::ServiceOptions service_options;
+  service_options.num_workers = config.batch_workers;
+  service_options.gpu_devices = config.batch_gpu_devices;
+  service_options.default_timeout_seconds = config.batch_timeout_ms / 1e3;
+  service::ProclusService service(service_options);
+  PROCLUS_RETURN_NOT_OK(service.RegisterDataset("cli", dataset.points));
+
+  std::vector<core::ParamSetting> settings;
+  settings.reserve(config.batch_jobs.size());
+  for (const auto& [k, l] : config.batch_jobs) settings.push_back({k, l});
+
+  std::vector<service::JobHandle> handles;
+  if (config.batch_sweep) {
+    service::JobSpec spec;
+    spec.kind = service::JobKind::kSweep;
+    spec.dataset_id = "cli";
+    spec.params = config.params;
+    spec.settings = settings;
+    spec.options = config.options;
+    handles.resize(1);
+    PROCLUS_RETURN_NOT_OK(service.Submit(std::move(spec), &handles[0]));
+  } else {
+    handles.resize(settings.size());
+    for (size_t i = 0; i < settings.size(); ++i) {
+      service::JobSpec spec;
+      spec.dataset_id = "cli";
+      spec.params = config.params;
+      spec.params.k = settings[i].k;
+      spec.params.l = settings[i].l;
+      spec.options = config.options;
+      PROCLUS_RETURN_NOT_OK(service.Submit(std::move(spec), &handles[i]));
+    }
+  }
+
+  const core::ProclusResult* last_result = nullptr;
+  Status first_failure = Status::OK();
+  size_t setting_idx = 0;
+  for (const service::JobHandle& handle : handles) {
+    const service::JobResult& result = handle.Wait();
+    if (!result.status.ok()) {
+      out << "job " << handle.id() << ": " << service::JobPhaseName(
+                 handle.phase())
+          << " (" << result.status.ToString() << ")\n";
+      if (first_failure.ok()) first_failure = result.status;
+      setting_idx += config.batch_sweep ? settings.size() : 1;
+      continue;
+    }
+    for (const core::ProclusResult& r : result.results) {
+      out << "k=" << settings[setting_idx].k
+          << " l=" << settings[setting_idx].l
+          << "  refined cost: " << r.refined_cost
+          << "  outliers: " << r.NumOutliers();
+      if (result.warm_device) out << "  [warm device]";
+      out << "\n";
+      last_result = &r;
+      ++setting_idx;
+    }
+  }
+
+  const service::ServiceStats stats = service.stats();
+  out << "batch: " << stats.completed << " completed, " << stats.failed
+      << " failed, " << stats.timed_out << " timed out; device reuse "
+      << stats.device_reuse_hits << "/" << stats.device_acquires;
+  if (stats.modeled_gpu_seconds_total > 0.0) {
+    out << "; modeled device time "
+        << stats.modeled_gpu_seconds_total * 1e3 << " ms";
+  }
+  out << "\n";
+
+  if (!config.output_path.empty() && last_result != nullptr) {
+    PROCLUS_RETURN_NOT_OK(
+        WriteAssignment(last_result->assignment, config.output_path));
+    out << "assignment written to " << config.output_path << "\n";
+  }
+  return first_failure;
+}
+
 }  // namespace
 
 Status RunCli(const CliConfig& config, std::ostream& out) {
@@ -249,13 +395,15 @@ Status RunCli(const CliConfig& config, std::ostream& out) {
       << core::VariantName(config.options.backend, config.options.strategy)
       << "\n";
 
+  if (config.batch) return RunBatch(config, dataset, out);
+
   if (config.explore) {
     const std::vector<core::ParamSetting> grid =
         core::DefaultSettingsGrid(config.params);
     core::MultiParamOptions mp;
     mp.cluster = config.options;
     mp.reuse = core::ReuseLevel::kWarmStart;
-    core::MultiParamOutput output;
+    core::MultiParamResult output;
     PROCLUS_RETURN_NOT_OK(core::RunMultiParam(dataset.points, config.params,
                                               grid, mp, &output));
     out << "explored " << grid.size() << " settings in "

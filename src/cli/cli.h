@@ -26,6 +26,20 @@ struct CliConfig {
   core::ClusterOptions options;
   // Multi-parameter mode: run the 9-combination (k,l) grid with full reuse.
   bool explore = false;
+  // Batch mode ("proclus_cli batch ..."): submit jobs to a ProclusService
+  // instead of one blocking run. `batch_jobs` holds the parsed k:l list.
+  bool batch = false;
+  std::vector<std::pair<int, int>> batch_jobs;
+  // Submit the k:l list as one sweep job (shared work) instead of
+  // independent single-run jobs.
+  bool batch_sweep = false;
+  int batch_workers = 2;
+  int batch_gpu_devices = 1;
+  double batch_timeout_ms = 0.0;
+  // True when any batch-only tuning flag (--workers/--gpu-devices/
+  // --timeout-ms) appeared, so non-batch invocations can reject them
+  // instead of silently ignoring them.
+  bool batch_tuning_seen = false;
   // Where to write the per-point assignment (empty = don't).
   std::string output_path;
   bool show_help = false;

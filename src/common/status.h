@@ -17,6 +17,10 @@ enum class StatusCode {
   kResourceExhausted,
   kIoError,
   kInternal,
+  // Asynchronous execution (service/): the job was cancelled by its owner,
+  // or its deadline elapsed before it completed.
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 // Lightweight success-or-error result, in the style of arrow::Status.
@@ -46,6 +50,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -33,26 +33,107 @@ std::string VariantName(ComputeBackend backend, Strategy strategy) {
   return name;
 }
 
+ClusterOptions ClusterOptions::Cpu(Strategy strategy) {
+  ClusterOptions options;
+  options.backend = ComputeBackend::kCpu;
+  options.strategy = strategy;
+  return options;
+}
+
+ClusterOptions ClusterOptions::MultiCore(int threads, Strategy strategy) {
+  ClusterOptions options;
+  options.backend = ComputeBackend::kMultiCore;
+  options.num_threads = threads;
+  options.strategy = strategy;
+  return options;
+}
+
+ClusterOptions ClusterOptions::Gpu(simt::DeviceProperties props,
+                                   Strategy strategy) {
+  ClusterOptions options;
+  options.backend = ComputeBackend::kGpu;
+  options.device_properties = props;
+  options.strategy = strategy;
+  return options;
+}
+
+Status ClusterOptions::Validate() const {
+  if (backend != ComputeBackend::kMultiCore) {
+    if (num_threads != 0) {
+      return Status::InvalidArgument(
+          "num_threads is set but backend is not kMultiCore");
+    }
+    if (pool != nullptr) {
+      return Status::InvalidArgument(
+          "pool is set but backend is not kMultiCore");
+    }
+  } else {
+    if (num_threads < 0) {
+      return Status::InvalidArgument("num_threads must be >= 0");
+    }
+    if (pool != nullptr && num_threads != 0) {
+      return Status::InvalidArgument(
+          "num_threads and pool are exclusive (the pool fixes the worker "
+          "count)");
+    }
+  }
+  if (backend != ComputeBackend::kGpu) {
+    if (device != nullptr) {
+      return Status::InvalidArgument(
+          "device is set but backend is not kGpu");
+    }
+    if (gpu_assign_block_dim != 128) {
+      return Status::InvalidArgument(
+          "gpu_assign_block_dim is set but backend is not kGpu");
+    }
+    if (gpu_streams) {
+      return Status::InvalidArgument(
+          "gpu_streams is set but backend is not kGpu");
+    }
+    if (gpu_device_dim_selection) {
+      return Status::InvalidArgument(
+          "gpu_device_dim_selection is set but backend is not kGpu");
+    }
+  } else {
+    const simt::DeviceProperties& props =
+        device != nullptr ? device->properties() : device_properties;
+    if (gpu_assign_block_dim < 1 ||
+        gpu_assign_block_dim > props.max_threads_per_block) {
+      return Status::InvalidArgument(
+          "gpu_assign_block_dim must be in [1, max_threads_per_block]");
+    }
+  }
+  return Status::OK();
+}
+
 Status Cluster(const data::Matrix& data, const ProclusParams& params,
                const ClusterOptions& options, ProclusResult* result) {
   if (result == nullptr) {
     return Status::InvalidArgument("result must not be null");
   }
+  PROCLUS_RETURN_NOT_OK(options.Validate());
   PROCLUS_RETURN_NOT_OK(params.Validate(data.rows(), data.cols()));
 
+  DriverOptions driver_options;
+  driver_options.cancel = options.cancel;
   Rng rng(params.seed);
   switch (options.backend) {
     case ComputeBackend::kCpu: {
-      SequentialExecutor executor;
+      SequentialExecutor executor(options.cancel);
       CpuBackend backend(data, options.strategy, &executor);
-      return RunProclusPhases(data, params, backend, rng, DriverOptions{},
+      return RunProclusPhases(data, params, backend, rng, driver_options,
                               result);
     }
     case ComputeBackend::kMultiCore: {
-      parallel::ThreadPool pool(options.num_threads);
-      PoolExecutor executor(&pool);
+      std::unique_ptr<parallel::ThreadPool> owned;
+      parallel::ThreadPool* pool = options.pool;
+      if (pool == nullptr) {
+        owned = std::make_unique<parallel::ThreadPool>(options.num_threads);
+        pool = owned.get();
+      }
+      PoolExecutor executor(pool, options.cancel);
       CpuBackend backend(data, options.strategy, &executor);
-      return RunProclusPhases(data, params, backend, rng, DriverOptions{},
+      return RunProclusPhases(data, params, backend, rng, driver_options,
                               result);
     }
     case ComputeBackend::kGpu: {
@@ -67,7 +148,7 @@ Status Cluster(const data::Matrix& data, const ProclusParams& params,
       gpu_options.use_streams = options.gpu_streams;
       gpu_options.device_dim_selection = options.gpu_device_dim_selection;
       GpuBackend backend(data, options.strategy, device, gpu_options);
-      return RunProclusPhases(data, params, backend, rng, DriverOptions{},
+      return RunProclusPhases(data, params, backend, rng, driver_options,
                               result);
     }
   }

@@ -6,6 +6,8 @@
 #include "core/params.h"
 #include "core/result.h"
 #include "data/matrix.h"
+#include "parallel/cancellation.h"
+#include "parallel/thread_pool.h"
 #include "simt/device.h"
 
 namespace proclus::core {
@@ -27,6 +29,10 @@ struct ClusterOptions {
   Strategy strategy = Strategy::kBaseline;
   // kMultiCore: worker count (0 = hardware concurrency).
   int num_threads = 0;
+  // kMultiCore: run on this existing pool instead of constructing one per
+  // call (the service does this to amortize thread startup). Optional; when
+  // set, `num_threads` must stay 0 — the pool fixes the worker count.
+  parallel::ThreadPool* pool = nullptr;
   // kGpu: simulated device model used when `device` is null.
   simt::DeviceProperties device_properties = simt::DeviceProperties::Gtx1660Ti();
   // kGpu: run on this existing device instead of a fresh one (lets callers
@@ -39,6 +45,27 @@ struct ClusterOptions {
   // kGpu: run the dimension pick on the device (identical result; only the
   // selected ids cross the PCIe bus instead of the Z matrix).
   bool gpu_device_dim_selection = false;
+  // Any backend: cooperative stop signal. Cluster() polls it between
+  // iterations / chunk dispatches and returns Cancelled/DeadlineExceeded
+  // instead of a result. Optional; must outlive the call.
+  const parallel::CancellationToken* cancel = nullptr;
+
+  // Named constructors — the recommended way to build options. They default
+  // to Strategy::kFast, the paper's recommended exact strategy; the plain
+  // aggregate default stays kBaseline for the reference variant.
+  static ClusterOptions Cpu(Strategy strategy = Strategy::kFast);
+  static ClusterOptions MultiCore(int threads = 0,
+                                  Strategy strategy = Strategy::kFast);
+  static ClusterOptions Gpu(
+      simt::DeviceProperties props = simt::DeviceProperties::Gtx1660Ti(),
+      Strategy strategy = Strategy::kFast);
+
+  // Rejects incoherent combinations instead of silently ignoring fields:
+  // GPU knobs (gpu_streams, non-default gpu_assign_block_dim,
+  // gpu_device_dim_selection, device) require backend == kGpu; num_threads /
+  // pool require backend == kMultiCore; gpu_assign_block_dim must fit the
+  // device's max_threads_per_block. Called by every entry point.
+  Status Validate() const;
 };
 
 // Runs the selected PROCLUS variant on `data` (n x d, expected min-max
@@ -48,7 +75,10 @@ struct ClusterOptions {
 Status Cluster(const data::Matrix& data, const ProclusParams& params,
                const ClusterOptions& options, ProclusResult* result);
 
-// Convenience wrapper that aborts on error.
+// Convenience wrapper that aborts on error. Deprecated in library code
+// paths: prefer Cluster() and handle the Status (quickstart.cc keeps it as
+// the one sanctioned demo use; tests/benches suppress the warning).
+[[deprecated("prefer Cluster() and handle the returned Status")]]
 ProclusResult ClusterOrDie(const data::Matrix& data,
                            const ProclusParams& params,
                            const ClusterOptions& options = {});

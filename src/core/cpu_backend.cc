@@ -289,6 +289,10 @@ void CpuBackend::ComputeX(const std::vector<int>& mcur) {
     const float hi = std::max(prev, cur);
     const double lambda = (cur >= prev) ? 1.0 : -1.0;
     AccumulateH(row, medoid_id, lo, hi, lambda, h_row, size);
+    // A cancelled executor skips chunks, so the partial L_i may be empty
+    // (violating the invariant below) and H/size are not trustworthy. Bail
+    // out; the driver observes the same token and discards the run.
+    if (executor_->Stopped()) return;
     if (strategy_ == Strategy::kFast) {
       prev_delta_[mcur[i]] = cur;
     } else if (strategy_ == Strategy::kFastStar) {

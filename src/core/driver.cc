@@ -39,6 +39,7 @@ Status RunProclusPhases(const data::Matrix& data, const ProclusParams& params,
   PROCLUS_CHECK(result != nullptr);
   const int64_t n = data.rows();
   PROCLUS_RETURN_NOT_OK(params.Validate(n, data.cols()));
+  PROCLUS_RETURN_IF_STOPPED(options.cancel);
 
   // --- Initialization phase -------------------------------------------------
   std::vector<int> m_ids;
@@ -69,6 +70,9 @@ Status RunProclusPhases(const data::Matrix& data, const ProclusParams& params,
     PROCLUS_CHECK(static_cast<int64_t>(m_ids.size()) == pool_size);
   }
   const int64_t pool_size = static_cast<int64_t>(m_ids.size());
+  // A cancelled greedy selection returns structurally valid but meaningless
+  // medoid ids; stop before Setup caches distances against them.
+  PROCLUS_RETURN_IF_STOPPED(options.cancel);
 
   backend.Setup(params, m_ids);
 
@@ -106,8 +110,12 @@ Status RunProclusPhases(const data::Matrix& data, const ProclusParams& params,
   int total_iterations = 0;
   while (itr < params.itr_pat &&
          total_iterations < params.max_total_iterations) {
+    PROCLUS_RETURN_IF_STOPPED(options.cancel);
     const IterationOutput out = backend.Iterate(mcur);
     ++total_iterations;
+    // Cancellation mid-iteration leaves `out` partially computed (skipped
+    // chunks); unwind before it can influence mbest/best_cost.
+    PROCLUS_RETURN_IF_STOPPED(options.cancel);
     if (out.cost < best_cost) {
       itr = 0;
       best_cost = out.cost;
@@ -123,10 +131,14 @@ Status RunProclusPhases(const data::Matrix& data, const ProclusParams& params,
   }
 
   // --- Refinement phase -------------------------------------------------------
+  PROCLUS_RETURN_IF_STOPPED(options.cancel);
   result->medoids.resize(params.k);
   for (int i = 0; i < params.k; ++i) result->medoids[i] = m_ids[mbest[i]];
   result->iterative_cost = best_cost;
   backend.Refine(mbest, result);
+  // Cancellation mid-refinement leaves the assignment/costs partial; report
+  // kCancelled/kDeadlineExceeded rather than an OK status with a torn result.
+  PROCLUS_RETURN_IF_STOPPED(options.cancel);
 
   result->stats = RunStats{};
   backend.FillStats(&result->stats);

@@ -9,6 +9,7 @@
 #include "core/params.h"
 #include "core/result.h"
 #include "data/matrix.h"
+#include "parallel/cancellation.h"
 
 namespace proclus::core {
 
@@ -28,6 +29,9 @@ struct DriverOptions {
   // M instead of from all of M (multi-param level 3 warm start). Must be
   // distinct valid indices; if fewer than k, the remainder is drawn from M.
   const std::vector<int>* warm_start_midx = nullptr;
+  // Cooperative stop signal, polled between phases and iterations. On stop
+  // the run returns Cancelled/DeadlineExceeded and `result` is unspecified.
+  const parallel::CancellationToken* cancel = nullptr;
 };
 
 // Runs the three PROCLUS phases (Algorithm 1) against `backend`. All random

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "parallel/cancellation.h"
 #include "parallel/thread_pool.h"
 
 namespace proclus::core {
@@ -24,25 +25,50 @@ inline int64_t NumChunks(int64_t total, int64_t chunk = kLoopChunk) {
 // Implementations guarantee all chunks have completed on return; they do NOT
 // guarantee execution order, so chunks must be independent and any
 // order-sensitive reduction must combine per-chunk partials afterwards.
+//
+// An executor may carry a CancellationToken; once it is stopped, ForChunks
+// skips chunks not yet dispatched. The driver detects the stop via its own
+// token check and unwinds, discarding the (partially filled) run state, so
+// the skipped chunks never influence a returned result.
 class Executor {
  public:
+  explicit Executor(const parallel::CancellationToken* cancel = nullptr)
+      : cancel_(cancel) {}
   virtual ~Executor() = default;
   virtual int num_workers() const = 0;
   virtual void ForChunks(
       int64_t total,
       const std::function<void(int64_t, int64_t, int64_t)>& fn) = 0;
+
+  // True once the carried token is cancelled or expired. Backends consult
+  // this after a ForChunks call whose partial results feed an invariant
+  // check: skipped chunks may leave state that violates invariants which
+  // hold for every complete pass, so the phase must bail out instead of
+  // asserting. The driver re-checks the token before consuming any output.
+  bool Stopped() const { return cancel_ != nullptr && cancel_->Stopped(); }
+
+ protected:
+  const parallel::CancellationToken* cancel_token() const { return cancel_; }
+
+ private:
+  const parallel::CancellationToken* cancel_;
 };
 
 // Runs chunks in order on the calling thread (the paper's single-core
 // PROCLUS / FAST-PROCLUS / FAST*-PROCLUS).
 class SequentialExecutor : public Executor {
  public:
+  explicit SequentialExecutor(
+      const parallel::CancellationToken* cancel = nullptr)
+      : Executor(cancel) {}
+
   int num_workers() const override { return 1; }
   void ForChunks(
       int64_t total,
       const std::function<void(int64_t, int64_t, int64_t)>& fn) override {
     const int64_t chunks = NumChunks(total);
     for (int64_t c = 0; c < chunks; ++c) {
+      if (Stopped()) return;
       const int64_t lo = c * kLoopChunk;
       const int64_t hi = lo + kLoopChunk < total ? lo + kLoopChunk : total;
       fn(c, lo, hi);
@@ -51,10 +77,13 @@ class SequentialExecutor : public Executor {
 };
 
 // Distributes chunks over a thread pool (the paper's multi-core OpenMP
-// variants).
+// variants). Completion is tracked per ForChunks call, so several executors
+// may share one pool concurrently (the service's shared compute pool).
 class PoolExecutor : public Executor {
  public:
-  explicit PoolExecutor(parallel::ThreadPool* pool) : pool_(pool) {}
+  explicit PoolExecutor(parallel::ThreadPool* pool,
+                        const parallel::CancellationToken* cancel = nullptr)
+      : Executor(cancel), pool_(pool) {}
 
   int num_workers() const override { return pool_->num_threads(); }
 
@@ -63,7 +92,7 @@ class PoolExecutor : public Executor {
       const std::function<void(int64_t, int64_t, int64_t)>& fn) override {
     const int64_t chunks = NumChunks(total);
     if (chunks <= 1) {
-      if (total > 0) fn(0, 0, total);
+      if (total > 0 && !Stopped()) fn(0, 0, total);
       return;
     }
     parallel::ParallelForChunked(
@@ -76,7 +105,7 @@ class PoolExecutor : public Executor {
             fn(c, lo, hi);
           }
         },
-        /*grain=*/1);
+        /*grain=*/1, cancel_token());
   }
 
  private:

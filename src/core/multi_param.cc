@@ -51,13 +51,14 @@ std::vector<ParamSetting> DefaultSettingsGrid(const ProclusParams& base) {
 Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
                      const std::vector<ParamSetting>& settings,
                      const MultiParamOptions& options,
-                     MultiParamOutput* output) {
+                     MultiParamResult* output) {
   if (output == nullptr) {
     return Status::InvalidArgument("output must not be null");
   }
   if (settings.empty()) {
     return Status::InvalidArgument("settings must not be empty");
   }
+  PROCLUS_RETURN_NOT_OK(options.cluster.Validate());
   output->results.clear();
   output->setting_seconds.clear();
 
@@ -91,12 +92,18 @@ Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
   }
 
   // Shared engine so the Dist/H caches survive across settings.
-  parallel::ThreadPool pool(options.cluster.backend ==
-                                    ComputeBackend::kMultiCore
-                                ? options.cluster.num_threads
-                                : 1);
-  PoolExecutor pool_executor(&pool);
-  SequentialExecutor seq_executor;
+  const parallel::CancellationToken* cancel = options.cluster.cancel;
+  std::unique_ptr<parallel::ThreadPool> owned_pool;
+  parallel::ThreadPool* pool = options.cluster.pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<parallel::ThreadPool>(
+        options.cluster.backend == ComputeBackend::kMultiCore
+            ? options.cluster.num_threads
+            : 1);
+    pool = owned_pool.get();
+  }
+  PoolExecutor pool_executor(pool, cancel);
+  SequentialExecutor seq_executor(cancel);
   std::unique_ptr<simt::Device> owned_device;
   std::unique_ptr<Backend> backend;
   switch (options.cluster.backend) {
@@ -140,6 +147,7 @@ Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
 
   std::vector<int> m_global;
   std::unordered_map<int, int> id_to_midx;
+  PROCLUS_RETURN_IF_STOPPED(cancel);
   if (options.reuse >= ReuseLevel::kGreedy) {
     m_global = backend->GreedySelect(data_prime, pool_size, first);
     for (size_t m = 0; m < m_global.size(); ++m) {
@@ -149,6 +157,7 @@ Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
 
   std::vector<int> warm_start;
   for (size_t idx = 0; idx < settings.size(); ++idx) {
+    PROCLUS_RETURN_IF_STOPPED(cancel);
     ProclusParams p = base;
     p.k = settings[idx].k;
     p.l = settings[idx].l;
@@ -156,6 +165,7 @@ Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
     Rng rng(p.seed);
 
     DriverOptions driver_options;
+    driver_options.cancel = cancel;
     if (options.reuse >= ReuseLevel::kGreedy) {
       driver_options.preset_m = &m_global;
     } else {

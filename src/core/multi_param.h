@@ -34,7 +34,7 @@ struct MultiParamOptions {
   ReuseLevel reuse = ReuseLevel::kWarmStart;
 };
 
-struct MultiParamOutput {
+struct MultiParamResult {
   // One result per setting, in input order.
   std::vector<ProclusResult> results;
   // Wall-clock seconds per setting (the quantity Figs. 3a-3e average).
@@ -42,14 +42,20 @@ struct MultiParamOutput {
   double total_seconds = 0.0;
 };
 
+// Deprecated pre-rename alias: every entry point now returns a `*Result`.
+using MultiParamOutput [[deprecated("renamed to MultiParamResult")]] =
+    MultiParamResult;
+
 // Runs PROCLUS for every setting in `settings`, sharing work according to
 // `options.reuse`. `base` supplies the non-(k,l) parameters (A, B, minDev,
 // itrPat, seed); each setting overrides k and l. The potential-medoid pool
 // is sized for the largest k in `settings`, exactly as §3.1 prescribes.
+// Honors `options.cluster.cancel`: on cancellation/deadline the sweep stops
+// between settings and returns the corresponding Status.
 Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
                      const std::vector<ParamSetting>& settings,
                      const MultiParamOptions& options,
-                     MultiParamOutput* output);
+                     MultiParamResult* output);
 
 // The 9 (k, l) combinations used by the paper's multi-parameter experiments
 // (§5.3): k in {base.k - 2, base.k, base.k + 2} x l in {base.l - 1, base.l,

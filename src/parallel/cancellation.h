@@ -1,0 +1,92 @@
+#ifndef PROCLUS_PARALLEL_CANCELLATION_H_
+#define PROCLUS_PARALLEL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace proclus::parallel {
+
+// Cooperative cancellation and deadline signal, shared between the owner of
+// a computation (e.g. a service::JobHandle) and the code running it. The
+// running side polls Check()/Stopped() at safe points — the driver between
+// iterations, the executors between chunk dispatches — and unwinds with the
+// returned non-OK Status; nothing is ever aborted mid-chunk, so determinism
+// of completed work is unaffected (partially cancelled results are simply
+// discarded by the caller).
+//
+// Thread-safe: Cancel()/SetDeadline() may race with Check() freely.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  // Requests cancellation. Idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  // Sets the absolute deadline after which Check() reports
+  // DeadlineExceeded. A zero/default time_point means "no deadline".
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  // Convenience: deadline = now + timeout_seconds (<= 0 clears it).
+  void SetTimeout(double timeout_seconds) {
+    if (timeout_seconds <= 0.0) {
+      deadline_ns_.store(0, std::memory_order_relaxed);
+      return;
+    }
+    SetDeadline(std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(timeout_seconds)));
+  }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  // True when the computation should stop (cancelled or past deadline).
+  bool Stopped() const {
+    if (cancel_requested()) return true;
+    const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    return deadline != 0 &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >=
+               deadline;
+  }
+
+  // OK while the computation may continue; Cancelled or DeadlineExceeded
+  // otherwise (cancellation wins when both apply).
+  Status Check() const {
+    if (cancel_requested()) return Status::Cancelled("cancelled by caller");
+    const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != 0 &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >=
+            deadline) {
+      return Status::DeadlineExceeded("deadline elapsed");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  // steady_clock ticks since epoch; 0 = no deadline.
+  std::atomic<int64_t> deadline_ns_{0};
+};
+
+// Checks `token` (which may be null) and returns early on cancellation.
+#define PROCLUS_RETURN_IF_STOPPED(token)                        \
+  do {                                                          \
+    if ((token) != nullptr) {                                   \
+      ::proclus::Status _cancel_st = (token)->Check();          \
+      if (!_cancel_st.ok()) return _cancel_st;                  \
+    }                                                           \
+  } while (false)
+
+}  // namespace proclus::parallel
+
+#endif  // PROCLUS_PARALLEL_CANCELLATION_H_

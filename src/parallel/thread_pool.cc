@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "parallel/cancellation.h"
 
 namespace proclus::parallel {
 
@@ -60,11 +61,29 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_->Submit([this, task = std::move(task)] {
+    task();
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (--pending_ == 0) done_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
+
 void ParallelForChunked(ThreadPool& pool, int64_t begin, int64_t end,
                         const std::function<void(int64_t, int64_t)>& fn,
-                        int64_t grain) {
+                        int64_t grain, const CancellationToken* cancel) {
   if (begin >= end) return;
   PROCLUS_CHECK(grain > 0);
+  if (cancel != nullptr && cancel->Stopped()) return;
   const int64_t total = end - begin;
   // Aim for a few chunks per worker, but never below the grain size.
   const int64_t target_chunks =
@@ -75,21 +94,24 @@ void ParallelForChunked(ThreadPool& pool, int64_t begin, int64_t end,
     fn(begin, end);
     return;
   }
+  TaskGroup group(&pool);
   for (int64_t lo = begin; lo < end; lo += chunk) {
+    if (cancel != nullptr && cancel->Stopped()) break;
     const int64_t hi = std::min(end, lo + chunk);
-    pool.Submit([&fn, lo, hi] { fn(lo, hi); });
+    group.Submit([&fn, lo, hi] { fn(lo, hi); });
   }
-  pool.Wait();
+  group.Wait();
 }
 
 void ParallelFor(ThreadPool& pool, int64_t begin, int64_t end,
-                 const std::function<void(int64_t)>& fn, int64_t grain) {
+                 const std::function<void(int64_t)>& fn, int64_t grain,
+                 const CancellationToken* cancel) {
   ParallelForChunked(
       pool, begin, end,
       [&fn](int64_t lo, int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) fn(i);
       },
-      grain);
+      grain, cancel);
 }
 
 }  // namespace proclus::parallel

@@ -32,7 +32,10 @@ class ThreadPool {
   // Enqueues a task. Tasks must not throw.
   void Submit(std::function<void()> task);
 
-  // Blocks until every submitted task has finished.
+  // Blocks until every submitted task has finished. Note this waits on the
+  // pool's *global* pending count; when several clients share the pool
+  // concurrently (the service does), use a TaskGroup instead so each client
+  // waits only on its own tasks.
   void Wait();
 
  private:
@@ -47,19 +50,55 @@ class ThreadPool {
   bool shutting_down_ = false;
 };
 
+class CancellationToken;
+
+// Tracks completion of one client's tasks on a shared ThreadPool. Several
+// TaskGroups may submit to the same pool concurrently; each Wait() blocks
+// only until that group's own tasks are done, independent of other clients'
+// backlog. This is what makes a single process-wide compute pool safe to
+// share between concurrently running service jobs.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Enqueues a task attributed to this group. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted *through this group* has finished.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  int64_t pending_ = 0;
+};
+
 // Runs fn(i) for every i in [begin, end), splitting the range into chunks
 // across the pool's workers, and blocks until all iterations complete.
 // `grain` is the minimum chunk size (defaults to a size that keeps
 // scheduling overhead negligible). Safe to call with begin >= end (no-op).
 // fn must not throw and must be safe to call concurrently for distinct i.
+// Completion is tracked per call (TaskGroup), so concurrent ParallelFor
+// calls from different threads on one pool do not wait on each other.
+//
+// When `cancel` is non-null and becomes stopped, chunks not yet dispatched
+// are skipped (already running chunks complete normally); the caller is
+// expected to notice via cancel->Check() and discard partial results.
 void ParallelFor(ThreadPool& pool, int64_t begin, int64_t end,
-                 const std::function<void(int64_t)>& fn, int64_t grain = 1024);
+                 const std::function<void(int64_t)>& fn, int64_t grain = 1024,
+                 const CancellationToken* cancel = nullptr);
 
 // Chunked variant: fn(chunk_begin, chunk_end) is called once per chunk, which
 // lets hot loops keep per-chunk local accumulators.
 void ParallelForChunked(ThreadPool& pool, int64_t begin, int64_t end,
                         const std::function<void(int64_t, int64_t)>& fn,
-                        int64_t grain = 1024);
+                        int64_t grain = 1024,
+                        const CancellationToken* cancel = nullptr);
 
 }  // namespace proclus::parallel
 

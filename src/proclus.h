@@ -10,12 +10,13 @@
 //   proclus::data::Dataset data = proclus::data::GenerateSubspaceDataOrDie({});
 //   proclus::data::MinMaxNormalize(&data.points);
 //   proclus::core::ProclusParams params;           // k=10, l=5, ...
-//   proclus::core::ClusterOptions options;
-//   options.backend = proclus::core::ComputeBackend::kGpu;
-//   options.strategy = proclus::core::Strategy::kFast;
-//   proclus::core::ProclusResult result =
-//       proclus::core::ClusterOrDie(data.points, params, options);
+//   proclus::core::ProclusResult result;
+//   proclus::Status st =
+//       proclus::core::Cluster(data.points, params,
+//                              proclus::core::ClusterOptions::Gpu(), &result);
 //
+// For async/batched submission with persistent devices, see
+// service/proclus_service.h (not part of the umbrella header).
 // See README.md and examples/ for more.
 
 #include "core/api.h"

@@ -1,0 +1,77 @@
+#include "service/device_pool.h"
+
+#include "common/macros.h"
+
+namespace proclus::service {
+
+DevicePool::DevicePool(int capacity, simt::DeviceProperties props,
+                       bool prewarm)
+    : capacity_(capacity), props_(props) {
+  PROCLUS_CHECK(capacity >= 1);
+  entries_.resize(capacity_);
+  if (prewarm) {
+    for (Entry& entry : entries_) {
+      entry.device = std::make_unique<simt::Device>(props_);
+    }
+  }
+}
+
+DevicePool::Entry* DevicePool::FindIdleLocked() {
+  // Prefer an idle device that is already constructed (and ideally warm);
+  // fall back to constructing a new one within capacity.
+  Entry* unconstructed = nullptr;
+  for (Entry& entry : entries_) {
+    if (entry.leased) continue;
+    if (entry.device != nullptr) {
+      if (entry.used_before) return &entry;
+      if (unconstructed == nullptr || unconstructed->device == nullptr) {
+        unconstructed = &entry;
+      }
+    } else if (unconstructed == nullptr) {
+      unconstructed = &entry;
+    }
+  }
+  return unconstructed;
+}
+
+DevicePool::Lease DevicePool::Acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Entry* entry = nullptr;
+  device_idle_.wait(lock, [&] { return (entry = FindIdleLocked()) != nullptr; });
+  if (entry->device == nullptr) {
+    entry->device = std::make_unique<simt::Device>(props_);
+  }
+  entry->leased = true;
+  ++acquires_;
+  Lease lease{entry->device.get(), entry->used_before};
+  if (entry->used_before) ++reuse_hits_;
+  entry->used_before = true;
+  return lease;
+}
+
+void DevicePool::Release(simt::Device* device) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (Entry& entry : entries_) {
+      if (entry.device.get() == device) {
+        PROCLUS_CHECK(entry.leased);
+        entry.leased = false;
+        device_idle_.notify_one();
+        return;
+      }
+    }
+    PROCLUS_CHECK(false);  // released a device this pool does not own
+  }
+}
+
+int64_t DevicePool::acquires() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return acquires_;
+}
+
+int64_t DevicePool::reuse_hits() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return reuse_hits_;
+}
+
+}  // namespace proclus::service

@@ -1,0 +1,73 @@
+#ifndef PROCLUS_SERVICE_DEVICE_POOL_H_
+#define PROCLUS_SERVICE_DEVICE_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "simt/device.h"
+#include "simt/device_properties.h"
+
+namespace proclus::service {
+
+// Fixed-capacity pool of persistent simt::Device instances. Constructing a
+// Device is the per-call overhead the paper's allocate-once strategy (§5.2)
+// eliminates — it spawns the host worker pool and the arena grows from
+// cold — so the service keeps devices alive across jobs and hands them out
+// one job at a time. Between jobs the arena is reset but its chunk capacity
+// is retained (simt::Device::ResetArena), which is what makes a reused
+// device "warm".
+//
+// Thread-safe. Acquire blocks while every device is leased; jobs on one
+// device are therefore serialized, which preserves the determinism
+// contract (a device never runs two jobs at once).
+class DevicePool {
+ public:
+  // `capacity` devices modeling `props`. With `prewarm` the devices are
+  // constructed here (paying thread startup before the first job arrives);
+  // otherwise lazily on first acquire.
+  DevicePool(int capacity, simt::DeviceProperties props, bool prewarm);
+
+  DevicePool(const DevicePool&) = delete;
+  DevicePool& operator=(const DevicePool&) = delete;
+
+  struct Lease {
+    simt::Device* device = nullptr;
+    // The device has run at least one job before (warm arena).
+    bool warm = false;
+  };
+
+  // Blocks until a device is idle and leases it. The caller must Release
+  // the same device when done.
+  Lease Acquire();
+  void Release(simt::Device* device);
+
+  int capacity() const { return capacity_; }
+  // Total leases handed out, and how many of them found a warm device.
+  int64_t acquires() const;
+  int64_t reuse_hits() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<simt::Device> device;
+    bool leased = false;
+    bool used_before = false;
+  };
+
+  Entry* FindIdleLocked();
+
+  const int capacity_;
+  const simt::DeviceProperties props_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable device_idle_;
+  std::vector<Entry> entries_;
+  int64_t acquires_ = 0;
+  int64_t reuse_hits_ = 0;
+};
+
+}  // namespace proclus::service
+
+#endif  // PROCLUS_SERVICE_DEVICE_POOL_H_

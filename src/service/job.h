@@ -1,0 +1,130 @@
+#ifndef PROCLUS_SERVICE_JOB_H_
+#define PROCLUS_SERVICE_JOB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/api.h"
+#include "core/multi_param.h"
+#include "core/params.h"
+#include "core/result.h"
+#include "data/matrix.h"
+
+namespace proclus::service {
+
+// Scheduling class of a job. Interactive jobs (the paper's §5.3
+// exploration scenario: an analyst waiting at a console) overtake every
+// queued bulk job; within a class the queue is FIFO.
+enum class JobPriority { kInteractive, kBulk };
+
+// What a job computes: one clustering run, or a multi-parameter (k,l) sweep
+// sharing work between settings (§3.1).
+enum class JobKind { kSingle, kSweep };
+
+// Lifecycle of a job. Terminal phases: kDone, kCancelled, kTimedOut,
+// kFailed.
+enum class JobPhase { kQueued, kRunning, kDone, kCancelled, kTimedOut,
+                      kFailed };
+
+const char* JobPhaseName(JobPhase phase);
+
+// A unit of work for ProclusService::Submit. The dataset is referenced
+// either by pointer (`data`, must stay alive until the job finishes) or by
+// the id of a dataset previously registered with RegisterDataset (the
+// service then keeps it alive).
+struct JobSpec {
+  JobKind kind = JobKind::kSingle;
+
+  const data::Matrix* data = nullptr;
+  std::string dataset_id;
+
+  core::ProclusParams params;
+  // Backend/strategy/knobs for the run. `device`, `pool` and `cancel` must
+  // be left null: the service owns the long-lived resources and the stop
+  // signal. With backend kMultiCore and num_threads == 0 the job runs on
+  // the service's shared compute pool.
+  core::ClusterOptions options;
+
+  // kSweep only: the (k,l) settings and the reuse level between them.
+  std::vector<core::ParamSetting> settings;
+  core::ReuseLevel reuse = core::ReuseLevel::kWarmStart;
+
+  JobPriority priority = JobPriority::kBulk;
+  // Deadline measured from submission, covering queue wait + execution.
+  // 0 = use the service default; the default 0 means no deadline.
+  double timeout_seconds = 0.0;
+
+  // Named constructors for the two kinds.
+  static JobSpec Single(const data::Matrix& data,
+                        const core::ProclusParams& params,
+                        const core::ClusterOptions& options);
+  static JobSpec Sweep(const data::Matrix& data,
+                       const core::ProclusParams& base,
+                       std::vector<core::ParamSetting> settings,
+                       const core::ClusterOptions& options,
+                       core::ReuseLevel reuse = core::ReuseLevel::kWarmStart);
+};
+
+// Outcome of a job, valid once the job reached a terminal phase.
+struct JobResult {
+  // OK for kDone; Cancelled / DeadlineExceeded / the failure otherwise.
+  Status status;
+  // kSingle: exactly one entry. kSweep: one per setting, in input order.
+  // Empty when status is not OK.
+  std::vector<core::ProclusResult> results;
+  // kSweep: wall-clock seconds per setting.
+  std::vector<double> setting_seconds;
+  // Seconds spent queued before a worker picked the job up.
+  double queue_seconds = 0.0;
+  // Seconds spent executing (excludes queue wait).
+  double exec_seconds = 0.0;
+  // GPU jobs: modeled device seconds for this job alone.
+  double modeled_gpu_seconds = 0.0;
+  // GPU jobs: the pooled device had already run a job (warm arena).
+  bool warm_device = false;
+  // Global start order among all jobs of the service (-1 if never started);
+  // lets callers observe scheduling, e.g. interactive-overtakes-bulk.
+  int64_t start_sequence = -1;
+};
+
+namespace internal {
+struct Job;
+struct SharedStats;
+}  // namespace internal
+
+// Caller-side view of a submitted job. Cheap to copy (shared state). A
+// default-constructed handle is empty; Submit fills in a live one.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return job_ != nullptr; }
+  uint64_t id() const;
+  JobPhase phase() const;
+
+  // Blocks until the job reaches a terminal phase and returns its result.
+  // The reference stays valid while any handle to the job exists.
+  const JobResult& Wait() const;
+
+  // Returns the result if the job already finished, nullptr otherwise.
+  const JobResult* TryGet() const;
+
+  // Requests cooperative cancellation. A still-queued job is cancelled
+  // immediately; a running job stops at the next cancellation point and
+  // finishes with StatusCode::kCancelled. Idempotent; never blocks.
+  void Cancel();
+
+ private:
+  friend class ProclusService;
+  explicit JobHandle(std::shared_ptr<internal::Job> job)
+      : job_(std::move(job)) {}
+
+  std::shared_ptr<internal::Job> job_;
+};
+
+}  // namespace proclus::service
+
+#endif  // PROCLUS_SERVICE_JOB_H_

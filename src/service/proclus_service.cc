@@ -1,0 +1,452 @@
+#include "service/proclus_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/timer.h"
+#include "core/multi_param.h"
+#include "parallel/cancellation.h"
+
+namespace proclus::service {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool IsTerminal(JobPhase phase) {
+  return phase != JobPhase::kQueued && phase != JobPhase::kRunning;
+}
+
+JobPhase PhaseForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return JobPhase::kDone;
+    case StatusCode::kCancelled:
+      return JobPhase::kCancelled;
+    case StatusCode::kDeadlineExceeded:
+      return JobPhase::kTimedOut;
+    default:
+      return JobPhase::kFailed;
+  }
+}
+
+}  // namespace
+
+const char* JobPhaseName(JobPhase phase) {
+  switch (phase) {
+    case JobPhase::kQueued:
+      return "queued";
+    case JobPhase::kRunning:
+      return "running";
+    case JobPhase::kDone:
+      return "done";
+    case JobPhase::kCancelled:
+      return "cancelled";
+    case JobPhase::kTimedOut:
+      return "timed-out";
+    case JobPhase::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+JobSpec JobSpec::Single(const data::Matrix& data,
+                        const core::ProclusParams& params,
+                        const core::ClusterOptions& options) {
+  JobSpec spec;
+  spec.kind = JobKind::kSingle;
+  spec.data = &data;
+  spec.params = params;
+  spec.options = options;
+  return spec;
+}
+
+JobSpec JobSpec::Sweep(const data::Matrix& data,
+                       const core::ProclusParams& base,
+                       std::vector<core::ParamSetting> settings,
+                       const core::ClusterOptions& options,
+                       core::ReuseLevel reuse) {
+  JobSpec spec;
+  spec.kind = JobKind::kSweep;
+  spec.data = &data;
+  spec.params = base;
+  spec.settings = std::move(settings);
+  spec.options = options;
+  spec.reuse = reuse;
+  return spec;
+}
+
+namespace internal {
+
+// Counters shared by the service and every job it created, so a JobHandle
+// outliving the service (or cancelling concurrently with shutdown) can
+// still record its terminal transition safely.
+struct SharedStats {
+  std::mutex mutex;
+  int64_t submitted = 0;
+  int64_t rejected = 0;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t cancelled = 0;
+  int64_t timed_out = 0;
+  int64_t queue_depth_high_water = 0;
+  double exec_seconds_total = 0.0;
+  double modeled_gpu_seconds_total = 0.0;
+  std::atomic<int64_t> next_start_sequence{0};
+
+  void CountTerminal(const Status& status) {
+    std::lock_guard<std::mutex> lock(mutex);
+    switch (status.code()) {
+      case StatusCode::kOk:
+        ++completed;
+        break;
+      case StatusCode::kCancelled:
+        ++cancelled;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++timed_out;
+        break;
+      default:
+        ++failed;
+        break;
+    }
+  }
+};
+
+struct Job {
+  uint64_t id = 0;
+  JobSpec spec;
+  // Resolved dataset; `pinned` keeps a cache entry alive for the job's
+  // lifetime when the spec referenced a dataset_id.
+  const data::Matrix* data = nullptr;
+  std::shared_ptr<const data::Matrix> pinned;
+  parallel::CancellationToken token;
+  std::chrono::steady_clock::time_point submit_time;
+  std::shared_ptr<SharedStats> stats;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  JobPhase phase = JobPhase::kQueued;
+  JobResult result;
+
+  // Caller must hold `mutex`.
+  void FinishLocked(Status status) {
+    result.status = std::move(status);
+    phase = PhaseForStatus(result.status);
+    cv.notify_all();
+  }
+};
+
+}  // namespace internal
+
+// --- JobHandle ---------------------------------------------------------------
+
+uint64_t JobHandle::id() const { return job_ != nullptr ? job_->id : 0; }
+
+JobPhase JobHandle::phase() const {
+  PROCLUS_CHECK(job_ != nullptr);
+  std::lock_guard<std::mutex> lock(job_->mutex);
+  return job_->phase;
+}
+
+const JobResult& JobHandle::Wait() const {
+  PROCLUS_CHECK(job_ != nullptr);
+  std::unique_lock<std::mutex> lock(job_->mutex);
+  job_->cv.wait(lock, [this] { return IsTerminal(job_->phase); });
+  return job_->result;
+}
+
+const JobResult* JobHandle::TryGet() const {
+  if (job_ == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(job_->mutex);
+  return IsTerminal(job_->phase) ? &job_->result : nullptr;
+}
+
+void JobHandle::Cancel() {
+  if (job_ == nullptr) return;
+  job_->token.Cancel();
+  std::lock_guard<std::mutex> lock(job_->mutex);
+  if (job_->phase == JobPhase::kQueued) {
+    // Still waiting for a worker: finish right here; the worker skips the
+    // job when it eventually pops it.
+    job_->result.queue_seconds = SecondsSince(job_->submit_time);
+    job_->FinishLocked(Status::Cancelled("cancelled while queued"));
+    job_->stats->CountTerminal(job_->result.status);
+  }
+  // Running jobs stop cooperatively via the token; the worker finishes
+  // them with the Cancelled status the driver returns.
+}
+
+// --- ProclusService ----------------------------------------------------------
+
+ProclusService::ProclusService(ServiceOptions options)
+    : options_(std::move(options)),
+      stats_(std::make_shared<internal::SharedStats>()),
+      compute_pool_(
+          std::make_unique<parallel::ThreadPool>(options_.compute_threads)),
+      device_pool_(std::make_unique<DevicePool>(
+          std::max(1, options_.gpu_devices), options_.device_properties,
+          options_.prewarm_devices)) {
+  const int workers = std::max(1, options_.num_workers);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ProclusService::~ProclusService() { Shutdown(); }
+
+Status ProclusService::RegisterDataset(const std::string& id,
+                                       data::Matrix points) {
+  if (id.empty()) {
+    return Status::InvalidArgument("dataset id must not be empty");
+  }
+  if (points.empty()) {
+    return Status::InvalidArgument("dataset must not be empty");
+  }
+  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  datasets_[id] = std::make_shared<const data::Matrix>(std::move(points));
+  return Status::OK();
+}
+
+bool ProclusService::HasDataset(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(datasets_mutex_);
+  return datasets_.count(id) > 0;
+}
+
+Status ProclusService::Submit(JobSpec spec, JobHandle* handle) {
+  if (handle == nullptr) {
+    return Status::InvalidArgument("handle must not be null");
+  }
+  *handle = JobHandle();
+  if (spec.options.device != nullptr || spec.options.pool != nullptr ||
+      spec.options.cancel != nullptr) {
+    return Status::InvalidArgument(
+        "options.device/pool/cancel are owned by the service; leave them "
+        "null");
+  }
+  PROCLUS_RETURN_NOT_OK(spec.options.Validate());
+  if (spec.timeout_seconds < 0.0) {
+    return Status::InvalidArgument("timeout_seconds must be >= 0");
+  }
+
+  // Resolve the dataset now so bad references fail synchronously.
+  const data::Matrix* data = spec.data;
+  std::shared_ptr<const data::Matrix> pinned;
+  if (!spec.dataset_id.empty()) {
+    if (data != nullptr) {
+      return Status::InvalidArgument("data and dataset_id are exclusive");
+    }
+    std::lock_guard<std::mutex> lock(datasets_mutex_);
+    const auto it = datasets_.find(spec.dataset_id);
+    if (it == datasets_.end()) {
+      return Status::InvalidArgument("unknown dataset id: " +
+                                     spec.dataset_id);
+    }
+    pinned = it->second;
+    data = pinned.get();
+  }
+  if (data == nullptr) {
+    return Status::InvalidArgument("either data or dataset_id is required");
+  }
+
+  if (spec.kind == JobKind::kSingle) {
+    PROCLUS_RETURN_NOT_OK(spec.params.Validate(data->rows(), data->cols()));
+  } else {
+    if (spec.settings.empty()) {
+      return Status::InvalidArgument("sweep jobs need at least one setting");
+    }
+    for (const core::ParamSetting& s : spec.settings) {
+      core::ProclusParams p = spec.params;
+      p.k = s.k;
+      p.l = s.l;
+      PROCLUS_RETURN_NOT_OK(p.Validate(data->rows(), data->cols()));
+    }
+  }
+
+  auto job = std::make_shared<internal::Job>();
+  job->spec = std::move(spec);
+  job->data = data;
+  job->pinned = std::move(pinned);
+  job->stats = stats_;
+  job->submit_time = std::chrono::steady_clock::now();
+  const double timeout = job->spec.timeout_seconds > 0.0
+                             ? job->spec.timeout_seconds
+                             : options_.default_timeout_seconds;
+  if (timeout > 0.0) job->token.SetTimeout(timeout);
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      return Status::FailedPrecondition("service is shut down");
+    }
+    const int64_t depth = static_cast<int64_t>(interactive_queue_.size() +
+                                               bulk_queue_.size());
+    if (depth >= options_.queue_capacity) {
+      std::lock_guard<std::mutex> stats_lock(stats_->mutex);
+      ++stats_->rejected;
+      return Status::ResourceExhausted("job queue is full");
+    }
+    job->id = next_job_id_++;
+    (job->spec.priority == JobPriority::kInteractive ? interactive_queue_
+                                                     : bulk_queue_)
+        .push_back(job);
+    std::lock_guard<std::mutex> stats_lock(stats_->mutex);
+    ++stats_->submitted;
+    stats_->queue_depth_high_water =
+        std::max(stats_->queue_depth_high_water, depth + 1);
+  }
+  work_available_.notify_one();
+  *handle = JobHandle(std::move(job));
+  return Status::OK();
+}
+
+std::shared_ptr<internal::Job> ProclusService::PopJobLocked() {
+  // Interactive jobs overtake every queued bulk job; FIFO within a class.
+  auto& queue =
+      !interactive_queue_.empty() ? interactive_queue_ : bulk_queue_;
+  std::shared_ptr<internal::Job> job = std::move(queue.front());
+  queue.pop_front();
+  return job;
+}
+
+void ProclusService::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<internal::Job> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      work_available_.wait(lock, [this] {
+        return stopping_ || !interactive_queue_.empty() ||
+               !bulk_queue_.empty();
+      });
+      if (interactive_queue_.empty() && bulk_queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      job = PopJobLocked();
+    }
+    RunJob(job);
+  }
+}
+
+void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
+  const JobSpec& spec = job->spec;
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    if (job->phase != JobPhase::kQueued) return;  // cancelled while queued
+    job->result.queue_seconds = SecondsSince(job->submit_time);
+    const Status queued_status = job->token.Check();
+    if (!queued_status.ok()) {
+      // Cancelled or deadline elapsed before a worker got to it. Count
+      // before FinishLocked so stats() is consistent once Wait() returns.
+      stats_->CountTerminal(queued_status);
+      job->FinishLocked(queued_status);
+      return;
+    }
+    job->phase = JobPhase::kRunning;
+    job->result.start_sequence = stats_->next_start_sequence++;
+  }
+
+  core::ClusterOptions merged = spec.options;
+  merged.cancel = &job->token;
+  DevicePool::Lease lease;
+  if (merged.backend == core::ComputeBackend::kGpu) {
+    lease = device_pool_->Acquire();
+    lease.device->ResetArena();
+    lease.device->ResetStats();
+    merged.device = lease.device;
+  } else if (merged.backend == core::ComputeBackend::kMultiCore &&
+             merged.num_threads == 0) {
+    // Jobs without an explicit thread count share the service pool; the
+    // per-call TaskGroup keeps concurrent jobs independent.
+    merged.pool = compute_pool_.get();
+  }
+
+  StopWatch watch;
+  Status status;
+  std::vector<core::ProclusResult> results;
+  std::vector<double> setting_seconds;
+  if (spec.kind == JobKind::kSingle) {
+    core::ProclusResult result;
+    status = core::Cluster(*job->data, spec.params, merged, &result);
+    if (status.ok()) results.push_back(std::move(result));
+  } else {
+    core::MultiParamOptions mp;
+    mp.cluster = merged;
+    mp.reuse = spec.reuse;
+    core::MultiParamResult sweep;
+    status =
+        core::RunMultiParam(*job->data, spec.params, spec.settings, mp, &sweep);
+    if (status.ok()) {
+      results = std::move(sweep.results);
+      setting_seconds = std::move(sweep.setting_seconds);
+    }
+  }
+  const double exec_seconds = watch.ElapsedSeconds();
+
+  double modeled_gpu_seconds = 0.0;
+  bool warm_device = false;
+  if (lease.device != nullptr) {
+    modeled_gpu_seconds = lease.device->modeled_seconds();
+    warm_device = lease.warm;
+    device_pool_->Release(lease.device);
+  }
+
+  // Update the aggregate counters first: once FinishLocked runs, Wait()
+  // returns and the caller may immediately read stats().
+  {
+    std::lock_guard<std::mutex> lock(stats_->mutex);
+    stats_->exec_seconds_total += exec_seconds;
+    stats_->modeled_gpu_seconds_total += modeled_gpu_seconds;
+  }
+  stats_->CountTerminal(status);
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    job->result.results = std::move(results);
+    job->result.setting_seconds = std::move(setting_seconds);
+    job->result.exec_seconds = exec_seconds;
+    job->result.modeled_gpu_seconds = modeled_gpu_seconds;
+    job->result.warm_device = warm_device;
+    job->FinishLocked(std::move(status));
+  }
+}
+
+void ProclusService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+ServiceStats ProclusService::stats() const {
+  ServiceStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_->mutex);
+    snapshot.submitted = stats_->submitted;
+    snapshot.rejected = stats_->rejected;
+    snapshot.completed = stats_->completed;
+    snapshot.failed = stats_->failed;
+    snapshot.cancelled = stats_->cancelled;
+    snapshot.timed_out = stats_->timed_out;
+    snapshot.queue_depth_high_water = stats_->queue_depth_high_water;
+    snapshot.exec_seconds_total = stats_->exec_seconds_total;
+    snapshot.modeled_gpu_seconds_total = stats_->modeled_gpu_seconds_total;
+  }
+  snapshot.device_acquires = device_pool_->acquires();
+  snapshot.device_reuse_hits = device_pool_->reuse_hits();
+  return snapshot;
+}
+
+}  // namespace proclus::service

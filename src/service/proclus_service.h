@@ -1,0 +1,126 @@
+#ifndef PROCLUS_SERVICE_PROCLUS_SERVICE_H_
+#define PROCLUS_SERVICE_PROCLUS_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/matrix.h"
+#include "parallel/thread_pool.h"
+#include "service/device_pool.h"
+#include "service/job.h"
+#include "simt/device_properties.h"
+
+namespace proclus::service {
+
+// Configuration of a ProclusService.
+struct ServiceOptions {
+  // Job runner threads: how many jobs execute concurrently.
+  int num_workers = 2;
+  // Bound on jobs waiting in the queue (running jobs excluded). Submit
+  // returns ResourceExhausted when the queue is full.
+  int queue_capacity = 256;
+  // Persistent simulated devices for GPU jobs; jobs serialize per device.
+  int gpu_devices = 1;
+  simt::DeviceProperties device_properties =
+      simt::DeviceProperties::Gtx1660Ti();
+  // Worker count of the shared compute pool used by kMultiCore jobs that
+  // leave num_threads == 0 (0 = hardware concurrency).
+  int compute_threads = 0;
+  // Default deadline for jobs that leave timeout_seconds == 0
+  // (0 = no deadline).
+  double default_timeout_seconds = 0.0;
+  // Construct the GPU devices up front so the first job already runs warm.
+  bool prewarm_devices = true;
+};
+
+// Aggregate service counters. Snapshot via ProclusService::stats().
+struct ServiceStats {
+  int64_t submitted = 0;
+  int64_t rejected = 0;  // queue full at Submit
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t cancelled = 0;
+  int64_t timed_out = 0;
+  // Highest number of jobs ever waiting in the queue at once.
+  int64_t queue_depth_high_water = 0;
+  // Device-pool traffic: total leases, and leases that found a warm arena.
+  int64_t device_acquires = 0;
+  int64_t device_reuse_hits = 0;
+  // Summed execution seconds (wall) and modeled GPU seconds across jobs.
+  double exec_seconds_total = 0.0;
+  double modeled_gpu_seconds_total = 0.0;
+};
+
+// Long-lived clustering front end: owns one shared compute ThreadPool, a
+// pool of persistent simulated devices with warm arenas, and an optional
+// cache of datasets keyed by id; exposes an asynchronous, bounded,
+// priority-FIFO job queue over core::Cluster / core::RunMultiParam.
+//
+// Determinism under concurrency: a job's clustering is a pure function of
+// (dataset, params, options) — every random draw comes from params.seed,
+// multi-core chunk partials are combined in chunk order, each GPU job has a
+// device to itself, and warm arenas are zeroed per allocation — so a job's
+// results are bit-identical to a blocking core::Cluster()/RunMultiParam()
+// call with the same inputs, regardless of what else runs concurrently.
+// The service stress test asserts exactly this.
+class ProclusService {
+ public:
+  explicit ProclusService(ServiceOptions options = {});
+  // Drains the queue (every accepted job reaches a terminal phase) and
+  // joins the workers. Cancel jobs first if you need a fast exit.
+  ~ProclusService();
+
+  ProclusService(const ProclusService&) = delete;
+  ProclusService& operator=(const ProclusService&) = delete;
+
+  // Stores a dataset under `id` for JobSpecs to reference; replaces any
+  // previous dataset with the same id. Jobs already submitted keep the
+  // version they resolved at Submit time.
+  Status RegisterDataset(const std::string& id, data::Matrix points);
+  bool HasDataset(const std::string& id) const;
+
+  // Validates `spec`, resolves its dataset, and enqueues it. On OK fills
+  // `*handle`. Returns ResourceExhausted when the queue is full and
+  // FailedPrecondition after Shutdown. Never blocks on queue space.
+  Status Submit(JobSpec spec, JobHandle* handle);
+
+  // Stops accepting jobs, runs everything still queued, joins the workers.
+  // Idempotent; called by the destructor.
+  void Shutdown();
+
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  void WorkerLoop();
+  std::shared_ptr<internal::Job> PopJobLocked();
+  void RunJob(const std::shared_ptr<internal::Job>& job);
+
+  const ServiceOptions options_;
+  std::shared_ptr<internal::SharedStats> stats_;
+  std::unique_ptr<parallel::ThreadPool> compute_pool_;
+  std::unique_ptr<DevicePool> device_pool_;
+
+  mutable std::mutex datasets_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const data::Matrix>>
+      datasets_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::shared_ptr<internal::Job>> interactive_queue_;
+  std::deque<std::shared_ptr<internal::Job>> bulk_queue_;
+  bool stopping_ = false;
+  uint64_t next_job_id_ = 1;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace proclus::service
+
+#endif  // PROCLUS_SERVICE_PROCLUS_SERVICE_H_

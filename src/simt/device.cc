@@ -43,6 +43,11 @@ void Device::FreeAll() {
   allocated_bytes_ = 0;
 }
 
+void Device::ResetArena() {
+  for (Chunk& chunk : chunks_) chunk.used = 0;
+  allocated_bytes_ = 0;
+}
+
 void Device::BeginConcurrentRegion(int num_streams) {
   PROCLUS_CHECK(!in_region_);
   PROCLUS_CHECK(num_streams >= 1);

@@ -141,8 +141,16 @@ class Device {
   size_t allocated_bytes() const { return allocated_bytes_; }
   size_t peak_allocated_bytes() const { return peak_allocated_bytes_; }
 
-  // Releases every allocation (arena reset).
+  // Releases every allocation (arena reset). Returns the chunk memory to
+  // the host.
   void FreeAll();
+
+  // Resets the arena for a fresh run but RETAINS the chunk capacity, so the
+  // next run allocates from already-touched memory without growing the
+  // arena ("warm" device reuse across service jobs). allocated_bytes()
+  // drops to 0; peak_allocated_bytes() is preserved. Every allocation is
+  // zero-initialized at Alloc time, so reuse is bit-deterministic.
+  void ResetArena();
 
   // --- Kernel launch -------------------------------------------------------
 

@@ -194,6 +194,54 @@ TEST_F(RunCliTest, InvalidParametersSurfaceAsStatus) {
   EXPECT_FALSE(RunCli(config, out).ok());
 }
 
+TEST_F(RunCliTest, BatchRunsJobsThroughService) {
+  CliConfig config;
+  ASSERT_TRUE(Parse({"batch", "--generate", "600,8,3", "--A", "15", "--B",
+                     "4", "--jobs", "3:3,4:4", "--backend", "cpu"},
+                    &config)
+                  .ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(config, out).ok());
+  EXPECT_NE(out.str().find("k=3 l=3"), std::string::npos);
+  EXPECT_NE(out.str().find("k=4 l=4"), std::string::npos);
+  EXPECT_NE(out.str().find("2 completed"), std::string::npos);
+}
+
+TEST_F(RunCliTest, BatchSweepSharesWork) {
+  CliConfig config;
+  ASSERT_TRUE(Parse({"batch", "--generate", "600,8,3", "--A", "15", "--B",
+                     "4", "--jobs", "3:3,4:4", "--sweep", "--backend", "cpu"},
+                    &config)
+                  .ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(config, out).ok());
+  EXPECT_NE(out.str().find("1 completed"), std::string::npos);
+}
+
+TEST(ParseArgsBatchTest, BatchFlagsRequireBatchMode) {
+  CliConfig config;
+  const Status st = ParseArgs({"--generate", "600,8,3", "--jobs", "3:3"},
+                              &config);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // Tuning flags are batch-only too; they must be rejected, not silently
+  // ignored, outside batch mode.
+  for (const auto& args :
+       std::vector<std::vector<std::string>>{
+           {"--generate", "600,8,3", "--workers", "2"},
+           {"--generate", "600,8,3", "--gpu-devices", "1"},
+           {"--generate", "600,8,3", "--timeout-ms", "10"}}) {
+    CliConfig c;
+    EXPECT_EQ(ParseArgs(args, &c).code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ParseArgsBatchTest, MalformedJobsRejected) {
+  CliConfig config;
+  EXPECT_FALSE(
+      ParseArgs({"batch", "--generate", "600,8,3", "--jobs", "3-3"}, &config)
+          .ok());
+}
+
 TEST_F(RunCliTest, ExploreRunsGrid) {
   CliConfig config;
   ASSERT_TRUE(Parse({"--generate", "600,8,3", "--k", "4", "--l", "3", "--A",

@@ -94,7 +94,7 @@ TEST_P(EquivalenceTest, AllVariantsMatchBaseline) {
       ClusterOptions options;
       options.backend = backend;
       options.strategy = strategy;
-      options.num_threads = 3;
+      if (backend == ComputeBackend::kMultiCore) options.num_threads = 3;
       const ProclusResult result = ClusterOrDie(ds.points, params, options);
       ExpectSameClustering(baseline, result,
                            VariantName(backend, strategy));

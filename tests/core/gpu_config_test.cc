@@ -201,15 +201,14 @@ TEST(PhaseProfileTest, FastSpendsLessOnDistancesThanBaseline) {
             a.stats.phases.compute_distances);
 }
 
-TEST(BlockDimTest, InvalidBlockDimAborts) {
+TEST(BlockDimTest, InvalidBlockDimRejected) {
   const data::Dataset ds = TestData();
   ClusterOptions options;
   options.backend = ComputeBackend::kGpu;
   options.gpu_assign_block_dim = 0;
   ProclusResult result;
-  EXPECT_DEATH(
-      { (void)Cluster(ds.points, TestParams(), options, &result); },
-      "PROCLUS_CHECK");
+  const Status status = Cluster(ds.points, TestParams(), options, &result);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -77,7 +77,7 @@ TEST_P(InvariantsProperty, ValidAndReproducible) {
   ClusterOptions options;
   options.backend = backend;
   options.strategy = Strategy::kFast;
-  options.num_threads = 2;
+  if (backend == ComputeBackend::kMultiCore) options.num_threads = 2;
 
   ProclusResult result;
   ASSERT_TRUE(Cluster(ds.points, params, options, &result).ok());

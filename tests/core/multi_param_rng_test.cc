@@ -42,8 +42,8 @@ TEST(MultiParamRngTest, RunsAreReproducible) {
         ReuseLevel::kWarmStart}) {
     MultiParamOptions options;
     options.reuse = level;
-    MultiParamOutput a;
-    MultiParamOutput b;
+    MultiParamResult a;
+    MultiParamResult b;
     ASSERT_TRUE(
         RunMultiParam(ds.points, BaseParams(), settings, options, &a).ok());
     ASSERT_TRUE(
@@ -65,7 +65,7 @@ TEST(MultiParamRngTest, IndependentLevelMatchesStandaloneRuns) {
   const std::vector<ParamSetting> settings = {{3, 3}, {4, 4}};
   MultiParamOptions options;
   options.reuse = ReuseLevel::kNone;
-  MultiParamOutput output;
+  MultiParamResult output;
   ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(), settings, options,
                             &output)
                   .ok());
@@ -88,8 +88,8 @@ TEST(MultiParamRngTest, BaseSeedChangesTrajectories) {
   ProclusParams base_a = BaseParams();
   ProclusParams base_b = BaseParams();
   base_b.seed = base_a.seed + 1;
-  MultiParamOutput a;
-  MultiParamOutput b;
+  MultiParamResult a;
+  MultiParamResult b;
   ASSERT_TRUE(
       RunMultiParam(ds.points, base_a, settings, options, &a).ok());
   ASSERT_TRUE(
@@ -110,7 +110,7 @@ TEST(MultiParamRngTest, SingleSettingGridWorksAtEveryLevel) {
         ReuseLevel::kWarmStart}) {
     MultiParamOptions options;
     options.reuse = level;
-    MultiParamOutput output;
+    MultiParamResult output;
     ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(), settings, options,
                               &output)
                     .ok())

@@ -53,7 +53,7 @@ TEST(MultiParamTest, EveryLevelProducesValidResults) {
     MultiParamOptions options;
     options.reuse = level;
     options.cluster.strategy = Strategy::kFast;
-    MultiParamOutput output;
+    MultiParamResult output;
     ASSERT_TRUE(
         RunMultiParam(ds.points, BaseParams(), settings, options, &output)
             .ok())
@@ -82,8 +82,8 @@ TEST(MultiParamTest, CacheAndGreedyLevelsProduceIdenticalClusterings) {
   MultiParamOptions greedy;
   greedy.reuse = ReuseLevel::kGreedy;
   greedy.cluster.strategy = Strategy::kFast;
-  MultiParamOutput a;
-  MultiParamOutput b;
+  MultiParamResult a;
+  MultiParamResult b;
   ASSERT_TRUE(
       RunMultiParam(ds.points, BaseParams(), settings, cache, &a).ok());
   ASSERT_TRUE(
@@ -100,8 +100,8 @@ TEST(MultiParamTest, SharedCachesDoNotChangeResultsAcrossStrategies) {
   // differently across settings) must agree clustering-for-clustering.
   const data::Dataset ds = TestData();
   const auto settings = TestSettings();
-  MultiParamOutput fast;
-  MultiParamOutput star;
+  MultiParamResult fast;
+  MultiParamResult star;
   MultiParamOptions options;
   options.reuse = ReuseLevel::kGreedy;
   options.cluster.strategy = Strategy::kFast;
@@ -126,8 +126,8 @@ TEST(MultiParamTest, GpuMatchesCpuAtEveryLevel) {
     cpu.cluster.strategy = Strategy::kFast;
     MultiParamOptions gpu = cpu;
     gpu.cluster.backend = ComputeBackend::kGpu;
-    MultiParamOutput a;
-    MultiParamOutput b;
+    MultiParamResult a;
+    MultiParamResult b;
     ASSERT_TRUE(
         RunMultiParam(ds.points, BaseParams(), settings, cpu, &a).ok());
     ASSERT_TRUE(
@@ -153,8 +153,8 @@ TEST(MultiParamTest, CacheReuseSavesDistanceComputations) {
   MultiParamOptions shared;
   shared.reuse = ReuseLevel::kGreedy;
   shared.cluster.strategy = Strategy::kFast;
-  MultiParamOutput a;
-  MultiParamOutput b;
+  MultiParamResult a;
+  MultiParamResult b;
   ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(), settings, independent,
                             &a)
                   .ok());
@@ -177,7 +177,7 @@ TEST(MultiParamTest, WarmStartStillFindsGoodClusterings) {
   MultiParamOptions warm;
   warm.reuse = ReuseLevel::kWarmStart;
   warm.cluster.strategy = Strategy::kFast;
-  MultiParamOutput output;
+  MultiParamResult output;
   ASSERT_TRUE(
       RunMultiParam(ds.points, BaseParams(), settings, warm, &output).ok());
   for (const auto& result : output.results) {
@@ -188,14 +188,14 @@ TEST(MultiParamTest, WarmStartStillFindsGoodClusterings) {
 
 TEST(MultiParamTest, RejectsEmptySettings) {
   const data::Dataset ds = TestData();
-  MultiParamOutput output;
+  MultiParamResult output;
   EXPECT_FALSE(
       RunMultiParam(ds.points, BaseParams(), {}, {}, &output).ok());
 }
 
 TEST(MultiParamTest, RejectsInvalidSetting) {
   const data::Dataset ds = TestData();
-  MultiParamOutput output;
+  MultiParamResult output;
   EXPECT_FALSE(RunMultiParam(ds.points, BaseParams(), {{5, 99}}, {}, &output)
                    .ok());
   EXPECT_FALSE(
@@ -207,7 +207,7 @@ TEST(MultiParamTest, SettingsReportedInInputOrder) {
   const std::vector<ParamSetting> settings = {{2, 2}, {6, 5}};
   MultiParamOptions options;
   options.reuse = ReuseLevel::kGreedy;
-  MultiParamOutput output;
+  MultiParamResult output;
   ASSERT_TRUE(
       RunMultiParam(ds.points, BaseParams(), settings, options, &output)
           .ok());

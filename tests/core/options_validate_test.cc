@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "parallel/thread_pool.h"
+
+namespace proclus::core {
+namespace {
+
+TEST(NamedConstructorsTest, CpuIsValid) {
+  const ClusterOptions options = ClusterOptions::Cpu();
+  EXPECT_EQ(options.backend, ComputeBackend::kCpu);
+  EXPECT_EQ(options.strategy, Strategy::kFast);
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(NamedConstructorsTest, MultiCoreIsValid) {
+  const ClusterOptions options = ClusterOptions::MultiCore(4);
+  EXPECT_EQ(options.backend, ComputeBackend::kMultiCore);
+  EXPECT_EQ(options.num_threads, 4);
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(NamedConstructorsTest, GpuIsValid) {
+  const ClusterOptions options = ClusterOptions::Gpu();
+  EXPECT_EQ(options.backend, ComputeBackend::kGpu);
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(NamedConstructorsTest, StrategyOverride) {
+  EXPECT_EQ(ClusterOptions::Cpu(Strategy::kBaseline).strategy,
+            Strategy::kBaseline);
+  EXPECT_EQ(ClusterOptions::Gpu(simt::DeviceProperties::Gtx1660Ti(),
+                                Strategy::kFastStar)
+                .strategy,
+            Strategy::kFastStar);
+}
+
+TEST(OptionsValidateTest, ThreadsRequireMultiCore) {
+  ClusterOptions options = ClusterOptions::Cpu();
+  options.num_threads = 4;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+
+  options = ClusterOptions::Gpu();
+  options.num_threads = 4;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OptionsValidateTest, PoolRequiresMultiCore) {
+  parallel::ThreadPool pool(2);
+  ClusterOptions options = ClusterOptions::Cpu();
+  options.pool = &pool;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OptionsValidateTest, PoolAndThreadsAreExclusive) {
+  parallel::ThreadPool pool(2);
+  ClusterOptions options = ClusterOptions::MultiCore(4);
+  options.pool = &pool;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.num_threads = 0;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsValidateTest, NegativeThreadsRejected) {
+  ClusterOptions options = ClusterOptions::MultiCore();
+  options.num_threads = -1;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OptionsValidateTest, GpuKnobsRequireGpuBackend) {
+  ClusterOptions options = ClusterOptions::Cpu();
+  options.gpu_assign_block_dim = 64;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+
+  options = ClusterOptions::MultiCore(2);
+  options.gpu_streams = true;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+
+  options = ClusterOptions::Cpu();
+  options.gpu_device_dim_selection = true;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OptionsValidateTest, GpuBlockDimRange) {
+  ClusterOptions options = ClusterOptions::Gpu();
+  options.gpu_assign_block_dim = 0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.gpu_assign_block_dim = 1 << 20;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.gpu_assign_block_dim = 256;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+}  // namespace
+}  // namespace proclus::core

@@ -1,0 +1,116 @@
+#include "parallel/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/api.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+#include "parallel/thread_pool.h"
+
+namespace proclus::parallel {
+namespace {
+
+TEST(CancellationTokenTest, DefaultIsNotStopped) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancel_requested());
+  EXPECT_FALSE(token.Stopped());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancellationTokenTest, CancelStops) {
+  CancellationToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancel_requested());
+  EXPECT_TRUE(token.Stopped());
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTokenTest, ExpiredDeadlineStops) {
+  CancellationToken token;
+  token.SetTimeout(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(token.Stopped());
+  EXPECT_FALSE(token.cancel_requested());
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancellationTokenTest, FutureDeadlineDoesNotStop) {
+  CancellationToken token;
+  token.SetTimeout(3600.0);
+  EXPECT_FALSE(token.Stopped());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancellationTokenTest, CancellationWinsOverDeadline) {
+  CancellationToken token;
+  token.SetTimeout(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  token.Cancel();
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTokenTest, ParallelForChunkedSkipsWorkWhenStopped) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  token.Cancel();
+  std::atomic<int> chunks{0};
+  ParallelForChunked(
+      pool, 0, 100000, [&](int64_t, int64_t) { chunks.fetch_add(1); }, 128,
+      &token);
+  EXPECT_EQ(chunks.load(), 0);
+}
+
+TEST(TaskGroupTest, WaitsOnlyForOwnTasks) {
+  ThreadPool pool(4);
+  std::atomic<bool> slow_done{false};
+  TaskGroup slow_group(&pool);
+  slow_group.Submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    slow_done.store(true);
+  });
+
+  std::atomic<int> fast_done{0};
+  TaskGroup fast_group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    fast_group.Submit([&] { fast_done.fetch_add(1); });
+  }
+  fast_group.Wait();
+  EXPECT_EQ(fast_done.load(), 8);
+  // The slow task from the other group need not have finished: Wait is
+  // scoped to the group, not to the shared pool.
+  slow_group.Wait();
+  EXPECT_TRUE(slow_done.load());
+}
+
+TEST(CancellationTokenTest, ClusterHonorsPreCancelledToken) {
+  data::GeneratorConfig config;
+  config.n = 600;
+  config.d = 8;
+  config.num_clusters = 4;
+  config.subspace_dim = 4;
+  config.seed = 7;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+
+  core::ProclusParams params;
+  params.k = 4;
+  params.l = 4;
+
+  CancellationToken token;
+  token.Cancel();
+  for (core::ClusterOptions options :
+       {core::ClusterOptions::Cpu(), core::ClusterOptions::MultiCore(2),
+        core::ClusterOptions::Gpu()}) {
+    options.cancel = &token;
+    core::ProclusResult result;
+    EXPECT_EQ(core::Cluster(ds.points, params, options, &result).code(),
+              StatusCode::kCancelled);
+  }
+}
+
+}  // namespace
+}  // namespace proclus::parallel

@@ -1,0 +1,163 @@
+// Determinism under concurrency: a batch of mixed jobs (CPU / multi-core /
+// GPU, single runs and sweeps, interleaved priorities) run concurrently
+// through the service must produce clusterings bit-identical to blocking
+// core::Cluster / core::RunMultiParam calls executed one at a time.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/api.h"
+#include "core/multi_param.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+#include "service/proclus_service.h"
+
+namespace proclus::service {
+namespace {
+
+data::Dataset MakeData(uint64_t seed) {
+  data::GeneratorConfig config;
+  config.n = 600;
+  config.d = 8;
+  config.num_clusters = 4;
+  config.subspace_dim = 4;
+  config.seed = seed;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  return ds;
+}
+
+core::ProclusParams MakeParams(uint64_t seed) {
+  core::ProclusParams p;
+  p.k = 4;
+  p.l = 4;
+  p.a = 10.0;
+  p.b = 3.0;
+  p.seed = seed;
+  return p;
+}
+
+void ExpectSameClustering(const core::ProclusResult& a,
+                          const core::ProclusResult& b, const char* what,
+                          int job) {
+  EXPECT_EQ(a.medoids, b.medoids) << what << " job " << job;
+  EXPECT_EQ(a.dimensions, b.dimensions) << what << " job " << job;
+  EXPECT_EQ(a.assignment, b.assignment) << what << " job " << job;
+  EXPECT_EQ(a.iterative_cost, b.iterative_cost) << what << " job " << job;
+  EXPECT_EQ(a.refined_cost, b.refined_cost) << what << " job " << job;
+}
+
+TEST(ServiceStressTest, ConcurrentMixedJobsMatchSequentialRuns) {
+  const std::vector<data::Dataset> datasets = {MakeData(1), MakeData(2),
+                                               MakeData(3)};
+  const std::vector<core::ParamSetting> sweep_settings = {{3, 3}, {4, 4},
+                                                          {4, 5}};
+
+  struct Case {
+    int dataset;
+    uint64_t seed;
+    core::ClusterOptions options;
+    bool sweep;
+  };
+  std::vector<Case> cases;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    for (int dataset = 0; dataset < 3; ++dataset) {
+      for (uint64_t seed : {11u, 22u}) {
+        cases.push_back({dataset, seed, core::ClusterOptions::Cpu(), false});
+        cases.push_back(
+            {dataset, seed, core::ClusterOptions::MultiCore(), false});
+        cases.push_back({dataset, seed, core::ClusterOptions::Gpu(), false});
+        cases.push_back({dataset, seed, core::ClusterOptions::Cpu(), true});
+      }
+    }
+  }
+
+  // Reference results, one blocking call at a time.
+  std::vector<std::vector<core::ProclusResult>> expected;
+  expected.reserve(cases.size());
+  for (const Case& c : cases) {
+    const data::Matrix& data = datasets[c.dataset].points;
+    if (c.sweep) {
+      core::MultiParamOptions mp;
+      mp.cluster = c.options;
+      core::MultiParamResult out;
+      ASSERT_TRUE(core::RunMultiParam(data, MakeParams(c.seed), sweep_settings,
+                                      mp, &out)
+                      .ok());
+      expected.push_back(std::move(out.results));
+    } else {
+      core::ProclusResult out;
+      ASSERT_TRUE(core::Cluster(data, MakeParams(c.seed), c.options, &out).ok());
+      expected.push_back({std::move(out)});
+    }
+  }
+
+  // The same jobs, all in flight at once on a busy little service.
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.gpu_devices = 2;
+  options.compute_threads = 3;
+  ProclusService service(options);
+
+  std::vector<JobHandle> handles(cases.size());
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    const data::Matrix& data = datasets[c.dataset].points;
+    JobSpec spec =
+        c.sweep ? JobSpec::Sweep(data, MakeParams(c.seed), sweep_settings,
+                                 c.options)
+                : JobSpec::Single(data, MakeParams(c.seed), c.options);
+    spec.priority =
+        (i % 3 == 0) ? JobPriority::kInteractive : JobPriority::kBulk;
+    ASSERT_TRUE(service.Submit(std::move(spec), &handles[i]).ok()) << i;
+  }
+
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const JobResult& result = handles[i].Wait();
+    ASSERT_TRUE(result.status.ok()) << "job " << i;
+    ASSERT_EQ(result.results.size(), expected[i].size()) << "job " << i;
+    for (size_t s = 0; s < expected[i].size(); ++s) {
+      ExpectSameClustering(expected[i][s], result.results[s],
+                           cases[i].sweep ? "sweep" : "single",
+                           static_cast<int>(i));
+    }
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<int64_t>(cases.size()));
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(cases.size()));
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.failed, 0);
+  // Two devices, many GPU jobs: the pool must have been reused, not grown.
+  EXPECT_GT(stats.device_reuse_hits, 0);
+}
+
+// Submitting the same spec twice while the service is saturated must give
+// two bit-identical results (no cross-job contamination through the shared
+// pool or a recycled device arena).
+TEST(ServiceStressTest, RepeatedJobIsReproducibleUnderLoad) {
+  const data::Dataset ds = MakeData(9);
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.gpu_devices = 1;
+  ProclusService service(options);
+
+  std::vector<JobHandle> handles(12);
+  for (auto& handle : handles) {
+    core::ClusterOptions gpu = core::ClusterOptions::Gpu();
+    ASSERT_TRUE(
+        service.Submit(JobSpec::Single(ds.points, MakeParams(5), gpu), &handle)
+            .ok());
+  }
+  const JobResult& first = handles[0].Wait();
+  ASSERT_TRUE(first.status.ok());
+  for (size_t i = 1; i < handles.size(); ++i) {
+    const JobResult& other = handles[i].Wait();
+    ASSERT_TRUE(other.status.ok()) << i;
+    ExpectSameClustering(first.results[0], other.results[0], "repeat",
+                         static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace proclus::service

@@ -1,0 +1,404 @@
+#include "service/proclus_service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/api.h"
+#include "core/multi_param.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+#include "service/job.h"
+
+namespace proclus::service {
+namespace {
+
+data::Dataset TestData(uint64_t seed = 33) {
+  data::GeneratorConfig config;
+  config.n = 800;
+  config.d = 8;
+  config.num_clusters = 4;
+  config.subspace_dim = 4;
+  config.seed = seed;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  return ds;
+}
+
+core::ProclusParams TestParams() {
+  core::ProclusParams p;
+  p.k = 4;
+  p.l = 4;
+  p.a = 10.0;
+  p.b = 3.0;
+  return p;
+}
+
+void ExpectSameClustering(const core::ProclusResult& a,
+                          const core::ProclusResult& b) {
+  EXPECT_EQ(a.medoids, b.medoids);
+  EXPECT_EQ(a.dimensions, b.dimensions);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.iterative_cost, b.iterative_cost);
+  EXPECT_EQ(a.refined_cost, b.refined_cost);
+}
+
+// A job heavy enough that submit/cancel bookkeeping wins any race against
+// its completion: a multi-setting sweep with no reuse on a larger dataset.
+JobSpec HeavyJob(const data::Matrix& data) {
+  JobSpec spec = JobSpec::Sweep(
+      data, TestParams(), {{3, 3}, {4, 4}, {5, 4}, {4, 5}, {5, 5}, {3, 4}},
+      core::ClusterOptions::Cpu(core::Strategy::kBaseline),
+      core::ReuseLevel::kNone);
+  return spec;
+}
+
+TEST(ServiceTest, SingleJobMatchesDirectCluster) {
+  const data::Dataset ds = TestData();
+  const core::ClusterOptions options = core::ClusterOptions::Cpu();
+
+  core::ProclusResult direct;
+  ASSERT_TRUE(core::Cluster(ds.points, TestParams(), options, &direct).ok());
+
+  ProclusService service;
+  JobHandle handle;
+  ASSERT_TRUE(
+      service.Submit(JobSpec::Single(ds.points, TestParams(), options), &handle)
+          .ok());
+  const JobResult& result = handle.Wait();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(handle.phase(), JobPhase::kDone);
+  ASSERT_EQ(result.results.size(), 1u);
+  ExpectSameClustering(direct, result.results[0]);
+  EXPECT_GE(result.exec_seconds, 0.0);
+  EXPECT_GE(result.start_sequence, 0);
+}
+
+TEST(ServiceTest, MultiCoreJobOnSharedPoolMatchesDirect) {
+  const data::Dataset ds = TestData();
+
+  core::ProclusResult direct;
+  ASSERT_TRUE(core::Cluster(ds.points, TestParams(),
+                            core::ClusterOptions::MultiCore(3), &direct)
+                  .ok());
+
+  ProclusService service;
+  JobHandle handle;
+  // num_threads == 0: the job runs on the service's shared compute pool.
+  ASSERT_TRUE(service
+                  .Submit(JobSpec::Single(ds.points, TestParams(),
+                                          core::ClusterOptions::MultiCore()),
+                          &handle)
+                  .ok());
+  const JobResult& result = handle.Wait();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_EQ(result.results.size(), 1u);
+  ExpectSameClustering(direct, result.results[0]);
+}
+
+TEST(ServiceTest, GpuJobsReuseWarmDeviceAndStayBitIdentical) {
+  const data::Dataset ds = TestData();
+  const core::ClusterOptions options = core::ClusterOptions::Gpu();
+
+  core::ProclusResult direct;
+  ASSERT_TRUE(core::Cluster(ds.points, TestParams(), options, &direct).ok());
+
+  ServiceOptions service_options;
+  service_options.gpu_devices = 1;
+  ProclusService service(service_options);
+  for (int round = 0; round < 3; ++round) {
+    JobHandle handle;
+    ASSERT_TRUE(
+        service
+            .Submit(JobSpec::Single(ds.points, TestParams(), options), &handle)
+            .ok());
+    const JobResult& result = handle.Wait();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    ASSERT_EQ(result.results.size(), 1u);
+    // Warm arena reuse must not change the clustering bit for bit.
+    ExpectSameClustering(direct, result.results[0]);
+    EXPECT_EQ(result.warm_device, round > 0);
+    EXPECT_GT(result.modeled_gpu_seconds, 0.0);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.device_acquires, 3);
+  EXPECT_EQ(stats.device_reuse_hits, 2);
+  EXPECT_GT(stats.modeled_gpu_seconds_total, 0.0);
+}
+
+TEST(ServiceTest, SweepMatchesRunMultiParam) {
+  const data::Dataset ds = TestData();
+  const std::vector<core::ParamSetting> settings = {{3, 3}, {4, 4}, {4, 5}};
+  const core::ClusterOptions options = core::ClusterOptions::Cpu();
+
+  core::MultiParamOptions mp;
+  mp.cluster = options;
+  mp.reuse = core::ReuseLevel::kWarmStart;
+  core::MultiParamResult direct;
+  ASSERT_TRUE(
+      core::RunMultiParam(ds.points, TestParams(), settings, mp, &direct).ok());
+
+  ProclusService service;
+  JobHandle handle;
+  ASSERT_TRUE(service
+                  .Submit(JobSpec::Sweep(ds.points, TestParams(), settings,
+                                         options, core::ReuseLevel::kWarmStart),
+                          &handle)
+                  .ok());
+  const JobResult& result = handle.Wait();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_EQ(result.results.size(), settings.size());
+  ASSERT_EQ(result.setting_seconds.size(), settings.size());
+  for (size_t i = 0; i < settings.size(); ++i) {
+    ExpectSameClustering(direct.results[i], result.results[i]);
+  }
+}
+
+TEST(ServiceTest, DatasetCacheResolvesById) {
+  const data::Dataset ds = TestData();
+  ProclusService service;
+  ASSERT_TRUE(service.RegisterDataset("stars", ds.points).ok());
+  EXPECT_TRUE(service.HasDataset("stars"));
+  EXPECT_FALSE(service.HasDataset("galaxies"));
+
+  core::ProclusResult direct;
+  ASSERT_TRUE(core::Cluster(ds.points, TestParams(),
+                            core::ClusterOptions::Cpu(), &direct)
+                  .ok());
+
+  JobSpec spec;
+  spec.dataset_id = "stars";
+  spec.params = TestParams();
+  spec.options = core::ClusterOptions::Cpu();
+  JobHandle handle;
+  ASSERT_TRUE(service.Submit(std::move(spec), &handle).ok());
+  const JobResult& result = handle.Wait();
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.results.size(), 1u);
+  ExpectSameClustering(direct, result.results[0]);
+
+  JobSpec unknown;
+  unknown.dataset_id = "galaxies";
+  unknown.params = TestParams();
+  JobHandle rejected;
+  EXPECT_EQ(service.Submit(std::move(unknown), &rejected).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(rejected.valid());
+}
+
+TEST(ServiceTest, CancelQueuedJob) {
+  const data::Dataset big = TestData(7);
+  ServiceOptions options;
+  options.num_workers = 1;
+  ProclusService service(options);
+
+  JobHandle busy;
+  ASSERT_TRUE(service.Submit(HeavyJob(big.points), &busy).ok());
+  JobHandle queued;
+  ASSERT_TRUE(service
+                  .Submit(JobSpec::Single(big.points, TestParams(),
+                                          core::ClusterOptions::Cpu()),
+                          &queued)
+                  .ok());
+  queued.Cancel();
+  const JobResult& result = queued.Wait();
+  EXPECT_EQ(result.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(queued.phase(), JobPhase::kCancelled);
+  EXPECT_TRUE(result.results.empty());
+  EXPECT_EQ(result.start_sequence, -1);  // never ran
+
+  EXPECT_TRUE(busy.Wait().status.ok());
+  EXPECT_EQ(service.stats().cancelled, 1);
+}
+
+TEST(ServiceTest, CancelRunningJobStopsCooperatively) {
+  const data::Dataset big = TestData(11);
+  ServiceOptions options;
+  options.num_workers = 1;
+  ProclusService service(options);
+
+  JobHandle handle;
+  ASSERT_TRUE(service.Submit(HeavyJob(big.points), &handle).ok());
+  // Wait until it is actually running, then pull the plug.
+  while (handle.phase() == JobPhase::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  handle.Cancel();
+  const JobResult& result = handle.Wait();
+  EXPECT_EQ(result.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(handle.phase(), JobPhase::kCancelled);
+  EXPECT_TRUE(result.results.empty());
+}
+
+TEST(ServiceTest, TimeoutProducesTimedOutPhase) {
+  const data::Dataset ds = TestData();
+  ProclusService service;
+  JobSpec spec = HeavyJob(ds.points);
+  spec.timeout_seconds = 1e-9;
+  JobHandle handle;
+  ASSERT_TRUE(service.Submit(std::move(spec), &handle).ok());
+  const JobResult& result = handle.Wait();
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(handle.phase(), JobPhase::kTimedOut);
+  EXPECT_EQ(service.stats().timed_out, 1);
+}
+
+TEST(ServiceTest, DefaultTimeoutApplies) {
+  const data::Dataset ds = TestData();
+  ServiceOptions options;
+  options.default_timeout_seconds = 1e-9;
+  ProclusService service(options);
+  JobHandle handle;
+  ASSERT_TRUE(service.Submit(HeavyJob(ds.points), &handle).ok());
+  EXPECT_EQ(handle.Wait().status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ServiceTest, BoundedQueueRejectsOverflow) {
+  const data::Dataset big = TestData(13);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  ProclusService service(options);
+
+  JobHandle busy;
+  ASSERT_TRUE(service.Submit(HeavyJob(big.points), &busy).ok());
+  // Let the single worker pick the job up so the queue is empty again.
+  while (busy.phase() == JobPhase::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  JobHandle queued;
+  ASSERT_TRUE(service
+                  .Submit(JobSpec::Single(big.points, TestParams(),
+                                          core::ClusterOptions::Cpu()),
+                          &queued)
+                  .ok());
+  JobHandle overflow;
+  EXPECT_EQ(service
+                .Submit(JobSpec::Single(big.points, TestParams(),
+                                        core::ClusterOptions::Cpu()),
+                        &overflow)
+                .code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_FALSE(overflow.valid());
+  queued.Cancel();
+  busy.Cancel();
+  service.Shutdown();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.queue_depth_high_water, 1);
+}
+
+TEST(ServiceTest, InteractiveOvertakesBulk) {
+  const data::Dataset big = TestData(17);
+  ServiceOptions options;
+  options.num_workers = 1;
+  ProclusService service(options);
+
+  JobHandle busy;
+  ASSERT_TRUE(service.Submit(HeavyJob(big.points), &busy).ok());
+  while (busy.phase() == JobPhase::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  JobSpec bulk = JobSpec::Single(big.points, TestParams(),
+                                 core::ClusterOptions::Cpu());
+  bulk.priority = JobPriority::kBulk;
+  JobSpec interactive = JobSpec::Single(big.points, TestParams(),
+                                        core::ClusterOptions::Cpu());
+  interactive.priority = JobPriority::kInteractive;
+
+  JobHandle bulk_handle;
+  ASSERT_TRUE(service.Submit(std::move(bulk), &bulk_handle).ok());
+  JobHandle interactive_handle;
+  ASSERT_TRUE(service.Submit(std::move(interactive), &interactive_handle).ok());
+
+  // Submitted later, but the interactive job must start first.
+  const JobResult& interactive_result = interactive_handle.Wait();
+  const JobResult& bulk_result = bulk_handle.Wait();
+  ASSERT_TRUE(interactive_result.status.ok());
+  ASSERT_TRUE(bulk_result.status.ok());
+  EXPECT_LT(interactive_result.start_sequence, bulk_result.start_sequence);
+}
+
+TEST(ServiceTest, SubmitValidation) {
+  const data::Dataset ds = TestData();
+  ProclusService service;
+  JobHandle handle;
+
+  // Service-owned fields must stay null.
+  JobSpec spec = JobSpec::Single(ds.points, TestParams(),
+                                 core::ClusterOptions::Cpu());
+  parallel::CancellationToken token;
+  spec.options.cancel = &token;
+  EXPECT_EQ(service.Submit(std::move(spec), &handle).code(),
+            StatusCode::kInvalidArgument);
+
+  // Incoherent options are rejected at submit, not at run.
+  spec = JobSpec::Single(ds.points, TestParams(), core::ClusterOptions::Cpu());
+  spec.options.num_threads = 4;
+  EXPECT_EQ(service.Submit(std::move(spec), &handle).code(),
+            StatusCode::kInvalidArgument);
+
+  // No dataset.
+  spec = JobSpec();
+  spec.params = TestParams();
+  EXPECT_EQ(service.Submit(std::move(spec), &handle).code(),
+            StatusCode::kInvalidArgument);
+
+  // Bad params for this dataset.
+  core::ProclusParams params = TestParams();
+  params.l = 1000;
+  spec = JobSpec::Single(ds.points, params, core::ClusterOptions::Cpu());
+  EXPECT_EQ(service.Submit(std::move(spec), &handle).code(),
+            StatusCode::kInvalidArgument);
+
+  // Sweep with no settings.
+  spec = JobSpec::Sweep(ds.points, TestParams(), {},
+                        core::ClusterOptions::Cpu());
+  EXPECT_EQ(service.Submit(std::move(spec), &handle).code(),
+            StatusCode::kInvalidArgument);
+
+  // Negative timeout.
+  spec = JobSpec::Single(ds.points, TestParams(), core::ClusterOptions::Cpu());
+  spec.timeout_seconds = -1.0;
+  EXPECT_EQ(service.Submit(std::move(spec), &handle).code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(service.stats().submitted, 0);
+}
+
+TEST(ServiceTest, ShutdownDrainsAndRejectsNewJobs) {
+  const data::Dataset ds = TestData();
+  ProclusService service;
+  JobHandle handle;
+  ASSERT_TRUE(service
+                  .Submit(JobSpec::Single(ds.points, TestParams(),
+                                          core::ClusterOptions::Cpu()),
+                          &handle)
+                  .ok());
+  service.Shutdown();
+  // Accepted work was drained, not dropped.
+  EXPECT_TRUE(handle.Wait().status.ok());
+  EXPECT_EQ(handle.phase(), JobPhase::kDone);
+
+  JobHandle late;
+  EXPECT_EQ(service
+                .Submit(JobSpec::Single(ds.points, TestParams(),
+                                        core::ClusterOptions::Cpu()),
+                        &late)
+                .code(),
+            StatusCode::kFailedPrecondition);
+  service.Shutdown();  // idempotent
+}
+
+TEST(ServiceTest, JobPhaseNames) {
+  EXPECT_STREQ(JobPhaseName(JobPhase::kQueued), "queued");
+  EXPECT_STREQ(JobPhaseName(JobPhase::kRunning), "running");
+  EXPECT_STREQ(JobPhaseName(JobPhase::kDone), "done");
+  EXPECT_STREQ(JobPhaseName(JobPhase::kCancelled), "cancelled");
+  EXPECT_STREQ(JobPhaseName(JobPhase::kTimedOut), "timed-out");
+  EXPECT_STREQ(JobPhaseName(JobPhase::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace proclus::service

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full check: regular build + all tests, then a ThreadSanitizer build that
+# runs the concurrency-sensitive suites (parallel primitives, the simulated
+# device, and the async service layer).
+#
+#   tools/check.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== regular build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "$SKIP_TSAN" == 1 ]]; then
+  echo "== skipping TSAN pass =="
+  exit 0
+fi
+
+echo "== ThreadSanitizer build (PROCLUS_SANITIZE=thread) =="
+cmake -B build-tsan -S . -DPROCLUS_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j
+echo "== TSAN: parallel / simt / service suites =="
+(cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
+    -R 'thread_pool_test|cancellation_test|device_test|atomic_test|stream_test|primitives_test|service_test|service_stress_test')
+echo "check.sh: all green"

@@ -1,4 +1,7 @@
 // Command-line front end for the library; see `proclus_cli --help`.
+// `proclus_cli batch ...` routes the run through service::ProclusService
+// (async jobs, shared workers, persistent devices) instead of one blocking
+// Cluster() call.
 
 #include <cstdio>
 #include <iostream>
