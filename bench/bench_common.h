@@ -9,6 +9,8 @@
 // from the analytical performance model; EXPERIMENTS.md compares shapes.
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,7 @@
 #include "data/generator.h"
 #include "data/normalize.h"
 #include "proclus.h"
+#include "simt/perf_model.h"
 
 namespace proclus::bench {
 
@@ -97,6 +100,40 @@ inline VariantTiming RunVariant(const data::Matrix& data,
   timing.wall_seconds /= repeats;
   timing.modeled_gpu_seconds /= repeats;
   return timing;
+}
+
+// Writes bench_results/BENCH_<name>_kernels.json: the per-kernel breakdown
+// and utilization figures from `model` with full numeric precision (the
+// console/CSV tables round). Columns mirror the paper's §5.4 Nsight tables:
+// launches, blocks, threads, theoretical/achieved occupancy, memory
+// throughput, modeled seconds — plus the model totals, so tools can check
+// that per-kernel times sum to the modeled device time.
+inline void WriteKernelBreakdownJson(const simt::PerfModel& model,
+                                     const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  std::ofstream json("bench_results/BENCH_" + name + "_kernels.json");
+  if (!json.is_open()) return;
+  json.precision(17);
+  json << "{\"kernels\":[";
+  bool first = true;
+  for (const auto& rec : model.KernelRecords()) {
+    if (!first) json << ',';
+    first = false;
+    json << "{\"name\":\"" << TablePrinter::JsonQuote(rec.name) << '"'
+         << ",\"launches\":" << rec.launches
+         << ",\"total_blocks\":" << rec.total_blocks
+         << ",\"total_threads\":" << rec.total_threads
+         << ",\"total_flops\":" << rec.total_flops
+         << ",\"total_bytes\":" << rec.total_bytes
+         << ",\"theoretical_occupancy\":" << rec.last_occupancy.theoretical
+         << ",\"achieved_occupancy\":" << rec.last_occupancy.achieved
+         << ",\"memory_throughput\":" << rec.last_memory_throughput
+         << ",\"modeled_seconds\":" << rec.modeled_seconds << '}';
+  }
+  json << "],\"totals\":{\"modeled_seconds\":" << model.modeled_seconds()
+       << ",\"transfer_seconds\":" << model.transfer_seconds()
+       << ",\"total_launches\":" << model.total_launches() << "}}\n";
 }
 
 // The n sweep used by the scalability figures, scaled by

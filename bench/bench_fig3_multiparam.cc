@@ -14,8 +14,9 @@ int main() {
   using namespace proclus::bench;
 
   core::ProclusParams base;  // k=10, l=5
+  // Every synthetic dataset below has d=15 dimensions.
   const std::vector<core::ParamSetting> grid =
-      core::DefaultSettingsGrid(base);
+      core::DefaultSettingsGrid(base, /*dims=*/15);
 
   TablePrinter table(
       "Fig 3a-3e - avg running time per setting, 9 (k,l) combinations",

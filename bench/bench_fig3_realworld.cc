@@ -15,8 +15,6 @@ int main() {
 
   core::ProclusParams base;
   base.k = 8;
-  const std::vector<core::ParamSetting> grid =
-      core::DefaultSettingsGrid(base);
   const int64_t max_points =
       static_cast<int64_t>(50000 * BenchScale());
 
@@ -35,6 +33,9 @@ int main() {
                    st.ToString().c_str());
       return 1;
     }
+    // The grid's l range depends on each dataset's dimensionality.
+    const std::vector<core::ParamSetting> grid =
+        core::DefaultSettingsGrid(base, ds.points.cols());
     core::MultiParamOptions cpu;
     cpu.reuse = core::ReuseLevel::kNone;
     cpu.cluster.backend = core::ComputeBackend::kCpu;

@@ -41,6 +41,8 @@ void PrintUtilization(const proclus::data::Dataset& ds, const char* title,
          TablePrinter::FormatSeconds(rec.modeled_seconds)});
   }
   table.Print();
+  // Full-precision JSON mirror (the table cells above are rounded).
+  WriteKernelBreakdownJson(device.perf_model(), csv_name);
 }
 
 }  // namespace

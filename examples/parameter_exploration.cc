@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   base.k = 10;
   base.l = 5;
   const std::vector<core::ParamSetting> grid =
-      core::DefaultSettingsGrid(base);
+      core::DefaultSettingsGrid(base, dataset.points.cols());
   std::printf("exploring %zu (k,l) combinations on %lld points\n\n",
               grid.size(), static_cast<long long>(n));
 

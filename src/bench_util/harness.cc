@@ -89,7 +89,42 @@ void TablePrinter::Print() {
         csv << '\n';
       }
     }
+    std::ofstream json("bench_results/BENCH_" + csv_name_ + ".json");
+    if (json.is_open()) {
+      json << "{\"title\":\"" << JsonQuote(title_) << "\",\"columns\":[";
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        json << (c ? "," : "") << '"' << JsonQuote(columns_[c]) << '"';
+      }
+      json << "],\"rows\":[";
+      for (size_t r = 0; r < rows_.size(); ++r) {
+        json << (r ? "," : "") << '[';
+        for (size_t c = 0; c < rows_[r].size(); ++c) {
+          json << (c ? "," : "") << '"' << JsonQuote(rows_[r][c]) << '"';
+        }
+        json << ']';
+      }
+      json << "]}\n";
+    }
   }
+}
+
+std::string TablePrinter::JsonQuote(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    if (ch == '"' || ch == '\\') {
+      out.push_back('\\');
+      out.push_back(ch);
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(ch)));
+      out += buffer;
+    } else {
+      out.push_back(ch);
+    }
+  }
+  return out;
 }
 
 std::string TablePrinter::FormatSeconds(double seconds) {

@@ -24,11 +24,13 @@ double MeasureSeconds(const std::function<void(uint64_t seed)>& fn,
                       int repeats, uint64_t base_seed = 7);
 
 // Column-aligned table printer that also mirrors every table to a CSV file
-// under bench_results/ (created on demand).
+// (`bench_results/<name>.csv`) and a JSON file
+// (`bench_results/BENCH_<name>.json`, {"title","columns","rows"}) so tools
+// can consume the bench output without re-parsing the console tables.
 class TablePrinter {
  public:
   // `title` is printed as a header; `csv_name` (without extension) names the
-  // CSV mirror, empty = no CSV.
+  // CSV/JSON mirrors, empty = no files.
   TablePrinter(std::string title, std::vector<std::string> columns,
                std::string csv_name = "");
   ~TablePrinter();
@@ -44,6 +46,8 @@ class TablePrinter {
   static std::string FormatDouble(double value, int precision = 3);
   static std::string FormatBytes(uint64_t bytes);
   static std::string FormatCount(int64_t value);
+  // Escapes a string for inclusion inside a JSON string literal.
+  static std::string JsonQuote(const std::string& text);
 
  private:
   std::string title_;

@@ -5,6 +5,7 @@
 
 #include "common/timer.h"
 #include "core/multi_param.h"
+#include "obs/trace.h"
 #include "service/proclus_service.h"
 #include "data/generator.h"
 #include "data/io.h"
@@ -71,6 +72,8 @@ Batch mode (proclus_cli batch ...):
 
 Output:
   --output FILE         write per-point cluster ids (-1 = outlier)
+  --trace-out FILE      write a Chrome trace_event JSON of the run
+                        (open in chrome://tracing or ui.perfetto.dev)
   --no-normalize        skip min-max normalization
   --help                this text
 )";
@@ -219,6 +222,13 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
       config->batch_tuning_seen = true;
     } else if (arg == "--output") {
       PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &config->output_path));
+    } else if (arg == "--trace-out") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &config->trace_out_path));
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      config->trace_out_path = arg.substr(std::string("--trace-out=").size());
+      if (config->trace_out_path.empty()) {
+        return Status::InvalidArgument("missing value for --trace-out");
+      }
     } else if (arg == "--no-normalize") {
       config->normalize = false;
     } else {
@@ -282,15 +292,27 @@ Status WriteAssignment(const std::vector<int>& assignment,
   return Status::OK();
 }
 
+// Writes the recorded trace to `path` and reports it. No-op without a
+// recorder.
+Status WriteTrace(const obs::TraceRecorder* trace, const std::string& path,
+                  std::ostream& out) {
+  if (trace == nullptr) return Status::OK();
+  PROCLUS_RETURN_NOT_OK(trace->WriteFile(path));
+  out << "trace written to " << path << " (" << trace->event_count()
+      << " events)\n";
+  return Status::OK();
+}
+
 // Batch mode: run the configured jobs through a ProclusService so they
 // share the worker pool and persistent devices, then report per-job lines
 // and the service's aggregate counters.
 Status RunBatch(const CliConfig& config, const data::Dataset& dataset,
-                std::ostream& out) {
+                obs::TraceRecorder* trace, std::ostream& out) {
   service::ServiceOptions service_options;
   service_options.num_workers = config.batch_workers;
   service_options.gpu_devices = config.batch_gpu_devices;
   service_options.default_timeout_seconds = config.batch_timeout_ms / 1e3;
+  service_options.trace = trace;
   service::ProclusService service(service_options);
   PROCLUS_RETURN_NOT_OK(service.RegisterDataset("cli", dataset.points));
 
@@ -361,6 +383,7 @@ Status RunBatch(const CliConfig& config, const data::Dataset& dataset,
         WriteAssignment(last_result->assignment, config.output_path));
     out << "assignment written to " << config.output_path << "\n";
   }
+  PROCLUS_RETURN_NOT_OK(WriteTrace(trace, config.trace_out_path, out));
   return first_failure;
 }
 
@@ -395,13 +418,18 @@ Status RunCli(const CliConfig& config, std::ostream& out) {
       << core::VariantName(config.options.backend, config.options.strategy)
       << "\n";
 
-  if (config.batch) return RunBatch(config, dataset, out);
+  obs::TraceRecorder trace_recorder;
+  obs::TraceRecorder* trace =
+      config.trace_out_path.empty() ? nullptr : &trace_recorder;
+
+  if (config.batch) return RunBatch(config, dataset, trace, out);
 
   if (config.explore) {
     const std::vector<core::ParamSetting> grid =
-        core::DefaultSettingsGrid(config.params);
+        core::DefaultSettingsGrid(config.params, dataset.points.cols());
     core::MultiParamOptions mp;
     mp.cluster = config.options;
+    mp.cluster.trace = trace;
     mp.reuse = core::ReuseLevel::kWarmStart;
     core::MultiParamResult output;
     PROCLUS_RETURN_NOT_OK(core::RunMultiParam(dataset.points, config.params,
@@ -419,20 +447,22 @@ Status RunCli(const CliConfig& config, std::ostream& out) {
           output.results.back().assignment, config.output_path));
       out << "assignment written to " << config.output_path << "\n";
     }
-    return Status::OK();
+    return WriteTrace(trace, config.trace_out_path, out);
   }
 
   StopWatch watch;
+  core::ClusterOptions options = config.options;
+  options.trace = trace;
   core::ProclusResult result;
   PROCLUS_RETURN_NOT_OK(
-      core::Cluster(dataset.points, config.params, config.options, &result));
+      core::Cluster(dataset.points, config.params, options, &result));
   PrintResult(result, dataset, watch.ElapsedSeconds(), out);
   if (!config.output_path.empty()) {
     PROCLUS_RETURN_NOT_OK(
         WriteAssignment(result.assignment, config.output_path));
     out << "assignment written to " << config.output_path << "\n";
   }
-  return Status::OK();
+  return WriteTrace(trace, config.trace_out_path, out);
 }
 
 }  // namespace proclus::cli

@@ -42,6 +42,9 @@ struct CliConfig {
   bool batch_tuning_seen = false;
   // Where to write the per-point assignment (empty = don't).
   std::string output_path;
+  // Where to write a Chrome trace_event JSON of the run (empty = no
+  // tracing). Load the file in chrome://tracing or ui.perfetto.dev.
+  std::string trace_out_path;
   bool show_help = false;
 };
 

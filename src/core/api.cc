@@ -116,11 +116,13 @@ Status Cluster(const data::Matrix& data, const ProclusParams& params,
 
   DriverOptions driver_options;
   driver_options.cancel = options.cancel;
+  driver_options.trace = options.trace;
   Rng rng(params.seed);
   switch (options.backend) {
     case ComputeBackend::kCpu: {
       SequentialExecutor executor(options.cancel);
       CpuBackend backend(data, options.strategy, &executor);
+      backend.SetTrace(options.trace);
       return RunProclusPhases(data, params, backend, rng, driver_options,
                               result);
     }
@@ -133,6 +135,7 @@ Status Cluster(const data::Matrix& data, const ProclusParams& params,
       }
       PoolExecutor executor(pool, options.cancel);
       CpuBackend backend(data, options.strategy, &executor);
+      backend.SetTrace(options.trace);
       return RunProclusPhases(data, params, backend, rng, driver_options,
                               result);
     }
@@ -147,9 +150,15 @@ Status Cluster(const data::Matrix& data, const ProclusParams& params,
       gpu_options.assign_block_dim = options.gpu_assign_block_dim;
       gpu_options.use_streams = options.gpu_streams;
       gpu_options.device_dim_selection = options.gpu_device_dim_selection;
+      // The device holds the recorder only for the duration of the run, so a
+      // caller-owned device never keeps a dangling recorder pointer.
+      device->set_trace(options.trace);
       GpuBackend backend(data, options.strategy, device, gpu_options);
-      return RunProclusPhases(data, params, backend, rng, driver_options,
-                              result);
+      backend.SetTrace(options.trace);
+      const Status status =
+          RunProclusPhases(data, params, backend, rng, driver_options, result);
+      device->set_trace(nullptr);
+      return status;
     }
   }
   return Status::Internal("unknown backend");

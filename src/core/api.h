@@ -49,6 +49,12 @@ struct ClusterOptions {
   // iterations / chunk dispatches and returns Cancelled/DeadlineExceeded
   // instead of a result. Optional; must outlive the call.
   const parallel::CancellationToken* cancel = nullptr;
+  // Any backend: structured tracing. When set, the run records driver-phase
+  // and backend-step spans (plus per-kernel device events on kGpu) into the
+  // recorder; write it out with TraceRecorder::WriteFile and load the JSON
+  // in chrome://tracing or ui.perfetto.dev. Optional; must outlive the call.
+  // See docs/observability.md.
+  obs::TraceRecorder* trace = nullptr;
 
   // Named constructors — the recommended way to build options. They default
   // to Strategy::kFast, the paper's recommended exact strategy; the plain

@@ -6,6 +6,7 @@
 
 #include "core/params.h"
 #include "core/result.h"
+#include "obs/trace.h"
 
 namespace proclus::core {
 
@@ -71,6 +72,12 @@ class Backend {
 
   // Accumulated statistics for the run(s) so far.
   virtual void FillStats(RunStats* stats) const = 0;
+
+  // Attaches a trace recorder; the backend then records spans around its
+  // major steps (greedy_select / compute_distances / find_dimensions /
+  // assign_points / evaluate / refine, category "backend"). Null detaches.
+  // Default: not instrumented.
+  virtual void SetTrace(obs::TraceRecorder* /*trace*/) {}
 };
 
 }  // namespace proclus::core

@@ -52,6 +52,7 @@ void CpuBackend::ComputeDistRow(int medoid_id, float* row) {
 std::vector<int> CpuBackend::GreedySelect(const std::vector<int>& candidates,
                                           int64_t pool_size, int64_t first) {
   StopWatch watch;
+  obs::TraceSpan span(trace_, "greedy_select", "backend");
   const int64_t count = static_cast<int64_t>(candidates.size());
   PROCLUS_CHECK(pool_size >= 1 && pool_size <= count);
   PROCLUS_CHECK(first >= 0 && first < count);
@@ -439,24 +440,36 @@ double CpuBackend::Evaluate(const std::vector<int>& medoid_ids,
 IterationOutput CpuBackend::Iterate(const std::vector<int>& mcur_midx) {
   PROCLUS_CHECK(static_cast<int>(mcur_midx.size()) == params_.k);
   StopWatch watch;
-  EnsureDistances(mcur_midx);
-  ComputeDeltas(mcur_midx);
+  {
+    obs::TraceSpan span(trace_, "compute_distances", "backend");
+    EnsureDistances(mcur_midx);
+    ComputeDeltas(mcur_midx);
+  }
   phases_.compute_distances += watch.ElapsedSeconds();
   watch.Restart();
-  ComputeX(mcur_midx);
   std::vector<int> dims_flat;
   std::vector<int> dims_offset;
-  PickDimensions(&dims_flat, &dims_offset);
+  {
+    obs::TraceSpan span(trace_, "find_dimensions", "backend");
+    ComputeX(mcur_midx);
+    PickDimensions(&dims_flat, &dims_offset);
+  }
   phases_.find_dimensions += watch.ElapsedSeconds();
   watch.Restart();
-  for (int i = 0; i < params_.k; ++i) medoid_ids_[i] = m_ids_[mcur_midx[i]];
-  Assign(medoid_ids_, dims_flat, dims_offset, /*outlier_radii=*/nullptr,
-         &assignment_);
+  {
+    obs::TraceSpan span(trace_, "assign_points", "backend");
+    for (int i = 0; i < params_.k; ++i) medoid_ids_[i] = m_ids_[mcur_midx[i]];
+    Assign(medoid_ids_, dims_flat, dims_offset, /*outlier_radii=*/nullptr,
+           &assignment_);
+  }
   phases_.assign_points += watch.ElapsedSeconds();
   watch.Restart();
   IterationOutput out;
-  out.cost = Evaluate(medoid_ids_, dims_flat, dims_offset, assignment_,
-                      &out.cluster_sizes);
+  {
+    obs::TraceSpan span(trace_, "evaluate", "backend");
+    out.cost = Evaluate(medoid_ids_, dims_flat, dims_offset, assignment_,
+                        &out.cluster_sizes);
+  }
   phases_.evaluate += watch.ElapsedSeconds();
   return out;
 }
@@ -466,6 +479,7 @@ void CpuBackend::SaveBest() { best_assignment_ = assignment_; }
 void CpuBackend::Refine(const std::vector<int>& mbest_midx,
                         ProclusResult* result) {
   StopWatch watch;
+  obs::TraceSpan trace_span(trace_, "refine", "backend");
   const int64_t n = data_.rows();
   const int64_t d = data_.cols();
   const int k = params_.k;

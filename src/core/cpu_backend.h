@@ -38,6 +38,7 @@ class CpuBackend : public Backend {
   void Refine(const std::vector<int>& mbest_midx,
               ProclusResult* result) override;
   void FillStats(RunStats* stats) const override;
+  void SetTrace(obs::TraceRecorder* trace) override { trace_ = trace; }
 
   Strategy strategy() const { return strategy_; }
 
@@ -116,6 +117,7 @@ class CpuBackend : public Backend {
   int64_t segmental_distances_ = 0;
   int64_t greedy_distances_ = 0;
   PhaseSeconds phases_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace proclus::core

@@ -42,6 +42,7 @@ Status RunProclusPhases(const data::Matrix& data, const ProclusParams& params,
   PROCLUS_RETURN_IF_STOPPED(options.cancel);
 
   // --- Initialization phase -------------------------------------------------
+  obs::TraceSpan init_span(options.trace, "init", "driver");
   std::vector<int> m_ids;
   if (options.preset_m != nullptr) {
     m_ids = *options.preset_m;
@@ -59,6 +60,8 @@ Status RunProclusPhases(const data::Matrix& data, const ProclusParams& params,
         options.preset_first >= static_cast<int64_t>(candidates.size())) {
       return Status::InvalidArgument("invalid preset greedy candidates");
     }
+    obs::TraceSpan greedy_span(options.trace, "greedy", "driver");
+    greedy_span.AddArg(obs::TraceArg::Int("pool_size", pool));
     m_ids = backend.GreedySelect(candidates, pool, options.preset_first);
   } else {
     const int64_t sample_size = params.SampleSize(n);
@@ -66,7 +69,11 @@ Status RunProclusPhases(const data::Matrix& data, const ProclusParams& params,
     const std::vector<int> data_prime =
         rng.SampleWithoutReplacement(n, sample_size);
     const int64_t first = rng.UniformInt(sample_size);
+    obs::TraceSpan greedy_span(options.trace, "greedy", "driver");
+    greedy_span.AddArg(obs::TraceArg::Int("pool_size", pool_size));
+    greedy_span.AddArg(obs::TraceArg::Int("sample_size", sample_size));
     m_ids = backend.GreedySelect(data_prime, pool_size, first);
+    greedy_span.End();
     PROCLUS_CHECK(static_cast<int64_t>(m_ids.size()) == pool_size);
   }
   const int64_t pool_size = static_cast<int64_t>(m_ids.size());
@@ -102,7 +109,10 @@ Status RunProclusPhases(const data::Matrix& data, const ProclusParams& params,
     mcur = rng.SampleWithoutReplacement(pool_size, params.k);
   }
 
+  init_span.End();
+
   // --- Iterative phase -------------------------------------------------------
+  obs::TraceSpan iterative_span(options.trace, "iterative", "driver");
   double best_cost = std::numeric_limits<double>::infinity();
   std::vector<int> mbest = mcur;
   std::vector<int64_t> best_sizes;
@@ -111,17 +121,21 @@ Status RunProclusPhases(const data::Matrix& data, const ProclusParams& params,
   while (itr < params.itr_pat &&
          total_iterations < params.max_total_iterations) {
     PROCLUS_RETURN_IF_STOPPED(options.cancel);
+    obs::TraceSpan iter_span(options.trace, "iteration", "driver");
+    iter_span.AddArg(obs::TraceArg::Int("iteration", total_iterations));
     const IterationOutput out = backend.Iterate(mcur);
     ++total_iterations;
     // Cancellation mid-iteration leaves `out` partially computed (skipped
     // chunks); unwind before it can influence mbest/best_cost.
     PROCLUS_RETURN_IF_STOPPED(options.cancel);
+    iter_span.AddArg(obs::TraceArg::Double("cost", out.cost));
     if (out.cost < best_cost) {
       itr = 0;
       best_cost = out.cost;
       mbest = mcur;
       best_sizes = out.cluster_sizes;
       backend.SaveBest();
+      iter_span.AddArg(obs::TraceArg::Str("improved", "true"));
     } else {
       ++itr;
     }
@@ -129,13 +143,17 @@ Status RunProclusPhases(const data::Matrix& data, const ProclusParams& params,
         ComputeBadMedoids(best_sizes, n, params.min_dev);
     mcur = ReplaceBadMedoids(mbest, bad, pool_size, rng);
   }
+  iterative_span.AddArg(obs::TraceArg::Int("iterations", total_iterations));
+  iterative_span.End();
 
   // --- Refinement phase -------------------------------------------------------
   PROCLUS_RETURN_IF_STOPPED(options.cancel);
+  obs::TraceSpan refinement_span(options.trace, "refinement", "driver");
   result->medoids.resize(params.k);
   for (int i = 0; i < params.k; ++i) result->medoids[i] = m_ids[mbest[i]];
   result->iterative_cost = best_cost;
   backend.Refine(mbest, result);
+  refinement_span.End();
   // Cancellation mid-refinement leaves the assignment/costs partial; report
   // kCancelled/kDeadlineExceeded rather than an OK status with a torn result.
   PROCLUS_RETURN_IF_STOPPED(options.cancel);

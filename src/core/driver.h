@@ -9,6 +9,7 @@
 #include "core/params.h"
 #include "core/result.h"
 #include "data/matrix.h"
+#include "obs/trace.h"
 #include "parallel/cancellation.h"
 
 namespace proclus::core {
@@ -32,6 +33,10 @@ struct DriverOptions {
   // Cooperative stop signal, polled between phases and iterations. On stop
   // the run returns Cancelled/DeadlineExceeded and `result` is unspecified.
   const parallel::CancellationToken* cancel = nullptr;
+  // When set, the driver records "init" / "greedy" / "iterative" (with
+  // per-"iteration" children) / "refinement" spans in the "driver" category,
+  // and the backend its step spans. Null disables tracing.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 // Runs the three PROCLUS phases (Algorithm 1) against `backend`. All random

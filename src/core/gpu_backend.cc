@@ -41,6 +41,7 @@ int64_t GpuBackend::BlocksFor(int64_t count, int block_dim) {
 std::vector<int> GpuBackend::GreedySelect(const std::vector<int>& candidates,
                                           int64_t pool_size, int64_t first) {
   StopWatch watch;
+  obs::TraceSpan span(trace_, "greedy_select", "backend");
   const int64_t count = static_cast<int64_t>(candidates.size());
   PROCLUS_CHECK(pool_size >= 1 && pool_size <= count);
   PROCLUS_CHECK(first >= 0 && first < count);
@@ -235,6 +236,7 @@ IterationOutput GpuBackend::Iterate(const std::vector<int>& mcur_midx) {
   const int k = params_.k;
   PROCLUS_CHECK(static_cast<int>(mcur_midx.size()) == k);
   StopWatch watch;
+  obs::TraceSpan dist_span(trace_, "compute_distances", "backend");
 
   // Slot -> dist-row map and data ids of the current medoids.
   std::vector<int> slot_rows(k);
@@ -391,8 +393,10 @@ IterationOutput GpuBackend::Iterate(const std::vector<int>& mcur_midx) {
         });
     l_points_scanned_ += static_cast<int64_t>(k) * n;
   }
+  dist_span.End();
   phases_.compute_distances += watch.ElapsedSeconds();
   watch.Restart();
+  obs::TraceSpan dims_span(trace_, "find_dimensions", "backend");
 
   // --- FindDimensions (Algorithm 4 / §4.2) ----------------------------------
   {
@@ -470,18 +474,23 @@ IterationOutput GpuBackend::Iterate(const std::vector<int>& mcur_midx) {
   std::vector<int> dims_flat;
   std::vector<int> dims_offset;
   PickDimensions(&dims_flat, &dims_offset);
+  dims_span.End();
   phases_.find_dimensions += watch.ElapsedSeconds();
   watch.Restart();
 
   // --- AssignPoints (Algorithm 5) -------------------------------------------
   // The cluster-size reset already ran in the bookkeeping region above.
+  obs::TraceSpan assign_span(trace_, "assign_points", "backend");
   LaunchAssign(/*with_outliers=*/false, /*zero_c_size=*/false);
+  assign_span.End();
   phases_.assign_points += watch.ElapsedSeconds();
   watch.Restart();
 
   // --- EvaluateClusters (Algorithm 6) ----------------------------------------
+  obs::TraceSpan eval_span(trace_, "evaluate", "backend");
   IterationOutput out;
   out.cost = LaunchEvaluate(d_assignment_, n, &out.cluster_sizes);
+  eval_span.End();
   phases_.evaluate += watch.ElapsedSeconds();
   return out;
 }
@@ -759,6 +768,7 @@ void GpuBackend::SaveBest() {
 void GpuBackend::Refine(const std::vector<int>& mbest_midx,
                         ProclusResult* result) {
   StopWatch watch;
+  obs::TraceSpan trace_span(trace_, "refine", "backend");
   const int64_t n = data_.rows();
   const int64_t d = data_.cols();
   const int k = params_.k;

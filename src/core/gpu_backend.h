@@ -62,6 +62,7 @@ class GpuBackend : public Backend {
   void Refine(const std::vector<int>& mbest_midx,
               ProclusResult* result) override;
   void FillStats(RunStats* stats) const override;
+  void SetTrace(obs::TraceRecorder* trace) override { trace_ = trace; }
 
   Strategy strategy() const { return strategy_; }
   simt::Device* device() const { return device_; }
@@ -162,6 +163,7 @@ class GpuBackend : public Backend {
   int64_t segmental_distances_ = 0;
   int64_t greedy_distances_ = 0;
   PhaseSeconds phases_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace proclus::core

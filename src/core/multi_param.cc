@@ -38,23 +38,37 @@ const char* ReuseLevelName(ReuseLevel level) {
   return "?";
 }
 
-std::vector<ParamSetting> DefaultSettingsGrid(const ProclusParams& base) {
+std::vector<ParamSetting> DefaultSettingsGrid(const ProclusParams& base,
+                                              int64_t dims) {
   std::vector<ParamSetting> settings;
   for (const int k : {base.k - 2, base.k, base.k + 2}) {
     for (const int l : {base.l - 1, base.l, base.l + 1}) {
-      settings.push_back({std::max(k, 1), std::max(l, 2)});
+      ParamSetting s;
+      s.k = std::max(k, 1);
+      s.l = static_cast<int>(
+          std::min<int64_t>(std::max(l, 2), std::max<int64_t>(dims, 2)));
+      // Clamping collapses neighboring combinations (small k, or l at a
+      // bound) onto each other; keep only the first occurrence so callers
+      // never run the same setting twice.
+      bool duplicate = false;
+      for (const ParamSetting& existing : settings) {
+        if (existing.k == s.k && existing.l == s.l) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) settings.push_back(s);
     }
   }
   return settings;
 }
 
-Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
-                     const std::vector<ParamSetting>& settings,
-                     const MultiParamOptions& options,
-                     MultiParamResult* output) {
-  if (output == nullptr) {
-    return Status::InvalidArgument("output must not be null");
-  }
+namespace {
+
+Status RunMultiParamImpl(const data::Matrix& data, const ProclusParams& base,
+                         const std::vector<ParamSetting>& settings,
+                         const MultiParamOptions& options,
+                         MultiParamResult* output) {
   if (settings.empty()) {
     return Status::InvalidArgument("settings must not be empty");
   }
@@ -122,6 +136,7 @@ Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
             options.cluster.device_properties);
         device = owned_device.get();
       }
+      device->set_trace(options.cluster.trace);
       GpuBackendOptions gpu_options;
       gpu_options.assign_block_dim = options.cluster.gpu_assign_block_dim;
       gpu_options.use_streams = options.cluster.gpu_streams;
@@ -132,6 +147,7 @@ Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
       break;
     }
   }
+  backend->SetTrace(options.cluster.trace);
 
   // Shared initialization draws: Data' and the greedy start are sampled once
   // for the largest k, so M (and therefore the Dist/H caches) is identical
@@ -166,6 +182,7 @@ Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
 
     DriverOptions driver_options;
     driver_options.cancel = cancel;
+    driver_options.trace = options.cluster.trace;
     if (options.reuse >= ReuseLevel::kGreedy) {
       driver_options.preset_m = &m_global;
     } else {
@@ -200,6 +217,30 @@ Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
   }
   output->total_seconds = total_watch.ElapsedSeconds();
   return Status::OK();
+}
+
+}  // namespace
+
+Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
+                     const std::vector<ParamSetting>& settings,
+                     const MultiParamOptions& options,
+                     MultiParamResult* output) {
+  if (output == nullptr) {
+    return Status::InvalidArgument("output must not be null");
+  }
+  const Status status =
+      RunMultiParamImpl(data, base, settings, options, output);
+  // A sweep that failed or was cancelled mid-way has filled some settings
+  // but not others, and total_seconds was never written (so a reused output
+  // would keep the previous sweep's figure). Hand back the empty state
+  // instead of a torn one.
+  if (!status.ok()) *output = MultiParamResult{};
+  // Shared-engine sweeps attach the recorder to a possibly caller-owned
+  // device; detach it so it cannot dangle past this call.
+  if (options.cluster.device != nullptr) {
+    options.cluster.device->set_trace(nullptr);
+  }
+  return status;
 }
 
 }  // namespace proclus::core

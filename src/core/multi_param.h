@@ -52,15 +52,24 @@ using MultiParamOutput [[deprecated("renamed to MultiParamResult")]] =
 // is sized for the largest k in `settings`, exactly as §3.1 prescribes.
 // Honors `options.cluster.cancel`: on cancellation/deadline the sweep stops
 // between settings and returns the corresponding Status.
+//
+// On any non-OK return `*output` is reset to the empty state — no partial
+// results, and total_seconds is 0 — so a reused output struct never carries
+// stale figures from an earlier sweep. On success
+// output->results.size() == output->setting_seconds.size() == settings.size().
 Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
                      const std::vector<ParamSetting>& settings,
                      const MultiParamOptions& options,
                      MultiParamResult* output);
 
-// The 9 (k, l) combinations used by the paper's multi-parameter experiments
+// The (k, l) combinations used by the paper's multi-parameter experiments
 // (§5.3): k in {base.k - 2, base.k, base.k + 2} x l in {base.l - 1, base.l,
-// base.l + 1}.
-std::vector<ParamSetting> DefaultSettingsGrid(const ProclusParams& base);
+// base.l + 1}, with k clamped to >= 1 and l clamped to [2, dims] (`dims` is
+// the dataset dimensionality; l can never exceed it). Clamping can make
+// combinations coincide — e.g. for base.k <= 3 or base.l near a bound — so
+// duplicates are dropped; the grid has up to 9 distinct settings.
+std::vector<ParamSetting> DefaultSettingsGrid(const ProclusParams& base,
+                                              int64_t dims);
 
 }  // namespace proclus::core
 

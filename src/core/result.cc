@@ -31,4 +31,38 @@ int64_t ProclusResult::NumOutliers() const {
   return count;
 }
 
+void PublishRunStats(const RunStats& stats, obs::MetricsRegistry* registry,
+                     const std::string& prefix) {
+  PROCLUS_CHECK(registry != nullptr);
+  registry->counter(prefix + ".runs")->Increment();
+  registry->counter(prefix + ".iterations")->Increment(stats.iterations);
+  registry->counter(prefix + ".euclidean_distances")
+      ->Increment(stats.euclidean_distances);
+  registry->counter(prefix + ".l_points_scanned")
+      ->Increment(stats.l_points_scanned);
+  registry->counter(prefix + ".segmental_distances")
+      ->Increment(stats.segmental_distances);
+  registry->counter(prefix + ".greedy_distances")
+      ->Increment(stats.greedy_distances);
+  registry->gauge(prefix + ".modeled_gpu_seconds")
+      ->Set(stats.modeled_gpu_seconds);
+  registry->gauge(prefix + ".modeled_transfer_seconds")
+      ->Set(stats.modeled_transfer_seconds);
+  registry->gauge(prefix + ".device_peak_bytes")
+      ->Set(static_cast<double>(stats.device_peak_bytes));
+  registry->gauge(prefix + ".host_state_bytes")
+      ->Set(static_cast<double>(stats.host_state_bytes));
+  const std::string hist = prefix + ".phase_seconds.";
+  registry->histogram(hist + "greedy")->Observe(stats.phases.greedy);
+  registry->histogram(hist + "compute_distances")
+      ->Observe(stats.phases.compute_distances);
+  registry->histogram(hist + "find_dimensions")
+      ->Observe(stats.phases.find_dimensions);
+  registry->histogram(hist + "assign_points")
+      ->Observe(stats.phases.assign_points);
+  registry->histogram(hist + "evaluate")->Observe(stats.phases.evaluate);
+  registry->histogram(hist + "refine")->Observe(stats.phases.refine);
+  registry->histogram(hist + "total")->Observe(stats.phases.Total());
+}
+
 }  // namespace proclus::core

@@ -2,7 +2,10 @@
 #define PROCLUS_CORE_RESULT_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace proclus::core {
 
@@ -76,6 +79,14 @@ struct ProclusResult {
   // Number of outlier points.
   int64_t NumOutliers() const;
 };
+
+// Publishes a run's statistics into `registry`: work counters accumulate
+// across runs ("<prefix>.runs", ".iterations", ".euclidean_distances", ...),
+// modeled-device figures become gauges, and the per-phase wall-clock seconds
+// feed "<prefix>.phase_seconds.<phase>" histograms. See
+// docs/observability.md for the full taxonomy.
+void PublishRunStats(const RunStats& stats, obs::MetricsRegistry* registry,
+                     const std::string& prefix = "proclus");
 
 }  // namespace proclus::core
 

@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "obs/trace.h"
+
+namespace proclus::obs {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string FormatInt(int64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return buf;
+}
+
+}  // namespace
+
+double Histogram::BucketBound(int i) {
+  if (i >= kNumBuckets) return std::numeric_limits<double>::infinity();
+  return std::pow(10.0, i + kBucketOffset);
+}
+
+void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (data_.count == 0) {
+    data_.min = value;
+    data_.max = value;
+  } else {
+    data_.min = std::min(data_.min, value);
+    data_.max = std::max(data_.max, value);
+  }
+  ++data_.count;
+  data_.sum += value;
+  int bucket = 0;
+  while (bucket < kNumBuckets && value > BucketBound(bucket)) ++bucket;
+  ++data_.buckets[bucket];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::TextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += name;
+    out += ' ';
+    out += FormatInt(counter->value());
+    out += '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += name;
+    out += ' ';
+    out += FormatDouble(gauge->value());
+    out += '\n';
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->snapshot();
+    out += name;
+    out += " count=" + FormatInt(snap.count);
+    out += " sum=" + FormatDouble(snap.sum);
+    out += " min=" + FormatDouble(snap.min);
+    out += " max=" + FormatDouble(snap.max);
+    out += '\n';
+  }
+  return out;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string buffer = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) buffer += ',';
+    first = false;
+    buffer += '"' + JsonEscape(name) + "\":" + FormatInt(counter->value());
+  }
+  buffer += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) buffer += ',';
+    first = false;
+    buffer += '"' + JsonEscape(name) + "\":" + FormatDouble(gauge->value());
+  }
+  buffer += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->snapshot();
+    if (!first) buffer += ',';
+    first = false;
+    buffer += '"' + JsonEscape(name) + "\":{";
+    buffer += "\"count\":" + FormatInt(snap.count);
+    buffer += ",\"sum\":" + FormatDouble(snap.sum);
+    buffer += ",\"min\":" + FormatDouble(snap.min);
+    buffer += ",\"max\":" + FormatDouble(snap.max);
+    buffer += ",\"buckets\":[";
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (i > 0) buffer += ',';
+      buffer += FormatInt(snap.buckets[i]);
+    }
+    buffer += "]}";
+  }
+  buffer += "}}\n";
+  out << buffer;
+}
+
+}  // namespace proclus::obs

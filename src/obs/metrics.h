@@ -1,0 +1,105 @@
+#ifndef PROCLUS_OBS_METRICS_H_
+#define PROCLUS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace proclus::obs {
+
+// Monotonically increasing integer metric (events, work items, bytes).
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-written double metric (queue depth, modeled seconds, occupancy).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Distribution metric with decade buckets (…, 1e-3, 1e-2, …), suited to the
+// latency/seconds quantities this codebase records. Thread-safe.
+class Histogram {
+ public:
+  struct Snapshot {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    // bucket[i] counts observations <= 10^(i + kBucketOffset); the last
+    // bucket is the overflow.
+    std::vector<int64_t> buckets;
+  };
+
+  // Decade buckets spanning [1e-7, 1e4): bucket i holds values
+  // <= 10^(i - 7).
+  static constexpr int kNumBuckets = 12;
+  static constexpr int kBucketOffset = -7;
+
+  void Observe(double value);
+  Snapshot snapshot() const;
+
+  // Upper bound of bucket `i` (the overflow bucket reports +inf).
+  static double BucketBound(int i);
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot data_{0, 0.0, 0.0, 0.0,
+                 std::vector<int64_t>(kNumBuckets + 1, 0)};
+};
+
+// Named registry of counters/gauges/histograms. Handles returned by
+// counter()/gauge()/histogram() are stable for the registry's lifetime and
+// cheap to update concurrently; snapshotting walks the registry under a
+// lock. RunStats, PerfModel and ServiceStats publish into one of these (see
+// docs/observability.md for the metric-name taxonomy).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  // One "name value" line per metric, sorted by name; histograms report
+  // count/sum/min/max. Meant for logs and quick dumps.
+  std::string TextSnapshot() const;
+
+  // JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void WriteJson(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace proclus::obs
+
+#endif  // PROCLUS_OBS_METRICS_H_

@@ -1,0 +1,223 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace proclus::obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// JSON number formatting: finite, locale-independent, round-trippable for
+// the magnitudes a trace carries (microsecond timestamps, modeled seconds).
+void AppendDouble(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    *out += "0";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+void AppendArgs(std::string* out, const std::vector<TraceArg>& args) {
+  *out += "\"args\":{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += '"';
+    *out += JsonEscape(args[i].name);
+    *out += "\":";
+    switch (args[i].kind) {
+      case TraceArg::Kind::kInt: {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%" PRId64, args[i].int_value);
+        *out += buf;
+        break;
+      }
+      case TraceArg::Kind::kDouble:
+        AppendDouble(out, args[i].double_value);
+        break;
+      case TraceArg::Kind::kString:
+        *out += '"';
+        *out += JsonEscape(args[i].string_value);
+        *out += '"';
+        break;
+    }
+  }
+  *out += '}';
+}
+
+void AppendEvent(std::string* out, const TraceEvent& event) {
+  *out += "{\"name\":\"";
+  *out += JsonEscape(event.name);
+  *out += "\",\"cat\":\"";
+  *out += JsonEscape(event.category);
+  *out += "\",\"ph\":\"";
+  *out += event.phase;
+  *out += "\",\"pid\":1,\"tid\":";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d", event.tid);
+  *out += buf;
+  *out += ",\"ts\":";
+  AppendDouble(out, event.ts_us);
+  if (event.phase == 'X') {
+    *out += ",\"dur\":";
+    AppendDouble(out, event.dur_us);
+  }
+  if (event.phase == 'i') *out += ",\"s\":\"t\"";
+  *out += ',';
+  AppendArgs(out, event.args);
+  *out += '}';
+}
+
+}  // namespace
+
+int TraceRecorder::CurrentTid() {
+  const std::thread::id id = std::this_thread::get_id();
+  const auto it = thread_tids_.find(id);
+  if (it != thread_tids_.end()) return it->second;
+  const int tid = next_tid_++;
+  thread_tids_.emplace(id, tid);
+  return tid;
+}
+
+void TraceRecorder::AddComplete(const std::string& name,
+                                const std::string& category, double ts_us,
+                                double dur_us, std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent& event = events_.emplace_back();
+  event.name = name;
+  event.category = category;
+  event.phase = 'X';
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = CurrentTid();
+  event.args = std::move(args);
+}
+
+void TraceRecorder::AddCompleteOnTrack(int track, const std::string& name,
+                                       const std::string& category,
+                                       double ts_us, double dur_us,
+                                       std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent& event = events_.emplace_back();
+  event.name = name;
+  event.category = category;
+  event.phase = 'X';
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = track;
+  event.args = std::move(args);
+}
+
+void TraceRecorder::AddInstant(const std::string& name,
+                               const std::string& category,
+                               std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  const double now = NowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent& event = events_.emplace_back();
+  event.name = name;
+  event.category = category;
+  event.phase = 'i';
+  event.ts_us = now;
+  event.tid = CurrentTid();
+  event.args = std::move(args);
+}
+
+int TraceRecorder::RegisterTrack(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int track = next_track_++;
+  named_tracks_.emplace_back(track, name);
+  return track;
+}
+
+int64_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(events_.size());
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void TraceRecorder::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string buffer;
+  buffer.reserve(events_.size() * 160 + 1024);
+  buffer += "{\"traceEvents\":[";
+  bool first = true;
+  auto metadata = [&](int tid, const char* kind, const std::string& value) {
+    if (!first) buffer += ',';
+    first = false;
+    buffer += "{\"name\":\"";
+    buffer += kind;
+    buffer += "\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", tid);
+    buffer += buf;
+    buffer += ",\"args\":{\"name\":\"";
+    buffer += JsonEscape(value);
+    buffer += "\"}}";
+  };
+  metadata(0, "process_name", "proclus");
+  for (const auto& [track, name] : named_tracks_) {
+    metadata(track, "thread_name", name);
+  }
+  for (const TraceEvent& event : events_) {
+    if (!first) buffer += ',';
+    first = false;
+    AppendEvent(&buffer, event);
+  }
+  buffer += "],\"displayTimeUnit\":\"ms\"}\n";
+  out << buffer;
+}
+
+Status TraceRecorder::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open trace file for writing: " + path);
+  }
+  WriteJson(out);
+  if (!out.good()) return Status::IoError("trace write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace proclus::obs

@@ -1,0 +1,184 @@
+#ifndef PROCLUS_OBS_TRACE_H_
+#define PROCLUS_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace proclus::obs {
+
+// Escapes `s` for embedding in a JSON string literal (quotes not included).
+std::string JsonEscape(const std::string& s);
+
+// One key/value argument attached to a trace event ("args" in the Chrome
+// trace_event format).
+struct TraceArg {
+  enum class Kind { kInt, kDouble, kString };
+
+  std::string name;
+  Kind kind = Kind::kInt;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+
+  static TraceArg Int(std::string name, int64_t value) {
+    TraceArg arg;
+    arg.name = std::move(name);
+    arg.kind = Kind::kInt;
+    arg.int_value = value;
+    return arg;
+  }
+  static TraceArg Double(std::string name, double value) {
+    TraceArg arg;
+    arg.name = std::move(name);
+    arg.kind = Kind::kDouble;
+    arg.double_value = value;
+    return arg;
+  }
+  static TraceArg Str(std::string name, std::string value) {
+    TraceArg arg;
+    arg.name = std::move(name);
+    arg.kind = Kind::kString;
+    arg.string_value = std::move(value);
+    return arg;
+  }
+};
+
+// One recorded event. `phase` uses the Chrome trace_event phase letters:
+// 'X' = complete (ts + dur), 'i' = instant.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int tid = 0;
+  std::vector<TraceArg> args;
+};
+
+// Thread-safe recorder of Chrome trace_event JSON ("catapult" format), the
+// format chrome://tracing and ui.perfetto.dev load directly. Spans carry
+// wall-clock durations; the simulated device additionally emits per-kernel
+// events on a synthetic "device" track whose durations are the *modeled*
+// kernel seconds (docs/observability.md describes the span taxonomy).
+//
+// Cost model: instrumentation sites hold a `TraceRecorder*` that is null (or
+// a recorder with recording disabled) when tracing is off, so a disabled
+// site costs one branch — no clock read, no allocation, no lock.
+class TraceRecorder {
+ public:
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  // Microseconds since the recorder was constructed (the trace epoch).
+  double NowMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  // Records a complete ('X') event on the calling thread's track.
+  void AddComplete(const std::string& name, const std::string& category,
+                   double ts_us, double dur_us, std::vector<TraceArg> args = {});
+
+  // Records a complete event on an explicit track (see RegisterTrack).
+  void AddCompleteOnTrack(int track, const std::string& name,
+                          const std::string& category, double ts_us,
+                          double dur_us, std::vector<TraceArg> args = {});
+
+  // Records an instant ('i') event on the calling thread's track.
+  void AddInstant(const std::string& name, const std::string& category,
+                  std::vector<TraceArg> args = {});
+
+  // Creates a named synthetic track (rendered like a thread in the viewer)
+  // and returns its tid. Used for the simulated device's modeled timeline.
+  int RegisterTrack(const std::string& name);
+
+  int64_t event_count() const;
+
+  // Copy of the recorded events, in recording order. For tests.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Writes the full trace as Chrome trace_event JSON:
+  //   {"traceEvents":[...], "displayTimeUnit":"ms"}
+  // including process/thread metadata events naming the tracks.
+  void WriteJson(std::ostream& out) const;
+
+  // WriteJson to `path`. IoError on failure.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  int CurrentTid();
+
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{true};
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, int> thread_tids_;
+  std::vector<std::pair<int, std::string>> named_tracks_;
+  int next_tid_ = 1;
+  // Synthetic tracks count down from here so they sort after real threads.
+  int next_track_ = 1000;
+};
+
+// RAII span: records a complete event covering its lifetime. Null recorder
+// (or recording disabled) makes construction and destruction near-free.
+// Arguments added with AddArg are attached when the span ends.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, const char* name, const char* category)
+      : recorder_(Active(recorder)), name_(name), category_(category) {
+    if (recorder_ != nullptr) start_us_ = recorder_->NowMicros();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { End(); }
+
+  bool active() const { return recorder_ != nullptr; }
+
+  void AddArg(TraceArg arg) {
+    if (recorder_ != nullptr) args_.push_back(std::move(arg));
+  }
+
+  // Ends the span now (idempotent; the destructor calls it otherwise).
+  void End() {
+    if (recorder_ == nullptr) return;
+    recorder_->AddComplete(name_, category_, start_us_,
+                           recorder_->NowMicros() - start_us_,
+                           std::move(args_));
+    recorder_ = nullptr;
+  }
+
+ private:
+  static TraceRecorder* Active(TraceRecorder* recorder) {
+    return recorder != nullptr && recorder->enabled() ? recorder : nullptr;
+  }
+
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* category_;
+  double start_us_ = 0.0;
+  std::vector<TraceArg> args_;
+};
+
+}  // namespace proclus::obs
+
+#endif  // PROCLUS_OBS_TRACE_H_

@@ -42,10 +42,11 @@ struct JobSpec {
   std::string dataset_id;
 
   core::ProclusParams params;
-  // Backend/strategy/knobs for the run. `device`, `pool` and `cancel` must
-  // be left null: the service owns the long-lived resources and the stop
-  // signal. With backend kMultiCore and num_threads == 0 the job runs on
-  // the service's shared compute pool.
+  // Backend/strategy/knobs for the run. `device`, `pool`, `cancel` and
+  // `trace` must be left null: the service owns the long-lived resources,
+  // the stop signal, and the trace recorder (ServiceOptions.trace). With
+  // backend kMultiCore and num_threads == 0 the job runs on the service's
+  // shared compute pool.
   core::ClusterOptions options;
 
   // kSweep only: the (k,l) settings and the reuse level between them.
@@ -56,6 +57,10 @@ struct JobSpec {
   // Deadline measured from submission, covering queue wait + execution.
   // 0 = use the service default; the default 0 means no deadline.
   double timeout_seconds = 0.0;
+  // When the service has a trace recorder (ServiceOptions.trace), this job
+  // participates in it: queue-wait and run spans plus the run's driver /
+  // backend / device events. Set false to keep a job out of the trace.
+  bool trace = true;
 
   // Named constructors for the two kinds.
   static JobSpec Single(const data::Matrix& data,

@@ -130,6 +130,21 @@ struct Job {
   parallel::CancellationToken token;
   std::chrono::steady_clock::time_point submit_time;
   std::shared_ptr<SharedStats> stats;
+  // Service recorder when tracing is on for this job; null otherwise. The
+  // submit timestamp (recorder micros) anchors the queue-wait span.
+  obs::TraceRecorder* trace = nullptr;
+  double submit_ts_us = 0.0;
+
+  // Emits the span covering time spent waiting in the queue, ending now.
+  // `outcome` is "run" when a worker picked the job up, else the reason it
+  // never ran.
+  void TraceQueueWait(const char* outcome) {
+    if (trace == nullptr || !trace->enabled()) return;
+    trace->AddComplete("job.queue_wait", "service", submit_ts_us,
+                       trace->NowMicros() - submit_ts_us,
+                       {obs::TraceArg::Int("job", static_cast<int64_t>(id)),
+                        obs::TraceArg::Str("outcome", outcome)});
+  }
 
   std::mutex mutex;
   std::condition_variable cv;
@@ -177,6 +192,7 @@ void JobHandle::Cancel() {
     // Still waiting for a worker: finish right here; the worker skips the
     // job when it eventually pops it.
     job_->result.queue_seconds = SecondsSince(job_->submit_time);
+    job_->TraceQueueWait("cancelled");
     job_->FinishLocked(Status::Cancelled("cancelled while queued"));
     job_->stats->CountTerminal(job_->result.status);
   }
@@ -227,10 +243,10 @@ Status ProclusService::Submit(JobSpec spec, JobHandle* handle) {
   }
   *handle = JobHandle();
   if (spec.options.device != nullptr || spec.options.pool != nullptr ||
-      spec.options.cancel != nullptr) {
+      spec.options.cancel != nullptr || spec.options.trace != nullptr) {
     return Status::InvalidArgument(
-        "options.device/pool/cancel are owned by the service; leave them "
-        "null");
+        "options.device/pool/cancel/trace are owned by the service; leave "
+        "them null");
   }
   PROCLUS_RETURN_NOT_OK(spec.options.Validate());
   if (spec.timeout_seconds < 0.0) {
@@ -277,6 +293,10 @@ Status ProclusService::Submit(JobSpec spec, JobHandle* handle) {
   job->pinned = std::move(pinned);
   job->stats = stats_;
   job->submit_time = std::chrono::steady_clock::now();
+  if (options_.trace != nullptr && job->spec.trace) {
+    job->trace = options_.trace;
+    job->submit_ts_us = options_.trace->NowMicros();
+  }
   const double timeout = job->spec.timeout_seconds > 0.0
                              ? job->spec.timeout_seconds
                              : options_.default_timeout_seconds;
@@ -304,6 +324,18 @@ Status ProclusService::Submit(JobSpec spec, JobHandle* handle) {
         std::max(stats_->queue_depth_high_water, depth + 1);
   }
   work_available_.notify_one();
+  if (job->trace != nullptr && job->trace->enabled()) {
+    job->trace->AddInstant(
+        "job.submitted", "service",
+        {obs::TraceArg::Int("job", static_cast<int64_t>(job->id)),
+         obs::TraceArg::Str("kind", job->spec.kind == JobKind::kSingle
+                                        ? "single"
+                                        : "sweep"),
+         obs::TraceArg::Str("priority",
+                            job->spec.priority == JobPriority::kInteractive
+                                ? "interactive"
+                                : "bulk")});
+  }
   *handle = JobHandle(std::move(job));
   return Status::OK();
 }
@@ -346,6 +378,9 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
     if (!queued_status.ok()) {
       // Cancelled or deadline elapsed before a worker got to it. Count
       // before FinishLocked so stats() is consistent once Wait() returns.
+      job->TraceQueueWait(queued_status.code() == StatusCode::kCancelled
+                              ? "cancelled"
+                              : "timed_out");
       stats_->CountTerminal(queued_status);
       job->FinishLocked(queued_status);
       return;
@@ -353,9 +388,15 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
     job->phase = JobPhase::kRunning;
     job->result.start_sequence = stats_->next_start_sequence++;
   }
+  job->TraceQueueWait("run");
+  obs::TraceSpan run_span(job->trace, "job.run", "service");
+  run_span.AddArg(obs::TraceArg::Int("job", static_cast<int64_t>(job->id)));
+  run_span.AddArg(obs::TraceArg::Str(
+      "kind", spec.kind == JobKind::kSingle ? "single" : "sweep"));
 
   core::ClusterOptions merged = spec.options;
   merged.cancel = &job->token;
+  merged.trace = job->trace;
   DevicePool::Lease lease;
   if (merged.backend == core::ComputeBackend::kGpu) {
     lease = device_pool_->Acquire();
@@ -396,8 +437,18 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
   if (lease.device != nullptr) {
     modeled_gpu_seconds = lease.device->modeled_seconds();
     warm_device = lease.warm;
+    // Cluster/RunMultiParam already detached the recorder from the device;
+    // make sure of it before the device returns to the pool.
+    lease.device->set_trace(nullptr);
     device_pool_->Release(lease.device);
   }
+  run_span.AddArg(
+      obs::TraceArg::Str("outcome", JobPhaseName(PhaseForStatus(status))));
+  if (modeled_gpu_seconds > 0.0) {
+    run_span.AddArg(
+        obs::TraceArg::Double("modeled_gpu_ms", modeled_gpu_seconds * 1e3));
+  }
+  run_span.End();
 
   // Update the aggregate counters first: once FinishLocked runs, Wait()
   // returns and the caller may immediately read stats().
@@ -428,6 +479,27 @@ void ProclusService::Shutdown() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+}
+
+void ProclusService::PublishMetrics(obs::MetricsRegistry* registry,
+                                    const std::string& prefix) const {
+  PROCLUS_CHECK(registry != nullptr);
+  const ServiceStats snap = stats();
+  const auto set = [&](const char* name, double value) {
+    registry->gauge(prefix + "." + name)->Set(value);
+  };
+  set("submitted", static_cast<double>(snap.submitted));
+  set("rejected", static_cast<double>(snap.rejected));
+  set("completed", static_cast<double>(snap.completed));
+  set("failed", static_cast<double>(snap.failed));
+  set("cancelled", static_cast<double>(snap.cancelled));
+  set("timed_out", static_cast<double>(snap.timed_out));
+  set("queue_depth_high_water",
+      static_cast<double>(snap.queue_depth_high_water));
+  set("device_acquires", static_cast<double>(snap.device_acquires));
+  set("device_reuse_hits", static_cast<double>(snap.device_reuse_hits));
+  set("exec_seconds_total", snap.exec_seconds_total);
+  set("modeled_gpu_seconds_total", snap.modeled_gpu_seconds_total);
 }
 
 ServiceStats ProclusService::stats() const {

@@ -11,6 +11,8 @@
 
 #include "common/status.h"
 #include "data/matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "service/device_pool.h"
 #include "service/job.h"
@@ -37,6 +39,11 @@ struct ServiceOptions {
   double default_timeout_seconds = 0.0;
   // Construct the GPU devices up front so the first job already runs warm.
   bool prewarm_devices = true;
+  // Structured tracing for the whole service: jobs with JobSpec::trace set
+  // record their lifecycle (queue-wait and run spans, category "service")
+  // plus the run's driver/backend/device events into this recorder. Must
+  // outlive the service. Null disables tracing.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 // Aggregate service counters. Snapshot via ProclusService::stats().
@@ -96,6 +103,11 @@ class ProclusService {
 
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
+
+  // Publishes a stats() snapshot into `registry` as gauges named
+  // "<prefix>.submitted", "<prefix>.completed", ... (docs/observability.md).
+  void PublishMetrics(obs::MetricsRegistry* registry,
+                      const std::string& prefix = "service") const;
 
  private:
   void WorkerLoop();

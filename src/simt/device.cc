@@ -76,6 +76,32 @@ void Device::EndConcurrentRegion() {
   perf_model_.AdjustTotal(longest - sum);
 }
 
+void Device::set_trace(obs::TraceRecorder* trace) {
+  trace_ = trace;
+  trace_track_ = -1;  // lazily (re-)registered against the new recorder
+}
+
+void Device::TraceDeviceEvent(const char* name, const char* category,
+                              double seconds,
+                              std::vector<obs::TraceArg> args) {
+  if (trace_ == nullptr || !trace_->enabled()) return;
+  if (trace_track_ < 0) {
+    trace_track_ = trace_->RegisterTrack(std::string("device:") + props_.name);
+  }
+  const double dur_us = seconds * 1e6;
+  const double start_us = std::max(trace_cursor_us_, trace_->NowMicros());
+  trace_cursor_us_ = start_us + dur_us;
+  trace_->AddCompleteOnTrack(trace_track_, name, category, start_us, dur_us,
+                             std::move(args));
+}
+
+void Device::TraceTransfer(const char* name, double bytes, double seconds) {
+  if (trace_ == nullptr || !trace_->enabled()) return;
+  TraceDeviceEvent(name, "transfer", seconds,
+                   {obs::TraceArg::Double("bytes", bytes),
+                    obs::TraceArg::Double("modeled_ms", seconds * 1e3)});
+}
+
 void Device::Launch(const char* name, LaunchConfig cfg,
                     const WorkEstimate& work,
                     const std::function<void(BlockContext&)>& body) {
@@ -85,6 +111,20 @@ void Device::Launch(const char* name, LaunchConfig cfg,
   const double seconds =
       perf_model_.RecordLaunch(name, cfg.grid_dim, cfg.block_dim, work);
   if (in_region_) stream_seconds_[current_stream_] += seconds;
+  if (trace_ != nullptr && trace_->enabled()) {
+    const OccupancyInfo occ =
+        perf_model_.ComputeOccupancy(cfg.grid_dim, cfg.block_dim);
+    TraceDeviceEvent(
+        name, "kernel", seconds,
+        {obs::TraceArg::Double("modeled_ms", seconds * 1e3),
+         obs::TraceArg::Int("grid_dim", cfg.grid_dim),
+         obs::TraceArg::Int("block_dim", cfg.block_dim),
+         obs::TraceArg::Double("flops", work.flops),
+         obs::TraceArg::Double("bytes", work.bytes),
+         obs::TraceArg::Double("atomics", work.atomics),
+         obs::TraceArg::Double("theoretical_occupancy", occ.theoretical),
+         obs::TraceArg::Double("achieved_occupancy", occ.achieved)});
+  }
   if (cfg.grid_dim == 0) return;
   if (pool_.num_threads() == 1 || cfg.grid_dim == 1) {
     // Single host worker: run blocks in order on the calling thread. This is

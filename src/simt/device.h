@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "simt/device_properties.h"
 #include "simt/perf_model.h"
@@ -129,13 +130,17 @@ class Device {
   void CopyToDevice(T* dst, const T* src, int64_t count) {
     const size_t bytes = static_cast<size_t>(count) * sizeof(T);
     std::memcpy(dst, src, bytes);
-    perf_model_.RecordTransfer(static_cast<double>(bytes));
+    const double seconds =
+        perf_model_.RecordTransfer(static_cast<double>(bytes));
+    TraceTransfer("copy_to_device", static_cast<double>(bytes), seconds);
   }
   template <typename T>
   void CopyToHost(T* dst, const T* src, int64_t count) {
     const size_t bytes = static_cast<size_t>(count) * sizeof(T);
     std::memcpy(dst, src, bytes);
-    perf_model_.RecordTransfer(static_cast<double>(bytes));
+    const double seconds =
+        perf_model_.RecordTransfer(static_cast<double>(bytes));
+    TraceTransfer("copy_to_host", static_cast<double>(bytes), seconds);
   }
 
   size_t allocated_bytes() const { return allocated_bytes_; }
@@ -181,8 +186,27 @@ class Device {
   double modeled_seconds() const { return perf_model_.modeled_seconds(); }
   void ResetStats() { perf_model_.Reset(); }
 
+  // --- Tracing --------------------------------------------------------------
+
+  // Attaches a trace recorder. Every Launch then emits one complete event on
+  // a synthetic "device:<name>" track, carrying the modeled seconds,
+  // occupancy and byte/flop figures as args; host<->device copies emit
+  // transfer events on the same track. The recorder must outlive the device
+  // or be detached with set_trace(nullptr). The harness (Cluster, the
+  // service) manages this pointer around runs — it is cleared when a traced
+  // run finishes.
+  void set_trace(obs::TraceRecorder* trace);
+  obs::TraceRecorder* trace() const { return trace_; }
+
  private:
   char* AllocBytes(size_t bytes, size_t alignment);
+
+  // Emits a trace event on the device track spanning `seconds` of modeled
+  // time starting at the device's modeled-time cursor, so back-to-back
+  // kernels render without overlap. No-op when tracing is off.
+  void TraceDeviceEvent(const char* name, const char* category, double seconds,
+                        std::vector<obs::TraceArg> args);
+  void TraceTransfer(const char* name, double bytes, double seconds);
 
   DeviceProperties props_;
   parallel::ThreadPool pool_;
@@ -201,6 +225,12 @@ class Device {
   bool in_region_ = false;
   int current_stream_ = 0;
   std::vector<double> stream_seconds_;
+
+  // Tracing state. The cursor is the wall-clock microsecond at which the
+  // next device event may start; it only moves forward.
+  obs::TraceRecorder* trace_ = nullptr;
+  int trace_track_ = -1;
+  double trace_cursor_us_ = 0.0;
 };
 
 }  // namespace proclus::simt

@@ -6,18 +6,38 @@
 
 namespace proclus::simt {
 
+Status PerfModel::ValidateLaunch(int64_t grid_dim, int block_dim) const {
+  if (grid_dim < 0) {
+    return Status::InvalidArgument("grid_dim must be non-negative, got " +
+                                   std::to_string(grid_dim));
+  }
+  if (!IsLaunchable(block_dim)) {
+    return Status::InvalidArgument(
+        "block_dim " + std::to_string(block_dim) + " is not launchable on " +
+        props_.name + " (max_threads_per_block=" +
+        std::to_string(props_.max_threads_per_block) + ")");
+  }
+  return Status::OK();
+}
+
 OccupancyInfo PerfModel::ComputeOccupancy(int64_t grid_dim,
                                           int block_dim) const {
   OccupancyInfo info;
-  if (grid_dim <= 0 || block_dim <= 0) return info;
+  if (grid_dim <= 0 || !IsLaunchable(block_dim)) return info;
   const int warps_per_block =
       (block_dim + props_.warp_size - 1) / props_.warp_size;
+  // A launchable block always gets at least one residency slot, even when
+  // its warp count exceeds max_warps_per_sm (the block then runs alone and
+  // oversubscribes the SM's schedulers). The earlier floor of zero here made
+  // such configs report zero occupancy, which inflated modeled times by the
+  // 1e-6 occupancy fallback (~10^6x) instead of rejecting or pricing them.
   int blocks_per_sm = props_.max_warps_per_sm / warps_per_block;
   blocks_per_sm = std::min(blocks_per_sm, props_.max_blocks_per_sm);
-  blocks_per_sm = std::max(blocks_per_sm, 0);
+  blocks_per_sm = std::max(blocks_per_sm, 1);
   const int resident_warps_per_sm = blocks_per_sm * warps_per_block;
-  info.theoretical = static_cast<double>(resident_warps_per_sm) /
-                     static_cast<double>(props_.max_warps_per_sm);
+  info.theoretical =
+      std::min(1.0, static_cast<double>(resident_warps_per_sm) /
+                        static_cast<double>(props_.max_warps_per_sm));
   // Achieved occupancy: total warps in the grid spread over all SMs, capped
   // by the theoretical per-SM limit.
   const double total_warps = static_cast<double>(grid_dim) * warps_per_block;
@@ -29,6 +49,7 @@ OccupancyInfo PerfModel::ComputeOccupancy(int64_t grid_dim,
 
 double PerfModel::EstimateSeconds(int64_t grid_dim, int block_dim,
                                   const WorkEstimate& work) const {
+  PROCLUS_CHECK(block_dim == 0 || IsLaunchable(block_dim));
   const OccupancyInfo occ = ComputeOccupancy(grid_dim, block_dim);
   // A grid that cannot keep the device busy only reaches a fraction of the
   // peak arithmetic throughput.
@@ -47,7 +68,7 @@ double PerfModel::EstimateSeconds(int64_t grid_dim, int block_dim,
 
 double PerfModel::RecordLaunch(const std::string& name, int64_t grid_dim,
                                int block_dim, const WorkEstimate& work) {
-  PROCLUS_CHECK(grid_dim >= 0 && block_dim >= 0);
+  PROCLUS_CHECK(ValidateLaunch(grid_dim, block_dim).ok());
   const double seconds = EstimateSeconds(grid_dim, block_dim, work);
   KernelRecord& rec = records_[name];
   rec.name = name;
@@ -84,6 +105,25 @@ std::vector<KernelRecord> PerfModel::KernelRecords() const {
               return a.modeled_seconds > b.modeled_seconds;
             });
   return out;
+}
+
+void PerfModel::PublishMetrics(obs::MetricsRegistry* registry,
+                               const std::string& prefix) const {
+  PROCLUS_CHECK(registry != nullptr);
+  registry->gauge(prefix + ".modeled_seconds")->Set(modeled_seconds_);
+  registry->gauge(prefix + ".transfer_seconds")->Set(transfer_seconds_);
+  registry->gauge(prefix + ".total_launches")
+      ->Set(static_cast<double>(total_launches_));
+  for (const auto& [name, rec] : records_) {
+    const std::string base = prefix + ".kernel." + name;
+    registry->gauge(base + ".launches")
+        ->Set(static_cast<double>(rec.launches));
+    registry->gauge(base + ".modeled_seconds")->Set(rec.modeled_seconds);
+    registry->gauge(base + ".bytes")->Set(rec.total_bytes);
+    registry->gauge(base + ".flops")->Set(rec.total_flops);
+    registry->gauge(base + ".achieved_occupancy")
+        ->Set(rec.last_occupancy.achieved);
+  }
 }
 
 void PerfModel::Reset() {

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+#include "obs/metrics.h"
 #include "simt/device_properties.h"
 
 namespace proclus::simt {
@@ -60,6 +62,21 @@ class PerfModel {
 
   const DeviceProperties& properties() const { return props_; }
 
+  // True when a block of `block_dim` threads can launch on this device at
+  // all (1 <= block_dim <= max_threads_per_block). A launchable block always
+  // has at least one resident block per SM, even when its warps exceed the
+  // SM's warp capacity — on real hardware the block simply runs alone.
+  bool IsLaunchable(int block_dim) const {
+    return block_dim >= 1 && block_dim <= props_.max_threads_per_block;
+  }
+
+  // InvalidArgument (with the offending figures) for configs the device
+  // could never launch; OK otherwise. EstimateSeconds/RecordLaunch CHECK
+  // this, so callers that take untrusted configs should validate first.
+  Status ValidateLaunch(int64_t grid_dim, int block_dim) const;
+
+  // Occupancy for a launchable config. Unlaunchable block sizes report zero
+  // occupancy (use ValidateLaunch to reject them with an error instead).
   OccupancyInfo ComputeOccupancy(int64_t grid_dim, int block_dim) const;
 
   // Estimated execution time in seconds for one launch.
@@ -84,6 +101,12 @@ class PerfModel {
 
   // Kernel records sorted by descending modeled time.
   std::vector<KernelRecord> KernelRecords() const;
+
+  // Publishes the accumulated figures into `registry` as gauges named
+  // "<prefix>.modeled_seconds", "<prefix>.kernel.<name>.launches", ... (see
+  // docs/observability.md for the full taxonomy).
+  void PublishMetrics(obs::MetricsRegistry* registry,
+                      const std::string& prefix = "simt") const;
 
   void Reset();
 

@@ -3,9 +3,12 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "testing/minijson.h"
 
 namespace proclus::bench {
 namespace {
@@ -96,6 +99,38 @@ TEST(TablePrinterTest, ShortRowsArePadded) {
   TablePrinter table("padding", {"a", "b", "c"});
   table.AddRow({"only"});
   table.Print();  // must not crash
+}
+
+TEST(TablePrinterTest, WritesJsonMirror) {
+  std::error_code ec;
+  std::filesystem::remove_all("bench_results", ec);
+  {
+    TablePrinter table("json \"quoted\" table", {"kernel", "modeled_time"},
+                      "harness_test_json");
+    table.AddRow({"assign", "1.5 ms"});
+    table.Print();
+  }
+  std::ifstream in("bench_results/BENCH_harness_test_json.json");
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  proclus::testing::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(proclus::testing::ParseJson(buffer.str(), &root, &error))
+      << error;
+  EXPECT_EQ(root.Find("title")->string_value, "json \"quoted\" table");
+  ASSERT_TRUE(root.Find("columns")->is_array());
+  EXPECT_EQ(root.Find("columns")->array_value[0].string_value, "kernel");
+  ASSERT_EQ(root.Find("rows")->array_value.size(), 1u);
+  EXPECT_EQ(root.Find("rows")->array_value[0].array_value[1].string_value,
+            "1.5 ms");
+  std::filesystem::remove_all("bench_results", ec);
+}
+
+TEST(TablePrinterTest, JsonQuoteEscapes) {
+  EXPECT_EQ(TablePrinter::JsonQuote("plain"), "plain");
+  EXPECT_EQ(TablePrinter::JsonQuote("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(TablePrinter::JsonQuote("a\nb"), "a\\u000ab");
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include "data/generator.h"
 #include "data/io.h"
+#include "testing/minijson.h"
 
 namespace proclus::cli {
 namespace {
@@ -216,6 +217,85 @@ TEST_F(RunCliTest, BatchSweepSharesWork) {
   std::ostringstream out;
   ASSERT_TRUE(RunCli(config, out).ok());
   EXPECT_NE(out.str().find("1 completed"), std::string::npos);
+}
+
+TEST(ParseArgsTest, TraceOutAcceptsBothForms) {
+  CliConfig config;
+  ASSERT_TRUE(
+      Parse({"--generate", "100,5,2", "--trace-out", "t.json"}, &config).ok());
+  EXPECT_EQ(config.trace_out_path, "t.json");
+  CliConfig eq_form;
+  ASSERT_TRUE(
+      Parse({"--generate", "100,5,2", "--trace-out=u.json"}, &eq_form).ok());
+  EXPECT_EQ(eq_form.trace_out_path, "u.json");
+  CliConfig empty;
+  EXPECT_FALSE(Parse({"--generate", "100,5,2", "--trace-out="}, &empty).ok());
+  CliConfig missing;
+  EXPECT_FALSE(Parse({"--generate", "100,5,2", "--trace-out"}, &missing).ok());
+}
+
+TEST_F(RunCliTest, TraceOutWritesValidChromeTrace) {
+  CliConfig config;
+  ASSERT_TRUE(Parse({"--generate", "800,8,3", "--k", "3", "--l", "4", "--A",
+                     "20", "--B", "5", "--backend", "gpu", "--trace-out",
+                     Path("trace.json").c_str()},
+                    &config)
+                  .ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(config, out).ok());
+  EXPECT_NE(out.str().find("trace written to"), std::string::npos);
+
+  std::ifstream in(Path("trace.json"));
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  proclus::testing::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(proclus::testing::ParseJson(buffer.str(), &root, &error))
+      << error;
+  const auto* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool saw_driver_span = false;
+  bool saw_kernel_event = false;
+  for (const auto& event : events->array_value) {
+    const auto* cat = event.Find("cat");
+    if (cat == nullptr) continue;
+    if (cat->string_value == "driver") saw_driver_span = true;
+    if (cat->string_value == "kernel") saw_kernel_event = true;
+  }
+  EXPECT_TRUE(saw_driver_span);
+  EXPECT_TRUE(saw_kernel_event);
+}
+
+TEST_F(RunCliTest, ExploreModeTracesEverySetting) {
+  CliConfig config;
+  ASSERT_TRUE(Parse({"--generate", "600,8,3", "--k", "4", "--l", "3", "--A",
+                     "15", "--B", "4", "--explore", "--backend", "cpu",
+                     "--trace-out", Path("explore.json").c_str()},
+                    &config)
+                  .ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(config, out).ok());
+  std::ifstream in(Path("explore.json"));
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  proclus::testing::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(proclus::testing::ParseJson(buffer.str(), &root, &error))
+      << error;
+  // One "iterative" driver span per grid setting.
+  int iterative_spans = 0;
+  for (const auto& event : root.Find("traceEvents")->array_value) {
+    const auto* name = event.Find("name");
+    const auto* cat = event.Find("cat");
+    if (name != nullptr && cat != nullptr && cat->string_value == "driver" &&
+        name->string_value == "iterative") {
+      ++iterative_spans;
+    }
+  }
+  EXPECT_GT(iterative_spans, 1);
 }
 
 TEST(ParseArgsBatchTest, BatchFlagsRequireBatchMode) {

@@ -6,15 +6,21 @@
 // clustering. These parameterized tests sweep seeds, shapes and parameters
 // and compare every variant against the single-core baseline.
 
+#include <numeric>
 #include <string>
 #include <tuple>
 
 #include <gtest/gtest.h>
 
 #include "core/api.h"
+#include "core/cpu_backend.h"
+#include "core/executor.h"
+#include "core/gpu_backend.h"
 #include "data/generator.h"
+#include "data/matrix.h"
 #include "data/normalize.h"
 #include "eval/validate.h"
+#include "simt/device.h"
 
 namespace proclus::core {
 namespace {
@@ -187,6 +193,61 @@ TEST(EquivalenceEdgeTest, HighPatienceLongRunsAgree) {
   gpu_fast.strategy = Strategy::kFast;
   ExpectSameClustering(baseline, ClusterOrDie(ds.points, params, gpu_fast),
                        "GPU-FAST long run");
+}
+
+TEST(EquivalenceEdgeTest, GreedySelectTieBreaksMatchAcrossBackends) {
+  // Duplicated points make the greedy argmax (Algorithm 2) tie constantly:
+  // every copy of a location has the identical min-distance to the chosen
+  // set. The CPU scan keeps the first maximum it sees (smallest candidate
+  // position); the GPU kernel resolves its AtomicMax winner to the smallest
+  // index via AtomicMin. Both must pick the same pool, or downstream
+  // clusterings silently diverge between backends.
+  data::Matrix points(60, 4);
+  for (int64_t r = 0; r < points.rows(); ++r) {
+    // Three distinct locations, copies interleaved across the index range.
+    const float value = static_cast<float>(r % 3);
+    for (int64_t c = 0; c < points.cols(); ++c) points(r, c) = value;
+  }
+  std::vector<int> candidates(points.rows());
+  std::iota(candidates.begin(), candidates.end(), 0);
+
+  SequentialExecutor executor;
+  CpuBackend cpu(points, Strategy::kFast, &executor);
+  simt::Device device;
+  GpuBackend gpu(points, Strategy::kFast, &device);
+  for (const int64_t first : {int64_t{0}, int64_t{7}, int64_t{59}}) {
+    const std::vector<int> cpu_pool =
+        cpu.GreedySelect(candidates, /*pool_size=*/10, first);
+    const std::vector<int> gpu_pool =
+        gpu.GreedySelect(candidates, /*pool_size=*/10, first);
+    EXPECT_EQ(cpu_pool, gpu_pool) << "first=" << first;
+  }
+}
+
+TEST(EquivalenceEdgeTest, DuplicatedPointsFullPipelineAgrees) {
+  // End-to-end version of the tie-break check: cluster a dataset whose
+  // points are heavily duplicated and require identical output everywhere.
+  data::Dataset ds = MakeData({200, 6, 3, 2.0, 0.0}, 17);
+  // Duplicate the first half of the rows onto the second half.
+  for (int64_t r = 0; r < 100; ++r) {
+    for (int64_t c = 0; c < ds.points.cols(); ++c) {
+      ds.points(100 + r, c) = ds.points(r, c);
+    }
+  }
+  ProclusParams params;
+  params.k = 3;
+  params.l = 3;
+  params.a = 15.0;
+  params.b = 4.0;
+  const ProclusResult baseline = ClusterOrDie(ds.points, params);
+  for (const ComputeBackend backend :
+       {ComputeBackend::kMultiCore, ComputeBackend::kGpu}) {
+    ClusterOptions options;
+    options.backend = backend;
+    options.strategy = Strategy::kFast;
+    ExpectSameClustering(baseline, ClusterOrDie(ds.points, params, options),
+                         VariantName(backend, Strategy::kFast));
+  }
 }
 
 }  // namespace

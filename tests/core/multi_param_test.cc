@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/status.h"
 #include "data/generator.h"
+#include "parallel/cancellation.h"
 #include "data/normalize.h"
 #include "eval/validate.h"
 
@@ -36,12 +38,45 @@ std::vector<ParamSetting> TestSettings() {
 }
 
 TEST(MultiParamTest, DefaultGridHasNineCombinations) {
-  const auto grid = DefaultSettingsGrid(BaseParams());
+  const auto grid = DefaultSettingsGrid(BaseParams(), /*dims=*/10);
   EXPECT_EQ(grid.size(), 9u);
   for (const auto& s : grid) {
     EXPECT_GE(s.k, 1);
     EXPECT_GE(s.l, 2);
   }
+}
+
+TEST(MultiParamTest, DefaultGridDropsDuplicatesFromClamping) {
+  // Regression: with k <= 2 the k-2 neighbor clamps onto k=1 ranges, and
+  // with l = 2 the l-1 neighbor clamps onto l itself; the grid used to
+  // return those collapsed combinations twice, so sweeps ran (and reported)
+  // the same setting more than once.
+  ProclusParams base = BaseParams();
+  base.k = 2;  // k candidates {0, 2, 4} -> clamped {1, 2, 4}
+  base.l = 2;  // l candidates {1, 2, 3} -> clamped {2, 2, 3}
+  const auto grid = DefaultSettingsGrid(base, /*dims=*/10);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    for (size_t j = i + 1; j < grid.size(); ++j) {
+      EXPECT_FALSE(grid[i].k == grid[j].k && grid[i].l == grid[j].l)
+          << "duplicate setting {" << grid[i].k << "," << grid[i].l << "}";
+    }
+  }
+  EXPECT_EQ(grid.size(), 6u);  // 3 distinct k x 2 distinct l
+}
+
+TEST(MultiParamTest, DefaultGridClampsLToDataDimensionality) {
+  // Regression: the grid used to emit l values above d, which
+  // ProclusParams::Validate rejects — so DefaultSettingsGrid output could
+  // not be fed to RunMultiParam on low-dimensional data.
+  ProclusParams base = BaseParams();
+  base.l = 5;
+  const auto grid = DefaultSettingsGrid(base, /*dims=*/5);
+  for (const auto& s : grid) {
+    EXPECT_GE(s.l, 2);
+    EXPECT_LE(s.l, 5);
+  }
+  // l candidates {4, 5, 6} clamp to {4, 5, 5}: two distinct l per k.
+  EXPECT_EQ(grid.size(), 6u);
 }
 
 TEST(MultiParamTest, EveryLevelProducesValidResults) {
@@ -200,6 +235,50 @@ TEST(MultiParamTest, RejectsInvalidSetting) {
                    .ok());
   EXPECT_FALSE(
       RunMultiParam(ds.points, BaseParams(), {{5, 4}}, {}, nullptr).ok());
+}
+
+TEST(MultiParamTest, FailedSweepClearsReusedOutput) {
+  // Regression: a failing sweep used to leave `output` holding whatever the
+  // previous successful sweep wrote — including total_seconds, which is only
+  // assigned on success — so callers reusing one MultiParamResult across
+  // sweeps could report stale timings for the failed one.
+  const data::Dataset ds = TestData();
+  MultiParamOptions options;
+  options.reuse = ReuseLevel::kGreedy;
+  MultiParamResult output;
+  ASSERT_TRUE(
+      RunMultiParam(ds.points, BaseParams(), TestSettings(), options, &output)
+          .ok());
+  ASSERT_EQ(output.results.size(), TestSettings().size());
+  ASSERT_GT(output.total_seconds, 0.0);
+
+  // Second sweep fails validation (l = 99 > d).
+  EXPECT_FALSE(
+      RunMultiParam(ds.points, BaseParams(), {{5, 99}}, options, &output)
+          .ok());
+  EXPECT_TRUE(output.results.empty());
+  EXPECT_TRUE(output.setting_seconds.empty());
+  EXPECT_EQ(output.total_seconds, 0.0);
+}
+
+TEST(MultiParamTest, CancelledSweepClearsPartialOutput) {
+  // A sweep stopped mid-way (expired deadline) must not hand back the
+  // settings it did finish: no partial results, no torn timing vectors.
+  const data::Dataset ds = TestData();
+  parallel::CancellationToken cancel;
+  cancel.SetTimeout(1e-9);  // already expired at the first check
+  MultiParamOptions options;
+  options.reuse = ReuseLevel::kGreedy;
+  options.cluster.cancel = &cancel;
+  MultiParamResult output;
+  output.total_seconds = 42.0;  // sentinel: must not survive the failure
+  const Status status =
+      RunMultiParam(ds.points, BaseParams(), TestSettings(), options, &output);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(output.results.empty());
+  EXPECT_TRUE(output.setting_seconds.empty());
+  EXPECT_EQ(output.total_seconds, 0.0);
 }
 
 TEST(MultiParamTest, SettingsReportedInInputOrder) {

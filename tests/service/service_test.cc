@@ -391,6 +391,73 @@ TEST(ServiceTest, ShutdownDrainsAndRejectsNewJobs) {
   service.Shutdown();  // idempotent
 }
 
+TEST(ServiceTest, TracedJobsRecordLifecycleEvents) {
+  const data::Dataset ds = TestData();
+  obs::TraceRecorder trace;
+  ServiceOptions service_options;
+  service_options.num_workers = 1;
+  service_options.trace = &trace;
+  {
+    ProclusService service(service_options);
+    JobHandle traced;
+    ASSERT_TRUE(service
+                    .Submit(JobSpec::Single(ds.points, TestParams(),
+                                            core::ClusterOptions::Cpu()),
+                            &traced)
+                    .ok());
+    JobSpec opt_out = JobSpec::Single(ds.points, TestParams(),
+                                      core::ClusterOptions::Cpu());
+    opt_out.trace = false;
+    JobHandle silent;
+    ASSERT_TRUE(service.Submit(std::move(opt_out), &silent).ok());
+    ASSERT_TRUE(traced.Wait().status.ok());
+    ASSERT_TRUE(silent.Wait().status.ok());
+  }
+
+  int submitted = 0, queue_wait = 0, run = 0;
+  for (const obs::TraceEvent& event : trace.Snapshot()) {
+    if (event.category != "service") continue;
+    if (event.name == "job.submitted") ++submitted;
+    if (event.name == "job.queue_wait") ++queue_wait;
+    if (event.name == "job.run") ++run;
+  }
+  // Only the opted-in job traces its lifecycle.
+  EXPECT_EQ(submitted, 1);
+  EXPECT_EQ(queue_wait, 1);
+  EXPECT_EQ(run, 1);
+}
+
+TEST(ServiceTest, SubmitRejectsCallerProvidedTraceRecorder) {
+  const data::Dataset ds = TestData();
+  obs::TraceRecorder trace;
+  ProclusService service;
+  JobSpec spec =
+      JobSpec::Single(ds.points, TestParams(), core::ClusterOptions::Cpu());
+  spec.options.trace = &trace;
+  JobHandle handle;
+  EXPECT_EQ(service.Submit(std::move(spec), &handle).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceTest, PublishMetricsExportsStatsSnapshot) {
+  const data::Dataset ds = TestData();
+  ProclusService service;
+  JobHandle handle;
+  ASSERT_TRUE(service
+                  .Submit(JobSpec::Single(ds.points, TestParams(),
+                                          core::ClusterOptions::Cpu()),
+                          &handle)
+                  .ok());
+  ASSERT_TRUE(handle.Wait().status.ok());
+  service.Shutdown();
+
+  obs::MetricsRegistry registry;
+  service.PublishMetrics(&registry);
+  EXPECT_DOUBLE_EQ(registry.gauge("service.submitted")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("service.completed")->value(), 1.0);
+  EXPECT_GT(registry.gauge("service.exec_seconds_total")->value(), 0.0);
+}
+
 TEST(ServiceTest, JobPhaseNames) {
   EXPECT_STREQ(JobPhaseName(JobPhase::kQueued), "queued");
   EXPECT_STREQ(JobPhaseName(JobPhase::kRunning), "running");

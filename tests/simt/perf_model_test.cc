@@ -41,6 +41,57 @@ TEST(OccupancyTest, ZeroGridYieldsZero) {
   EXPECT_EQ(occ.achieved, 0.0);
 }
 
+TEST(OccupancyTest, OversizedBlockStillGetsOneResidencySlot) {
+  // Regression: a device whose max_warps_per_sm is smaller than one block's
+  // warp count (here 16 warps/SM vs a 1024-thread = 32-warp block) used to
+  // compute blocks_per_sm = 16/32 = 0 and report zero occupancy, even
+  // though the block is launchable (<= max_threads_per_block). The 1e-6
+  // occupancy fallback in EstimateSeconds then inflated compute-bound
+  // modeled times by ~10^6x. A launchable block must occupy at least one
+  // slot; an oversubscribed SM reports theoretical occupancy 1.0 (capped).
+  DeviceProperties props;
+  props.max_warps_per_sm = 16;
+  props.max_threads_per_block = 1024;
+  PerfModel model(props);
+  const OccupancyInfo occ = model.ComputeOccupancy(1 << 16, 1024);
+  EXPECT_GT(occ.theoretical, 0.0);
+  EXPECT_LE(occ.theoretical, 1.0);
+  EXPECT_GT(occ.achieved, 0.0);
+
+  // The modeled time for a compute-bound kernel must be within a small
+  // factor of the same kernel on a device with full residency, not ~10^6x.
+  DeviceProperties full = props;
+  full.max_warps_per_sm = 32;
+  PerfModel full_model(full);
+  const double constrained =
+      model.EstimateSeconds(1 << 16, 1024, {1e10, 0.0, 0.0});
+  const double unconstrained =
+      full_model.EstimateSeconds(1 << 16, 1024, {1e10, 0.0, 0.0});
+  EXPECT_LT(constrained, 10.0 * unconstrained);
+}
+
+TEST(PerfModelTest, ValidateLaunchRejectsUnlaunchableBlockDim) {
+  PerfModel model = MakeModel();
+  EXPECT_TRUE(model.ValidateLaunch(10, 1024).ok());
+  const Status too_big = model.ValidateLaunch(10, 2048);
+  EXPECT_FALSE(too_big.ok());
+  // The message must name the offending figure and the device limit.
+  EXPECT_NE(too_big.message().find("2048"), std::string::npos);
+  EXPECT_NE(too_big.message().find("1024"), std::string::npos);
+  EXPECT_FALSE(model.ValidateLaunch(10, 0).ok());
+  EXPECT_FALSE(model.ValidateLaunch(10, -32).ok());
+  EXPECT_FALSE(model.ValidateLaunch(-1, 128).ok());
+}
+
+TEST(PerfModelTest, UnlaunchableBlockDimYieldsZeroOccupancy) {
+  // Not-launchable configs are rejected, never priced: ComputeOccupancy
+  // reports zero for them (callers must check ValidateLaunch first).
+  PerfModel model = MakeModel();
+  const OccupancyInfo occ = model.ComputeOccupancy(10, 2048);
+  EXPECT_EQ(occ.theoretical, 0.0);
+  EXPECT_EQ(occ.achieved, 0.0);
+}
+
 TEST(PerfModelTest, LaunchOverheadIsFloor) {
   PerfModel model = MakeModel();
   const double seconds = model.EstimateSeconds(1, 32, {0.0, 0.0, 0.0});

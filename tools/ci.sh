@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 gate (build + full ctest), the ThreadSanitizer
+# pass over the concurrency-sensitive suites (same regex as check.sh, now
+# including the obs tracing/metrics tests), and a trace smoke that runs the
+# CLI with --trace-out and validates the emitted Chrome trace JSON parses.
+#
+#   tools/ci.sh [--skip-tsan] [--skip-smoke]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+SKIP_SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-smoke) SKIP_SMOKE=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier 1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "$SKIP_TSAN" == 1 ]]; then
+  echo "== skipping TSAN pass =="
+else
+  echo "== ThreadSanitizer build (PROCLUS_SANITIZE=thread) =="
+  cmake -B build-tsan -S . -DPROCLUS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j
+  echo "== TSAN: parallel / simt / obs / service suites =="
+  (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
+      -R 'thread_pool_test|cancellation_test|device_test|atomic_test|stream_test|primitives_test|obs_trace_test|obs_metrics_test|service_test|service_stress_test')
+fi
+
+if [[ "$SKIP_SMOKE" == 1 ]]; then
+  echo "== skipping trace smoke =="
+else
+  echo "== trace smoke: proclus_cli --trace-out =="
+  TRACE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$TRACE_DIR"' EXIT
+  ./build/tools/proclus_cli --generate 4000,12,5 --k 5 --l 4 \
+      --trace-out="$TRACE_DIR/trace.json" >/dev/null
+  python3 - "$TRACE_DIR/trace.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert trace.get("displayTimeUnit") == "ms", "missing displayTimeUnit"
+assert events, "empty traceEvents"
+driver = {e["name"] for e in events if e.get("cat") == "driver"}
+for phase in ("init", "greedy", "iterative", "refinement"):
+    assert phase in driver, f"missing driver span: {phase}"
+kernels = [e for e in events if e.get("cat") == "kernel"]
+assert kernels, "no kernel events"
+for e in kernels:
+    assert "modeled_ms" in e.get("args", {}), f"kernel without modeled_ms: {e}"
+print(f"trace smoke OK: {len(events)} events, {len(kernels)} kernel launches")
+EOF
+fi
+
+echo "ci.sh: all green"
