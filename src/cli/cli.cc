@@ -1,7 +1,10 @@
 #include "cli/cli.h"
 
 #include <charconv>
+#include <chrono>
+#include <csignal>
 #include <fstream>
+#include <thread>
 
 #include "common/timer.h"
 #include "core/multi_param.h"
@@ -12,6 +15,7 @@
 #include "data/normalize.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "net/server.h"
 
 namespace proclus::cli {
 
@@ -70,6 +74,18 @@ Batch mode (proclus_cli batch ...):
   --gpu-devices INT     pooled devices for gpu jobs (default 1)
   --timeout-ms NUM      per-job deadline, queue wait included (default none)
 
+Serve mode (proclus_cli serve ...):
+  hosts the TCP serving layer (docs/serving.md) over an in-process
+  ProclusService until SIGINT/SIGTERM, then drains; accepts the batch
+  tuning flags above (--timeout-ms = default per-job deadline) plus:
+  --host ADDR           listen address (default 127.0.0.1)
+  --port INT            listen port; 0 picks one (printed on stdout)
+  --max-connections INT concurrent connection budget (default 32)
+  --queue-capacity INT  service queue bound -> RESOURCE_EXHAUSTED
+                        backpressure when full (default 256)
+  --dataset-id NAME     id for the pre-registered --generate/--input
+                        dataset (default "default")
+
 Output:
   --output FILE         write per-point cluster ids (-1 = outlier)
   --trace-out FILE      write a Chrome trace_event JSON of the run
@@ -99,6 +115,9 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
   size_t start = 0;
   if (!args.empty() && args[0] == "batch") {
     config->batch = true;
+    start = 1;
+  } else if (!args.empty() && args[0] == "serve") {
+    config->serve = true;
     start = 1;
   }
 
@@ -220,6 +239,27 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
       PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
       PROCLUS_RETURN_NOT_OK(ParseDouble(value, arg, &config->batch_timeout_ms));
       config->batch_tuning_seen = true;
+    } else if (arg == "--host") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &config->serve_host));
+      config->serve_flag_seen = true;
+    } else if (arg == "--port") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseInt(value, arg, &int_value));
+      config->serve_port = static_cast<int>(int_value);
+      config->serve_flag_seen = true;
+    } else if (arg == "--max-connections") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseInt(value, arg, &int_value));
+      config->serve_max_connections = static_cast<int>(int_value);
+      config->serve_flag_seen = true;
+    } else if (arg == "--queue-capacity") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseInt(value, arg, &int_value));
+      config->serve_queue_capacity = static_cast<int>(int_value);
+      config->serve_flag_seen = true;
+    } else if (arg == "--dataset-id") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &config->serve_dataset_id));
+      config->serve_flag_seen = true;
     } else if (arg == "--output") {
       PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &config->output_path));
     } else if (arg == "--trace-out") {
@@ -236,18 +276,33 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
                                      " (see --help)");
     }
   }
-  if (config->input_path.empty() && !config->generate) {
+  if (config->input_path.empty() && !config->generate && !config->serve) {
     return Status::InvalidArgument(
         "either --input or --generate is required (see --help)");
   }
   if (!config->input_path.empty() && config->generate) {
     return Status::InvalidArgument("--input and --generate are exclusive");
   }
-  if (!config->batch && (!config->batch_jobs.empty() || config->batch_sweep ||
-                         config->batch_tuning_seen)) {
+  if (!config->batch && !config->serve &&
+      (!config->batch_jobs.empty() || config->batch_sweep ||
+       config->batch_tuning_seen)) {
     return Status::InvalidArgument(
         "--jobs/--sweep/--workers/--gpu-devices/--timeout-ms require batch "
         "mode (proclus_cli batch ...)");
+  }
+  if (config->serve &&
+      (!config->batch_jobs.empty() || config->batch_sweep)) {
+    return Status::InvalidArgument(
+        "--jobs/--sweep make no sense in serve mode; clients submit jobs");
+  }
+  if (config->serve && (config->explore || !config->output_path.empty())) {
+    return Status::InvalidArgument(
+        "--explore/--output make no sense in serve mode");
+  }
+  if (!config->serve && config->serve_flag_seen) {
+    return Status::InvalidArgument(
+        "--host/--port/--max-connections/--queue-capacity/--dataset-id "
+        "require serve mode (proclus_cli serve ...)");
   }
   if (config->batch && config->explore) {
     return Status::InvalidArgument("--explore and batch mode are exclusive");
@@ -387,13 +442,83 @@ Status RunBatch(const CliConfig& config, const data::Dataset& dataset,
   return first_failure;
 }
 
+// Set by the SIGINT/SIGTERM handler serve mode installs; polled by the
+// RunServe wait loop. sig_atomic_t is the only type a handler may touch.
+volatile std::sig_atomic_t g_serve_stop_requested = 0;
+
+void HandleServeStopSignal(int /*signum*/) { g_serve_stop_requested = 1; }
+
 }  // namespace
+
+Status RunServe(const CliConfig& config, std::ostream& out) {
+  service::ServiceOptions service_options;
+  service_options.num_workers = config.batch_workers;
+  service_options.gpu_devices = config.batch_gpu_devices;
+  service_options.queue_capacity = config.serve_queue_capacity;
+  service_options.default_timeout_seconds = config.batch_timeout_ms / 1e3;
+  service::ProclusService service(service_options);
+
+  if (config.generate || !config.input_path.empty()) {
+    data::Dataset dataset;
+    if (config.generate) {
+      data::GeneratorConfig gen;
+      gen.n = config.gen_n;
+      gen.d = config.gen_d;
+      gen.num_clusters = config.gen_clusters;
+      gen.subspace_dim = std::max(2, config.gen_d / 3);
+      gen.seed = config.params.seed;
+      PROCLUS_RETURN_NOT_OK(data::GenerateSubspaceData(gen, &dataset));
+    } else {
+      PROCLUS_RETURN_NOT_OK(data::ReadCsv(
+          config.input_path, config.input_has_labels, &dataset));
+    }
+    if (config.normalize) data::MinMaxNormalize(&dataset.points);
+    const int64_t n = dataset.n();
+    const int64_t d = dataset.d();
+    PROCLUS_RETURN_NOT_OK(service.RegisterDataset(
+        config.serve_dataset_id, std::move(dataset.points)));
+    out << "registered dataset '" << config.serve_dataset_id << "' (" << n
+        << " x " << d << ")\n";
+  }
+
+  net::ServerOptions server_options;
+  server_options.host = config.serve_host;
+  server_options.port = config.serve_port;
+  server_options.max_connections = config.serve_max_connections;
+  net::ProclusServer server(&service, server_options);
+  PROCLUS_RETURN_NOT_OK(server.Start());
+  // The smoke stage in tools/ci.sh greps this line for the bound port, so
+  // it must come out before the process blocks.
+  out << "serving on " << server.host() << ":" << server.port() << "\n"
+      << std::flush;
+
+  g_serve_stop_requested = 0;
+  std::signal(SIGINT, HandleServeStopSignal);
+  std::signal(SIGTERM, HandleServeStopSignal);
+  while (g_serve_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  out << "stop requested; draining\n" << std::flush;
+  server.Stop();
+  service.Shutdown();
+  const service::ServiceStats stats = service.stats();
+  out << "drained: " << stats.submitted << " submitted, " << stats.completed
+      << " completed, " << stats.failed << " failed, " << stats.cancelled
+      << " cancelled, " << stats.timed_out << " timed out, "
+      << stats.rejected << " rejected\n"
+      << std::flush;
+  return Status::OK();
+}
 
 Status RunCli(const CliConfig& config, std::ostream& out) {
   if (config.show_help) {
     out << UsageText();
     return Status::OK();
   }
+  if (config.serve) return RunServe(config, out);
 
   data::Dataset dataset;
   if (config.generate) {

@@ -40,6 +40,24 @@ struct CliConfig {
   // --timeout-ms) appeared, so non-batch invocations can reject them
   // instead of silently ignoring them.
   bool batch_tuning_seen = false;
+  // Serve mode ("proclus_cli serve ..."): host a ProclusServer (src/net/)
+  // over an in-process ProclusService until SIGINT/SIGTERM, then drain.
+  // Accepts the batch tuning flags (--workers/--gpu-devices/--timeout-ms;
+  // --timeout-ms becomes the service's default per-job deadline) plus the
+  // serve_* knobs below. With --generate (or --input) the dataset is
+  // pre-registered under `serve_dataset_id` so clients can submit by id
+  // without shipping data.
+  bool serve = false;
+  std::string serve_host = "127.0.0.1";
+  // 0 = ephemeral; the chosen port is printed as "serving on HOST:PORT".
+  int serve_port = 0;
+  int serve_max_connections = 32;
+  int serve_queue_capacity = 256;
+  std::string serve_dataset_id = "default";
+  // True when any serve-only flag (--host/--port/--max-connections/
+  // --queue-capacity/--dataset-id) appeared, so other modes can reject
+  // them instead of silently ignoring them.
+  bool serve_flag_seen = false;
   // Where to write the per-point assignment (empty = don't).
   std::string output_path;
   // Where to write a Chrome trace_event JSON of the run (empty = no
@@ -59,6 +77,13 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config);
 // report to `out` and optionally writes the assignment CSV. This is the
 // whole CLI behind the thin main() in tools/proclus_cli.cc.
 Status RunCli(const CliConfig& config, std::ostream& out);
+
+// Serve mode (dispatched by RunCli when config.serve is set): binds a
+// ProclusServer, prints "serving on HOST:PORT", installs SIGINT/SIGTERM
+// handlers, and blocks until a stop signal arrives; then stops the server
+// (draining in-flight jobs), shuts the service down, and prints the
+// service's terminal counters.
+Status RunServe(const CliConfig& config, std::ostream& out);
 
 }  // namespace proclus::cli
 

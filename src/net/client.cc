@@ -1,0 +1,151 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "net/frame.h"
+
+namespace proclus::net {
+
+Status ProclusClient::Connect(const std::string& host, int port) {
+  Close();
+  return net::Connect(host, port, &socket_);
+}
+
+Status ProclusClient::Call(const Request& request, Response* response) {
+  if (response == nullptr) {
+    return Status::InvalidArgument("response must not be null");
+  }
+  *response = Response();
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("client is not connected");
+  }
+  std::string payload;
+  PROCLUS_RETURN_NOT_OK(EncodeRequest(request, &payload));
+  PROCLUS_RETURN_NOT_OK(WriteFrame(&socket_, payload));
+  bool clean_close = false;
+  const Status read = ReadFrame(&socket_, &payload, &clean_close);
+  if (!read.ok()) {
+    if (clean_close) {
+      return Status::IoError("server closed the connection before replying");
+    }
+    return read;
+  }
+  return DecodeResponse(payload, response);
+}
+
+Status ProclusClient::CallChecked(const Request& request,
+                                  Response* response) {
+  PROCLUS_RETURN_NOT_OK(Call(request, response));
+  if (!response->ok) return response->error.ToStatus();
+  return Status::OK();
+}
+
+Status ProclusClient::RegisterDataset(const std::string& id,
+                                      const data::Matrix& points) {
+  Request request;
+  request.type = RequestType::kRegisterDataset;
+  request.dataset_id = id;
+  request.has_inline_data = true;
+  request.inline_data = points;
+  Response response;
+  return CallChecked(request, &response);
+}
+
+Status ProclusClient::RegisterGenerated(const std::string& id,
+                                        const GenerateSpec& spec) {
+  Request request;
+  request.type = RequestType::kRegisterDataset;
+  request.dataset_id = id;
+  request.has_generate = true;
+  request.generate = spec;
+  Response response;
+  return CallChecked(request, &response);
+}
+
+Status ProclusClient::SubmitSingle(const Request& request,
+                                   WireJobResult* result) {
+  if (result == nullptr) {
+    return Status::InvalidArgument("result must not be null");
+  }
+  if (request.type != RequestType::kSubmitSingle || !request.wait) {
+    return Status::InvalidArgument(
+        "SubmitSingle needs a wait-mode submit_single request");
+  }
+  Response response;
+  PROCLUS_RETURN_NOT_OK(CallChecked(request, &response));
+  if (!response.has_result) {
+    return Status::Internal("server reported ok without a result");
+  }
+  *result = std::move(response.result);
+  return Status::OK();
+}
+
+Status ProclusClient::SubmitSweep(const Request& request,
+                                  WireJobResult* result) {
+  if (result == nullptr) {
+    return Status::InvalidArgument("result must not be null");
+  }
+  if (request.type != RequestType::kSubmitSweep || !request.wait) {
+    return Status::InvalidArgument(
+        "SubmitSweep needs a wait-mode submit_sweep request");
+  }
+  Response response;
+  PROCLUS_RETURN_NOT_OK(CallChecked(request, &response));
+  if (!response.has_result) {
+    return Status::Internal("server reported ok without a result");
+  }
+  *result = std::move(response.result);
+  return Status::OK();
+}
+
+Status ProclusClient::SubmitAsync(const Request& request, uint64_t* job_id) {
+  if (job_id == nullptr) {
+    return Status::InvalidArgument("job_id must not be null");
+  }
+  if ((request.type != RequestType::kSubmitSingle &&
+       request.type != RequestType::kSubmitSweep) ||
+      request.wait) {
+    return Status::InvalidArgument(
+        "SubmitAsync needs a submit_* request with wait == false");
+  }
+  Response response;
+  PROCLUS_RETURN_NOT_OK(CallChecked(request, &response));
+  *job_id = response.job_id;
+  return Status::OK();
+}
+
+Status ProclusClient::GetStatus(uint64_t job_id, bool include_result,
+                                Response* response) {
+  if (response == nullptr) {
+    return Status::InvalidArgument("response must not be null");
+  }
+  Request request;
+  request.type = RequestType::kStatus;
+  request.job_id = job_id;
+  request.include_result = include_result;
+  // A terminal-failed job answers ok=false with the job's status; that is
+  // an answer, not a transport problem, so return the raw Call result.
+  return Call(request, response);
+}
+
+Status ProclusClient::Cancel(uint64_t job_id) {
+  Request request;
+  request.type = RequestType::kCancel;
+  request.job_id = job_id;
+  Response response;
+  return CallChecked(request, &response);
+}
+
+Status ProclusClient::FetchMetrics(json::JsonValue* metrics) {
+  if (metrics == nullptr) {
+    return Status::InvalidArgument("metrics must not be null");
+  }
+  Request request;
+  request.type = RequestType::kMetrics;
+  Response response;
+  PROCLUS_RETURN_NOT_OK(CallChecked(request, &response));
+  *metrics = std::move(response.metrics);
+  return Status::OK();
+}
+
+}  // namespace proclus::net

@@ -1,0 +1,75 @@
+#ifndef PROCLUS_NET_CLIENT_H_
+#define PROCLUS_NET_CLIENT_H_
+
+// ProclusClient: a small blocking client over the framed wire protocol.
+// One client wraps one connection and is not thread-safe — the protocol is
+// strictly request/response per connection, so concurrent callers must
+// each hold their own client (that is what proclus_loadgen does).
+//
+// Call() reports *transport* problems in its Status; the server's answer —
+// including "ok":false application errors such as a retryable
+// RESOURCE_EXHAUSTED — lands in the Response for the caller to inspect.
+// The convenience wrappers collapse the two layers: they return the
+// server-side error as a Status when the response is not ok.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "core/multi_param.h"
+#include "core/params.h"
+#include "data/matrix.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace proclus::net {
+
+class ProclusClient {
+ public:
+  ProclusClient() = default;
+  ~ProclusClient() { Close(); }
+
+  ProclusClient(const ProclusClient&) = delete;
+  ProclusClient& operator=(const ProclusClient&) = delete;
+  ProclusClient(ProclusClient&&) = default;
+  ProclusClient& operator=(ProclusClient&&) = default;
+
+  // Connects to a ProclusServer. Reconnecting an already connected client
+  // closes the old connection first.
+  Status Connect(const std::string& host, int port);
+  void Close() { socket_.Close(); }
+  bool connected() const { return socket_.valid(); }
+
+  // One round trip: encode `request`, send it, receive and decode the
+  // response. The returned Status covers encoding and transport only;
+  // check `response->ok` / `response->error` for the server's verdict.
+  Status Call(const Request& request, Response* response);
+
+  // --- conveniences (application errors folded into the Status) ----------
+
+  Status RegisterDataset(const std::string& id, const data::Matrix& points);
+  Status RegisterGenerated(const std::string& id, const GenerateSpec& spec);
+
+  // Wait-mode submits: block until the server ships the finished job.
+  Status SubmitSingle(const Request& request, WireJobResult* result);
+  Status SubmitSweep(const Request& request, WireJobResult* result);
+
+  // Async submits: returns the server-assigned job id immediately.
+  Status SubmitAsync(const Request& request, uint64_t* job_id);
+  Status GetStatus(uint64_t job_id, bool include_result, Response* response);
+  Status Cancel(uint64_t job_id);
+
+  // Snapshot of the server's metrics registry ("net.*" + "service.*").
+  Status FetchMetrics(json::JsonValue* metrics);
+
+ private:
+  Status CallChecked(const Request& request, Response* response);
+
+  Socket socket_;
+};
+
+}  // namespace proclus::net
+
+#endif  // PROCLUS_NET_CLIENT_H_

@@ -1,0 +1,48 @@
+#include "net/frame.h"
+
+#include <array>
+
+namespace proclus::net {
+
+Status WriteFrame(Socket* socket, const std::string& payload) {
+  if (socket == nullptr) {
+    return Status::InvalidArgument("socket must not be null");
+  }
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame payload exceeds kMaxFrameBytes: " +
+        std::to_string(payload.size()));
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const std::array<unsigned char, 4> header = {
+      static_cast<unsigned char>((len >> 24) & 0xff),
+      static_cast<unsigned char>((len >> 16) & 0xff),
+      static_cast<unsigned char>((len >> 8) & 0xff),
+      static_cast<unsigned char>(len & 0xff)};
+  PROCLUS_RETURN_NOT_OK(socket->SendAll(header.data(), header.size()));
+  return socket->SendAll(payload.data(), payload.size());
+}
+
+Status ReadFrame(Socket* socket, std::string* payload, bool* clean_close) {
+  if (clean_close != nullptr) *clean_close = false;
+  if (socket == nullptr || payload == nullptr) {
+    return Status::InvalidArgument("socket/payload must not be null");
+  }
+  payload->clear();
+  std::array<unsigned char, 4> header;
+  PROCLUS_RETURN_NOT_OK(
+      socket->RecvAll(header.data(), header.size(), clean_close));
+  const uint32_t len = (static_cast<uint32_t>(header[0]) << 24) |
+                       (static_cast<uint32_t>(header[1]) << 16) |
+                       (static_cast<uint32_t>(header[2]) << 8) |
+                       static_cast<uint32_t>(header[3]);
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame length exceeds kMaxFrameBytes: " +
+                                   std::to_string(len));
+  }
+  payload->resize(len);
+  if (len == 0) return Status::OK();
+  return socket->RecvAll(payload->data(), len);
+}
+
+}  // namespace proclus::net

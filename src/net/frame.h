@@ -1,0 +1,36 @@
+#ifndef PROCLUS_NET_FRAME_H_
+#define PROCLUS_NET_FRAME_H_
+
+// Wire framing: every protocol message travels as one frame —
+//
+//   [4-byte big-endian payload length][payload bytes]
+//
+// — where the payload is a JSON document (net/protocol.h). The length
+// prefix makes message boundaries explicit on the stream, so reader and
+// writer never depend on JSON self-termination. Frames above
+// kMaxFrameBytes are rejected on both ends (a malformed or hostile peer
+// cannot make the server allocate unbounded memory).
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace proclus::net {
+
+// Upper bound on a frame payload (64 MiB — a ~1.5M-point inline dataset).
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+// Sends `payload` as one length-prefixed frame.
+Status WriteFrame(Socket* socket, const std::string& payload);
+
+// Receives one frame into `*payload`. When the peer closed the connection
+// cleanly on a frame boundary, returns IoError with `*clean_close`
+// (optional) set true; a torn frame or transport error leaves it false.
+Status ReadFrame(Socket* socket, std::string* payload,
+                 bool* clean_close = nullptr);
+
+}  // namespace proclus::net
+
+#endif  // PROCLUS_NET_FRAME_H_

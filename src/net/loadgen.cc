@@ -1,0 +1,224 @@
+#include "net/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "net/client.h"
+
+namespace proclus::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// splitmix64: cheap, stateless per-arrival randomness so the traffic mix
+// is reproducible for a fixed seed regardless of thread interleaving.
+uint64_t Mix(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double UnitUniform(uint64_t seed, uint64_t index, uint64_t stream) {
+  return static_cast<double>(Mix(seed ^ (stream * 0x5851f42d4c957f2dull),
+                                 index) >>
+                             11) /
+         static_cast<double>(1ull << 53);
+}
+
+struct SharedCounters {
+  std::atomic<int64_t> next_arrival{0};
+  std::atomic<int64_t> offered{0};
+  std::atomic<int64_t> completed{0};
+  std::atomic<int64_t> rejected{0};
+  std::atomic<int64_t> failed{0};
+  std::atomic<int64_t> transport_errors{0};
+  std::mutex latencies_mutex;
+  std::vector<double> latencies;
+};
+
+void WorkerLoop(const LoadgenOptions& options, Clock::time_point start,
+                Clock::time_point end, SharedCounters* counters) {
+  ProclusClient client;
+  if (!client.Connect(options.host, options.port).ok()) {
+    counters->transport_errors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const double interval_seconds =
+      options.rps > 0.0 ? 1.0 / options.rps : 0.0;
+
+  for (;;) {
+    const int64_t index =
+        counters->next_arrival.fetch_add(1, std::memory_order_relaxed);
+    const auto due =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(index * interval_seconds));
+    if (due >= end) break;
+    std::this_thread::sleep_until(due);
+    counters->offered.fetch_add(1, std::memory_order_relaxed);
+
+    const uint64_t i = static_cast<uint64_t>(index);
+    const bool interactive =
+        UnitUniform(options.seed, i, 1) < options.interactive_fraction;
+    const bool sweep =
+        UnitUniform(options.seed, i, 2) < options.sweep_fraction;
+
+    Request request;
+    request.type =
+        sweep ? RequestType::kSubmitSweep : RequestType::kSubmitSingle;
+    request.dataset_id = options.dataset_id;
+    request.params = options.params;
+    request.options = options.options;
+    request.priority = interactive ? service::JobPriority::kInteractive
+                                   : service::JobPriority::kBulk;
+    request.timeout_ms = options.timeout_ms;
+    request.wait = true;
+    if (sweep) {
+      request.settings = options.sweep_settings;
+    }
+
+    Response response;
+    const Status status = client.Call(request, &response);
+    if (!status.ok()) {
+      counters->transport_errors.fetch_add(1, std::memory_order_relaxed);
+      // The connection is likely dead (server stopping, peer reset);
+      // reconnect once and carry on — a generator should outlive blips.
+      if (!client.Connect(options.host, options.port).ok()) break;
+      continue;
+    }
+    if (!response.ok) {
+      if (response.error.retryable) {
+        counters->rejected.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        counters->failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    const double latency =
+        std::chrono::duration<double>(Clock::now() - due).count();
+    counters->completed.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(counters->latencies_mutex);
+      counters->latencies.push_back(latency);
+    }
+  }
+}
+
+}  // namespace
+
+double LoadgenReport::LatencyPercentile(double p) const {
+  if (latencies_seconds.empty()) return 0.0;
+  std::vector<double> sorted = latencies_seconds;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const auto rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+Status RunLoadgen(const LoadgenOptions& options, LoadgenReport* report) {
+  if (report == nullptr) {
+    return Status::InvalidArgument("report must not be null");
+  }
+  *report = LoadgenReport();
+  if (options.connections < 1) {
+    return Status::InvalidArgument("connections must be >= 1");
+  }
+  if (options.rps <= 0.0) {
+    return Status::InvalidArgument("rps must be > 0");
+  }
+  if (options.duration_seconds <= 0.0) {
+    return Status::InvalidArgument("duration_seconds must be > 0");
+  }
+
+  if (options.register_dataset) {
+    ProclusClient setup;
+    PROCLUS_RETURN_NOT_OK(setup.Connect(options.host, options.port));
+    PROCLUS_RETURN_NOT_OK(
+        setup.RegisterGenerated(options.dataset_id, options.generate));
+  }
+
+  SharedCounters counters;
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point end =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.duration_seconds));
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(options.connections));
+  for (int i = 0; i < options.connections; ++i) {
+    workers.emplace_back(
+        [&options, start, end, &counters] {
+          WorkerLoop(options, start, end, &counters);
+        });
+  }
+  for (std::thread& worker : workers) worker.join();
+  report->wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  report->offered = counters.offered.load();
+  report->completed = counters.completed.load();
+  report->rejected = counters.rejected.load();
+  report->failed = counters.failed.load();
+  report->transport_errors = counters.transport_errors.load();
+  report->latencies_seconds = std::move(counters.latencies);
+
+  if (options.fetch_metrics) {
+    ProclusClient metrics_client;
+    if (metrics_client.Connect(options.host, options.port).ok()) {
+      // Best-effort: a stopped server just leaves the snapshot empty.
+      metrics_client.FetchMetrics(&report->server_metrics);
+    }
+  }
+  return Status::OK();
+}
+
+void PrintReport(const LoadgenReport& report, std::ostream& out) {
+  out << "offered " << report.offered << ", completed " << report.completed
+      << ", rejected " << report.rejected << ", failed " << report.failed
+      << ", transport_errors " << report.transport_errors << "\n";
+  if (report.wall_seconds > 0.0) {
+    out << "achieved "
+        << static_cast<double>(report.completed) / report.wall_seconds
+        << " completions/s over " << report.wall_seconds << " s\n";
+  }
+  if (!report.latencies_seconds.empty()) {
+    out << "latency p50 " << report.LatencyPercentile(50.0) << " s, p90 "
+        << report.LatencyPercentile(90.0) << " s, p99 "
+        << report.LatencyPercentile(99.0) << " s, max "
+        << report.LatencyPercentile(100.0) << " s\n";
+  }
+  if (report.server_metrics.is_object()) {
+    const json::JsonValue* counters =
+        report.server_metrics.Find("counters");
+    const json::JsonValue* gauges = report.server_metrics.Find("gauges");
+    out << "server:";
+    bool any = false;
+    auto emit = [&](const char* name, const json::JsonValue* table) {
+      if (table == nullptr || !table->is_object()) return;
+      if (const json::JsonValue* v = table->Find(name)) {
+        out << " " << name << "=" << json::Dump(*v);
+        any = true;
+      }
+    };
+    emit("net.requests", counters);
+    emit("net.resource_exhausted", counters);
+    emit("net.disconnect_cancels", counters);
+    emit("service.submitted", gauges);
+    emit("service.completed", gauges);
+    emit("service.rejected", gauges);
+    emit("service.failed", gauges);
+    emit("service.cancelled", gauges);
+    emit("service.timed_out", gauges);
+    if (!any) out << " (no metrics)";
+    out << "\n";
+  }
+}
+
+}  // namespace proclus::net

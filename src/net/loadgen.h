@@ -1,0 +1,92 @@
+#ifndef PROCLUS_NET_LOADGEN_H_
+#define PROCLUS_NET_LOADGEN_H_
+
+// Open-loop load generator for ProclusServer (the multi-user exploration
+// scenario of §5.3, driven over the wire). Arrivals are scheduled on a
+// fixed clock — request i is *due* at start + i/rps — and worker
+// connections pull the next due arrival from a shared counter, so a slow
+// server does not slow the offered load down (open loop, not closed
+// loop). Latency is measured from the due time, which charges queueing
+// delay caused by an overloaded server to the server, not to the
+// generator.
+//
+// Backpressure is respected, not retried: a retryable RESOURCE_EXHAUSTED
+// answer counts as `rejected` and the arrival is dropped, mirroring how a
+// well-behaved interactive client sheds its own refresh.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "core/api.h"
+#include "core/multi_param.h"
+#include "core/params.h"
+#include "net/protocol.h"
+
+namespace proclus::net {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  // Worker connections; each holds one blocking ProclusClient.
+  int connections = 4;
+  // Offered arrival rate (shared across connections) and run length.
+  double rps = 20.0;
+  double duration_seconds = 2.0;
+
+  // Traffic mix: fraction of arrivals submitted as interactive (the rest
+  // are bulk), and fraction submitted as (k,l) sweeps (the rest are
+  // singles). Decided per arrival index, deterministically from `seed`.
+  double interactive_fraction = 0.5;
+  double sweep_fraction = 0.0;
+  uint64_t seed = 1;
+
+  // Dataset: registered server-side (by spec) before traffic starts.
+  bool register_dataset = true;
+  std::string dataset_id = "loadgen";
+  GenerateSpec generate;
+
+  // Per-request clustering work.
+  core::ProclusParams params;
+  core::ClusterOptions options = core::ClusterOptions::Gpu();
+  std::vector<core::ParamSetting> sweep_settings = {{8, 4}, {10, 5}};
+  // Per-request deadline in ms (0 = server default).
+  double timeout_ms = 0.0;
+
+  // Fetch the server's metrics snapshot after the run.
+  bool fetch_metrics = true;
+};
+
+struct LoadgenReport {
+  int64_t offered = 0;    // arrivals that became requests
+  int64_t completed = 0;  // ok responses
+  int64_t rejected = 0;   // retryable RESOURCE_EXHAUSTED answers
+  int64_t failed = 0;     // non-retryable errors (job or request level)
+  int64_t transport_errors = 0;
+  double wall_seconds = 0.0;
+  // Due-time latency of every completed request, unsorted.
+  std::vector<double> latencies_seconds;
+  // Server-side registry snapshot ("net.*" + "service.*"), when fetched.
+  json::JsonValue server_metrics;
+
+  // p in [0, 100]; 0 when nothing completed.
+  double LatencyPercentile(double p) const;
+};
+
+// Runs the configured load and fills `*report`. Returns non-OK only when
+// the run could not start (bad options, dataset registration failed, no
+// connection could be established) — per-request failures are counted in
+// the report instead.
+Status RunLoadgen(const LoadgenOptions& options, LoadgenReport* report);
+
+// Human-readable summary: counts, achieved rps, latency percentiles, and
+// a few server-side metrics when present.
+void PrintReport(const LoadgenReport& report, std::ostream& out);
+
+}  // namespace proclus::net
+
+#endif  // PROCLUS_NET_LOADGEN_H_

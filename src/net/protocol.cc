@@ -1,0 +1,620 @@
+#include "net/protocol.h"
+
+#include <utility>
+
+namespace proclus::net {
+
+namespace {
+
+using json::JsonValue;
+
+// --- small enum <-> token tables ---------------------------------------------
+
+struct CodeName {
+  StatusCode code;
+  const char* name;
+};
+
+constexpr CodeName kCodeNames[] = {
+    {StatusCode::kOk, "OK"},
+    {StatusCode::kInvalidArgument, "INVALID_ARGUMENT"},
+    {StatusCode::kOutOfRange, "OUT_OF_RANGE"},
+    {StatusCode::kFailedPrecondition, "FAILED_PRECONDITION"},
+    {StatusCode::kResourceExhausted, "RESOURCE_EXHAUSTED"},
+    {StatusCode::kIoError, "IO_ERROR"},
+    {StatusCode::kInternal, "INTERNAL"},
+    {StatusCode::kCancelled, "CANCELLED"},
+    {StatusCode::kDeadlineExceeded, "DEADLINE_EXCEEDED"},
+};
+
+const char* BackendToken(core::ComputeBackend backend) {
+  switch (backend) {
+    case core::ComputeBackend::kCpu: return "cpu";
+    case core::ComputeBackend::kMultiCore: return "mc";
+    case core::ComputeBackend::kGpu: return "gpu";
+  }
+  return "cpu";
+}
+
+Status BackendFromToken(const std::string& token,
+                        core::ComputeBackend* out) {
+  if (token == "cpu") *out = core::ComputeBackend::kCpu;
+  else if (token == "mc") *out = core::ComputeBackend::kMultiCore;
+  else if (token == "gpu") *out = core::ComputeBackend::kGpu;
+  else return Status::InvalidArgument("unknown backend: " + token);
+  return Status::OK();
+}
+
+const char* StrategyToken(core::Strategy strategy) {
+  switch (strategy) {
+    case core::Strategy::kBaseline: return "baseline";
+    case core::Strategy::kFast: return "fast";
+    case core::Strategy::kFastStar: return "faststar";
+  }
+  return "baseline";
+}
+
+Status StrategyFromToken(const std::string& token, core::Strategy* out) {
+  if (token == "baseline") *out = core::Strategy::kBaseline;
+  else if (token == "fast") *out = core::Strategy::kFast;
+  else if (token == "faststar") *out = core::Strategy::kFastStar;
+  else return Status::InvalidArgument("unknown strategy: " + token);
+  return Status::OK();
+}
+
+const char* ReuseToken(core::ReuseLevel reuse) {
+  switch (reuse) {
+    case core::ReuseLevel::kNone: return "none";
+    case core::ReuseLevel::kCache: return "cache";
+    case core::ReuseLevel::kGreedy: return "greedy";
+    case core::ReuseLevel::kWarmStart: return "warm_start";
+  }
+  return "warm_start";
+}
+
+Status ReuseFromToken(const std::string& token, core::ReuseLevel* out) {
+  if (token == "none") *out = core::ReuseLevel::kNone;
+  else if (token == "cache") *out = core::ReuseLevel::kCache;
+  else if (token == "greedy") *out = core::ReuseLevel::kGreedy;
+  else if (token == "warm_start") *out = core::ReuseLevel::kWarmStart;
+  else return Status::InvalidArgument("unknown reuse level: " + token);
+  return Status::OK();
+}
+
+// --- field codecs ------------------------------------------------------------
+
+JsonValue EncodeParams(const core::ProclusParams& params) {
+  JsonValue v = JsonValue::Object();
+  v.Set("k", JsonValue::Int(params.k));
+  v.Set("l", JsonValue::Int(params.l));
+  v.Set("a", JsonValue::Double(params.a));
+  v.Set("b", JsonValue::Double(params.b));
+  v.Set("min_dev", JsonValue::Double(params.min_dev));
+  v.Set("itr_pat", JsonValue::Int(params.itr_pat));
+  v.Set("seed", JsonValue::Int(static_cast<int64_t>(params.seed)));
+  v.Set("max_total_iterations", JsonValue::Int(params.max_total_iterations));
+  return v;
+}
+
+void DecodeParams(const JsonValue* v, core::ProclusParams* params) {
+  if (v == nullptr || !v->is_object()) return;
+  const core::ProclusParams defaults;
+  auto field = [&](const char* name) { return v->Find(name); };
+  if (const JsonValue* f = field("k")) params->k = static_cast<int>(f->AsInt(defaults.k));
+  if (const JsonValue* f = field("l")) params->l = static_cast<int>(f->AsInt(defaults.l));
+  if (const JsonValue* f = field("a")) params->a = f->AsDouble(defaults.a);
+  if (const JsonValue* f = field("b")) params->b = f->AsDouble(defaults.b);
+  if (const JsonValue* f = field("min_dev")) params->min_dev = f->AsDouble(defaults.min_dev);
+  if (const JsonValue* f = field("itr_pat")) params->itr_pat = static_cast<int>(f->AsInt(defaults.itr_pat));
+  if (const JsonValue* f = field("seed")) params->seed = static_cast<uint64_t>(f->AsInt(static_cast<int64_t>(defaults.seed)));
+  if (const JsonValue* f = field("max_total_iterations")) params->max_total_iterations = static_cast<int>(f->AsInt(defaults.max_total_iterations));
+}
+
+JsonValue EncodeOptions(const core::ClusterOptions& options) {
+  JsonValue v = JsonValue::Object();
+  v.Set("backend", JsonValue::Str(BackendToken(options.backend)));
+  v.Set("strategy", JsonValue::Str(StrategyToken(options.strategy)));
+  if (options.num_threads != 0) {
+    v.Set("num_threads", JsonValue::Int(options.num_threads));
+  }
+  if (options.gpu_assign_block_dim != 128) {
+    v.Set("gpu_assign_block_dim",
+          JsonValue::Int(options.gpu_assign_block_dim));
+  }
+  if (options.gpu_streams) v.Set("gpu_streams", JsonValue::Bool(true));
+  if (options.gpu_device_dim_selection) {
+    v.Set("gpu_device_dim_selection", JsonValue::Bool(true));
+  }
+  return v;
+}
+
+Status DecodeOptions(const JsonValue* v, core::ClusterOptions* options) {
+  // The wire never carries the host-pointer hooks (device/pool/cancel/
+  // trace); the service owns those. The default backend over the wire is
+  // the paper's recommended GPU + FAST pairing.
+  *options = core::ClusterOptions::Gpu();
+  if (v == nullptr || !v->is_object()) return Status::OK();
+  if (const JsonValue* f = v->Find("backend")) {
+    PROCLUS_RETURN_NOT_OK(BackendFromToken(f->AsString(), &options->backend));
+  }
+  if (const JsonValue* f = v->Find("strategy")) {
+    PROCLUS_RETURN_NOT_OK(
+        StrategyFromToken(f->AsString(), &options->strategy));
+  }
+  if (const JsonValue* f = v->Find("num_threads")) {
+    options->num_threads = static_cast<int>(f->AsInt());
+  }
+  if (const JsonValue* f = v->Find("gpu_assign_block_dim")) {
+    options->gpu_assign_block_dim = static_cast<int>(f->AsInt(128));
+  }
+  if (const JsonValue* f = v->Find("gpu_streams")) {
+    options->gpu_streams = f->AsBool();
+  }
+  if (const JsonValue* f = v->Find("gpu_device_dim_selection")) {
+    options->gpu_device_dim_selection = f->AsBool();
+  }
+  return Status::OK();
+}
+
+JsonValue EncodeIntArray(const std::vector<int>& values) {
+  JsonValue v = JsonValue::Array();
+  for (const int value : values) v.Append(JsonValue::Int(value));
+  return v;
+}
+
+std::vector<int> DecodeIntArray(const JsonValue* v) {
+  std::vector<int> out;
+  if (v == nullptr || !v->is_array()) return out;
+  out.reserve(v->array_value.size());
+  for (const JsonValue& element : v->array_value) {
+    out.push_back(static_cast<int>(element.AsInt()));
+  }
+  return out;
+}
+
+JsonValue EncodeProclusResult(const core::ProclusResult& result) {
+  JsonValue v = JsonValue::Object();
+  v.Set("medoids", EncodeIntArray(result.medoids));
+  JsonValue dims = JsonValue::Array();
+  for (const std::vector<int>& cluster_dims : result.dimensions) {
+    dims.Append(EncodeIntArray(cluster_dims));
+  }
+  v.Set("dimensions", std::move(dims));
+  v.Set("assignment", EncodeIntArray(result.assignment));
+  v.Set("iterative_cost", JsonValue::Double(result.iterative_cost));
+  v.Set("refined_cost", JsonValue::Double(result.refined_cost));
+  return v;
+}
+
+core::ProclusResult DecodeProclusResult(const JsonValue& v) {
+  core::ProclusResult result;
+  result.medoids = DecodeIntArray(v.Find("medoids"));
+  if (const JsonValue* dims = v.Find("dimensions");
+      dims != nullptr && dims->is_array()) {
+    result.dimensions.reserve(dims->array_value.size());
+    for (const JsonValue& cluster_dims : dims->array_value) {
+      result.dimensions.push_back(DecodeIntArray(&cluster_dims));
+    }
+  }
+  result.assignment = DecodeIntArray(v.Find("assignment"));
+  if (const JsonValue* f = v.Find("iterative_cost")) {
+    result.iterative_cost = f->AsDouble();
+  }
+  if (const JsonValue* f = v.Find("refined_cost")) {
+    result.refined_cost = f->AsDouble();
+  }
+  return result;
+}
+
+JsonValue EncodeWireJobResult(const WireJobResult& result) {
+  JsonValue v = JsonValue::Object();
+  JsonValue results = JsonValue::Array();
+  for (const core::ProclusResult& r : result.results) {
+    results.Append(EncodeProclusResult(r));
+  }
+  v.Set("results", std::move(results));
+  if (!result.setting_seconds.empty()) {
+    JsonValue seconds = JsonValue::Array();
+    for (const double s : result.setting_seconds) {
+      seconds.Append(JsonValue::Double(s));
+    }
+    v.Set("setting_seconds", std::move(seconds));
+  }
+  v.Set("queue_seconds", JsonValue::Double(result.queue_seconds));
+  v.Set("exec_seconds", JsonValue::Double(result.exec_seconds));
+  if (result.modeled_gpu_seconds > 0.0) {
+    v.Set("modeled_gpu_seconds",
+          JsonValue::Double(result.modeled_gpu_seconds));
+  }
+  v.Set("warm_device", JsonValue::Bool(result.warm_device));
+  return v;
+}
+
+WireJobResult DecodeWireJobResult(const JsonValue& v) {
+  WireJobResult result;
+  if (const JsonValue* results = v.Find("results");
+      results != nullptr && results->is_array()) {
+    result.results.reserve(results->array_value.size());
+    for (const JsonValue& r : results->array_value) {
+      result.results.push_back(DecodeProclusResult(r));
+    }
+  }
+  if (const JsonValue* seconds = v.Find("setting_seconds");
+      seconds != nullptr && seconds->is_array()) {
+    for (const JsonValue& s : seconds->array_value) {
+      result.setting_seconds.push_back(s.AsDouble());
+    }
+  }
+  if (const JsonValue* f = v.Find("queue_seconds")) result.queue_seconds = f->AsDouble();
+  if (const JsonValue* f = v.Find("exec_seconds")) result.exec_seconds = f->AsDouble();
+  if (const JsonValue* f = v.Find("modeled_gpu_seconds")) result.modeled_gpu_seconds = f->AsDouble();
+  if (const JsonValue* f = v.Find("warm_device")) result.warm_device = f->AsBool();
+  return result;
+}
+
+}  // namespace
+
+// --- wire error codes --------------------------------------------------------
+
+const char* WireCodeName(StatusCode code) {
+  for (const CodeName& entry : kCodeNames) {
+    if (entry.code == code) return entry.name;
+  }
+  return "INTERNAL";
+}
+
+StatusCode WireCodeFromName(const std::string& name) {
+  for (const CodeName& entry : kCodeNames) {
+    if (name == entry.name) return entry.code;
+  }
+  return StatusCode::kInternal;
+}
+
+bool IsRetryableCode(StatusCode code) {
+  return code == StatusCode::kResourceExhausted;
+}
+
+const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kRegisterDataset: return "register_dataset";
+    case RequestType::kSubmitSingle: return "submit_single";
+    case RequestType::kSubmitSweep: return "submit_sweep";
+    case RequestType::kStatus: return "status";
+    case RequestType::kCancel: return "cancel";
+    case RequestType::kMetrics: return "metrics";
+  }
+  return "?";
+}
+
+namespace {
+
+Status RequestTypeFromName(const std::string& name, RequestType* out) {
+  for (const RequestType type :
+       {RequestType::kRegisterDataset, RequestType::kSubmitSingle,
+        RequestType::kSubmitSweep, RequestType::kStatus,
+        RequestType::kCancel, RequestType::kMetrics}) {
+    if (name == RequestTypeName(type)) {
+      *out = type;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown request type: " + name);
+}
+
+}  // namespace
+
+// --- requests ----------------------------------------------------------------
+
+Status EncodeRequest(const Request& request, std::string* out) {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  JsonValue v = JsonValue::Object();
+  v.Set("type", JsonValue::Str(RequestTypeName(request.type)));
+  switch (request.type) {
+    case RequestType::kRegisterDataset: {
+      if (request.dataset_id.empty()) {
+        return Status::InvalidArgument("register_dataset needs dataset_id");
+      }
+      if (request.has_inline_data == request.has_generate) {
+        return Status::InvalidArgument(
+            "register_dataset needs exactly one of inline data / generate");
+      }
+      v.Set("id", JsonValue::Str(request.dataset_id));
+      if (request.has_inline_data) {
+        v.Set("rows", JsonValue::Int(request.inline_data.rows()));
+        v.Set("cols", JsonValue::Int(request.inline_data.cols()));
+        JsonValue values = JsonValue::Array();
+        const float* data = request.inline_data.data();
+        const int64_t size = request.inline_data.size();
+        values.array_value.reserve(static_cast<size_t>(size));
+        for (int64_t i = 0; i < size; ++i) {
+          values.Append(JsonValue::Double(static_cast<double>(data[i])));
+        }
+        v.Set("values", std::move(values));
+      } else {
+        JsonValue gen = JsonValue::Object();
+        gen.Set("n", JsonValue::Int(request.generate.n));
+        gen.Set("d", JsonValue::Int(request.generate.d));
+        gen.Set("clusters", JsonValue::Int(request.generate.clusters));
+        gen.Set("seed",
+                JsonValue::Int(static_cast<int64_t>(request.generate.seed)));
+        gen.Set("normalize", JsonValue::Bool(request.generate.normalize));
+        v.Set("generate", std::move(gen));
+      }
+      break;
+    }
+    case RequestType::kSubmitSingle:
+    case RequestType::kSubmitSweep: {
+      if (request.dataset_id.empty()) {
+        return Status::InvalidArgument("submit needs dataset_id");
+      }
+      v.Set("dataset_id", JsonValue::Str(request.dataset_id));
+      v.Set("params", EncodeParams(request.params));
+      v.Set("options", EncodeOptions(request.options));
+      v.Set("priority",
+            JsonValue::Str(request.priority ==
+                                   service::JobPriority::kInteractive
+                               ? "interactive"
+                               : "bulk"));
+      if (request.timeout_ms > 0.0) {
+        v.Set("timeout_ms", JsonValue::Double(request.timeout_ms));
+      }
+      v.Set("wait", JsonValue::Bool(request.wait));
+      if (request.type == RequestType::kSubmitSweep) {
+        if (request.settings.empty()) {
+          return Status::InvalidArgument("submit_sweep needs settings");
+        }
+        JsonValue settings = JsonValue::Array();
+        for (const core::ParamSetting& s : request.settings) {
+          JsonValue setting = JsonValue::Object();
+          setting.Set("k", JsonValue::Int(s.k));
+          setting.Set("l", JsonValue::Int(s.l));
+          settings.Append(std::move(setting));
+        }
+        v.Set("settings", std::move(settings));
+        v.Set("reuse", JsonValue::Str(ReuseToken(request.reuse)));
+      }
+      break;
+    }
+    case RequestType::kStatus:
+      v.Set("job_id", JsonValue::Int(static_cast<int64_t>(request.job_id)));
+      v.Set("include_result", JsonValue::Bool(request.include_result));
+      break;
+    case RequestType::kCancel:
+      v.Set("job_id", JsonValue::Int(static_cast<int64_t>(request.job_id)));
+      break;
+    case RequestType::kMetrics:
+      break;
+  }
+  *out = json::Dump(v);
+  return Status::OK();
+}
+
+Status DecodeRequest(const std::string& payload, Request* out) {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  *out = Request();
+  JsonValue v;
+  std::string error;
+  if (!json::Parse(payload, &v, &error)) {
+    return Status::InvalidArgument("malformed request JSON: " + error);
+  }
+  if (!v.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  const JsonValue* type = v.Find("type");
+  if (type == nullptr || !type->is_string()) {
+    return Status::InvalidArgument("request needs a string \"type\"");
+  }
+  PROCLUS_RETURN_NOT_OK(RequestTypeFromName(type->string_value, &out->type));
+
+  switch (out->type) {
+    case RequestType::kRegisterDataset: {
+      if (const JsonValue* f = v.Find("id")) out->dataset_id = f->AsString();
+      if (out->dataset_id.empty()) {
+        return Status::InvalidArgument("register_dataset needs \"id\"");
+      }
+      const JsonValue* values = v.Find("values");
+      const JsonValue* generate = v.Find("generate");
+      if ((values != nullptr) == (generate != nullptr)) {
+        return Status::InvalidArgument(
+            "register_dataset needs exactly one of \"values\"/\"generate\"");
+      }
+      if (values != nullptr) {
+        const int64_t rows =
+            v.Find("rows") != nullptr ? v.Find("rows")->AsInt() : 0;
+        const int64_t cols =
+            v.Find("cols") != nullptr ? v.Find("cols")->AsInt() : 0;
+        if (rows <= 0 || cols <= 0 || !values->is_array()) {
+          return Status::InvalidArgument(
+              "register_dataset inline data needs rows > 0, cols > 0 and a "
+              "\"values\" array");
+        }
+        if (static_cast<int64_t>(values->array_value.size()) != rows * cols) {
+          return Status::InvalidArgument(
+              "register_dataset \"values\" size != rows*cols");
+        }
+        out->has_inline_data = true;
+        out->inline_data = data::Matrix(rows, cols);
+        float* data = out->inline_data.data();
+        for (int64_t i = 0; i < rows * cols; ++i) {
+          data[i] = static_cast<float>(values->array_value[i].AsDouble());
+        }
+      } else {
+        if (!generate->is_object()) {
+          return Status::InvalidArgument(
+              "register_dataset \"generate\" must be an object");
+        }
+        out->has_generate = true;
+        if (const JsonValue* f = generate->Find("n")) out->generate.n = f->AsInt(out->generate.n);
+        if (const JsonValue* f = generate->Find("d")) out->generate.d = static_cast<int>(f->AsInt(out->generate.d));
+        if (const JsonValue* f = generate->Find("clusters")) out->generate.clusters = static_cast<int>(f->AsInt(out->generate.clusters));
+        if (const JsonValue* f = generate->Find("seed")) out->generate.seed = static_cast<uint64_t>(f->AsInt(static_cast<int64_t>(out->generate.seed)));
+        if (const JsonValue* f = generate->Find("normalize")) out->generate.normalize = f->AsBool(true);
+        if (out->generate.n <= 0 || out->generate.d <= 0 ||
+            out->generate.clusters <= 0) {
+          return Status::InvalidArgument(
+              "register_dataset generate needs n, d, clusters > 0");
+        }
+      }
+      break;
+    }
+    case RequestType::kSubmitSingle:
+    case RequestType::kSubmitSweep: {
+      if (const JsonValue* f = v.Find("dataset_id")) {
+        out->dataset_id = f->AsString();
+      }
+      if (out->dataset_id.empty()) {
+        return Status::InvalidArgument("submit needs \"dataset_id\"");
+      }
+      DecodeParams(v.Find("params"), &out->params);
+      PROCLUS_RETURN_NOT_OK(DecodeOptions(v.Find("options"), &out->options));
+      if (const JsonValue* f = v.Find("priority")) {
+        const std::string token = f->AsString();
+        if (token == "interactive") {
+          out->priority = service::JobPriority::kInteractive;
+        } else if (token == "bulk" || token.empty()) {
+          out->priority = service::JobPriority::kBulk;
+        } else {
+          return Status::InvalidArgument("unknown priority: " + token);
+        }
+      }
+      if (const JsonValue* f = v.Find("timeout_ms")) {
+        out->timeout_ms = f->AsDouble();
+        if (out->timeout_ms < 0.0) {
+          return Status::InvalidArgument("timeout_ms must be >= 0");
+        }
+      }
+      if (const JsonValue* f = v.Find("wait")) out->wait = f->AsBool(true);
+      if (out->type == RequestType::kSubmitSweep) {
+        const JsonValue* settings = v.Find("settings");
+        if (settings == nullptr || !settings->is_array() ||
+            settings->array_value.empty()) {
+          return Status::InvalidArgument(
+              "submit_sweep needs a non-empty \"settings\" array");
+        }
+        for (const JsonValue& setting : settings->array_value) {
+          core::ParamSetting s;
+          if (const JsonValue* f = setting.Find("k")) s.k = static_cast<int>(f->AsInt(s.k));
+          if (const JsonValue* f = setting.Find("l")) s.l = static_cast<int>(f->AsInt(s.l));
+          out->settings.push_back(s);
+        }
+        if (const JsonValue* f = v.Find("reuse")) {
+          PROCLUS_RETURN_NOT_OK(ReuseFromToken(f->AsString(), &out->reuse));
+        }
+      }
+      break;
+    }
+    case RequestType::kStatus:
+      if (const JsonValue* f = v.Find("job_id")) {
+        out->job_id = static_cast<uint64_t>(f->AsInt());
+      }
+      if (out->job_id == 0) {
+        return Status::InvalidArgument("status needs a nonzero \"job_id\"");
+      }
+      if (const JsonValue* f = v.Find("include_result")) {
+        out->include_result = f->AsBool(true);
+      }
+      break;
+    case RequestType::kCancel:
+      if (const JsonValue* f = v.Find("job_id")) {
+        out->job_id = static_cast<uint64_t>(f->AsInt());
+      }
+      if (out->job_id == 0) {
+        return Status::InvalidArgument("cancel needs a nonzero \"job_id\"");
+      }
+      break;
+    case RequestType::kMetrics:
+      break;
+  }
+  return Status::OK();
+}
+
+// --- responses ---------------------------------------------------------------
+
+Status WireError::ToStatus() const {
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, message);
+}
+
+WireError WireError::FromStatus(const Status& status) {
+  WireError error;
+  error.code = status.code();
+  error.message = status.message();
+  error.retryable = IsRetryableCode(status.code());
+  return error;
+}
+
+Status EncodeResponse(const Response& response, std::string* out) {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  JsonValue v = JsonValue::Object();
+  v.Set("type", JsonValue::Str("response"));
+  v.Set("request", JsonValue::Str(RequestTypeName(response.request)));
+  v.Set("ok", JsonValue::Bool(response.ok));
+  if (!response.ok) {
+    JsonValue error = JsonValue::Object();
+    error.Set("code", JsonValue::Str(WireCodeName(response.error.code)));
+    error.Set("message", JsonValue::Str(response.error.message));
+    error.Set("retryable", JsonValue::Bool(response.error.retryable));
+    v.Set("error", std::move(error));
+  }
+  if (response.job_id != 0) {
+    v.Set("job_id", JsonValue::Int(static_cast<int64_t>(response.job_id)));
+  }
+  if (!response.phase.empty()) {
+    v.Set("phase", JsonValue::Str(response.phase));
+  }
+  if (response.has_result) {
+    v.Set("result", EncodeWireJobResult(response.result));
+  }
+  if (response.request == RequestType::kMetrics && response.ok) {
+    v.Set("metrics", response.metrics);
+  }
+  *out = json::Dump(v);
+  return Status::OK();
+}
+
+Status DecodeResponse(const std::string& payload, Response* out) {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  *out = Response();
+  JsonValue v;
+  std::string error;
+  if (!json::Parse(payload, &v, &error)) {
+    return Status::InvalidArgument("malformed response JSON: " + error);
+  }
+  if (!v.is_object()) {
+    return Status::InvalidArgument("response must be a JSON object");
+  }
+  if (const JsonValue* f = v.Find("request")) {
+    // Tolerant: an unknown echoed type only matters for logging.
+    RequestType type;
+    if (RequestTypeFromName(f->AsString(), &type).ok()) out->request = type;
+  }
+  if (const JsonValue* f = v.Find("ok")) out->ok = f->AsBool();
+  if (!out->ok) {
+    if (const JsonValue* e = v.Find("error"); e != nullptr && e->is_object()) {
+      if (const JsonValue* f = e->Find("code")) {
+        out->error.code = WireCodeFromName(f->AsString());
+      }
+      if (const JsonValue* f = e->Find("message")) {
+        out->error.message = f->AsString();
+      }
+      if (const JsonValue* f = e->Find("retryable")) {
+        out->error.retryable = f->AsBool();
+      }
+    } else {
+      out->error.code = StatusCode::kInternal;
+      out->error.message = "response carried no error object";
+    }
+  }
+  if (const JsonValue* f = v.Find("job_id")) {
+    out->job_id = static_cast<uint64_t>(f->AsInt());
+  }
+  if (const JsonValue* f = v.Find("phase")) out->phase = f->AsString();
+  if (const JsonValue* f = v.Find("result"); f != nullptr && f->is_object()) {
+    out->has_result = true;
+    out->result = DecodeWireJobResult(*f);
+  }
+  if (const JsonValue* f = v.Find("metrics")) out->metrics = *f;
+  return Status::OK();
+}
+
+}  // namespace proclus::net

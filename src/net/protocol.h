@@ -1,0 +1,154 @@
+#ifndef PROCLUS_NET_PROTOCOL_H_
+#define PROCLUS_NET_PROTOCOL_H_
+
+// The wire protocol of the serving layer (docs/serving.md is the message
+// reference). Every frame payload (net/frame.h) is one JSON object. A
+// request carries a "type" discriminator:
+//
+//   register_dataset — store a dataset server-side, either with inline
+//                      row-major "values" or a server-side "generate" spec
+//   submit_single    — one clustering run
+//   submit_sweep     — a (k,l) multi-parameter sweep (§3.1/§5.3)
+//   status           — poll a previously submitted async job
+//   cancel           — cooperatively cancel an async job
+//   metrics          — snapshot the server's net.*/service.* registry
+//
+// A response echoes the request type and reports either "ok":true with
+// type-specific fields or "ok":false with an {"code","message",
+// "retryable"} error object. Error codes are StatusCode names in
+// SCREAMING_SNAKE ("RESOURCE_EXHAUSTED", ...); RESOURCE_EXHAUSTED is the
+// retryable backpressure signal (queue full / connection budget spent) —
+// the server sheds load instead of buffering it.
+//
+// The same codec runs on both ends (the server decodes requests the
+// client encoded and vice versa), so the two cannot drift apart.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "core/api.h"
+#include "core/multi_param.h"
+#include "core/params.h"
+#include "core/result.h"
+#include "data/matrix.h"
+#include "service/job.h"
+
+namespace proclus::net {
+
+// --- wire error codes --------------------------------------------------------
+
+// StatusCode <-> wire name ("INVALID_ARGUMENT", ...). Unknown names decode
+// to kInternal.
+const char* WireCodeName(StatusCode code);
+StatusCode WireCodeFromName(const std::string& name);
+
+// Retryable errors: the request was fine, the server was momentarily out
+// of capacity — back off and resend. Everything else is a terminal answer.
+bool IsRetryableCode(StatusCode code);
+
+// --- requests ----------------------------------------------------------------
+
+enum class RequestType {
+  kRegisterDataset,
+  kSubmitSingle,
+  kSubmitSweep,
+  kStatus,
+  kCancel,
+  kMetrics,
+};
+
+const char* RequestTypeName(RequestType type);
+
+// Server-side dataset synthesis (register_dataset without shipping the
+// values): the server runs the same generator + min-max normalization the
+// CLI uses, so client and server can agree on a dataset by spec alone.
+struct GenerateSpec {
+  int64_t n = 4000;
+  int d = 12;
+  int clusters = 5;
+  uint64_t seed = 7;
+  bool normalize = true;
+};
+
+// One decoded request; `type` says which fields are meaningful.
+struct Request {
+  RequestType type = RequestType::kMetrics;
+
+  // register_dataset: the id plus exactly one of inline data / generate.
+  // submit_*: the id of a previously registered dataset.
+  std::string dataset_id;
+  bool has_inline_data = false;
+  data::Matrix inline_data;
+  bool has_generate = false;
+  GenerateSpec generate;
+
+  // submit_*.
+  core::ProclusParams params;
+  core::ClusterOptions options;  // backend/strategy/threads/gpu knobs only
+  service::JobPriority priority = service::JobPriority::kBulk;
+  double timeout_ms = 0.0;  // deadline from submission (queue + exec); 0 = server default
+  // true: the response is sent when the job finishes (results inline).
+  // false: the response acks with the job id; poll with status.
+  bool wait = true;
+
+  // submit_sweep.
+  std::vector<core::ParamSetting> settings;
+  core::ReuseLevel reuse = core::ReuseLevel::kWarmStart;
+
+  // status / cancel.
+  uint64_t job_id = 0;
+  bool include_result = true;  // status: ship results when terminal
+};
+
+Status EncodeRequest(const Request& request, std::string* out);
+Status DecodeRequest(const std::string& payload, Request* out);
+
+// --- responses ---------------------------------------------------------------
+
+struct WireError {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  bool retryable = false;
+
+  // Converts back to a Status (for client callers).
+  Status ToStatus() const;
+  static WireError FromStatus(const Status& status);
+};
+
+// Job outcome crossing the wire: the clustering(s) plus the scheduling
+// figures a client cares about. Everything needed for bit-identical
+// comparison against an in-process run is included.
+struct WireJobResult {
+  // kSingle: one entry; kSweep: one per setting, in input order.
+  std::vector<core::ProclusResult> results;
+  std::vector<double> setting_seconds;
+  double queue_seconds = 0.0;
+  double exec_seconds = 0.0;
+  double modeled_gpu_seconds = 0.0;
+  bool warm_device = false;
+};
+
+struct Response {
+  RequestType request = RequestType::kMetrics;  // echoed request type
+  bool ok = false;
+  WireError error;  // valid when !ok
+
+  uint64_t job_id = 0;      // submit_* and status
+  std::string phase;        // status + completed submits (JobPhaseName)
+  bool has_result = false;  // completed submits / terminal status
+  WireJobResult result;
+
+  // metrics: the registry snapshot object
+  // ({"counters":{...},"gauges":{...},"histograms":{...}}).
+  json::JsonValue metrics;
+};
+
+Status EncodeResponse(const Response& response, std::string* out);
+Status DecodeResponse(const std::string& payload, Response* out);
+
+}  // namespace proclus::net
+
+#endif  // PROCLUS_NET_PROTOCOL_H_

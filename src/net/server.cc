@@ -1,0 +1,433 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <utility>
+
+#include "data/generator.h"
+#include "data/normalize.h"
+#include "net/frame.h"
+
+namespace proclus::net {
+
+namespace {
+
+// How often blocked loops re-check stop/disconnect conditions.
+constexpr int kPollSliceMs = 50;
+// How long a shed connection gets to present its first request before the
+// server gives up on answering it politely.
+constexpr int kShedReadTimeoutMs = 2000;
+
+Response ErrorResponse(RequestType request, const Status& status) {
+  Response response;
+  response.request = request;
+  response.ok = false;
+  response.error = WireError::FromStatus(status);
+  return response;
+}
+
+void FillResult(const service::JobResult& job_result, Response* response) {
+  response->has_result = true;
+  response->result.results = job_result.results;
+  response->result.setting_seconds = job_result.setting_seconds;
+  response->result.queue_seconds = job_result.queue_seconds;
+  response->result.exec_seconds = job_result.exec_seconds;
+  response->result.modeled_gpu_seconds = job_result.modeled_gpu_seconds;
+  response->result.warm_device = job_result.warm_device;
+}
+
+bool IsTerminal(service::JobPhase phase) {
+  return phase != service::JobPhase::kQueued &&
+         phase != service::JobPhase::kRunning;
+}
+
+}  // namespace
+
+ProclusServer::ProclusServer(service::ProclusService* service,
+                             ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+ProclusServer::~ProclusServer() { Stop(); }
+
+Status ProclusServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  if (service_ == nullptr) {
+    return Status::InvalidArgument("service must not be null");
+  }
+  if (options_.max_connections < 1) {
+    return Status::InvalidArgument("max_connections must be >= 1");
+  }
+  stopping_.store(false, std::memory_order_release);
+  PROCLUS_RETURN_NOT_OK(listener_.Bind(options_.host, options_.port));
+  port_ = listener_.port();
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ProclusServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+
+  // Connection threads observe stopping_ between requests; requests already
+  // in flight (wait-mode submits included) run to completion and get their
+  // response — graceful stop drains, it does not abort.
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (const std::unique_ptr<Connection>& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  metrics_.gauge("net.active_connections")->Set(0.0);
+  running_.store(false, std::memory_order_release);
+}
+
+void ProclusServer::ReapFinishedConnections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const std::unique_ptr<Connection>& connection : finished) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void ProclusServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Socket socket;
+    const Status status = listener_.Accept(kPollSliceMs, &socket);
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      ReapFinishedConnections();
+      continue;
+    }
+    if (!status.ok()) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      // Transient accept failure; keep serving.
+      continue;
+    }
+    ReapFinishedConnections();
+
+    size_t active;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      active = connections_.size();
+    }
+    metrics_.counter("net.connections_accepted")->Increment();
+    if (active >= static_cast<size_t>(options_.max_connections)) {
+      metrics_.counter("net.connections_shed")->Increment();
+      ShedConnection(std::move(socket));
+      continue;
+    }
+
+    auto connection = std::make_unique<Connection>();
+    connection->socket = std::move(socket);
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(connection));
+      metrics_.gauge("net.active_connections")
+          ->Set(static_cast<double>(connections_.size()));
+    }
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void ProclusServer::ShedConnection(Socket socket) {
+  // Answer the first request so the client sees a retryable error rather
+  // than a mute close; budget the read so a silent peer cannot stall the
+  // accept loop.
+  RequestType request_type = RequestType::kMetrics;
+  if (socket.WaitReadable(kShedReadTimeoutMs).ok()) {
+    std::string payload;
+    if (ReadFrame(&socket, &payload).ok()) {
+      Request request;
+      if (DecodeRequest(payload, &request).ok()) {
+        request_type = request.type;
+      }
+    }
+  }
+  metrics_.counter("net.resource_exhausted")->Increment();
+  const Response response = ErrorResponse(
+      request_type,
+      Status::ResourceExhausted("connection budget exhausted; retry later"));
+  std::string payload;
+  if (EncodeResponse(response, &payload).ok()) {
+    WriteFrame(&socket, payload);
+  }
+  socket.Close();
+}
+
+void ProclusServer::ServeConnection(Connection* connection) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const Status readable = connection->socket.WaitReadable(kPollSliceMs);
+    if (readable.code() == StatusCode::kDeadlineExceeded) continue;
+    if (!readable.ok()) break;
+    std::string payload;
+    bool clean_close = false;
+    if (!ReadFrame(&connection->socket, &payload, &clean_close).ok()) break;
+    if (!HandleRequest(connection, payload)) break;
+  }
+  connection->socket.Close();
+  connection->done.store(true, std::memory_order_release);
+}
+
+bool ProclusServer::HandleRequest(Connection* connection,
+                                  const std::string& payload) {
+  metrics_.counter("net.requests")->Increment();
+  Request request;
+  Response response;
+  const Status decoded = DecodeRequest(payload, &request);
+  if (!decoded.ok()) {
+    metrics_.counter("net.decode_errors")->Increment();
+    response = ErrorResponse(RequestType::kMetrics, decoded);
+  } else {
+    bool peer_lost = false;
+    response = Dispatch(connection, request, &peer_lost);
+    if (peer_lost) return false;  // nobody left to answer
+  }
+  metrics_.counter(response.ok ? "net.responses_ok" : "net.responses_error")
+      ->Increment();
+  std::string encoded;
+  const Status encode_status = EncodeResponse(response, &encoded);
+  if (!encode_status.ok()) {
+    const Response fallback =
+        ErrorResponse(response.request,
+                      Status::Internal("response encoding failed: " +
+                                       encode_status.message()));
+    if (!EncodeResponse(fallback, &encoded).ok()) return false;
+  }
+  return WriteFrame(&connection->socket, encoded).ok();
+}
+
+Response ProclusServer::Dispatch(Connection* connection,
+                                 const Request& request, bool* peer_lost) {
+  switch (request.type) {
+    case RequestType::kRegisterDataset:
+      return HandleRegisterDataset(request);
+    case RequestType::kSubmitSingle:
+    case RequestType::kSubmitSweep:
+      return HandleSubmit(connection, request, peer_lost);
+    case RequestType::kStatus:
+      return HandleStatus(request);
+    case RequestType::kCancel:
+      return HandleCancel(request);
+    case RequestType::kMetrics:
+      return HandleMetrics();
+  }
+  return ErrorResponse(request.type,
+                       Status::Internal("unhandled request type"));
+}
+
+Response ProclusServer::HandleRegisterDataset(const Request& request) {
+  data::Matrix points;
+  if (request.has_inline_data) {
+    points = request.inline_data;
+  } else {
+    data::GeneratorConfig config;
+    config.n = request.generate.n;
+    config.d = request.generate.d;
+    config.num_clusters = request.generate.clusters;
+    config.subspace_dim = std::max(2, request.generate.d / 3);
+    config.seed = request.generate.seed;
+    data::Dataset dataset;
+    const Status status = data::GenerateSubspaceData(config, &dataset);
+    if (!status.ok()) return ErrorResponse(request.type, status);
+    if (request.generate.normalize) data::MinMaxNormalize(&dataset.points);
+    points = std::move(dataset.points);
+  }
+  const Status status =
+      service_->RegisterDataset(request.dataset_id, std::move(points));
+  if (!status.ok()) return ErrorResponse(request.type, status);
+  Response response;
+  response.request = request.type;
+  response.ok = true;
+  return response;
+}
+
+Response ProclusServer::HandleSubmit(Connection* connection,
+                                     const Request& request,
+                                     bool* peer_lost) {
+  service::JobSpec spec;
+  spec.kind = request.type == RequestType::kSubmitSweep
+                  ? service::JobKind::kSweep
+                  : service::JobKind::kSingle;
+  spec.dataset_id = request.dataset_id;
+  spec.params = request.params;
+  spec.options = request.options;
+  spec.settings = request.settings;
+  spec.reuse = request.reuse;
+  spec.priority = request.priority;
+  spec.timeout_seconds = request.timeout_ms / 1000.0;
+
+  service::JobHandle handle;
+  const Status submitted = service_->Submit(std::move(spec), &handle);
+  if (!submitted.ok()) {
+    if (submitted.code() == StatusCode::kResourceExhausted) {
+      metrics_.counter("net.resource_exhausted")->Increment();
+    }
+    return ErrorResponse(request.type, submitted);
+  }
+
+  if (!request.wait) {
+    metrics_.counter("net.submit_async")->Increment();
+    {
+      std::lock_guard<std::mutex> lock(jobs_mutex_);
+      async_jobs_.emplace(handle.id(), handle);
+    }
+    Response response;
+    response.request = request.type;
+    response.ok = true;
+    response.job_id = handle.id();
+    response.phase = service::JobPhaseName(handle.phase());
+    return response;
+  }
+
+  metrics_.counter("net.submit_wait")->Increment();
+  const auto wait_start = std::chrono::steady_clock::now();
+
+  // The completion signal lives on the heap: when the peer disconnects we
+  // cancel and walk away, and a *running* job only reaches its terminal
+  // phase (and fires the callback) later, on a worker thread.
+  struct WaitState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  auto state = std::make_shared<WaitState>();
+  handle.OnComplete([state](const service::JobResult&) {
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  });
+
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      if (state->cv.wait_for(lock,
+                             std::chrono::milliseconds(kPollSliceMs),
+                             [&] { return state->done; })) {
+        break;
+      }
+    }
+    if (connection->socket.PeerClosed()) {
+      metrics_.counter("net.disconnect_cancels")->Increment();
+      handle.Cancel();
+      *peer_lost = true;
+      return Response();
+    }
+  }
+
+  const service::JobResult* job_result = handle.TryGet();
+  metrics_.histogram("net.wait_seconds")
+      ->Observe(std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wait_start)
+                    .count());
+  if (job_result == nullptr) {
+    return ErrorResponse(request.type,
+                         Status::Internal("job signalled completion without "
+                                          "a result"));
+  }
+  Response response;
+  response.request = request.type;
+  response.job_id = handle.id();
+  response.phase = service::JobPhaseName(handle.phase());
+  if (!job_result->status.ok()) {
+    response.ok = false;
+    response.error = WireError::FromStatus(job_result->status);
+    return response;
+  }
+  response.ok = true;
+  FillResult(*job_result, &response);
+  return response;
+}
+
+Response ProclusServer::HandleStatus(const Request& request) {
+  service::JobHandle handle;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    const auto it = async_jobs_.find(request.job_id);
+    if (it == async_jobs_.end()) {
+      return ErrorResponse(
+          request.type,
+          Status::InvalidArgument("unknown job id: " +
+                                  std::to_string(request.job_id)));
+    }
+    handle = it->second;
+  }
+  Response response;
+  response.request = request.type;
+  response.job_id = request.job_id;
+  const service::JobPhase phase = handle.phase();
+  response.phase = service::JobPhaseName(phase);
+  if (!IsTerminal(phase)) {
+    response.ok = true;
+    return response;
+  }
+  const service::JobResult* job_result = handle.TryGet();
+  if (job_result == nullptr || !job_result->status.ok()) {
+    response.ok = false;
+    response.error = WireError::FromStatus(
+        job_result == nullptr
+            ? Status::Internal("terminal job without a result")
+            : job_result->status);
+    return response;
+  }
+  response.ok = true;
+  if (request.include_result) FillResult(*job_result, &response);
+  return response;
+}
+
+Response ProclusServer::HandleCancel(const Request& request) {
+  service::JobHandle handle;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    const auto it = async_jobs_.find(request.job_id);
+    if (it == async_jobs_.end()) {
+      return ErrorResponse(
+          request.type,
+          Status::InvalidArgument("unknown job id: " +
+                                  std::to_string(request.job_id)));
+    }
+    handle = it->second;
+  }
+  handle.Cancel();
+  Response response;
+  response.request = request.type;
+  response.ok = true;
+  response.job_id = request.job_id;
+  response.phase = service::JobPhaseName(handle.phase());
+  return response;
+}
+
+Response ProclusServer::HandleMetrics() {
+  service_->PublishMetrics(&metrics_);
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    metrics_.gauge("net.active_connections")
+        ->Set(static_cast<double>(connections_.size()));
+  }
+  Response response;
+  response.request = RequestType::kMetrics;
+  response.ok = true;
+  response.metrics = metrics_.JsonSnapshot();
+  return response;
+}
+
+}  // namespace proclus::net

@@ -1,0 +1,128 @@
+#ifndef PROCLUS_NET_SERVER_H_
+#define PROCLUS_NET_SERVER_H_
+
+// ProclusServer: a thread-per-connection TCP front end over a
+// ProclusService. Admission control is explicit at both layers:
+//
+//   * connections beyond `max_connections` are not queued — the first
+//     request on an over-budget connection gets a retryable
+//     RESOURCE_EXHAUSTED response and the connection is closed;
+//   * submits that hit the service's bounded queue surface the service's
+//     ResourceExhausted verbatim (also retryable) — the server never
+//     buffers jobs on the service's behalf.
+//
+// Wait-mode submits hold the connection until the job finishes; while
+// waiting, the server watches the socket and cancels the job if the peer
+// disconnects (an analyst closing a console must not leave work running,
+// §5.3). Stop() stops accepting work but drains in-flight jobs: every
+// accepted wait-mode request still gets its response before the
+// connection closes.
+//
+// The server publishes "net.*" counters/gauges into its metrics registry
+// alongside the service's "service.*" gauges; the `metrics` request
+// returns a snapshot of both (docs/observability.md).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "service/job.h"
+#include "service/proclus_service.h"
+
+namespace proclus::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 picks an ephemeral port; read it back via port() after Start().
+  int port = 0;
+  // Connection budget: the bound on concurrently served connections.
+  int max_connections = 32;
+};
+
+class ProclusServer {
+ public:
+  // `service` must outlive the server and already be constructed; the
+  // server does not own it (tests run in-process submits against the same
+  // instance to assert bit-identical results).
+  ProclusServer(service::ProclusService* service, ServerOptions options = {});
+  ~ProclusServer();
+
+  ProclusServer(const ProclusServer&) = delete;
+  ProclusServer& operator=(const ProclusServer&) = delete;
+
+  // Binds and starts the accept thread. Returns IoError when the port
+  // cannot be bound, FailedPrecondition when already started.
+  Status Start();
+
+  // Graceful stop: closes the listener, stops reading new requests, drains
+  // in-flight wait-mode jobs (their responses are still written), joins
+  // every connection thread. Idempotent; called by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (after Start()).
+  int port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  // The server's registry ("net.*" plus, on snapshot, "service.*").
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+  // One request -> one response. Returns false when the connection should
+  // close (peer gone or transport error).
+  bool HandleRequest(Connection* connection, const std::string& payload);
+  Response Dispatch(Connection* connection, const Request& request,
+                    bool* peer_lost);
+
+  Response HandleRegisterDataset(const Request& request);
+  Response HandleSubmit(Connection* connection, const Request& request,
+                        bool* peer_lost);
+  Response HandleStatus(const Request& request);
+  Response HandleCancel(const Request& request);
+  Response HandleMetrics();
+
+  // Sheds an over-budget connection: answer its first request with a
+  // retryable RESOURCE_EXHAUSTED and close.
+  void ShedConnection(Socket socket);
+  void ReapFinishedConnections();
+
+  service::ProclusService* const service_;
+  const ServerOptions options_;
+
+  Listener listener_;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  // Async (wait=false) jobs, pollable via status/cancel from any
+  // connection; they intentionally survive the submitting connection.
+  std::mutex jobs_mutex_;
+  std::unordered_map<uint64_t, service::JobHandle> async_jobs_;
+
+  obs::MetricsRegistry metrics_;
+};
+
+}  // namespace proclus::net
+
+#endif  // PROCLUS_NET_SERVER_H_

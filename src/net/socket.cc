@@ -1,0 +1,237 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace proclus::net {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// "localhost" and dotted quads; everything the loopback stack needs.
+Status ResolveIpv4(const std::string& host, in_addr* out) {
+  const std::string effective = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, effective.c_str(), out) != 1) {
+    return Status::InvalidArgument("cannot parse IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Socket::SendAll(const void* data, size_t len) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket is closed");
+  const char* cursor = static_cast<const char*>(data);
+  size_t remaining = len;
+  while (remaining > 0) {
+    const ssize_t sent = ::send(fd_, cursor, remaining, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("send failed"));
+    }
+    cursor += sent;
+    remaining -= static_cast<size_t>(sent);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvAll(void* data, size_t len, bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  if (fd_ < 0) return Status::FailedPrecondition("socket is closed");
+  char* cursor = static_cast<char*>(data);
+  size_t received = 0;
+  while (received < len) {
+    const ssize_t n = ::recv(fd_, cursor + received, len - received, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("recv failed"));
+    }
+    if (n == 0) {
+      if (received == 0 && clean_eof != nullptr) *clean_eof = true;
+      return Status::IoError("connection closed by peer");
+    }
+    received += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::WaitReadable(int timeout_ms) const {
+  if (fd_ < 0) return Status::FailedPrecondition("socket is closed");
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return Status::DeadlineExceeded("poll interrupted");
+    return Status::IoError(ErrnoMessage("poll failed"));
+  }
+  if (rc == 0) return Status::DeadlineExceeded("socket not readable");
+  // POLLHUP/POLLERR also count as readable: the next recv reports the
+  // EOF/reset, which is how callers should observe it.
+  return Status::OK();
+}
+
+bool Socket::PeerClosed() const {
+  if (fd_ < 0) return true;
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  const int rc = ::poll(&pfd, 1, 0);
+  if (rc < 0) return false;  // transient; do not kill the connection
+  if (rc == 0) return false;
+  if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) return true;
+  if ((pfd.revents & (POLLIN | POLLHUP)) != 0) {
+    // Readable: EOF or data. Peek without consuming to tell them apart.
+    char byte = 0;
+    const ssize_t n = ::recv(fd_, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (n == 0) return true;                        // orderly shutdown
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+        errno != EINTR) {
+      return true;                                  // reset
+    }
+  }
+  return false;
+}
+
+Status Connect(const std::string& host, int port, Socket* socket) {
+  if (socket == nullptr) {
+    return Status::InvalidArgument("socket must not be null");
+  }
+  *socket = Socket();
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range: " +
+                                   std::to_string(port));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  PROCLUS_RETURN_NOT_OK(ResolveIpv4(host, &addr.sin_addr));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(ErrnoMessage("socket failed"));
+  Socket pending(fd);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return Status::IoError("connect to " + host + ":" +
+                           std::to_string(port) + " failed: " +
+                           std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *socket = std::move(pending);
+  return Status::OK();
+}
+
+Status Listener::Bind(const std::string& host, int port, int backlog) {
+  Close();
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range: " +
+                                   std::to_string(port));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  PROCLUS_RETURN_NOT_OK(ResolveIpv4(host, &addr.sin_addr));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(ErrnoMessage("socket failed"));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Status::IoError(
+        "bind to " + host + ":" + std::to_string(port) + " failed: " +
+        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) < 0) {
+    const Status status = Status::IoError(ErrnoMessage("listen failed"));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    const Status status = Status::IoError(ErrnoMessage("getsockname failed"));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  return Status::OK();
+}
+
+Status Listener::Accept(int timeout_ms, Socket* socket) {
+  if (socket == nullptr) {
+    return Status::InvalidArgument("socket must not be null");
+  }
+  *socket = Socket();
+  if (fd_ < 0) return Status::FailedPrecondition("listener is closed");
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return Status::DeadlineExceeded("poll interrupted");
+    return Status::IoError(ErrnoMessage("poll failed"));
+  }
+  if (rc == 0) return Status::DeadlineExceeded("no pending connection");
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("connection vanished before accept");
+    }
+    return Status::IoError(ErrnoMessage("accept failed"));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *socket = Socket(fd);
+  return Status::OK();
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+}  // namespace proclus::net

@@ -1,0 +1,93 @@
+#ifndef PROCLUS_NET_SOCKET_H_
+#define PROCLUS_NET_SOCKET_H_
+
+// Thin RAII layer over POSIX TCP sockets, just enough for the serving
+// stack: blocking connect/accept/send/recv with Status-based errors, a
+// poll-based readability wait (used to slice blocking reads so server
+// threads can observe a stop flag), and peer-close detection (used for
+// cancel-on-disconnect while a job runs). Loopback-oriented; no TLS, no
+// non-blocking I/O.
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace proclus::net {
+
+// Owning wrapper of a connected socket fd. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  // Takes ownership of `fd` (must be a connected stream socket, or -1).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  // Sends exactly `len` bytes (no SIGPIPE). IoError on failure.
+  Status SendAll(const void* data, size_t len);
+
+  // Receives exactly `len` bytes. On failure returns IoError; when the
+  // peer closed cleanly before the first byte, `*clean_eof` (optional) is
+  // set true so framed readers can tell "connection ended between frames"
+  // from a torn frame.
+  Status RecvAll(void* data, size_t len, bool* clean_eof = nullptr);
+
+  // Waits up to `timeout_ms` for the socket to become readable. OK when
+  // readable (data or EOF pending), DeadlineExceeded on timeout, IoError
+  // on poll failure.
+  Status WaitReadable(int timeout_ms) const;
+
+  // True when the peer has hung up: pending EOF/reset with no data left.
+  // Does not consume buffered data; a socket with unread payload reports
+  // false. Used to abort server-side job waits when the client vanishes.
+  bool PeerClosed() const;
+
+ private:
+  int fd_ = -1;
+};
+
+// Opens a blocking TCP connection to host:port (IPv4 dotted quad or
+// "localhost"). Fills `*socket` on OK.
+Status Connect(const std::string& host, int port, Socket* socket);
+
+// Listening TCP socket. Bind, then Accept in a loop; Accept takes a
+// timeout so the accept loop can poll a stop flag between attempts.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Binds and listens on host:port. Port 0 picks an ephemeral port; the
+  // chosen one is available from port() afterwards.
+  Status Bind(const std::string& host, int port, int backlog = 64);
+
+  bool listening() const { return fd_ >= 0; }
+  int port() const { return port_; }
+
+  // Waits up to `timeout_ms` for a connection and accepts it.
+  // DeadlineExceeded when none arrived, FailedPrecondition when not
+  // listening, IoError otherwise.
+  Status Accept(int timeout_ms, Socket* socket);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace proclus::net
+
+#endif  // PROCLUS_NET_SOCKET_H_

@@ -4,8 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <utility>
 
-#include "obs/trace.h"
+#include "common/json.h"
 
 namespace proclus::obs {
 
@@ -100,42 +101,40 @@ std::string MetricsRegistry::TextSnapshot() const {
   return out;
 }
 
-void MetricsRegistry::WriteJson(std::ostream& out) const {
+json::JsonValue MetricsRegistry::JsonSnapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::string buffer = "{\"counters\":{";
-  bool first = true;
+  json::JsonValue root = json::JsonValue::Object();
+  json::JsonValue counters = json::JsonValue::Object();
   for (const auto& [name, counter] : counters_) {
-    if (!first) buffer += ',';
-    first = false;
-    buffer += '"' + JsonEscape(name) + "\":" + FormatInt(counter->value());
+    counters.Set(name, json::JsonValue::Int(counter->value()));
   }
-  buffer += "},\"gauges\":{";
-  first = true;
+  json::JsonValue gauges = json::JsonValue::Object();
   for (const auto& [name, gauge] : gauges_) {
-    if (!first) buffer += ',';
-    first = false;
-    buffer += '"' + JsonEscape(name) + "\":" + FormatDouble(gauge->value());
+    gauges.Set(name, json::JsonValue::Double(gauge->value()));
   }
-  buffer += "},\"histograms\":{";
-  first = true;
+  json::JsonValue histograms = json::JsonValue::Object();
   for (const auto& [name, histogram] : histograms_) {
     const Histogram::Snapshot snap = histogram->snapshot();
-    if (!first) buffer += ',';
-    first = false;
-    buffer += '"' + JsonEscape(name) + "\":{";
-    buffer += "\"count\":" + FormatInt(snap.count);
-    buffer += ",\"sum\":" + FormatDouble(snap.sum);
-    buffer += ",\"min\":" + FormatDouble(snap.min);
-    buffer += ",\"max\":" + FormatDouble(snap.max);
-    buffer += ",\"buckets\":[";
-    for (size_t i = 0; i < snap.buckets.size(); ++i) {
-      if (i > 0) buffer += ',';
-      buffer += FormatInt(snap.buckets[i]);
+    json::JsonValue h = json::JsonValue::Object();
+    h.Set("count", json::JsonValue::Int(snap.count));
+    h.Set("sum", json::JsonValue::Double(snap.sum));
+    h.Set("min", json::JsonValue::Double(snap.min));
+    h.Set("max", json::JsonValue::Double(snap.max));
+    json::JsonValue buckets = json::JsonValue::Array();
+    for (const int64_t bucket : snap.buckets) {
+      buckets.Append(json::JsonValue::Int(bucket));
     }
-    buffer += "]}";
+    h.Set("buckets", std::move(buckets));
+    histograms.Set(name, std::move(h));
   }
-  buffer += "}}\n";
-  out << buffer;
+  root.Set("counters", std::move(counters));
+  root.Set("gauges", std::move(gauges));
+  root.Set("histograms", std::move(histograms));
+  return root;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  out << json::Dump(JsonSnapshot()) << '\n';
 }
 
 }  // namespace proclus::obs

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
+
 namespace proclus::obs {
 
 // Monotonically increasing integer metric (events, work items, bytes).
@@ -90,7 +92,11 @@ class MetricsRegistry {
   // count/sum/min/max. Meant for logs and quick dumps.
   std::string TextSnapshot() const;
 
-  // JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  // JSON object {"counters":{...},"gauges":{...},"histograms":{...}},
+  // built on the shared src/common/json.h implementation. JsonSnapshot
+  // returns the value tree (the net/ `metrics` wire response embeds it);
+  // WriteJson renders it followed by a newline.
+  json::JsonValue JsonSnapshot() const;
   void WriteJson(std::ostream& out) const;
 
  private:

@@ -5,39 +5,15 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/json.h"
+
 namespace proclus::obs {
 
 std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  // Shared implementation with the wire codec and metrics snapshots
+  // (src/common/json.h). The trace writer keeps its streaming event
+  // emission for volume but escapes through the one escape routine.
+  return json::Escape(s);
 }
 
 namespace {

@@ -1,5 +1,7 @@
 #include "service/device_pool.h"
 
+#include <chrono>
+
 #include "common/macros.h"
 
 namespace proclus::service {
@@ -34,19 +36,51 @@ DevicePool::Entry* DevicePool::FindIdleLocked() {
   return unconstructed;
 }
 
-DevicePool::Lease DevicePool::Acquire() {
+Status DevicePool::AcquireFor(const parallel::CancellationToken* cancel,
+                              Lease* lease) {
+  PROCLUS_CHECK(lease != nullptr);
+  *lease = Lease{};
   std::unique_lock<std::mutex> lock(mutex_);
   Entry* entry = nullptr;
-  device_idle_.wait(lock, [&] { return (entry = FindIdleLocked()) != nullptr; });
+  for (;;) {
+    if (shutdown_) {
+      return Status::FailedPrecondition("device pool is shut down");
+    }
+    if (cancel != nullptr) {
+      // Checked before leasing: a job whose token already fired must not
+      // grab a device only to release it unused.
+      PROCLUS_RETURN_NOT_OK(cancel->Check());
+    }
+    if ((entry = FindIdleLocked()) != nullptr) break;
+    // Slice the wait so a cancellation/deadline/shutdown that fires while
+    // every device is leased unwedges the caller promptly.
+    device_idle_.wait_for(lock, std::chrono::milliseconds(10));
+  }
   if (entry->device == nullptr) {
     entry->device = std::make_unique<simt::Device>(props_);
   }
   entry->leased = true;
   ++acquires_;
-  Lease lease{entry->device.get(), entry->used_before};
+  lease->device = entry->device.get();
+  lease->warm = entry->used_before;
   if (entry->used_before) ++reuse_hits_;
   entry->used_before = true;
+  return Status::OK();
+}
+
+DevicePool::Lease DevicePool::Acquire() {
+  Lease lease;
+  const Status status = AcquireFor(nullptr, &lease);
+  PROCLUS_CHECK(status.ok());
   return lease;
+}
+
+void DevicePool::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  device_idle_.notify_all();
 }
 
 void DevicePool::Release(simt::Device* device) {

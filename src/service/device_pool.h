@@ -7,6 +7,8 @@
 #include <mutex>
 #include <vector>
 
+#include "common/status.h"
+#include "parallel/cancellation.h"
 #include "simt/device.h"
 #include "simt/device_properties.h"
 
@@ -39,10 +41,23 @@ class DevicePool {
     bool warm = false;
   };
 
-  // Blocks until a device is idle and leases it. The caller must Release
-  // the same device when done.
+  // Blocks until a device is idle and leases it into `*lease`. The wait is
+  // interruptible: it aborts with Cancelled/DeadlineExceeded as soon as
+  // `cancel` (optional) fires, and with FailedPrecondition once the pool is
+  // shut down — a caller waiting on a fully-leased pool can therefore
+  // always be unwedged. On OK the caller must Release the leased device.
+  Status AcquireFor(const parallel::CancellationToken* cancel, Lease* lease);
+
+  // Blocks until a device is idle and leases it. Aborts the process if the
+  // pool is shut down while waiting; prefer AcquireFor when the wait must
+  // be interruptible.
   Lease Acquire();
   void Release(simt::Device* device);
+
+  // Wakes every waiter (their AcquireFor returns FailedPrecondition) and
+  // makes future acquires fail. Leased devices stay valid until Release.
+  // Idempotent.
+  void Shutdown();
 
   int capacity() const { return capacity_; }
   // Total leases handed out, and how many of them found a warm device.
@@ -64,6 +79,7 @@ class DevicePool {
   mutable std::mutex mutex_;
   std::condition_variable device_idle_;
   std::vector<Entry> entries_;
+  bool shutdown_ = false;
   int64_t acquires_ = 0;
   int64_t reuse_hits_ = 0;
 };

@@ -2,6 +2,7 @@
 #define PROCLUS_SERVICE_JOB_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -116,6 +117,17 @@ class JobHandle {
 
   // Returns the result if the job already finished, nullptr otherwise.
   const JobResult* TryGet() const;
+
+  // Registers a callback invoked exactly once when the job reaches a
+  // terminal phase, with the final JobResult (valid while any handle to
+  // the job exists). A job that is already terminal invokes the callback
+  // synchronously before OnComplete returns; otherwise it runs on the
+  // thread that finishes the job (a service worker or a canceller) — keep
+  // callbacks short and never call back into ProclusService::Shutdown or
+  // JobHandle::Wait from one. This is the push-style alternative to
+  // polling TryGet()/blocking in Wait(); the net/ server uses it to write
+  // wire responses as jobs complete.
+  void OnComplete(std::function<void(const JobResult&)> callback) const;
 
   // Requests cooperative cancellation. A still-queued job is cancelled
   // immediately; a running job stops at the next cancellation point and

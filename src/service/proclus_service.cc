@@ -150,12 +150,29 @@ struct Job {
   std::condition_variable cv;
   JobPhase phase = JobPhase::kQueued;
   JobResult result;
+  // Completion callbacks registered via JobHandle::OnComplete that have not
+  // fired yet. Guarded by `mutex`; invoked (outside the lock) by
+  // FlushCallbacks exactly once after the terminal transition.
+  std::vector<std::function<void(const JobResult&)>> completion_callbacks;
 
   // Caller must hold `mutex`.
   void FinishLocked(Status status) {
     result.status = std::move(status);
     phase = PhaseForStatus(result.status);
     cv.notify_all();
+  }
+
+  // Invokes and clears the pending completion callbacks. Must be called
+  // WITHOUT `mutex` held, after the transition to a terminal phase; every
+  // FinishLocked call site pairs with one FlushCallbacks once its lock is
+  // released. Safe to call more than once (later calls see no callbacks).
+  void FlushCallbacks() {
+    std::vector<std::function<void(const JobResult&)>> callbacks;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      callbacks.swap(completion_callbacks);
+    }
+    for (auto& callback : callbacks) callback(result);
   }
 };
 
@@ -184,20 +201,39 @@ const JobResult* JobHandle::TryGet() const {
   return IsTerminal(job_->phase) ? &job_->result : nullptr;
 }
 
+void JobHandle::OnComplete(
+    std::function<void(const JobResult&)> callback) const {
+  PROCLUS_CHECK(job_ != nullptr && callback != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(job_->mutex);
+    if (!IsTerminal(job_->phase)) {
+      job_->completion_callbacks.push_back(std::move(callback));
+      return;
+    }
+  }
+  // Already terminal: the result is immutable now, invoke synchronously.
+  callback(job_->result);
+}
+
 void JobHandle::Cancel() {
   if (job_ == nullptr) return;
   job_->token.Cancel();
-  std::lock_guard<std::mutex> lock(job_->mutex);
-  if (job_->phase == JobPhase::kQueued) {
-    // Still waiting for a worker: finish right here; the worker skips the
-    // job when it eventually pops it.
-    job_->result.queue_seconds = SecondsSince(job_->submit_time);
-    job_->TraceQueueWait("cancelled");
-    job_->FinishLocked(Status::Cancelled("cancelled while queued"));
-    job_->stats->CountTerminal(job_->result.status);
+  bool finished_here = false;
+  {
+    std::lock_guard<std::mutex> lock(job_->mutex);
+    if (job_->phase == JobPhase::kQueued) {
+      // Still waiting for a worker: finish right here; the worker skips
+      // the job when it eventually pops it.
+      job_->result.queue_seconds = SecondsSince(job_->submit_time);
+      job_->TraceQueueWait("cancelled");
+      job_->FinishLocked(Status::Cancelled("cancelled while queued"));
+      job_->stats->CountTerminal(job_->result.status);
+      finished_here = true;
+    }
+    // Running jobs stop cooperatively via the token; the worker finishes
+    // them with the Cancelled status the driver returns.
   }
-  // Running jobs stop cooperatively via the token; the worker finishes
-  // them with the Cancelled status the driver returns.
+  if (finished_here) job_->FlushCallbacks();
 }
 
 // --- ProclusService ----------------------------------------------------------
@@ -371,7 +407,7 @@ void ProclusService::WorkerLoop() {
 void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
   const JobSpec& spec = job->spec;
   {
-    std::lock_guard<std::mutex> lock(job->mutex);
+    std::unique_lock<std::mutex> lock(job->mutex);
     if (job->phase != JobPhase::kQueued) return;  // cancelled while queued
     job->result.queue_seconds = SecondsSince(job->submit_time);
     const Status queued_status = job->token.Check();
@@ -383,6 +419,8 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
                               : "timed_out");
       stats_->CountTerminal(queued_status);
       job->FinishLocked(queued_status);
+      lock.unlock();
+      job->FlushCallbacks();
       return;
     }
     job->phase = JobPhase::kRunning;
@@ -399,7 +437,23 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
   merged.trace = job->trace;
   DevicePool::Lease lease;
   if (merged.backend == core::ComputeBackend::kGpu) {
-    lease = device_pool_->Acquire();
+    // Interruptible wait: a cancel or deadline that fires while every
+    // pooled device is leased must not wedge this worker (satellite of the
+    // serving layer — disconnecting clients cancel jobs at any phase).
+    const Status acquire_status =
+        device_pool_->AcquireFor(&job->token, &lease);
+    if (!acquire_status.ok()) {
+      run_span.AddArg(obs::TraceArg::Str(
+          "outcome", JobPhaseName(PhaseForStatus(acquire_status))));
+      run_span.End();
+      stats_->CountTerminal(acquire_status);
+      {
+        std::lock_guard<std::mutex> lock(job->mutex);
+        job->FinishLocked(acquire_status);
+      }
+      job->FlushCallbacks();
+      return;
+    }
     lease.device->ResetArena();
     lease.device->ResetStats();
     merged.device = lease.device;
@@ -467,6 +521,7 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
     job->result.warm_device = warm_device;
     job->FinishLocked(std::move(status));
   }
+  job->FlushCallbacks();
 }
 
 void ProclusService::Shutdown() {
@@ -479,6 +534,39 @@ void ProclusService::Shutdown() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+
+  // Submit and this function serialize acceptance and `stopping_` under
+  // queue_mutex_, and workers only exit once both queues are empty, so no
+  // accepted job can still be queued here. Drain defensively anyway: the
+  // no-lost-job guarantee (every OK Submit reaches a terminal phase, see
+  // the shutdown-race stress test) must survive future refactors of the
+  // worker loop, not depend on them.
+  std::deque<std::shared_ptr<internal::Job>> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    leftovers.swap(interactive_queue_);
+    for (auto& job : bulk_queue_) leftovers.push_back(std::move(job));
+    bulk_queue_.clear();
+  }
+  for (const auto& job : leftovers) {
+    bool finished_here = false;
+    {
+      std::lock_guard<std::mutex> lock(job->mutex);
+      if (job->phase == JobPhase::kQueued) {
+        job->result.queue_seconds = SecondsSince(job->submit_time);
+        job->TraceQueueWait("shutdown");
+        const Status status =
+            Status::FailedPrecondition("service shut down before job ran");
+        stats_->CountTerminal(status);
+        job->FinishLocked(status);
+        finished_here = true;
+      }
+    }
+    if (finished_here) job->FlushCallbacks();
+  }
+
+  // Nobody can wait on a device anymore; unwedge any stray waiter.
+  device_pool_->Shutdown();
 }
 
 void ProclusService::PublishMetrics(obs::MetricsRegistry* registry,

@@ -1,0 +1,314 @@
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/status.h"
+#include "data/matrix.h"
+
+namespace proclus::net {
+namespace {
+
+TEST(WireCodeTest, RoundTripsEveryStatusCode) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kResourceExhausted, StatusCode::kIoError,
+        StatusCode::kInternal, StatusCode::kCancelled,
+        StatusCode::kDeadlineExceeded}) {
+    EXPECT_EQ(WireCodeFromName(WireCodeName(code)), code);
+  }
+}
+
+TEST(WireCodeTest, UnknownNameDecodesToInternal) {
+  EXPECT_EQ(WireCodeFromName("NO_SUCH_CODE"), StatusCode::kInternal);
+  EXPECT_EQ(WireCodeFromName(""), StatusCode::kInternal);
+}
+
+TEST(WireCodeTest, OnlyResourceExhaustedIsRetryable) {
+  EXPECT_TRUE(IsRetryableCode(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kInternal));
+}
+
+TEST(WireErrorTest, FromStatusMarksBackpressureRetryable) {
+  const WireError retryable =
+      WireError::FromStatus(Status::ResourceExhausted("queue full"));
+  EXPECT_TRUE(retryable.retryable);
+  EXPECT_EQ(retryable.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(retryable.ToStatus().message(), "queue full");
+
+  const WireError terminal =
+      WireError::FromStatus(Status::InvalidArgument("bad k"));
+  EXPECT_FALSE(terminal.retryable);
+  EXPECT_EQ(terminal.ToStatus().code(), StatusCode::kInvalidArgument);
+}
+
+Request RoundTrip(const Request& request) {
+  std::string payload;
+  EXPECT_TRUE(EncodeRequest(request, &payload).ok());
+  Request decoded;
+  EXPECT_TRUE(DecodeRequest(payload, &decoded).ok()) << payload;
+  return decoded;
+}
+
+TEST(RequestCodecTest, SubmitSingleRoundTrips) {
+  Request request;
+  request.type = RequestType::kSubmitSingle;
+  request.dataset_id = "d1";
+  request.params.k = 7;
+  request.params.l = 3;
+  request.params.a = 42.5;
+  request.params.b = 8.25;
+  request.params.min_dev = 0.61;
+  request.params.itr_pat = 9;
+  request.params.seed = 123456789;
+  request.params.max_total_iterations = 77;
+  request.options.backend = core::ComputeBackend::kMultiCore;
+  request.options.strategy = core::Strategy::kFastStar;
+  request.options.num_threads = 3;
+  request.priority = service::JobPriority::kInteractive;
+  request.timeout_ms = 1500.5;
+  request.wait = false;
+
+  const Request decoded = RoundTrip(request);
+  EXPECT_EQ(decoded.type, RequestType::kSubmitSingle);
+  EXPECT_EQ(decoded.dataset_id, "d1");
+  EXPECT_EQ(decoded.params.k, 7);
+  EXPECT_EQ(decoded.params.l, 3);
+  EXPECT_EQ(decoded.params.a, 42.5);
+  EXPECT_EQ(decoded.params.b, 8.25);
+  EXPECT_EQ(decoded.params.min_dev, 0.61);
+  EXPECT_EQ(decoded.params.itr_pat, 9);
+  EXPECT_EQ(decoded.params.seed, 123456789u);
+  EXPECT_EQ(decoded.params.max_total_iterations, 77);
+  EXPECT_EQ(decoded.options.backend, core::ComputeBackend::kMultiCore);
+  EXPECT_EQ(decoded.options.strategy, core::Strategy::kFastStar);
+  EXPECT_EQ(decoded.options.num_threads, 3);
+  EXPECT_EQ(decoded.priority, service::JobPriority::kInteractive);
+  EXPECT_EQ(decoded.timeout_ms, 1500.5);
+  EXPECT_FALSE(decoded.wait);
+}
+
+TEST(RequestCodecTest, SubmitSweepRoundTripsSettingsAndReuse) {
+  Request request;
+  request.type = RequestType::kSubmitSweep;
+  request.dataset_id = "sweep-data";
+  request.settings = {{4, 3}, {5, 4}, {6, 5}};
+  request.reuse = core::ReuseLevel::kGreedy;
+
+  const Request decoded = RoundTrip(request);
+  EXPECT_EQ(decoded.type, RequestType::kSubmitSweep);
+  ASSERT_EQ(decoded.settings.size(), 3u);
+  EXPECT_EQ(decoded.settings[1].k, 5);
+  EXPECT_EQ(decoded.settings[1].l, 4);
+  EXPECT_EQ(decoded.reuse, core::ReuseLevel::kGreedy);
+  EXPECT_TRUE(decoded.wait);
+}
+
+TEST(RequestCodecTest, RegisterInlineDataRoundTripsBitIdentical) {
+  data::Matrix points(3, 2);
+  points(0, 0) = 0.123456789f;
+  points(0, 1) = -1.5f;
+  points(1, 0) = 3.0e-7f;
+  points(1, 1) = 12345.678f;
+  points(2, 0) = 0.0f;
+  points(2, 1) = 1.0f / 3.0f;
+
+  Request request;
+  request.type = RequestType::kRegisterDataset;
+  request.dataset_id = "inline";
+  request.has_inline_data = true;
+  request.inline_data = points;
+
+  const Request decoded = RoundTrip(request);
+  EXPECT_EQ(decoded.type, RequestType::kRegisterDataset);
+  EXPECT_EQ(decoded.dataset_id, "inline");
+  ASSERT_TRUE(decoded.has_inline_data);
+  // Doubles are printed with %.17g, so float values survive exactly.
+  EXPECT_EQ(decoded.inline_data, points);
+}
+
+TEST(RequestCodecTest, RegisterGenerateRoundTrips) {
+  Request request;
+  request.type = RequestType::kRegisterDataset;
+  request.dataset_id = "gen";
+  request.has_generate = true;
+  request.generate.n = 12345;
+  request.generate.d = 9;
+  request.generate.clusters = 6;
+  request.generate.seed = 99;
+  request.generate.normalize = false;
+
+  const Request decoded = RoundTrip(request);
+  ASSERT_TRUE(decoded.has_generate);
+  EXPECT_FALSE(decoded.has_inline_data);
+  EXPECT_EQ(decoded.generate.n, 12345);
+  EXPECT_EQ(decoded.generate.d, 9);
+  EXPECT_EQ(decoded.generate.clusters, 6);
+  EXPECT_EQ(decoded.generate.seed, 99u);
+  EXPECT_FALSE(decoded.generate.normalize);
+}
+
+TEST(RequestCodecTest, StatusAndCancelRoundTrip) {
+  Request status;
+  status.type = RequestType::kStatus;
+  status.job_id = 42;
+  status.include_result = false;
+  const Request decoded_status = RoundTrip(status);
+  EXPECT_EQ(decoded_status.type, RequestType::kStatus);
+  EXPECT_EQ(decoded_status.job_id, 42u);
+  EXPECT_FALSE(decoded_status.include_result);
+
+  Request cancel;
+  cancel.type = RequestType::kCancel;
+  cancel.job_id = 7;
+  const Request decoded_cancel = RoundTrip(cancel);
+  EXPECT_EQ(decoded_cancel.type, RequestType::kCancel);
+  EXPECT_EQ(decoded_cancel.job_id, 7u);
+}
+
+TEST(RequestCodecTest, RejectsMalformedRequests) {
+  Request out;
+  EXPECT_EQ(DecodeRequest("not json", &out).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeRequest("[1,2]", &out).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeRequest("{}", &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeRequest(R"({"type":"launch_missiles"})", &out).code(),
+            StatusCode::kInvalidArgument);
+  // submit without a dataset id.
+  EXPECT_EQ(DecodeRequest(R"({"type":"submit_single"})", &out).code(),
+            StatusCode::kInvalidArgument);
+  // sweep without settings.
+  EXPECT_EQ(
+      DecodeRequest(R"({"type":"submit_sweep","dataset_id":"x"})", &out)
+          .code(),
+      StatusCode::kInvalidArgument);
+  // status without a job id.
+  EXPECT_EQ(DecodeRequest(R"({"type":"status"})", &out).code(),
+            StatusCode::kInvalidArgument);
+  // register with both inline values and a generate spec.
+  EXPECT_EQ(DecodeRequest(R"({"type":"register_dataset","id":"x",
+                              "rows":1,"cols":1,"values":[1],
+                              "generate":{"n":10,"d":2,"clusters":1}})",
+                          &out)
+                .code(),
+            StatusCode::kInvalidArgument);
+  // inline data with the wrong element count.
+  EXPECT_EQ(DecodeRequest(R"({"type":"register_dataset","id":"x",
+                              "rows":2,"cols":2,"values":[1,2,3]})",
+                          &out)
+                .code(),
+            StatusCode::kInvalidArgument);
+  // unknown enum tokens.
+  EXPECT_EQ(DecodeRequest(R"({"type":"submit_single","dataset_id":"x",
+                              "options":{"backend":"tpu"}})",
+                          &out)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeRequest(R"({"type":"submit_single","dataset_id":"x",
+                              "priority":"urgent"})",
+                          &out)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ResponseCodecTest, OkResponseWithResultRoundTrips) {
+  Response response;
+  response.request = RequestType::kSubmitSweep;
+  response.ok = true;
+  response.job_id = 11;
+  response.phase = "done";
+  response.has_result = true;
+
+  core::ProclusResult r1;
+  r1.medoids = {5, 9, 2};
+  r1.dimensions = {{0, 1}, {2, 3}, {1, 4}};
+  r1.assignment = {0, 0, 1, 2, -1};
+  r1.iterative_cost = 0.125;
+  r1.refined_cost = 0.0625;
+  core::ProclusResult r2 = r1;
+  r2.refined_cost = 0.03125;
+  response.result.results = {r1, r2};
+  response.result.setting_seconds = {0.5, 0.25};
+  response.result.queue_seconds = 0.001;
+  response.result.exec_seconds = 0.75;
+  response.result.modeled_gpu_seconds = 0.25;
+  response.result.warm_device = true;
+
+  std::string payload;
+  ASSERT_TRUE(EncodeResponse(response, &payload).ok());
+  Response decoded;
+  ASSERT_TRUE(DecodeResponse(payload, &decoded).ok()) << payload;
+
+  EXPECT_EQ(decoded.request, RequestType::kSubmitSweep);
+  EXPECT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.job_id, 11u);
+  EXPECT_EQ(decoded.phase, "done");
+  ASSERT_TRUE(decoded.has_result);
+  ASSERT_EQ(decoded.result.results.size(), 2u);
+  EXPECT_EQ(decoded.result.results[0].medoids, r1.medoids);
+  EXPECT_EQ(decoded.result.results[0].dimensions, r1.dimensions);
+  EXPECT_EQ(decoded.result.results[0].assignment, r1.assignment);
+  EXPECT_EQ(decoded.result.results[0].iterative_cost, r1.iterative_cost);
+  EXPECT_EQ(decoded.result.results[0].refined_cost, r1.refined_cost);
+  EXPECT_EQ(decoded.result.results[1].refined_cost, r2.refined_cost);
+  EXPECT_EQ(decoded.result.setting_seconds, response.result.setting_seconds);
+  EXPECT_EQ(decoded.result.queue_seconds, 0.001);
+  EXPECT_EQ(decoded.result.exec_seconds, 0.75);
+  EXPECT_EQ(decoded.result.modeled_gpu_seconds, 0.25);
+  EXPECT_TRUE(decoded.result.warm_device);
+}
+
+TEST(ResponseCodecTest, ErrorResponseRoundTripsRetryableFlag) {
+  Response response;
+  response.request = RequestType::kSubmitSingle;
+  response.ok = false;
+  response.error =
+      WireError::FromStatus(Status::ResourceExhausted("queue full"));
+
+  std::string payload;
+  ASSERT_TRUE(EncodeResponse(response, &payload).ok());
+  Response decoded;
+  ASSERT_TRUE(DecodeResponse(payload, &decoded).ok());
+  EXPECT_FALSE(decoded.ok);
+  EXPECT_EQ(decoded.error.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded.error.message, "queue full");
+  EXPECT_TRUE(decoded.error.retryable);
+  EXPECT_FALSE(decoded.has_result);
+}
+
+TEST(ResponseCodecTest, MetricsResponseCarriesSnapshot) {
+  Response response;
+  response.request = RequestType::kMetrics;
+  response.ok = true;
+  response.metrics = json::JsonValue::Object();
+  json::JsonValue counters = json::JsonValue::Object();
+  counters.Set("net.requests", json::JsonValue::Int(17));
+  response.metrics.Set("counters", counters);
+
+  std::string payload;
+  ASSERT_TRUE(EncodeResponse(response, &payload).ok());
+  Response decoded;
+  ASSERT_TRUE(DecodeResponse(payload, &decoded).ok());
+  ASSERT_TRUE(decoded.metrics.is_object());
+  const json::JsonValue* table = decoded.metrics.Find("counters");
+  ASSERT_NE(table, nullptr);
+  const json::JsonValue* requests = table->Find("net.requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->AsInt(), 17);
+}
+
+TEST(ResponseCodecTest, NotOkWithoutErrorObjectDecodesAsInternal) {
+  Response decoded;
+  ASSERT_TRUE(
+      DecodeResponse(R"({"request":"metrics","ok":false})", &decoded).ok());
+  EXPECT_FALSE(decoded.ok);
+  EXPECT_EQ(decoded.error.code, StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace proclus::net

@@ -1,0 +1,216 @@
+// Concurrency stress for the serving layer, sized to stay meaningful under
+// ThreadSanitizer: at least 8 concurrent connections driving mixed
+// priorities, wire-level cancels, and abrupt mid-flight disconnects, while
+// every normally-completed job must stay bit-identical to an in-process
+// reference run (the determinism contract does not bend under load).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/api.h"
+#include "core/multi_param.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "service/proclus_service.h"
+
+namespace proclus::net {
+namespace {
+
+data::Dataset TestData() {
+  data::GeneratorConfig config;
+  config.n = 400;
+  config.d = 8;
+  config.num_clusters = 4;
+  config.subspace_dim = 4;
+  config.seed = 19;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  return ds;
+}
+
+core::ProclusParams TestParams() {
+  core::ProclusParams p;
+  p.k = 4;
+  p.l = 4;
+  p.a = 10.0;
+  p.b = 3.0;
+  return p;
+}
+
+void ExpectSameClustering(const core::ProclusResult& a,
+                          const core::ProclusResult& b) {
+  EXPECT_EQ(a.medoids, b.medoids);
+  EXPECT_EQ(a.dimensions, b.dimensions);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.iterative_cost, b.iterative_cost);
+  EXPECT_EQ(a.refined_cost, b.refined_cost);
+}
+
+// The disconnectors' dataset: big enough that their sweep takes seconds,
+// so a disconnect 100 ms in is guaranteed to land mid-flight.
+data::Dataset HeavyData() {
+  data::GeneratorConfig config;
+  config.n = 12000;
+  config.d = 12;
+  config.num_clusters = 5;
+  config.subspace_dim = 5;
+  config.seed = 23;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  return ds;
+}
+
+// A request slow enough that a disconnect lands mid-flight: a no-reuse
+// baseline sweep over many settings on the big dataset.
+Request HeavyRequest() {
+  Request request;
+  request.type = RequestType::kSubmitSweep;
+  request.dataset_id = "heavy";
+  request.params = TestParams();
+  request.params.a = 40.0;
+  request.params.b = 10.0;
+  for (int k = 4; k < 14; ++k) {
+    request.settings.push_back({k, 4});
+    request.settings.push_back({k, 5});
+  }
+  request.reuse = core::ReuseLevel::kNone;
+  request.options = core::ClusterOptions::Cpu(core::Strategy::kBaseline);
+  return request;
+}
+
+TEST(ServerStressTest, MixedTrafficCancelsAndDisconnects) {
+  const data::Dataset ds = TestData();
+
+  service::ServiceOptions service_options;
+  service_options.num_workers = 2;
+  service_options.queue_capacity = 64;
+  service::ProclusService service(service_options);
+  ASSERT_TRUE(service.RegisterDataset("d", ds.points).ok());
+  ASSERT_TRUE(service.RegisterDataset("heavy", HeavyData().points).ok());
+
+  // In-process reference for the normal clients' submission.
+  core::ProclusResult reference;
+  ASSERT_TRUE(core::Cluster(ds.points, TestParams(),
+                            core::ClusterOptions::Cpu(), &reference)
+                  .ok());
+
+  ServerOptions server_options;
+  server_options.max_connections = 32;
+  ProclusServer server(&service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  constexpr int kNormalClients = 6;
+  constexpr int kDisconnectors = 2;
+  constexpr int kIterations = 2;
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> client_errors{0};
+  std::atomic<int> wire_cancels_confirmed{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kNormalClients + kDisconnectors);
+
+  for (int c = 0; c < kNormalClients; ++c) {
+    clients.emplace_back([&, c] {
+      ProclusClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        client_errors.fetch_add(1);
+        return;
+      }
+      for (int iter = 0; iter < kIterations; ++iter) {
+        // Mixed priorities across clients and iterations.
+        Request request;
+        request.type = RequestType::kSubmitSingle;
+        request.dataset_id = "d";
+        request.params = TestParams();
+        request.options = core::ClusterOptions::Cpu();
+        request.priority = (c + iter) % 2 == 0
+                               ? service::JobPriority::kInteractive
+                               : service::JobPriority::kBulk;
+        WireJobResult wire;
+        const Status submitted = client.SubmitSingle(request, &wire);
+        if (!submitted.ok() || wire.results.size() != 1) {
+          client_errors.fetch_add(1);
+          continue;
+        }
+        if (wire.results[0].assignment != reference.assignment ||
+            wire.results[0].medoids != reference.medoids ||
+            wire.results[0].refined_cost != reference.refined_cost) {
+          mismatches.fetch_add(1);
+        }
+
+        // Half the clients also exercise the async cancel path.
+        if (c % 2 == 0) {
+          Request heavy = HeavyRequest();
+          heavy.wait = false;
+          uint64_t job_id = 0;
+          if (!client.SubmitAsync(heavy, &job_id).ok()) {
+            // Queue-full is legitimate under load; anything else is not,
+            // but SubmitAsync folds both into a Status we can inspect.
+            continue;
+          }
+          if (client.Cancel(job_id).ok()) {
+            wire_cancels_confirmed.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  std::atomic<int> disconnects_sent{0};
+  for (int c = 0; c < kDisconnectors; ++c) {
+    clients.emplace_back([&] {
+      // Raw socket: send a heavy wait-mode submit, never read the answer,
+      // vanish mid-flight. The server must notice and cancel the job.
+      Socket raw;
+      if (!Connect("127.0.0.1", port, &raw).ok()) return;
+      std::string payload;
+      if (!EncodeRequest(HeavyRequest(), &payload).ok()) return;
+      if (!WriteFrame(&raw, payload).ok()) return;
+      disconnects_sent.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      raw.Close();
+    });
+  }
+
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(client_errors.load(), 0);
+  EXPECT_GE(disconnects_sent.load(), 1);
+
+  // Give the server's disconnect polling a few slices to notice the last
+  // vanished peers, then stop (drains whatever is still running).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.metrics()->counter("net.disconnect_cancels")->value() <
+             disconnects_sent.load() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server.metrics()->counter("net.disconnect_cancels")->value(), 1);
+
+  server.Stop();
+  service.Shutdown();
+
+  // Accounting is airtight: every accepted job reached exactly one
+  // terminal state, nothing was lost under disconnects and cancels.
+  const service::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, stats.completed + stats.failed +
+                                 stats.cancelled + stats.timed_out);
+  EXPECT_GE(stats.completed, kNormalClients * kIterations);
+}
+
+}  // namespace
+}  // namespace proclus::net

@@ -1,0 +1,115 @@
+// Regression tests for the interruptible device-pool wait: a caller
+// blocked on a fully-leased pool must be unwedgeable via cancellation,
+// deadline, or pool shutdown — the blocking Acquire() used to be the only
+// entry point and could wait forever.
+
+#include "service/device_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "parallel/cancellation.h"
+#include "simt/device_properties.h"
+
+namespace proclus::service {
+namespace {
+
+DevicePool MakePool(int capacity) {
+  return DevicePool(capacity, simt::DeviceProperties::Gtx1660Ti(),
+                    /*prewarm=*/false);
+}
+
+TEST(DevicePoolTest, AcquireForLeasesIdleDeviceImmediately) {
+  DevicePool pool = MakePool(1);
+  DevicePool::Lease lease;
+  const Status status = pool.AcquireFor(nullptr, &lease);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_NE(lease.device, nullptr);
+  EXPECT_FALSE(lease.warm);
+  pool.Release(lease.device);
+
+  // The second lease of the same device reports a warm arena.
+  DevicePool::Lease second;
+  ASSERT_TRUE(pool.AcquireFor(nullptr, &second).ok());
+  EXPECT_TRUE(second.warm);
+  pool.Release(second.device);
+  EXPECT_EQ(pool.acquires(), 2);
+  EXPECT_EQ(pool.reuse_hits(), 1);
+}
+
+TEST(DevicePoolTest, CancelUnwedgesWaiterOnFullyLeasedPool) {
+  DevicePool pool = MakePool(1);
+  DevicePool::Lease lease;
+  ASSERT_TRUE(pool.AcquireFor(nullptr, &lease).ok());
+
+  parallel::CancellationToken token;
+  Status waiter_status;
+  std::thread waiter([&] {
+    DevicePool::Lease blocked;
+    waiter_status = pool.AcquireFor(&token, &blocked);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  token.Cancel();
+  waiter.join();
+  EXPECT_EQ(waiter_status.code(), StatusCode::kCancelled);
+  pool.Release(lease.device);
+}
+
+TEST(DevicePoolTest, DeadlineUnwedgesWaiterOnFullyLeasedPool) {
+  DevicePool pool = MakePool(1);
+  DevicePool::Lease lease;
+  ASSERT_TRUE(pool.AcquireFor(nullptr, &lease).ok());
+
+  parallel::CancellationToken token;
+  token.SetTimeout(0.05);
+  DevicePool::Lease blocked;
+  const Status status = pool.AcquireFor(&token, &blocked);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(blocked.device, nullptr);
+  pool.Release(lease.device);
+}
+
+TEST(DevicePoolTest, ShutdownUnwedgesEveryWaiter) {
+  DevicePool pool = MakePool(1);
+  DevicePool::Lease lease;
+  ASSERT_TRUE(pool.AcquireFor(nullptr, &lease).ok());
+
+  constexpr int kWaiters = 3;
+  Status statuses[kWaiters];
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&pool, &statuses, i] {
+      DevicePool::Lease blocked;
+      statuses[i] = pool.AcquireFor(nullptr, &blocked);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  pool.Shutdown();
+  for (std::thread& waiter : waiters) waiter.join();
+  for (const Status& status : statuses) {
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  }
+
+  // New acquires fail too; the outstanding lease stays releasable.
+  DevicePool::Lease blocked;
+  EXPECT_EQ(pool.AcquireFor(nullptr, &blocked).code(),
+            StatusCode::kFailedPrecondition);
+  pool.Release(lease.device);
+}
+
+TEST(DevicePoolTest, CancelledTokenFailsBeforeLeasing) {
+  DevicePool pool = MakePool(1);
+  parallel::CancellationToken token;
+  token.Cancel();
+  DevicePool::Lease lease;
+  // Even with a device idle, a pre-cancelled token wins: the job is dead,
+  // leasing would only delay its cleanup.
+  const Status status = pool.AcquireFor(&token, &lease);
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(lease.device, nullptr);
+}
+
+}  // namespace
+}  // namespace proclus::service

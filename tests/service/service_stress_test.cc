@@ -4,6 +4,10 @@
 // core::Cluster / core::RunMultiParam calls executed one at a time.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/api.h"
@@ -156,6 +160,82 @@ TEST(ServiceStressTest, RepeatedJobIsReproducibleUnderLoad) {
     ASSERT_TRUE(other.status.ok()) << i;
     ExpectSameClustering(first.results[0], other.results[0], "repeat",
                          static_cast<int>(i));
+  }
+}
+
+// Submit racing Shutdown must never lose a job: every Submit that returned
+// OK ends in exactly one terminal phase (observable via Wait), and every
+// Submit after the shutdown point returns FailedPrecondition — not a
+// handle that silently never runs. Run under TSAN this also proves the
+// queue handoff is properly synchronized.
+TEST(ServiceStressTest, SubmitDuringShutdownNeverLosesJobs) {
+  const data::Dataset ds = MakeData(5);
+  for (int round = 0; round < 3; ++round) {
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.queue_capacity = 64;
+    options.prewarm_devices = false;
+    auto service = std::make_unique<ProclusService>(options);
+
+    constexpr int kSubmitters = 4;
+    constexpr int kPerThread = 8;
+    std::atomic<bool> start{false};
+    std::atomic<int> accepted{0};
+    std::atomic<int> refused{0};
+    std::atomic<int> odd_errors{0};
+    std::atomic<int> lost{0};
+
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        while (!start.load(std::memory_order_acquire)) {
+        }
+        for (int i = 0; i < kPerThread; ++i) {
+          JobHandle handle;
+          const Status status = service->Submit(
+              JobSpec::Single(ds.points, MakeParams(t * 100 + i),
+                              core::ClusterOptions::Cpu()),
+              &handle);
+          if (status.ok()) {
+            accepted.fetch_add(1);
+            // An accepted job must reach a terminal phase even though the
+            // service is being shut down underneath us.
+            const JobResult& result = handle.Wait();
+            if (result.status.ok() && result.results.empty()) {
+              lost.fetch_add(1);
+            }
+          } else if (status.code() == StatusCode::kFailedPrecondition) {
+            refused.fetch_add(1);
+          } else {
+            odd_errors.fetch_add(1);
+          }
+        }
+      });
+    }
+
+    std::thread stopper([&] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      // Land the shutdown mid-burst.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5 * round));
+      service->Shutdown();
+    });
+
+    start.store(true, std::memory_order_release);
+    for (std::thread& submitter : submitters) submitter.join();
+    stopper.join();
+
+    EXPECT_EQ(lost.load(), 0);
+    EXPECT_EQ(odd_errors.load(), 0);
+    EXPECT_EQ(accepted.load() + refused.load(), kSubmitters * kPerThread);
+
+    const ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.submitted, accepted.load());
+    // Terminal accounting covers every accepted job exactly once.
+    EXPECT_EQ(stats.completed + stats.failed + stats.cancelled +
+                  stats.timed_out,
+              stats.submitted);
+    service.reset();
   }
 }
 

@@ -1,243 +1,22 @@
 #ifndef PROCLUS_TESTS_TESTING_MINIJSON_H_
 #define PROCLUS_TESTS_TESTING_MINIJSON_H_
 
-// Minimal recursive-descent JSON parser for tests that validate the JSON
-// emitted by the observability layer (obs::TraceRecorder::WriteJson,
-// obs::MetricsRegistry::WriteJson, bench JSON mirrors). Strict enough to
-// reject structurally broken output; not a general-purpose library.
+// Compatibility shim: the minimal JSON parser that used to live here was
+// promoted to src/common/json.h so the net/ wire codec, the obs snapshot
+// writers and the tests share one implementation. Tests keep using the
+// proclus::testing names.
 
-#include <cctype>
-#include <cstdlib>
-#include <map>
-#include <memory>
 #include <string>
-#include <vector>
+
+#include "common/json.h"
 
 namespace proclus::testing {
 
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+using JsonValue = ::proclus::json::JsonValue;
 
-  Kind kind = Kind::kNull;
-  bool bool_value = false;
-  double number_value = 0.0;
-  std::string string_value;
-  std::vector<JsonValue> array_value;
-  std::map<std::string, JsonValue> object_value;
-
-  bool is_object() const { return kind == Kind::kObject; }
-  bool is_array() const { return kind == Kind::kArray; }
-  bool is_string() const { return kind == Kind::kString; }
-  bool is_number() const { return kind == Kind::kNumber; }
-
-  // Object member access; returns nullptr when absent or not an object.
-  const JsonValue* Find(const std::string& key) const {
-    if (kind != Kind::kObject) return nullptr;
-    const auto it = object_value.find(key);
-    return it == object_value.end() ? nullptr : &it->second;
-  }
-};
-
-namespace internal_json {
-
-class Parser {
- public:
-  Parser(const std::string& text, std::string* error)
-      : text_(text), error_(error) {}
-
-  bool Parse(JsonValue* out) {
-    SkipSpace();
-    if (!ParseValue(out)) return false;
-    SkipSpace();
-    if (pos_ != text_.size()) return Fail("trailing characters");
-    return true;
-  }
-
- private:
-  bool Fail(const std::string& what) {
-    if (error_ != nullptr && error_->empty()) {
-      *error_ = what + " at offset " + std::to_string(pos_);
-    }
-    return false;
-  }
-
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool ParseValue(JsonValue* out) {
-    if (pos_ >= text_.size()) return Fail("unexpected end");
-    const char c = text_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
-    if (c == '"') {
-      out->kind = JsonValue::Kind::kString;
-      return ParseString(&out->string_value);
-    }
-    if (c == 't' || c == 'f') return ParseKeyword(out);
-    if (c == 'n') return ParseKeyword(out);
-    return ParseNumber(out);
-  }
-
-  bool ParseKeyword(JsonValue* out) {
-    auto match = [&](const char* word) {
-      const size_t len = std::string(word).size();
-      if (text_.compare(pos_, len, word) != 0) return false;
-      pos_ += len;
-      return true;
-    };
-    if (match("true")) {
-      out->kind = JsonValue::Kind::kBool;
-      out->bool_value = true;
-      return true;
-    }
-    if (match("false")) {
-      out->kind = JsonValue::Kind::kBool;
-      out->bool_value = false;
-      return true;
-    }
-    if (match("null")) {
-      out->kind = JsonValue::Kind::kNull;
-      return true;
-    }
-    return Fail("bad keyword");
-  }
-
-  bool ParseNumber(JsonValue* out) {
-    const size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) return Fail("expected number");
-    char* end = nullptr;
-    const std::string token = text_.substr(start, pos_ - start);
-    out->kind = JsonValue::Kind::kNumber;
-    out->number_value = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') return Fail("bad number");
-    return true;
-  }
-
-  bool ParseString(std::string* out) {
-    if (text_[pos_] != '"') return Fail("expected string");
-    ++pos_;
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return Fail("bad escape");
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case '/': out->push_back('/'); break;
-          case 'b': out->push_back('\b'); break;
-          case 'f': out->push_back('\f'); break;
-          case 'n': out->push_back('\n'); break;
-          case 'r': out->push_back('\r'); break;
-          case 't': out->push_back('\t'); break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
-            // Tests only need ASCII round-trips; decode the low byte.
-            const std::string hex = text_.substr(pos_, 4);
-            pos_ += 4;
-            out->push_back(static_cast<char>(
-                std::strtol(hex.c_str(), nullptr, 16) & 0x7f));
-            break;
-          }
-          default: return Fail("bad escape");
-        }
-      } else {
-        out->push_back(c);
-      }
-    }
-    return Fail("unterminated string");
-  }
-
-  bool ParseArray(JsonValue* out) {
-    out->kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      JsonValue element;
-      SkipSpace();
-      if (!ParseValue(&element)) return false;
-      out->array_value.push_back(std::move(element));
-      SkipSpace();
-      if (pos_ >= text_.size()) return Fail("unterminated array");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return Fail("expected , or ]");
-    }
-  }
-
-  bool ParseObject(JsonValue* out) {
-    out->kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipSpace();
-      std::string key;
-      if (!ParseString(&key)) return false;
-      SkipSpace();
-      if (pos_ >= text_.size() || text_[pos_] != ':') {
-        return Fail("expected :");
-      }
-      ++pos_;
-      SkipSpace();
-      JsonValue value;
-      if (!ParseValue(&value)) return false;
-      out->object_value[key] = std::move(value);
-      SkipSpace();
-      if (pos_ >= text_.size()) return Fail("unterminated object");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return Fail("expected , or }");
-    }
-  }
-
-  const std::string& text_;
-  std::string* error_;
-  size_t pos_ = 0;
-};
-
-}  // namespace internal_json
-
-// Parses `text`; returns false (and fills `*error` if non-null) on
-// malformed input.
 inline bool ParseJson(const std::string& text, JsonValue* out,
                       std::string* error = nullptr) {
-  internal_json::Parser parser(text, error);
-  return parser.Parse(out);
+  return ::proclus::json::Parse(text, out, error);
 }
 
 }  // namespace proclus::testing

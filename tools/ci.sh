@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: the tier-1 gate (build + full ctest), the ThreadSanitizer
 # pass over the concurrency-sensitive suites (same regex as check.sh, now
-# including the obs tracing/metrics tests), and a trace smoke that runs the
-# CLI with --trace-out and validates the emitted Chrome trace JSON parses.
+# including the obs tracing/metrics tests and the net/ serving suites), a
+# trace smoke that runs the CLI with --trace-out and validates the emitted
+# Chrome trace JSON parses, and a server smoke that starts `proclus_cli
+# serve` on a loopback port, runs `proclus_loadgen` against it, and asserts
+# zero failed jobs plus a clean drain on SIGTERM.
 #
 #   tools/ci.sh [--skip-tsan] [--skip-smoke]
 set -euo pipefail
@@ -29,13 +32,14 @@ else
   echo "== ThreadSanitizer build (PROCLUS_SANITIZE=thread) =="
   cmake -B build-tsan -S . -DPROCLUS_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j
-  echo "== TSAN: parallel / simt / obs / service suites =="
+  echo "== TSAN: parallel / simt / obs / service / net suites =="
   (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-      -R 'thread_pool_test|cancellation_test|device_test|atomic_test|stream_test|primitives_test|obs_trace_test|obs_metrics_test|service_test|service_stress_test')
+      -R 'thread_pool_test|cancellation_test|device_test|atomic_test|stream_test|primitives_test|obs_trace_test|obs_metrics_test|service_test|service_stress_test|device_pool_test|net_loopback_test|net_server_stress_test')
 fi
 
 if [[ "$SKIP_SMOKE" == 1 ]]; then
   echo "== skipping trace smoke =="
+  echo "== skipping server smoke =="
 else
   echo "== trace smoke: proclus_cli --trace-out =="
   TRACE_DIR="$(mktemp -d)"
@@ -59,6 +63,49 @@ for e in kernels:
     assert "modeled_ms" in e.get("args", {}), f"kernel without modeled_ms: {e}"
 print(f"trace smoke OK: {len(events)} events, {len(kernels)} kernel launches")
 EOF
+
+  echo "== server smoke: proclus_cli serve + proclus_loadgen + SIGTERM =="
+  SERVE_LOG="$TRACE_DIR/serve.log"
+  ./build/tools/proclus_cli serve --port 0 --generate 2000,10,4 \
+      --dataset-id smoke --queue-capacity 16 >"$SERVE_LOG" 2>&1 &
+  SERVE_PID=$!
+  # The server prints "serving on HOST:PORT" once the listener is bound;
+  # --port 0 means the port is ephemeral, so scrape it from the log.
+  SERVE_PORT=""
+  for _ in $(seq 1 100); do
+    SERVE_PORT="$(sed -n 's/^serving on [^:]*:\([0-9]*\)$/\1/p' "$SERVE_LOG")"
+    [[ -n "$SERVE_PORT" ]] && break
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+      echo "server smoke FAILED: server exited before binding" >&2
+      cat "$SERVE_LOG" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [[ -z "$SERVE_PORT" ]]; then
+    echo "server smoke FAILED: no 'serving on' line within 10s" >&2
+    cat "$SERVE_LOG" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+  fi
+
+  # Loadgen exits non-zero on any failed job or transport error.
+  ./build/tools/proclus_loadgen --port "$SERVE_PORT" --no-register \
+      --dataset-id smoke --connections 4 --rps 20 --duration 2 \
+      --interactive 0.5 --backend cpu
+
+  kill -TERM "$SERVE_PID"
+  SERVE_STATUS=0
+  wait "$SERVE_PID" || SERVE_STATUS=$?
+  if [[ "$SERVE_STATUS" != 0 ]]; then
+    echo "server smoke FAILED: serve exited with status $SERVE_STATUS" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  fi
+  # A clean drain reports the final accounting with zero failed jobs.
+  grep -q "stop requested; draining" "$SERVE_LOG"
+  grep -Eq "drained: [0-9]+ submitted, [0-9]+ completed, 0 failed" "$SERVE_LOG"
+  echo "server smoke OK: $(grep '^drained:' "$SERVE_LOG")"
 fi
 
 echo "ci.sh: all green"
