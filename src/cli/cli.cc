@@ -64,6 +64,10 @@ Algorithm:
   --strategy NAME       baseline | fast | faststar (default fast)
   --threads INT         workers for mc (default: hardware)
   --explore             run the 9-combination (k,l) grid with full reuse
+  --simtcheck           run gpu kernels under the simtcheck race & memory
+                        checker (docs/simt.md); findings fail the run.
+                        PROCLUS_SIMTCHECK=1 in the environment does the
+                        same without the flag
 
 Batch mode (proclus_cli batch ...):
   submits jobs to an in-process ProclusService (persistent devices, shared
@@ -203,6 +207,8 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
       config->options.num_threads = static_cast<int>(int_value);
     } else if (arg == "--explore") {
       config->explore = true;
+    } else if (arg == "--simtcheck") {
+      config->simtcheck = true;
     } else if (arg == "--jobs") {
       PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
       size_t pos = 0;
@@ -310,6 +316,12 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
   if (config->batch && config->batch_jobs.empty()) {
     config->batch_jobs.emplace_back(config->params.k, config->params.l);
   }
+  if (config->simtcheck) {
+    if (!config->serve && config->options.backend != core::ComputeBackend::kGpu) {
+      return Status::InvalidArgument("--simtcheck requires --backend gpu");
+    }
+    if (!config->serve) config->options.gpu_sanitize = true;
+  }
   return Status::OK();
 }
 
@@ -329,6 +341,11 @@ void PrintResult(const core::ProclusResult& result,
   out << "\n";
   out << eval::FormatClusterTable(eval::Digest(dataset.points, result));
   out << "outliers: " << result.NumOutliers() << "\n";
+  if (result.stats.sanitizer_checked_accesses > 0) {
+    out << "simtcheck: " << result.stats.sanitizer_checked_accesses
+        << " accesses checked, " << result.stats.sanitizer_findings
+        << " finding(s)\n";
+  }
   if (dataset.has_ground_truth()) {
     out << "ARI vs labels: "
         << eval::AdjustedRandIndex(dataset.labels, result.assignment)
@@ -367,6 +384,7 @@ Status RunBatch(const CliConfig& config, const data::Dataset& dataset,
   service_options.num_workers = config.batch_workers;
   service_options.gpu_devices = config.batch_gpu_devices;
   service_options.default_timeout_seconds = config.batch_timeout_ms / 1e3;
+  service_options.sanitize_devices |= config.simtcheck;
   service_options.trace = trace;
   service::ProclusService service(service_options);
   PROCLUS_RETURN_NOT_OK(service.RegisterDataset("cli", dataset.points));
@@ -407,6 +425,9 @@ Status RunBatch(const CliConfig& config, const data::Dataset& dataset,
       out << "job " << handle.id() << ": " << service::JobPhaseName(
                  handle.phase())
           << " (" << result.status.ToString() << ")\n";
+      for (const std::string& report : result.sanitizer_reports) {
+        out << "  " << report << "\n";
+      }
       if (first_failure.ok()) first_failure = result.status;
       setting_idx += config.batch_sweep ? settings.size() : 1;
       continue;
@@ -456,6 +477,7 @@ Status RunServe(const CliConfig& config, std::ostream& out) {
   service_options.gpu_devices = config.batch_gpu_devices;
   service_options.queue_capacity = config.serve_queue_capacity;
   service_options.default_timeout_seconds = config.batch_timeout_ms / 1e3;
+  service_options.sanitize_devices |= config.simtcheck;
   service::ProclusService service(service_options);
 
   if (config.generate || !config.input_path.empty()) {
@@ -579,8 +601,16 @@ Status RunCli(const CliConfig& config, std::ostream& out) {
   core::ClusterOptions options = config.options;
   options.trace = trace;
   core::ProclusResult result;
-  PROCLUS_RETURN_NOT_OK(
-      core::Cluster(dataset.points, config.params, options, &result));
+  const Status run_status =
+      core::Cluster(dataset.points, config.params, options, &result);
+  if (!run_status.ok()) {
+    // simtcheck failures carry the detailed violation reports; show them
+    // before the non-zero exit.
+    for (const std::string& report : result.stats.sanitizer_reports) {
+      out << report << "\n";
+    }
+    return run_status;
+  }
   PrintResult(result, dataset, watch.ElapsedSeconds(), out);
   if (!config.output_path.empty()) {
     PROCLUS_RETURN_NOT_OK(

@@ -24,6 +24,11 @@ struct CliConfig {
   bool normalize = true;
   core::ProclusParams params;
   core::ClusterOptions options;
+  // --simtcheck: run GPU work under the simtcheck race/memory checker.
+  // run/--explore: sets options.gpu_sanitize; batch/serve: additionally
+  // puts the service's pooled devices into checked mode. Any finding makes
+  // the run (or job) fail, so the process exits non-zero.
+  bool simtcheck = false;
   // Multi-parameter mode: run the 9-combination (k,l) grid with full reuse.
   bool explore = false;
   // Batch mode ("proclus_cli batch ..."): submit jobs to a ProclusService

@@ -94,7 +94,16 @@ Status ClusterOptions::Validate() const {
       return Status::InvalidArgument(
           "gpu_device_dim_selection is set but backend is not kGpu");
     }
+    if (gpu_sanitize) {
+      return Status::InvalidArgument(
+          "gpu_sanitize is set but backend is not kGpu");
+    }
   } else {
+    if (gpu_sanitize && device != nullptr && !device->sanitize_enabled()) {
+      return Status::InvalidArgument(
+          "gpu_sanitize is set but the provided device was not constructed "
+          "with DeviceOptions::sanitize");
+    }
     const simt::DeviceProperties& props =
         device != nullptr ? device->properties() : device_properties;
     if (gpu_assign_block_dim < 1 ||
@@ -143,7 +152,10 @@ Status Cluster(const data::Matrix& data, const ProclusParams& params,
       std::unique_ptr<simt::Device> owned;
       simt::Device* device = options.device;
       if (device == nullptr) {
-        owned = std::make_unique<simt::Device>(options.device_properties);
+        simt::DeviceOptions device_options;  // sanitize defaults from env
+        device_options.sanitize |= options.gpu_sanitize;
+        owned = std::make_unique<simt::Device>(options.device_properties,
+                                               device_options);
         device = owned.get();
       }
       GpuBackendOptions gpu_options;
@@ -155,9 +167,21 @@ Status Cluster(const data::Matrix& data, const ProclusParams& params,
       device->set_trace(options.trace);
       GpuBackend backend(data, options.strategy, device, gpu_options);
       backend.SetTrace(options.trace);
-      const Status status =
+      // Count only this run's findings: a long-lived (service) device may
+      // carry findings from earlier jobs.
+      const int64_t findings_before =
+          device->sanitize_enabled() ? device->sanitizer()->findings() : 0;
+      Status status =
           RunProclusPhases(data, params, backend, rng, driver_options, result);
       device->set_trace(nullptr);
+      if (status.ok() && device->sanitize_enabled()) {
+        backend.FillStats(&result->stats);  // refresh the sanitizer figures
+        const int64_t new_findings =
+            device->sanitizer()->findings() - findings_before;
+        if (new_findings > 0) {
+          status = Status::Internal(device->sanitizer()->Summary());
+        }
+      }
       return status;
     }
   }

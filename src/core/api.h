@@ -45,6 +45,15 @@ struct ClusterOptions {
   // kGpu: run the dimension pick on the device (identical result; only the
   // selected ids cross the PCIe bus instead of the Z matrix).
   bool gpu_device_dim_selection = false;
+  // kGpu: checked execution (simtcheck). When the run constructs its own
+  // device, the device is created with DeviceOptions::sanitize on; a
+  // caller-provided `device` must already have sanitize enabled. After the
+  // run, any sanitizer finding turns the result into an internal-error
+  // Status (so tests and the CLI exit non-zero); the reports are still
+  // available in result->stats.sanitizer_reports. Independently of this
+  // flag, PROCLUS_SIMTCHECK=1 puts every internally constructed device into
+  // checked mode. See docs/simt.md.
+  bool gpu_sanitize = false;
   // Any backend: cooperative stop signal. Cluster() polls it between
   // iterations / chunk dispatches and returns Cancelled/DeadlineExceeded
   // instead of a result. Optional; must outlive the call.

@@ -81,10 +81,11 @@ std::vector<int> GpuBackend::GreedySelect(const std::vector<int>& candidates,
     b.ForEachThread([&](int tid) {
       const int64_t c = b.block_idx() * kBlock + tid;
       if (c >= count) return;
-      const float v = EuclideanDistance(data + int64_t{first_id} * d,
-                                        data + int64_t{cand[c]} * d, d);
-      gdist[c] = v;
-      simt::AtomicMax(max_dist, v);
+      const float v = EuclideanDistance(
+          b.LoadSpan(data + int64_t{first_id} * d, d),
+          b.LoadSpan(data + int64_t{b.Load(&cand[c])} * d, d), d);
+      b.Store(&gdist[c], v);
+      b.AtomicMax(max_dist, v);
     });
   });
   greedy_distances_ += count;
@@ -102,8 +103,8 @@ std::vector<int> GpuBackend::GreedySelect(const std::vector<int>& candidates,
           b.ForEachThread([&](int tid) {
             const int64_t c = b.block_idx() * kBlock + tid;
             if (c >= count) return;
-            if (gdist[c] == *max_dist) {
-              simt::AtomicMin(winner, static_cast<int>(c));
+            if (b.Load(&gdist[c]) == b.Load(max_dist)) {
+              b.AtomicMin(winner, static_cast<int>(c));
             }
           });
         });
@@ -120,10 +121,12 @@ std::vector<int> GpuBackend::GreedySelect(const std::vector<int>& candidates,
                         const int64_t c = b.block_idx() * kBlock + tid;
                         if (c >= count) return;
                         const float v = EuclideanDistance(
-                            data + int64_t{medoid_id} * d,
-                            data + int64_t{cand[c]} * d, d);
-                        if (v < gdist[c]) gdist[c] = v;
-                        simt::AtomicMax(max_dist, gdist[c]);
+                            b.LoadSpan(data + int64_t{medoid_id} * d, d),
+                            b.LoadSpan(data + int64_t{b.Load(&cand[c])} * d,
+                                       d),
+                            d);
+                        if (v < b.Load(&gdist[c])) b.Store(&gdist[c], v);
+                        b.AtomicMax(max_dist, b.Load(&gdist[c]));
                       });
                     });
     greedy_distances_ += count;
@@ -218,13 +221,14 @@ void GpuBackend::LaunchComputeDist(const std::vector<int>& rows,
       [&, n, d](simt::BlockContext& b) {
         const int64_t r = b.block_idx() / bpn;
         const int64_t pb = b.block_idx() % bpn;
-        const int row = d_rows[r];
-        const float* medoid = data + int64_t{d_ids[r]} * d;
+        const int row = b.Load(&d_rows[r]);
+        const float* medoid =
+            b.LoadSpan(data + int64_t{b.Load(&d_ids[r])} * d, d);
         b.ForEachThread([&](int tid) {
           const int64_t p = pb * kBlock + tid;
           if (p >= n) return;
-          dist[int64_t{row} * n + p] =
-              EuclideanDistance(medoid, data + p * d, d);
+          b.Store(&dist[int64_t{row} * n + p],
+                  EuclideanDistance(medoid, b.LoadSpan(data + p * d, d), d));
         });
       });
   euclidean_distances_ += m * n;
@@ -299,10 +303,10 @@ IterationOutput GpuBackend::Iterate(const std::vector<int>& mcur_midx) {
          static_cast<int>(std::min<int64_t>(d, kBlock))},
         simt::WorkEstimate{0.0, 8.0 * d * reset_slots.size(), 0.0},
         [&, d](simt::BlockContext& b) {
-          const int row = d_rows[b.block_idx()];
+          const int row = b.Load(&d_rows[b.block_idx()]);
           b.ForEachThreadStrided(
-              d, [&](int64_t j) { h[int64_t{row} * d + j] = 0.0; });
-          l_size[row] = 0;
+              d, [&](int64_t j) { b.Store(&h[int64_t{row} * d + j], 0.0); });
+          b.Store(&l_size[row], int64_t{0});
         });
   }
 
@@ -328,8 +332,9 @@ IterationOutput GpuBackend::Iterate(const std::vector<int>& mcur_midx) {
           const int64_t i = b.block_idx();
           b.ForEachThread([&](int tid) {
             if (tid >= k || tid == i) return;
-            simt::AtomicMin(&delta[i],
-                            dist[int64_t{srows[i]} * n + ids[tid]]);
+            b.AtomicMin(&delta[i],
+                        b.Load(&dist[int64_t{b.Load(&srows[i])} * n +
+                                     b.Load(&ids[tid])]));
           });
         });
     if (options_.use_streams) device_->SetStream(1);
@@ -378,16 +383,19 @@ IterationOutput GpuBackend::Iterate(const std::vector<int>& mcur_midx) {
         [&, n](simt::BlockContext& b) {
           const int64_t i = b.block_idx() / bpn;
           const int64_t pb = b.block_idx() % bpn;
-          const float band_lo = dlo[i];
-          const float band_hi = dhi[i];
-          const int64_t row = srows[i];
+          const float band_lo = b.Load(&dlo[i]);
+          const float band_hi = b.Load(&dhi[i]);
+          const int64_t row = b.Load(&srows[i]);
+          const int64_t base = pb * kBlock;
+          const float* drow = b.LoadSpan(
+              dist + row * n + base, std::min<int64_t>(kBlock, n - base));
           b.ForEachThread([&](int tid) {
-            const int64_t p = pb * kBlock + tid;
+            const int64_t p = base + tid;
             if (p >= n) return;
-            const float v = dist[row * n + p];
+            const float v = drow[tid];
             if (v > band_lo && v <= band_hi) {
-              const int slot = simt::AtomicInc(&dl_size[i]);
-              dl[i * n + slot] = static_cast<int>(p);
+              const int slot = b.AtomicInc(&dl_size[i]);
+              b.Store(&dl[i * n + slot], static_cast<int>(p));
             }
           });
         });
@@ -415,15 +423,16 @@ IterationOutput GpuBackend::Iterate(const std::vector<int>& mcur_midx) {
           [&, n, d](simt::BlockContext& b) {
             const int64_t i = b.block_idx() / d;
             const int64_t j = b.block_idx() % d;
-            const int size = dl_size[i];
-            const float mj = data[int64_t{ids[i]} * d + j];
+            const int size = b.Load(&dl_size[i]);
+            const float mj = b.Load(&data[int64_t{b.Load(&ids[i])} * d + j]);
+            const int* sphere = b.LoadSpan(dl + i * n, size);
             double sum = 0.0;
             b.ForEachThreadStrided(size, [&](int64_t idx) {
-              const int64_t p = dl[i * n + idx];
-              sum += std::abs(static_cast<double>(data[p * d + j]) -
+              const int64_t p = sphere[idx];
+              sum += std::abs(static_cast<double>(b.Load(&data[p * d + j])) -
                               static_cast<double>(mj));
             });
-            x[i * d + j] = sum / static_cast<double>(size);
+            b.Store(&x[i * d + j], sum / static_cast<double>(size));
           });
     } else {
       // GPU-FAST / GPU-FAST*: update H from Delta-L (Theorem 3.2), update
@@ -437,25 +446,31 @@ IterationOutput GpuBackend::Iterate(const std::vector<int>& mcur_midx) {
           [&, n, d](simt::BlockContext& b) {
             const int64_t i = b.block_idx() / d;
             const int64_t j = b.block_idx() % d;
-            const int size = dl_size[i];
-            const int64_t row = srows[i];
-            const float mj = data[int64_t{ids[i]} * d + j];
+            const int size = b.Load(&dl_size[i]);
+            const int64_t row = b.Load(&srows[i]);
+            const float mj = b.Load(&data[int64_t{b.Load(&ids[i])} * d + j]);
+            const int* sphere = b.LoadSpan(dl + i * n, size);
             double sum = 0.0;
             b.ForEachThreadStrided(size, [&](int64_t idx) {
-              const int64_t p = dl[i * n + idx];
-              sum += std::abs(static_cast<double>(data[p * d + j]) -
+              const int64_t p = sphere[idx];
+              sum += std::abs(static_cast<double>(b.Load(&data[p * d + j])) -
                               static_cast<double>(mj));
             });
-            h[row * d + j] += static_cast<double>(dlambda[i]) * sum;
+            b.Store(&h[row * d + j],
+                    b.Load(&h[row * d + j]) +
+                        static_cast<double>(b.Load(&dlambda[i])) * sum);
           });
       device_->Launch("update_l_size", {1, std::max(k, 1)},
                       simt::WorkEstimate{1.0 * k, 16.0 * k, 0.0},
                       [&](simt::BlockContext& b) {
                         b.ForEachThread([&](int tid) {
                           if (tid >= k) return;
-                          l_size[srows[tid]] +=
-                              static_cast<int64_t>(dlambda[tid]) *
-                              dl_size[tid];
+                          const int row = b.Load(&srows[tid]);
+                          b.Store(&l_size[row],
+                                  b.Load(&l_size[row]) +
+                                      static_cast<int64_t>(
+                                          b.Load(&dlambda[tid])) *
+                                          b.Load(&dl_size[tid]));
                         });
                       });
       device_->Launch(
@@ -463,10 +478,11 @@ IterationOutput GpuBackend::Iterate(const std::vector<int>& mcur_midx) {
           simt::WorkEstimate{1.0 * k * d, 16.0 * k * d, 0.0},
           [&, d](simt::BlockContext& b) {
             const int64_t i = b.block_idx();
-            const int64_t row = srows[i];
+            const int64_t row = b.Load(&srows[i]);
             b.ForEachThreadStrided(d, [&](int64_t j) {
-              x[i * d + j] =
-                  h[row * d + j] / static_cast<double>(l_size[row]);
+              b.Store(&x[i * d + j],
+                      b.Load(&h[row * d + j]) /
+                          static_cast<double>(b.Load(&l_size[row])));
             });
           });
     }
@@ -532,7 +548,7 @@ std::vector<std::vector<int>> GpuBackend::PickDimensions(
         simt::WorkEstimate{4.0 * k * d, 8.0 * k * d, 0.0},
         [&, d](simt::BlockContext& b) {
           const int64_t i = b.block_idx();
-          const double* row = z + i * d;
+          const double* row = b.LoadSpan(z + i * d, d);
           int64_t first = 0;
           for (int64_t j = 1; j < d; ++j) {
             if (row[j] < row[first]) first = j;
@@ -542,9 +558,9 @@ std::vector<std::vector<int>> GpuBackend::PickDimensions(
             if (j == first) continue;
             if (row[j] < row[second]) second = j;
           }
-          mask[i * d + first] = 1;
-          mask[i * d + second] = 1;
-          row_counts[i] = 2;
+          b.Store(&mask[i * d + first], char{1});
+          b.Store(&mask[i * d + second], char{1});
+          b.Store(&row_counts[i], 2);
         });
     // Globally smallest remaining entries until k*l in total; serial greedy
     // in one block (k*d is tiny).
@@ -552,15 +568,17 @@ std::vector<std::vector<int>> GpuBackend::PickDimensions(
     device_->Launch(
         "select_extras", {1, 1},
         simt::WorkEstimate{2.0 * extras * k * d, 8.0 * extras * k * d, 0.0},
-        [&, d, k, extras](simt::BlockContext&) {
+        [&, d, k, extras](simt::BlockContext& b) {
+          const int64_t kd = static_cast<int64_t>(k) * d;
+          const double* zs = b.LoadSpan(z, kd);
           for (int e = 0; e < extras; ++e) {
             int64_t best = -1;
-            for (int64_t idx = 0; idx < static_cast<int64_t>(k) * d; ++idx) {
-              if (mask[idx]) continue;
-              if (best < 0 || z[idx] < z[best]) best = idx;
+            for (int64_t idx = 0; idx < kd; ++idx) {
+              if (b.Load(&mask[idx])) continue;
+              if (best < 0 || zs[idx] < zs[best]) best = idx;
             }
-            mask[best] = 1;
-            row_counts[best / d] += 1;
+            b.Store(&mask[best], char{1});
+            b.Store(&row_counts[best / d], b.Load(&row_counts[best / d]) + 1);
           }
         });
     // Flatten into dims_flat / dims_offset on the device.
@@ -569,17 +587,17 @@ std::vector<std::vector<int>> GpuBackend::PickDimensions(
     device_->Launch(
         "build_dims", {1, 1},
         simt::WorkEstimate{1.0 * k * d, 5.0 * k * d, 0.0},
-        [&, d, k](simt::BlockContext&) {
+        [&, d, k](simt::BlockContext& b) {
           int offset = 0;
           for (int i = 0; i < k; ++i) {
-            offsets[i] = offset;
+            b.Store(&offsets[i], offset);
             for (int64_t j = 0; j < d; ++j) {
-              if (mask[int64_t{i} * d + j]) {
-                flat[offset++] = static_cast<int>(j);
+              if (b.Load(&mask[int64_t{i} * d + j])) {
+                b.Store(&flat[offset++], static_cast<int>(j));
               }
             }
           }
-          offsets[k] = offset;
+          b.Store(&offsets[k], offset);
         });
   }
   // Only the selected ids cross the bus, for the driver's bookkeeping.
@@ -610,18 +628,25 @@ void GpuBackend::LaunchComputeZ() {
         const int64_t i = b.block_idx();
         double* y = b.Shared<double>(1);
         double* sigma = b.Shared<double>(1);
-        b.ForEachThreadStrided(d, [&](int64_t j) { *y += x[i * d + j]; });
+        // The strided accumulations must be atomic: on a real GPU several
+        // threads of the phase fold into the same shared word concurrently
+        // (simtcheck flags the plain += form as an intra-block race).
+        b.ForEachThreadStrided(
+            d, [&](int64_t j) { b.AtomicAdd(y, b.Load(&x[i * d + j])); });
         b.Sync();
-        *y /= static_cast<double>(d);
+        b.Store(y, b.Load(y) / static_cast<double>(d));
         b.ForEachThreadStrided(d, [&](int64_t j) {
-          const double diff = x[i * d + j] - *y;
-          *sigma += diff * diff;
+          const double diff = b.Load(&x[i * d + j]) - b.Load(y);
+          b.AtomicAdd(sigma, diff * diff);
         });
         b.Sync();
-        *sigma = std::sqrt(*sigma / static_cast<double>(d - 1));
+        b.Store(sigma,
+                std::sqrt(b.Load(sigma) / static_cast<double>(d - 1)));
         b.Sync();
         b.ForEachThreadStrided(d, [&](int64_t j) {
-          z[i * d + j] = *sigma > 0.0 ? (x[i * d + j] - *y) / *sigma : 0.0;
+          const double s = b.Load(sigma);
+          b.Store(&z[i * d + j],
+                  s > 0.0 ? (b.Load(&x[i * d + j]) - b.Load(y)) / s : 0.0);
         });
       });
 }
@@ -665,29 +690,47 @@ void GpuBackend::LaunchAssign(bool with_outliers, bool zero_c_size) {
                          4.0 * n * (k * params_.l + 2.0),
                          2.0 * n},
       [&, n, with_outliers, assign_block](simt::BlockContext& b) {
+        // Block-invariant inputs are span-checked once per block so the
+        // per-point loop below runs on raw pointers (the medoid rows are
+        // the hot ones: k row spans per block instead of per point).
+        const int* offs = b.LoadSpan(dims_offset, k + 1);
+        const int* dims_all = b.LoadSpan(dims_flat, offs[k]);
+        const int* mids = b.LoadSpan(ids, k);
+        const float* rads = with_outliers ? b.LoadSpan(radii, k) : nullptr;
+        constexpr int kMaxHoistedK = 64;
+        const float* medoid_rows[kMaxHoistedK];
+        const bool hoisted = k <= kMaxHoistedK;
+        if (hoisted) {
+          for (int i = 0; i < k; ++i) {
+            medoid_rows[i] = b.LoadSpan(data + int64_t{mids[i]} * d, d);
+          }
+        }
         b.ForEachThread([&](int tid) {
           const int64_t p = b.block_idx() * assign_block + tid;
           if (p >= n) return;
-          const float* point = data + p * d;
+          const float* point = b.LoadSpan(data + p * d, d);
           float best = kInf;
           int arg = 0;
           bool within = false;
           for (int i = 0; i < k; ++i) {
-            const int* dims = dims_flat + dims_offset[i];
-            const int ndims = dims_offset[i + 1] - dims_offset[i];
-            const float sd = SegmentalDistance(
-                point, data + int64_t{ids[i]} * d, dims, ndims);
+            const int off = offs[i];
+            const int ndims = offs[i + 1] - off;
+            const float* medoid =
+                hoisted ? medoid_rows[i]
+                        : b.LoadSpan(data + int64_t{mids[i]} * d, d);
+            const float sd =
+                SegmentalDistance(point, medoid, dims_all + off, ndims);
             if (sd < best) {
               best = sd;
               arg = i;
             }
-            if (with_outliers && sd <= radii[i]) within = true;
+            if (with_outliers && sd <= rads[i]) within = true;
           }
           const int cluster = (with_outliers && !within) ? kOutlier : arg;
-          assignment[p] = cluster;
+          b.Store(&assignment[p], cluster);
           if (cluster != kOutlier) {
-            const int slot = simt::AtomicInc(&c_size[cluster]);
-            c[int64_t{cluster} * n + slot] = static_cast<int>(p);
+            const int slot = b.AtomicInc(&c_size[cluster]);
+            b.Store(&c[int64_t{cluster} * n + slot], static_cast<int>(p));
           }
         });
       });
@@ -717,29 +760,37 @@ double GpuBackend::LaunchEvaluate(const int* assignment, int64_t assigned,
       [&, n, d, k, assigned](simt::BlockContext& b) {
         // Resolve the (cluster, dim) pair of this block.
         int i = 0;
-        while (i + 1 < k &&
-               b.block_idx() >= static_cast<int64_t>(dims_offset[i + 1])) {
+        while (i + 1 < k && b.block_idx() >=
+                                static_cast<int64_t>(
+                                    b.Load(&dims_offset[i + 1]))) {
           ++i;
         }
-        const int j = dims_flat[b.block_idx()];
-        const int ndims = dims_offset[i + 1] - dims_offset[i];
-        const int size = c_size[i];
+        const int j = b.Load(&dims_flat[b.block_idx()]);
+        const int ndims =
+            b.Load(&dims_offset[i + 1]) - b.Load(&dims_offset[i]);
+        const int size = b.Load(&c_size[i]);
         if (size == 0) return;
+        // The member list of cluster i is block-invariant: one span check,
+        // raw gathers below.
+        const int* members = b.LoadSpan(c + int64_t{i} * n, size);
         double* mu = b.Shared<double>(1);
+        // Atomic for the same reason as compute_z: concurrent threads of
+        // one phase fold into the same shared word.
         b.ForEachThreadStrided(size, [&](int64_t idx) {
-          const int64_t p = c[int64_t{i} * n + idx];
-          *mu += data[p * d + j];
+          const int64_t p = members[idx];
+          b.AtomicAdd(mu, static_cast<double>(b.Load(&data[p * d + j])));
         });
         b.Sync();
-        *mu /= static_cast<double>(size);
+        b.Store(mu, b.Load(mu) / static_cast<double>(size));
+        const double mean = b.Load(mu);
         double dev = 0.0;
         b.ForEachThreadStrided(size, [&](int64_t idx) {
-          const int64_t p = c[int64_t{i} * n + idx];
-          dev += std::abs(static_cast<double>(data[p * d + j]) - *mu);
+          const int64_t p = members[idx];
+          dev += std::abs(static_cast<double>(b.Load(&data[p * d + j])) -
+                          mean);
         });
-        simt::AtomicAdd(
-            cost, dev / (static_cast<double>(ndims) *
-                         static_cast<double>(assigned)));
+        b.AtomicAdd(cost, dev / (static_cast<double>(ndims) *
+                                 static_cast<double>(assigned)));
       });
   double cost_host = 0.0;
   device_->CopyToHost(&cost_host, d_cost_, 1);
@@ -760,7 +811,7 @@ void GpuBackend::SaveBest() {
                   [&, n](simt::BlockContext& b) {
                     b.ForEachThread([&](int tid) {
                       const int64_t p = b.block_idx() * kBlock + tid;
-                      if (p < n) dst[p] = src[p];
+                      if (p < n) b.Store(&dst[p], b.Load(&src[p]));
                     });
                   });
 }
@@ -789,9 +840,10 @@ void GpuBackend::Refine(const std::vector<int>& mbest_midx,
                     b.ForEachThread([&](int tid) {
                       const int64_t p = b.block_idx() * kBlock + tid;
                       if (p >= n) return;
-                      const int cluster = best[p];
-                      const int slot = simt::AtomicInc(&c_size[cluster]);
-                      c[int64_t{cluster} * n + slot] = static_cast<int>(p);
+                      const int cluster = b.Load(&best[p]);
+                      const int slot = b.AtomicInc(&c_size[cluster]);
+                      b.Store(&c[int64_t{cluster} * n + slot],
+                              static_cast<int>(p));
                     });
                   });
 
@@ -803,19 +855,19 @@ void GpuBackend::Refine(const std::vector<int>& mbest_midx,
       [&, n, d](simt::BlockContext& b) {
         const int64_t i = b.block_idx() / d;
         const int64_t j = b.block_idx() % d;
-        const int size = c_size[i];
+        const int size = b.Load(&c_size[i]);
         if (size == 0) {
-          x[i * d + j] = 0.0;
+          b.Store(&x[i * d + j], 0.0);
           return;
         }
-        const float mj = data[int64_t{ids[i]} * d + j];
+        const float mj = b.Load(&data[int64_t{b.Load(&ids[i])} * d + j]);
         double sum = 0.0;
         b.ForEachThreadStrided(size, [&](int64_t idx) {
-          const int64_t p = c[int64_t{i} * n + idx];
-          sum += std::abs(static_cast<double>(data[p * d + j]) -
+          const int64_t p = b.Load(&c[int64_t{i} * n + idx]);
+          sum += std::abs(static_cast<double>(b.Load(&data[p * d + j])) -
                           static_cast<double>(mj));
         });
-        x[i * d + j] = sum / static_cast<double>(size);
+        b.Store(&x[i * d + j], sum / static_cast<double>(size));
       });
   l_points_scanned_ += n;
 
@@ -835,14 +887,17 @@ void GpuBackend::Refine(const std::vector<int>& mbest_midx,
                            static_cast<double>(k) * k},
         [&, d, k](simt::BlockContext& b) {
           const int64_t i = b.block_idx();
-          const int* dims = dflat + doff[i];
-          const int ndims = doff[i + 1] - doff[i];
-          const float* mi = data + int64_t{ids[i]} * d;
+          const int off = b.Load(&doff[i]);
+          const int ndims = b.Load(&doff[i + 1]) - off;
+          const int* dims = b.LoadSpan(dflat + off, ndims);
+          const float* mi =
+              b.LoadSpan(data + int64_t{b.Load(&ids[i])} * d, d);
           b.ForEachThread([&](int tid) {
             if (tid >= k || tid == i) return;
             const float sd = SegmentalDistance(
-                mi, data + int64_t{ids[tid]} * d, dims, ndims);
-            simt::AtomicMin(&radii[i], sd);
+                mi, b.LoadSpan(data + int64_t{b.Load(&ids[tid])} * d, d),
+                dims, ndims);
+            b.AtomicMin(&radii[i], sd);
           });
         });
   }
@@ -874,6 +929,12 @@ void GpuBackend::FillStats(RunStats* stats) const {
   stats->modeled_transfer_seconds =
       device_->perf_model().transfer_seconds();
   stats->device_peak_bytes = device_->peak_allocated_bytes();
+  if (const simt::Sanitizer* sanitizer = device_->sanitizer()) {
+    stats->sanitizer_findings = sanitizer->findings();
+    stats->sanitizer_checked_accesses = sanitizer->checked_accesses();
+    stats->sanitizer_reports =
+        sanitizer->Reports(simt::Sanitizer::kMaxDetailedViolations);
+  }
 }
 
 }  // namespace proclus::core

@@ -119,6 +119,7 @@ Status RunMultiParamImpl(const data::Matrix& data, const ProclusParams& base,
   PoolExecutor pool_executor(pool, cancel);
   SequentialExecutor seq_executor(cancel);
   std::unique_ptr<simt::Device> owned_device;
+  simt::Device* sanitized_device = nullptr;
   std::unique_ptr<Backend> backend;
   switch (options.cluster.backend) {
     case ComputeBackend::kCpu:
@@ -132,10 +133,13 @@ Status RunMultiParamImpl(const data::Matrix& data, const ProclusParams& base,
     case ComputeBackend::kGpu: {
       simt::Device* device = options.cluster.device;
       if (device == nullptr) {
+        simt::DeviceOptions device_options;  // sanitize defaults from env
+        device_options.sanitize |= options.cluster.gpu_sanitize;
         owned_device = std::make_unique<simt::Device>(
-            options.cluster.device_properties);
+            options.cluster.device_properties, device_options);
         device = owned_device.get();
       }
+      sanitized_device = device;
       device->set_trace(options.cluster.trace);
       GpuBackendOptions gpu_options;
       gpu_options.assign_block_dim = options.cluster.gpu_assign_block_dim;
@@ -148,6 +152,13 @@ Status RunMultiParamImpl(const data::Matrix& data, const ProclusParams& base,
     }
   }
   backend->SetTrace(options.cluster.trace);
+
+  // Count only this sweep's findings: a long-lived (service) device may
+  // carry findings from earlier jobs.
+  const int64_t findings_before =
+      (sanitized_device != nullptr && sanitized_device->sanitize_enabled())
+          ? sanitized_device->sanitizer()->findings()
+          : 0;
 
   // Shared initialization draws: Data' and the greedy start are sampled once
   // for the largest k, so M (and therefore the Dist/H caches) is identical
@@ -216,6 +227,18 @@ Status RunMultiParamImpl(const data::Matrix& data, const ProclusParams& base,
     output->results.push_back(std::move(result));
   }
   output->total_seconds = total_watch.ElapsedSeconds();
+  if (sanitized_device != nullptr && sanitized_device->sanitize_enabled()) {
+    // Refresh the sanitizer figures on the last setting's stats (the
+    // per-setting FillStats ran before later kernels could report).
+    if (!output->results.empty()) {
+      backend->FillStats(&output->results.back().stats);
+    }
+    const int64_t new_findings =
+        sanitized_device->sanitizer()->findings() - findings_before;
+    if (new_findings > 0) {
+      return Status::Internal(sanitized_device->sanitizer()->Summary());
+    }
+  }
   return Status::OK();
 }
 

@@ -52,6 +52,16 @@ void PublishRunStats(const RunStats& stats, obs::MetricsRegistry* registry,
       ->Set(static_cast<double>(stats.device_peak_bytes));
   registry->gauge(prefix + ".host_state_bytes")
       ->Set(static_cast<double>(stats.host_state_bytes));
+  // Checked-execution (simtcheck) figures live under their own taxonomy so
+  // dashboards can alert on any simt.sanitizer.findings growth.
+  if (stats.sanitizer_checked_accesses > 0 || stats.sanitizer_findings > 0) {
+    registry->counter("simt.sanitizer.findings")
+        ->Increment(stats.sanitizer_findings);
+    registry->counter("simt.sanitizer.checked_accesses")
+        ->Increment(stats.sanitizer_checked_accesses);
+    registry->gauge("simt.sanitizer.last_run_findings")
+        ->Set(static_cast<double>(stats.sanitizer_findings));
+  }
   const std::string hist = prefix + ".phase_seconds.";
   registry->histogram(hist + "greedy")->Observe(stats.phases.greedy);
   registry->histogram(hist + "compute_distances")

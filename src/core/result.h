@@ -51,6 +51,12 @@ struct RunStats {
   uint64_t device_peak_bytes = 0;
   // Host-side bytes used for algorithm state (CPU backends).
   uint64_t host_state_bytes = 0;
+  // GPU backend with checked execution (simtcheck) only: violations found,
+  // accesses validated, and the formatted report lines (capped). A run with
+  // sanitizer_findings > 0 also fails with an internal-error Status.
+  int64_t sanitizer_findings = 0;
+  int64_t sanitizer_checked_accesses = 0;
+  std::vector<std::string> sanitizer_reports;
   // Per-phase wall-clock breakdown.
   PhaseSeconds phases;
 };

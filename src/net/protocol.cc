@@ -125,6 +125,7 @@ JsonValue EncodeOptions(const core::ClusterOptions& options) {
   if (options.gpu_device_dim_selection) {
     v.Set("gpu_device_dim_selection", JsonValue::Bool(true));
   }
+  if (options.gpu_sanitize) v.Set("gpu_sanitize", JsonValue::Bool(true));
   return v;
 }
 
@@ -152,6 +153,9 @@ Status DecodeOptions(const JsonValue* v, core::ClusterOptions* options) {
   }
   if (const JsonValue* f = v->Find("gpu_device_dim_selection")) {
     options->gpu_device_dim_selection = f->AsBool();
+  }
+  if (const JsonValue* f = v->Find("gpu_sanitize")) {
+    options->gpu_sanitize = f->AsBool();
   }
   return Status::OK();
 }
@@ -227,6 +231,20 @@ JsonValue EncodeWireJobResult(const WireJobResult& result) {
           JsonValue::Double(result.modeled_gpu_seconds));
   }
   v.Set("warm_device", JsonValue::Bool(result.warm_device));
+  if (result.sanitizer_findings > 0) {
+    v.Set("sanitizer_findings", JsonValue::Int(result.sanitizer_findings));
+  }
+  if (result.sanitizer_checked_accesses > 0) {
+    v.Set("sanitizer_checked_accesses",
+          JsonValue::Int(result.sanitizer_checked_accesses));
+  }
+  if (!result.sanitizer_reports.empty()) {
+    JsonValue reports = JsonValue::Array();
+    for (const std::string& report : result.sanitizer_reports) {
+      reports.Append(JsonValue::Str(report));
+    }
+    v.Set("sanitizer_reports", std::move(reports));
+  }
   return v;
 }
 
@@ -249,6 +267,16 @@ WireJobResult DecodeWireJobResult(const JsonValue& v) {
   if (const JsonValue* f = v.Find("exec_seconds")) result.exec_seconds = f->AsDouble();
   if (const JsonValue* f = v.Find("modeled_gpu_seconds")) result.modeled_gpu_seconds = f->AsDouble();
   if (const JsonValue* f = v.Find("warm_device")) result.warm_device = f->AsBool();
+  if (const JsonValue* f = v.Find("sanitizer_findings")) result.sanitizer_findings = f->AsInt();
+  if (const JsonValue* f = v.Find("sanitizer_checked_accesses")) {
+    result.sanitizer_checked_accesses = f->AsInt();
+  }
+  if (const JsonValue* reports = v.Find("sanitizer_reports");
+      reports != nullptr && reports->is_array()) {
+    for (const JsonValue& report : reports->array_value) {
+      result.sanitizer_reports.push_back(report.AsString());
+    }
+  }
   return result;
 }
 

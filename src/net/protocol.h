@@ -129,6 +129,13 @@ struct WireJobResult {
   double exec_seconds = 0.0;
   double modeled_gpu_seconds = 0.0;
   bool warm_device = false;
+  // simtcheck (sanitizing servers only): findings attributed to this job,
+  // accesses the checker validated (> 0 proves checked execution), and the
+  // detailed violation reports. A job with findings fails, so reports
+  // normally travel inside an error-bearing status response.
+  int64_t sanitizer_findings = 0;
+  int64_t sanitizer_checked_accesses = 0;
+  std::vector<std::string> sanitizer_reports;
 };
 
 struct Response {

@@ -35,6 +35,10 @@ void FillResult(const service::JobResult& job_result, Response* response) {
   response->result.exec_seconds = job_result.exec_seconds;
   response->result.modeled_gpu_seconds = job_result.modeled_gpu_seconds;
   response->result.warm_device = job_result.warm_device;
+  response->result.sanitizer_findings = job_result.sanitizer_findings;
+  response->result.sanitizer_checked_accesses =
+      job_result.sanitizer_checked_accesses;
+  response->result.sanitizer_reports = job_result.sanitizer_reports;
 }
 
 bool IsTerminal(service::JobPhase phase) {
@@ -351,6 +355,9 @@ Response ProclusServer::HandleSubmit(Connection* connection,
   if (!job_result->status.ok()) {
     response.ok = false;
     response.error = WireError::FromStatus(job_result->status);
+    // simtcheck failures still ship the violation reports so the client
+    // sees what fired, not just the summary in the error message.
+    if (job_result->sanitizer_findings > 0) FillResult(*job_result, &response);
     return response;
   }
   response.ok = true;
@@ -387,6 +394,10 @@ Response ProclusServer::HandleStatus(const Request& request) {
         job_result == nullptr
             ? Status::Internal("terminal job without a result")
             : job_result->status);
+    if (job_result != nullptr && job_result->sanitizer_findings > 0 &&
+        request.include_result) {
+      FillResult(*job_result, &response);
+    }
     return response;
   }
   response.ok = true;

@@ -7,13 +7,13 @@
 namespace proclus::service {
 
 DevicePool::DevicePool(int capacity, simt::DeviceProperties props,
-                       bool prewarm)
-    : capacity_(capacity), props_(props) {
+                       bool prewarm, simt::DeviceOptions device_options)
+    : capacity_(capacity), props_(props), device_options_(device_options) {
   PROCLUS_CHECK(capacity >= 1);
   entries_.resize(capacity_);
   if (prewarm) {
     for (Entry& entry : entries_) {
-      entry.device = std::make_unique<simt::Device>(props_);
+      entry.device = std::make_unique<simt::Device>(props_, device_options_);
     }
   }
 }
@@ -57,7 +57,7 @@ Status DevicePool::AcquireFor(const parallel::CancellationToken* cancel,
     device_idle_.wait_for(lock, std::chrono::milliseconds(10));
   }
   if (entry->device == nullptr) {
-    entry->device = std::make_unique<simt::Device>(props_);
+    entry->device = std::make_unique<simt::Device>(props_, device_options_);
   }
   entry->leased = true;
   ++acquires_;

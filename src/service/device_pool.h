@@ -29,8 +29,10 @@ class DevicePool {
  public:
   // `capacity` devices modeling `props`. With `prewarm` the devices are
   // constructed here (paying thread startup before the first job arrives);
-  // otherwise lazily on first acquire.
-  DevicePool(int capacity, simt::DeviceProperties props, bool prewarm);
+  // otherwise lazily on first acquire. `device_options` applies to every
+  // pooled device; its default already honors PROCLUS_SIMTCHECK=1.
+  DevicePool(int capacity, simt::DeviceProperties props, bool prewarm,
+             simt::DeviceOptions device_options = {});
 
   DevicePool(const DevicePool&) = delete;
   DevicePool& operator=(const DevicePool&) = delete;
@@ -75,6 +77,7 @@ class DevicePool {
 
   const int capacity_;
   const simt::DeviceProperties props_;
+  const simt::DeviceOptions device_options_;
 
   mutable std::mutex mutex_;
   std::condition_variable device_idle_;

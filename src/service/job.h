@@ -91,6 +91,15 @@ struct JobResult {
   double modeled_gpu_seconds = 0.0;
   // GPU jobs: the pooled device had already run a job (warm arena).
   bool warm_device = false;
+  // GPU jobs on a sanitizing service (ServiceOptions::sanitize_devices):
+  // simtcheck findings attributed to this job, the number of accesses the
+  // checker validated (> 0 proves the job really ran in checked mode), and
+  // the detailed violation reports. A job with findings > 0 finishes
+  // kFailed with an internal-error status; the reports say exactly what
+  // fired where.
+  int64_t sanitizer_findings = 0;
+  int64_t sanitizer_checked_accesses = 0;
+  std::vector<std::string> sanitizer_reports;
   // Global start order among all jobs of the service (-1 if never started);
   // lets callers observe scheduling, e.g. interactive-overtakes-bulk.
   int64_t start_sequence = -1;

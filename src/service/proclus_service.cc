@@ -99,6 +99,7 @@ struct SharedStats {
   int64_t queue_depth_high_water = 0;
   double exec_seconds_total = 0.0;
   double modeled_gpu_seconds_total = 0.0;
+  int64_t sanitizer_findings_total = 0;
   std::atomic<int64_t> next_start_sequence{0};
 
   void CountTerminal(const Status& status) {
@@ -245,7 +246,8 @@ ProclusService::ProclusService(ServiceOptions options)
           std::make_unique<parallel::ThreadPool>(options_.compute_threads)),
       device_pool_(std::make_unique<DevicePool>(
           std::max(1, options_.gpu_devices), options_.device_properties,
-          options_.prewarm_devices)) {
+          options_.prewarm_devices,
+          simt::DeviceOptions{0, options_.sanitize_devices})) {
   const int workers = std::max(1, options_.num_workers);
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
@@ -285,6 +287,12 @@ Status ProclusService::Submit(JobSpec spec, JobHandle* handle) {
         "them null");
   }
   PROCLUS_RETURN_NOT_OK(spec.options.Validate());
+  if (spec.options.gpu_sanitize && !options_.sanitize_devices) {
+    // Fail here instead of when the pooled (unsanitized) device is attached.
+    return Status::InvalidArgument(
+        "options.gpu_sanitize requires a sanitizing service "
+        "(ServiceOptions::sanitize_devices or PROCLUS_SIMTCHECK=1)");
+  }
   if (spec.timeout_seconds < 0.0) {
     return Status::InvalidArgument("timeout_seconds must be >= 0");
   }
@@ -488,9 +496,20 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
 
   double modeled_gpu_seconds = 0.0;
   bool warm_device = false;
+  int64_t sanitizer_findings = 0;
+  int64_t sanitizer_checked_accesses = 0;
+  std::vector<std::string> sanitizer_reports;
   if (lease.device != nullptr) {
     modeled_gpu_seconds = lease.device->modeled_seconds();
     warm_device = lease.warm;
+    if (const simt::Sanitizer* sanitizer = lease.device->sanitizer()) {
+      // ResetStats above cleared the run state, so these figures belong to
+      // this job alone.
+      sanitizer_findings = sanitizer->findings();
+      sanitizer_checked_accesses = sanitizer->checked_accesses();
+      sanitizer_reports =
+          sanitizer->Reports(simt::Sanitizer::kMaxDetailedViolations);
+    }
     // Cluster/RunMultiParam already detached the recorder from the device;
     // make sure of it before the device returns to the pool.
     lease.device->set_trace(nullptr);
@@ -510,6 +529,7 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
     std::lock_guard<std::mutex> lock(stats_->mutex);
     stats_->exec_seconds_total += exec_seconds;
     stats_->modeled_gpu_seconds_total += modeled_gpu_seconds;
+    stats_->sanitizer_findings_total += sanitizer_findings;
   }
   stats_->CountTerminal(status);
   {
@@ -519,6 +539,9 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
     job->result.exec_seconds = exec_seconds;
     job->result.modeled_gpu_seconds = modeled_gpu_seconds;
     job->result.warm_device = warm_device;
+    job->result.sanitizer_findings = sanitizer_findings;
+    job->result.sanitizer_checked_accesses = sanitizer_checked_accesses;
+    job->result.sanitizer_reports = std::move(sanitizer_reports);
     job->FinishLocked(std::move(status));
   }
   job->FlushCallbacks();
@@ -588,6 +611,8 @@ void ProclusService::PublishMetrics(obs::MetricsRegistry* registry,
   set("device_reuse_hits", static_cast<double>(snap.device_reuse_hits));
   set("exec_seconds_total", snap.exec_seconds_total);
   set("modeled_gpu_seconds_total", snap.modeled_gpu_seconds_total);
+  set("sanitizer_findings_total",
+      static_cast<double>(snap.sanitizer_findings_total));
 }
 
 ServiceStats ProclusService::stats() const {
@@ -603,6 +628,7 @@ ServiceStats ProclusService::stats() const {
     snapshot.queue_depth_high_water = stats_->queue_depth_high_water;
     snapshot.exec_seconds_total = stats_->exec_seconds_total;
     snapshot.modeled_gpu_seconds_total = stats_->modeled_gpu_seconds_total;
+    snapshot.sanitizer_findings_total = stats_->sanitizer_findings_total;
   }
   snapshot.device_acquires = device_pool_->acquires();
   snapshot.device_reuse_hits = device_pool_->reuse_hits();

@@ -39,6 +39,12 @@ struct ServiceOptions {
   double default_timeout_seconds = 0.0;
   // Construct the GPU devices up front so the first job already runs warm.
   bool prewarm_devices = true;
+  // Checked execution (simtcheck) for every pooled device: GPU jobs run
+  // under the shadow-memory race/memory checker, any finding fails the job
+  // with an internal-error status, and per-job reports land in
+  // JobResult::sanitizer_reports. Defaults to PROCLUS_SIMTCHECK=1; the
+  // CLI's --simtcheck sets it explicitly. See docs/simt.md.
+  bool sanitize_devices = simt::SimtcheckEnvDefault();
   // Structured tracing for the whole service: jobs with JobSpec::trace set
   // record their lifecycle (queue-wait and run spans, category "service")
   // plus the run's driver/backend/device events into this recorder. Must
@@ -62,6 +68,8 @@ struct ServiceStats {
   // Summed execution seconds (wall) and modeled GPU seconds across jobs.
   double exec_seconds_total = 0.0;
   double modeled_gpu_seconds_total = 0.0;
+  // Total simtcheck findings across jobs (0 unless sanitize_devices).
+  int64_t sanitizer_findings_total = 0;
 };
 
 // Long-lived clustering front end: owns one shared compute ThreadPool, a

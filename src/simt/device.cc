@@ -2,14 +2,25 @@
 
 #include <algorithm>
 
+#include "common/env.h"
+
 namespace proclus::simt {
 
 namespace {
 constexpr size_t kMinChunkBytes = 8ULL << 20;  // 8 MiB
 }  // namespace
 
+bool SimtcheckEnvDefault() {
+  return GetEnvInt64("PROCLUS_SIMTCHECK", 0) != 0;
+}
+
+Device::Device(DeviceProperties props, DeviceOptions options)
+    : props_(props), pool_(options.host_workers), perf_model_(props) {
+  if (options.sanitize) sanitizer_ = std::make_unique<Sanitizer>();
+}
+
 Device::Device(DeviceProperties props, int host_workers)
-    : props_(props), pool_(host_workers), perf_model_(props) {}
+    : Device(props, DeviceOptions{host_workers, SimtcheckEnvDefault()}) {}
 
 char* Device::AllocBytes(size_t bytes, size_t alignment) {
   if (bytes == 0) bytes = alignment;
@@ -23,6 +34,7 @@ char* Device::AllocBytes(size_t bytes, size_t alignment) {
       peak_allocated_bytes_ = std::max(peak_allocated_bytes_, allocated_bytes_);
       char* ptr = chunk.data.get() + offset;
       std::memset(ptr, 0, bytes);
+      if (sanitizer_ != nullptr) sanitizer_->OnAlloc(ptr, bytes);
       return ptr;
     }
   }
@@ -35,15 +47,21 @@ char* Device::AllocBytes(size_t bytes, size_t alignment) {
   peak_allocated_bytes_ = std::max(peak_allocated_bytes_, allocated_bytes_);
   char* ptr = chunks_.back().data.get();
   std::memset(ptr, 0, bytes);
+  if (sanitizer_ != nullptr) {
+    sanitizer_->OnChunkCreated(ptr, chunks_.back().capacity);
+    sanitizer_->OnAlloc(ptr, bytes);
+  }
   return ptr;
 }
 
 void Device::FreeAll() {
+  if (sanitizer_ != nullptr) sanitizer_->OnFreeAll();
   chunks_.clear();
   allocated_bytes_ = 0;
 }
 
 void Device::ResetArena() {
+  if (sanitizer_ != nullptr) sanitizer_->OnArenaReset();
   for (Chunk& chunk : chunks_) chunk.used = 0;
   allocated_bytes_ = 0;
 }
@@ -126,6 +144,18 @@ void Device::Launch(const char* name, LaunchConfig cfg,
          obs::TraceArg::Double("achieved_occupancy", occ.achieved)});
   }
   if (cfg.grid_dim == 0) return;
+  if (sanitizer_ != nullptr) {
+    // Checked mode: run blocks in order on the calling thread so the shadow
+    // state needs no locking and reports are deterministic.
+    sanitizer_->BeginLaunch(name, cfg.grid_dim, cfg.block_dim);
+    std::vector<char> shared(kSharedMemoryBytes);
+    for (int64_t b = 0; b < cfg.grid_dim; ++b) {
+      BlockContext block(b, cfg, &shared, sanitizer_.get());
+      body(block);
+    }
+    sanitizer_->EndLaunch();
+    return;
+  }
   if (pool_.num_threads() == 1 || cfg.grid_dim == 1) {
     // Single host worker: run blocks in order on the calling thread. This is
     // the fully deterministic path.

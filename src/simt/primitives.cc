@@ -18,7 +18,7 @@ void Iota(Device& device, const char* name, int* values, int64_t count) {
                 WorkEstimate{0.0, 4.0 * count, 0.0}, [&](BlockContext& b) {
                   b.ForEachThread([&](int tid) {
                     const int64_t i = b.block_idx() * kBlock + tid;
-                    if (i < count) values[i] = static_cast<int>(i);
+                    if (i < count) b.Store(&values[i], static_cast<int>(i));
                   });
                 });
 }
@@ -36,9 +36,9 @@ double ReduceSum(Device& device, const char* name, const double* values,
           double local = 0.0;
           b.ForEachThread([&](int tid) {
             const int64_t i = b.block_idx() * kBlock + tid;
-            if (i < count) local += values[i];
+            if (i < count) local += b.Load(&values[i]);
           });
-          AtomicAdd(out, local);
+          b.AtomicAdd(out, local);
         });
   }
   return *out;
@@ -56,9 +56,9 @@ float ReduceMin(Device& device, const char* name, const float* values,
                     float local = std::numeric_limits<float>::infinity();
                     b.ForEachThread([&](int tid) {
                       const int64_t i = b.block_idx() * kBlock + tid;
-                      if (i < count) local = std::min(local, values[i]);
+                      if (i < count) local = std::min(local, b.Load(&values[i]));
                     });
-                    AtomicMin(out, local);
+                    b.AtomicMin(out, local);
                   });
   }
   return *out;
@@ -76,9 +76,9 @@ float ReduceMax(Device& device, const char* name, const float* values,
                     float local = -std::numeric_limits<float>::infinity();
                     b.ForEachThread([&](int tid) {
                       const int64_t i = b.block_idx() * kBlock + tid;
-                      if (i < count) local = std::max(local, values[i]);
+                      if (i < count) local = std::max(local, b.Load(&values[i]));
                     });
-                    AtomicMax(out, local);
+                    b.AtomicMax(out, local);
                   });
   }
   return *out;

@@ -26,7 +26,7 @@ void Fill(Device& device, const char* name, T* values, int64_t count,
                 [&](BlockContext& b) {
                   b.ForEachThread([&](int tid) {
                     const int64_t i = b.block_idx() * block + tid;
-                    if (i < count) values[i] = value;
+                    if (i < count) b.Store(&values[i], value);
                   });
                 });
 }

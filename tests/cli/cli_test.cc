@@ -88,6 +88,24 @@ TEST(ParseArgsTest, BackendAndStrategy) {
       Parse({"--generate", "100,5,2", "--strategy", "slow"}, &config).ok());
 }
 
+TEST(ParseArgsTest, SimtcheckRequiresGpuBackendForRuns) {
+  CliConfig config;
+  EXPECT_FALSE(Parse({"--generate", "100,5,2", "--backend", "cpu",
+                      "--simtcheck"},
+                     &config)
+                   .ok());
+  EXPECT_FALSE(Parse({"--generate", "100,5,2", "--backend", "mc",
+                      "--simtcheck"},
+                     &config)
+                   .ok());
+  ASSERT_TRUE(Parse({"--generate", "100,5,2", "--backend", "gpu",
+                     "--simtcheck"},
+                    &config)
+                  .ok());
+  EXPECT_TRUE(config.simtcheck);
+  EXPECT_TRUE(config.options.gpu_sanitize);
+}
+
 TEST(ParseArgsTest, UnknownFlagRejectedWithHint) {
   CliConfig config;
   const Status st = Parse({"--generate", "100,5,2", "--frobnicate"}, &config);
@@ -145,6 +163,20 @@ TEST_F(RunCliTest, GenerateAndClusterEndToEnd) {
   EXPECT_NE(out.str().find("cluster"), std::string::npos);
   EXPECT_NE(out.str().find("subspace"), std::string::npos);
   EXPECT_NE(out.str().find("ARI vs labels"), std::string::npos);
+}
+
+TEST_F(RunCliTest, SimtcheckRunReportsCheckedAccesses) {
+  CliConfig config;
+  ASSERT_TRUE(Parse({"--generate", "400,8,3", "--k", "3", "--l", "4",
+                     "--backend", "gpu", "--simtcheck"},
+                    &config)
+                  .ok());
+  std::ostringstream out;
+  const Status status = RunCli(config, out);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  // The clean run prints the checked-access count and zero findings.
+  EXPECT_NE(out.str().find("simtcheck:"), std::string::npos);
+  EXPECT_NE(out.str().find("0 finding(s)"), std::string::npos);
 }
 
 TEST_F(RunCliTest, CsvInputAndAssignmentOutput) {

@@ -198,11 +198,18 @@ TEST(LoopbackTest, DeadlineExceededCrossesTheWire) {
   blocker.kind = service::JobKind::kSweep;
   blocker.dataset_id = "d";
   blocker.params = TestParams();
-  blocker.settings = {{3, 3}, {4, 4}, {5, 4}, {4, 3}, {5, 5}};
+  blocker.settings = {{3, 3}, {4, 4}, {5, 4}, {4, 3}, {5, 5},
+                      {3, 4}, {4, 5}, {5, 3}, {3, 5}, {4, 4}};
   blocker.reuse = core::ReuseLevel::kNone;
   blocker.options = core::ClusterOptions::Cpu(core::Strategy::kBaseline);
   service::JobHandle blocker_handle;
   ASSERT_TRUE(loop.service->Submit(std::move(blocker), &blocker_handle).ok());
+  // The timed request must spend its whole budget queued behind the
+  // blocker, so do not send it until the blocker actually holds the worker
+  // (a fast blocker could otherwise finish before the wire request lands).
+  while (blocker_handle.phase() == service::JobPhase::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 
   Request request;
   request.type = RequestType::kSubmitSingle;
@@ -381,6 +388,41 @@ TEST(LoopbackTest, MetricsExposeNetAndServiceFamilies) {
   EXPECT_EQ(counters->Find("net.submit_wait")->AsInt(), 1);
   ASSERT_NE(gauges->Find("service.completed"), nullptr);
   EXPECT_EQ(gauges->Find("service.completed")->AsDouble(), 1.0);
+}
+
+TEST(LoopbackTest, SanitizingServerRunsGpuJobsCleanAndPublishesTheCounter) {
+  // A server whose service pool runs every device in simtcheck mode: real
+  // GPU jobs must come back clean (the production kernels are race-free),
+  // the per-job sanitizer figures must cross the wire, and the service's
+  // findings counter must show up in the metrics snapshot.
+  const data::Dataset ds = TestData();
+  service::ServiceOptions service_options;
+  service_options.sanitize_devices = true;
+  Loopback loop(service_options);
+  ASSERT_TRUE(loop.service->RegisterDataset("d", ds.points).ok());
+
+  Request request;
+  request.type = RequestType::kSubmitSingle;
+  request.dataset_id = "d";
+  request.params = TestParams();
+  request.options = core::ClusterOptions::Gpu();
+  request.options.gpu_sanitize = true;
+  WireJobResult wire;
+  const Status submitted = loop.client.SubmitSingle(request, &wire);
+  ASSERT_TRUE(submitted.ok()) << submitted.ToString();
+  ASSERT_EQ(wire.results.size(), 1u);
+  EXPECT_EQ(wire.sanitizer_findings, 0);
+  EXPECT_TRUE(wire.sanitizer_reports.empty());
+  // The run really executed under the checker.
+  EXPECT_GT(wire.sanitizer_checked_accesses, 0);
+
+  json::JsonValue metrics;
+  ASSERT_TRUE(loop.client.FetchMetrics(&metrics).ok());
+  const json::JsonValue* gauges = metrics.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->Find("service.sanitizer_findings_total"), nullptr);
+  EXPECT_EQ(gauges->Find("service.sanitizer_findings_total")->AsDouble(),
+            0.0);
 }
 
 TEST(LoopbackTest, StopDrainsInFlightWaitJobs) {

@@ -263,6 +263,38 @@ TEST(ResponseCodecTest, OkResponseWithResultRoundTrips) {
   EXPECT_TRUE(decoded.result.warm_device);
 }
 
+TEST(ResponseCodecTest, SimtcheckFindingsRideAnErrorBearingResponse) {
+  // The wire shape of a simtcheck failure: the job fails (ok=false, internal
+  // error) but the response still carries the findings count and the
+  // detailed violation reports so the client sees what fired.
+  Response response;
+  response.request = RequestType::kSubmitSingle;
+  response.ok = false;
+  response.error = WireError::FromStatus(
+      Status::Internal("simtcheck: 2 violation(s); first: ..."));
+  response.has_result = true;
+  response.result.sanitizer_findings = 2;
+  response.result.sanitizer_checked_accesses = 123456;
+  response.result.sanitizer_reports = {
+      "simtcheck: intra_block_race: kernel 'assign' block 3 thread 7 phase "
+      "1: store of 4 bytes at global+0x40 conflicts with thread 2 in phase 1",
+      "simtcheck: use_after_reset: kernel 'update_h' block 0 thread 0 phase "
+      "0: load of 8 bytes at global+0x100: chunk was released by FreeAll()"};
+
+  std::string payload;
+  ASSERT_TRUE(EncodeResponse(response, &payload).ok());
+  Response decoded;
+  ASSERT_TRUE(DecodeResponse(payload, &decoded).ok()) << payload;
+
+  EXPECT_FALSE(decoded.ok);
+  EXPECT_EQ(decoded.error.code, StatusCode::kInternal);
+  ASSERT_TRUE(decoded.has_result);
+  EXPECT_EQ(decoded.result.sanitizer_findings, 2);
+  EXPECT_EQ(decoded.result.sanitizer_checked_accesses, 123456);
+  EXPECT_EQ(decoded.result.sanitizer_reports,
+            response.result.sanitizer_reports);
+}
+
 TEST(ResponseCodecTest, ErrorResponseRoundTripsRetryableFlag) {
   Response response;
   response.request = RequestType::kSubmitSingle;

@@ -127,6 +127,44 @@ TEST(ServiceTest, GpuJobsReuseWarmDeviceAndStayBitIdentical) {
   EXPECT_GT(stats.modeled_gpu_seconds_total, 0.0);
 }
 
+TEST(ServiceTest, SanitizingServiceRunsGpuJobsCleanAndCountsFindings) {
+  // ServiceOptions::sanitize_devices puts every pooled device in simtcheck
+  // mode: production kernels must run clean, the per-job figures must land
+  // in JobResult, and the service-wide counter must stay at zero.
+  const data::Dataset ds = TestData();
+  ServiceOptions service_options;
+  service_options.sanitize_devices = true;
+  ProclusService service(service_options);
+
+  JobSpec spec = JobSpec::Single(ds.points, TestParams(),
+                                 core::ClusterOptions::Gpu());
+  spec.options.gpu_sanitize = true;
+  JobHandle handle;
+  ASSERT_TRUE(service.Submit(std::move(spec), &handle).ok());
+  const JobResult& result = handle.Wait();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.sanitizer_findings, 0);
+  EXPECT_GT(result.sanitizer_checked_accesses, 0);
+  EXPECT_TRUE(result.sanitizer_reports.empty());
+  EXPECT_EQ(service.stats().sanitizer_findings_total, 0);
+}
+
+TEST(ServiceTest, GpuSanitizeOptionRequiresASanitizingService) {
+  // options.gpu_sanitize on a non-sanitizing service would only fail when
+  // the unchecked pooled device is attached; Submit rejects it up front.
+  const data::Dataset ds = TestData();
+  ServiceOptions service_options;
+  service_options.sanitize_devices = false;  // explicit: env may say 1
+  ProclusService service(service_options);
+
+  JobSpec spec = JobSpec::Single(ds.points, TestParams(),
+                                 core::ClusterOptions::Gpu());
+  spec.options.gpu_sanitize = true;
+  JobHandle handle;
+  EXPECT_EQ(service.Submit(std::move(spec), &handle).code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(ServiceTest, SweepMatchesRunMultiParam) {
   const data::Dataset ds = TestData();
   const std::vector<core::ParamSetting> settings = {{3, 3}, {4, 4}, {4, 5}};

@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Full check: regular build + all tests, then a ThreadSanitizer build that
 # runs the concurrency-sensitive suites (parallel primitives, the simulated
-# device, and the async service layer).
+# device, and the async service layer), then an ASan+UBSan build
+# (PROCLUS_SANITIZE=address enables both) that runs the full suite to vet
+# memory safety and undefined behavior.
 #
-#   tools/check.sh [--skip-tsan]
+#   tools/check.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
+SKIP_ASAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-asan) SKIP_ASAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -22,13 +26,23 @@ cmake --build build -j
 
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "== skipping TSAN pass =="
-  exit 0
+else
+  echo "== ThreadSanitizer build (PROCLUS_SANITIZE=thread) =="
+  cmake -B build-tsan -S . -DPROCLUS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j
+  echo "== TSAN: parallel / simt / service suites =="
+  (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
+      -R 'thread_pool_test|cancellation_test|device_test|atomic_test|stream_test|primitives_test|service_test|service_stress_test')
 fi
 
-echo "== ThreadSanitizer build (PROCLUS_SANITIZE=thread) =="
-cmake -B build-tsan -S . -DPROCLUS_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j
-echo "== TSAN: parallel / simt / service suites =="
-(cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-    -R 'thread_pool_test|cancellation_test|device_test|atomic_test|stream_test|primitives_test|service_test|service_stress_test')
+if [[ "$SKIP_ASAN" == 1 ]]; then
+  echo "== skipping ASan+UBSan pass =="
+else
+  echo "== ASan+UBSan build (PROCLUS_SANITIZE=address) =="
+  cmake -B build-asan -S . -DPROCLUS_SANITIZE=address >/dev/null
+  cmake --build build-asan -j
+  echo "== ASan+UBSan: full test suite =="
+  (cd build-asan && ctest --output-on-failure -j"$(nproc)")
+fi
+
 echo "check.sh: all green"

@@ -1,30 +1,51 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 gate (build + full ctest), the ThreadSanitizer
-# pass over the concurrency-sensitive suites (same regex as check.sh, now
-# including the obs tracing/metrics tests and the net/ serving suites), a
-# trace smoke that runs the CLI with --trace-out and validates the emitted
-# Chrome trace JSON parses, and a server smoke that starts `proclus_cli
-# serve` on a loopback port, runs `proclus_loadgen` against it, and asserts
-# zero failed jobs plus a clean drain on SIGTERM.
+# CI entry point: the tier-1 gate (build + full ctest), a checked-execution
+# pass that reruns the simt + core GPU suites with PROCLUS_SIMTCHECK=1 (the
+# simulator's race & memory checker; see docs/simt.md), a clang-tidy lint
+# stage over src/ (skipped when clang-tidy is not installed), the
+# ThreadSanitizer pass over the concurrency-sensitive suites (same regex as
+# check.sh, now including the obs tracing/metrics tests and the net/ serving
+# suites), a trace smoke that runs the CLI with --trace-out and validates
+# the emitted Chrome trace JSON parses, and a server smoke that starts
+# `proclus_cli serve` on a loopback port, runs `proclus_loadgen` against it,
+# and asserts zero failed jobs plus a clean drain on SIGTERM.
 #
-#   tools/ci.sh [--skip-tsan] [--skip-smoke]
+#   tools/ci.sh [--skip-tsan] [--skip-smoke] [--skip-lint]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
 SKIP_SMOKE=0
+SKIP_LINT=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-smoke) SKIP_SMOKE=1 ;;
+    --skip-lint) SKIP_LINT=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
 echo "== tier 1: build + full test suite =="
-cmake -B build -S . >/dev/null
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j"$(nproc)")
+
+echo "== checked execution: simt + core GPU suites under PROCLUS_SIMTCHECK=1 =="
+# Every internally constructed simt::Device runs in simtcheck mode, so the
+# production kernels must stay race- and memory-clean as the repo grows.
+(cd build && PROCLUS_SIMTCHECK=1 ctest --output-on-failure -j"$(nproc)" \
+    -R 'sanitizer_test|device_test|atomic_test|stream_test|primitives_test|perf_model_test|gpu_backend_test|gpu_config_test|equivalence_test|fast_strategy_test|multi_param_test|multi_param_rng_test|metamorphic_test|trace_export_test')
+
+if [[ "$SKIP_LINT" == 1 ]]; then
+  echo "== skipping lint =="
+elif command -v clang-tidy >/dev/null 2>&1; then
+  echo "== lint: clang-tidy over src/ (.clang-tidy config) =="
+  # shellcheck disable=SC2046
+  clang-tidy -p build --quiet $(find src -name '*.cc' | sort)
+else
+  echo "== lint: clang-tidy not installed; skipping =="
+fi
 
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "== skipping TSAN pass =="
