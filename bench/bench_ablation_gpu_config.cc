@@ -34,7 +34,7 @@ int main() {
       options.gpu_assign_block_dim = block_dim;
       options.device = &device;
       const core::ProclusResult result =
-          core::ClusterOrDie(ds.points, params, options);
+          MustCluster(ds.points, params, options);
       if (reference.empty()) reference = result.assignment;
       double assign_seconds = 0.0;
       double occupancy = 0.0;
@@ -68,7 +68,7 @@ int main() {
         options.strategy = core::Strategy::kFast;
         options.gpu_streams = streams;
         const core::ProclusResult result =
-            core::ClusterOrDie(small.points, params, options);
+            MustCluster(small.points, params, options);
         if (!streams) without = result.stats.modeled_gpu_seconds;
         table.AddRow(
             {std::to_string(size), streams ? "on" : "off",

@@ -9,6 +9,8 @@
 // from the analytical performance model; EXPERIMENTS.md compares shapes.
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -80,6 +82,22 @@ struct VariantTiming {
   core::ProclusResult result;
 };
 
+// Bench-only convenience: benches measure the happy path, so a failed run
+// is a harness bug — abort with the Status message rather than threading
+// Status through every figure loop.
+inline core::ProclusResult MustCluster(const data::Matrix& data,
+                                       const core::ProclusParams& params,
+                                       const core::ClusterOptions& options =
+                                           {}) {
+  core::ProclusResult result;
+  const Status st = core::Cluster(data, params, options, &result);
+  if (!st.ok()) {
+    std::fprintf(stderr, "Cluster: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return result;
+}
+
 // Runs one variant, averaging wall-clock over BenchRepeats() repetitions
 // with distinct seeds (the paper averages 10 runs).
 inline VariantTiming RunVariant(const data::Matrix& data,
@@ -93,7 +111,7 @@ inline VariantTiming RunVariant(const data::Matrix& data,
     options.strategy = spec.strategy;
     params.seed = 1000 + r;
     StopWatch watch;
-    timing.result = core::ClusterOrDie(data, params, options);
+    timing.result = MustCluster(data, params, options);
     timing.wall_seconds += watch.ElapsedSeconds();
     timing.modeled_gpu_seconds += timing.result.stats.modeled_gpu_seconds;
   }

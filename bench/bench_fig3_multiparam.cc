@@ -55,15 +55,17 @@ int main() {
       double total = 0.0;
       for (int r = 0; r < repeats; ++r) {
         const data::Dataset ds = MakeSynthetic(n, 15, 10, 5.0, 100 + r);
+        core::SweepSpec sweep;
+        sweep.settings = grid;
+        sweep.reuse = row.reuse;
         core::MultiParamOptions options;
-        options.reuse = row.reuse;
         options.cluster.backend = row.backend;
         options.cluster.strategy = row.strategy;
         core::ProclusParams seeded = base;
         seeded.seed = 7000 + r;
         core::MultiParamResult output;
         const Status st =
-            core::RunMultiParam(ds.points, seeded, grid, options, &output);
+            core::RunMultiParam(ds.points, seeded, sweep, options, &output);
         if (!st.ok()) {
           std::fprintf(stderr, "%s\n", st.ToString().c_str());
           return 1;

@@ -34,23 +34,26 @@ int main() {
       return 1;
     }
     // The grid's l range depends on each dataset's dimensionality.
-    const std::vector<core::ParamSetting> grid =
-        core::DefaultSettingsGrid(base, ds.points.cols());
+    const core::SweepSpec cpu_sweep = core::SweepSpec::Grid(
+        base, ds.points.cols(), core::ReuseLevel::kNone);
+    const std::vector<core::ParamSetting>& grid = cpu_sweep.settings;
     core::MultiParamOptions cpu;
-    cpu.reuse = core::ReuseLevel::kNone;
     cpu.cluster.backend = core::ComputeBackend::kCpu;
     cpu.cluster.strategy = core::Strategy::kBaseline;
     core::MultiParamResult cpu_out;
-    if (!core::RunMultiParam(ds.points, base, grid, cpu, &cpu_out).ok()) {
+    if (!core::RunMultiParam(ds.points, base, cpu_sweep, cpu, &cpu_out)
+             .ok()) {
       continue;  // dataset too small for some setting; skip
     }
 
+    const core::SweepSpec gpu_sweep = core::SweepSpec::Grid(
+        base, ds.points.cols(), core::ReuseLevel::kWarmStart);
     core::MultiParamOptions gpu;
-    gpu.reuse = core::ReuseLevel::kWarmStart;
     gpu.cluster.backend = core::ComputeBackend::kGpu;
     gpu.cluster.strategy = core::Strategy::kFast;
     core::MultiParamResult gpu_out;
-    if (!core::RunMultiParam(ds.points, base, grid, gpu, &gpu_out).ok()) {
+    if (!core::RunMultiParam(ds.points, base, gpu_sweep, gpu, &gpu_out)
+             .ok()) {
       continue;
     }
 

@@ -27,7 +27,7 @@ int main() {
       options.backend = spec.backend;
       options.strategy = spec.strategy;
       options.device = &device;
-      core::ClusterOrDie(ds.points, params, options);
+      MustCluster(ds.points, params, options);
       const uint64_t bytes = device.peak_allocated_bytes();
       if (spec.strategy == core::Strategy::kBaseline) base_bytes = bytes;
       table.AddRow({std::to_string(n), spec.label,

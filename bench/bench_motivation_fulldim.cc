@@ -30,7 +30,7 @@ int main() {
     params.k = 5;
     params.l = 5;
     const core::ProclusResult proclus_result =
-        core::ClusterOrDie(ds.points, params, {});
+        MustCluster(ds.points, params, {});
 
     baselines::ClaransParams clarans_params;
     clarans_params.k = 5;

@@ -20,7 +20,7 @@ void PrintUtilization(const proclus::data::Dataset& ds, const char* title,
   options.backend = core::ComputeBackend::kGpu;
   options.strategy = core::Strategy::kFast;
   options.device = &device;
-  core::ClusterOrDie(ds.points, params, options);
+  MustCluster(ds.points, params, options);
 
   TablePrinter table(
       title,

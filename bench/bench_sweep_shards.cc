@@ -1,0 +1,116 @@
+// Sharded sweeps: the §5.3 parameter-exploration grid run serially through
+// core::RunMultiParam on one device versus sharded across a prewarmed
+// 4-device pool by service::SweepScheduler. Both executions are
+// bit-identical (sweep_scheduler_test pins that); this bench measures what
+// sharding buys — host wall-clock (lanes are real threads) and the modeled
+// multi-GPU wall clock, i.e. the critical path max over per-lane modeled
+// device time versus the serial modeled total. The modeled speedup is the
+// figure of merit: the devices are simulated on the CPU host, so on a
+// host with fewer cores than lanes the real wall-clock column measures
+// host contention, not what four physical GPUs would deliver.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "core/sweep_plan.h"
+#include "service/device_pool.h"
+#include "service/sweep_scheduler.h"
+#include "simt/device.h"
+#include "simt/device_properties.h"
+
+namespace {
+
+constexpr int kPoolDevices = 4;
+
+void MustOk(const proclus::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace proclus;
+  using namespace proclus::bench;
+
+  const auto sizes = ScaledSizes({8000});
+  const data::Dataset ds = MakeSynthetic(sizes[0]);
+  const core::ProclusParams base;  // paper defaults; Grid sweeps k+-2, l+-1
+  const int repeats = BenchRepeats();
+
+  service::DevicePool pool(kPoolDevices, simt::DeviceProperties::Gtx1660Ti(),
+                           /*prewarm=*/true);
+  service::SweepScheduler scheduler(&pool);
+
+  TablePrinter table(
+      "Sharded sweeps - serial RunMultiParam vs SweepScheduler, " +
+          std::to_string(kPoolDevices) + "-device pool, n=" +
+          std::to_string(ds.points.rows()),
+      {"reuse", "settings", "shards", "lanes", "serial_wall", "sharded_wall",
+       "wall_speedup", "serial_modeled", "modeled_critical",
+       "modeled_speedup"},
+      "sweep_shards");
+
+  for (const core::ReuseLevel level :
+       {core::ReuseLevel::kNone, core::ReuseLevel::kCache,
+        core::ReuseLevel::kGreedy, core::ReuseLevel::kWarmStart}) {
+    const core::SweepSpec sweep =
+        core::SweepSpec::Grid(base, ds.points.cols(), level);
+    const core::SweepPlan plan = core::SweepPlan::Build(sweep);
+
+    double serial_wall = 0.0;
+    double serial_modeled = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      // Core never resets device stats, so after the sweep the device's
+      // modeled clock is the serial sweep's modeled total at every level.
+      simt::Device device(simt::DeviceProperties::Gtx1660Ti());
+      core::MultiParamOptions options;
+      options.cluster = core::ClusterOptions::Gpu();
+      options.cluster.device = &device;
+      core::MultiParamResult serial;
+      StopWatch watch;
+      MustOk(core::RunMultiParam(ds.points, base, sweep, options, &serial),
+             "RunMultiParam");
+      serial_wall += watch.ElapsedSeconds();
+      serial_modeled += device.modeled_seconds();
+    }
+    serial_wall /= repeats;
+    serial_modeled /= repeats;
+
+    double sharded_wall = 0.0;
+    double modeled_critical = 0.0;
+    int lanes = 0;
+    for (int r = 0; r < repeats; ++r) {
+      service::SweepScheduler::Outcome outcome;
+      StopWatch watch;
+      MustOk(scheduler.Run(ds.points, base, sweep,
+                           core::ClusterOptions::Gpu(), &outcome),
+             "SweepScheduler::Run");
+      sharded_wall += watch.ElapsedSeconds();
+      modeled_critical += *std::max_element(
+          outcome.lane_modeled_seconds.begin(),
+          outcome.lane_modeled_seconds.end());
+      lanes = outcome.shards_used;
+    }
+    sharded_wall /= repeats;
+    modeled_critical /= repeats;
+
+    table.AddRow(
+        {core::ReuseLevelName(level),
+         TablePrinter::FormatCount(
+             static_cast<int64_t>(sweep.settings.size())),
+         TablePrinter::FormatCount(static_cast<int64_t>(plan.shards.size())),
+         TablePrinter::FormatCount(lanes),
+         TablePrinter::FormatSeconds(serial_wall),
+         TablePrinter::FormatSeconds(sharded_wall),
+         TablePrinter::FormatDouble(serial_wall / sharded_wall, 2) + "x",
+         TablePrinter::FormatSeconds(serial_modeled),
+         TablePrinter::FormatSeconds(modeled_critical),
+         TablePrinter::FormatDouble(serial_modeled / modeled_critical, 2) +
+             "x"});
+  }
+  table.Print();
+  return 0;
+}

@@ -38,12 +38,14 @@ int main(int argc, char** argv) {
   for (const core::ReuseLevel level :
        {core::ReuseLevel::kNone, core::ReuseLevel::kCache,
         core::ReuseLevel::kGreedy, core::ReuseLevel::kWarmStart}) {
+    core::SweepSpec sweep;
+    sweep.settings = grid;
+    sweep.reuse = level;
     core::MultiParamOptions options;
-    options.reuse = level;
     options.cluster = core::ClusterOptions::Gpu();
     core::MultiParamResult output;
     const Status st =
-        core::RunMultiParam(dataset.points, base, grid, options, &output);
+        core::RunMultiParam(dataset.points, base, sweep, options, &output);
     if (!st.ok()) {
       std::fprintf(stderr, "multi-param failed: %s\n",
                    st.ToString().c_str());

@@ -36,13 +36,13 @@ int main(int argc, char** argv) {
   core::ProclusParams params;
   params.k = k;
   params.l = 5;
-  // ClusterOrDie is deprecated (prefer Cluster() + Status) but kept here:
-  // the quickstart stays a three-line happy path.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const core::ProclusResult result = core::ClusterOrDie(
-      dataset.points, params, core::ClusterOptions::Gpu());
-#pragma GCC diagnostic pop
+  core::ProclusResult result;
+  const Status status = core::Cluster(dataset.points, params,
+                                      core::ClusterOptions::Gpu(), &result);
+  if (!status.ok()) {
+    std::fprintf(stderr, "Cluster failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
 
   // 3. Report.
   std::printf("\niterations: %d   iterative cost: %.6f   refined cost: %.6f\n",

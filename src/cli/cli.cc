@@ -74,6 +74,8 @@ Batch mode (proclus_cli batch ...):
   worker pool) instead of one blocking run; accepts all flags above plus:
   --jobs K:L[,K:L...]   the jobs to run (default: the configured --k/--l)
   --sweep               submit the --jobs list as one work-sharing sweep
+  --shards INT          device-lane budget for --sweep; gpu sweeps shard
+                        across up to this many pooled devices (0 = auto)
   --workers INT         concurrent service workers (default 2)
   --gpu-devices INT     pooled devices for gpu jobs (default 1)
   --timeout-ms NUM      per-job deadline, queue wait included (default none)
@@ -231,6 +233,11 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
       }
     } else if (arg == "--sweep") {
       config->batch_sweep = true;
+    } else if (arg == "--shards") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseInt(value, arg, &int_value));
+      config->batch_shards = static_cast<int>(int_value);
+      config->batch_tuning_seen = true;
     } else if (arg == "--workers") {
       PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
       PROCLUS_RETURN_NOT_OK(ParseInt(value, arg, &int_value));
@@ -293,8 +300,8 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
       (!config->batch_jobs.empty() || config->batch_sweep ||
        config->batch_tuning_seen)) {
     return Status::InvalidArgument(
-        "--jobs/--sweep/--workers/--gpu-devices/--timeout-ms require batch "
-        "mode (proclus_cli batch ...)");
+        "--jobs/--sweep/--shards/--workers/--gpu-devices/--timeout-ms "
+        "require batch mode (proclus_cli batch ...)");
   }
   if (config->serve &&
       (!config->batch_jobs.empty() || config->batch_sweep)) {
@@ -399,7 +406,8 @@ Status RunBatch(const CliConfig& config, const data::Dataset& dataset,
     spec.kind = service::JobKind::kSweep;
     spec.dataset_id = "cli";
     spec.params = config.params;
-    spec.settings = settings;
+    spec.sweep = core::SweepSpec{settings, core::ReuseLevel::kWarmStart,
+                                 config.batch_shards};
     spec.options = config.options;
     handles.resize(1);
     PROCLUS_RETURN_NOT_OK(service.Submit(std::move(spec), &handles[0]));
@@ -448,6 +456,9 @@ Status RunBatch(const CliConfig& config, const data::Dataset& dataset,
   out << "batch: " << stats.completed << " completed, " << stats.failed
       << " failed, " << stats.timed_out << " timed out; device reuse "
       << stats.device_reuse_hits << "/" << stats.device_acquires;
+  if (stats.sweep_shards_total > 0) {
+    out << "; sweep shards " << stats.sweep_shards_total;
+  }
   if (stats.modeled_gpu_seconds_total > 0.0) {
     out << "; modeled device time "
         << stats.modeled_gpu_seconds_total * 1e3 << " ms";
@@ -572,15 +583,15 @@ Status RunCli(const CliConfig& config, std::ostream& out) {
   if (config.batch) return RunBatch(config, dataset, trace, out);
 
   if (config.explore) {
-    const std::vector<core::ParamSetting> grid =
-        core::DefaultSettingsGrid(config.params, dataset.points.cols());
+    const core::SweepSpec sweep = core::SweepSpec::Grid(
+        config.params, dataset.points.cols(), core::ReuseLevel::kWarmStart);
+    const std::vector<core::ParamSetting>& grid = sweep.settings;
     core::MultiParamOptions mp;
     mp.cluster = config.options;
     mp.cluster.trace = trace;
-    mp.reuse = core::ReuseLevel::kWarmStart;
     core::MultiParamResult output;
     PROCLUS_RETURN_NOT_OK(core::RunMultiParam(dataset.points, config.params,
-                                              grid, mp, &output));
+                                              sweep, mp, &output));
     out << "explored " << grid.size() << " settings in "
         << output.total_seconds * 1e3 << " ms\n";
     for (size_t i = 0; i < grid.size(); ++i) {

@@ -38,6 +38,9 @@ struct CliConfig {
   // Submit the k:l list as one sweep job (shared work) instead of
   // independent single-run jobs.
   bool batch_sweep = false;
+  // Shard budget for --sweep: at most this many pooled devices run the
+  // sweep concurrently (0 = auto, bounded by the pool).
+  int batch_shards = 0;
   int batch_workers = 2;
   int batch_gpu_devices = 1;
   double batch_timeout_ms = 0.0;

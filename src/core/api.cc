@@ -188,16 +188,4 @@ Status Cluster(const data::Matrix& data, const ProclusParams& params,
   return Status::Internal("unknown backend");
 }
 
-ProclusResult ClusterOrDie(const data::Matrix& data,
-                           const ProclusParams& params,
-                           const ClusterOptions& options) {
-  ProclusResult result;
-  const Status st = Cluster(data, params, options, &result);
-  if (!st.ok()) {
-    std::fprintf(stderr, "Cluster: %s\n", st.ToString().c_str());
-    std::abort();
-  }
-  return result;
-}
-
 }  // namespace proclus::core

@@ -90,14 +90,6 @@ struct ClusterOptions {
 Status Cluster(const data::Matrix& data, const ProclusParams& params,
                const ClusterOptions& options, ProclusResult* result);
 
-// Convenience wrapper that aborts on error. Deprecated in library code
-// paths: prefer Cluster() and handle the Status (quickstart.cc keeps it as
-// the one sanctioned demo use; tests/benches suppress the warning).
-[[deprecated("prefer Cluster() and handle the returned Status")]]
-ProclusResult ClusterOrDie(const data::Matrix& data,
-                           const ProclusParams& params,
-                           const ClusterOptions& options = {});
-
 }  // namespace proclus::core
 
 #endif  // PROCLUS_CORE_API_H_

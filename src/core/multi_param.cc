@@ -10,19 +10,14 @@
 #include "core/driver.h"
 #include "core/executor.h"
 #include "core/gpu_backend.h"
+#include "core/sweep_plan.h"
 #include "parallel/thread_pool.h"
 
 namespace proclus::core {
 
-namespace {
-
-// Per-setting seed, derived so every setting is deterministic and
-// independent of how much is shared between settings.
-uint64_t SettingSeed(uint64_t base_seed, size_t idx) {
-  return base_seed ^ (0x9e3779b97f4a7c15ULL * (idx + 1));
+uint64_t SweepSettingSeed(uint64_t base_seed, size_t setting_index) {
+  return base_seed ^ (0x9e3779b97f4a7c15ULL * (setting_index + 1));
 }
-
-}  // namespace
 
 const char* ReuseLevelName(ReuseLevel level) {
   switch (level) {
@@ -63,43 +58,158 @@ std::vector<ParamSetting> DefaultSettingsGrid(const ProclusParams& base,
   return settings;
 }
 
-namespace {
+SweepSpec SweepSpec::Grid(const ProclusParams& base, int64_t dims,
+                          ReuseLevel reuse) {
+  SweepSpec spec;
+  spec.settings = DefaultSettingsGrid(base, dims);
+  spec.reuse = reuse;
+  return spec;
+}
 
-Status RunMultiParamImpl(const data::Matrix& data, const ProclusParams& base,
-                         const std::vector<ParamSetting>& settings,
-                         const MultiParamOptions& options,
-                         MultiParamResult* output) {
+Status SweepSpec::Validate(const ProclusParams& base, int64_t rows,
+                           int64_t cols) const {
   if (settings.empty()) {
-    return Status::InvalidArgument("settings must not be empty");
+    return Status::InvalidArgument("sweep settings must not be empty");
   }
-  PROCLUS_RETURN_NOT_OK(options.cluster.Validate());
-  output->results.clear();
-  output->setting_seconds.clear();
-
-  // Validate every setting up front.
-  int k_max = 0;
+  if (max_shards < 0) {
+    return Status::InvalidArgument("sweep max_shards must be >= 0");
+  }
   for (const ParamSetting& s : settings) {
     ProclusParams p = base;
     p.k = s.k;
     p.l = s.l;
-    PROCLUS_RETURN_NOT_OK(p.Validate(data.rows(), data.cols()));
-    k_max = std::max(k_max, s.k);
+    PROCLUS_RETURN_NOT_OK(p.Validate(rows, cols));
   }
+  return Status::OK();
+}
 
-  StopWatch total_watch;
+Status PrepareSweepShared(const data::Matrix& data, const ProclusParams& base,
+                          const SweepSpec& sweep, Backend* backend,
+                          const parallel::CancellationToken* cancel,
+                          SweepSharedContext* shared) {
+  *shared = SweepSharedContext{};
+  for (const ParamSetting& s : sweep.settings) {
+    shared->k_max = std::max(shared->k_max, s.k);
+  }
+  if (sweep.reuse == ReuseLevel::kNone) return Status::OK();
 
-  if (options.reuse == ReuseLevel::kNone) {
+  // Shared initialization draws: Data' and the greedy start are sampled once
+  // for the largest k, so M (and therefore the Dist/H caches) is identical
+  // across settings (§3.1). Only base.seed and k_max feed the draws, which
+  // is what makes them reproducible across executors.
+  ProclusParams sizing = base;
+  sizing.k = shared->k_max;
+  Rng shared_rng(base.seed);
+  shared->sample_size = sizing.SampleSize(data.rows());
+  shared->pool_size = sizing.MedoidPoolSize(data.rows());
+  shared->data_prime =
+      shared_rng.SampleWithoutReplacement(data.rows(), shared->sample_size);
+  shared->first = shared_rng.UniformInt(shared->sample_size);
+
+  PROCLUS_RETURN_IF_STOPPED(cancel);
+  if (sweep.reuse >= ReuseLevel::kGreedy) {
+    if (backend == nullptr) {
+      return Status::InvalidArgument(
+          "greedy/warm-start sweeps need a backend to prepare the pool");
+    }
+    shared->m_global = backend->GreedySelect(shared->data_prime,
+                                             shared->pool_size, shared->first);
+    for (size_t m = 0; m < shared->m_global.size(); ++m) {
+      shared->id_to_midx[shared->m_global[m]] = static_cast<int>(m);
+    }
+  }
+  return Status::OK();
+}
+
+Status RunSweepShard(const data::Matrix& data, const ProclusParams& base,
+                     const SweepSpec& sweep, const SweepShard& shard,
+                     const SweepSharedContext* shared,
+                     const ClusterOptions& cluster, Backend* backend,
+                     MultiParamResult* output) {
+  if (sweep.reuse == ReuseLevel::kNone) {
     // Independent runs, one fresh engine per setting.
-    for (size_t idx = 0; idx < settings.size(); ++idx) {
+    for (const size_t idx : shard.setting_indices) {
+      PROCLUS_RETURN_IF_STOPPED(cluster.cancel);
       ProclusParams p = base;
-      p.k = settings[idx].k;
-      p.l = settings[idx].l;
-      p.seed = SettingSeed(base.seed, idx);
+      p.k = sweep.settings[idx].k;
+      p.l = sweep.settings[idx].l;
+      p.seed = SweepSettingSeed(base.seed, idx);
       StopWatch watch;
       ProclusResult result;
-      PROCLUS_RETURN_NOT_OK(Cluster(data, p, options.cluster, &result));
-      output->setting_seconds.push_back(watch.ElapsedSeconds());
-      output->results.push_back(std::move(result));
+      PROCLUS_RETURN_NOT_OK(Cluster(data, p, cluster, &result));
+      output->setting_seconds[idx] = watch.ElapsedSeconds();
+      output->results[idx] = std::move(result);
+    }
+    return Status::OK();
+  }
+
+  if (backend == nullptr || shared == nullptr) {
+    return Status::InvalidArgument(
+        "shared-engine sweep shards need a backend and a prepared context");
+  }
+  // The warm-start chain lives entirely inside the shard: the planner keys
+  // kWarmStart shards by k, so the first setting of each shard starts cold
+  // and later ones consume their predecessor's best medoids.
+  std::vector<int> warm_start;
+  for (const size_t idx : shard.setting_indices) {
+    PROCLUS_RETURN_IF_STOPPED(cluster.cancel);
+    ProclusParams p = base;
+    p.k = sweep.settings[idx].k;
+    p.l = sweep.settings[idx].l;
+    p.seed = SweepSettingSeed(base.seed, idx);
+    Rng rng(p.seed);
+
+    DriverOptions driver_options;
+    driver_options.cancel = cluster.cancel;
+    driver_options.trace = cluster.trace;
+    if (sweep.reuse >= ReuseLevel::kGreedy) {
+      driver_options.preset_m = &shared->m_global;
+    } else {
+      driver_options.preset_candidates = &shared->data_prime;
+      driver_options.preset_first = shared->first;
+      driver_options.preset_pool_size = shared->pool_size;
+    }
+    if (sweep.reuse >= ReuseLevel::kWarmStart && !warm_start.empty()) {
+      driver_options.warm_start_midx = &warm_start;
+    }
+
+    StopWatch watch;
+    ProclusResult result;
+    PROCLUS_RETURN_NOT_OK(
+        RunProclusPhases(data, p, *backend, rng, driver_options, &result));
+    output->setting_seconds[idx] = watch.ElapsedSeconds();
+
+    if (sweep.reuse >= ReuseLevel::kWarmStart) {
+      warm_start.clear();
+      for (const int id : result.medoids) {
+        const auto it = shared->id_to_midx.find(id);
+        if (it != shared->id_to_midx.end()) warm_start.push_back(it->second);
+      }
+    }
+    output->results[idx] = std::move(result);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status RunMultiParamImpl(const data::Matrix& data, const ProclusParams& base,
+                         const SweepSpec& sweep,
+                         const MultiParamOptions& options,
+                         MultiParamResult* output) {
+  PROCLUS_RETURN_NOT_OK(options.cluster.Validate());
+  PROCLUS_RETURN_NOT_OK(sweep.Validate(base, data.rows(), data.cols()));
+  output->results.assign(sweep.settings.size(), ProclusResult{});
+  output->setting_seconds.assign(sweep.settings.size(), 0.0);
+
+  const SweepPlan plan = SweepPlan::Build(sweep);
+  StopWatch total_watch;
+
+  if (sweep.reuse == ReuseLevel::kNone) {
+    for (const SweepShard& shard : plan.shards) {
+      PROCLUS_RETURN_NOT_OK(RunSweepShard(data, base, sweep, shard,
+                                          /*shared=*/nullptr, options.cluster,
+                                          /*backend=*/nullptr, output));
     }
     output->total_seconds = total_watch.ElapsedSeconds();
     return Status::OK();
@@ -160,72 +270,19 @@ Status RunMultiParamImpl(const data::Matrix& data, const ProclusParams& base,
           ? sanitized_device->sanitizer()->findings()
           : 0;
 
-  // Shared initialization draws: Data' and the greedy start are sampled once
-  // for the largest k, so M (and therefore the Dist/H caches) is identical
-  // across settings (§3.1).
-  ProclusParams sizing = base;
-  sizing.k = k_max;
-  Rng shared_rng(base.seed);
-  const int64_t sample_size = sizing.SampleSize(data.rows());
-  const int64_t pool_size = sizing.MedoidPoolSize(data.rows());
-  const std::vector<int> data_prime =
-      shared_rng.SampleWithoutReplacement(data.rows(), sample_size);
-  const int64_t first = shared_rng.UniformInt(sample_size);
+  SweepSharedContext shared;
+  PROCLUS_RETURN_NOT_OK(
+      PrepareSweepShared(data, base, sweep, backend.get(), cancel, &shared));
 
-  std::vector<int> m_global;
-  std::unordered_map<int, int> id_to_midx;
-  PROCLUS_RETURN_IF_STOPPED(cancel);
-  if (options.reuse >= ReuseLevel::kGreedy) {
-    m_global = backend->GreedySelect(data_prime, pool_size, first);
-    for (size_t m = 0; m < m_global.size(); ++m) {
-      id_to_midx[m_global[m]] = static_cast<int>(m);
-    }
+  // Serial reference execution: the plan's shards, one after another, on
+  // the one shared engine. The sweep scheduler runs the identical shards
+  // concurrently on pooled devices and must produce bit-identical results.
+  for (const SweepShard& shard : plan.shards) {
+    PROCLUS_RETURN_NOT_OK(RunSweepShard(data, base, sweep, shard, &shared,
+                                        options.cluster, backend.get(),
+                                        output));
   }
 
-  std::vector<int> warm_start;
-  for (size_t idx = 0; idx < settings.size(); ++idx) {
-    PROCLUS_RETURN_IF_STOPPED(cancel);
-    ProclusParams p = base;
-    p.k = settings[idx].k;
-    p.l = settings[idx].l;
-    p.seed = SettingSeed(base.seed, idx);
-    Rng rng(p.seed);
-
-    DriverOptions driver_options;
-    driver_options.cancel = cancel;
-    driver_options.trace = options.cluster.trace;
-    if (options.reuse >= ReuseLevel::kGreedy) {
-      driver_options.preset_m = &m_global;
-    } else {
-      driver_options.preset_candidates = &data_prime;
-      driver_options.preset_first = first;
-      driver_options.preset_pool_size = pool_size;
-    }
-    if (options.reuse >= ReuseLevel::kWarmStart && !warm_start.empty()) {
-      driver_options.warm_start_midx = &warm_start;
-    }
-
-    StopWatch watch;
-    ProclusResult result;
-    PROCLUS_RETURN_NOT_OK(RunProclusPhases(data, p, *backend, rng,
-                                           driver_options, &result));
-    output->setting_seconds.push_back(watch.ElapsedSeconds());
-
-    if (options.reuse >= ReuseLevel::kWarmStart) {
-      if (id_to_midx.empty()) {
-        // Level-3 requires the id->index map even when greedy re-ran.
-        for (size_t m = 0; m < m_global.size(); ++m) {
-          id_to_midx[m_global[m]] = static_cast<int>(m);
-        }
-      }
-      warm_start.clear();
-      for (const int id : result.medoids) {
-        const auto it = id_to_midx.find(id);
-        if (it != id_to_midx.end()) warm_start.push_back(it->second);
-      }
-    }
-    output->results.push_back(std::move(result));
-  }
   output->total_seconds = total_watch.ElapsedSeconds();
   if (sanitized_device != nullptr && sanitized_device->sanitize_enabled()) {
     // Refresh the sanitizer figures on the last setting's stats (the
@@ -245,14 +302,12 @@ Status RunMultiParamImpl(const data::Matrix& data, const ProclusParams& base,
 }  // namespace
 
 Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
-                     const std::vector<ParamSetting>& settings,
-                     const MultiParamOptions& options,
+                     const SweepSpec& sweep, const MultiParamOptions& options,
                      MultiParamResult* output) {
   if (output == nullptr) {
     return Status::InvalidArgument("output must not be null");
   }
-  const Status status =
-      RunMultiParamImpl(data, base, settings, options, output);
+  const Status status = RunMultiParamImpl(data, base, sweep, options, output);
   // A sweep that failed or was cancelled mid-way has filled some settings
   // but not others, and total_seconds was never written (so a reused output
   // would keep the previous sweep's figure). Hand back the empty state

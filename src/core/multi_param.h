@@ -1,6 +1,8 @@
 #ifndef PROCLUS_CORE_MULTI_PARAM_H_
 #define PROCLUS_CORE_MULTI_PARAM_H_
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/api.h"
@@ -24,14 +26,44 @@ struct ParamSetting {
 //   kGreedy    — multi-param 2: additionally reuses the greedy picking (M is
 //                computed once, for the largest k).
 //   kWarmStart — multi-param 3: additionally initializes each setting's
-//                current medoids from the previous setting's best medoids.
+//                current medoids from the previous same-k setting's best
+//                medoids (settings with equal k form a warm-start chain; the
+//                first setting of each chain starts cold). Keeping chains
+//                within one k makes chains independent of each other, which
+//                is what lets a sweep scheduler run them concurrently with
+//                bit-identical results.
 enum class ReuseLevel { kNone = 0, kCache = 1, kGreedy = 2, kWarmStart = 3 };
 
 const char* ReuseLevelName(ReuseLevel level);
 
+// The one sweep request shape, shared verbatim by the core runner, the
+// service's JobSpec, the wire protocol's submit_sweep and the CLI: the
+// (k, l) settings, the reuse level between them, and the shard budget for
+// schedulers that can execute the sweep on more than one device.
+struct SweepSpec {
+  std::vector<ParamSetting> settings;
+  ReuseLevel reuse = ReuseLevel::kWarmStart;
+  // Upper bound on concurrently executing shards when a scheduler with
+  // multiple devices runs the sweep. 0 = auto (one shard per idle pooled
+  // device, up to the number of plannable shards); 1 = force serial
+  // execution. Sharding never changes results — sharded output is
+  // bit-identical to serial for the same seed at every reuse level — so the
+  // knob only trades device occupancy against sweep latency.
+  int max_shards = 0;
+
+  // The paper's §5.3 grid (DefaultSettingsGrid) as a SweepSpec.
+  static SweepSpec Grid(const ProclusParams& base, int64_t dims,
+                        ReuseLevel reuse = ReuseLevel::kWarmStart);
+
+  // The one validation every layer uses: settings must be non-empty, every
+  // (k, l) must make a valid ProclusParams against `base` for an (rows x
+  // cols) dataset, and max_shards must be >= 0.
+  Status Validate(const ProclusParams& base, int64_t rows,
+                  int64_t cols) const;
+};
+
 struct MultiParamOptions {
   ClusterOptions cluster;  // backend / strategy / threads / device
-  ReuseLevel reuse = ReuseLevel::kWarmStart;
 };
 
 struct MultiParamResult {
@@ -42,24 +74,22 @@ struct MultiParamResult {
   double total_seconds = 0.0;
 };
 
-// Deprecated pre-rename alias: every entry point now returns a `*Result`.
-using MultiParamOutput [[deprecated("renamed to MultiParamResult")]] =
-    MultiParamResult;
-
-// Runs PROCLUS for every setting in `settings`, sharing work according to
-// `options.reuse`. `base` supplies the non-(k,l) parameters (A, B, minDev,
-// itrPat, seed); each setting overrides k and l. The potential-medoid pool
-// is sized for the largest k in `settings`, exactly as §3.1 prescribes.
-// Honors `options.cluster.cancel`: on cancellation/deadline the sweep stops
-// between settings and returns the corresponding Status.
+// Runs PROCLUS for every setting in `sweep.settings`, sharing work
+// according to `sweep.reuse`. `base` supplies the non-(k,l) parameters (A,
+// B, minDev, itrPat, seed); each setting overrides k and l. The potential-
+// medoid pool is sized for the largest k in the sweep, exactly as §3.1
+// prescribes. Execution here is serial (one engine); service::SweepScheduler
+// runs the same shards concurrently on pooled devices with bit-identical
+// results. Honors `options.cluster.cancel`: on cancellation/deadline the
+// sweep stops between settings and returns the corresponding Status.
 //
 // On any non-OK return `*output` is reset to the empty state — no partial
 // results, and total_seconds is 0 — so a reused output struct never carries
 // stale figures from an earlier sweep. On success
-// output->results.size() == output->setting_seconds.size() == settings.size().
+// output->results.size() == output->setting_seconds.size() ==
+// sweep.settings.size().
 Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
-                     const std::vector<ParamSetting>& settings,
-                     const MultiParamOptions& options,
+                     const SweepSpec& sweep, const MultiParamOptions& options,
                      MultiParamResult* output);
 
 // The (k, l) combinations used by the paper's multi-parameter experiments
@@ -70,6 +100,60 @@ Status RunMultiParam(const data::Matrix& data, const ProclusParams& base,
 // duplicates are dropped; the grid has up to 9 distinct settings.
 std::vector<ParamSetting> DefaultSettingsGrid(const ProclusParams& base,
                                               int64_t dims);
+
+// --- shard-level building blocks (used by RunMultiParam and the service's
+// --- sweep scheduler; most callers want RunMultiParam) ----------------------
+
+// Per-setting seed: derived from the base seed and the setting's index in
+// the input order only, so a setting's trajectory is independent of grid
+// composition, execution order and shard layout.
+uint64_t SweepSettingSeed(uint64_t base_seed, size_t setting_index);
+
+// The reuse-level artifacts computed once per sweep and shared read-only by
+// every shard (§3.1): Data', the greedy start, the pool size for the
+// largest k, and — at kGreedy and above — the selected pool M with its
+// id -> pool-index map.
+struct SweepSharedContext {
+  int k_max = 0;
+  int64_t sample_size = 0;
+  int64_t pool_size = 0;
+  int64_t first = 0;
+  std::vector<int> data_prime;
+  std::vector<int> m_global;
+  std::unordered_map<int, int> id_to_midx;
+};
+
+// Draws the shared artifacts on `backend` (which must be built over `data`).
+// For kNone sweeps this is a cheap no-op beyond k_max bookkeeping; at
+// kGreedy+ it runs the greedy selection once. Deterministic: the draws
+// depend only on `base.seed` and the largest k in the sweep, so every
+// executor that prepares the same sweep gets bit-identical artifacts.
+Status PrepareSweepShared(const data::Matrix& data, const ProclusParams& base,
+                          const SweepSpec& sweep, Backend* backend,
+                          const parallel::CancellationToken* cancel,
+                          SweepSharedContext* shared);
+
+// One shard of a sweep plan: the input-order indices of the settings it
+// runs. Within a shard settings execute sequentially (a kWarmStart chain
+// lives entirely inside one shard); distinct shards are independent.
+struct SweepShard {
+  std::vector<size_t> setting_indices;
+};
+
+// Runs one shard's settings sequentially on `backend`, writing each
+// setting's clustering and wall seconds into output->results[i] /
+// output->setting_seconds[i] (both must already be sized to
+// sweep.settings.size(); distinct shards touch disjoint slots, so shards
+// may run concurrently against one shared `output`). `cluster` supplies
+// strategy knobs plus the cancel token and trace recorder for this shard;
+// for kNone sweeps it is used verbatim for the per-setting Cluster() calls
+// and `backend`/`shared` may be null. Does not run the sanitizer epilogue —
+// the caller owns the device-level findings check.
+Status RunSweepShard(const data::Matrix& data, const ProclusParams& base,
+                     const SweepSpec& sweep, const SweepShard& shard,
+                     const SweepSharedContext* shared,
+                     const ClusterOptions& cluster, Backend* backend,
+                     MultiParamResult* output);
 
 }  // namespace proclus::core
 

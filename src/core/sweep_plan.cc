@@ -1,0 +1,40 @@
+#include "core/sweep_plan.h"
+
+#include <algorithm>
+
+namespace proclus::core {
+
+SweepPlan SweepPlan::Build(const SweepSpec& spec) {
+  SweepPlan plan;
+  for (const ParamSetting& s : spec.settings) {
+    plan.k_max = std::max(plan.k_max, s.k);
+  }
+  if (spec.reuse == ReuseLevel::kWarmStart) {
+    // One shard per distinct k, in order of first appearance; each shard is
+    // that k's warm-start chain in input order.
+    for (size_t idx = 0; idx < spec.settings.size(); ++idx) {
+      const int k = spec.settings[idx].k;
+      SweepShard* shard = nullptr;
+      for (SweepShard& existing : plan.shards) {
+        if (spec.settings[existing.setting_indices.front()].k == k) {
+          shard = &existing;
+          break;
+        }
+      }
+      if (shard == nullptr) {
+        plan.shards.emplace_back();
+        shard = &plan.shards.back();
+      }
+      shard->setting_indices.push_back(idx);
+    }
+  } else {
+    // Fully independent settings: one shard each.
+    plan.shards.resize(spec.settings.size());
+    for (size_t idx = 0; idx < spec.settings.size(); ++idx) {
+      plan.shards[idx].setting_indices.push_back(idx);
+    }
+  }
+  return plan;
+}
+
+}  // namespace proclus::core

@@ -1,0 +1,34 @@
+#ifndef PROCLUS_CORE_SWEEP_PLAN_H_
+#define PROCLUS_CORE_SWEEP_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/multi_param.h"
+
+namespace proclus::core {
+
+// Decomposition of a sweep into independently executable shards.
+//
+// At kNone / kCache / kGreedy every setting depends only on the shared
+// read-only artifacts (Data', the greedy start, the pool M), so each
+// setting is its own shard. At kWarmStart a setting additionally consumes
+// the best medoids of the previous same-k setting, so the planner groups
+// the settings into sub-chains keyed by k — one shard per distinct k,
+// holding that k's settings in input order. Shards never depend on each
+// other, which is the property the sweep scheduler relies on to run them
+// concurrently, and running the shards sequentially in plan order
+// reproduces the serial runner exactly.
+struct SweepPlan {
+  std::vector<SweepShard> shards;
+  // Largest k across all settings: sizes the shared potential-medoid pool.
+  int k_max = 0;
+
+  // Builds the plan for `spec`. Shards appear in the input order of their
+  // first setting, and every setting index appears in exactly one shard.
+  static SweepPlan Build(const SweepSpec& spec);
+};
+
+}  // namespace proclus::core
+
+#endif  // PROCLUS_CORE_SWEEP_PLAN_H_

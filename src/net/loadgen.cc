@@ -80,7 +80,7 @@ void WorkerLoop(const LoadgenOptions& options, Clock::time_point start,
     request.timeout_ms = options.timeout_ms;
     request.wait = true;
     if (sweep) {
-      request.settings = options.sweep_settings;
+      request.sweep = options.sweep;
     }
 
     Response response;
@@ -216,6 +216,7 @@ void PrintReport(const LoadgenReport& report, std::ostream& out) {
     emit("service.failed", gauges);
     emit("service.cancelled", gauges);
     emit("service.timed_out", gauges);
+    emit("service.sweep_shards_total", gauges);
     if (!any) out << " (no metrics)";
     out << "\n";
   }

@@ -50,10 +50,14 @@ struct LoadgenOptions {
   std::string dataset_id = "loadgen";
   GenerateSpec generate;
 
-  // Per-request clustering work.
+  // Per-request clustering work. `sweep` is the request shape sweep
+  // arrivals submit (settings, reuse level, max_shards — the shard budget
+  // forwarded to the server's sweep scheduler).
   core::ProclusParams params;
   core::ClusterOptions options = core::ClusterOptions::Gpu();
-  std::vector<core::ParamSetting> sweep_settings = {{8, 4}, {10, 5}};
+  core::SweepSpec sweep = {{{8, 4}, {10, 5}},
+                           core::ReuseLevel::kWarmStart,
+                           /*max_shards=*/0};
   // Per-request deadline in ms (0 = server default).
   double timeout_ms = 0.0;
 

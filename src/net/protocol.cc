@@ -245,6 +245,9 @@ JsonValue EncodeWireJobResult(const WireJobResult& result) {
     }
     v.Set("sanitizer_reports", std::move(reports));
   }
+  if (result.sweep_shards > 0) {
+    v.Set("sweep_shards", JsonValue::Int(result.sweep_shards));
+  }
   return v;
 }
 
@@ -276,6 +279,9 @@ WireJobResult DecodeWireJobResult(const JsonValue& v) {
     for (const JsonValue& report : reports->array_value) {
       result.sanitizer_reports.push_back(report.AsString());
     }
+  }
+  if (const JsonValue* f = v.Find("sweep_shards")) {
+    result.sweep_shards = static_cast<int>(f->AsInt());
   }
   return result;
 }
@@ -388,18 +394,21 @@ Status EncodeRequest(const Request& request, std::string* out) {
       }
       v.Set("wait", JsonValue::Bool(request.wait));
       if (request.type == RequestType::kSubmitSweep) {
-        if (request.settings.empty()) {
+        if (request.sweep.settings.empty()) {
           return Status::InvalidArgument("submit_sweep needs settings");
         }
         JsonValue settings = JsonValue::Array();
-        for (const core::ParamSetting& s : request.settings) {
+        for (const core::ParamSetting& s : request.sweep.settings) {
           JsonValue setting = JsonValue::Object();
           setting.Set("k", JsonValue::Int(s.k));
           setting.Set("l", JsonValue::Int(s.l));
           settings.Append(std::move(setting));
         }
         v.Set("settings", std::move(settings));
-        v.Set("reuse", JsonValue::Str(ReuseToken(request.reuse)));
+        v.Set("reuse", JsonValue::Str(ReuseToken(request.sweep.reuse)));
+        if (request.sweep.max_shards != 0) {
+          v.Set("max_shards", JsonValue::Int(request.sweep.max_shards));
+        }
       }
       break;
     }
@@ -523,10 +532,17 @@ Status DecodeRequest(const std::string& payload, Request* out) {
           core::ParamSetting s;
           if (const JsonValue* f = setting.Find("k")) s.k = static_cast<int>(f->AsInt(s.k));
           if (const JsonValue* f = setting.Find("l")) s.l = static_cast<int>(f->AsInt(s.l));
-          out->settings.push_back(s);
+          out->sweep.settings.push_back(s);
         }
         if (const JsonValue* f = v.Find("reuse")) {
-          PROCLUS_RETURN_NOT_OK(ReuseFromToken(f->AsString(), &out->reuse));
+          PROCLUS_RETURN_NOT_OK(
+              ReuseFromToken(f->AsString(), &out->sweep.reuse));
+        }
+        if (const JsonValue* f = v.Find("max_shards")) {
+          out->sweep.max_shards = static_cast<int>(f->AsInt(0));
+          if (out->sweep.max_shards < 0) {
+            return Status::InvalidArgument("max_shards must be >= 0");
+          }
         }
       }
       break;

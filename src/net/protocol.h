@@ -94,9 +94,9 @@ struct Request {
   // false: the response acks with the job id; poll with status.
   bool wait = true;
 
-  // submit_sweep.
-  std::vector<core::ParamSetting> settings;
-  core::ReuseLevel reuse = core::ReuseLevel::kWarmStart;
+  // submit_sweep: the one sweep request shape shared with core and the
+  // service (settings, reuse level, max_shards; core::SweepSpec).
+  core::SweepSpec sweep;
 
   // status / cancel.
   uint64_t job_id = 0;
@@ -136,6 +136,9 @@ struct WireJobResult {
   int64_t sanitizer_findings = 0;
   int64_t sanitizer_checked_accesses = 0;
   std::vector<std::string> sanitizer_reports;
+  // Sweeps: device lanes the sweep scheduler ran on (1 = serial; 0 for
+  // single jobs).
+  int sweep_shards = 0;
 };
 
 struct Response {

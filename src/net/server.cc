@@ -39,6 +39,7 @@ void FillResult(const service::JobResult& job_result, Response* response) {
   response->result.sanitizer_checked_accesses =
       job_result.sanitizer_checked_accesses;
   response->result.sanitizer_reports = job_result.sanitizer_reports;
+  response->result.sweep_shards = job_result.sweep_shards;
 }
 
 bool IsTerminal(service::JobPhase phase) {
@@ -273,8 +274,7 @@ Response ProclusServer::HandleSubmit(Connection* connection,
   spec.dataset_id = request.dataset_id;
   spec.params = request.params;
   spec.options = request.options;
-  spec.settings = request.settings;
-  spec.reuse = request.reuse;
+  spec.sweep = request.sweep;
   spec.priority = request.priority;
   spec.timeout_seconds = request.timeout_ms / 1000.0;
 

@@ -1,5 +1,6 @@
 #include "service/device_pool.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/macros.h"
@@ -36,36 +37,73 @@ DevicePool::Entry* DevicePool::FindIdleLocked() {
   return unconstructed;
 }
 
+DevicePool::Lease DevicePool::LeaseEntryLocked(Entry* entry) {
+  if (entry->device == nullptr) {
+    entry->device = std::make_unique<simt::Device>(props_, device_options_);
+  }
+  entry->leased = true;
+  ++acquires_;
+  Lease lease;
+  lease.device = entry->device.get();
+  lease.warm = entry->used_before;
+  if (entry->used_before) ++reuse_hits_;
+  entry->used_before = true;
+  return lease;
+}
+
 Status DevicePool::AcquireFor(const parallel::CancellationToken* cancel,
                               Lease* lease) {
   PROCLUS_CHECK(lease != nullptr);
   *lease = Lease{};
+  std::vector<Lease> leases;
+  PROCLUS_RETURN_NOT_OK(AcquireMany(1, 1, cancel, &leases));
+  *lease = leases.front();
+  return Status::OK();
+}
+
+Status DevicePool::AcquireMany(int min_count, int max_count,
+                               const parallel::CancellationToken* cancel,
+                               std::vector<Lease>* leases) {
+  PROCLUS_CHECK(leases != nullptr);
+  leases->clear();
+  if (min_count < 1 || max_count < min_count) {
+    return Status::InvalidArgument("AcquireMany needs 1 <= min <= max");
+  }
+  if (min_count > capacity_) {
+    return Status::InvalidArgument(
+        "AcquireMany min_count exceeds pool capacity");
+  }
   std::unique_lock<std::mutex> lock(mutex_);
-  Entry* entry = nullptr;
   for (;;) {
     if (shutdown_) {
       return Status::FailedPrecondition("device pool is shut down");
     }
     if (cancel != nullptr) {
       // Checked before leasing: a job whose token already fired must not
-      // grab a device only to release it unused.
+      // grab devices only to release them unused.
       PROCLUS_RETURN_NOT_OK(cancel->Check());
     }
-    if ((entry = FindIdleLocked()) != nullptr) break;
+    int idle = 0;
+    for (const Entry& entry : entries_) {
+      if (!entry.leased) ++idle;
+    }
+    if (idle >= min_count) {
+      // All leases are taken in this one critical section — the caller
+      // never holds a partial set while blocked, so concurrent
+      // multi-acquirers make progress in some order instead of
+      // deadlocking on each other's partial holds.
+      const int take = std::min(idle, max_count);
+      for (int i = 0; i < take; ++i) {
+        Entry* entry = FindIdleLocked();
+        PROCLUS_CHECK(entry != nullptr);
+        leases->push_back(LeaseEntryLocked(entry));
+      }
+      return Status::OK();
+    }
     // Slice the wait so a cancellation/deadline/shutdown that fires while
     // every device is leased unwedges the caller promptly.
     device_idle_.wait_for(lock, std::chrono::milliseconds(10));
   }
-  if (entry->device == nullptr) {
-    entry->device = std::make_unique<simt::Device>(props_, device_options_);
-  }
-  entry->leased = true;
-  ++acquires_;
-  lease->device = entry->device.get();
-  lease->warm = entry->used_before;
-  if (entry->used_before) ++reuse_hits_;
-  entry->used_before = true;
-  return Status::OK();
 }
 
 DevicePool::Lease DevicePool::Acquire() {
@@ -90,7 +128,10 @@ void DevicePool::Release(simt::Device* device) {
       if (entry.device.get() == device) {
         PROCLUS_CHECK(entry.leased);
         entry.leased = false;
-        device_idle_.notify_one();
+        // notify_all, not notify_one: a waiter needing min_count > 1 may
+        // pass on this release while a single-device waiter could have
+        // taken it.
+        device_idle_.notify_all();
         return;
       }
     }

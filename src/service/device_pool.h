@@ -50,6 +50,21 @@ class DevicePool {
   // always be unwedged. On OK the caller must Release the leased device.
   Status AcquireFor(const parallel::CancellationToken* cancel, Lease* lease);
 
+  // Multi-device acquisition for sweep sharding: blocks until at least
+  // `min_count` devices are idle, then leases them — plus any further idle
+  // devices up to `max_count` — in one atomic step under the pool lock.
+  // All-or-nothing: a caller never sits on a partial set of devices while
+  // waiting for more, so two concurrent multi-acquirers cannot deadlock
+  // each other (the failure mode of acquiring devices one AcquireFor at a
+  // time). The wait is interruptible exactly like AcquireFor. On OK
+  // `leases->size()` is in [min_count, max_count] and every leased device
+  // must be Released. Requires 1 <= min_count <= max_count and
+  // min_count <= capacity() (otherwise InvalidArgument; the wait could
+  // never be satisfied).
+  Status AcquireMany(int min_count, int max_count,
+                     const parallel::CancellationToken* cancel,
+                     std::vector<Lease>* leases);
+
   // Blocks until a device is idle and leases it. Aborts the process if the
   // pool is shut down while waiting; prefer AcquireFor when the wait must
   // be interruptible.
@@ -74,6 +89,7 @@ class DevicePool {
   };
 
   Entry* FindIdleLocked();
+  Lease LeaseEntryLocked(Entry* entry);
 
   const int capacity_;
   const simt::DeviceProperties props_;

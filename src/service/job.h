@@ -50,9 +50,9 @@ struct JobSpec {
   // shared compute pool.
   core::ClusterOptions options;
 
-  // kSweep only: the (k,l) settings and the reuse level between them.
-  std::vector<core::ParamSetting> settings;
-  core::ReuseLevel reuse = core::ReuseLevel::kWarmStart;
+  // kSweep only: the sweep request — settings, reuse level, and the shard
+  // budget for the multi-device sweep scheduler (see core::SweepSpec).
+  core::SweepSpec sweep;
 
   JobPriority priority = JobPriority::kBulk;
   // Deadline measured from submission, covering queue wait + execution.
@@ -68,10 +68,8 @@ struct JobSpec {
                         const core::ProclusParams& params,
                         const core::ClusterOptions& options);
   static JobSpec Sweep(const data::Matrix& data,
-                       const core::ProclusParams& base,
-                       std::vector<core::ParamSetting> settings,
-                       const core::ClusterOptions& options,
-                       core::ReuseLevel reuse = core::ReuseLevel::kWarmStart);
+                       const core::ProclusParams& base, core::SweepSpec sweep,
+                       const core::ClusterOptions& options);
 };
 
 // Outcome of a job, valid once the job reached a terminal phase.
@@ -100,6 +98,10 @@ struct JobResult {
   int64_t sanitizer_findings = 0;
   int64_t sanitizer_checked_accesses = 0;
   std::vector<std::string> sanitizer_reports;
+  // GPU sweeps: devices the sweep scheduler ran the shards on (1 means the
+  // sweep executed serially — a single lease, or a CPU sweep). 0 for
+  // single jobs.
+  int sweep_shards = 0;
   // Global start order among all jobs of the service (-1 if never started);
   // lets callers observe scheduling, e.g. interactive-overtakes-bulk.
   int64_t start_sequence = -1;

@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "core/multi_param.h"
 #include "parallel/cancellation.h"
+#include "service/sweep_scheduler.h"
 
 namespace proclus::service {
 
@@ -69,17 +70,14 @@ JobSpec JobSpec::Single(const data::Matrix& data,
 }
 
 JobSpec JobSpec::Sweep(const data::Matrix& data,
-                       const core::ProclusParams& base,
-                       std::vector<core::ParamSetting> settings,
-                       const core::ClusterOptions& options,
-                       core::ReuseLevel reuse) {
+                       const core::ProclusParams& base, core::SweepSpec sweep,
+                       const core::ClusterOptions& options) {
   JobSpec spec;
   spec.kind = JobKind::kSweep;
   spec.data = &data;
   spec.params = base;
-  spec.settings = std::move(settings);
+  spec.sweep = std::move(sweep);
   spec.options = options;
-  spec.reuse = reuse;
   return spec;
 }
 
@@ -100,6 +98,7 @@ struct SharedStats {
   double exec_seconds_total = 0.0;
   double modeled_gpu_seconds_total = 0.0;
   int64_t sanitizer_findings_total = 0;
+  int64_t sweep_shards_total = 0;
   std::atomic<int64_t> next_start_sequence{0};
 
   void CountTerminal(const Status& status) {
@@ -320,15 +319,8 @@ Status ProclusService::Submit(JobSpec spec, JobHandle* handle) {
   if (spec.kind == JobKind::kSingle) {
     PROCLUS_RETURN_NOT_OK(spec.params.Validate(data->rows(), data->cols()));
   } else {
-    if (spec.settings.empty()) {
-      return Status::InvalidArgument("sweep jobs need at least one setting");
-    }
-    for (const core::ParamSetting& s : spec.settings) {
-      core::ProclusParams p = spec.params;
-      p.k = s.k;
-      p.l = s.l;
-      PROCLUS_RETURN_NOT_OK(p.Validate(data->rows(), data->cols()));
-    }
+    PROCLUS_RETURN_NOT_OK(
+        spec.sweep.Validate(spec.params, data->rows(), data->cols()));
   }
 
   auto job = std::make_shared<internal::Job>();
@@ -444,7 +436,11 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
   merged.cancel = &job->token;
   merged.trace = job->trace;
   DevicePool::Lease lease;
-  if (merged.backend == core::ComputeBackend::kGpu) {
+  // GPU sweeps go through the sweep scheduler, which leases its own set of
+  // devices (possibly several) instead of the single-job lease below.
+  const bool sharded_sweep = spec.kind == JobKind::kSweep &&
+                             merged.backend == core::ComputeBackend::kGpu;
+  if (merged.backend == core::ComputeBackend::kGpu && !sharded_sweep) {
     // Interruptible wait: a cancel or deadline that fires while every
     // pooled device is leased must not wedge this worker (satellite of the
     // serving layer — disconnecting clients cancel jobs at any phase).
@@ -476,29 +472,47 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
   Status status;
   std::vector<core::ProclusResult> results;
   std::vector<double> setting_seconds;
-  if (spec.kind == JobKind::kSingle) {
-    core::ProclusResult result;
-    status = core::Cluster(*job->data, spec.params, merged, &result);
-    if (status.ok()) results.push_back(std::move(result));
-  } else {
-    core::MultiParamOptions mp;
-    mp.cluster = merged;
-    mp.reuse = spec.reuse;
-    core::MultiParamResult sweep;
-    status =
-        core::RunMultiParam(*job->data, spec.params, spec.settings, mp, &sweep);
-    if (status.ok()) {
-      results = std::move(sweep.results);
-      setting_seconds = std::move(sweep.setting_seconds);
-    }
-  }
-  const double exec_seconds = watch.ElapsedSeconds();
-
+  int sweep_shards = 0;
   double modeled_gpu_seconds = 0.0;
   bool warm_device = false;
   int64_t sanitizer_findings = 0;
   int64_t sanitizer_checked_accesses = 0;
   std::vector<std::string> sanitizer_reports;
+  if (spec.kind == JobKind::kSingle) {
+    core::ProclusResult result;
+    status = core::Cluster(*job->data, spec.params, merged, &result);
+    if (status.ok()) results.push_back(std::move(result));
+  } else if (sharded_sweep) {
+    SweepScheduler scheduler(device_pool_.get());
+    SweepScheduler::Outcome outcome;
+    status =
+        scheduler.Run(*job->data, spec.params, spec.sweep, merged, &outcome);
+    if (status.ok()) {
+      results = std::move(outcome.result.results);
+      setting_seconds = std::move(outcome.result.setting_seconds);
+    }
+    sweep_shards = outcome.shards_used;
+    modeled_gpu_seconds = outcome.modeled_gpu_seconds;
+    warm_device = outcome.warm_device;
+    sanitizer_findings = outcome.sanitizer_findings;
+    sanitizer_checked_accesses = outcome.sanitizer_checked_accesses;
+    sanitizer_reports = std::move(outcome.sanitizer_reports);
+  } else {
+    // CPU / multi-core sweeps have no pooled engine to shard over; they
+    // run serially through the core runner and count as one shard.
+    core::MultiParamOptions mp;
+    mp.cluster = merged;
+    core::MultiParamResult sweep;
+    status =
+        core::RunMultiParam(*job->data, spec.params, spec.sweep, mp, &sweep);
+    if (status.ok()) {
+      results = std::move(sweep.results);
+      setting_seconds = std::move(sweep.setting_seconds);
+    }
+    sweep_shards = 1;
+  }
+  const double exec_seconds = watch.ElapsedSeconds();
+
   if (lease.device != nullptr) {
     modeled_gpu_seconds = lease.device->modeled_seconds();
     warm_device = lease.warm;
@@ -521,6 +535,9 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
     run_span.AddArg(
         obs::TraceArg::Double("modeled_gpu_ms", modeled_gpu_seconds * 1e3));
   }
+  if (sweep_shards > 0) {
+    run_span.AddArg(obs::TraceArg::Int("sweep_shards", sweep_shards));
+  }
   run_span.End();
 
   // Update the aggregate counters first: once FinishLocked runs, Wait()
@@ -530,6 +547,7 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
     stats_->exec_seconds_total += exec_seconds;
     stats_->modeled_gpu_seconds_total += modeled_gpu_seconds;
     stats_->sanitizer_findings_total += sanitizer_findings;
+    stats_->sweep_shards_total += sweep_shards;
   }
   stats_->CountTerminal(status);
   {
@@ -542,6 +560,7 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
     job->result.sanitizer_findings = sanitizer_findings;
     job->result.sanitizer_checked_accesses = sanitizer_checked_accesses;
     job->result.sanitizer_reports = std::move(sanitizer_reports);
+    job->result.sweep_shards = sweep_shards;
     job->FinishLocked(std::move(status));
   }
   job->FlushCallbacks();
@@ -613,6 +632,7 @@ void ProclusService::PublishMetrics(obs::MetricsRegistry* registry,
   set("modeled_gpu_seconds_total", snap.modeled_gpu_seconds_total);
   set("sanitizer_findings_total",
       static_cast<double>(snap.sanitizer_findings_total));
+  set("sweep_shards_total", static_cast<double>(snap.sweep_shards_total));
 }
 
 ServiceStats ProclusService::stats() const {
@@ -629,6 +649,7 @@ ServiceStats ProclusService::stats() const {
     snapshot.exec_seconds_total = stats_->exec_seconds_total;
     snapshot.modeled_gpu_seconds_total = stats_->modeled_gpu_seconds_total;
     snapshot.sanitizer_findings_total = stats_->sanitizer_findings_total;
+    snapshot.sweep_shards_total = stats_->sweep_shards_total;
   }
   snapshot.device_acquires = device_pool_->acquires();
   snapshot.device_reuse_hits = device_pool_->reuse_hits();

@@ -70,6 +70,9 @@ struct ServiceStats {
   double modeled_gpu_seconds_total = 0.0;
   // Total simtcheck findings across jobs (0 unless sanitize_devices).
   int64_t sanitizer_findings_total = 0;
+  // Summed JobResult::sweep_shards across sweep jobs: device lanes the
+  // sweep scheduler actually used (a serial sweep contributes 1).
+  int64_t sweep_shards_total = 0;
 };
 
 // Long-lived clustering front end: owns one shared compute ThreadPool, a

@@ -1,0 +1,208 @@
+#include "service/sweep_scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/timer.h"
+#include "core/gpu_backend.h"
+#include "core/sweep_plan.h"
+#include "obs/trace.h"
+#include "parallel/cancellation.h"
+
+namespace proclus::service {
+
+namespace {
+
+// How often the watcher mirrors the caller's cancel/deadline into the
+// sweep-local token the lanes watch.
+constexpr auto kCancelPollInterval = std::chrono::milliseconds(2);
+
+struct Lane {
+  DevicePool::Lease lease;
+  std::unique_ptr<core::Backend> backend;
+};
+
+}  // namespace
+
+Status SweepScheduler::Run(const data::Matrix& data,
+                           const core::ProclusParams& base,
+                           const core::SweepSpec& sweep,
+                           const core::ClusterOptions& cluster,
+                           Outcome* outcome) {
+  PROCLUS_CHECK(outcome != nullptr);
+  *outcome = Outcome{};
+  if (cluster.backend != core::ComputeBackend::kGpu) {
+    return Status::InvalidArgument(
+        "SweepScheduler shards GPU sweeps; run CPU sweeps through "
+        "core::RunMultiParam");
+  }
+  if (cluster.device != nullptr) {
+    return Status::InvalidArgument(
+        "SweepScheduler leases pooled devices; leave cluster.device null");
+  }
+  PROCLUS_RETURN_NOT_OK(cluster.Validate());
+  PROCLUS_RETURN_NOT_OK(sweep.Validate(base, data.rows(), data.cols()));
+
+  const core::SweepPlan plan = core::SweepPlan::Build(sweep);
+
+  // Opportunistic width: every idle device up to the shard count and the
+  // caller's budget, but never block waiting for more than one.
+  int desired = static_cast<int>(plan.shards.size());
+  if (sweep.max_shards > 0) desired = std::min(desired, sweep.max_shards);
+  desired = std::min(desired, pool_->capacity());
+  std::vector<DevicePool::Lease> leases;
+  PROCLUS_RETURN_NOT_OK(
+      pool_->AcquireMany(1, desired, cluster.cancel, &leases));
+
+  // Like the serial runner, total_seconds excludes the wait for devices
+  // (RunJob accounts queueing separately).
+  StopWatch total_watch;
+  const int lanes = static_cast<int>(leases.size());
+  std::vector<Lane> lane_state(lanes);
+  for (int i = 0; i < lanes; ++i) {
+    lane_state[i].lease = leases[i];
+    simt::Device* device = leases[i].device;
+    device->ResetArena();
+    device->ResetStats();
+    device->set_trace(cluster.trace);
+    core::GpuBackendOptions gpu_options;
+    gpu_options.assign_block_dim = cluster.gpu_assign_block_dim;
+    gpu_options.use_streams = cluster.gpu_streams;
+    gpu_options.device_dim_selection = cluster.gpu_device_dim_selection;
+    lane_state[i].backend = std::make_unique<core::GpuBackend>(
+        data, cluster.strategy, device, gpu_options);
+    lane_state[i].backend->SetTrace(cluster.trace);
+  }
+
+  // The post-acquire body; leases are released on every path after it.
+  const Status status = [&]() -> Status {
+    outcome->result.results.assign(sweep.settings.size(),
+                                   core::ProclusResult{});
+    outcome->result.setting_seconds.assign(sweep.settings.size(), 0.0);
+
+    core::SweepSharedContext shared;
+    PROCLUS_RETURN_NOT_OK(core::PrepareSweepShared(
+        data, base, sweep, lane_state[0].backend.get(), cluster.cancel,
+        &shared));
+
+    // Lanes watch a sweep-local token so a failing shard can abort its
+    // siblings; the watcher mirrors the caller's token into it, which
+    // keeps external cancel/deadline propagation intact.
+    parallel::CancellationToken sweep_token;
+    std::atomic<bool> lanes_done{false};
+    std::thread watcher;
+    if (cluster.cancel != nullptr) {
+      watcher = std::thread([&] {
+        while (!lanes_done.load(std::memory_order_acquire)) {
+          if (!cluster.cancel->Check().ok()) {
+            sweep_token.Cancel();
+            return;
+          }
+          std::this_thread::sleep_for(kCancelPollInterval);
+        }
+      });
+    }
+
+    std::vector<Status> shard_status(plan.shards.size());
+    const auto run_lane = [&](int lane) {
+      core::ClusterOptions lane_cluster = cluster;
+      lane_cluster.cancel = &sweep_token;
+      // kNone shards run through Cluster() and need the lane's device;
+      // shared-engine shards run on the lane backend directly.
+      if (sweep.reuse == core::ReuseLevel::kNone) {
+        lane_cluster.device = lane_state[lane].lease.device;
+      }
+      for (size_t s = lane; s < plan.shards.size();
+           s += static_cast<size_t>(lanes)) {
+        obs::TraceSpan span(cluster.trace, "sweep.shard", "service");
+        span.AddArg(obs::TraceArg::Int("shard", static_cast<int64_t>(s)));
+        span.AddArg(obs::TraceArg::Int("lane", lane));
+        span.AddArg(obs::TraceArg::Int(
+            "settings",
+            static_cast<int64_t>(plan.shards[s].setting_indices.size())));
+        const Status shard_result = core::RunSweepShard(
+            data, base, sweep, plan.shards[s],
+            sweep.reuse == core::ReuseLevel::kNone ? nullptr : &shared,
+            lane_cluster,
+            sweep.reuse == core::ReuseLevel::kNone
+                ? nullptr
+                : lane_state[lane].backend.get(),
+            &outcome->result);
+        span.AddArg(
+            obs::TraceArg::Str("outcome", shard_result.ok() ? "ok" : "error"));
+        span.End();
+        shard_status[s] = shard_result;
+        if (!shard_result.ok()) {
+          // Abort sibling lanes: the sweep's outcome is already decided.
+          sweep_token.Cancel();
+          return;
+        }
+      }
+    };
+
+    if (lanes == 1) {
+      run_lane(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(lanes);
+      for (int lane = 0; lane < lanes; ++lane) {
+        threads.emplace_back(run_lane, lane);
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    lanes_done.store(true, std::memory_order_release);
+    if (watcher.joinable()) watcher.join();
+
+    // The caller's token wins the status (it distinguishes Cancelled from
+    // DeadlineExceeded); otherwise the first failing shard in plan order —
+    // deterministic — beats the Cancelled statuses it induced in siblings.
+    if (cluster.cancel != nullptr) {
+      PROCLUS_RETURN_NOT_OK(cluster.cancel->Check());
+    }
+    for (const Status& s : shard_status) {
+      if (!s.ok() && s.code() != StatusCode::kCancelled) return s;
+    }
+    for (const Status& s : shard_status) {
+      PROCLUS_RETURN_NOT_OK(s);
+    }
+    outcome->result.total_seconds = total_watch.ElapsedSeconds();
+    return Status::OK();
+  }();
+
+  Status final_status = status;
+  outcome->shards_used = lanes;
+  outcome->warm_device = true;
+  for (Lane& lane : lane_state) {
+    simt::Device* device = lane.lease.device;
+    outcome->modeled_gpu_seconds += device->modeled_seconds();
+    outcome->lane_modeled_seconds.push_back(device->modeled_seconds());
+    outcome->warm_device = outcome->warm_device && lane.lease.warm;
+    if (device->sanitize_enabled()) {
+      const simt::Sanitizer* sanitizer = device->sanitizer();
+      // ResetStats above cleared the run state, so these figures belong to
+      // this sweep alone.
+      outcome->sanitizer_findings += sanitizer->findings();
+      outcome->sanitizer_checked_accesses += sanitizer->checked_accesses();
+      if (sanitizer->findings() > 0) {
+        for (std::string& report : sanitizer->Reports(
+                 simt::Sanitizer::kMaxDetailedViolations)) {
+          outcome->sanitizer_reports.push_back(std::move(report));
+        }
+        if (final_status.ok()) {
+          final_status = Status::Internal(sanitizer->Summary());
+        }
+      }
+    }
+    device->set_trace(nullptr);
+    pool_->Release(device);
+  }
+  if (!final_status.ok()) outcome->result = core::MultiParamResult{};
+  return final_status;
+}
+
+}  // namespace proclus::service

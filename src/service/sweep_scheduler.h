@@ -1,0 +1,68 @@
+#ifndef PROCLUS_SERVICE_SWEEP_SCHEDULER_H_
+#define PROCLUS_SERVICE_SWEEP_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/api.h"
+#include "core/multi_param.h"
+#include "data/matrix.h"
+#include "service/device_pool.h"
+
+namespace proclus::service {
+
+// Executes one multi-param sweep across the warm device pool: the plan's
+// shards (src/core/sweep_plan.h) are distributed round-robin over up to
+// `sweep.max_shards` concurrently leased devices, while the reuse-level
+// artifacts (Data', the greedy start, the pool M sized for the largest k)
+// are prepared once and shared read-only by every shard.
+//
+// The scheduler is opportunistic: it leases the devices that are idle right
+// now (at least one, blocking interruptibly if the pool is fully leased)
+// rather than waiting for the full shard budget — a sweep never stalls
+// behind single jobs just to go wider. Sharded output is bit-identical to
+// the serial core::RunMultiParam for the same seed at every ReuseLevel:
+// per-setting seeds depend only on the input index, the shared artifacts
+// depend only on base.seed and the largest k, warm-start chains live
+// entirely inside one shard, and Dist/H cache state never changes results.
+class SweepScheduler {
+ public:
+  // `pool` must outlive the scheduler. GPU sweeps only — CPU sweeps have no
+  // pooled engine to shard over and stay with core::RunMultiParam.
+  explicit SweepScheduler(DevicePool* pool) : pool_(pool) {}
+
+  struct Outcome {
+    core::MultiParamResult result;
+    // Devices this sweep actually ran on (1 = effectively serial).
+    int shards_used = 0;
+    // Sum of the leased devices' modeled device time for this sweep, plus
+    // the per-lane breakdown (the largest entry is the sweep's modeled
+    // critical path — what a real multi-GPU wall clock would show).
+    double modeled_gpu_seconds = 0.0;
+    std::vector<double> lane_modeled_seconds;
+    // Every leased device had a warm arena.
+    bool warm_device = false;
+    int64_t sanitizer_findings = 0;
+    int64_t sanitizer_checked_accesses = 0;
+    std::vector<std::string> sanitizer_reports;
+  };
+
+  // Runs the sweep. `cluster` must use ComputeBackend::kGpu with a null
+  // device (the scheduler leases devices itself); cluster.cancel and
+  // cluster.trace are honored — cancellation/deadline propagates to every
+  // shard, and each shard emits a "sweep.shard" span plus its kernel events
+  // on the leased device's trace track. On any non-OK return
+  // outcome->result is reset to the empty state, like core::RunMultiParam.
+  Status Run(const data::Matrix& data, const core::ProclusParams& base,
+             const core::SweepSpec& sweep,
+             const core::ClusterOptions& cluster, Outcome* outcome);
+
+ private:
+  DevicePool* const pool_;
+};
+
+}  // namespace proclus::service
+
+#endif  // PROCLUS_SERVICE_SWEEP_SCHEDULER_H_

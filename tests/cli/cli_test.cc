@@ -251,6 +251,26 @@ TEST_F(RunCliTest, BatchSweepSharesWork) {
   EXPECT_NE(out.str().find("1 completed"), std::string::npos);
 }
 
+TEST_F(RunCliTest, BatchGpuSweepShardsAcrossTheDevicePool) {
+  CliConfig config;
+  ASSERT_TRUE(Parse({"batch", "--generate", "600,8,3", "--A", "15", "--B",
+                     "4", "--jobs", "3:3,4:4,5:4", "--sweep", "--backend",
+                     "gpu", "--gpu-devices", "2", "--shards", "2"},
+                    &config)
+                  .ok());
+  EXPECT_EQ(config.batch_shards, 2);
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(config, out).ok());
+  EXPECT_NE(out.str().find("1 completed"), std::string::npos);
+  EXPECT_NE(out.str().find("sweep shards 2"), std::string::npos);
+}
+
+TEST(ParseArgsTest, ShardsRequiresBatchMode) {
+  CliConfig config;
+  EXPECT_FALSE(Parse({"--generate", "600,8,3", "--shards", "2"}, &config)
+                   .ok());
+}
+
 TEST(ParseArgsTest, TraceOutAcceptsBothForms) {
   CliConfig config;
   ASSERT_TRUE(

@@ -21,6 +21,7 @@
 #include "data/normalize.h"
 #include "eval/validate.h"
 #include "simt/device.h"
+#include "testing/must_cluster.h"
 
 namespace proclus::core {
 namespace {
@@ -85,7 +86,7 @@ TEST_P(EquivalenceTest, AllVariantsMatchBaseline) {
   params.seed = seed;
 
   ClusterOptions base_options;
-  const ProclusResult baseline = ClusterOrDie(ds.points, params, base_options);
+  const ProclusResult baseline = MustCluster(ds.points, params, base_options);
   ASSERT_TRUE(eval::ValidateResult(ds.points, params, baseline).ok());
 
   for (const ComputeBackend backend :
@@ -101,7 +102,7 @@ TEST_P(EquivalenceTest, AllVariantsMatchBaseline) {
       options.backend = backend;
       options.strategy = strategy;
       if (backend == ComputeBackend::kMultiCore) options.num_threads = 3;
-      const ProclusResult result = ClusterOrDie(ds.points, params, options);
+      const ProclusResult result = MustCluster(ds.points, params, options);
       ExpectSameClustering(baseline, result,
                            VariantName(backend, strategy));
       EXPECT_TRUE(eval::ValidateResult(ds.points, params, result).ok())
@@ -133,16 +134,16 @@ TEST_P(ParameterEquivalenceTest, FastAndGpuMatchAcrossParameters) {
   params.min_dev = min_dev;
   params.seed = 1234;
 
-  const ProclusResult baseline = ClusterOrDie(ds.points, params);
+  const ProclusResult baseline = MustCluster(ds.points, params);
   for (const Strategy strategy : {Strategy::kFast, Strategy::kFastStar}) {
     ClusterOptions cpu;
     cpu.strategy = strategy;
-    ExpectSameClustering(baseline, ClusterOrDie(ds.points, params, cpu),
+    ExpectSameClustering(baseline, MustCluster(ds.points, params, cpu),
                          VariantName(ComputeBackend::kCpu, strategy));
     ClusterOptions gpu;
     gpu.backend = ComputeBackend::kGpu;
     gpu.strategy = strategy;
-    ExpectSameClustering(baseline, ClusterOrDie(ds.points, params, gpu),
+    ExpectSameClustering(baseline, MustCluster(ds.points, params, gpu),
                          VariantName(ComputeBackend::kGpu, strategy));
   }
 }
@@ -165,7 +166,7 @@ TEST(EquivalenceEdgeTest, TinyDatasetAllVariantsAgree) {
   params.l = 3;
   params.a = 10.0;
   params.b = 4.0;
-  const ProclusResult baseline = ClusterOrDie(ds.points, params);
+  const ProclusResult baseline = MustCluster(ds.points, params);
   for (const ComputeBackend backend :
        {ComputeBackend::kMultiCore, ComputeBackend::kGpu}) {
     for (const Strategy strategy :
@@ -173,7 +174,7 @@ TEST(EquivalenceEdgeTest, TinyDatasetAllVariantsAgree) {
       ClusterOptions options;
       options.backend = backend;
       options.strategy = strategy;
-      ExpectSameClustering(baseline, ClusterOrDie(ds.points, params, options),
+      ExpectSameClustering(baseline, MustCluster(ds.points, params, options),
                            VariantName(backend, strategy));
     }
   }
@@ -187,11 +188,11 @@ TEST(EquivalenceEdgeTest, HighPatienceLongRunsAgree) {
   params.a = 25.0;
   params.b = 6.0;
   params.itr_pat = 15;  // long tail of non-improving iterations
-  const ProclusResult baseline = ClusterOrDie(ds.points, params);
+  const ProclusResult baseline = MustCluster(ds.points, params);
   ClusterOptions gpu_fast;
   gpu_fast.backend = ComputeBackend::kGpu;
   gpu_fast.strategy = Strategy::kFast;
-  ExpectSameClustering(baseline, ClusterOrDie(ds.points, params, gpu_fast),
+  ExpectSameClustering(baseline, MustCluster(ds.points, params, gpu_fast),
                        "GPU-FAST long run");
 }
 
@@ -239,13 +240,13 @@ TEST(EquivalenceEdgeTest, DuplicatedPointsFullPipelineAgrees) {
   params.l = 3;
   params.a = 15.0;
   params.b = 4.0;
-  const ProclusResult baseline = ClusterOrDie(ds.points, params);
+  const ProclusResult baseline = MustCluster(ds.points, params);
   for (const ComputeBackend backend :
        {ComputeBackend::kMultiCore, ComputeBackend::kGpu}) {
     ClusterOptions options;
     options.backend = backend;
     options.strategy = Strategy::kFast;
-    ExpectSameClustering(baseline, ClusterOrDie(ds.points, params, options),
+    ExpectSameClustering(baseline, MustCluster(ds.points, params, options),
                          VariantName(backend, Strategy::kFast));
   }
 }

@@ -14,6 +14,7 @@
 #include "core/subroutines.h"
 #include "data/generator.h"
 #include "data/normalize.h"
+#include "testing/must_cluster.h"
 
 namespace proclus::core {
 namespace {
@@ -44,7 +45,7 @@ RunStats RunWith(const data::Dataset& ds, Strategy strategy,
                  const ProclusParams& params) {
   ClusterOptions options;
   options.strategy = strategy;
-  return ClusterOrDie(ds.points, params, options).stats;
+  return MustCluster(ds.points, params, options).stats;
 }
 
 TEST(FastStrategyTest, FastComputesFewerDistanceRows) {
@@ -222,7 +223,7 @@ TEST(FastStrategyTest, DistCacheOnlyAblationIsExact) {
   const data::Dataset ds = TestData();
   const ProclusParams params = TestParams();
   ClusterOptions options;
-  const ProclusResult reference = ClusterOrDie(ds.points, params, options);
+  const ProclusResult reference = MustCluster(ds.points, params, options);
 
   SequentialExecutor executor;
   CpuBackend ablated(ds.points, Strategy::kFast, &executor,
@@ -267,8 +268,8 @@ TEST(FastStrategyTest, SequentialAndPooledExecutorsBitIdentical) {
   pooled.backend = ComputeBackend::kMultiCore;
   pooled.strategy = Strategy::kFast;
   pooled.num_threads = 4;
-  const ProclusResult a = ClusterOrDie(ds.points, params, seq);
-  const ProclusResult b = ClusterOrDie(ds.points, params, pooled);
+  const ProclusResult a = MustCluster(ds.points, params, seq);
+  const ProclusResult b = MustCluster(ds.points, params, pooled);
   EXPECT_EQ(a.assignment, b.assignment);
   EXPECT_EQ(a.medoids, b.medoids);
   EXPECT_DOUBLE_EQ(a.iterative_cost, b.iterative_cost);

@@ -12,6 +12,7 @@
 #include "data/generator.h"
 #include "data/normalize.h"
 #include "simt/device.h"
+#include "testing/must_cluster.h"
 
 namespace proclus::core {
 namespace {
@@ -44,7 +45,7 @@ ProclusResult RunGpu(const data::Dataset& ds, Strategy strategy,
   options.backend = ComputeBackend::kGpu;
   options.strategy = strategy;
   options.device = device;
-  return ClusterOrDie(ds.points, TestParams(), options);
+  return MustCluster(ds.points, TestParams(), options);
 }
 
 TEST(GpuBackendTest, ReportsModeledTimeAndMemory) {
@@ -143,10 +144,10 @@ TEST(GpuBackendTest, MemoryAllocatedOnceAcrossIterations) {
     options.device = &short_device;
     ProclusParams params = TestParams();
     params.itr_pat = 1;
-    ClusterOrDie(ds.points, params, options);
+    MustCluster(ds.points, params, options);
     options.device = &long_device;
     params.itr_pat = 12;
-    ClusterOrDie(ds.points, params, options);
+    MustCluster(ds.points, params, options);
   }
   EXPECT_EQ(short_device.peak_allocated_bytes(),
             long_device.peak_allocated_bytes());
@@ -192,8 +193,8 @@ TEST(GpuBackendTest, ModeledTimeScalesWithN) {
   ClusterOptions options;
   options.backend = ComputeBackend::kGpu;
   options.strategy = Strategy::kFast;
-  const ProclusResult a = ClusterOrDie(small.points, TestParams(), options);
-  const ProclusResult b = ClusterOrDie(large.points, TestParams(), options);
+  const ProclusResult a = MustCluster(small.points, TestParams(), options);
+  const ProclusResult b = MustCluster(large.points, TestParams(), options);
   const double per_iter_a =
       a.stats.modeled_gpu_seconds / a.stats.iterations;
   const double per_iter_b =
@@ -244,8 +245,8 @@ TEST(GpuBackendTest, Rtx3090ModelIsFasterThan1660Ti) {
   small_gpu.device_properties = simt::DeviceProperties::Gtx1660Ti();
   ClusterOptions big_gpu = small_gpu;
   big_gpu.device_properties = simt::DeviceProperties::Rtx3090();
-  const ProclusResult a = ClusterOrDie(ds.points, TestParams(), small_gpu);
-  const ProclusResult b = ClusterOrDie(ds.points, TestParams(), big_gpu);
+  const ProclusResult a = MustCluster(ds.points, TestParams(), small_gpu);
+  const ProclusResult b = MustCluster(ds.points, TestParams(), big_gpu);
   // Same clustering, less modeled time on the bigger card.
   EXPECT_EQ(a.assignment, b.assignment);
   EXPECT_LT(b.stats.modeled_gpu_seconds, a.stats.modeled_gpu_seconds);

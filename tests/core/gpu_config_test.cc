@@ -11,6 +11,7 @@
 #include "data/generator.h"
 #include "data/normalize.h"
 #include "simt/device.h"
+#include "testing/must_cluster.h"
 
 namespace proclus::core {
 namespace {
@@ -45,11 +46,11 @@ TEST_P(BlockDimTest, AssignBlockSizeDoesNotChangeClustering) {
   reference_options.backend = ComputeBackend::kGpu;
   reference_options.strategy = Strategy::kFast;
   const ProclusResult reference =
-      ClusterOrDie(ds.points, TestParams(), reference_options);
+      MustCluster(ds.points, TestParams(), reference_options);
 
   ClusterOptions options = reference_options;
   options.gpu_assign_block_dim = GetParam();
-  const ProclusResult result = ClusterOrDie(ds.points, TestParams(), options);
+  const ProclusResult result = MustCluster(ds.points, TestParams(), options);
   EXPECT_EQ(reference.assignment, result.assignment);
   EXPECT_EQ(reference.medoids, result.medoids);
   EXPECT_EQ(reference.dimensions, result.dimensions);
@@ -65,8 +66,8 @@ TEST(GpuStreamsTest, StreamsDoNotChangeClustering) {
   off.strategy = Strategy::kFast;
   ClusterOptions on = off;
   on.gpu_streams = true;
-  const ProclusResult a = ClusterOrDie(ds.points, TestParams(), off);
-  const ProclusResult b = ClusterOrDie(ds.points, TestParams(), on);
+  const ProclusResult a = MustCluster(ds.points, TestParams(), off);
+  const ProclusResult b = MustCluster(ds.points, TestParams(), on);
   EXPECT_EQ(a.assignment, b.assignment);
   EXPECT_EQ(a.medoids, b.medoids);
   EXPECT_NEAR(a.iterative_cost, b.iterative_cost, 1e-12);
@@ -79,8 +80,8 @@ TEST(GpuStreamsTest, StreamsReduceModeledTime) {
   off.strategy = Strategy::kFast;
   ClusterOptions on = off;
   on.gpu_streams = true;
-  const ProclusResult a = ClusterOrDie(ds.points, TestParams(), off);
-  const ProclusResult b = ClusterOrDie(ds.points, TestParams(), on);
+  const ProclusResult a = MustCluster(ds.points, TestParams(), off);
+  const ProclusResult b = MustCluster(ds.points, TestParams(), on);
   EXPECT_LT(b.stats.modeled_gpu_seconds, a.stats.modeled_gpu_seconds);
 }
 
@@ -93,8 +94,8 @@ TEST(GpuStreamsTest, StreamsWorkWithEveryStrategy) {
     off.strategy = strategy;
     ClusterOptions on = off;
     on.gpu_streams = true;
-    const ProclusResult a = ClusterOrDie(ds.points, TestParams(), off);
-    const ProclusResult b = ClusterOrDie(ds.points, TestParams(), on);
+    const ProclusResult a = MustCluster(ds.points, TestParams(), off);
+    const ProclusResult b = MustCluster(ds.points, TestParams(), on);
     EXPECT_EQ(a.assignment, b.assignment) << StrategyName(strategy);
   }
 }
@@ -108,8 +109,8 @@ TEST(DeviceDimSelectionTest, IdenticalToHostSelection) {
     host.strategy = strategy;
     ClusterOptions device = host;
     device.gpu_device_dim_selection = true;
-    const ProclusResult a = ClusterOrDie(ds.points, TestParams(), host);
-    const ProclusResult b = ClusterOrDie(ds.points, TestParams(), device);
+    const ProclusResult a = MustCluster(ds.points, TestParams(), host);
+    const ProclusResult b = MustCluster(ds.points, TestParams(), device);
     EXPECT_EQ(a.assignment, b.assignment) << StrategyName(strategy);
     EXPECT_EQ(a.medoids, b.medoids) << StrategyName(strategy);
     EXPECT_EQ(a.dimensions, b.dimensions) << StrategyName(strategy);
@@ -118,13 +119,13 @@ TEST(DeviceDimSelectionTest, IdenticalToHostSelection) {
 
 TEST(DeviceDimSelectionTest, MatchesCpuBaseline) {
   const data::Dataset ds = TestData();
-  const ProclusResult cpu = ClusterOrDie(ds.points, TestParams());
+  const ProclusResult cpu = MustCluster(ds.points, TestParams());
   ClusterOptions gpu;
   gpu.backend = ComputeBackend::kGpu;
   gpu.strategy = Strategy::kFast;
   gpu.gpu_device_dim_selection = true;
   gpu.gpu_streams = true;  // combined options
-  const ProclusResult result = ClusterOrDie(ds.points, TestParams(), gpu);
+  const ProclusResult result = MustCluster(ds.points, TestParams(), gpu);
   EXPECT_EQ(cpu.assignment, result.assignment);
   EXPECT_EQ(cpu.medoids, result.medoids);
   EXPECT_EQ(cpu.dimensions, result.dimensions);
@@ -138,7 +139,7 @@ TEST(DeviceDimSelectionTest, SelectionKernelsAreLaunched) {
   options.strategy = Strategy::kFast;
   options.gpu_device_dim_selection = true;
   options.device = &device;
-  ClusterOrDie(ds.points, TestParams(), options);
+  MustCluster(ds.points, TestParams(), options);
   std::set<std::string> names;
   for (const auto& rec : device.perf_model().KernelRecords()) {
     names.insert(rec.name);
@@ -156,8 +157,8 @@ TEST(DeviceDimSelectionTest, LEqualsTwoHasNoExtras) {
   host.backend = ComputeBackend::kGpu;
   ClusterOptions device = host;
   device.gpu_device_dim_selection = true;
-  const ProclusResult a = ClusterOrDie(ds.points, params, host);
-  const ProclusResult b = ClusterOrDie(ds.points, params, device);
+  const ProclusResult a = MustCluster(ds.points, params, host);
+  const ProclusResult b = MustCluster(ds.points, params, device);
   EXPECT_EQ(a.dimensions, b.dimensions);
   for (const auto& dims : b.dimensions) EXPECT_EQ(dims.size(), 2u);
 }
@@ -170,7 +171,7 @@ TEST(PhaseProfileTest, PhasesCoverTheRun) {
     options.backend = backend;
     options.strategy = Strategy::kFast;
     const ProclusResult result =
-        ClusterOrDie(ds.points, TestParams(), options);
+        MustCluster(ds.points, TestParams(), options);
     const PhaseSeconds& ph = result.stats.phases;
     EXPECT_GT(ph.greedy, 0.0) << BackendName(backend);
     EXPECT_GT(ph.compute_distances, 0.0) << BackendName(backend);
@@ -195,8 +196,8 @@ TEST(PhaseProfileTest, FastSpendsLessOnDistancesThanBaseline) {
   base.strategy = Strategy::kBaseline;
   ClusterOptions fast;
   fast.strategy = Strategy::kFast;
-  const ProclusResult a = ClusterOrDie(ds.points, TestParams(), base);
-  const ProclusResult b = ClusterOrDie(ds.points, TestParams(), fast);
+  const ProclusResult a = MustCluster(ds.points, TestParams(), base);
+  const ProclusResult b = MustCluster(ds.points, TestParams(), fast);
   EXPECT_LT(b.stats.phases.compute_distances,
             a.stats.phases.compute_distances);
 }

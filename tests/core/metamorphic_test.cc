@@ -11,6 +11,7 @@
 #include "core/api.h"
 #include "data/generator.h"
 #include "data/normalize.h"
+#include "testing/must_cluster.h"
 
 namespace proclus::core {
 namespace {
@@ -45,8 +46,8 @@ TEST(MetamorphicTest, TranslationInvariance) {
   for (int64_t i = 0; i < shifted.rows(); ++i) {
     for (int64_t j = 0; j < shifted.cols(); ++j) shifted(i, j) += 5.0f;
   }
-  const ProclusResult a = ClusterOrDie(ds.points, Params());
-  const ProclusResult b = ClusterOrDie(shifted, Params());
+  const ProclusResult a = MustCluster(ds.points, Params());
+  const ProclusResult b = MustCluster(shifted, Params());
   EXPECT_EQ(a.assignment, b.assignment);
   EXPECT_EQ(a.medoids, b.medoids);
   EXPECT_EQ(a.dimensions, b.dimensions);
@@ -62,8 +63,8 @@ TEST(MetamorphicTest, PerDimensionTranslationInvariance) {
       shifted(i, j) += static_cast<float>(j) * 2.0f - 3.0f;
     }
   }
-  const ProclusResult a = ClusterOrDie(ds.points, Params());
-  const ProclusResult b = ClusterOrDie(shifted, Params());
+  const ProclusResult a = MustCluster(ds.points, Params());
+  const ProclusResult b = MustCluster(shifted, Params());
   EXPECT_EQ(a.assignment, b.assignment);
   EXPECT_EQ(a.medoids, b.medoids);
   EXPECT_EQ(a.dimensions, b.dimensions);
@@ -82,8 +83,8 @@ TEST(MetamorphicTest, DimensionPermutationCovariance) {
       reversed(i, j) = ds.points(i, d - 1 - j);
     }
   }
-  const ProclusResult a = ClusterOrDie(ds.points, Params());
-  const ProclusResult b = ClusterOrDie(reversed, Params());
+  const ProclusResult a = MustCluster(ds.points, Params());
+  const ProclusResult b = MustCluster(reversed, Params());
   EXPECT_EQ(a.assignment, b.assignment);
   EXPECT_EQ(a.medoids, b.medoids);
   ASSERT_EQ(a.dimensions.size(), b.dimensions.size());
@@ -125,8 +126,8 @@ TEST(MetamorphicTest, UniformScalingInvariance) {
   for (int64_t i = 0; i < scaled.rows(); ++i) {
     for (int64_t j = 0; j < scaled.cols(); ++j) scaled(i, j) *= factor;
   }
-  const ProclusResult a = ClusterOrDie(ds.points, Params());
-  const ProclusResult b = ClusterOrDie(scaled, Params());
+  const ProclusResult a = MustCluster(ds.points, Params());
+  const ProclusResult b = MustCluster(scaled, Params());
   EXPECT_EQ(a.assignment, b.assignment);
   EXPECT_EQ(a.medoids, b.medoids);
   EXPECT_EQ(a.dimensions, b.dimensions);
@@ -144,8 +145,8 @@ TEST_P(MetamorphicSweep, TranslationInvarianceAcrossSeeds) {
   }
   ProclusParams params = Params();
   params.seed = GetParam() * 13 + 1;
-  const ProclusResult a = ClusterOrDie(ds.points, params);
-  const ProclusResult b = ClusterOrDie(shifted, params);
+  const ProclusResult a = MustCluster(ds.points, params);
+  const ProclusResult b = MustCluster(shifted, params);
   EXPECT_EQ(a.assignment, b.assignment);
   EXPECT_EQ(a.medoids, b.medoids);
 }

@@ -8,6 +8,7 @@
 #include "core/multi_param.h"
 #include "data/generator.h"
 #include "data/normalize.h"
+#include "testing/must_cluster.h"
 
 namespace proclus::core {
 namespace {
@@ -40,14 +41,15 @@ TEST(MultiParamRngTest, RunsAreReproducible) {
   for (const ReuseLevel level :
        {ReuseLevel::kNone, ReuseLevel::kCache, ReuseLevel::kGreedy,
         ReuseLevel::kWarmStart}) {
-    MultiParamOptions options;
-    options.reuse = level;
+    SweepSpec sweep;
+    sweep.settings = settings;
+    sweep.reuse = level;
     MultiParamResult a;
     MultiParamResult b;
     ASSERT_TRUE(
-        RunMultiParam(ds.points, BaseParams(), settings, options, &a).ok());
+        RunMultiParam(ds.points, BaseParams(), sweep, {}, &a).ok());
     ASSERT_TRUE(
-        RunMultiParam(ds.points, BaseParams(), settings, options, &b).ok());
+        RunMultiParam(ds.points, BaseParams(), sweep, {}, &b).ok());
     for (size_t i = 0; i < settings.size(); ++i) {
       EXPECT_EQ(a.results[i].assignment, b.results[i].assignment)
           << ReuseLevelName(level) << " setting " << i;
@@ -63,18 +65,21 @@ TEST(MultiParamRngTest, IndependentLevelMatchesStandaloneRuns) {
   // clustering.
   const data::Dataset ds = TestData();
   const std::vector<ParamSetting> settings = {{3, 3}, {4, 4}};
-  MultiParamOptions options;
-  options.reuse = ReuseLevel::kNone;
+  SweepSpec sweep;
+  sweep.settings = settings;
+  sweep.reuse = ReuseLevel::kNone;
   MultiParamResult output;
-  ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(), settings, options,
-                            &output)
+  ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(), sweep, {}, &output)
                   .ok());
   for (size_t i = 0; i < settings.size(); ++i) {
     ProclusParams p = BaseParams();
     p.k = settings[i].k;
     p.l = settings[i].l;
+    // The derivation formula is a documented contract — pin it here so it
+    // cannot drift silently, and check the public helper agrees.
     p.seed = BaseParams().seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
-    const ProclusResult standalone = ClusterOrDie(ds.points, p);
+    EXPECT_EQ(SweepSettingSeed(BaseParams().seed, i), p.seed) << i;
+    const ProclusResult standalone = MustCluster(ds.points, p);
     EXPECT_EQ(standalone.assignment, output.results[i].assignment) << i;
     EXPECT_EQ(standalone.medoids, output.results[i].medoids) << i;
   }
@@ -82,18 +87,18 @@ TEST(MultiParamRngTest, IndependentLevelMatchesStandaloneRuns) {
 
 TEST(MultiParamRngTest, BaseSeedChangesTrajectories) {
   const data::Dataset ds = TestData();
-  const std::vector<ParamSetting> settings = {{4, 4}};
-  MultiParamOptions options;
-  options.reuse = ReuseLevel::kGreedy;
+  SweepSpec sweep;
+  sweep.settings = {{4, 4}};
+  sweep.reuse = ReuseLevel::kGreedy;
   ProclusParams base_a = BaseParams();
   ProclusParams base_b = BaseParams();
   base_b.seed = base_a.seed + 1;
   MultiParamResult a;
   MultiParamResult b;
   ASSERT_TRUE(
-      RunMultiParam(ds.points, base_a, settings, options, &a).ok());
+      RunMultiParam(ds.points, base_a, sweep, {}, &a).ok());
   ASSERT_TRUE(
-      RunMultiParam(ds.points, base_b, settings, options, &b).ok());
+      RunMultiParam(ds.points, base_b, sweep, {}, &b).ok());
   // Different base seeds resample Data' — identical output would indicate
   // the seed is being ignored. (Medoid sets could coincide by luck on easy
   // data; require at least one of the observable outputs to differ.)
@@ -104,15 +109,14 @@ TEST(MultiParamRngTest, BaseSeedChangesTrajectories) {
 
 TEST(MultiParamRngTest, SingleSettingGridWorksAtEveryLevel) {
   const data::Dataset ds = TestData();
-  const std::vector<ParamSetting> settings = {{4, 4}};
   for (const ReuseLevel level :
        {ReuseLevel::kNone, ReuseLevel::kCache, ReuseLevel::kGreedy,
         ReuseLevel::kWarmStart}) {
-    MultiParamOptions options;
-    options.reuse = level;
+    SweepSpec sweep;
+    sweep.settings = {{4, 4}};
+    sweep.reuse = level;
     MultiParamResult output;
-    ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(), settings, options,
-                              &output)
+    ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(), sweep, {}, &output)
                     .ok())
         << ReuseLevelName(level);
     EXPECT_EQ(output.results.size(), 1u);

@@ -37,6 +37,13 @@ std::vector<ParamSetting> TestSettings() {
   return {{3, 3}, {5, 4}, {4, 5}, {5, 3}};
 }
 
+SweepSpec Spec(std::vector<ParamSetting> settings, ReuseLevel reuse) {
+  SweepSpec sweep;
+  sweep.settings = std::move(settings);
+  sweep.reuse = reuse;
+  return sweep;
+}
+
 TEST(MultiParamTest, DefaultGridHasNineCombinations) {
   const auto grid = DefaultSettingsGrid(BaseParams(), /*dims=*/10);
   EXPECT_EQ(grid.size(), 9u);
@@ -86,12 +93,11 @@ TEST(MultiParamTest, EveryLevelProducesValidResults) {
        {ReuseLevel::kNone, ReuseLevel::kCache, ReuseLevel::kGreedy,
         ReuseLevel::kWarmStart}) {
     MultiParamOptions options;
-    options.reuse = level;
     options.cluster.strategy = Strategy::kFast;
     MultiParamResult output;
-    ASSERT_TRUE(
-        RunMultiParam(ds.points, BaseParams(), settings, options, &output)
-            .ok())
+    ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(), Spec(settings, level),
+                              options, &output)
+                    .ok())
         << ReuseLevelName(level);
     ASSERT_EQ(output.results.size(), settings.size());
     ASSERT_EQ(output.setting_seconds.size(), settings.size());
@@ -111,18 +117,16 @@ TEST(MultiParamTest, CacheAndGreedyLevelsProduceIdenticalClusterings) {
   // the same pool M and hence the same clusterings as level 2.
   const data::Dataset ds = TestData();
   const auto settings = TestSettings();
-  MultiParamOptions cache;
-  cache.reuse = ReuseLevel::kCache;
-  cache.cluster.strategy = Strategy::kFast;
-  MultiParamOptions greedy;
-  greedy.reuse = ReuseLevel::kGreedy;
-  greedy.cluster.strategy = Strategy::kFast;
+  MultiParamOptions options;
+  options.cluster.strategy = Strategy::kFast;
   MultiParamResult a;
   MultiParamResult b;
-  ASSERT_TRUE(
-      RunMultiParam(ds.points, BaseParams(), settings, cache, &a).ok());
-  ASSERT_TRUE(
-      RunMultiParam(ds.points, BaseParams(), settings, greedy, &b).ok());
+  ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(),
+                            Spec(settings, ReuseLevel::kCache), options, &a)
+                  .ok());
+  ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(),
+                            Spec(settings, ReuseLevel::kGreedy), options, &b)
+                  .ok());
   for (size_t i = 0; i < settings.size(); ++i) {
     EXPECT_EQ(a.results[i].medoids, b.results[i].medoids) << i;
     EXPECT_EQ(a.results[i].assignment, b.results[i].assignment) << i;
@@ -137,14 +141,14 @@ TEST(MultiParamTest, SharedCachesDoNotChangeResultsAcrossStrategies) {
   const auto settings = TestSettings();
   MultiParamResult fast;
   MultiParamResult star;
+  const SweepSpec sweep = Spec(settings, ReuseLevel::kGreedy);
   MultiParamOptions options;
-  options.reuse = ReuseLevel::kGreedy;
   options.cluster.strategy = Strategy::kFast;
   ASSERT_TRUE(
-      RunMultiParam(ds.points, BaseParams(), settings, options, &fast).ok());
+      RunMultiParam(ds.points, BaseParams(), sweep, options, &fast).ok());
   options.cluster.strategy = Strategy::kFastStar;
   ASSERT_TRUE(
-      RunMultiParam(ds.points, BaseParams(), settings, options, &star).ok());
+      RunMultiParam(ds.points, BaseParams(), sweep, options, &star).ok());
   for (size_t i = 0; i < settings.size(); ++i) {
     EXPECT_EQ(fast.results[i].medoids, star.results[i].medoids) << i;
     EXPECT_EQ(fast.results[i].assignment, star.results[i].assignment) << i;
@@ -156,17 +160,17 @@ TEST(MultiParamTest, GpuMatchesCpuAtEveryLevel) {
   const auto settings = TestSettings();
   for (const ReuseLevel level :
        {ReuseLevel::kCache, ReuseLevel::kGreedy, ReuseLevel::kWarmStart}) {
+    const SweepSpec sweep = Spec(settings, level);
     MultiParamOptions cpu;
-    cpu.reuse = level;
     cpu.cluster.strategy = Strategy::kFast;
     MultiParamOptions gpu = cpu;
     gpu.cluster.backend = ComputeBackend::kGpu;
     MultiParamResult a;
     MultiParamResult b;
     ASSERT_TRUE(
-        RunMultiParam(ds.points, BaseParams(), settings, cpu, &a).ok());
+        RunMultiParam(ds.points, BaseParams(), sweep, cpu, &a).ok());
     ASSERT_TRUE(
-        RunMultiParam(ds.points, BaseParams(), settings, gpu, &b).ok());
+        RunMultiParam(ds.points, BaseParams(), sweep, gpu, &b).ok());
     for (size_t i = 0; i < settings.size(); ++i) {
       EXPECT_EQ(a.results[i].medoids, b.results[i].medoids)
           << ReuseLevelName(level) << " setting " << i;
@@ -182,19 +186,16 @@ TEST(MultiParamTest, CacheReuseSavesDistanceComputations) {
   // while independent runs pay per setting.
   const data::Dataset ds = TestData();
   const auto settings = TestSettings();
-  MultiParamOptions independent;
-  independent.reuse = ReuseLevel::kNone;
-  independent.cluster.strategy = Strategy::kFast;
-  MultiParamOptions shared;
-  shared.reuse = ReuseLevel::kGreedy;
-  shared.cluster.strategy = Strategy::kFast;
+  MultiParamOptions options;
+  options.cluster.strategy = Strategy::kFast;
   MultiParamResult a;
   MultiParamResult b;
-  ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(), settings, independent,
-                            &a)
+  ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(),
+                            Spec(settings, ReuseLevel::kNone), options, &a)
                   .ok());
-  ASSERT_TRUE(
-      RunMultiParam(ds.points, BaseParams(), settings, shared, &b).ok());
+  ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(),
+                            Spec(settings, ReuseLevel::kGreedy), options, &b)
+                  .ok());
   int64_t independent_rows = 0;
   for (const auto& r : a.results) {
     independent_rows += r.stats.euclidean_distances;
@@ -210,11 +211,12 @@ TEST(MultiParamTest, WarmStartStillFindsGoodClusterings) {
   const data::Dataset ds = TestData();
   const auto settings = TestSettings();
   MultiParamOptions warm;
-  warm.reuse = ReuseLevel::kWarmStart;
   warm.cluster.strategy = Strategy::kFast;
   MultiParamResult output;
-  ASSERT_TRUE(
-      RunMultiParam(ds.points, BaseParams(), settings, warm, &output).ok());
+  ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(),
+                            Spec(settings, ReuseLevel::kWarmStart), warm,
+                            &output)
+                  .ok());
   for (const auto& result : output.results) {
     EXPECT_GT(result.iterative_cost, 0.0);
     EXPECT_GE(result.stats.iterations, BaseParams().itr_pat);
@@ -225,16 +227,20 @@ TEST(MultiParamTest, RejectsEmptySettings) {
   const data::Dataset ds = TestData();
   MultiParamResult output;
   EXPECT_FALSE(
-      RunMultiParam(ds.points, BaseParams(), {}, {}, &output).ok());
+      RunMultiParam(ds.points, BaseParams(), SweepSpec{}, {}, &output).ok());
 }
 
 TEST(MultiParamTest, RejectsInvalidSetting) {
   const data::Dataset ds = TestData();
   MultiParamResult output;
-  EXPECT_FALSE(RunMultiParam(ds.points, BaseParams(), {{5, 99}}, {}, &output)
+  EXPECT_FALSE(RunMultiParam(ds.points, BaseParams(),
+                             Spec({{5, 99}}, ReuseLevel::kWarmStart), {},
+                             &output)
                    .ok());
-  EXPECT_FALSE(
-      RunMultiParam(ds.points, BaseParams(), {{5, 4}}, {}, nullptr).ok());
+  EXPECT_FALSE(RunMultiParam(ds.points, BaseParams(),
+                             Spec({{5, 4}}, ReuseLevel::kWarmStart), {},
+                             nullptr)
+                   .ok());
 }
 
 TEST(MultiParamTest, FailedSweepClearsReusedOutput) {
@@ -244,18 +250,19 @@ TEST(MultiParamTest, FailedSweepClearsReusedOutput) {
   // sweeps could report stale timings for the failed one.
   const data::Dataset ds = TestData();
   MultiParamOptions options;
-  options.reuse = ReuseLevel::kGreedy;
   MultiParamResult output;
-  ASSERT_TRUE(
-      RunMultiParam(ds.points, BaseParams(), TestSettings(), options, &output)
-          .ok());
+  ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(),
+                            Spec(TestSettings(), ReuseLevel::kGreedy),
+                            options, &output)
+                  .ok());
   ASSERT_EQ(output.results.size(), TestSettings().size());
   ASSERT_GT(output.total_seconds, 0.0);
 
   // Second sweep fails validation (l = 99 > d).
-  EXPECT_FALSE(
-      RunMultiParam(ds.points, BaseParams(), {{5, 99}}, options, &output)
-          .ok());
+  EXPECT_FALSE(RunMultiParam(ds.points, BaseParams(),
+                             Spec({{5, 99}}, ReuseLevel::kGreedy), options,
+                             &output)
+                   .ok());
   EXPECT_TRUE(output.results.empty());
   EXPECT_TRUE(output.setting_seconds.empty());
   EXPECT_EQ(output.total_seconds, 0.0);
@@ -268,12 +275,13 @@ TEST(MultiParamTest, CancelledSweepClearsPartialOutput) {
   parallel::CancellationToken cancel;
   cancel.SetTimeout(1e-9);  // already expired at the first check
   MultiParamOptions options;
-  options.reuse = ReuseLevel::kGreedy;
   options.cluster.cancel = &cancel;
   MultiParamResult output;
   output.total_seconds = 42.0;  // sentinel: must not survive the failure
   const Status status =
-      RunMultiParam(ds.points, BaseParams(), TestSettings(), options, &output);
+      RunMultiParam(ds.points, BaseParams(),
+                    Spec(TestSettings(), ReuseLevel::kGreedy), options,
+                    &output);
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_TRUE(output.results.empty());
@@ -285,11 +293,11 @@ TEST(MultiParamTest, SettingsReportedInInputOrder) {
   const data::Dataset ds = TestData();
   const std::vector<ParamSetting> settings = {{2, 2}, {6, 5}};
   MultiParamOptions options;
-  options.reuse = ReuseLevel::kGreedy;
   MultiParamResult output;
-  ASSERT_TRUE(
-      RunMultiParam(ds.points, BaseParams(), settings, options, &output)
-          .ok());
+  ASSERT_TRUE(RunMultiParam(ds.points, BaseParams(),
+                            Spec(settings, ReuseLevel::kGreedy), options,
+                            &output)
+                  .ok());
   EXPECT_EQ(output.results[0].medoids.size(), 2u);
   EXPECT_EQ(output.results[1].medoids.size(), 6u);
 }

@@ -9,6 +9,7 @@
 #include "data/normalize.h"
 #include "eval/metrics.h"
 #include "eval/validate.h"
+#include "testing/must_cluster.h"
 
 namespace proclus::core {
 namespace {
@@ -39,20 +40,20 @@ ProclusParams SmallParams(int k = 4, int l = 4) {
 TEST(ProclusTest, ResultSatisfiesAllInvariants) {
   const data::Dataset ds = WellSeparatedData();
   const ProclusParams params = SmallParams();
-  const ProclusResult result = ClusterOrDie(ds.points, params);
+  const ProclusResult result = MustCluster(ds.points, params);
   EXPECT_TRUE(eval::ValidateResult(ds.points, params, result).ok());
 }
 
 TEST(ProclusTest, RecoversWellSeparatedClusters) {
   const data::Dataset ds = WellSeparatedData();
-  const ProclusResult result = ClusterOrDie(ds.points, SmallParams());
+  const ProclusResult result = MustCluster(ds.points, SmallParams());
   const double ari = eval::AdjustedRandIndex(ds.labels, result.assignment);
   EXPECT_GT(ari, 0.55) << "ARI too low for well-separated clusters";
 }
 
 TEST(ProclusTest, RecoversSubspaces) {
   const data::Dataset ds = WellSeparatedData();
-  const ProclusResult result = ClusterOrDie(ds.points, SmallParams());
+  const ProclusResult result = MustCluster(ds.points, SmallParams());
   const double recovery = eval::SubspaceRecovery(
       ds.labels, result.assignment, ds.true_subspaces, result.dimensions);
   EXPECT_GT(recovery, 0.5);
@@ -60,8 +61,8 @@ TEST(ProclusTest, RecoversSubspaces) {
 
 TEST(ProclusTest, DeterministicForFixedSeed) {
   const data::Dataset ds = WellSeparatedData();
-  const ProclusResult a = ClusterOrDie(ds.points, SmallParams());
-  const ProclusResult b = ClusterOrDie(ds.points, SmallParams());
+  const ProclusResult a = MustCluster(ds.points, SmallParams());
+  const ProclusResult b = MustCluster(ds.points, SmallParams());
   EXPECT_EQ(a.medoids, b.medoids);
   EXPECT_EQ(a.assignment, b.assignment);
   EXPECT_EQ(a.dimensions, b.dimensions);
@@ -73,15 +74,15 @@ TEST(ProclusTest, DifferentSeedsUsuallyDiffer) {
   ProclusParams p1 = SmallParams();
   ProclusParams p2 = SmallParams();
   p2.seed = p1.seed + 1;
-  const ProclusResult a = ClusterOrDie(ds.points, p1);
-  const ProclusResult b = ClusterOrDie(ds.points, p2);
+  const ProclusResult a = MustCluster(ds.points, p1);
+  const ProclusResult b = MustCluster(ds.points, p2);
   // Medoid *sets* may coincide, but the full random trajectory rarely does.
   EXPECT_TRUE(a.medoids != b.medoids || a.assignment == b.assignment);
 }
 
 TEST(ProclusTest, CostsAreConsistentWithReference) {
   const data::Dataset ds = WellSeparatedData();
-  const ProclusResult result = ClusterOrDie(ds.points, SmallParams());
+  const ProclusResult result = MustCluster(ds.points, SmallParams());
   const double reference = EvaluateClustersReference(
       ds.points.data(), ds.n(), ds.d(), result.assignment,
       result.dimensions);
@@ -90,7 +91,7 @@ TEST(ProclusTest, CostsAreConsistentWithReference) {
 
 TEST(ProclusTest, StatsCountWork) {
   const data::Dataset ds = WellSeparatedData();
-  const ProclusResult result = ClusterOrDie(ds.points, SmallParams());
+  const ProclusResult result = MustCluster(ds.points, SmallParams());
   EXPECT_GT(result.stats.iterations, 0);
   EXPECT_GT(result.stats.euclidean_distances, 0);
   EXPECT_GT(result.stats.segmental_distances, 0);
@@ -101,7 +102,7 @@ TEST(ProclusTest, StatsCountWork) {
 TEST(ProclusTest, KOneProducesSingleCluster) {
   const data::Dataset ds = WellSeparatedData(300, 6, 2);
   ProclusParams params = SmallParams(1, 3);
-  const ProclusResult result = ClusterOrDie(ds.points, params);
+  const ProclusResult result = MustCluster(ds.points, params);
   EXPECT_EQ(result.medoids.size(), 1u);
   // With one medoid nothing is beyond the (infinite) outlier radius.
   for (const int c : result.assignment) EXPECT_EQ(c, 0);
@@ -111,7 +112,7 @@ TEST(ProclusTest, KOneProducesSingleCluster) {
 TEST(ProclusTest, MoreMedoidsThanClustersStillValid) {
   const data::Dataset ds = WellSeparatedData(600, 8, 2);
   const ProclusParams params = SmallParams(6, 3);
-  const ProclusResult result = ClusterOrDie(ds.points, params);
+  const ProclusResult result = MustCluster(ds.points, params);
   EXPECT_TRUE(eval::ValidateResult(ds.points, params, result).ok());
 }
 
@@ -178,14 +179,14 @@ TEST(ProclusTest, OutliersDetectedInNoisyData) {
   config.seed = 17;
   data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
   data::MinMaxNormalize(&ds.points);
-  const ProclusResult result = ClusterOrDie(ds.points, SmallParams(3, 4));
+  const ProclusResult result = MustCluster(ds.points, SmallParams(3, 4));
   EXPECT_GT(result.NumOutliers(), 0);
   EXPECT_LT(result.NumOutliers(), ds.n() / 2);
 }
 
 TEST(ProclusTest, ClusterAccessorsConsistent) {
   const data::Dataset ds = WellSeparatedData();
-  const ProclusResult result = ClusterOrDie(ds.points, SmallParams());
+  const ProclusResult result = MustCluster(ds.points, SmallParams());
   const auto clusters = result.Clusters();
   const auto sizes = result.ClusterSizes();
   ASSERT_EQ(clusters.size(), sizes.size());
@@ -199,7 +200,7 @@ TEST(ProclusTest, ClusterAccessorsConsistent) {
 
 TEST(ProclusTest, IterativeCostDecreasedFromFirstIteration) {
   const data::Dataset ds = WellSeparatedData();
-  const ProclusResult result = ClusterOrDie(ds.points, SmallParams());
+  const ProclusResult result = MustCluster(ds.points, SmallParams());
   EXPECT_GT(result.iterative_cost, 0.0);
   EXPECT_GE(result.stats.iterations, ProclusParams().itr_pat);
 }

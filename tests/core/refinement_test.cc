@@ -12,6 +12,7 @@
 #include "core/subroutines.h"
 #include "data/generator.h"
 #include "data/normalize.h"
+#include "testing/must_cluster.h"
 
 namespace proclus::core {
 namespace {
@@ -38,7 +39,7 @@ Fixture MakeFixture(double outlier_fraction = 0.08, uint64_t seed = 19) {
   f.params.l = 4;
   f.params.a = 20.0;
   f.params.b = 5.0;
-  f.result = ClusterOrDie(f.ds.points, f.params);
+  f.result = MustCluster(f.ds.points, f.params);
   return f;
 }
 
@@ -154,7 +155,7 @@ TEST(RefinementTest, GpuRefinementMatchesCpu) {
   Fixture f = MakeFixture();
   ClusterOptions gpu;
   gpu.backend = ComputeBackend::kGpu;
-  const ProclusResult gpu_result = ClusterOrDie(f.ds.points, f.params, gpu);
+  const ProclusResult gpu_result = MustCluster(f.ds.points, f.params, gpu);
   EXPECT_EQ(f.result.assignment, gpu_result.assignment);
   EXPECT_EQ(f.result.dimensions, gpu_result.dimensions);
   EXPECT_EQ(f.result.NumOutliers(), gpu_result.NumOutliers());

@@ -8,6 +8,7 @@
 #include "core/api.h"
 #include "data/generator.h"
 #include "data/normalize.h"
+#include "testing/must_cluster.h"
 
 namespace proclus::core {
 namespace {
@@ -26,7 +27,7 @@ ProclusResult SampleResult() {
   params.l = 3;
   params.a = 20.0;
   params.b = 5.0;
-  return ClusterOrDie(ds.points, params);
+  return MustCluster(ds.points, params);
 }
 
 TEST(SerializationTest, RoundTripThroughStream) {

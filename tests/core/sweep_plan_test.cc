@@ -1,0 +1,132 @@
+// The sweep planner's decomposition contract: every setting index appears
+// in exactly one shard, shards respect the only dependency in a sweep
+// (warm-start chains within one k), and the default settings grid — clamp
+// edge cases included — always feeds the planner something well formed.
+
+#include "core/sweep_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/multi_param.h"
+
+namespace proclus::core {
+namespace {
+
+// All setting indices of a plan, flattened in shard order.
+std::vector<size_t> FlatIndices(const SweepPlan& plan) {
+  std::vector<size_t> flat;
+  for (const SweepShard& shard : plan.shards) {
+    flat.insert(flat.end(), shard.setting_indices.begin(),
+                shard.setting_indices.end());
+  }
+  return flat;
+}
+
+// Every index in [0, n) appears exactly once across the shards.
+void ExpectPartition(const SweepPlan& plan, size_t n) {
+  std::vector<size_t> flat = FlatIndices(plan);
+  ASSERT_EQ(flat.size(), n);
+  std::sort(flat.begin(), flat.end());
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(flat[i], i);
+}
+
+SweepSpec Spec(std::vector<ParamSetting> settings, ReuseLevel reuse) {
+  SweepSpec sweep;
+  sweep.settings = std::move(settings);
+  sweep.reuse = reuse;
+  return sweep;
+}
+
+TEST(SweepPlanTest, IndependentLevelsGetOneShardPerSetting) {
+  const std::vector<ParamSetting> settings = {{3, 3}, {5, 4}, {3, 5}, {5, 3}};
+  for (const ReuseLevel level :
+       {ReuseLevel::kNone, ReuseLevel::kCache, ReuseLevel::kGreedy}) {
+    const SweepPlan plan = SweepPlan::Build(Spec(settings, level));
+    ASSERT_EQ(plan.shards.size(), settings.size());
+    for (size_t i = 0; i < settings.size(); ++i) {
+      ASSERT_EQ(plan.shards[i].setting_indices.size(), 1u);
+      EXPECT_EQ(plan.shards[i].setting_indices[0], i);
+    }
+    EXPECT_EQ(plan.k_max, 5);
+  }
+}
+
+TEST(SweepPlanTest, WarmStartGroupsPerKInInputOrder) {
+  // k values 4, 6, 4, 5, 6, 4 -> three shards keyed 4, 6, 5 (order of
+  // first appearance), each holding its k's indices in input order.
+  const SweepPlan plan = SweepPlan::Build(
+      Spec({{4, 3}, {6, 3}, {4, 4}, {5, 3}, {6, 4}, {4, 5}},
+           ReuseLevel::kWarmStart));
+  ASSERT_EQ(plan.shards.size(), 3u);
+  EXPECT_EQ(plan.shards[0].setting_indices,
+            (std::vector<size_t>{0, 2, 5}));  // k=4
+  EXPECT_EQ(plan.shards[1].setting_indices,
+            (std::vector<size_t>{1, 4}));  // k=6
+  EXPECT_EQ(plan.shards[2].setting_indices,
+            (std::vector<size_t>{3}));  // k=5
+  EXPECT_EQ(plan.k_max, 6);
+  ExpectPartition(plan, 6);
+}
+
+TEST(SweepPlanTest, SingleSettingSweepIsOneShardAtEveryLevel) {
+  for (const ReuseLevel level :
+       {ReuseLevel::kNone, ReuseLevel::kCache, ReuseLevel::kGreedy,
+        ReuseLevel::kWarmStart}) {
+    const SweepPlan plan = SweepPlan::Build(Spec({{7, 4}}, level));
+    ASSERT_EQ(plan.shards.size(), 1u);
+    EXPECT_EQ(plan.shards[0].setting_indices, (std::vector<size_t>{0}));
+    EXPECT_EQ(plan.k_max, 7);
+  }
+}
+
+TEST(SweepPlanTest, DefaultGridFeedsThePlannerCleanly) {
+  ProclusParams base;
+  base.k = 10;
+  base.l = 5;
+  const SweepSpec sweep =
+      SweepSpec::Grid(base, /*dims=*/15, ReuseLevel::kWarmStart);
+  EXPECT_EQ(sweep.settings.size(), 9u);
+  const SweepPlan plan = SweepPlan::Build(sweep);
+  // The default grid varies 3 k values x 3 l values: 3 warm-start chains
+  // of 3 settings.
+  ASSERT_EQ(plan.shards.size(), 3u);
+  for (const SweepShard& shard : plan.shards) {
+    EXPECT_EQ(shard.setting_indices.size(), 3u);
+    // Chains stay sorted by input index (the serial execution order).
+    EXPECT_TRUE(std::is_sorted(shard.setting_indices.begin(),
+                               shard.setting_indices.end()));
+  }
+  ExpectPartition(plan, sweep.settings.size());
+  EXPECT_EQ(plan.k_max, 12);  // k grid is {8, 10, 12}
+}
+
+TEST(SweepPlanTest, ClampCollapsedGridStillPartitionsCleanly) {
+  // k <= 2 and l == 2 clamp the grid's neighbors onto each other; the grid
+  // drops the duplicates (3 distinct k x 2 distinct l = 6 settings), and
+  // the planner must partition whatever survives.
+  ProclusParams base;
+  base.k = 2;
+  base.l = 2;
+  const SweepSpec sweep =
+      SweepSpec::Grid(base, /*dims=*/10, ReuseLevel::kWarmStart);
+  EXPECT_EQ(sweep.settings.size(), 6u);
+  const SweepPlan plan = SweepPlan::Build(sweep);
+  ASSERT_EQ(plan.shards.size(), 3u);  // distinct k: {1, 2, 4}
+  for (const SweepShard& shard : plan.shards) {
+    EXPECT_EQ(shard.setting_indices.size(), 2u);
+  }
+  ExpectPartition(plan, sweep.settings.size());
+  EXPECT_EQ(plan.k_max, 4);
+}
+
+TEST(SweepPlanTest, EmptySpecYieldsEmptyPlan) {
+  const SweepPlan plan = SweepPlan::Build(SweepSpec{});
+  EXPECT_TRUE(plan.shards.empty());
+  EXPECT_EQ(plan.k_max, 0);
+}
+
+}  // namespace
+}  // namespace proclus::core

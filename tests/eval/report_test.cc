@@ -7,6 +7,7 @@
 #include "core/api.h"
 #include "data/generator.h"
 #include "data/normalize.h"
+#include "testing/must_cluster.h"
 
 namespace proclus::eval {
 namespace {
@@ -32,7 +33,7 @@ Fixture MakeFixture() {
   params.l = 3;
   params.a = 20.0;
   params.b = 5.0;
-  f.result = core::ClusterOrDie(f.ds.points, params);
+  f.result = MustCluster(f.ds.points, params);
   return f;
 }
 

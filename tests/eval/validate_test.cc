@@ -7,6 +7,7 @@
 #include "core/api.h"
 #include "data/generator.h"
 #include "data/normalize.h"
+#include "testing/must_cluster.h"
 
 namespace proclus::eval {
 namespace {
@@ -35,7 +36,7 @@ Fixture MakeValidFixture() {
   f.params.l = 3;
   f.params.a = 20.0;
   f.params.b = 5.0;
-  f.result = core::ClusterOrDie(f.ds.points, f.params);
+  f.result = MustCluster(f.ds.points, f.params);
   return f;
 }
 

@@ -109,8 +109,8 @@ TEST(LoopbackTest, GpuSweepBitIdenticalToInProcess) {
   spec.kind = service::JobKind::kSweep;
   spec.dataset_id = "d";
   spec.params = TestParams();
-  spec.settings = settings;
-  spec.reuse = core::ReuseLevel::kWarmStart;
+  spec.sweep.settings = settings;
+  spec.sweep.reuse = core::ReuseLevel::kWarmStart;
   spec.options = core::ClusterOptions::Gpu();
   service::JobHandle handle;
   ASSERT_TRUE(loop.service->Submit(std::move(spec), &handle).ok());
@@ -122,8 +122,8 @@ TEST(LoopbackTest, GpuSweepBitIdenticalToInProcess) {
   request.type = RequestType::kSubmitSweep;
   request.dataset_id = "d";
   request.params = TestParams();
-  request.settings = settings;
-  request.reuse = core::ReuseLevel::kWarmStart;
+  request.sweep.settings = settings;
+  request.sweep.reuse = core::ReuseLevel::kWarmStart;
   request.options = core::ClusterOptions::Gpu();
   WireJobResult wire;
   const Status submitted = loop.client.SubmitSweep(request, &wire);
@@ -134,6 +134,10 @@ TEST(LoopbackTest, GpuSweepBitIdenticalToInProcess) {
   }
   EXPECT_EQ(wire.setting_seconds.size(), settings.size());
   EXPECT_GE(wire.exec_seconds, 0.0);
+  // A gpu sweep runs through the sweep scheduler; the lane count it used
+  // crosses the wire (>= 1) and matches the in-process submission's.
+  EXPECT_GE(wire.sweep_shards, 1);
+  EXPECT_EQ(wire.sweep_shards, direct.sweep_shards);
 }
 
 TEST(LoopbackTest, ServerSideGenerateMatchesLocalGenerator) {
@@ -198,9 +202,9 @@ TEST(LoopbackTest, DeadlineExceededCrossesTheWire) {
   blocker.kind = service::JobKind::kSweep;
   blocker.dataset_id = "d";
   blocker.params = TestParams();
-  blocker.settings = {{3, 3}, {4, 4}, {5, 4}, {4, 3}, {5, 5},
-                      {3, 4}, {4, 5}, {5, 3}, {3, 5}, {4, 4}};
-  blocker.reuse = core::ReuseLevel::kNone;
+  blocker.sweep.settings = {{3, 3}, {4, 4}, {5, 4}, {4, 3}, {5, 5},
+                            {3, 4}, {4, 5}, {5, 3}, {3, 5}, {4, 4}};
+  blocker.sweep.reuse = core::ReuseLevel::kNone;
   blocker.options = core::ClusterOptions::Cpu(core::Strategy::kBaseline);
   service::JobHandle blocker_handle;
   ASSERT_TRUE(loop.service->Submit(std::move(blocker), &blocker_handle).ok());
@@ -297,8 +301,8 @@ TEST(LoopbackTest, AsyncStatusAndCancelLifecycle) {
   blocker.type = RequestType::kSubmitSweep;
   blocker.dataset_id = "d";
   blocker.params = TestParams();
-  blocker.settings = {{3, 3}, {4, 4}, {5, 4}};
-  blocker.reuse = core::ReuseLevel::kNone;
+  blocker.sweep.settings = {{3, 3}, {4, 4}, {5, 4}};
+  blocker.sweep.reuse = core::ReuseLevel::kNone;
   blocker.options = core::ClusterOptions::Cpu(core::Strategy::kBaseline);
   blocker.wait = false;
   uint64_t blocker_id = 0;
@@ -434,8 +438,8 @@ TEST(LoopbackTest, StopDrainsInFlightWaitJobs) {
   request.type = RequestType::kSubmitSweep;
   request.dataset_id = "d";
   request.params = TestParams();
-  request.settings = {{3, 3}, {4, 4}, {5, 4}};
-  request.reuse = core::ReuseLevel::kNone;
+  request.sweep.settings = {{3, 3}, {4, 4}, {5, 4}};
+  request.sweep.reuse = core::ReuseLevel::kNone;
   request.options = core::ClusterOptions::Cpu(core::Strategy::kBaseline);
 
   Status submit_status;

@@ -92,20 +92,41 @@ TEST(RequestCodecTest, SubmitSingleRoundTrips) {
   EXPECT_FALSE(decoded.wait);
 }
 
-TEST(RequestCodecTest, SubmitSweepRoundTripsSettingsAndReuse) {
+TEST(RequestCodecTest, SubmitSweepRoundTripsTheSweepSpec) {
   Request request;
   request.type = RequestType::kSubmitSweep;
   request.dataset_id = "sweep-data";
-  request.settings = {{4, 3}, {5, 4}, {6, 5}};
-  request.reuse = core::ReuseLevel::kGreedy;
+  request.sweep.settings = {{4, 3}, {5, 4}, {6, 5}};
+  request.sweep.reuse = core::ReuseLevel::kGreedy;
+  request.sweep.max_shards = 3;
 
   const Request decoded = RoundTrip(request);
   EXPECT_EQ(decoded.type, RequestType::kSubmitSweep);
-  ASSERT_EQ(decoded.settings.size(), 3u);
-  EXPECT_EQ(decoded.settings[1].k, 5);
-  EXPECT_EQ(decoded.settings[1].l, 4);
-  EXPECT_EQ(decoded.reuse, core::ReuseLevel::kGreedy);
+  ASSERT_EQ(decoded.sweep.settings.size(), 3u);
+  EXPECT_EQ(decoded.sweep.settings[1].k, 5);
+  EXPECT_EQ(decoded.sweep.settings[1].l, 4);
+  EXPECT_EQ(decoded.sweep.reuse, core::ReuseLevel::kGreedy);
+  EXPECT_EQ(decoded.sweep.max_shards, 3);
   EXPECT_TRUE(decoded.wait);
+}
+
+TEST(RequestCodecTest, SweepMaxShardsDefaultsToAutoAndRejectsNegatives) {
+  // An omitted "max_shards" decodes to 0 (auto)...
+  Request request;
+  request.type = RequestType::kSubmitSweep;
+  request.dataset_id = "sweep-data";
+  request.sweep.settings = {{4, 3}};
+  const Request decoded = RoundTrip(request);
+  EXPECT_EQ(decoded.sweep.max_shards, 0);
+
+  // ...and a negative one is a malformed request.
+  Request out;
+  EXPECT_EQ(DecodeRequest(R"({"type":"submit_sweep","dataset_id":"x",
+                              "settings":[{"k":4,"l":3}],
+                              "max_shards":-1})",
+                          &out)
+                .code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(RequestCodecTest, RegisterInlineDataRoundTripsBitIdentical) {

@@ -80,10 +80,10 @@ Request HeavyRequest() {
   request.params.a = 40.0;
   request.params.b = 10.0;
   for (int k = 4; k < 14; ++k) {
-    request.settings.push_back({k, 4});
-    request.settings.push_back({k, 5});
+    request.sweep.settings.push_back({k, 4});
+    request.sweep.settings.push_back({k, 5});
   }
-  request.reuse = core::ReuseLevel::kNone;
+  request.sweep.reuse = core::ReuseLevel::kNone;
   request.options = core::ClusterOptions::Cpu(core::Strategy::kBaseline);
   return request;
 }

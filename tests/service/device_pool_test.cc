@@ -99,6 +99,111 @@ TEST(DevicePoolTest, ShutdownUnwedgesEveryWaiter) {
   pool.Release(lease.device);
 }
 
+TEST(DevicePoolTest, AcquireManyTakesEveryIdleDeviceUpToMax) {
+  DevicePool pool = MakePool(3);
+  std::vector<DevicePool::Lease> leases;
+  ASSERT_TRUE(pool.AcquireMany(1, 8, nullptr, &leases).ok());
+  // Opportunistic: all three idle devices, even though one would satisfy it.
+  ASSERT_EQ(leases.size(), 3u);
+  for (const DevicePool::Lease& lease : leases) {
+    ASSERT_NE(lease.device, nullptr);
+    pool.Release(lease.device);
+  }
+
+  // With one device already out, only the remaining two are taken.
+  DevicePool::Lease single;
+  ASSERT_TRUE(pool.AcquireFor(nullptr, &single).ok());
+  ASSERT_TRUE(pool.AcquireMany(1, 8, nullptr, &leases).ok());
+  EXPECT_EQ(leases.size(), 2u);
+  for (const DevicePool::Lease& lease : leases) pool.Release(lease.device);
+  pool.Release(single.device);
+}
+
+TEST(DevicePoolTest, AcquireManyRejectsImpossibleCounts) {
+  DevicePool pool = MakePool(2);
+  std::vector<DevicePool::Lease> leases;
+  EXPECT_EQ(pool.AcquireMany(0, 1, nullptr, &leases).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(pool.AcquireMany(2, 1, nullptr, &leases).code(),
+            StatusCode::kInvalidArgument);
+  // min_count above capacity could never be satisfied: fail fast instead
+  // of waiting forever.
+  EXPECT_EQ(pool.AcquireMany(3, 3, nullptr, &leases).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(leases.empty());
+}
+
+TEST(DevicePoolTest, ConcurrentMultiAcquirersCannotDeadlock) {
+  // Regression for the hold-and-wait failure mode: two callers each
+  // needing both devices of a capacity-2 pool. Incremental acquisition
+  // (one AcquireFor at a time) deadlocks as soon as each holds one;
+  // all-or-nothing AcquireMany must let them alternate instead.
+  DevicePool pool = MakePool(2);
+  constexpr int kRounds = 25;
+  Status statuses[2];
+  std::vector<std::thread> acquirers;
+  for (int t = 0; t < 2; ++t) {
+    acquirers.emplace_back([&pool, &statuses, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<DevicePool::Lease> leases;
+        const Status status = pool.AcquireMany(2, 2, nullptr, &leases);
+        if (!status.ok()) {
+          statuses[t] = status;
+          return;
+        }
+        EXPECT_EQ(leases.size(), 2u);
+        for (const DevicePool::Lease& lease : leases) {
+          pool.Release(lease.device);
+        }
+      }
+    });
+  }
+  for (std::thread& acquirer : acquirers) acquirer.join();
+  EXPECT_TRUE(statuses[0].ok()) << statuses[0].ToString();
+  EXPECT_TRUE(statuses[1].ok()) << statuses[1].ToString();
+  EXPECT_EQ(pool.acquires(), 2 * 2 * kRounds);
+}
+
+TEST(DevicePoolTest, MultiWaiterWakesOnEnoughReleases) {
+  DevicePool pool = MakePool(2);
+  DevicePool::Lease a;
+  DevicePool::Lease b;
+  ASSERT_TRUE(pool.AcquireFor(nullptr, &a).ok());
+  ASSERT_TRUE(pool.AcquireFor(nullptr, &b).ok());
+
+  Status waiter_status;
+  std::vector<DevicePool::Lease> waited;
+  std::thread waiter([&] {
+    waiter_status = pool.AcquireMany(2, 2, nullptr, &waited);
+  });
+  // Releasing one device is not enough for min_count=2...
+  pool.Release(a.device);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // ...the second release completes the wait.
+  pool.Release(b.device);
+  waiter.join();
+  ASSERT_TRUE(waiter_status.ok()) << waiter_status.ToString();
+  ASSERT_EQ(waited.size(), 2u);
+  for (const DevicePool::Lease& lease : waited) pool.Release(lease.device);
+}
+
+TEST(DevicePoolTest, ShutdownUnwedgesMultiAcquirer) {
+  DevicePool pool = MakePool(2);
+  DevicePool::Lease lease;
+  ASSERT_TRUE(pool.AcquireFor(nullptr, &lease).ok());
+
+  Status waiter_status;
+  std::thread waiter([&] {
+    std::vector<DevicePool::Lease> leases;
+    waiter_status = pool.AcquireMany(2, 2, nullptr, &leases);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  pool.Shutdown();
+  waiter.join();
+  EXPECT_EQ(waiter_status.code(), StatusCode::kFailedPrecondition);
+  pool.Release(lease.device);
+}
+
 TEST(DevicePoolTest, CancelledTokenFailsBeforeLeasing) {
   DevicePool pool = MakePool(1);
   parallel::CancellationToken token;

@@ -54,8 +54,8 @@ void ExpectSameClustering(const core::ProclusResult& a,
 TEST(ServiceStressTest, ConcurrentMixedJobsMatchSequentialRuns) {
   const std::vector<data::Dataset> datasets = {MakeData(1), MakeData(2),
                                                MakeData(3)};
-  const std::vector<core::ParamSetting> sweep_settings = {{3, 3}, {4, 4},
-                                                          {4, 5}};
+  core::SweepSpec sweep_spec;
+  sweep_spec.settings = {{3, 3}, {4, 4}, {4, 5}};
 
   struct Case {
     int dataset;
@@ -85,7 +85,7 @@ TEST(ServiceStressTest, ConcurrentMixedJobsMatchSequentialRuns) {
       core::MultiParamOptions mp;
       mp.cluster = c.options;
       core::MultiParamResult out;
-      ASSERT_TRUE(core::RunMultiParam(data, MakeParams(c.seed), sweep_settings,
+      ASSERT_TRUE(core::RunMultiParam(data, MakeParams(c.seed), sweep_spec,
                                       mp, &out)
                       .ok());
       expected.push_back(std::move(out.results));
@@ -108,7 +108,7 @@ TEST(ServiceStressTest, ConcurrentMixedJobsMatchSequentialRuns) {
     const Case& c = cases[i];
     const data::Matrix& data = datasets[c.dataset].points;
     JobSpec spec =
-        c.sweep ? JobSpec::Sweep(data, MakeParams(c.seed), sweep_settings,
+        c.sweep ? JobSpec::Sweep(data, MakeParams(c.seed), sweep_spec,
                                  c.options)
                 : JobSpec::Single(data, MakeParams(c.seed), c.options);
     spec.priority =

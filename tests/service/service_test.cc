@@ -47,10 +47,12 @@ void ExpectSameClustering(const core::ProclusResult& a,
 // A job heavy enough that submit/cancel bookkeeping wins any race against
 // its completion: a multi-setting sweep with no reuse on a larger dataset.
 JobSpec HeavyJob(const data::Matrix& data) {
-  JobSpec spec = JobSpec::Sweep(
-      data, TestParams(), {{3, 3}, {4, 4}, {5, 4}, {4, 5}, {5, 5}, {3, 4}},
-      core::ClusterOptions::Cpu(core::Strategy::kBaseline),
-      core::ReuseLevel::kNone);
+  core::SweepSpec sweep;
+  sweep.settings = {{3, 3}, {4, 4}, {5, 4}, {4, 5}, {5, 5}, {3, 4}};
+  sweep.reuse = core::ReuseLevel::kNone;
+  JobSpec spec =
+      JobSpec::Sweep(data, TestParams(), sweep,
+                     core::ClusterOptions::Cpu(core::Strategy::kBaseline));
   return spec;
 }
 
@@ -169,19 +171,21 @@ TEST(ServiceTest, SweepMatchesRunMultiParam) {
   const data::Dataset ds = TestData();
   const std::vector<core::ParamSetting> settings = {{3, 3}, {4, 4}, {4, 5}};
   const core::ClusterOptions options = core::ClusterOptions::Cpu();
+  core::SweepSpec sweep;
+  sweep.settings = settings;
+  sweep.reuse = core::ReuseLevel::kWarmStart;
 
   core::MultiParamOptions mp;
   mp.cluster = options;
-  mp.reuse = core::ReuseLevel::kWarmStart;
   core::MultiParamResult direct;
   ASSERT_TRUE(
-      core::RunMultiParam(ds.points, TestParams(), settings, mp, &direct).ok());
+      core::RunMultiParam(ds.points, TestParams(), sweep, mp, &direct).ok());
 
   ProclusService service;
   JobHandle handle;
   ASSERT_TRUE(service
-                  .Submit(JobSpec::Sweep(ds.points, TestParams(), settings,
-                                         options, core::ReuseLevel::kWarmStart),
+                  .Submit(JobSpec::Sweep(ds.points, TestParams(), sweep,
+                                         options),
                           &handle)
                   .ok());
   const JobResult& result = handle.Wait();

@@ -1,0 +1,224 @@
+// The sweep scheduler's headline contract: sharding a sweep across the
+// device pool is bit-identical to the serial core::RunMultiParam at every
+// reuse level — same assignments, medoids, dimensions and costs for the
+// same seed — because per-setting seeds depend only on the input index,
+// the shared artifacts only on base.seed and the largest k, and
+// warm-start chains never cross a shard boundary.
+
+#include "service/sweep_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "core/multi_param.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+#include "parallel/cancellation.h"
+#include "simt/device_properties.h"
+
+namespace proclus::service {
+namespace {
+
+data::Dataset TestData() {
+  data::GeneratorConfig config;
+  config.n = 1000;
+  config.d = 10;
+  config.num_clusters = 5;
+  config.subspace_dim = 5;
+  config.stddev = 2.0;
+  config.seed = 29;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  return ds;
+}
+
+core::ProclusParams BaseParams() {
+  core::ProclusParams p;
+  p.k = 5;
+  p.l = 4;
+  p.a = 20.0;
+  p.b = 4.0;
+  return p;
+}
+
+DevicePool MakePool(int capacity) {
+  return DevicePool(capacity, simt::DeviceProperties::Gtx1660Ti(),
+                    /*prewarm=*/false);
+}
+
+void ExpectSameClustering(const core::ProclusResult& a,
+                          const core::ProclusResult& b, const char* what,
+                          size_t setting) {
+  EXPECT_EQ(a.medoids, b.medoids) << what << " setting " << setting;
+  EXPECT_EQ(a.dimensions, b.dimensions) << what << " setting " << setting;
+  EXPECT_EQ(a.assignment, b.assignment) << what << " setting " << setting;
+  EXPECT_EQ(a.iterative_cost, b.iterative_cost)
+      << what << " setting " << setting;
+  EXPECT_EQ(a.refined_cost, b.refined_cost) << what << " setting " << setting;
+}
+
+TEST(SweepSchedulerTest, ShardedSweepBitIdenticalToSerialAtEveryLevel) {
+  const data::Dataset ds = TestData();
+  // The §5.3 exploration workload: the default 9-combination (k,l) grid.
+  for (const core::ReuseLevel level :
+       {core::ReuseLevel::kNone, core::ReuseLevel::kCache,
+        core::ReuseLevel::kGreedy, core::ReuseLevel::kWarmStart}) {
+    const core::SweepSpec sweep =
+        core::SweepSpec::Grid(BaseParams(), ds.points.cols(), level);
+
+    core::MultiParamOptions mp;
+    mp.cluster = core::ClusterOptions::Gpu();
+    core::MultiParamResult serial;
+    ASSERT_TRUE(
+        core::RunMultiParam(ds.points, BaseParams(), sweep, mp, &serial)
+            .ok())
+        << core::ReuseLevelName(level);
+
+    DevicePool pool = MakePool(3);
+    SweepScheduler scheduler(&pool);
+    SweepScheduler::Outcome outcome;
+    const Status status =
+        scheduler.Run(ds.points, BaseParams(), sweep,
+                      core::ClusterOptions::Gpu(), &outcome);
+    ASSERT_TRUE(status.ok())
+        << core::ReuseLevelName(level) << ": " << status.ToString();
+
+    EXPECT_GE(outcome.shards_used, 2) << core::ReuseLevelName(level);
+    EXPECT_LE(outcome.shards_used, 3) << core::ReuseLevelName(level);
+    ASSERT_EQ(outcome.result.results.size(), sweep.settings.size());
+    ASSERT_EQ(outcome.result.setting_seconds.size(), sweep.settings.size());
+    for (size_t i = 0; i < sweep.settings.size(); ++i) {
+      ExpectSameClustering(serial.results[i], outcome.result.results[i],
+                           core::ReuseLevelName(level), i);
+    }
+    EXPECT_GT(outcome.result.total_seconds, 0.0);
+    EXPECT_GT(outcome.modeled_gpu_seconds, 0.0);
+  }
+}
+
+TEST(SweepSchedulerTest, MaxShardsOneRunsSerialOnOneLease) {
+  const data::Dataset ds = TestData();
+  core::SweepSpec sweep = core::SweepSpec::Grid(
+      BaseParams(), ds.points.cols(), core::ReuseLevel::kGreedy);
+  sweep.max_shards = 1;
+
+  core::MultiParamOptions mp;
+  mp.cluster = core::ClusterOptions::Gpu();
+  core::MultiParamResult serial;
+  ASSERT_TRUE(
+      core::RunMultiParam(ds.points, BaseParams(), sweep, mp, &serial).ok());
+
+  DevicePool pool = MakePool(4);
+  SweepScheduler scheduler(&pool);
+  SweepScheduler::Outcome outcome;
+  ASSERT_TRUE(scheduler
+                  .Run(ds.points, BaseParams(), sweep,
+                       core::ClusterOptions::Gpu(), &outcome)
+                  .ok());
+  EXPECT_EQ(outcome.shards_used, 1);
+  EXPECT_EQ(pool.acquires(), 1);
+  for (size_t i = 0; i < sweep.settings.size(); ++i) {
+    ExpectSameClustering(serial.results[i], outcome.result.results[i],
+                         "max_shards=1", i);
+  }
+}
+
+TEST(SweepSchedulerTest, SingleSettingSweepUsesOneLane) {
+  const data::Dataset ds = TestData();
+  core::SweepSpec sweep;
+  sweep.settings = {{4, 4}};
+  sweep.reuse = core::ReuseLevel::kWarmStart;
+
+  DevicePool pool = MakePool(4);
+  SweepScheduler scheduler(&pool);
+  SweepScheduler::Outcome outcome;
+  ASSERT_TRUE(scheduler
+                  .Run(ds.points, BaseParams(), sweep,
+                       core::ClusterOptions::Gpu(), &outcome)
+                  .ok());
+  // One shard -> one lane, no matter how many devices are idle.
+  EXPECT_EQ(outcome.shards_used, 1);
+  ASSERT_EQ(outcome.result.results.size(), 1u);
+  EXPECT_FALSE(outcome.result.results[0].assignment.empty());
+}
+
+TEST(SweepSchedulerTest, RejectsNonGpuOptionsAndPresetDevices) {
+  const data::Dataset ds = TestData();
+  core::SweepSpec sweep;
+  sweep.settings = {{4, 4}};
+  DevicePool pool = MakePool(1);
+  SweepScheduler scheduler(&pool);
+  SweepScheduler::Outcome outcome;
+
+  EXPECT_EQ(scheduler
+                .Run(ds.points, BaseParams(), sweep,
+                     core::ClusterOptions::Cpu(), &outcome)
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  simt::Device own_device(simt::DeviceProperties::Gtx1660Ti());
+  core::ClusterOptions preset = core::ClusterOptions::Gpu();
+  preset.device = &own_device;
+  EXPECT_EQ(scheduler.Run(ds.points, BaseParams(), sweep, preset, &outcome)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SweepSchedulerTest, ExpiredDeadlineAbortsEveryShardAndClearsOutput) {
+  const data::Dataset ds = TestData();
+  const core::SweepSpec sweep = core::SweepSpec::Grid(
+      BaseParams(), ds.points.cols(), core::ReuseLevel::kGreedy);
+
+  parallel::CancellationToken cancel;
+  cancel.SetTimeout(1e-9);  // already expired at the first check
+  core::ClusterOptions options = core::ClusterOptions::Gpu();
+  options.cancel = &cancel;
+
+  DevicePool pool = MakePool(3);
+  SweepScheduler scheduler(&pool);
+  SweepScheduler::Outcome outcome;
+  outcome.result.total_seconds = 42.0;  // sentinel
+  const Status status =
+      scheduler.Run(ds.points, BaseParams(), sweep, options, &outcome);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(outcome.result.results.empty());
+  EXPECT_TRUE(outcome.result.setting_seconds.empty());
+  EXPECT_EQ(outcome.result.total_seconds, 0.0);
+}
+
+TEST(SweepSchedulerTest, ReleasesEveryLeaseOnSuccessAndFailure) {
+  const data::Dataset ds = TestData();
+  DevicePool pool = MakePool(2);
+  SweepScheduler scheduler(&pool);
+
+  core::SweepSpec sweep = core::SweepSpec::Grid(
+      BaseParams(), ds.points.cols(), core::ReuseLevel::kCache);
+  SweepScheduler::Outcome outcome;
+  ASSERT_TRUE(scheduler
+                  .Run(ds.points, BaseParams(), sweep,
+                       core::ClusterOptions::Gpu(), &outcome)
+                  .ok());
+
+  parallel::CancellationToken cancel;
+  cancel.SetTimeout(1e-9);
+  core::ClusterOptions cancelled = core::ClusterOptions::Gpu();
+  cancelled.cancel = &cancel;
+  ASSERT_FALSE(scheduler
+                   .Run(ds.points, BaseParams(), sweep, cancelled, &outcome)
+                   .ok());
+
+  // Every device must be back in the pool: both single acquires succeed
+  // immediately. The generous deadline only unwedges the test (with a
+  // failure) if the scheduler leaked a lease.
+  parallel::CancellationToken guard;
+  guard.SetTimeout(30.0);
+  DevicePool::Lease a;
+  DevicePool::Lease b;
+  EXPECT_TRUE(pool.AcquireFor(&guard, &a).ok());
+  EXPECT_TRUE(pool.AcquireFor(&guard, &b).ok());
+  pool.Release(a.device);
+  pool.Release(b.device);
+}
+
+}  // namespace
+}  // namespace proclus::service

@@ -303,11 +303,13 @@ TEST(SimtcheckCleanRunTest, MultiParamSweepRunsCleanUnderTheChecker) {
   mp.cluster.backend = core::ComputeBackend::kGpu;
   mp.cluster.strategy = core::Strategy::kFast;
   mp.cluster.gpu_sanitize = true;
-  mp.reuse = core::ReuseLevel::kWarmStart;
-  const std::vector<core::ParamSetting> settings = {{3, 3}, {4, 3}, {4, 4}};
+  core::SweepSpec sweep;
+  sweep.settings = {{3, 3}, {4, 3}, {4, 4}};
+  sweep.reuse = core::ReuseLevel::kWarmStart;
+  const std::vector<core::ParamSetting>& settings = sweep.settings;
   core::MultiParamResult output;
   const Status status =
-      core::RunMultiParam(ds.points, TestParams(), settings, mp, &output);
+      core::RunMultiParam(ds.points, TestParams(), sweep, mp, &output);
   ASSERT_TRUE(status.ok()) << status.ToString();
   ASSERT_EQ(output.results.size(), settings.size());
   EXPECT_EQ(output.results.back().stats.sanitizer_findings, 0);

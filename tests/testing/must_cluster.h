@@ -1,0 +1,31 @@
+#ifndef PROCLUS_TESTS_TESTING_MUST_CLUSTER_H_
+#define PROCLUS_TESTS_TESTING_MUST_CLUSTER_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/api.h"
+
+namespace proclus {
+
+// Test-only convenience: runs Cluster() and aborts with the Status message
+// on failure, so fixtures that only care about the clustering don't thread
+// Status plumbing through every call site. Library code handles the Status
+// from core::Cluster() directly — the old core::ClusterOrDie entry point
+// was removed from the public API.
+inline core::ProclusResult MustCluster(const data::Matrix& data,
+                                       const core::ProclusParams& params,
+                                       const core::ClusterOptions& options =
+                                           {}) {
+  core::ProclusResult result;
+  const Status st = core::Cluster(data, params, options, &result);
+  if (!st.ok()) {
+    std::fprintf(stderr, "Cluster: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return result;
+}
+
+}  // namespace proclus
+
+#endif  // PROCLUS_TESTS_TESTING_MUST_CLUSTER_H_

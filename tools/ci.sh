@@ -6,9 +6,11 @@
 # ThreadSanitizer pass over the concurrency-sensitive suites (same regex as
 # check.sh, now including the obs tracing/metrics tests and the net/ serving
 # suites), a trace smoke that runs the CLI with --trace-out and validates
-# the emitted Chrome trace JSON parses, and a server smoke that starts
-# `proclus_cli serve` on a loopback port, runs `proclus_loadgen` against it,
-# and asserts zero failed jobs plus a clean drain on SIGTERM.
+# the emitted Chrome trace JSON parses, and two server smokes that start
+# `proclus_cli serve` on a loopback port, run `proclus_loadgen` against it,
+# and assert zero failed jobs plus a clean drain on SIGTERM — the second one
+# drives all-sweep GPU traffic at a 2-device pool and asserts the sweeps
+# actually sharded (service.sweep_shards_total non-zero).
 #
 #   tools/ci.sh [--skip-tsan] [--skip-smoke] [--skip-lint]
 set -euo pipefail
@@ -55,7 +57,7 @@ else
   cmake --build build-tsan -j
   echo "== TSAN: parallel / simt / obs / service / net suites =="
   (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-      -R 'thread_pool_test|cancellation_test|device_test|atomic_test|stream_test|primitives_test|obs_trace_test|obs_metrics_test|service_test|service_stress_test|device_pool_test|net_loopback_test|net_server_stress_test')
+      -R 'thread_pool_test|cancellation_test|device_test|atomic_test|stream_test|primitives_test|obs_trace_test|obs_metrics_test|service_test|service_stress_test|device_pool_test|sweep_scheduler_test|net_loopback_test|net_server_stress_test')
 fi
 
 if [[ "$SKIP_SMOKE" == 1 ]]; then
@@ -85,48 +87,80 @@ for e in kernels:
 print(f"trace smoke OK: {len(events)} events, {len(kernels)} kernel launches")
 EOF
 
+  # The server prints "serving on HOST:PORT" once the listener is bound;
+  # --port 0 means the port is ephemeral, so scrape it from the log.
+  # Usage: wait_for_port LOGFILE PID -> sets SERVE_PORT (empty on failure).
+  wait_for_port() {
+    SERVE_PORT=""
+    for _ in $(seq 1 100); do
+      SERVE_PORT="$(sed -n 's/^serving on [^:]*:\([0-9]*\)$/\1/p' "$1")"
+      [[ -n "$SERVE_PORT" ]] && return 0
+      if ! kill -0 "$2" 2>/dev/null; then
+        echo "server smoke FAILED: server exited before binding" >&2
+        cat "$1" >&2
+        exit 1
+      fi
+      sleep 0.1
+    done
+    echo "server smoke FAILED: no 'serving on' line within 10s" >&2
+    cat "$1" >&2
+    kill "$2" 2>/dev/null || true
+    exit 1
+  }
+
+  # Usage: stop_and_check_drain LOGFILE PID — SIGTERM, clean-exit + drain
+  # accounting with zero failed jobs.
+  stop_and_check_drain() {
+    kill -TERM "$2"
+    local status=0
+    wait "$2" || status=$?
+    if [[ "$status" != 0 ]]; then
+      echo "server smoke FAILED: serve exited with status $status" >&2
+      cat "$1" >&2
+      exit 1
+    fi
+    grep -q "stop requested; draining" "$1"
+    grep -Eq "drained: [0-9]+ submitted, [0-9]+ completed, 0 failed" "$1"
+    echo "server smoke OK: $(grep '^drained:' "$1")"
+  }
+
   echo "== server smoke: proclus_cli serve + proclus_loadgen + SIGTERM =="
   SERVE_LOG="$TRACE_DIR/serve.log"
   ./build/tools/proclus_cli serve --port 0 --generate 2000,10,4 \
       --dataset-id smoke --queue-capacity 16 >"$SERVE_LOG" 2>&1 &
   SERVE_PID=$!
-  # The server prints "serving on HOST:PORT" once the listener is bound;
-  # --port 0 means the port is ephemeral, so scrape it from the log.
-  SERVE_PORT=""
-  for _ in $(seq 1 100); do
-    SERVE_PORT="$(sed -n 's/^serving on [^:]*:\([0-9]*\)$/\1/p' "$SERVE_LOG")"
-    [[ -n "$SERVE_PORT" ]] && break
-    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
-      echo "server smoke FAILED: server exited before binding" >&2
-      cat "$SERVE_LOG" >&2
-      exit 1
-    fi
-    sleep 0.1
-  done
-  if [[ -z "$SERVE_PORT" ]]; then
-    echo "server smoke FAILED: no 'serving on' line within 10s" >&2
-    cat "$SERVE_LOG" >&2
-    kill "$SERVE_PID" 2>/dev/null || true
-    exit 1
-  fi
+  wait_for_port "$SERVE_LOG" "$SERVE_PID"
 
   # Loadgen exits non-zero on any failed job or transport error.
   ./build/tools/proclus_loadgen --port "$SERVE_PORT" --no-register \
       --dataset-id smoke --connections 4 --rps 20 --duration 2 \
       --interactive 0.5 --backend cpu
 
-  kill -TERM "$SERVE_PID"
-  SERVE_STATUS=0
-  wait "$SERVE_PID" || SERVE_STATUS=$?
-  if [[ "$SERVE_STATUS" != 0 ]]; then
-    echo "server smoke FAILED: serve exited with status $SERVE_STATUS" >&2
-    cat "$SERVE_LOG" >&2
+  stop_and_check_drain "$SERVE_LOG" "$SERVE_PID"
+
+  echo "== sharded sweep smoke: GPU sweeps across a 2-device pool =="
+  SWEEP_LOG="$TRACE_DIR/serve_sweep.log"
+  ./build/tools/proclus_cli serve --port 0 --generate 2000,10,4 \
+      --dataset-id smoke --queue-capacity 16 --gpu-devices 2 \
+      >"$SWEEP_LOG" 2>&1 &
+  SERVE_PID=$!
+  wait_for_port "$SWEEP_LOG" "$SERVE_PID"
+
+  # All-sweep GPU traffic with a shard budget of 2; the report must show a
+  # non-zero service.sweep_shards_total (sweeps actually sharded across the
+  # pool, not run serially on one leased device).
+  LOADGEN_LOG="$TRACE_DIR/loadgen_sweep.log"
+  ./build/tools/proclus_loadgen --port "$SERVE_PORT" --no-register \
+      --dataset-id smoke --connections 2 --rps 4 --duration 2 \
+      --sweeps 1 --backend gpu --shards 2 | tee "$LOADGEN_LOG"
+  SWEEP_SHARDS="$(sed -n 's/.*service\.sweep_shards_total=\([0-9]*\).*/\1/p' "$LOADGEN_LOG")"
+  if [[ -z "$SWEEP_SHARDS" || "$SWEEP_SHARDS" -eq 0 ]]; then
+    echo "sharded sweep smoke FAILED: service.sweep_shards_total missing or zero" >&2
     exit 1
   fi
-  # A clean drain reports the final accounting with zero failed jobs.
-  grep -q "stop requested; draining" "$SERVE_LOG"
-  grep -Eq "drained: [0-9]+ submitted, [0-9]+ completed, 0 failed" "$SERVE_LOG"
-  echo "server smoke OK: $(grep '^drained:' "$SERVE_LOG")"
+  echo "sharded sweep smoke OK: service.sweep_shards_total=$SWEEP_SHARDS"
+
+  stop_and_check_drain "$SWEEP_LOG" "$SERVE_PID"
 fi
 
 echo "ci.sh: all green"
