@@ -4,6 +4,7 @@
 #include <chrono>
 #include <csignal>
 #include <fstream>
+#include <optional>
 #include <thread>
 
 #include "common/timer.h"
@@ -15,6 +16,7 @@
 #include "data/normalize.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "net/fault.h"
 #include "net/server.h"
 
 namespace proclus::cli {
@@ -91,6 +93,8 @@ Serve mode (proclus_cli serve ...):
                         backpressure when full (default 256)
   --dataset-id NAME     id for the pre-registered --generate/--input
                         dataset (default "default")
+  --fault-plan FILE     serve with deterministic fault injection per the
+                        JSON plan (docs/serving.md); for chaos testing
 
 Output:
   --output FILE         write per-point cluster ids (-1 = outlier)
@@ -273,6 +277,10 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
     } else if (arg == "--dataset-id") {
       PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &config->serve_dataset_id));
       config->serve_flag_seen = true;
+    } else if (arg == "--fault-plan") {
+      PROCLUS_RETURN_NOT_OK(
+          next_value(&i, arg, &config->serve_fault_plan_path));
+      config->serve_flag_seen = true;
     } else if (arg == "--output") {
       PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &config->output_path));
     } else if (arg == "--trace-out") {
@@ -314,8 +322,8 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
   }
   if (!config->serve && config->serve_flag_seen) {
     return Status::InvalidArgument(
-        "--host/--port/--max-connections/--queue-capacity/--dataset-id "
-        "require serve mode (proclus_cli serve ...)");
+        "--host/--port/--max-connections/--queue-capacity/--dataset-id/"
+        "--fault-plan require serve mode (proclus_cli serve ...)");
   }
   if (config->batch && config->explore) {
     return Status::InvalidArgument("--explore and batch mode are exclusive");
@@ -483,12 +491,25 @@ void HandleServeStopSignal(int /*signum*/) { g_serve_stop_requested = 1; }
 }  // namespace
 
 Status RunServe(const CliConfig& config, std::ostream& out) {
+  // Constructed before (so destroyed after) the service and server that
+  // hold pointers into it.
+  std::optional<net::FaultInjector> fault;
+  if (!config.serve_fault_plan_path.empty()) {
+    net::FaultPlan plan;
+    PROCLUS_RETURN_NOT_OK(
+        net::FaultPlan::FromFile(config.serve_fault_plan_path, &plan));
+    fault.emplace(plan);
+  }
+
   service::ServiceOptions service_options;
   service_options.num_workers = config.batch_workers;
   service_options.gpu_devices = config.batch_gpu_devices;
   service_options.queue_capacity = config.serve_queue_capacity;
   service_options.default_timeout_seconds = config.batch_timeout_ms / 1e3;
   service_options.sanitize_devices |= config.simtcheck;
+  if (fault.has_value()) {
+    service_options.device_fault_hook = fault->DeviceFaultHook();
+  }
   service::ProclusService service(service_options);
 
   if (config.generate || !config.input_path.empty()) {
@@ -518,8 +539,13 @@ Status RunServe(const CliConfig& config, std::ostream& out) {
   server_options.host = config.serve_host;
   server_options.port = config.serve_port;
   server_options.max_connections = config.serve_max_connections;
+  if (fault.has_value()) server_options.fault = &*fault;
   net::ProclusServer server(&service, server_options);
   PROCLUS_RETURN_NOT_OK(server.Start());
+  if (fault.has_value()) {
+    out << "fault injection enabled (seed " << fault->plan().seed << ", plan "
+        << config.serve_fault_plan_path << ")\n";
+  }
   // The smoke stage in tools/ci.sh greps this line for the bound port, so
   // it must come out before the process blocks.
   out << "serving on " << server.host() << ":" << server.port() << "\n"
@@ -543,6 +569,10 @@ Status RunServe(const CliConfig& config, std::ostream& out) {
       << " cancelled, " << stats.timed_out << " timed out, "
       << stats.rejected << " rejected\n"
       << std::flush;
+  if (fault.has_value()) {
+    out << "faults injected: " << fault->injected_total() << "\n"
+        << std::flush;
+  }
   return Status::OK();
 }
 

@@ -62,6 +62,9 @@ struct CliConfig {
   int serve_max_connections = 32;
   int serve_queue_capacity = 256;
   std::string serve_dataset_id = "default";
+  // --fault-plan FILE: serve with deterministic fault injection per the
+  // JSON plan (net/fault.h; docs/serving.md has the format). Empty = off.
+  std::string serve_fault_plan_path;
   // True when any serve-only flag (--host/--port/--max-connections/
   // --queue-capacity/--dataset-id) appeared, so other modes can reject
   // them instead of silently ignoring them.

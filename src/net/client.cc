@@ -1,5 +1,7 @@
 #include "net/client.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "net/frame.h"
@@ -8,6 +10,11 @@ namespace proclus::net {
 
 Status ProclusClient::Connect(const std::string& host, int port) {
   Close();
+  // Remembered even when the connect fails: CallWithRetry may still be
+  // able to reach the server on a later attempt (e.g. an injected
+  // connection refusal).
+  host_ = host;
+  port_ = port;
   return net::Connect(host, port, &socket_);
 }
 
@@ -33,9 +40,84 @@ Status ProclusClient::Call(const Request& request, Response* response) {
   return DecodeResponse(payload, response);
 }
 
+Status ProclusClient::set_retry_policy(const RetryPolicy& policy) {
+  PROCLUS_RETURN_NOT_OK(policy.Validate());
+  retry_policy_ = policy;
+  return Status::OK();
+}
+
+Status ProclusClient::CallWithRetry(const Request& request,
+                                    Response* response) {
+  if (!retry_policy_.enabled()) return Call(request, response);
+  if (response == nullptr) {
+    return Status::InvalidArgument("response must not be null");
+  }
+  if (!socket_.valid() && host_.empty()) {
+    return Status::FailedPrecondition("client is not connected");
+  }
+  BackoffSchedule backoff(retry_policy_, ++call_sequence_);
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  for (int attempt = 0;; ++attempt) {
+    Status failure;
+    // True when the server delivered a full (retryable-error) response:
+    // a give-up then mirrors Call and returns OK with that response.
+    bool answered = false;
+    if (!socket_.valid()) {
+      const Status reconnect = net::Connect(host_, port_, &socket_);
+      if (!reconnect.ok()) {
+        // Nothing reached the wire, so retrying is safe for every request
+        // type, idempotent or not.
+        failure = reconnect;
+      } else if (attempt > 0) {
+        ++retry_stats_.reconnects;
+      }
+    }
+    if (socket_.valid() && failure.ok()) {
+      ++retry_stats_.attempts;
+      const Status status = Call(request, response);
+      if (status.ok()) {
+        if (response->ok || !IsRetryableCode(response->error.code)) {
+          return Status::OK();  // terminal answer, Call's contract applies
+        }
+        answered = true;
+        failure = response->error.ToStatus();
+      } else {
+        // Transport error mid-call: the request/response alternation is
+        // torn, so the connection is useless — drop it. Resending is only
+        // safe when a duplicate execution is harmless.
+        Close();
+        if (!IsIdempotentRequest(request)) {
+          ++retry_stats_.give_ups;
+          return status;
+        }
+        failure = status;
+      }
+    }
+    if (attempt >= retry_policy_.max_retries) {
+      ++retry_stats_.give_ups;
+      return answered ? Status::OK() : failure;
+    }
+    const double sleep_ms = backoff.NextMs();
+    if (retry_policy_.budget_ms > 0.0 &&
+        elapsed_ms() + sleep_ms > retry_policy_.budget_ms) {
+      ++retry_stats_.give_ups;
+      return answered ? Status::OK() : failure;
+    }
+    ++retry_stats_.retries;
+    retry_stats_.backoff_ms_total += sleep_ms;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+}
+
 Status ProclusClient::CallChecked(const Request& request,
                                   Response* response) {
-  PROCLUS_RETURN_NOT_OK(Call(request, response));
+  PROCLUS_RETURN_NOT_OK(CallWithRetry(request, response));
   if (!response->ok) return response->error.ToStatus();
   return Status::OK();
 }
@@ -124,8 +206,8 @@ Status ProclusClient::GetStatus(uint64_t job_id, bool include_result,
   request.job_id = job_id;
   request.include_result = include_result;
   // A terminal-failed job answers ok=false with the job's status; that is
-  // an answer, not a transport problem, so return the raw Call result.
-  return Call(request, response);
+  // an answer, not a transport problem, so return the raw call result.
+  return CallWithRetry(request, response);
 }
 
 Status ProclusClient::Cancel(uint64_t job_id) {
@@ -145,6 +227,21 @@ Status ProclusClient::FetchMetrics(json::JsonValue* metrics) {
   Response response;
   PROCLUS_RETURN_NOT_OK(CallChecked(request, &response));
   *metrics = std::move(response.metrics);
+  return Status::OK();
+}
+
+Status ProclusClient::FetchHealth(WireHealth* health) {
+  if (health == nullptr) {
+    return Status::InvalidArgument("health must not be null");
+  }
+  Request request;
+  request.type = RequestType::kHealth;
+  Response response;
+  PROCLUS_RETURN_NOT_OK(CallChecked(request, &response));
+  if (!response.has_health) {
+    return Status::Internal("server reported ok without a health object");
+  }
+  *health = response.health;
   return Status::OK();
 }
 

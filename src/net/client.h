@@ -11,6 +11,15 @@
 // RESOURCE_EXHAUSTED — lands in the Response for the caller to inspect.
 // The convenience wrappers collapse the two layers: they return the
 // server-side error as a Status when the response is not ok.
+//
+// With a RetryPolicy installed (set_retry_policy), failed calls are
+// retried with backoff: retryable application errors always; transport
+// errors only when the request is idempotent (IsIdempotentRequest) —
+// after a transport error the connection is poisoned, so the client
+// reconnects to the remembered host:port before resending. The
+// conveniences route through CallWithRetry, so a policy makes every
+// wrapper retry transparently; the default policy (max_retries = 0)
+// keeps the old single-attempt behavior.
 
 #include <cstdint>
 #include <string>
@@ -22,6 +31,7 @@
 #include "core/params.h"
 #include "data/matrix.h"
 #include "net/protocol.h"
+#include "net/retry.h"
 #include "net/socket.h"
 
 namespace proclus::net {
@@ -47,6 +57,19 @@ class ProclusClient {
   // check `response->ok` / `response->error` for the server's verdict.
   Status Call(const Request& request, Response* response);
 
+  // Call() under the installed RetryPolicy. Same contract as Call —
+  // transport give-up returns the transport Status; a retryable
+  // application error that outlives the policy returns OK with the
+  // error-bearing response. With retries disabled this is exactly Call().
+  Status CallWithRetry(const Request& request, Response* response);
+
+  // Installs the retry policy for CallWithRetry and every convenience
+  // wrapper. InvalidArgument (and no change) when the policy is malformed.
+  Status set_retry_policy(const RetryPolicy& policy);
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  // Cumulative counters across this client's retried calls.
+  const RetryStats& retry_stats() const { return retry_stats_; }
+
   // --- conveniences (application errors folded into the Status) ----------
 
   Status RegisterDataset(const std::string& id, const data::Matrix& points);
@@ -64,10 +87,23 @@ class ProclusClient {
   // Snapshot of the server's metrics registry ("net.*" + "service.*").
   Status FetchMetrics(json::JsonValue* metrics);
 
+  // The server's health snapshot (queue depth, device saturation, drain
+  // state) — cheap enough to poll.
+  Status FetchHealth(WireHealth* health);
+
  private:
   Status CallChecked(const Request& request, Response* response);
 
   Socket socket_;
+  // Remembered from Connect() so CallWithRetry can reconnect after a
+  // transport error poisons the connection.
+  std::string host_;
+  int port_ = 0;
+
+  RetryPolicy retry_policy_;
+  RetryStats retry_stats_;
+  // Distinct backoff stream per logical call (deterministic jitter).
+  uint64_t call_sequence_ = 0;
 };
 
 }  // namespace proclus::net

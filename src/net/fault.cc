@@ -1,0 +1,253 @@
+#include "net/fault.h"
+
+#include <array>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "net/frame.h"
+
+namespace proclus::net {
+
+namespace {
+
+// splitmix64, the repo's stateless mixer (net/loadgen.cc uses the same
+// construction): decision i of kind s is a pure function of (seed, s, i).
+uint64_t Mix(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double UnitUniform(uint64_t seed, uint64_t stream, uint64_t index) {
+  return static_cast<double>(Mix(seed ^ (stream * 0x5851f42d4c957f2dull),
+                                 index) >>
+                             11) /
+         static_cast<double>(1ull << 53);
+}
+
+Status ValidateProbability(const char* name, double p) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(std::string("fault plan: ") + name +
+                                   " must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+std::array<unsigned char, 4> FrameHeader(uint32_t len) {
+  return {static_cast<unsigned char>((len >> 24) & 0xff),
+          static_cast<unsigned char>((len >> 16) & 0xff),
+          static_cast<unsigned char>((len >> 8) & 0xff),
+          static_cast<unsigned char>(len & 0xff)};
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kRefuseConnection: return "refuse_connection";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kCloseMidFrame: return "close_mid_frame";
+    case FaultKind::kTruncatePayload: return "truncate_payload";
+    case FaultKind::kCorruptLength: return "corrupt_length";
+    case FaultKind::kDeviceFailure: return "device_failure";
+  }
+  return "?";
+}
+
+double FaultPlan::Probability(FaultKind kind) const {
+  switch (kind) {
+    case FaultKind::kRefuseConnection: return refuse_connection;
+    case FaultKind::kDelay: return delay;
+    case FaultKind::kCloseMidFrame: return close_mid_frame;
+    case FaultKind::kTruncatePayload: return truncate_payload;
+    case FaultKind::kCorruptLength: return corrupt_length;
+    case FaultKind::kDeviceFailure: return device_failure;
+  }
+  return 0.0;
+}
+
+Status FaultPlan::Validate() const {
+  PROCLUS_RETURN_NOT_OK(
+      ValidateProbability("refuse_connection", refuse_connection));
+  PROCLUS_RETURN_NOT_OK(ValidateProbability("delay", delay));
+  PROCLUS_RETURN_NOT_OK(
+      ValidateProbability("close_mid_frame", close_mid_frame));
+  PROCLUS_RETURN_NOT_OK(
+      ValidateProbability("truncate_payload", truncate_payload));
+  PROCLUS_RETURN_NOT_OK(ValidateProbability("corrupt_length", corrupt_length));
+  PROCLUS_RETURN_NOT_OK(ValidateProbability("device_failure", device_failure));
+  if (delay_ms < 0) {
+    return Status::InvalidArgument("fault plan: delay ms must be >= 0");
+  }
+  return Status::OK();
+}
+
+Status FaultPlan::FromJson(const json::JsonValue& v, FaultPlan* plan) {
+  if (plan == nullptr) {
+    return Status::InvalidArgument("plan must not be null");
+  }
+  *plan = FaultPlan();
+  if (!v.is_object()) {
+    return Status::InvalidArgument("fault plan must be a JSON object");
+  }
+  for (const auto& [key, value] : v.object_value) {
+    if (key == "seed") {
+      plan->seed = static_cast<uint64_t>(value.AsInt(1));
+    } else if (key == "refuse_connection") {
+      plan->refuse_connection = value.AsDouble();
+    } else if (key == "delay") {
+      // Either a bare probability or {"probability": P, "ms": N}.
+      if (value.is_object()) {
+        for (const auto& [dkey, dvalue] : value.object_value) {
+          if (dkey == "probability") {
+            plan->delay = dvalue.AsDouble();
+          } else if (dkey == "ms") {
+            plan->delay_ms = static_cast<int>(dvalue.AsInt(plan->delay_ms));
+          } else {
+            return Status::InvalidArgument(
+                "fault plan: unknown delay key: " + dkey);
+          }
+        }
+      } else {
+        plan->delay = value.AsDouble();
+      }
+    } else if (key == "close_mid_frame") {
+      plan->close_mid_frame = value.AsDouble();
+    } else if (key == "truncate_payload") {
+      plan->truncate_payload = value.AsDouble();
+    } else if (key == "corrupt_length") {
+      plan->corrupt_length = value.AsDouble();
+    } else if (key == "device_failure") {
+      plan->device_failure = value.AsDouble();
+    } else {
+      return Status::InvalidArgument("fault plan: unknown key: " + key);
+    }
+  }
+  return plan->Validate();
+}
+
+Status FaultPlan::FromFile(const std::string& path, FaultPlan* plan) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open fault plan: " + path);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  json::JsonValue v;
+  std::string error;
+  if (!json::Parse(contents.str(), &v, &error)) {
+    return Status::InvalidArgument("fault plan " + path +
+                                   " is not valid JSON: " + error);
+  }
+  return FromJson(v, plan);
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    draws_[i].store(0, std::memory_order_relaxed);
+    injected_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+bool FaultInjector::Should(FaultKind kind) {
+  const double p = plan_.Probability(kind);
+  const auto index = static_cast<size_t>(kind);
+  // The draw counter is advanced even for disabled kinds so enabling a
+  // kind never shifts another kind's stream.
+  const int64_t draw =
+      draws_[index].fetch_add(1, std::memory_order_relaxed);
+  if (p <= 0.0) return false;
+  const bool fire =
+      UnitUniform(plan_.seed, static_cast<uint64_t>(kind) + 1,
+                  static_cast<uint64_t>(draw)) < p;
+  if (fire) injected_[index].fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+int64_t FaultInjector::injected(FaultKind kind) const {
+  return injected_[static_cast<size_t>(kind)].load(std::memory_order_relaxed);
+}
+
+int64_t FaultInjector::injected_total() const {
+  int64_t total = 0;
+  for (const std::atomic<int64_t>& count : injected_) {
+    total += count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void FaultInjector::PublishMetrics(obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->gauge("net.faults_injected_total")
+      ->Set(static_cast<double>(injected_total()));
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    const auto kind = static_cast<FaultKind>(i);
+    const int64_t count = injected(kind);
+    if (count > 0) {
+      registry->gauge(std::string("net.faults.") + FaultKindName(kind))
+          ->Set(static_cast<double>(count));
+    }
+  }
+}
+
+std::function<Status()> FaultInjector::DeviceFaultHook() {
+  return [this]() -> Status {
+    if (Should(FaultKind::kDeviceFailure)) {
+      // Retryable on purpose: a flaky device looks like momentary capacity
+      // loss, and resubmitting the (idempotent, deterministic) job is the
+      // correct recovery.
+      return Status::ResourceExhausted("injected device failure");
+    }
+    return Status::OK();
+  };
+}
+
+Status WriteFrameWithFaults(Socket* socket, const std::string& payload,
+                            FaultInjector* injector) {
+  if (injector == nullptr) return WriteFrame(socket, payload);
+  if (socket == nullptr) {
+    return Status::InvalidArgument("socket must not be null");
+  }
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame payload exceeds kMaxFrameBytes: " +
+        std::to_string(payload.size()));
+  }
+  if (injector->Should(FaultKind::kDelay)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(injector->delay_ms()));
+  }
+  const auto len = static_cast<uint32_t>(payload.size());
+  if (injector->Should(FaultKind::kCorruptLength)) {
+    // A header claiming more than kMaxFrameBytes: the reader must reject
+    // the frame outright instead of trying to allocate it.
+    const std::array<unsigned char, 4> header =
+        FrameHeader(kMaxFrameBytes + 1u);
+    socket->SendAll(header.data(), header.size());
+    socket->Close();
+    return Status::IoError("injected fault: corrupt length header");
+  }
+  if (injector->Should(FaultKind::kCloseMidFrame)) {
+    // Half a header, then gone — the reader sees a torn header.
+    const std::array<unsigned char, 4> header = FrameHeader(len);
+    socket->SendAll(header.data(), 2);
+    socket->Close();
+    return Status::IoError("injected fault: close mid-frame");
+  }
+  if (injector->Should(FaultKind::kTruncatePayload) && len > 0) {
+    // Intact header, half the payload — the reader sees a truncated
+    // payload and must not keep the partial bytes.
+    const std::array<unsigned char, 4> header = FrameHeader(len);
+    socket->SendAll(header.data(), header.size());
+    socket->SendAll(payload.data(), len / 2);
+    socket->Close();
+    return Status::IoError("injected fault: truncated payload");
+  }
+  return WriteFrame(socket, payload);
+}
+
+}  // namespace proclus::net

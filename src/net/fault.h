@@ -1,0 +1,121 @@
+#ifndef PROCLUS_NET_FAULT_H_
+#define PROCLUS_NET_FAULT_H_
+
+// Deterministic fault injection for the serving path. A FaultPlan gives
+// each fault kind an independent firing probability; a FaultInjector draws
+// decisions from a seeded splitmix64 stream *per kind*, so for a fixed
+// seed the n-th decision of every kind is the same across runs regardless
+// of thread interleaving — chaos tests replay the exact same fault
+// sequence every time. The injector is hooked into ProclusServer's accept
+// and response-write paths (`proclus_cli serve --fault-plan FILE`) and,
+// via ServiceOptions::device_fault_hook, into DevicePool acquisition:
+//
+//   refuse_connection — an accepted connection is closed immediately
+//   delay             — the response is written delay.ms late
+//   close_mid_frame   — the connection closes inside the response header
+//   truncate_payload  — full header, partial payload, then close
+//   corrupt_length    — the length header claims > kMaxFrameBytes
+//   device_failure    — device acquisition fails with a retryable
+//                       RESOURCE_EXHAUSTED, failing the job
+//
+// Everything a fault destroys is visible to a well-behaved client as
+// either a transport error (reconnect + resend an idempotent request) or
+// a retryable application error — which is exactly what RetryPolicy
+// (net/retry.h) recovers from. docs/serving.md has the plan file format.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace proclus::net {
+
+enum class FaultKind {
+  kRefuseConnection = 0,
+  kDelay,
+  kCloseMidFrame,
+  kTruncatePayload,
+  kCorruptLength,
+  kDeviceFailure,
+};
+
+inline constexpr int kNumFaultKinds = 6;
+
+// Stable lowercase token, also the metric suffix ("net.faults.<name>").
+const char* FaultKindName(FaultKind kind);
+
+// Per-operation fault probabilities, all in [0, 1]; 0 disables a kind.
+struct FaultPlan {
+  uint64_t seed = 1;
+  double refuse_connection = 0.0;
+  double delay = 0.0;
+  int delay_ms = 10;  // how late a delayed response is written
+  double close_mid_frame = 0.0;
+  double truncate_payload = 0.0;
+  double corrupt_length = 0.0;
+  double device_failure = 0.0;
+
+  Status Validate() const;
+  // Decodes {"seed":N,"refuse_connection":P,"delay":{"probability":P,
+  // "ms":N},"close_mid_frame":P,...}. Unknown keys are rejected (a typoed
+  // fault name silently injecting nothing would defeat the chaos test).
+  static Status FromJson(const json::JsonValue& v, FaultPlan* plan);
+  static Status FromFile(const std::string& path, FaultPlan* plan);
+
+  double Probability(FaultKind kind) const;
+};
+
+// Thread-safe decision source + counters. Should() advances the kind's
+// decision stream by one draw and reports whether that operation faults.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // True when the current operation of `kind` must fault. Deterministic
+  // per kind: the i-th call for a kind always answers the same for a
+  // fixed seed.
+  bool Should(FaultKind kind);
+
+  const FaultPlan& plan() const { return plan_; }
+  int delay_ms() const { return plan_.delay_ms; }
+
+  // Fired-fault counters (draws that answered true).
+  int64_t injected(FaultKind kind) const;
+  int64_t injected_total() const;
+
+  // Publishes "net.faults_injected_total" plus one
+  // "net.faults.<kind>" gauge per kind that fired.
+  void PublishMetrics(obs::MetricsRegistry* registry) const;
+
+  // Device-failure hook for ServiceOptions::device_fault_hook: answers a
+  // retryable ResourceExhausted when the device_failure draw fires. The
+  // injector must outlive the service holding the hook.
+  std::function<Status()> DeviceFaultHook();
+
+ private:
+  const FaultPlan plan_;
+  std::array<std::atomic<int64_t>, kNumFaultKinds> draws_;
+  std::array<std::atomic<int64_t>, kNumFaultKinds> injected_;
+};
+
+// Server-side response write with faults applied: delay sleeps before the
+// write; corrupt_length / close_mid_frame / truncate_payload each wreck
+// the frame in their own way and close the socket. Returns OK only when
+// an intact frame was written; a fault (or a real transport error)
+// returns IoError and the caller must drop the connection. With a null
+// injector this is exactly WriteFrame.
+Status WriteFrameWithFaults(Socket* socket, const std::string& payload,
+                            FaultInjector* injector);
+
+}  // namespace proclus::net
+
+#endif  // PROCLUS_NET_FAULT_H_

@@ -30,8 +30,16 @@ Status ReadFrame(Socket* socket, std::string* payload, bool* clean_close) {
   }
   payload->clear();
   std::array<unsigned char, 4> header;
-  PROCLUS_RETURN_NOT_OK(
-      socket->RecvAll(header.data(), header.size(), clean_close));
+  const Status header_status =
+      socket->RecvAll(header.data(), header.size(), clean_close);
+  if (!header_status.ok()) {
+    // A clean close between frames keeps RecvAll's message (and the
+    // clean_close marker); a connection torn inside the header is a
+    // truncated frame like any other.
+    if (clean_close != nullptr && *clean_close) return header_status;
+    return Status::IoError("truncated frame: header incomplete (" +
+                           header_status.message() + ")");
+  }
   const uint32_t len = (static_cast<uint32_t>(header[0]) << 24) |
                        (static_cast<uint32_t>(header[1]) << 16) |
                        (static_cast<uint32_t>(header[2]) << 8) |
@@ -40,9 +48,17 @@ Status ReadFrame(Socket* socket, std::string* payload, bool* clean_close) {
     return Status::InvalidArgument("frame length exceeds kMaxFrameBytes: " +
                                    std::to_string(len));
   }
-  payload->resize(len);
   if (len == 0) return Status::OK();
-  return socket->RecvAll(payload->data(), len);
+  payload->resize(len);
+  const Status body_status = socket->RecvAll(payload->data(), len);
+  if (!body_status.ok()) {
+    // Never hand back a resized-but-partially-filled payload: callers that
+    // ignore the status must not observe zero-filled garbage.
+    payload->clear();
+    return Status::IoError("truncated frame: payload incomplete (" +
+                           body_status.message() + ")");
+  }
+  return Status::OK();
 }
 
 }  // namespace proclus::net

@@ -27,7 +27,10 @@ Status WriteFrame(Socket* socket, const std::string& payload);
 
 // Receives one frame into `*payload`. When the peer closed the connection
 // cleanly on a frame boundary, returns IoError with `*clean_close`
-// (optional) set true; a torn frame or transport error leaves it false.
+// (optional) set true; a torn frame or transport error leaves it false
+// and returns a distinct "truncated frame" IoError. On any failure
+// `*payload` is left empty — callers never observe a resized buffer with
+// partially received bytes.
 Status ReadFrame(Socket* socket, std::string* payload,
                  bool* clean_close = nullptr);
 

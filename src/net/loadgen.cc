@@ -39,6 +39,9 @@ struct SharedCounters {
   std::atomic<int64_t> rejected{0};
   std::atomic<int64_t> failed{0};
   std::atomic<int64_t> transport_errors{0};
+  std::atomic<int64_t> retries{0};
+  std::atomic<int64_t> reconnects{0};
+  std::atomic<int64_t> retry_give_ups{0};
   std::mutex latencies_mutex;
   std::vector<double> latencies;
 };
@@ -46,9 +49,13 @@ struct SharedCounters {
 void WorkerLoop(const LoadgenOptions& options, Clock::time_point start,
                 Clock::time_point end, SharedCounters* counters) {
   ProclusClient client;
+  client.set_retry_policy(options.retry);
   if (!client.Connect(options.host, options.port).ok()) {
     counters->transport_errors.fetch_add(1, std::memory_order_relaxed);
-    return;
+    // With retries the client can still reach the server later (e.g. an
+    // injected refusal): CallWithRetry reconnects per attempt. Without
+    // them, a worker with no connection has nothing to do.
+    if (!options.retry.enabled()) return;
   }
   const double interval_seconds =
       options.rps > 0.0 ? 1.0 / options.rps : 0.0;
@@ -84,12 +91,15 @@ void WorkerLoop(const LoadgenOptions& options, Clock::time_point start,
     }
 
     Response response;
-    const Status status = client.Call(request, &response);
+    const Status status = client.CallWithRetry(request, &response);
     if (!status.ok()) {
       counters->transport_errors.fetch_add(1, std::memory_order_relaxed);
       // The connection is likely dead (server stopping, peer reset);
       // reconnect once and carry on — a generator should outlive blips.
-      if (!client.Connect(options.host, options.port).ok()) break;
+      if (!client.Connect(options.host, options.port).ok() &&
+          !options.retry.enabled()) {
+        break;
+      }
       continue;
     }
     if (!response.ok) {
@@ -108,6 +118,12 @@ void WorkerLoop(const LoadgenOptions& options, Clock::time_point start,
       counters->latencies.push_back(latency);
     }
   }
+  const RetryStats& stats = client.retry_stats();
+  counters->retries.fetch_add(stats.retries, std::memory_order_relaxed);
+  counters->reconnects.fetch_add(stats.reconnects,
+                                 std::memory_order_relaxed);
+  counters->retry_give_ups.fetch_add(stats.give_ups,
+                                     std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -136,10 +152,15 @@ Status RunLoadgen(const LoadgenOptions& options, LoadgenReport* report) {
   if (options.duration_seconds <= 0.0) {
     return Status::InvalidArgument("duration_seconds must be > 0");
   }
+  PROCLUS_RETURN_NOT_OK(options.retry.Validate());
 
   if (options.register_dataset) {
     ProclusClient setup;
-    PROCLUS_RETURN_NOT_OK(setup.Connect(options.host, options.port));
+    setup.set_retry_policy(options.retry);
+    const Status connected = setup.Connect(options.host, options.port);
+    // A failed first connect is recoverable when retries are on —
+    // registration below reconnects per attempt.
+    if (!connected.ok() && !options.retry.enabled()) return connected;
     PROCLUS_RETURN_NOT_OK(
         setup.RegisterGenerated(options.dataset_id, options.generate));
   }
@@ -167,11 +188,16 @@ Status RunLoadgen(const LoadgenOptions& options, LoadgenReport* report) {
   report->rejected = counters.rejected.load();
   report->failed = counters.failed.load();
   report->transport_errors = counters.transport_errors.load();
+  report->retries = counters.retries.load();
+  report->reconnects = counters.reconnects.load();
+  report->retry_give_ups = counters.retry_give_ups.load();
   report->latencies_seconds = std::move(counters.latencies);
 
   if (options.fetch_metrics) {
     ProclusClient metrics_client;
-    if (metrics_client.Connect(options.host, options.port).ok()) {
+    metrics_client.set_retry_policy(options.retry);
+    if (metrics_client.Connect(options.host, options.port).ok() ||
+        options.retry.enabled()) {
       // Best-effort: a stopped server just leaves the snapshot empty.
       metrics_client.FetchMetrics(&report->server_metrics);
     }
@@ -183,6 +209,12 @@ void PrintReport(const LoadgenReport& report, std::ostream& out) {
   out << "offered " << report.offered << ", completed " << report.completed
       << ", rejected " << report.rejected << ", failed " << report.failed
       << ", transport_errors " << report.transport_errors << "\n";
+  if (report.retries > 0 || report.reconnects > 0 ||
+      report.retry_give_ups > 0) {
+    out << "retries " << report.retries << ", reconnects "
+        << report.reconnects << ", retry_give_ups " << report.retry_give_ups
+        << "\n";
+  }
   if (report.wall_seconds > 0.0) {
     out << "achieved "
         << static_cast<double>(report.completed) / report.wall_seconds
@@ -210,6 +242,8 @@ void PrintReport(const LoadgenReport& report, std::ostream& out) {
     emit("net.requests", counters);
     emit("net.resource_exhausted", counters);
     emit("net.disconnect_cancels", counters);
+    emit("net.connections_refused", counters);
+    emit("net.faults_injected_total", gauges);
     emit("service.submitted", gauges);
     emit("service.completed", gauges);
     emit("service.rejected", gauges);

@@ -10,9 +10,13 @@
 // delay caused by an overloaded server to the server, not to the
 // generator.
 //
-// Backpressure is respected, not retried: a retryable RESOURCE_EXHAUSTED
-// answer counts as `rejected` and the arrival is dropped, mirroring how a
-// well-behaved interactive client sheds its own refresh.
+// Backpressure is respected, not retried by default: a retryable
+// RESOURCE_EXHAUSTED answer counts as `rejected` and the arrival is
+// dropped, mirroring how a well-behaved interactive client sheds its own
+// refresh. With a RetryPolicy configured (`retry`), workers instead ride
+// out transient failures — transport errors and retryable rejections —
+// through ProclusClient::CallWithRetry, which is how the chaos smoke
+// drives a fault-injecting server to zero failed arrivals.
 
 #include <cstdint>
 #include <ostream>
@@ -25,6 +29,7 @@
 #include "core/multi_param.h"
 #include "core/params.h"
 #include "net/protocol.h"
+#include "net/retry.h"
 
 namespace proclus::net {
 
@@ -63,6 +68,11 @@ struct LoadgenOptions {
 
   // Fetch the server's metrics snapshot after the run.
   bool fetch_metrics = true;
+
+  // Retry policy for every client the generator opens (workers, dataset
+  // registration, metrics fetch). Disabled by default (max_retries = 0):
+  // one attempt per arrival, failures counted as they land.
+  RetryPolicy retry;
 };
 
 struct LoadgenReport {
@@ -71,6 +81,10 @@ struct LoadgenReport {
   int64_t rejected = 0;   // retryable RESOURCE_EXHAUSTED answers
   int64_t failed = 0;     // non-retryable errors (job or request level)
   int64_t transport_errors = 0;
+  // Retry traffic summed over the worker clients (0 with retries off).
+  int64_t retries = 0;
+  int64_t reconnects = 0;
+  int64_t retry_give_ups = 0;
   double wall_seconds = 0.0;
   // Due-time latency of every completed request, unsorted.
   std::vector<double> latencies_seconds;

@@ -308,6 +308,25 @@ bool IsRetryableCode(StatusCode code) {
   return code == StatusCode::kResourceExhausted;
 }
 
+bool IsIdempotentRequest(const Request& request) {
+  switch (request.type) {
+    case RequestType::kSubmitSingle:
+    case RequestType::kSubmitSweep:
+      // A wait-mode submit's job dies with the connection (the server
+      // cancels on disconnect), so resending cannot double-run it. An
+      // async submit's ack can be lost *after* the job was enqueued —
+      // resending could duplicate the job, so it is not retry-safe.
+      return request.wait;
+    case RequestType::kRegisterDataset:
+    case RequestType::kStatus:
+    case RequestType::kCancel:
+    case RequestType::kMetrics:
+    case RequestType::kHealth:
+      return true;
+  }
+  return true;
+}
+
 const char* RequestTypeName(RequestType type) {
   switch (type) {
     case RequestType::kRegisterDataset: return "register_dataset";
@@ -316,6 +335,7 @@ const char* RequestTypeName(RequestType type) {
     case RequestType::kStatus: return "status";
     case RequestType::kCancel: return "cancel";
     case RequestType::kMetrics: return "metrics";
+    case RequestType::kHealth: return "health";
   }
   return "?";
 }
@@ -326,7 +346,8 @@ Status RequestTypeFromName(const std::string& name, RequestType* out) {
   for (const RequestType type :
        {RequestType::kRegisterDataset, RequestType::kSubmitSingle,
         RequestType::kSubmitSweep, RequestType::kStatus,
-        RequestType::kCancel, RequestType::kMetrics}) {
+        RequestType::kCancel, RequestType::kMetrics,
+        RequestType::kHealth}) {
     if (name == RequestTypeName(type)) {
       *out = type;
       return Status::OK();
@@ -420,6 +441,7 @@ Status EncodeRequest(const Request& request, std::string* out) {
       v.Set("job_id", JsonValue::Int(static_cast<int64_t>(request.job_id)));
       break;
     case RequestType::kMetrics:
+    case RequestType::kHealth:
       break;
   }
   *out = json::Dump(v);
@@ -567,6 +589,7 @@ Status DecodeRequest(const std::string& payload, Request* out) {
       }
       break;
     case RequestType::kMetrics:
+    case RequestType::kHealth:
       break;
   }
   return Status::OK();
@@ -611,6 +634,22 @@ Status EncodeResponse(const Response& response, std::string* out) {
   }
   if (response.request == RequestType::kMetrics && response.ok) {
     v.Set("metrics", response.metrics);
+  }
+  if (response.has_health) {
+    const WireHealth& h = response.health;
+    JsonValue health = JsonValue::Object();
+    health.Set("queue_depth", JsonValue::Int(h.queue_depth));
+    health.Set("queue_capacity", JsonValue::Int(h.queue_capacity));
+    health.Set("active_connections", JsonValue::Int(h.active_connections));
+    health.Set("max_connections", JsonValue::Int(h.max_connections));
+    health.Set("devices_total", JsonValue::Int(h.devices_total));
+    health.Set("devices_leased", JsonValue::Int(h.devices_leased));
+    health.Set("draining", JsonValue::Bool(h.draining));
+    if (h.faults_injected_total > 0) {
+      health.Set("faults_injected_total",
+                 JsonValue::Int(h.faults_injected_total));
+    }
+    v.Set("health", std::move(health));
   }
   *out = json::Dump(v);
   return Status::OK();
@@ -658,6 +697,20 @@ Status DecodeResponse(const std::string& payload, Response* out) {
     out->result = DecodeWireJobResult(*f);
   }
   if (const JsonValue* f = v.Find("metrics")) out->metrics = *f;
+  if (const JsonValue* h = v.Find("health"); h != nullptr && h->is_object()) {
+    out->has_health = true;
+    WireHealth& health = out->health;
+    if (const JsonValue* f = h->Find("queue_depth")) health.queue_depth = f->AsInt();
+    if (const JsonValue* f = h->Find("queue_capacity")) health.queue_capacity = f->AsInt();
+    if (const JsonValue* f = h->Find("active_connections")) health.active_connections = static_cast<int>(f->AsInt());
+    if (const JsonValue* f = h->Find("max_connections")) health.max_connections = static_cast<int>(f->AsInt());
+    if (const JsonValue* f = h->Find("devices_total")) health.devices_total = static_cast<int>(f->AsInt());
+    if (const JsonValue* f = h->Find("devices_leased")) health.devices_leased = static_cast<int>(f->AsInt());
+    if (const JsonValue* f = h->Find("draining")) health.draining = f->AsBool();
+    if (const JsonValue* f = h->Find("faults_injected_total")) {
+      health.faults_injected_total = f->AsInt();
+    }
+  }
   return Status::OK();
 }
 

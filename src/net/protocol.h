@@ -12,6 +12,8 @@
 //   status           — poll a previously submitted async job
 //   cancel           — cooperatively cancel an async job
 //   metrics          — snapshot the server's net.*/service.* registry
+//   health           — cheap liveness probe: queue depth, device-pool
+//                      saturation, drain state (no metrics payload)
 //
 // A response echoes the request type and reports either "ok":true with
 // type-specific fields or "ok":false with an {"code","message",
@@ -49,6 +51,17 @@ StatusCode WireCodeFromName(const std::string& name);
 // of capacity — back off and resend. Everything else is a terminal answer.
 bool IsRetryableCode(StatusCode code);
 
+struct Request;
+
+// True when resending `request` after a transport error cannot change
+// server state beyond what a single send could: every request type except
+// an async (wait=false) submit, whose ack can be lost after the job was
+// already enqueued. Wait-mode submits are safe because the server cancels
+// the orphaned job on disconnect and clustering is a pure function of
+// (dataset, params, options). RetryPolicy consults this before resending
+// over a fresh connection.
+bool IsIdempotentRequest(const Request& request);
+
 // --- requests ----------------------------------------------------------------
 
 enum class RequestType {
@@ -58,6 +71,7 @@ enum class RequestType {
   kStatus,
   kCancel,
   kMetrics,
+  kHealth,
 };
 
 const char* RequestTypeName(RequestType type);
@@ -141,6 +155,19 @@ struct WireJobResult {
   int sweep_shards = 0;
 };
 
+// Health snapshot: enough for a client (or a load balancer probe) to see
+// how loaded and how alive the server is without the full metrics dump.
+struct WireHealth {
+  int64_t queue_depth = 0;       // jobs waiting in the service queue
+  int64_t queue_capacity = 0;    // the queue's admission bound
+  int active_connections = 0;
+  int max_connections = 0;
+  int devices_total = 0;
+  int devices_leased = 0;        // pool saturation: leased == total is full
+  bool draining = false;         // Stop() in progress: finish up and go away
+  int64_t faults_injected_total = 0;  // 0 unless serving with --fault-plan
+};
+
 struct Response {
   RequestType request = RequestType::kMetrics;  // echoed request type
   bool ok = false;
@@ -154,6 +181,10 @@ struct Response {
   // metrics: the registry snapshot object
   // ({"counters":{...},"gauges":{...},"histograms":{...}}).
   json::JsonValue metrics;
+
+  // health.
+  bool has_health = false;
+  WireHealth health;
 };
 
 Status EncodeResponse(const Response& response, std::string* out);

@@ -1,0 +1,65 @@
+#include "net/retry.h"
+
+#include <algorithm>
+
+namespace proclus::net {
+
+namespace {
+
+// splitmix64, the same stateless mixer the fault injector and loadgen use.
+uint64_t Mix(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double UnitUniform(uint64_t seed, uint64_t stream, uint64_t index) {
+  return static_cast<double>(Mix(seed ^ (stream * 0x5851f42d4c957f2dull),
+                                 index) >>
+                             11) /
+         static_cast<double>(1ull << 53);
+}
+
+}  // namespace
+
+Status RetryPolicy::Validate() const {
+  if (max_retries < 0) {
+    return Status::InvalidArgument("retry policy: max_retries must be >= 0");
+  }
+  if (initial_backoff_ms < 0.0) {
+    return Status::InvalidArgument(
+        "retry policy: initial_backoff_ms must be >= 0");
+  }
+  if (max_backoff_ms < initial_backoff_ms) {
+    return Status::InvalidArgument(
+        "retry policy: max_backoff_ms must be >= initial_backoff_ms");
+  }
+  if (budget_ms < 0.0) {
+    return Status::InvalidArgument("retry policy: budget_ms must be >= 0");
+  }
+  return Status::OK();
+}
+
+BackoffSchedule::BackoffSchedule(const RetryPolicy& policy, uint64_t stream)
+    : initial_(std::max(0.0, policy.initial_backoff_ms)),
+      max_(std::max(initial_, policy.max_backoff_ms)),
+      seed_(policy.seed),
+      stream_(stream) {}
+
+double BackoffSchedule::NextMs() {
+  const uint64_t draw = draws_++;
+  if (draw == 0) {
+    prev_ = initial_;
+    return prev_;
+  }
+  // Decorrelated jitter: uniform in [initial, 3 * prev], capped. Grows
+  // roughly exponentially in expectation but never synchronizes retrying
+  // clients into waves.
+  const double hi = std::min(max_, 3.0 * prev_);
+  const double u = UnitUniform(seed_, stream_, draw);
+  prev_ = initial_ + u * std::max(0.0, hi - initial_);
+  return prev_;
+}
+
+}  // namespace proclus::net

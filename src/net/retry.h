@@ -1,0 +1,72 @@
+#ifndef PROCLUS_NET_RETRY_H_
+#define PROCLUS_NET_RETRY_H_
+
+// Client-side retry with exponential backoff and decorrelated jitter.
+// A RetryPolicy bounds the attempts (count and, optionally, wall time);
+// a BackoffSchedule turns the policy into a deterministic sleep sequence
+// (seeded splitmix64, one stream per logical call) so tests replay the
+// exact same backoff every run. ProclusClient::CallWithRetry consumes
+// both — see net/client.h for what is and is not resent.
+//
+// Only retryable failures are retried:
+//   * transport errors (connect refused, torn/truncated frame, connection
+//     closed before the reply) — for idempotent requests only
+//     (IsRetryableCode / IsIdempotentRequest, net/protocol.h);
+//   * application errors the server marked retryable (RESOURCE_EXHAUSTED
+//     backpressure).
+// Everything else is a terminal answer and comes back on the first try.
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace proclus::net {
+
+struct RetryPolicy {
+  // Retries after the initial attempt; 0 disables retrying entirely
+  // (CallWithRetry degenerates to Call).
+  int max_retries = 0;
+  // Backoff bounds: sleep_0 = initial, sleep_{i+1} = uniform(initial,
+  // 3 * sleep_i) capped at max (decorrelated jitter).
+  double initial_backoff_ms = 10.0;
+  double max_backoff_ms = 2000.0;
+  // Wall-time budget across all attempts and sleeps; 0 = attempts-only.
+  // A retry whose backoff would overrun the budget is not taken.
+  double budget_ms = 0.0;
+  // Jitter seed; fixed seed => identical backoff sequences across runs.
+  uint64_t seed = 1;
+
+  bool enabled() const { return max_retries > 0; }
+  Status Validate() const;
+};
+
+// Counters a client accumulates across CallWithRetry invocations.
+struct RetryStats {
+  int64_t attempts = 0;    // every send attempt, first tries included
+  int64_t retries = 0;     // attempts after the first, per logical call
+  int64_t reconnects = 0;  // successful re-Connects after a transport error
+  int64_t give_ups = 0;    // logical calls that exhausted the policy
+  double backoff_ms_total = 0.0;
+};
+
+// One logical call's backoff sequence. Deterministic: the i-th NextMs()
+// for a given (policy.seed, stream) is the same every run.
+class BackoffSchedule {
+ public:
+  BackoffSchedule(const RetryPolicy& policy, uint64_t stream);
+
+  // The sleep before the next retry, in ms.
+  double NextMs();
+
+ private:
+  const double initial_;
+  const double max_;
+  const uint64_t seed_;
+  const uint64_t stream_;
+  double prev_ = 0.0;
+  uint64_t draws_ = 0;
+};
+
+}  // namespace proclus::net
+
+#endif  // PROCLUS_NET_RETRY_H_

@@ -133,6 +133,14 @@ void ProclusServer::AcceptLoop() {
       active = connections_.size();
     }
     metrics_.counter("net.connections_accepted")->Increment();
+    if (options_.fault != nullptr &&
+        options_.fault->Should(FaultKind::kRefuseConnection)) {
+      // Injected refusal: hang up before the first request, as a dying
+      // server would. The client's only signal is the transport error.
+      metrics_.counter("net.connections_refused")->Increment();
+      socket.Close();
+      continue;
+    }
     if (active >= static_cast<size_t>(options_.max_connections)) {
       metrics_.counter("net.connections_shed")->Increment();
       ShedConnection(std::move(socket));
@@ -216,7 +224,8 @@ bool ProclusServer::HandleRequest(Connection* connection,
                                        encode_status.message()));
     if (!EncodeResponse(fallback, &encoded).ok()) return false;
   }
-  return WriteFrame(&connection->socket, encoded).ok();
+  return WriteFrameWithFaults(&connection->socket, encoded, options_.fault)
+      .ok();
 }
 
 Response ProclusServer::Dispatch(Connection* connection,
@@ -233,6 +242,8 @@ Response ProclusServer::Dispatch(Connection* connection,
       return HandleCancel(request);
     case RequestType::kMetrics:
       return HandleMetrics();
+    case RequestType::kHealth:
+      return HandleHealth();
   }
   return ErrorResponse(request.type,
                        Status::Internal("unhandled request type"));
@@ -429,6 +440,7 @@ Response ProclusServer::HandleCancel(const Request& request) {
 
 Response ProclusServer::HandleMetrics() {
   service_->PublishMetrics(&metrics_);
+  if (options_.fault != nullptr) options_.fault->PublishMetrics(&metrics_);
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     metrics_.gauge("net.active_connections")
@@ -438,6 +450,28 @@ Response ProclusServer::HandleMetrics() {
   response.request = RequestType::kMetrics;
   response.ok = true;
   response.metrics = metrics_.JsonSnapshot();
+  return response;
+}
+
+Response ProclusServer::HandleHealth() {
+  Response response;
+  response.request = RequestType::kHealth;
+  response.ok = true;
+  response.has_health = true;
+  WireHealth& health = response.health;
+  health.queue_depth = service_->queue_depth();
+  health.queue_capacity = service_->options().queue_capacity;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    health.active_connections = static_cast<int>(connections_.size());
+  }
+  health.max_connections = options_.max_connections;
+  health.devices_total = service_->device_capacity();
+  health.devices_leased = service_->devices_leased();
+  health.draining = stopping_.load(std::memory_order_acquire);
+  if (options_.fault != nullptr) {
+    health.faults_injected_total = options_.fault->injected_total();
+  }
   return response;
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/fault.h"
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
@@ -46,6 +47,10 @@ struct ServerOptions {
   int port = 0;
   // Connection budget: the bound on concurrently served connections.
   int max_connections = 32;
+  // Optional fault injector (not owned; must outlive the server). When
+  // set, accepted connections may be refused and response writes may be
+  // delayed/torn per the injector's plan — see net/fault.h.
+  FaultInjector* fault = nullptr;
 };
 
 class ProclusServer {
@@ -97,6 +102,7 @@ class ProclusServer {
   Response HandleStatus(const Request& request);
   Response HandleCancel(const Request& request);
   Response HandleMetrics();
+  Response HandleHealth();
 
   // Sheds an over-budget connection: answer its first request with a
   // retryable RESOURCE_EXHAUSTED and close.

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -17,6 +18,29 @@ namespace {
 
 std::string ErrnoMessage(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
+}
+
+// poll() that retries EINTR with the *remaining* timeout instead of
+// surfacing the interruption: a signal delivered mid-wait (profilers,
+// child reapers, the CLI's own stop handler) must not turn a healthy
+// request into a spurious DeadlineExceeded. Semantics match poll():
+// > 0 ready, 0 timed out, < 0 non-EINTR failure (errno preserved).
+// A negative `timeout_ms` waits forever, like poll().
+int PollRetryingEintr(struct pollfd* pfd, int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0
+                                                              : timeout_ms);
+  int remaining_ms = timeout_ms;
+  for (;;) {
+    const int rc = ::poll(pfd, 1, remaining_ms);
+    if (rc >= 0 || errno != EINTR) return rc;
+    if (timeout_ms < 0) continue;  // infinite wait: just retry
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) return 0;  // budget spent: report a timeout
+    remaining_ms = static_cast<int>(left.count());
+  }
 }
 
 // "localhost" and dotted quads; everything the loopback stack needs.
@@ -88,11 +112,8 @@ Status Socket::WaitReadable(int timeout_ms) const {
   pfd.fd = fd_;
   pfd.events = POLLIN;
   pfd.revents = 0;
-  const int rc = ::poll(&pfd, 1, timeout_ms);
-  if (rc < 0) {
-    if (errno == EINTR) return Status::DeadlineExceeded("poll interrupted");
-    return Status::IoError(ErrnoMessage("poll failed"));
-  }
+  const int rc = PollRetryingEintr(&pfd, timeout_ms);
+  if (rc < 0) return Status::IoError(ErrnoMessage("poll failed"));
   if (rc == 0) return Status::DeadlineExceeded("socket not readable");
   // POLLHUP/POLLERR also count as readable: the next recv reports the
   // EOF/reset, which is how callers should observe it.
@@ -106,7 +127,13 @@ bool Socket::PeerClosed() const {
   pfd.events = POLLIN;
   pfd.revents = 0;
   const int rc = ::poll(&pfd, 1, 0);
-  if (rc < 0) return false;  // transient; do not kill the connection
+  if (rc < 0) {
+    // EINTR is transient and must not kill the connection, but any other
+    // poll failure on an open handle (EBADF and friends) means the fd is
+    // not watchable anymore — report closed, or wait-mode
+    // cancel-on-disconnect would spin forever on a dead descriptor.
+    return errno != EINTR;
+  }
   if (rc == 0) return false;
   if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) return true;
   if ((pfd.revents & (POLLIN | POLLHUP)) != 0) {
@@ -206,11 +233,8 @@ Status Listener::Accept(int timeout_ms, Socket* socket) {
   pfd.fd = fd_;
   pfd.events = POLLIN;
   pfd.revents = 0;
-  const int rc = ::poll(&pfd, 1, timeout_ms);
-  if (rc < 0) {
-    if (errno == EINTR) return Status::DeadlineExceeded("poll interrupted");
-    return Status::IoError(ErrnoMessage("poll failed"));
-  }
+  const int rc = PollRetryingEintr(&pfd, timeout_ms);
+  if (rc < 0) return Status::IoError(ErrnoMessage("poll failed"));
   if (rc == 0) return Status::DeadlineExceeded("no pending connection");
   const int fd = ::accept(fd_, nullptr, nullptr);
   if (fd < 0) {

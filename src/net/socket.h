@@ -43,12 +43,16 @@ class Socket {
 
   // Waits up to `timeout_ms` for the socket to become readable. OK when
   // readable (data or EOF pending), DeadlineExceeded on timeout, IoError
-  // on poll failure.
+  // on poll failure. Signals that interrupt the wait are retried with the
+  // remaining timeout — EINTR never surfaces as a timeout or error.
   Status WaitReadable(int timeout_ms) const;
 
   // True when the peer has hung up: pending EOF/reset with no data left.
   // Does not consume buffered data; a socket with unread payload reports
-  // false. Used to abort server-side job waits when the client vanishes.
+  // false. A non-EINTR poll failure (the fd is no longer watchable, e.g.
+  // EBADF/POLLNVAL) also reports closed, so disconnect watchers cannot
+  // spin forever on a dead handle. Used to abort server-side job waits
+  // when the client vanishes.
   bool PeerClosed() const;
 
  private:

@@ -73,6 +73,17 @@ Status DevicePool::AcquireMany(int min_count, int max_count,
     return Status::InvalidArgument(
         "AcquireMany min_count exceeds pool capacity");
   }
+  std::function<Status()> fault_hook;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    fault_hook = fault_hook_;
+  }
+  if (fault_hook) {
+    // One draw per acquisition attempt, before any wait: an injected
+    // failure looks like the device dying at hand-off, and the job fails
+    // with the hook's (retryable) status instead of leasing anything.
+    PROCLUS_RETURN_NOT_OK(fault_hook());
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     if (shutdown_) {
@@ -137,6 +148,20 @@ void DevicePool::Release(simt::Device* device) {
     }
     PROCLUS_CHECK(false);  // released a device this pool does not own
   }
+}
+
+void DevicePool::SetFaultHook(std::function<Status()> hook) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  fault_hook_ = std::move(hook);
+}
+
+int DevicePool::leased() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  int leased = 0;
+  for (const Entry& entry : entries_) {
+    if (entry.leased) ++leased;
+  }
+  return leased;
 }
 
 int64_t DevicePool::acquires() const {

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -76,7 +77,15 @@ class DevicePool {
   // Idempotent.
   void Shutdown();
 
+  // Installs a fault hook consulted once per AcquireFor/AcquireMany call,
+  // before any wait: a non-OK return fails the acquisition with that
+  // status. Used for injected device failures (net/fault.h); pass nullptr
+  // to clear. The hook runs outside the pool lock and must be thread-safe.
+  void SetFaultHook(std::function<Status()> hook);
+
   int capacity() const { return capacity_; }
+  // Devices currently leased out (pool saturation for health reporting).
+  int leased() const;
   // Total leases handed out, and how many of them found a warm device.
   int64_t acquires() const;
   int64_t reuse_hits() const;
@@ -98,6 +107,7 @@ class DevicePool {
   mutable std::mutex mutex_;
   std::condition_variable device_idle_;
   std::vector<Entry> entries_;
+  std::function<Status()> fault_hook_;
   bool shutdown_ = false;
   int64_t acquires_ = 0;
   int64_t reuse_hits_ = 0;

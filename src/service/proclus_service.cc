@@ -247,6 +247,9 @@ ProclusService::ProclusService(ServiceOptions options)
           std::max(1, options_.gpu_devices), options_.device_properties,
           options_.prewarm_devices,
           simt::DeviceOptions{0, options_.sanitize_devices})) {
+  if (options_.device_fault_hook) {
+    device_pool_->SetFaultHook(options_.device_fault_hook);
+  }
   const int workers = std::max(1, options_.num_workers);
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
@@ -654,6 +657,18 @@ ServiceStats ProclusService::stats() const {
   snapshot.device_acquires = device_pool_->acquires();
   snapshot.device_reuse_hits = device_pool_->reuse_hits();
   return snapshot;
+}
+
+int64_t ProclusService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return static_cast<int64_t>(interactive_queue_.size() +
+                              bulk_queue_.size());
+}
+
+int ProclusService::devices_leased() const { return device_pool_->leased(); }
+
+int ProclusService::device_capacity() const {
+  return device_pool_->capacity();
 }
 
 }  // namespace proclus::service

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -50,6 +51,12 @@ struct ServiceOptions {
   // plus the run's driver/backend/device events into this recorder. Must
   // outlive the service. Null disables tracing.
   obs::TraceRecorder* trace = nullptr;
+  // Optional fault hook installed on the device pool: consulted once per
+  // device acquisition; a non-OK return fails the acquiring job with that
+  // status. Wired from FaultInjector::DeviceFaultHook() by
+  // `proclus_cli serve --fault-plan` (net/fault.h). Must be thread-safe
+  // and outlive the service.
+  std::function<Status()> device_fault_hook;
 };
 
 // Aggregate service counters. Snapshot via ProclusService::stats().
@@ -114,6 +121,13 @@ class ProclusService {
 
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
+
+  // Instantaneous load figures for health reporting (net/protocol.h's
+  // WireHealth): jobs currently waiting in the two queues, and device-pool
+  // saturation.
+  int64_t queue_depth() const;
+  int devices_leased() const;
+  int device_capacity() const;
 
   // Publishes a stats() snapshot into `registry` as gauges named
   // "<prefix>.submitted", "<prefix>.completed", ... (docs/observability.md).

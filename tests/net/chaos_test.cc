@@ -1,0 +1,226 @@
+// Chaos end-to-end test: a real ProclusServer with a dense deterministic
+// fault plan (net/fault.h) driven by a retrying client. The acceptance
+// claims, in order of importance:
+//
+//   1. With retries on, every job completes and the results are
+//      bit-identical to a fault-free run — faults cost latency, never
+//      correctness (clustering is a pure function of its inputs, wait-mode
+//      submits are idempotent, so duplicated server-side work is
+//      harmless).
+//   2. The same plan with retries off produces visible failures — the
+//      plan is actually injecting, the first run did not pass vacuously.
+//   3. The health probe reports the injected-fault total, so an operator
+//      can tell a chaos-mode server from a healthy one.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "data/generator.h"
+#include "data/normalize.h"
+#include "net/client.h"
+#include "net/fault.h"
+#include "net/protocol.h"
+#include "net/retry.h"
+#include "net/server.h"
+#include "service/proclus_service.h"
+
+namespace proclus::net {
+namespace {
+
+data::Dataset TestData(uint64_t seed = 33) {
+  data::GeneratorConfig config;
+  config.n = 600;
+  config.d = 8;
+  config.num_clusters = 4;
+  config.subspace_dim = 4;
+  config.seed = seed;
+  data::Dataset ds = data::GenerateSubspaceDataOrDie(config);
+  data::MinMaxNormalize(&ds.points);
+  return ds;
+}
+
+void ExpectSameClustering(const core::ProclusResult& a,
+                          const core::ProclusResult& b) {
+  EXPECT_EQ(a.medoids, b.medoids);
+  EXPECT_EQ(a.dimensions, b.dimensions);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.iterative_cost, b.iterative_cost);
+  EXPECT_EQ(a.refined_cost, b.refined_cost);
+}
+
+// Every fault kind enabled, densely enough that a handful of requests is
+// guaranteed (deterministically — fixed seed) to trip several of them.
+FaultPlan DensePlan() {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.refuse_connection = 0.20;
+  plan.delay = 0.20;
+  plan.delay_ms = 2;
+  plan.close_mid_frame = 0.15;
+  plan.truncate_payload = 0.15;
+  plan.corrupt_length = 0.10;
+  plan.device_failure = 0.25;
+  return plan;
+}
+
+// Service + server wired to an optional injector, plus a connected client.
+struct ChaosRig {
+  explicit ChaosRig(FaultInjector* injector) {
+    service::ServiceOptions service_options;
+    if (injector != nullptr) {
+      service_options.device_fault_hook = injector->DeviceFaultHook();
+    }
+    ServerOptions server_options;
+    server_options.fault = injector;
+    service = std::make_unique<service::ProclusService>(service_options);
+    server = std::make_unique<ProclusServer>(service.get(), server_options);
+    Status status = server->Start();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    // Register the dataset in-process: both runs submit against the very
+    // same server-side data, and registration is not part of the traffic
+    // under test.
+    status = service->RegisterDataset("d", TestData().points);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    status = client.Connect("127.0.0.1", server->port());
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+
+  std::unique_ptr<service::ProclusService> service;
+  std::unique_ptr<ProclusServer> server;
+  ProclusClient client;
+};
+
+// The job mix: GPU singles (exercising the device-failure hook on every
+// acquisition) across several (k, l) settings.
+std::vector<core::ParamSetting> JobSettings() {
+  return {{3, 3}, {4, 4}, {5, 4}, {4, 3}, {5, 5}, {3, 4}};
+}
+
+Request SubmitRequestFor(const core::ParamSetting& setting) {
+  Request request;
+  request.type = RequestType::kSubmitSingle;
+  request.dataset_id = std::string("d");
+  request.params.k = setting.k;
+  request.params.l = setting.l;
+  request.params.a = 10.0;
+  request.params.b = 3.0;
+  request.options = core::ClusterOptions::Gpu();
+  return request;
+}
+
+TEST(ChaosTest, RetriesRecoverEveryJobBitIdentically) {
+  // Fault-free reference run.
+  std::vector<core::ProclusResult> reference;
+  {
+    ChaosRig rig(nullptr);
+    for (const core::ParamSetting& setting : JobSettings()) {
+      WireJobResult wire;
+      const Status submitted =
+          rig.client.SubmitSingle(SubmitRequestFor(setting), &wire);
+      ASSERT_TRUE(submitted.ok()) << submitted.ToString();
+      ASSERT_EQ(wire.results.size(), 1u);
+      reference.push_back(wire.results[0]);
+    }
+  }
+
+  // Same jobs through the dense fault plan, with generous retries.
+  FaultInjector injector(DensePlan());
+  ChaosRig rig(&injector);
+  RetryPolicy policy;
+  policy.max_retries = 40;
+  policy.initial_backoff_ms = 1.0;
+  policy.max_backoff_ms = 10.0;
+  ASSERT_TRUE(rig.client.set_retry_policy(policy).ok());
+
+  const std::vector<core::ParamSetting> settings = JobSettings();
+  for (size_t i = 0; i < settings.size(); ++i) {
+    WireJobResult wire;
+    const Status submitted =
+        rig.client.SubmitSingle(SubmitRequestFor(settings[i]), &wire);
+    ASSERT_TRUE(submitted.ok())
+        << "job " << i << " lost under faults: " << submitted.ToString();
+    ASSERT_EQ(wire.results.size(), 1u);
+    ExpectSameClustering(reference[i], wire.results[0]);
+  }
+
+  // The run must not have passed because nothing fired.
+  EXPECT_GT(injector.injected_total(), 0)
+      << "the dense plan injected no faults — the test is vacuous";
+  EXPECT_GT(rig.client.retry_stats().retries, 0)
+      << "no retry was ever needed — the faults never reached the client";
+
+  // Health reports the chaos: the injected-fault total crosses the wire.
+  WireHealth health;
+  const Status fetched = rig.client.FetchHealth(&health);
+  ASSERT_TRUE(fetched.ok()) << fetched.ToString();
+  EXPECT_GT(health.faults_injected_total, 0);
+  EXPECT_EQ(health.queue_depth, 0);
+  EXPECT_FALSE(health.draining);
+  EXPECT_EQ(health.devices_total, rig.service->device_capacity());
+}
+
+TEST(ChaosTest, SamePlanWithoutRetriesLosesRequests) {
+  FaultInjector injector(DensePlan());
+  ChaosRig rig(&injector);
+
+  int failures = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (const core::ParamSetting& setting : JobSettings()) {
+      if (!rig.client.connected()) {
+        // A transport error poisoned the connection; without retries the
+        // caller reconnects by hand.
+        const Status reconnected =
+            rig.client.Connect("127.0.0.1", rig.server->port());
+        ASSERT_TRUE(reconnected.ok()) << reconnected.ToString();
+      }
+      Response response;
+      const Status called =
+          rig.client.Call(SubmitRequestFor(setting), &response);
+      if (!called.ok()) {
+        ++failures;  // torn/corrupted frame or refused connection
+        rig.client.Close();
+      } else if (!response.ok) {
+        ++failures;  // e.g. injected device failure
+        EXPECT_TRUE(response.error.retryable ||
+                    response.error.code != StatusCode::kOk);
+      }
+    }
+  }
+  EXPECT_GT(failures, 0)
+      << "the dense plan caused no visible failures without retries";
+  EXPECT_GT(injector.injected_total(), 0);
+}
+
+TEST(ChaosTest, InjectedDeviceFailureSurfacesAsRetryableResponse) {
+  // device_failure = 1.0 and nothing else: every GPU job fails at device
+  // acquisition with the retryable backpressure signal, the transport
+  // stays perfectly healthy.
+  FaultPlan plan;
+  plan.device_failure = 1.0;
+  FaultInjector injector(plan);
+  ChaosRig rig(&injector);
+
+  Response response;
+  const Status called =
+      rig.client.Call(SubmitRequestFor({4, 4}), &response);
+  ASSERT_TRUE(called.ok()) << called.ToString();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error.code, StatusCode::kResourceExhausted);
+  EXPECT_TRUE(response.error.retryable);
+  EXPECT_GT(injector.injected(FaultKind::kDeviceFailure), 0);
+
+  // A CPU job needs no device and sails through untouched.
+  Request cpu = SubmitRequestFor({4, 4});
+  cpu.options = core::ClusterOptions::Cpu();
+  WireJobResult wire;
+  const Status submitted = rig.client.SubmitSingle(cpu, &wire);
+  ASSERT_TRUE(submitted.ok()) << submitted.ToString();
+  EXPECT_EQ(wire.results.size(), 1u);
+}
+
+}  // namespace
+}  // namespace proclus::net

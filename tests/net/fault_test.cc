@@ -1,0 +1,287 @@
+// Tests for the deterministic fault injector (net/fault.h): plan parsing
+// (strict — unknown keys rejected), per-kind decision streams that replay
+// identically across injector instances, the wire-level damage each write
+// fault inflicts as observed by a real frame reader, the device-failure
+// hook through DevicePool, and metric publication.
+
+#include "net/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <sys/socket.h>
+#include <vector>
+
+#include "common/json.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "service/device_pool.h"
+#include "simt/device_properties.h"
+
+namespace proclus::net {
+namespace {
+
+Status PlanFromText(const std::string& text, FaultPlan* plan) {
+  json::JsonValue value;
+  std::string error;
+  EXPECT_TRUE(json::Parse(text, &value, &error)) << error;
+  return FaultPlan::FromJson(value, plan);
+}
+
+struct SocketPair {
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = Socket(fds[0]);
+    b = Socket(fds[1]);
+  }
+  Socket a;
+  Socket b;
+};
+
+TEST(FaultPlanTest, ParsesAFullPlan) {
+  FaultPlan plan;
+  const Status parsed = PlanFromText(
+      R"({"seed": 7, "refuse_connection": 0.25,
+          "delay": {"probability": 0.5, "ms": 3},
+          "close_mid_frame": 0.1, "truncate_payload": 0.2,
+          "corrupt_length": 0.05, "device_failure": 0.4})",
+      &plan);
+  ASSERT_TRUE(parsed.ok()) << parsed.ToString();
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_DOUBLE_EQ(plan.refuse_connection, 0.25);
+  EXPECT_DOUBLE_EQ(plan.delay, 0.5);
+  EXPECT_EQ(plan.delay_ms, 3);
+  EXPECT_DOUBLE_EQ(plan.close_mid_frame, 0.1);
+  EXPECT_DOUBLE_EQ(plan.truncate_payload, 0.2);
+  EXPECT_DOUBLE_EQ(plan.corrupt_length, 0.05);
+  EXPECT_DOUBLE_EQ(plan.device_failure, 0.4);
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+TEST(FaultPlanTest, DelayAcceptsABareProbability) {
+  FaultPlan plan;
+  ASSERT_TRUE(PlanFromText(R"({"delay": 0.75})", &plan).ok());
+  EXPECT_DOUBLE_EQ(plan.delay, 0.75);
+  EXPECT_EQ(plan.delay_ms, 10) << "ms keeps its default";
+}
+
+TEST(FaultPlanTest, RejectsUnknownKeys) {
+  // A typoed fault name must be an error, not a silent no-op — otherwise
+  // a chaos test can "pass" while injecting nothing.
+  FaultPlan plan;
+  const Status parsed =
+      PlanFromText(R"({"refuse_connexion": 0.5})", &plan);
+  EXPECT_EQ(parsed.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.message().find("refuse_connexion"), std::string::npos)
+      << parsed.ToString();
+}
+
+TEST(FaultPlanTest, RejectsOutOfRangeProbability) {
+  FaultPlan plan;
+  plan.truncate_payload = 1.5;
+  EXPECT_EQ(plan.Validate().code(), StatusCode::kInvalidArgument);
+  plan.truncate_payload = -0.1;
+  EXPECT_EQ(plan.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultPlanTest, FromFileReadsAPlanAndReportsMissingFiles) {
+  const std::string path =
+      testing::TempDir() + "/fault_plan_roundtrip.json";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(R"({"seed": 11, "device_failure": 0.5})", f);
+    std::fclose(f);
+  }
+  FaultPlan plan;
+  const Status loaded = FaultPlan::FromFile(path, &plan);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  EXPECT_EQ(plan.seed, 11u);
+  EXPECT_DOUBLE_EQ(plan.device_failure, 0.5);
+
+  FaultPlan missing;
+  EXPECT_FALSE(
+      FaultPlan::FromFile(path + ".does-not-exist", &missing).ok());
+}
+
+TEST(FaultInjectorTest, DecisionStreamsAreDeterministicPerKind) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.refuse_connection = 0.3;
+  plan.close_mid_frame = 0.7;
+  FaultInjector first(plan);
+  FaultInjector second(plan);
+
+  // Interleave the kinds differently in the two injectors: each kind's
+  // stream must still answer identically draw-for-draw.
+  std::vector<bool> refuse_a;
+  std::vector<bool> close_a;
+  for (int i = 0; i < 200; ++i) {
+    refuse_a.push_back(first.Should(FaultKind::kRefuseConnection));
+    close_a.push_back(first.Should(FaultKind::kCloseMidFrame));
+  }
+  std::vector<bool> close_b;
+  std::vector<bool> refuse_b;
+  for (int i = 0; i < 200; ++i) {
+    close_b.push_back(second.Should(FaultKind::kCloseMidFrame));
+  }
+  for (int i = 0; i < 200; ++i) {
+    refuse_b.push_back(second.Should(FaultKind::kRefuseConnection));
+  }
+  EXPECT_EQ(refuse_a, refuse_b);
+  EXPECT_EQ(close_a, close_b);
+
+  // With these probabilities, 200 draws fire at least once per kind.
+  EXPECT_GT(first.injected(FaultKind::kRefuseConnection), 0);
+  EXPECT_GT(first.injected(FaultKind::kCloseMidFrame), 0);
+  EXPECT_EQ(first.injected_total(),
+            first.injected(FaultKind::kRefuseConnection) +
+                first.injected(FaultKind::kCloseMidFrame));
+}
+
+TEST(FaultInjectorTest, DisabledKindsNeverFire) {
+  FaultPlan plan;
+  plan.seed = 9;
+  FaultInjector injector(plan);  // all probabilities zero
+  for (int i = 0; i < 500; ++i) {
+    for (int kind = 0; kind < kNumFaultKinds; ++kind) {
+      EXPECT_FALSE(injector.Should(static_cast<FaultKind>(kind)));
+    }
+  }
+  EXPECT_EQ(injector.injected_total(), 0);
+}
+
+TEST(FaultInjectorTest, ProbabilityOneAlwaysFires) {
+  FaultPlan plan;
+  plan.corrupt_length = 1.0;
+  FaultInjector injector(plan);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(injector.Should(FaultKind::kCorruptLength));
+  }
+  EXPECT_EQ(injector.injected(FaultKind::kCorruptLength), 50);
+}
+
+TEST(WriteFrameWithFaultsTest, NullInjectorIsAPlainWrite) {
+  SocketPair pair;
+  ASSERT_TRUE(WriteFrameWithFaults(&pair.a, "payload", nullptr).ok());
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(&pair.b, &payload).ok());
+  EXPECT_EQ(payload, "payload");
+}
+
+TEST(WriteFrameWithFaultsTest, CorruptLengthMakesTheReaderReject) {
+  FaultPlan plan;
+  plan.corrupt_length = 1.0;
+  FaultInjector injector(plan);
+  SocketPair pair;
+  const Status write =
+      WriteFrameWithFaults(&pair.a, "never delivered", &injector);
+  EXPECT_EQ(write.code(), StatusCode::kIoError);
+  EXPECT_FALSE(pair.a.valid()) << "the faulted socket must be closed";
+
+  std::string payload;
+  const Status read = ReadFrame(&pair.b, &payload);
+  EXPECT_EQ(read.code(), StatusCode::kInvalidArgument)
+      << "reader must reject the over-length header: " << read.ToString();
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(WriteFrameWithFaultsTest, CloseMidFrameTearsTheHeader) {
+  FaultPlan plan;
+  plan.close_mid_frame = 1.0;
+  FaultInjector injector(plan);
+  SocketPair pair;
+  EXPECT_EQ(WriteFrameWithFaults(&pair.a, "abc", &injector).code(),
+            StatusCode::kIoError);
+  EXPECT_FALSE(pair.a.valid());
+
+  std::string payload;
+  bool clean_close = true;
+  const Status read = ReadFrame(&pair.b, &payload, &clean_close);
+  EXPECT_EQ(read.code(), StatusCode::kIoError);
+  EXPECT_FALSE(clean_close) << "a torn header is not a clean close";
+  EXPECT_NE(read.message().find("truncated frame: header incomplete"),
+            std::string::npos)
+      << read.ToString();
+}
+
+TEST(WriteFrameWithFaultsTest, TruncatePayloadTearsTheBody) {
+  FaultPlan plan;
+  plan.truncate_payload = 1.0;
+  FaultInjector injector(plan);
+  SocketPair pair;
+  EXPECT_EQ(
+      WriteFrameWithFaults(&pair.a, "0123456789abcdef", &injector).code(),
+      StatusCode::kIoError);
+  EXPECT_FALSE(pair.a.valid());
+
+  std::string payload = "junk";
+  const Status read = ReadFrame(&pair.b, &payload);
+  EXPECT_EQ(read.code(), StatusCode::kIoError);
+  EXPECT_NE(read.message().find("truncated frame: payload incomplete"),
+            std::string::npos)
+      << read.ToString();
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(WriteFrameWithFaultsTest, DelayStillDeliversAnIntactFrame) {
+  FaultPlan plan;
+  plan.delay = 1.0;
+  plan.delay_ms = 1;  // keep the test fast; the sleep itself is trivial
+  FaultInjector injector(plan);
+  SocketPair pair;
+  ASSERT_TRUE(WriteFrameWithFaults(&pair.a, "late but whole", &injector)
+                  .ok());
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(&pair.b, &payload).ok());
+  EXPECT_EQ(payload, "late but whole");
+  EXPECT_EQ(injector.injected(FaultKind::kDelay), 1);
+}
+
+TEST(FaultInjectorTest, DeviceHookFailsPoolAcquisitionRetryably) {
+  FaultPlan plan;
+  plan.device_failure = 1.0;
+  FaultInjector injector(plan);
+  service::DevicePool pool(1, simt::DeviceProperties::Gtx1660Ti(),
+                           /*prewarm=*/false);
+  pool.SetFaultHook(injector.DeviceFaultHook());
+
+  service::DevicePool::Lease lease;
+  const Status acquired = pool.AcquireFor(nullptr, &lease);
+  EXPECT_EQ(acquired.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(IsRetryableCode(acquired.code()))
+      << "injected device failures must be retryable";
+  EXPECT_EQ(lease.device, nullptr);
+  EXPECT_EQ(pool.leased(), 0) << "a failed acquisition leases nothing";
+  EXPECT_EQ(injector.injected(FaultKind::kDeviceFailure), 1);
+
+  // Clearing the hook restores normal acquisition.
+  pool.SetFaultHook(nullptr);
+  ASSERT_TRUE(pool.AcquireFor(nullptr, &lease).ok());
+  EXPECT_EQ(pool.leased(), 1);
+  pool.Release(lease.device);
+}
+
+TEST(FaultInjectorTest, PublishesTotalsAndPerKindGauges) {
+  FaultPlan plan;
+  plan.delay = 1.0;
+  plan.delay_ms = 0;
+  FaultInjector injector(plan);
+  SocketPair pair;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(WriteFrameWithFaults(&pair.a, "x", &injector).ok());
+  }
+
+  obs::MetricsRegistry registry;
+  injector.PublishMetrics(&registry);
+  EXPECT_DOUBLE_EQ(registry.gauge("net.faults_injected_total")->value(),
+                   3.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("net.faults.delay")->value(), 3.0);
+}
+
+}  // namespace
+}  // namespace proclus::net

@@ -1,0 +1,297 @@
+// Adversarial tests for the frame codec and the socket primitives under
+// hostile conditions: torn headers, truncated payloads, over-length
+// frames, writes split at arbitrary byte boundaries, signals interrupting
+// poll-based waits, and dead descriptors. These are the regression tests
+// for the serving-path correctness fixes (EINTR handling in
+// WaitReadable/Accept, payload hygiene in ReadFrame, PeerClosed on
+// unwatchable fds).
+
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+
+namespace proclus::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A connected AF_UNIX stream pair wrapped in the repo's Socket type — the
+// frame codec only needs a stream, and socketpair gives byte-level control
+// over what the "peer" sends.
+struct SocketPair {
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = Socket(fds[0]);
+    b = Socket(fds[1]);
+  }
+  Socket a;
+  Socket b;
+};
+
+std::array<unsigned char, 4> Header(uint32_t len) {
+  return {static_cast<unsigned char>((len >> 24) & 0xff),
+          static_cast<unsigned char>((len >> 16) & 0xff),
+          static_cast<unsigned char>((len >> 8) & 0xff),
+          static_cast<unsigned char>(len & 0xff)};
+}
+
+TEST(FrameTest, RoundTripsSmallAndZeroLengthFrames) {
+  SocketPair pair;
+  ASSERT_TRUE(WriteFrame(&pair.a, "hello frames").ok());
+  ASSERT_TRUE(WriteFrame(&pair.a, "").ok());
+
+  std::string payload = "stale junk";
+  bool clean_close = true;
+  ASSERT_TRUE(ReadFrame(&pair.b, &payload, &clean_close).ok());
+  EXPECT_EQ(payload, "hello frames");
+  EXPECT_FALSE(clean_close);
+
+  payload = "stale junk";
+  ASSERT_TRUE(ReadFrame(&pair.b, &payload).ok());
+  EXPECT_TRUE(payload.empty()) << "zero-length frame must clear the buffer";
+}
+
+TEST(FrameTest, RoundTripsLargeFrameWrittenConcurrently) {
+  SocketPair pair;
+  std::string big(1 << 20, '\0');
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>((i * 131) & 0xff);
+  }
+  // A megabyte exceeds the kernel socket buffer, so writer and reader must
+  // run concurrently; the reader sees the payload arrive in many recvs.
+  std::thread writer(
+      [&] { EXPECT_TRUE(WriteFrame(&pair.a, big).ok()); });
+  std::string payload;
+  const Status read = ReadFrame(&pair.b, &payload);
+  writer.join();
+  ASSERT_TRUE(read.ok()) << read.ToString();
+  EXPECT_EQ(payload, big);
+}
+
+TEST(FrameTest, ReassemblesHeaderAndPayloadSplitAcrossSends) {
+  SocketPair pair;
+  const std::string body = "split me";
+  const std::array<unsigned char, 4> header =
+      Header(static_cast<uint32_t>(body.size()));
+  std::thread writer([&] {
+    // Every byte in its own send, with pauses: the reader must keep
+    // recv-ing until the frame is whole, never returning a partial one.
+    for (const unsigned char byte : header) {
+      EXPECT_TRUE(pair.a.SendAll(&byte, 1).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    for (const char byte : body) {
+      EXPECT_TRUE(pair.a.SendAll(&byte, 1).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  std::string payload;
+  const Status read = ReadFrame(&pair.b, &payload);
+  writer.join();
+  ASSERT_TRUE(read.ok()) << read.ToString();
+  EXPECT_EQ(payload, body);
+}
+
+TEST(FrameTest, RejectsOverLengthHeader) {
+  SocketPair pair;
+  const std::array<unsigned char, 4> header = Header(kMaxFrameBytes + 1u);
+  ASSERT_TRUE(pair.a.SendAll(header.data(), header.size()).ok());
+  std::string payload;
+  const Status read = ReadFrame(&pair.b, &payload);
+  EXPECT_EQ(read.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(read.message().find("kMaxFrameBytes"), std::string::npos);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(FrameTest, MaxLengthHeaderPassesTheLengthCheck) {
+  SocketPair pair;
+  // A header claiming exactly kMaxFrameBytes is legal; with no payload
+  // behind it the reader must report a truncated frame, not a length
+  // error (and must not return the partially-filled buffer).
+  const std::array<unsigned char, 4> header = Header(kMaxFrameBytes);
+  ASSERT_TRUE(pair.a.SendAll(header.data(), header.size()).ok());
+  pair.a.Close();
+  std::string payload;
+  const Status read = ReadFrame(&pair.b, &payload);
+  EXPECT_EQ(read.code(), StatusCode::kIoError);
+  EXPECT_NE(read.message().find("truncated frame: payload incomplete"),
+            std::string::npos)
+      << read.ToString();
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(FrameTest, WriteRejectsOversizedPayload) {
+  SocketPair pair;
+  const std::string oversized(kMaxFrameBytes + 1u, 'x');
+  EXPECT_EQ(WriteFrame(&pair.a, oversized).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, TornHeaderIsATruncatedFrameNotACleanClose) {
+  SocketPair pair;
+  const std::array<unsigned char, 4> header = Header(32);
+  ASSERT_TRUE(pair.a.SendAll(header.data(), 2).ok());
+  pair.a.Close();
+  std::string payload;
+  bool clean_close = true;
+  const Status read = ReadFrame(&pair.b, &payload, &clean_close);
+  EXPECT_EQ(read.code(), StatusCode::kIoError);
+  EXPECT_NE(read.message().find("truncated frame: header incomplete"),
+            std::string::npos)
+      << read.ToString();
+  EXPECT_FALSE(clean_close);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(FrameTest, TruncatedPayloadLeavesBufferEmpty) {
+  SocketPair pair;
+  const std::string body(100, 'p');
+  const std::array<unsigned char, 4> header =
+      Header(static_cast<uint32_t>(body.size()));
+  ASSERT_TRUE(pair.a.SendAll(header.data(), header.size()).ok());
+  ASSERT_TRUE(pair.a.SendAll(body.data(), body.size() / 2).ok());
+  pair.a.Close();
+  std::string payload = "previous contents";
+  bool clean_close = true;
+  const Status read = ReadFrame(&pair.b, &payload, &clean_close);
+  EXPECT_EQ(read.code(), StatusCode::kIoError);
+  EXPECT_NE(read.message().find("truncated frame: payload incomplete"),
+            std::string::npos)
+      << read.ToString();
+  EXPECT_FALSE(clean_close);
+  // The regression: ReadFrame used to leave the buffer resized to the
+  // claimed length with only half the bytes filled in.
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(FrameTest, CleanCloseOnAFrameBoundaryIsMarked) {
+  SocketPair pair;
+  pair.a.Close();
+  std::string payload;
+  bool clean_close = false;
+  const Status read = ReadFrame(&pair.b, &payload, &clean_close);
+  EXPECT_EQ(read.code(), StatusCode::kIoError);
+  EXPECT_TRUE(clean_close);
+  EXPECT_EQ(read.message().find("truncated frame"), std::string::npos)
+      << "a clean close is not a torn frame: " << read.ToString();
+}
+
+// --- signal handling ---------------------------------------------------------
+
+// Installed without SA_RESTART so blocking syscalls genuinely return
+// EINTR (the failure mode the PollRetryingEintr fix addresses).
+void InstallNoopHandler(int signum) {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ASSERT_EQ(sigaction(signum, &action, nullptr), 0);
+}
+
+TEST(SocketSignalTest, WaitReadableRetriesEintrWithRemainingTimeout) {
+  InstallNoopHandler(SIGUSR1);
+  SocketPair pair;
+  const pthread_t waiter = pthread_self();
+  std::thread interrupter([waiter] {
+    // Several signals spread across the wait: each one used to surface as
+    // an immediate DeadlineExceeded.
+    for (int i = 0; i < 5; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      pthread_kill(waiter, SIGUSR1);
+    }
+  });
+  const Clock::time_point start = Clock::now();
+  const Status wait = pair.a.WaitReadable(200);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count();
+  interrupter.join();
+  EXPECT_EQ(wait.code(), StatusCode::kDeadlineExceeded) << wait.ToString();
+  // The whole timeout must elapse despite the interruptions (allow a
+  // little scheduling slack below the nominal 200 ms).
+  EXPECT_GE(elapsed_ms, 180.0);
+}
+
+TEST(SocketSignalTest, WaitReadableSeesDataArrivingAfterASignal) {
+  InstallNoopHandler(SIGUSR1);
+  SocketPair pair;
+  const pthread_t waiter = pthread_self();
+  std::thread interrupter([&pair, waiter] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pthread_kill(waiter, SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const char byte = '!';
+    EXPECT_TRUE(pair.b.SendAll(&byte, 1).ok());
+  });
+  const Status wait = pair.a.WaitReadable(2000);
+  interrupter.join();
+  EXPECT_TRUE(wait.ok()) << wait.ToString();
+}
+
+TEST(SocketSignalTest, AcceptRetriesEintrWithRemainingTimeout) {
+  InstallNoopHandler(SIGUSR1);
+  Listener listener;
+  ASSERT_TRUE(listener.Bind("127.0.0.1", 0).ok());
+  const pthread_t waiter = pthread_self();
+  std::thread interrupter([waiter] {
+    for (int i = 0; i < 4; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      pthread_kill(waiter, SIGUSR1);
+    }
+  });
+  const Clock::time_point start = Clock::now();
+  Socket accepted;
+  const Status accept = listener.Accept(150, &accepted);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count();
+  interrupter.join();
+  EXPECT_EQ(accept.code(), StatusCode::kDeadlineExceeded)
+      << accept.ToString();
+  EXPECT_GE(elapsed_ms, 130.0);
+}
+
+// --- peer-close detection ----------------------------------------------------
+
+TEST(PeerClosedTest, ReportsClosedWhenTheFdIsNoLongerWatchable) {
+  // A socket whose descriptor died underneath it (racing Close, fd-table
+  // mishap): poll() reports the fd unusable, which must read as "peer
+  // gone" — the old behavior returned false forever, leaving disconnect
+  // watchers spinning on a dead handle.
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_EQ(::close(fds[0]), 0);
+  ASSERT_EQ(::close(fds[1]), 0);
+  const Socket stale(fds[0]);
+  EXPECT_TRUE(stale.PeerClosed());
+}
+
+TEST(PeerClosedTest, OrderlyShutdownAndOpenPeerAreDistinguished) {
+  SocketPair pair;
+  EXPECT_FALSE(pair.a.PeerClosed());
+  const char byte = 'x';
+  ASSERT_TRUE(pair.b.SendAll(&byte, 1).ok());
+  // Unread data pending: not closed.
+  EXPECT_FALSE(pair.a.PeerClosed());
+  char drained = 0;
+  ASSERT_TRUE(pair.a.RecvAll(&drained, 1).ok());
+  pair.b.Close();
+  EXPECT_TRUE(pair.a.PeerClosed());
+}
+
+}  // namespace
+}  // namespace proclus::net

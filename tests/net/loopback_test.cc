@@ -455,6 +455,27 @@ TEST(LoopbackTest, StopDrainsInFlightWaitJobs) {
   EXPECT_EQ(wire.results.size(), 3u);
 }
 
+TEST(LoopbackTest, HealthProbeReportsServerState) {
+  service::ServiceOptions service_options;
+  service_options.queue_capacity = 64;
+  ServerOptions server_options;
+  server_options.max_connections = 8;
+  Loopback loop(service_options, server_options);
+
+  WireHealth health;
+  const Status fetched = loop.client.FetchHealth(&health);
+  ASSERT_TRUE(fetched.ok()) << fetched.ToString();
+  EXPECT_EQ(health.queue_depth, 0);
+  EXPECT_EQ(health.queue_capacity, 64);
+  EXPECT_EQ(health.active_connections, 1);
+  EXPECT_EQ(health.max_connections, 8);
+  EXPECT_EQ(health.devices_total, loop.service->device_capacity());
+  EXPECT_EQ(health.devices_leased, 0);
+  EXPECT_FALSE(health.draining);
+  EXPECT_EQ(health.faults_injected_total, 0)
+      << "no fault plan installed, nothing may have been injected";
+}
+
 TEST(LoopbackTest, MalformedFrameGetsErrorAndConnectionSurvives) {
   Loopback loop;
   // Hand-roll a frame with JSON garbage via a raw socket.

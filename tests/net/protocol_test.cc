@@ -363,5 +363,60 @@ TEST(ResponseCodecTest, NotOkWithoutErrorObjectDecodesAsInternal) {
   EXPECT_EQ(decoded.error.code, StatusCode::kInternal);
 }
 
+TEST(RequestCodecTest, HealthRoundTrips) {
+  Request request;
+  request.type = RequestType::kHealth;
+  const Request decoded = RoundTrip(request);
+  EXPECT_EQ(decoded.type, RequestType::kHealth);
+}
+
+TEST(ResponseCodecTest, HealthResponseRoundTrips) {
+  Response response;
+  response.request = RequestType::kHealth;
+  response.ok = true;
+  response.has_health = true;
+  response.health.queue_depth = 7;
+  response.health.queue_capacity = 256;
+  response.health.active_connections = 3;
+  response.health.max_connections = 32;
+  response.health.devices_total = 2;
+  response.health.devices_leased = 1;
+  response.health.draining = true;
+  response.health.faults_injected_total = 41;
+
+  std::string payload;
+  ASSERT_TRUE(EncodeResponse(response, &payload).ok());
+  Response decoded;
+  ASSERT_TRUE(DecodeResponse(payload, &decoded).ok());
+  ASSERT_TRUE(decoded.has_health);
+  EXPECT_EQ(decoded.health.queue_depth, 7);
+  EXPECT_EQ(decoded.health.queue_capacity, 256);
+  EXPECT_EQ(decoded.health.active_connections, 3);
+  EXPECT_EQ(decoded.health.max_connections, 32);
+  EXPECT_EQ(decoded.health.devices_total, 2);
+  EXPECT_EQ(decoded.health.devices_leased, 1);
+  EXPECT_TRUE(decoded.health.draining);
+  EXPECT_EQ(decoded.health.faults_injected_total, 41);
+}
+
+TEST(IdempotencyTest, OnlyAsyncSubmitsAreNotIdempotent) {
+  Request request;
+  for (const RequestType type :
+       {RequestType::kRegisterDataset, RequestType::kStatus,
+        RequestType::kCancel, RequestType::kMetrics, RequestType::kHealth}) {
+    request.type = type;
+    request.wait = false;  // wait is meaningless off submits
+    EXPECT_TRUE(IsIdempotentRequest(request)) << RequestTypeName(type);
+  }
+  for (const RequestType type :
+       {RequestType::kSubmitSingle, RequestType::kSubmitSweep}) {
+    request.type = type;
+    request.wait = true;
+    EXPECT_TRUE(IsIdempotentRequest(request)) << RequestTypeName(type);
+    request.wait = false;
+    EXPECT_FALSE(IsIdempotentRequest(request)) << RequestTypeName(type);
+  }
+}
+
 }  // namespace
 }  // namespace proclus::net

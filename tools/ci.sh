@@ -10,7 +10,11 @@
 # `proclus_cli serve` on a loopback port, run `proclus_loadgen` against it,
 # and assert zero failed jobs plus a clean drain on SIGTERM — the second one
 # drives all-sweep GPU traffic at a 2-device pool and asserts the sweeps
-# actually sharded (service.sweep_shards_total non-zero).
+# actually sharded (service.sweep_shards_total non-zero). A third, chaos
+# smoke serves under a deterministic fault plan (--fault-plan; net/fault.h)
+# and runs the loadgen with retries: faults must actually fire, yet every
+# job completes and the drain stays clean (docs/serving.md, "Failure
+# semantics & retries").
 #
 #   tools/ci.sh [--skip-tsan] [--skip-smoke] [--skip-lint]
 set -euo pipefail
@@ -57,7 +61,7 @@ else
   cmake --build build-tsan -j
   echo "== TSAN: parallel / simt / obs / service / net suites =="
   (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-      -R 'thread_pool_test|cancellation_test|device_test|atomic_test|stream_test|primitives_test|obs_trace_test|obs_metrics_test|service_test|service_stress_test|device_pool_test|sweep_scheduler_test|net_loopback_test|net_server_stress_test')
+      -R 'thread_pool_test|cancellation_test|device_test|atomic_test|stream_test|primitives_test|obs_trace_test|obs_metrics_test|service_test|service_stress_test|device_pool_test|sweep_scheduler_test|net_loopback_test|net_server_stress_test|net_frame_test|net_fault_test|net_retry_test|net_chaos_test')
 fi
 
 if [[ "$SKIP_SMOKE" == 1 ]]; then
@@ -161,6 +165,44 @@ EOF
   echo "sharded sweep smoke OK: service.sweep_shards_total=$SWEEP_SHARDS"
 
   stop_and_check_drain "$SWEEP_LOG" "$SERVE_PID"
+
+  echo "== chaos smoke: serve --fault-plan + loadgen --retries =="
+  FAULT_PLAN="$TRACE_DIR/fault_plan.json"
+  cat >"$FAULT_PLAN" <<'EOF'
+{"seed": 7,
+ "refuse_connection": 0.15,
+ "delay": {"probability": 0.15, "ms": 2},
+ "close_mid_frame": 0.10,
+ "truncate_payload": 0.10,
+ "corrupt_length": 0.05,
+ "device_failure": 0.20}
+EOF
+  CHAOS_LOG="$TRACE_DIR/serve_chaos.log"
+  ./build/tools/proclus_cli serve --port 0 --generate 2000,10,4 \
+      --dataset-id smoke --queue-capacity 16 --fault-plan "$FAULT_PLAN" \
+      >"$CHAOS_LOG" 2>&1 &
+  SERVE_PID=$!
+  wait_for_port "$CHAOS_LOG" "$SERVE_PID"
+  grep -q "fault injection enabled" "$CHAOS_LOG"
+
+  # CPU traffic (device faults only hit GPU jobs) with generous retries:
+  # the loadgen must absorb every injected fault — exit 0 means zero
+  # failed jobs and zero unrecovered transport errors.
+  CHAOS_LOADGEN_LOG="$TRACE_DIR/loadgen_chaos.log"
+  ./build/tools/proclus_loadgen --port "$SERVE_PORT" --no-register \
+      --dataset-id smoke --connections 4 --rps 20 --duration 2 \
+      --interactive 0.5 --backend cpu --retries 12 | tee "$CHAOS_LOADGEN_LOG"
+
+  # The run is only meaningful if the plan actually fired.
+  FAULTS="$(sed -n 's/.*net\.faults_injected_total=\([0-9]*\).*/\1/p' "$CHAOS_LOADGEN_LOG")"
+  if [[ -z "$FAULTS" || "$FAULTS" -eq 0 ]]; then
+    echo "chaos smoke FAILED: net.faults_injected_total missing or zero" >&2
+    exit 1
+  fi
+  echo "chaos smoke OK: net.faults_injected_total=$FAULTS"
+
+  stop_and_check_drain "$CHAOS_LOG" "$SERVE_PID"
+  grep -q "faults injected:" "$CHAOS_LOG"
 fi
 
 echo "ci.sh: all green"

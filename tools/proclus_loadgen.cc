@@ -36,6 +36,13 @@ Traffic:
   --timeout-ms NUM      per-request deadline (default: server default)
   --mix-seed INT        seed of the deterministic mix (default 1)
 
+Retries (docs/serving.md "Failure semantics & retries"):
+  --retries INT         retries per request after the first attempt
+                        (default 0 = off); transport errors and retryable
+                        rejections back off and resend
+  --retry-budget-ms NUM wall-time budget per request across retries
+                        (default 0 = attempts-only)
+
 Work per request:
   --dataset-id NAME     dataset to reference (default "loadgen")
   --no-register         do not register the dataset first (it must exist)
@@ -108,6 +115,10 @@ int main(int argc, char** argv) {
       options.timeout_ms = f64;
     } else if (arg == "--mix-seed" && ParseI64(value, &i64)) {
       options.seed = static_cast<uint64_t>(i64);
+    } else if (arg == "--retries" && ParseI64(value, &i64)) {
+      options.retry.max_retries = static_cast<int>(i64);
+    } else if (arg == "--retry-budget-ms" && ParseF64(value, &f64)) {
+      options.retry.budget_ms = f64;
     } else if (arg == "--dataset-id") {
       options.dataset_id = value;
     } else if (arg == "--gen") {
