@@ -16,8 +16,10 @@
 #include "data/normalize.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "net/client.h"
 #include "net/fault.h"
 #include "net/server.h"
+#include "store/pds_format.h"
 
 namespace proclus::cli {
 
@@ -51,7 +53,8 @@ std::string UsageText() {
   return R"(proclus_cli - projected clustering with (GPU-FAST-)PROCLUS
 
 Input (one required):
-  --input FILE          headerless CSV of floats, one point per row
+  --input FILE          headerless CSV of floats, one point per row, or a
+                        binary .pds dataset (by extension; docs/store.md)
   --labels              the CSV's last column is an integer class label
   --generate N,D,C      synthesize N points, D dims, C subspace clusters
 
@@ -95,6 +98,22 @@ Serve mode (proclus_cli serve ...):
                         dataset (default "default")
   --fault-plan FILE     serve with deterministic fault injection per the
                         JSON plan (docs/serving.md); for chaos testing
+  --store-dir DIR       dataset-store spill directory (docs/store.md);
+                        datasets evicted under memory pressure reload from
+                        here transparently (default: memory-only)
+  --store-budget-mb INT resident-bytes budget; past it, unpinned LRU
+                        datasets spill to --store-dir (default 0 = none)
+
+Upload mode (proclus_cli upload ...):
+  streams the --input/--generate dataset (normalized unless
+  --no-normalize, same as a run) to a running server over the chunked
+  binary upload path (docs/store.md) and prints its content hash;
+  takes --host/--port (required) and --dataset-id for the target.
+
+Convert mode (proclus_cli convert ...):
+  writes the --input/--generate dataset to --output as a binary .pds
+  file. Pure format conversion — never normalizes, so a converted CSV
+  clusters bit-identically to the original.
 
 Output:
   --output FILE         write per-point cluster ids (-1 = outlier)
@@ -128,6 +147,12 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
     start = 1;
   } else if (!args.empty() && args[0] == "serve") {
     config->serve = true;
+    start = 1;
+  } else if (!args.empty() && args[0] == "upload") {
+    config->upload = true;
+    start = 1;
+  } else if (!args.empty() && args[0] == "convert") {
+    config->convert = true;
     start = 1;
   }
 
@@ -281,6 +306,13 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
       PROCLUS_RETURN_NOT_OK(
           next_value(&i, arg, &config->serve_fault_plan_path));
       config->serve_flag_seen = true;
+    } else if (arg == "--store-dir") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &config->store_dir));
+      config->store_flag_seen = true;
+    } else if (arg == "--store-budget-mb") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseInt(value, arg, &config->store_budget_mb));
+      config->store_flag_seen = true;
     } else if (arg == "--output") {
       PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &config->output_path));
     } else if (arg == "--trace-out") {
@@ -320,10 +352,33 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
     return Status::InvalidArgument(
         "--explore/--output make no sense in serve mode");
   }
-  if (!config->serve && config->serve_flag_seen) {
+  if (!config->serve && !config->upload && config->serve_flag_seen) {
     return Status::InvalidArgument(
         "--host/--port/--max-connections/--queue-capacity/--dataset-id/"
-        "--fault-plan require serve mode (proclus_cli serve ...)");
+        "--fault-plan require serve or upload mode");
+  }
+  if (!config->serve && config->store_flag_seen) {
+    return Status::InvalidArgument(
+        "--store-dir/--store-budget-mb require serve mode "
+        "(proclus_cli serve ...)");
+  }
+  if (config->store_budget_mb < 0) {
+    return Status::InvalidArgument("--store-budget-mb must be >= 0");
+  }
+  if (config->upload && config->serve_port <= 0) {
+    return Status::InvalidArgument("upload mode requires --port");
+  }
+  if (config->upload && (config->explore || !config->output_path.empty())) {
+    return Status::InvalidArgument(
+        "--explore/--output make no sense in upload mode");
+  }
+  if (config->convert && config->explore) {
+    return Status::InvalidArgument(
+        "--explore makes no sense in convert mode");
+  }
+  if (config->convert && config->output_path.empty()) {
+    return Status::InvalidArgument(
+        "convert mode requires --output FILE.pds");
   }
   if (config->batch && config->explore) {
     return Status::InvalidArgument("--explore and batch mode are exclusive");
@@ -482,6 +537,37 @@ Status RunBatch(const CliConfig& config, const data::Dataset& dataset,
   return first_failure;
 }
 
+bool IsPdsPath(const std::string& path) {
+  const std::string ext = store::kPdsExtension;
+  return path.size() > ext.size() &&
+         path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+// Loads the configured input into `dataset`: --generate synthesizes (the
+// same pipeline serve-mode registration uses), a .pds path reads the
+// binary format, anything else parses as CSV. Normalization is the
+// caller's business.
+Status LoadInput(const CliConfig& config, data::Dataset* dataset) {
+  *dataset = data::Dataset();
+  if (config.generate) {
+    data::GeneratorConfig gen;
+    gen.n = config.gen_n;
+    gen.d = config.gen_d;
+    gen.num_clusters = config.gen_clusters;
+    gen.subspace_dim = std::max(2, config.gen_d / 3);
+    gen.seed = config.params.seed;
+    return data::GenerateSubspaceData(gen, dataset);
+  }
+  if (IsPdsPath(config.input_path)) {
+    if (config.input_has_labels) {
+      return Status::InvalidArgument(
+          ".pds files carry no labels; --labels applies to CSV input only");
+    }
+    return store::ReadPds(config.input_path, &dataset->points);
+  }
+  return data::ReadCsv(config.input_path, config.input_has_labels, dataset);
+}
+
 // Set by the SIGINT/SIGTERM handler serve mode installs; polled by the
 // RunServe wait loop. sig_atomic_t is the only type a handler may touch.
 volatile std::sig_atomic_t g_serve_stop_requested = 0;
@@ -507,25 +593,24 @@ Status RunServe(const CliConfig& config, std::ostream& out) {
   service_options.queue_capacity = config.serve_queue_capacity;
   service_options.default_timeout_seconds = config.batch_timeout_ms / 1e3;
   service_options.sanitize_devices |= config.simtcheck;
+  service_options.store_dir = config.store_dir;
+  service_options.store_budget_bytes =
+      config.store_budget_mb * (int64_t{1} << 20);
   if (fault.has_value()) {
     service_options.device_fault_hook = fault->DeviceFaultHook();
   }
   service::ProclusService service(service_options);
+  if (!config.store_dir.empty()) {
+    out << "dataset store at " << config.store_dir;
+    if (config.store_budget_mb > 0) {
+      out << " (budget " << config.store_budget_mb << " MiB)";
+    }
+    out << "\n";
+  }
 
   if (config.generate || !config.input_path.empty()) {
     data::Dataset dataset;
-    if (config.generate) {
-      data::GeneratorConfig gen;
-      gen.n = config.gen_n;
-      gen.d = config.gen_d;
-      gen.num_clusters = config.gen_clusters;
-      gen.subspace_dim = std::max(2, config.gen_d / 3);
-      gen.seed = config.params.seed;
-      PROCLUS_RETURN_NOT_OK(data::GenerateSubspaceData(gen, &dataset));
-    } else {
-      PROCLUS_RETURN_NOT_OK(data::ReadCsv(
-          config.input_path, config.input_has_labels, &dataset));
-    }
+    PROCLUS_RETURN_NOT_OK(LoadInput(config, &dataset));
     if (config.normalize) data::MinMaxNormalize(&dataset.points);
     const int64_t n = dataset.n();
     const int64_t d = dataset.d();
@@ -576,27 +661,49 @@ Status RunServe(const CliConfig& config, std::ostream& out) {
   return Status::OK();
 }
 
+Status RunUpload(const CliConfig& config, std::ostream& out) {
+  data::Dataset dataset;
+  PROCLUS_RETURN_NOT_OK(LoadInput(config, &dataset));
+  // Same default normalization as a run, so an uploaded dataset clusters
+  // identically to `proclus_cli --input ...` on the same file.
+  if (config.normalize) data::MinMaxNormalize(&dataset.points);
+  net::ProclusClient client;
+  PROCLUS_RETURN_NOT_OK(client.Connect(config.serve_host, config.serve_port));
+  std::string hash;
+  bool deduped = false;
+  PROCLUS_RETURN_NOT_OK(client.UploadDataset(
+      config.serve_dataset_id, dataset.points, /*chunk_bytes=*/0, &hash,
+      &deduped));
+  out << "uploaded '" << config.serve_dataset_id << "' (" << dataset.n()
+      << " x " << dataset.d() << ", hash " << hash
+      << (deduped ? ", deduplicated)" : ")") << "\n";
+  return Status::OK();
+}
+
+Status RunConvert(const CliConfig& config, std::ostream& out) {
+  data::Dataset dataset;
+  PROCLUS_RETURN_NOT_OK(LoadInput(config, &dataset));
+  PROCLUS_RETURN_NOT_OK(store::WritePds(dataset.points, config.output_path));
+  out << "wrote " << dataset.n() << " x " << dataset.d() << " to "
+      << config.output_path << "\n";
+  return Status::OK();
+}
+
 Status RunCli(const CliConfig& config, std::ostream& out) {
   if (config.show_help) {
     out << UsageText();
     return Status::OK();
   }
   if (config.serve) return RunServe(config, out);
+  if (config.upload) return RunUpload(config, out);
+  if (config.convert) return RunConvert(config, out);
 
   data::Dataset dataset;
+  PROCLUS_RETURN_NOT_OK(LoadInput(config, &dataset));
   if (config.generate) {
-    data::GeneratorConfig gen;
-    gen.n = config.gen_n;
-    gen.d = config.gen_d;
-    gen.num_clusters = config.gen_clusters;
-    gen.subspace_dim = std::max(2, config.gen_d / 3);
-    gen.seed = config.params.seed;
-    PROCLUS_RETURN_NOT_OK(data::GenerateSubspaceData(gen, &dataset));
     out << "generated " << dataset.n() << " points, " << dataset.d()
         << " dims, " << config.gen_clusters << " clusters\n";
   } else {
-    PROCLUS_RETURN_NOT_OK(
-        data::ReadCsv(config.input_path, config.input_has_labels, &dataset));
     out << "loaded " << dataset.n() << " points, " << dataset.d()
         << " dims from " << config.input_path << "\n";
   }

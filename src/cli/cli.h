@@ -12,7 +12,8 @@ namespace proclus::cli {
 
 // Configuration assembled from command-line arguments.
 struct CliConfig {
-  // Input: either a CSV file...
+  // Input: either a CSV file (or a binary .pds dataset, detected by
+  // extension — docs/store.md)...
   std::string input_path;
   bool input_has_labels = false;
   // ...or a generated synthetic dataset ("--generate n,d,clusters").
@@ -65,10 +66,29 @@ struct CliConfig {
   // --fault-plan FILE: serve with deterministic fault injection per the
   // JSON plan (net/fault.h; docs/serving.md has the format). Empty = off.
   std::string serve_fault_plan_path;
+  // --store-dir DIR: spill directory for the service's dataset store
+  // (docs/store.md). Empty = memory-only (never spills or evicts).
+  std::string store_dir;
+  // --store-budget-mb N: resident-bytes budget; past it, unpinned LRU
+  // datasets spill to --store-dir. 0 = unbounded.
+  int64_t store_budget_mb = 0;
   // True when any serve-only flag (--host/--port/--max-connections/
   // --queue-capacity/--dataset-id) appeared, so other modes can reject
-  // them instead of silently ignoring them.
+  // them instead of silently ignoring them. Upload mode shares the
+  // connection flags (--host/--port/--dataset-id), so it accepts these.
   bool serve_flag_seen = false;
+  // True when --store-dir/--store-budget-mb appeared (serve only).
+  bool store_flag_seen = false;
+  // Upload mode ("proclus_cli upload ..."): load or generate the dataset
+  // locally and stream it to a running server over the chunked binary
+  // upload path (docs/store.md), then exit. Uses serve_host/serve_port/
+  // serve_dataset_id for the connection.
+  bool upload = false;
+  // Convert mode ("proclus_cli convert ..."): pure format conversion of
+  // --input (CSV or .pds) into the binary .pds file named by --output.
+  // Never normalizes — run modes normalize at load time, so a converted
+  // file clusters bit-identically to its source CSV.
+  bool convert = false;
   // Where to write the per-point assignment (empty = don't).
   std::string output_path;
   // Where to write a Chrome trace_event JSON of the run (empty = no
@@ -95,6 +115,17 @@ Status RunCli(const CliConfig& config, std::ostream& out);
 // (draining in-flight jobs), shuts the service down, and prints the
 // service's terminal counters.
 Status RunServe(const CliConfig& config, std::ostream& out);
+
+// Upload mode (dispatched by RunCli when config.upload is set): loads or
+// generates the dataset exactly like a run would (normalization included),
+// streams it to the server at serve_host:serve_port over the chunked
+// binary path, and prints the content hash the store assigned.
+Status RunUpload(const CliConfig& config, std::ostream& out);
+
+// Convert mode (dispatched by RunCli when config.convert is set): writes
+// the input dataset to `output_path` as a .pds file, bit-identical to what
+// the CSV reader produced (no normalization).
+Status RunConvert(const CliConfig& config, std::ostream& out);
 
 }  // namespace proclus::cli
 

@@ -1,7 +1,10 @@
 #ifndef PROCLUS_DATA_MATRIX_H_
 #define PROCLUS_DATA_MATRIX_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -12,12 +15,34 @@ namespace proclus::data {
 // dimensions. This is the in-memory layout every backend operates on (the
 // GPU backend copies the same layout into device memory), so a point is a
 // contiguous `cols`-element span.
+//
+// A matrix either owns its values (the default) or borrows them from an
+// external buffer via Borrowed() — the zero-copy path the dataset store
+// uses to serve mmap'ed `.pds` files (store/pds_format.h). A borrowed
+// matrix is read-only: the mutating accessors abort. Copies of a borrowed
+// matrix share the same view (and keep the owner handle alive); call
+// Materialize() for an owned deep copy.
 class Matrix {
  public:
   Matrix() = default;
   Matrix(int64_t rows, int64_t cols)
       : rows_(rows), cols_(cols), values_(rows * cols, 0.0f) {
     PROCLUS_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  // Wraps an externally owned row-major buffer of rows*cols floats without
+  // copying. `owner` keeps the buffer alive for as long as any copy of the
+  // returned matrix exists (e.g. an mmap'ed file mapping).
+  static Matrix Borrowed(int64_t rows, int64_t cols, const float* values,
+                         std::shared_ptr<const void> owner) {
+    PROCLUS_CHECK(rows >= 0 && cols >= 0 &&
+                  (values != nullptr || rows * cols == 0));
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.view_ = values;
+    m.owner_ = std::move(owner);
+    return m;
   }
 
   Matrix(const Matrix&) = default;
@@ -29,38 +54,56 @@ class Matrix {
   int64_t cols() const { return cols_; }
   int64_t size() const { return rows_ * cols_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }
+  bool borrowed() const { return view_ != nullptr; }
+
+  // Owned deep copy of this matrix (a plain copy for an owned one).
+  Matrix Materialize() const {
+    if (!borrowed()) return *this;
+    Matrix m(rows_, cols_);
+    std::copy(view_, view_ + size(), m.values_.data());
+    return m;
+  }
 
   float& operator()(int64_t row, int64_t col) {
     PROCLUS_DCHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
-    return values_[row * cols_ + col];
+    return data()[row * cols_ + col];
   }
   float operator()(int64_t row, int64_t col) const {
     PROCLUS_DCHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
-    return values_[row * cols_ + col];
+    return data()[row * cols_ + col];
   }
 
   // Pointer to the first value of `row`.
   float* Row(int64_t row) {
     PROCLUS_DCHECK(row >= 0 && row < rows_);
-    return values_.data() + row * cols_;
+    return data() + row * cols_;
   }
   const float* Row(int64_t row) const {
     PROCLUS_DCHECK(row >= 0 && row < rows_);
-    return values_.data() + row * cols_;
+    return data() + row * cols_;
   }
 
-  float* data() { return values_.data(); }
-  const float* data() const { return values_.data(); }
+  float* data() {
+    PROCLUS_CHECK(view_ == nullptr);  // borrowed matrices are read-only
+    return values_.data();
+  }
+  const float* data() const {
+    return view_ != nullptr ? view_ : values_.data();
+  }
 
   bool operator==(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_ &&
-           values_ == other.values_;
+           std::equal(data(), data() + size(), other.data());
   }
 
  private:
   int64_t rows_ = 0;
   int64_t cols_ = 0;
   std::vector<float> values_;
+  // Borrowed mode: the values live in an external buffer kept alive by
+  // `owner_`; `values_` stays empty.
+  const float* view_ = nullptr;
+  std::shared_ptr<const void> owner_;
 };
 
 }  // namespace proclus::data

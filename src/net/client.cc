@@ -1,10 +1,12 @@
 #include "net/client.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
 
 #include "net/frame.h"
+#include "store/pds_format.h"
 
 namespace proclus::net {
 
@@ -29,6 +31,11 @@ Status ProclusClient::Call(const Request& request, Response* response) {
   std::string payload;
   PROCLUS_RETURN_NOT_OK(EncodeRequest(request, &payload));
   PROCLUS_RETURN_NOT_OK(WriteFrame(&socket_, payload));
+  if (request.type == RequestType::kUploadChunk) {
+    // The chunk's payload bytes travel as a second, raw frame right behind
+    // the JSON header (see protocol.h).
+    PROCLUS_RETURN_NOT_OK(WriteFrame(&socket_, request.chunk_payload));
+  }
   bool clean_close = false;
   const Status read = ReadFrame(&socket_, &payload, &clean_close);
   if (!read.ok()) {
@@ -140,6 +147,84 @@ Status ProclusClient::RegisterGenerated(const std::string& id,
   request.dataset_id = id;
   request.has_generate = true;
   request.generate = spec;
+  Response response;
+  return CallChecked(request, &response);
+}
+
+Status ProclusClient::UploadDataset(const std::string& id,
+                                    const data::Matrix& points,
+                                    int64_t chunk_bytes, std::string* hash,
+                                    bool* deduped) {
+  if (points.empty()) {
+    return Status::InvalidArgument("dataset must not be empty");
+  }
+  constexpr int64_t kDefaultChunkBytes = 4 << 20;
+  if (chunk_bytes <= 0) chunk_bytes = kDefaultChunkBytes;
+  chunk_bytes -= chunk_bytes % 4;  // whole float32 values per chunk
+  chunk_bytes = std::min<int64_t>(
+      chunk_bytes, static_cast<int64_t>(kMaxFrameBytes) - 4096);
+  if (chunk_bytes < 4) {
+    return Status::InvalidArgument("chunk_bytes must allow >= 4 bytes");
+  }
+
+  Request begin;
+  begin.type = RequestType::kUploadBegin;
+  begin.dataset_id = id;
+  begin.upload_rows = points.rows();
+  begin.upload_cols = points.cols();
+  Response response;
+  PROCLUS_RETURN_NOT_OK(CallChecked(begin, &response));
+  if (response.upload_session == 0) {
+    return Status::Internal("upload_begin returned no session id");
+  }
+  const uint64_t session = response.upload_session;
+
+  // The wire format is little-endian float32, which is the in-memory
+  // layout on every platform this codebase targets — chunks are straight
+  // byte spans of the matrix payload.
+  const auto* bytes = reinterpret_cast<const char*>(points.data());
+  const int64_t total_bytes = points.size() * 4;
+  for (int64_t offset = 0; offset < total_bytes; offset += chunk_bytes) {
+    Request chunk;
+    chunk.type = RequestType::kUploadChunk;
+    chunk.upload_session = session;
+    chunk.upload_offset = offset;
+    chunk.chunk_payload.assign(
+        bytes + offset,
+        static_cast<size_t>(std::min(chunk_bytes, total_bytes - offset)));
+    PROCLUS_RETURN_NOT_OK(CallChecked(chunk, &response));
+  }
+
+  Request commit;
+  commit.type = RequestType::kUploadCommit;
+  commit.upload_session = session;
+  commit.upload_crc32 =
+      store::Crc32(points.data(), static_cast<size_t>(total_bytes));
+  PROCLUS_RETURN_NOT_OK(CallChecked(commit, &response));
+  if (hash != nullptr) *hash = response.dataset_hash;
+  if (deduped != nullptr) *deduped = response.deduped;
+  return Status::OK();
+}
+
+Status ProclusClient::ListDatasets(std::vector<WireDatasetInfo>* datasets) {
+  if (datasets == nullptr) {
+    return Status::InvalidArgument("datasets must not be null");
+  }
+  Request request;
+  request.type = RequestType::kListDatasets;
+  Response response;
+  PROCLUS_RETURN_NOT_OK(CallChecked(request, &response));
+  if (!response.has_datasets) {
+    return Status::Internal("server reported ok without a datasets array");
+  }
+  *datasets = std::move(response.datasets);
+  return Status::OK();
+}
+
+Status ProclusClient::EvictDataset(const std::string& id) {
+  Request request;
+  request.type = RequestType::kEvictDataset;
+  request.dataset_id = id;
   Response response;
   return CallChecked(request, &response);
 }

@@ -75,6 +75,24 @@ class ProclusClient {
   Status RegisterDataset(const std::string& id, const data::Matrix& points);
   Status RegisterGenerated(const std::string& id, const GenerateSpec& spec);
 
+  // Streams `points` to the server over the chunked binary path
+  // (upload_begin / upload_chunk / upload_commit): raw little-endian
+  // float32 frames of at most `chunk_bytes` each, then a commit carrying
+  // the payload's CRC32. This is the way to ship anything big — inline
+  // RegisterDataset fails once its JSON encoding would exceed the frame
+  // limit. On success optionally reports the server's content hash (16 hex
+  // digits) and whether the content was already stored (deduplicated).
+  // chunk_bytes <= 0 picks the default (4 MiB).
+  Status UploadDataset(const std::string& id, const data::Matrix& points,
+                       int64_t chunk_bytes = 0, std::string* hash = nullptr,
+                       bool* deduped = nullptr);
+
+  // Enumerates the server's dataset store.
+  Status ListDatasets(std::vector<WireDatasetInfo>* datasets);
+  // Drops a dataset from the server's store; FailedPrecondition while
+  // in-flight jobs pin it.
+  Status EvictDataset(const std::string& id);
+
   // Wait-mode submits: block until the server ships the finished job.
   Status SubmitSingle(const Request& request, WireJobResult* result);
   Status SubmitSweep(const Request& request, WireJobResult* result);

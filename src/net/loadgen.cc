@@ -8,6 +8,8 @@
 #include <thread>
 #include <utility>
 
+#include "data/generator.h"
+#include "data/normalize.h"
 #include "net/client.h"
 
 namespace proclus::net {
@@ -161,8 +163,27 @@ Status RunLoadgen(const LoadgenOptions& options, LoadgenReport* report) {
     // A failed first connect is recoverable when retries are on —
     // registration below reconnects per attempt.
     if (!connected.ok() && !options.retry.enabled()) return connected;
-    PROCLUS_RETURN_NOT_OK(
-        setup.RegisterGenerated(options.dataset_id, options.generate));
+    if (options.upload_dataset) {
+      // Build the dataset locally — the same generator + normalization the
+      // server's register-by-spec path runs — and stream it through the
+      // chunked binary ingest.
+      data::GeneratorConfig config;
+      config.n = options.generate.n;
+      config.d = options.generate.d;
+      config.num_clusters = options.generate.clusters;
+      config.subspace_dim = std::max(2, options.generate.d / 3);
+      config.seed = options.generate.seed;
+      data::Dataset dataset;
+      PROCLUS_RETURN_NOT_OK(data::GenerateSubspaceData(config, &dataset));
+      if (options.generate.normalize) {
+        data::MinMaxNormalize(&dataset.points);
+      }
+      PROCLUS_RETURN_NOT_OK(
+          setup.UploadDataset(options.dataset_id, dataset.points));
+    } else {
+      PROCLUS_RETURN_NOT_OK(
+          setup.RegisterGenerated(options.dataset_id, options.generate));
+    }
   }
 
   SharedCounters counters;
@@ -251,6 +272,11 @@ void PrintReport(const LoadgenReport& report, std::ostream& out) {
     emit("service.cancelled", gauges);
     emit("service.timed_out", gauges);
     emit("service.sweep_shards_total", gauges);
+    emit("service.datasets_resident_bytes", gauges);
+    emit("store.upload_bytes_total", counters);
+    emit("store.evictions", counters);
+    emit("store.dedup_hits", counters);
+    emit("store.resident_bytes", gauges);
     if (!any) out << " (no metrics)";
     out << "\n";
   }

@@ -54,6 +54,13 @@ struct LoadgenOptions {
   bool register_dataset = true;
   std::string dataset_id = "loadgen";
   GenerateSpec generate;
+  // Ship the dataset through the chunked binary upload path instead of the
+  // register-by-spec shortcut: the generator runs client-side (same
+  // generator + normalization as the server's, so results stay
+  // bit-identical either way) and streams the payload with
+  // ProclusClient::UploadDataset. Exercises the store's ingest path under
+  // load; the report then shows store.* pressure.
+  bool upload_dataset = false;
 
   // Per-request clustering work. `sweep` is the request shape sweep
   // arrivals submit (settings, reuse level, max_shards — the shard budget

@@ -1,6 +1,9 @@
 #include "net/protocol.h"
 
+#include <cstdio>
 #include <utility>
+
+#include "net/frame.h"
 
 namespace proclus::net {
 
@@ -317,7 +320,16 @@ bool IsIdempotentRequest(const Request& request) {
       // async submit's ack can be lost *after* the job was enqueued —
       // resending could duplicate the job, so it is not retry-safe.
       return request.wait;
+    case RequestType::kUploadBegin:
+    case RequestType::kUploadChunk:
+    case RequestType::kUploadCommit:
+      // Upload sessions are connection-scoped server state: a retry over a
+      // fresh connection targets a session that no longer exists (begin) or
+      // replays an offset the session already advanced past (chunk/commit).
+      return false;
     case RequestType::kRegisterDataset:
+    case RequestType::kListDatasets:
+    case RequestType::kEvictDataset:
     case RequestType::kStatus:
     case RequestType::kCancel:
     case RequestType::kMetrics:
@@ -330,6 +342,11 @@ bool IsIdempotentRequest(const Request& request) {
 const char* RequestTypeName(RequestType type) {
   switch (type) {
     case RequestType::kRegisterDataset: return "register_dataset";
+    case RequestType::kUploadBegin: return "upload_begin";
+    case RequestType::kUploadChunk: return "upload_chunk";
+    case RequestType::kUploadCommit: return "upload_commit";
+    case RequestType::kListDatasets: return "list_datasets";
+    case RequestType::kEvictDataset: return "evict_dataset";
     case RequestType::kSubmitSingle: return "submit_single";
     case RequestType::kSubmitSweep: return "submit_sweep";
     case RequestType::kStatus: return "status";
@@ -344,9 +361,11 @@ namespace {
 
 Status RequestTypeFromName(const std::string& name, RequestType* out) {
   for (const RequestType type :
-       {RequestType::kRegisterDataset, RequestType::kSubmitSingle,
-        RequestType::kSubmitSweep, RequestType::kStatus,
-        RequestType::kCancel, RequestType::kMetrics,
+       {RequestType::kRegisterDataset, RequestType::kUploadBegin,
+        RequestType::kUploadChunk, RequestType::kUploadCommit,
+        RequestType::kListDatasets, RequestType::kEvictDataset,
+        RequestType::kSubmitSingle, RequestType::kSubmitSweep,
+        RequestType::kStatus, RequestType::kCancel, RequestType::kMetrics,
         RequestType::kHealth}) {
     if (name == RequestTypeName(type)) {
       *out = type;
@@ -375,6 +394,28 @@ Status EncodeRequest(const Request& request, std::string* out) {
       }
       v.Set("id", JsonValue::Str(request.dataset_id));
       if (request.has_inline_data) {
+        // Inline values serialize as "%.17g" doubles — up to ~25 bytes per
+        // float32 plus the separator, a ~10x blowup over the binary size.
+        // A frame over kMaxFrameBytes would only fail later, deep inside
+        // WriteFrame, after the giant JSON string was already built; check
+        // the worst-case encoded size up front and point the caller at the
+        // chunked path that exists for exactly this case.
+        constexpr int64_t kMaxEncodedBytesPerValue = 26;
+        constexpr int64_t kHeaderSlackBytes = 512;
+        const int64_t estimated =
+            request.inline_data.size() * kMaxEncodedBytesPerValue +
+            static_cast<int64_t>(request.dataset_id.size()) +
+            kHeaderSlackBytes;
+        if (estimated > static_cast<int64_t>(kMaxFrameBytes)) {
+          return Status::InvalidArgument(
+              "register_dataset inline values for " +
+              std::to_string(request.inline_data.size()) +
+              " floats would exceed the frame limit (" +
+              std::to_string(kMaxFrameBytes) +
+              " bytes); use the chunked binary upload path instead "
+              "(upload_begin/upload_chunk/upload_commit, "
+              "ProclusClient::UploadDataset)");
+        }
         v.Set("rows", JsonValue::Int(request.inline_data.rows()));
         v.Set("cols", JsonValue::Int(request.inline_data.cols()));
         JsonValue values = JsonValue::Array();
@@ -397,6 +438,53 @@ Status EncodeRequest(const Request& request, std::string* out) {
       }
       break;
     }
+    case RequestType::kUploadBegin:
+      if (request.dataset_id.empty()) {
+        return Status::InvalidArgument("upload_begin needs dataset_id");
+      }
+      if (request.upload_rows <= 0 || request.upload_cols <= 0) {
+        return Status::InvalidArgument(
+            "upload_begin needs rows > 0 and cols > 0");
+      }
+      v.Set("id", JsonValue::Str(request.dataset_id));
+      v.Set("rows", JsonValue::Int(request.upload_rows));
+      v.Set("cols", JsonValue::Int(request.upload_cols));
+      break;
+    case RequestType::kUploadChunk:
+      if (request.upload_session == 0) {
+        return Status::InvalidArgument("upload_chunk needs a session");
+      }
+      if (request.chunk_payload.empty()) {
+        return Status::InvalidArgument("upload_chunk needs payload bytes");
+      }
+      if (request.chunk_payload.size() > kMaxFrameBytes) {
+        return Status::InvalidArgument(
+            "upload_chunk payload exceeds the frame limit; send smaller "
+            "chunks");
+      }
+      v.Set("session",
+            JsonValue::Int(static_cast<int64_t>(request.upload_session)));
+      v.Set("offset", JsonValue::Int(request.upload_offset));
+      v.Set("size", JsonValue::Int(
+                        static_cast<int64_t>(request.chunk_payload.size())));
+      break;
+    case RequestType::kUploadCommit:
+      if (request.upload_session == 0) {
+        return Status::InvalidArgument("upload_commit needs a session");
+      }
+      v.Set("session",
+            JsonValue::Int(static_cast<int64_t>(request.upload_session)));
+      v.Set("crc32",
+            JsonValue::Int(static_cast<int64_t>(request.upload_crc32)));
+      break;
+    case RequestType::kListDatasets:
+      break;
+    case RequestType::kEvictDataset:
+      if (request.dataset_id.empty()) {
+        return Status::InvalidArgument("evict_dataset needs dataset_id");
+      }
+      v.Set("id", JsonValue::Str(request.dataset_id));
+      break;
     case RequestType::kSubmitSingle:
     case RequestType::kSubmitSweep: {
       if (request.dataset_id.empty()) {
@@ -516,6 +604,64 @@ Status DecodeRequest(const std::string& payload, Request* out) {
       }
       break;
     }
+    case RequestType::kUploadBegin: {
+      if (const JsonValue* f = v.Find("id")) out->dataset_id = f->AsString();
+      if (out->dataset_id.empty()) {
+        return Status::InvalidArgument("upload_begin needs \"id\"");
+      }
+      if (const JsonValue* f = v.Find("rows")) out->upload_rows = f->AsInt();
+      if (const JsonValue* f = v.Find("cols")) out->upload_cols = f->AsInt();
+      if (out->upload_rows <= 0 || out->upload_cols <= 0) {
+        return Status::InvalidArgument(
+            "upload_begin needs rows > 0 and cols > 0");
+      }
+      break;
+    }
+    case RequestType::kUploadChunk: {
+      if (const JsonValue* f = v.Find("session")) {
+        out->upload_session = static_cast<uint64_t>(f->AsInt());
+      }
+      if (out->upload_session == 0) {
+        return Status::InvalidArgument(
+            "upload_chunk needs a nonzero \"session\"");
+      }
+      if (const JsonValue* f = v.Find("offset")) {
+        out->upload_offset = f->AsInt();
+      }
+      if (out->upload_offset < 0) {
+        return Status::InvalidArgument("upload_chunk offset must be >= 0");
+      }
+      if (const JsonValue* f = v.Find("size")) {
+        out->chunk_declared_bytes = f->AsInt();
+      }
+      if (out->chunk_declared_bytes <= 0 ||
+          out->chunk_declared_bytes > static_cast<int64_t>(kMaxFrameBytes)) {
+        return Status::InvalidArgument(
+            "upload_chunk needs a \"size\" in (0, frame limit]");
+      }
+      break;
+    }
+    case RequestType::kUploadCommit: {
+      if (const JsonValue* f = v.Find("session")) {
+        out->upload_session = static_cast<uint64_t>(f->AsInt());
+      }
+      if (out->upload_session == 0) {
+        return Status::InvalidArgument(
+            "upload_commit needs a nonzero \"session\"");
+      }
+      if (const JsonValue* f = v.Find("crc32")) {
+        out->upload_crc32 = static_cast<uint32_t>(f->AsInt());
+      }
+      break;
+    }
+    case RequestType::kListDatasets:
+      break;
+    case RequestType::kEvictDataset:
+      if (const JsonValue* f = v.Find("id")) out->dataset_id = f->AsString();
+      if (out->dataset_id.empty()) {
+        return Status::InvalidArgument("evict_dataset needs \"id\"");
+      }
+      break;
     case RequestType::kSubmitSingle:
     case RequestType::kSubmitSweep: {
       if (const JsonValue* f = v.Find("dataset_id")) {
@@ -649,7 +795,36 @@ Status EncodeResponse(const Response& response, std::string* out) {
       health.Set("faults_injected_total",
                  JsonValue::Int(h.faults_injected_total));
     }
+    health.Set("store_datasets", JsonValue::Int(h.store_datasets));
+    health.Set("store_resident_bytes",
+               JsonValue::Int(h.store_resident_bytes));
+    health.Set("store_evictions", JsonValue::Int(h.store_evictions));
+    health.Set("store_upload_bytes_total",
+               JsonValue::Int(h.store_upload_bytes_total));
     v.Set("health", std::move(health));
+  }
+  if (response.upload_session != 0) {
+    v.Set("session",
+          JsonValue::Int(static_cast<int64_t>(response.upload_session)));
+  }
+  if (!response.dataset_hash.empty()) {
+    v.Set("hash", JsonValue::Str(response.dataset_hash));
+    v.Set("deduped", JsonValue::Bool(response.deduped));
+  }
+  if (response.has_datasets) {
+    JsonValue datasets = JsonValue::Array();
+    for (const WireDatasetInfo& info : response.datasets) {
+      JsonValue d = JsonValue::Object();
+      d.Set("id", JsonValue::Str(info.id));
+      d.Set("hash", JsonValue::Str(info.hash));
+      d.Set("rows", JsonValue::Int(info.rows));
+      d.Set("cols", JsonValue::Int(info.cols));
+      d.Set("bytes", JsonValue::Int(info.bytes));
+      d.Set("resident", JsonValue::Bool(info.resident));
+      d.Set("pinned", JsonValue::Bool(info.pinned));
+      datasets.Append(std::move(d));
+    }
+    v.Set("datasets", std::move(datasets));
   }
   *out = json::Dump(v);
   return Status::OK();
@@ -709,6 +884,32 @@ Status DecodeResponse(const std::string& payload, Response* out) {
     if (const JsonValue* f = h->Find("draining")) health.draining = f->AsBool();
     if (const JsonValue* f = h->Find("faults_injected_total")) {
       health.faults_injected_total = f->AsInt();
+    }
+    if (const JsonValue* f = h->Find("store_datasets")) health.store_datasets = f->AsInt();
+    if (const JsonValue* f = h->Find("store_resident_bytes")) health.store_resident_bytes = f->AsInt();
+    if (const JsonValue* f = h->Find("store_evictions")) health.store_evictions = f->AsInt();
+    if (const JsonValue* f = h->Find("store_upload_bytes_total")) {
+      health.store_upload_bytes_total = f->AsInt();
+    }
+  }
+  if (const JsonValue* f = v.Find("session")) {
+    out->upload_session = static_cast<uint64_t>(f->AsInt());
+  }
+  if (const JsonValue* f = v.Find("hash")) out->dataset_hash = f->AsString();
+  if (const JsonValue* f = v.Find("deduped")) out->deduped = f->AsBool();
+  if (const JsonValue* d = v.Find("datasets"); d != nullptr && d->is_array()) {
+    out->has_datasets = true;
+    out->datasets.reserve(d->array_value.size());
+    for (const JsonValue& element : d->array_value) {
+      WireDatasetInfo info;
+      if (const JsonValue* f = element.Find("id")) info.id = f->AsString();
+      if (const JsonValue* f = element.Find("hash")) info.hash = f->AsString();
+      if (const JsonValue* f = element.Find("rows")) info.rows = f->AsInt();
+      if (const JsonValue* f = element.Find("cols")) info.cols = f->AsInt();
+      if (const JsonValue* f = element.Find("bytes")) info.bytes = f->AsInt();
+      if (const JsonValue* f = element.Find("resident")) info.resident = f->AsBool();
+      if (const JsonValue* f = element.Find("pinned")) info.pinned = f->AsBool();
+      out->datasets.push_back(std::move(info));
     }
   }
   return Status::OK();

@@ -6,14 +6,32 @@
 // request carries a "type" discriminator:
 //
 //   register_dataset — store a dataset server-side, either with inline
-//                      row-major "values" or a server-side "generate" spec
+//                      row-major "values" or a server-side "generate" spec.
+//                      Inline values ride as JSON doubles (~10x the binary
+//                      size); encoding fails fast with a pointer at the
+//                      chunked upload path once the frame would exceed
+//                      kMaxFrameBytes. Small datasets only.
+//   upload_begin     — open a chunked binary upload (id, rows, cols);
+//                      returns a server-assigned session id
+//   upload_chunk     — one payload chunk: a JSON header frame (session,
+//                      byte offset, size) followed by ONE RAW frame of
+//                      little-endian float32 payload bytes — the only
+//                      non-JSON frame in the protocol. Chunks must arrive
+//                      in order (offset == bytes received so far).
+//   upload_commit    — finish the upload; the server verifies the declared
+//                      CRC32 and registers the dataset (content-addressed,
+//                      deduped). Response carries the content hash.
+//   list_datasets    — enumerate stored datasets (shape, residency, pins)
+//   evict_dataset    — drop a dataset from the store (fails while pinned)
 //   submit_single    — one clustering run
 //   submit_sweep     — a (k,l) multi-parameter sweep (§3.1/§5.3)
 //   status           — poll a previously submitted async job
 //   cancel           — cooperatively cancel an async job
-//   metrics          — snapshot the server's net.*/service.* registry
+//   metrics          — snapshot the server's net.*/service.*/store.*
+//                      registry
 //   health           — cheap liveness probe: queue depth, device-pool
-//                      saturation, drain state (no metrics payload)
+//                      saturation, drain state, store pressure (no metrics
+//                      payload)
 //
 // A response echoes the request type and reports either "ok":true with
 // type-specific fields or "ok":false with an {"code","message",
@@ -66,6 +84,11 @@ bool IsIdempotentRequest(const Request& request);
 
 enum class RequestType {
   kRegisterDataset,
+  kUploadBegin,
+  kUploadChunk,
+  kUploadCommit,
+  kListDatasets,
+  kEvictDataset,
   kSubmitSingle,
   kSubmitSweep,
   kStatus,
@@ -115,6 +138,25 @@ struct Request {
   // status / cancel.
   uint64_t job_id = 0;
   bool include_result = true;  // status: ship results when terminal
+
+  // upload_begin: dataset_id + the payload shape.
+  int64_t upload_rows = 0;
+  int64_t upload_cols = 0;
+  // upload_chunk / upload_commit: the session id upload_begin returned.
+  uint64_t upload_session = 0;
+  // upload_chunk: byte offset of this chunk within the payload, and the raw
+  // little-endian float32 bytes. The bytes do NOT appear in the JSON header
+  // — EncodeRequest encodes their size, and the sender ships them as the
+  // immediately following raw frame (ProclusClient::Call and the server's
+  // connection loop both special-case this).
+  int64_t upload_offset = 0;
+  std::string chunk_payload;
+  // Decode side: the chunk size the JSON header declared; the receiver
+  // checks the raw frame that follows is exactly this long before touching
+  // the session.
+  int64_t chunk_declared_bytes = 0;
+  // upload_commit: CRC32 (IEEE) of the complete payload.
+  uint32_t upload_crc32 = 0;
 };
 
 Status EncodeRequest(const Request& request, std::string* out);
@@ -155,6 +197,18 @@ struct WireJobResult {
   int sweep_shards = 0;
 };
 
+// One stored dataset as reported by list_datasets (store::DatasetInfo on
+// the wire; the hash travels as 16 hex digits).
+struct WireDatasetInfo {
+  std::string id;
+  std::string hash;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t bytes = 0;
+  bool resident = false;
+  bool pinned = false;
+};
+
 // Health snapshot: enough for a client (or a load balancer probe) to see
 // how loaded and how alive the server is without the full metrics dump.
 struct WireHealth {
@@ -166,6 +220,13 @@ struct WireHealth {
   int devices_leased = 0;        // pool saturation: leased == total is full
   bool draining = false;         // Stop() in progress: finish up and go away
   int64_t faults_injected_total = 0;  // 0 unless serving with --fault-plan
+  // Dataset-store pressure: datasets held, payload bytes resident, datasets
+  // spilled out of memory so far, and total bytes ingested via the chunked
+  // upload path (store.* metrics in docs/observability.md).
+  int64_t store_datasets = 0;
+  int64_t store_resident_bytes = 0;
+  int64_t store_evictions = 0;
+  int64_t store_upload_bytes_total = 0;
 };
 
 struct Response {
@@ -185,6 +246,17 @@ struct Response {
   // health.
   bool has_health = false;
   WireHealth health;
+
+  // upload_begin: the session id to pass with every chunk and the commit.
+  uint64_t upload_session = 0;
+  // upload_commit: content hash (16 hex digits) and whether the store
+  // already held identical content (deduplicated ingest).
+  std::string dataset_hash;
+  bool deduped = false;
+
+  // list_datasets.
+  bool has_datasets = false;
+  std::vector<WireDatasetInfo> datasets;
 };
 
 Status EncodeResponse(const Response& response, std::string* out);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <utility>
 
 #include "data/generator.h"
@@ -45,6 +46,13 @@ void FillResult(const service::JobResult& job_result, Response* response) {
 bool IsTerminal(service::JobPhase phase) {
   return phase != service::JobPhase::kQueued &&
          phase != service::JobPhase::kRunning;
+}
+
+std::string HashHex(uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
 }
 
 }  // namespace
@@ -195,6 +203,12 @@ void ProclusServer::ServeConnection(Connection* connection) {
     if (!ReadFrame(&connection->socket, &payload, &clean_close).ok()) break;
     if (!HandleRequest(connection, payload)) break;
   }
+  // Uploads the connection never committed are dead: free their staging
+  // buffers so an aborted client cannot leak server memory.
+  for (const auto& [id, session] : connection->uploads) {
+    service_->dataset_store()->UploadAbort(session);
+  }
+  connection->uploads.clear();
   connection->socket.Close();
   connection->done.store(true, std::memory_order_release);
 }
@@ -205,6 +219,31 @@ bool ProclusServer::HandleRequest(Connection* connection,
   Request request;
   Response response;
   const Status decoded = DecodeRequest(payload, &request);
+  if (decoded.ok() && request.type == RequestType::kUploadChunk) {
+    // The chunk header is followed by exactly one raw frame holding the
+    // payload bytes; consume it before anything can be answered so header
+    // and payload never desynchronize on this connection.
+    if (!ReadFrame(&connection->socket, &request.chunk_payload).ok()) {
+      return false;
+    }
+    if (static_cast<int64_t>(request.chunk_payload.size()) !=
+        request.chunk_declared_bytes) {
+      metrics_.counter("net.decode_errors")->Increment();
+      response = ErrorResponse(
+          request.type,
+          Status::InvalidArgument(
+              "upload_chunk payload frame is " +
+              std::to_string(request.chunk_payload.size()) +
+              " bytes but the header declared " +
+              std::to_string(request.chunk_declared_bytes)));
+      std::string encoded_error;
+      if (!EncodeResponse(response, &encoded_error).ok()) return false;
+      metrics_.counter("net.responses_error")->Increment();
+      return WriteFrameWithFaults(&connection->socket, encoded_error,
+                                  options_.fault)
+          .ok();
+    }
+  }
   if (!decoded.ok()) {
     metrics_.counter("net.decode_errors")->Increment();
     response = ErrorResponse(RequestType::kMetrics, decoded);
@@ -233,6 +272,16 @@ Response ProclusServer::Dispatch(Connection* connection,
   switch (request.type) {
     case RequestType::kRegisterDataset:
       return HandleRegisterDataset(request);
+    case RequestType::kUploadBegin:
+      return HandleUploadBegin(connection, request);
+    case RequestType::kUploadChunk:
+      return HandleUploadChunk(connection, request);
+    case RequestType::kUploadCommit:
+      return HandleUploadCommit(connection, request);
+    case RequestType::kListDatasets:
+      return HandleListDatasets();
+    case RequestType::kEvictDataset:
+      return HandleEvictDataset(request);
     case RequestType::kSubmitSingle:
     case RequestType::kSubmitSweep:
       return HandleSubmit(connection, request, peer_lost);
@@ -268,6 +317,98 @@ Response ProclusServer::HandleRegisterDataset(const Request& request) {
   }
   const Status status =
       service_->RegisterDataset(request.dataset_id, std::move(points));
+  if (!status.ok()) return ErrorResponse(request.type, status);
+  Response response;
+  response.request = request.type;
+  response.ok = true;
+  return response;
+}
+
+Response ProclusServer::HandleUploadBegin(Connection* connection,
+                                          const Request& request) {
+  std::shared_ptr<store::UploadSession> session;
+  const Status status = service_->dataset_store()->UploadBegin(
+      request.dataset_id, request.upload_rows, request.upload_cols, &session);
+  if (!status.ok()) return ErrorResponse(request.type, status);
+  const uint64_t session_id =
+      next_upload_session_.fetch_add(1, std::memory_order_relaxed);
+  connection->uploads.emplace(session_id, std::move(session));
+  metrics_.counter("net.uploads_started")->Increment();
+  Response response;
+  response.request = request.type;
+  response.ok = true;
+  response.upload_session = session_id;
+  return response;
+}
+
+Response ProclusServer::HandleUploadChunk(Connection* connection,
+                                          const Request& request) {
+  const auto it = connection->uploads.find(request.upload_session);
+  if (it == connection->uploads.end()) {
+    return ErrorResponse(
+        request.type,
+        Status::InvalidArgument("unknown upload session: " +
+                                std::to_string(request.upload_session)));
+  }
+  const Status status = service_->dataset_store()->UploadChunk(
+      it->second, request.upload_offset, request.chunk_payload.data(),
+      static_cast<int64_t>(request.chunk_payload.size()));
+  if (!status.ok()) return ErrorResponse(request.type, status);
+  metrics_.counter("net.upload_chunk_bytes")
+      ->Increment(static_cast<int64_t>(request.chunk_payload.size()));
+  Response response;
+  response.request = request.type;
+  response.ok = true;
+  return response;
+}
+
+Response ProclusServer::HandleUploadCommit(Connection* connection,
+                                           const Request& request) {
+  const auto it = connection->uploads.find(request.upload_session);
+  if (it == connection->uploads.end()) {
+    return ErrorResponse(
+        request.type,
+        Status::InvalidArgument("unknown upload session: " +
+                                std::to_string(request.upload_session)));
+  }
+  uint64_t hash = 0;
+  bool deduped = false;
+  const Status status = service_->dataset_store()->UploadCommit(
+      it->second, request.upload_crc32, &hash, &deduped);
+  if (!status.ok()) return ErrorResponse(request.type, status);
+  connection->uploads.erase(it);
+  metrics_.counter("net.uploads_committed")->Increment();
+  Response response;
+  response.request = request.type;
+  response.ok = true;
+  response.dataset_hash = HashHex(hash);
+  response.deduped = deduped;
+  return response;
+}
+
+Response ProclusServer::HandleListDatasets() {
+  Response response;
+  response.request = RequestType::kListDatasets;
+  response.ok = true;
+  response.has_datasets = true;
+  for (const store::DatasetInfo& info :
+       service_->dataset_store()->List()) {
+    WireDatasetInfo wire;
+    wire.id = info.id;
+    wire.hash = HashHex(info.hash);
+    wire.rows = info.rows;
+    wire.cols = info.cols;
+    wire.bytes = info.bytes;
+    wire.resident = info.resident;
+    wire.pinned = info.pinned;
+    response.datasets.push_back(std::move(wire));
+  }
+  return response;
+}
+
+Response ProclusServer::HandleEvictDataset(const Request& request) {
+  const Status status =
+      service_->dataset_store()->Evict(request.dataset_id);
   if (!status.ok()) return ErrorResponse(request.type, status);
   Response response;
   response.request = request.type;
@@ -472,6 +613,12 @@ Response ProclusServer::HandleHealth() {
   if (options_.fault != nullptr) {
     health.faults_injected_total = options_.fault->injected_total();
   }
+  const store::StoreStats store_stats =
+      service_->dataset_store()->stats();
+  health.store_datasets = store_stats.datasets;
+  health.store_resident_bytes = store_stats.resident_bytes;
+  health.store_evictions = store_stats.evictions;
+  health.store_upload_bytes_total = store_stats.upload_bytes_total;
   return response;
 }
 

@@ -38,6 +38,7 @@
 #include "obs/metrics.h"
 #include "service/job.h"
 #include "service/proclus_service.h"
+#include "store/dataset_store.h"
 
 namespace proclus::net {
 
@@ -86,6 +87,11 @@ class ProclusServer {
     Socket socket;
     std::thread thread;
     std::atomic<bool> done{false};
+    // Chunked uploads opened on this connection that have not committed.
+    // Only the connection's own thread touches the map; a connection that
+    // dies mid-upload aborts its sessions so the staging buffers free.
+    std::unordered_map<uint64_t, std::shared_ptr<store::UploadSession>>
+        uploads;
   };
 
   void AcceptLoop();
@@ -97,6 +103,11 @@ class ProclusServer {
                     bool* peer_lost);
 
   Response HandleRegisterDataset(const Request& request);
+  Response HandleUploadBegin(Connection* connection, const Request& request);
+  Response HandleUploadChunk(Connection* connection, const Request& request);
+  Response HandleUploadCommit(Connection* connection, const Request& request);
+  Response HandleListDatasets();
+  Response HandleEvictDataset(const Request& request);
   Response HandleSubmit(Connection* connection, const Request& request,
                         bool* peer_lost);
   Response HandleStatus(const Request& request);
@@ -125,6 +136,8 @@ class ProclusServer {
   // connection; they intentionally survive the submitting connection.
   std::mutex jobs_mutex_;
   std::unordered_map<uint64_t, service::JobHandle> async_jobs_;
+
+  std::atomic<uint64_t> next_upload_session_{1};
 
   obs::MetricsRegistry metrics_;
 };

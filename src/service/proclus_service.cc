@@ -123,10 +123,13 @@ struct SharedStats {
 struct Job {
   uint64_t id = 0;
   JobSpec spec;
-  // Resolved dataset; `pinned` keeps a cache entry alive for the job's
-  // lifetime when the spec referenced a dataset_id.
+  // Resolved dataset. When the spec referenced a dataset_id, `pin` holds a
+  // store pin for the job's lifetime — the payload stays resident and the
+  // entry cannot be evicted (or its memory reclaimed) until the job is
+  // done, even if the id is re-registered or the store is under budget
+  // pressure meanwhile.
   const data::Matrix* data = nullptr;
-  std::shared_ptr<const data::Matrix> pinned;
+  store::PinnedDataset pin;
   parallel::CancellationToken token;
   std::chrono::steady_clock::time_point submit_time;
   std::shared_ptr<SharedStats> stats;
@@ -157,6 +160,10 @@ struct Job {
 
   // Caller must hold `mutex`.
   void FinishLocked(Status status) {
+    // Drop the store pin before the terminal transition publishes: once
+    // Wait() returns, the dataset must already be evictable again.
+    data = nullptr;
+    pin.Release();
     result.status = std::move(status);
     phase = PhaseForStatus(result.status);
     cv.notify_all();
@@ -241,6 +248,9 @@ void JobHandle::Cancel() {
 ProclusService::ProclusService(ServiceOptions options)
     : options_(std::move(options)),
       stats_(std::make_shared<internal::SharedStats>()),
+      store_(std::make_unique<store::DatasetStore>(store::StoreOptions{
+          options_.store_dir, options_.store_budget_bytes,
+          /*mmap_loads=*/true, options_.trace})),
       compute_pool_(
           std::make_unique<parallel::ThreadPool>(options_.compute_threads)),
       device_pool_(std::make_unique<DevicePool>(
@@ -261,20 +271,14 @@ ProclusService::~ProclusService() { Shutdown(); }
 
 Status ProclusService::RegisterDataset(const std::string& id,
                                        data::Matrix points) {
-  if (id.empty()) {
-    return Status::InvalidArgument("dataset id must not be empty");
-  }
   if (points.empty()) {
     return Status::InvalidArgument("dataset must not be empty");
   }
-  std::lock_guard<std::mutex> lock(datasets_mutex_);
-  datasets_[id] = std::make_shared<const data::Matrix>(std::move(points));
-  return Status::OK();
+  return store_->Put(id, std::move(points));
 }
 
 bool ProclusService::HasDataset(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(datasets_mutex_);
-  return datasets_.count(id) > 0;
+  return store_->Contains(id);
 }
 
 Status ProclusService::Submit(JobSpec spec, JobHandle* handle) {
@@ -299,21 +303,17 @@ Status ProclusService::Submit(JobSpec spec, JobHandle* handle) {
     return Status::InvalidArgument("timeout_seconds must be >= 0");
   }
 
-  // Resolve the dataset now so bad references fail synchronously.
+  // Resolve the dataset now so bad references fail synchronously. The pin
+  // taken here rides in the Job and is released when the job object dies,
+  // so the store cannot evict the payload while the job is queued/running.
   const data::Matrix* data = spec.data;
-  std::shared_ptr<const data::Matrix> pinned;
+  store::PinnedDataset pin;
   if (!spec.dataset_id.empty()) {
     if (data != nullptr) {
       return Status::InvalidArgument("data and dataset_id are exclusive");
     }
-    std::lock_guard<std::mutex> lock(datasets_mutex_);
-    const auto it = datasets_.find(spec.dataset_id);
-    if (it == datasets_.end()) {
-      return Status::InvalidArgument("unknown dataset id: " +
-                                     spec.dataset_id);
-    }
-    pinned = it->second;
-    data = pinned.get();
+    PROCLUS_RETURN_NOT_OK(store_->Acquire(spec.dataset_id, &pin));
+    data = pin.get();
   }
   if (data == nullptr) {
     return Status::InvalidArgument("either data or dataset_id is required");
@@ -329,7 +329,7 @@ Status ProclusService::Submit(JobSpec spec, JobHandle* handle) {
   auto job = std::make_shared<internal::Job>();
   job->spec = std::move(spec);
   job->data = data;
-  job->pinned = std::move(pinned);
+  job->pin = std::move(pin);
   job->stats = stats_;
   job->submit_time = std::chrono::steady_clock::now();
   if (options_.trace != nullptr && job->spec.trace) {
@@ -636,6 +636,9 @@ void ProclusService::PublishMetrics(obs::MetricsRegistry* registry,
   set("sanitizer_findings_total",
       static_cast<double>(snap.sanitizer_findings_total));
   set("sweep_shards_total", static_cast<double>(snap.sweep_shards_total));
+  set("datasets_resident_bytes",
+      static_cast<double>(snap.datasets_resident_bytes));
+  store_->PublishMetrics(registry, "store");
 }
 
 ServiceStats ProclusService::stats() const {
@@ -656,6 +659,7 @@ ServiceStats ProclusService::stats() const {
   }
   snapshot.device_acquires = device_pool_->acquires();
   snapshot.device_reuse_hits = device_pool_->reuse_hits();
+  snapshot.datasets_resident_bytes = store_->stats().resident_bytes;
   return snapshot;
 }
 

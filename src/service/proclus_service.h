@@ -18,6 +18,7 @@
 #include "service/device_pool.h"
 #include "service/job.h"
 #include "simt/device_properties.h"
+#include "store/dataset_store.h"
 
 namespace proclus::service {
 
@@ -57,6 +58,14 @@ struct ServiceOptions {
   // `proclus_cli serve --fault-plan` (net/fault.h). Must be thread-safe
   // and outlive the service.
   std::function<Status()> device_fault_hook;
+  // Directory for the dataset store's content-addressed `.pds` spill files
+  // (`proclus_cli serve --store-dir`). Empty keeps the store memory-only:
+  // datasets never spill and are never evicted, matching the pre-store
+  // behavior. See docs/store.md.
+  std::string store_dir;
+  // Resident-bytes budget for stored datasets (0 = unbounded). Only
+  // meaningful with a store_dir; LRU entries spill there under pressure.
+  int64_t store_budget_bytes = 0;
 };
 
 // Aggregate service counters. Snapshot via ProclusService::stats().
@@ -80,6 +89,8 @@ struct ServiceStats {
   // Summed JobResult::sweep_shards across sweep jobs: device lanes the
   // sweep scheduler actually used (a serial sweep contributes 1).
   int64_t sweep_shards_total = 0;
+  // Bytes of dataset payload currently resident in the dataset store.
+  int64_t datasets_resident_bytes = 0;
 };
 
 // Long-lived clustering front end: owns one shared compute ThreadPool, a
@@ -106,9 +117,17 @@ class ProclusService {
 
   // Stores a dataset under `id` for JobSpecs to reference; replaces any
   // previous dataset with the same id. Jobs already submitted keep the
-  // version they resolved at Submit time.
+  // version they resolved at Submit time. Datasets live in the content-
+  // addressed dataset store (store/dataset_store.h): with a store_dir
+  // configured they spill to disk under memory pressure and reload on
+  // demand; jobs pin their dataset so it can never be evicted mid-run.
   Status RegisterDataset(const std::string& id, data::Matrix points);
   bool HasDataset(const std::string& id) const;
+
+  // The backing dataset store — the serving layer's upload/list/evict ops
+  // operate on it directly.
+  store::DatasetStore* dataset_store() { return store_.get(); }
+  const store::DatasetStore* dataset_store() const { return store_.get(); }
 
   // Validates `spec`, resolves its dataset, and enqueues it. On OK fills
   // `*handle`. Returns ResourceExhausted when the queue is full and
@@ -144,9 +163,7 @@ class ProclusService {
   std::unique_ptr<parallel::ThreadPool> compute_pool_;
   std::unique_ptr<DevicePool> device_pool_;
 
-  mutable std::mutex datasets_mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const data::Matrix>>
-      datasets_;
+  std::unique_ptr<store::DatasetStore> store_;
 
   mutable std::mutex queue_mutex_;
   std::condition_variable work_available_;

@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -8,6 +9,7 @@
 
 #include "data/generator.h"
 #include "data/io.h"
+#include "store/pds_format.h"
 #include "testing/minijson.h"
 
 namespace proclus::cli {
@@ -372,6 +374,125 @@ TEST(ParseArgsBatchTest, MalformedJobsRejected) {
   EXPECT_FALSE(
       ParseArgs({"batch", "--generate", "600,8,3", "--jobs", "3-3"}, &config)
           .ok());
+}
+
+TEST(ParseArgsStoreTest, StoreFlagsRequireServeMode) {
+  CliConfig config;
+  EXPECT_EQ(ParseArgs({"--generate", "100,5,2", "--store-dir", "/tmp/x"},
+                      &config)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseArgs(
+                {"--generate", "100,5,2", "--store-budget-mb", "64"}, &config)
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  CliConfig serve;
+  ASSERT_TRUE(ParseArgs({"serve", "--generate", "100,5,2", "--port", "0",
+                         "--store-dir", "/tmp/x", "--store-budget-mb", "64"},
+                        &serve)
+                  .ok());
+  EXPECT_EQ(serve.store_dir, "/tmp/x");
+  EXPECT_EQ(serve.store_budget_mb, 64);
+
+  CliConfig bad;
+  EXPECT_FALSE(ParseArgs({"serve", "--generate", "100,5,2", "--port", "0",
+                          "--store-budget-mb", "-1"},
+                         &bad)
+                   .ok());
+}
+
+TEST(ParseArgsStoreTest, UploadModeValidation) {
+  CliConfig config;
+  // Upload needs a server port to talk to.
+  EXPECT_FALSE(ParseArgs({"upload", "--input", "x.csv"}, &config).ok());
+  ASSERT_TRUE(ParseArgs({"upload", "--input", "x.csv", "--port", "7001",
+                         "--dataset-id", "mine"},
+                        &config)
+                  .ok());
+  EXPECT_TRUE(config.upload);
+  EXPECT_EQ(config.serve_port, 7001);
+  // Run-mode outputs make no sense when only shipping bytes.
+  CliConfig bad;
+  EXPECT_FALSE(ParseArgs({"upload", "--input", "x.csv", "--port", "7001",
+                          "--output", "a.csv"},
+                         &bad)
+                   .ok());
+}
+
+TEST(ParseArgsStoreTest, ConvertModeValidation) {
+  CliConfig config;
+  EXPECT_FALSE(ParseArgs({"convert", "--input", "x.csv"}, &config).ok());
+  ASSERT_TRUE(ParseArgs(
+                  {"convert", "--input", "x.csv", "--output", "x.pds"},
+                  &config)
+                  .ok());
+  EXPECT_TRUE(config.convert);
+}
+
+TEST_F(RunCliTest, ConvertRoundTripClustersBitIdentically) {
+  data::GeneratorConfig gen;
+  gen.n = 500;
+  gen.d = 6;
+  gen.num_clusters = 2;
+  gen.subspace_dim = 3;
+  gen.seed = 11;
+  const data::Dataset ds = data::GenerateSubspaceDataOrDie(gen);
+  ASSERT_TRUE(data::WriteCsv(ds, Path("in.csv")).ok());
+
+  // The dataset the converter saw: CSV text is not a bit-exact float32
+  // serialization, so the round-trip baseline is the parsed CSV.
+  data::Dataset parsed;
+  ASSERT_TRUE(data::ReadCsv(Path("in.csv"), /*has_labels=*/true, &parsed).ok());
+
+  // CSV -> .pds conversion preserves the matrix bit for bit (convert never
+  // normalizes; run modes normalize at load time).
+  CliConfig convert;
+  ASSERT_TRUE(Parse({"convert", "--input", Path("in.csv").c_str(), "--labels",
+                     "--output", Path("out.pds").c_str()},
+                    &convert)
+                  .ok());
+  std::ostringstream convert_out;
+  const Status converted = RunCli(convert, convert_out);
+  ASSERT_TRUE(converted.ok()) << converted.ToString();
+  EXPECT_NE(convert_out.str().find("wrote"), std::string::npos);
+  data::Matrix reread;
+  ASSERT_TRUE(store::ReadPds(Path("out.pds"), &reread).ok());
+  ASSERT_EQ(reread.rows(), parsed.points.rows());
+  ASSERT_EQ(reread.cols(), parsed.points.cols());
+  EXPECT_EQ(std::memcmp(reread.data(), parsed.points.data(),
+                        static_cast<size_t>(parsed.points.size()) * 4),
+            0);
+
+  // Clustering the CSV and its .pds conversion must agree exactly.
+  auto run = [&](const char* input, bool labels, const std::string& out_csv) {
+    std::vector<std::string> args = {"--input",  input, "--k",     "2",
+                                     "--l",      "3",   "--A",     "20",
+                                     "--B",      "5",   "--backend", "gpu",
+                                     "--output", out_csv};
+    if (labels) args.push_back("--labels");
+    CliConfig config;
+    ASSERT_TRUE(ParseArgs(args, &config).ok());
+    std::ostringstream sink;
+    const Status status = RunCli(config, sink);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  };
+  run(Path("in.csv").c_str(), true, Path("a_csv.csv"));
+  run(Path("out.pds").c_str(), false, Path("a_pds.csv"));
+  std::ifstream a(Path("a_csv.csv")), b(Path("a_pds.csv"));
+  std::stringstream a_text, b_text;
+  a_text << a.rdbuf();
+  b_text << b.rdbuf();
+  EXPECT_GT(a_text.str().size(), 0u);
+  EXPECT_EQ(a_text.str(), b_text.str());
+}
+
+TEST_F(RunCliTest, PdsInputRejectsLabelsFlag) {
+  CliConfig config;
+  ASSERT_TRUE(
+      Parse({"--input", Path("x.pds").c_str(), "--labels"}, &config).ok());
+  std::ostringstream out;
+  EXPECT_EQ(RunCli(config, out).code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(RunCliTest, ExploreRunsGrid) {

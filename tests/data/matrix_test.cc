@@ -1,5 +1,8 @@
 #include "data/matrix.h"
 
+#include <memory>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace proclus::data {
@@ -74,6 +77,40 @@ TEST(MatrixTest, ZeroDimensionAllowed) {
   Matrix m(0, 5);
   EXPECT_TRUE(m.empty());
   EXPECT_EQ(m.size(), 0);
+}
+
+TEST(MatrixTest, BorrowedWrapsExternalBufferWithoutCopying) {
+  auto buffer = std::make_shared<std::vector<float>>(6);
+  for (size_t i = 0; i < buffer->size(); ++i) (*buffer)[i] = float(i) * 2.0f;
+  const Matrix m = Matrix::Borrowed(2, 3, buffer->data(), buffer);
+  EXPECT_TRUE(m.borrowed());
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.data(), buffer->data());  // zero-copy: same storage
+  EXPECT_EQ(m(1, 2), 10.0f);
+}
+
+TEST(MatrixTest, BorrowedCopiesKeepTheOwnerAlive) {
+  auto buffer = std::make_shared<std::vector<float>>(4, 3.5f);
+  const float* raw = buffer->data();
+  Matrix m = Matrix::Borrowed(2, 2, raw, buffer);
+  buffer.reset();  // the matrix copy must keep the buffer alive
+  const Matrix copy = m;
+  m = Matrix();
+  EXPECT_TRUE(copy.borrowed());
+  EXPECT_EQ(copy.data(), raw);
+  EXPECT_EQ(copy(0, 0), 3.5f);
+}
+
+TEST(MatrixTest, MaterializeDetachesFromBorrowedStorage) {
+  auto buffer = std::make_shared<std::vector<float>>(4, 1.0f);
+  const Matrix m = Matrix::Borrowed(2, 2, buffer->data(), buffer);
+  Matrix owned = m.Materialize();
+  EXPECT_FALSE(owned.borrowed());
+  EXPECT_NE(static_cast<const Matrix&>(owned).data(), m.data());
+  EXPECT_TRUE(owned == m);
+  owned(0, 0) = 9.0f;  // owned copies are mutable again
+  EXPECT_EQ(m(0, 0), 1.0f);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "data/matrix.h"
+#include "net/frame.h"
 
 namespace proclus::net {
 namespace {
@@ -397,6 +398,115 @@ TEST(ResponseCodecTest, HealthResponseRoundTrips) {
   EXPECT_EQ(decoded.health.devices_leased, 1);
   EXPECT_TRUE(decoded.health.draining);
   EXPECT_EQ(decoded.health.faults_injected_total, 41);
+}
+
+TEST(RequestCodecTest, UploadOpsRoundTrip) {
+  Request begin;
+  begin.type = RequestType::kUploadBegin;
+  begin.dataset_id = "big";
+  begin.upload_rows = 100000;
+  begin.upload_cols = 32;
+  Request decoded = RoundTrip(begin);
+  EXPECT_EQ(decoded.type, RequestType::kUploadBegin);
+  EXPECT_EQ(decoded.dataset_id, "big");
+  EXPECT_EQ(decoded.upload_rows, 100000);
+  EXPECT_EQ(decoded.upload_cols, 32);
+
+  // The chunk header encodes the session/offset/size; the payload itself
+  // travels as a second raw frame and is not part of the JSON.
+  Request chunk;
+  chunk.type = RequestType::kUploadChunk;
+  chunk.upload_session = 7;
+  chunk.upload_offset = 4096;
+  chunk.chunk_payload.assign(256, 'x');
+  decoded = RoundTrip(chunk);
+  EXPECT_EQ(decoded.type, RequestType::kUploadChunk);
+  EXPECT_EQ(decoded.upload_session, 7u);
+  EXPECT_EQ(decoded.upload_offset, 4096);
+  EXPECT_EQ(decoded.chunk_declared_bytes, 256);
+  EXPECT_TRUE(decoded.chunk_payload.empty());
+
+  Request commit;
+  commit.type = RequestType::kUploadCommit;
+  commit.upload_session = 7;
+  commit.upload_crc32 = 0xDEADBEEF;
+  decoded = RoundTrip(commit);
+  EXPECT_EQ(decoded.type, RequestType::kUploadCommit);
+  EXPECT_EQ(decoded.upload_session, 7u);
+  EXPECT_EQ(decoded.upload_crc32, 0xDEADBEEFu);
+
+  Request evict;
+  evict.type = RequestType::kEvictDataset;
+  evict.dataset_id = "old";
+  decoded = RoundTrip(evict);
+  EXPECT_EQ(decoded.type, RequestType::kEvictDataset);
+  EXPECT_EQ(decoded.dataset_id, "old");
+
+  Request list;
+  list.type = RequestType::kListDatasets;
+  EXPECT_EQ(RoundTrip(list).type, RequestType::kListDatasets);
+}
+
+TEST(RequestCodecTest, UploadChunkRejectsMalformedHeaders) {
+  Request chunk;
+  chunk.type = RequestType::kUploadChunk;
+  chunk.upload_session = 0;  // session ids start at 1
+  chunk.chunk_payload.assign(64, 'x');
+  std::string payload;
+  EXPECT_FALSE(EncodeRequest(chunk, &payload).ok());
+  chunk.upload_session = 3;
+  chunk.chunk_payload.clear();  // empty chunks are pointless
+  EXPECT_FALSE(EncodeRequest(chunk, &payload).ok());
+}
+
+// Regression for the inline-registration size pre-check: a dataset whose
+// JSON encoding could exceed the frame limit must be rejected up front,
+// with the error naming the chunked upload path — not fail deep inside
+// frame writing. Exactly at the estimated limit still encodes.
+TEST(RequestCodecTest, OversizeInlineRegistrationPointsAtChunkedUpload) {
+  constexpr int64_t kMaxEncodedBytesPerValue = 26;  // mirrors protocol.cc
+  constexpr int64_t kHeaderSlackBytes = 512;
+  const std::string id = "big";
+  const int64_t limit_values =
+      (static_cast<int64_t>(kMaxFrameBytes) - kHeaderSlackBytes -
+       static_cast<int64_t>(id.size())) /
+      kMaxEncodedBytesPerValue;
+
+  Request request;
+  request.type = RequestType::kRegisterDataset;
+  request.dataset_id = id;
+  request.has_inline_data = true;
+
+  // One value past the worst-case estimate: rejected, and the message
+  // routes the caller to the chunked binary path.
+  request.inline_data = data::Matrix(limit_values + 1, 1);
+  std::string payload;
+  const Status rejected = EncodeRequest(request, &payload);
+  ASSERT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.message().find("upload_begin"), std::string::npos);
+  EXPECT_NE(rejected.message().find("ProclusClient::UploadDataset"),
+            std::string::npos);
+
+  // At the boundary the pre-check passes and the request encodes (the
+  // zero-filled values encode far below the worst-case estimate).
+  request.inline_data = data::Matrix(limit_values, 1);
+  EXPECT_TRUE(EncodeRequest(request, &payload).ok());
+  EXPECT_LE(payload.size(), kMaxFrameBytes);
+}
+
+TEST(IdempotencyTest, UploadOpsAreNotIdempotentButManagementOpsAre) {
+  Request request;
+  for (const RequestType type :
+       {RequestType::kUploadBegin, RequestType::kUploadChunk,
+        RequestType::kUploadCommit}) {
+    request.type = type;
+    EXPECT_FALSE(IsIdempotentRequest(request)) << RequestTypeName(type);
+  }
+  for (const RequestType type :
+       {RequestType::kListDatasets, RequestType::kEvictDataset}) {
+    request.type = type;
+    EXPECT_TRUE(IsIdempotentRequest(request)) << RequestTypeName(type);
+  }
 }
 
 TEST(IdempotencyTest, OnlyAsyncSubmitsAreNotIdempotent) {

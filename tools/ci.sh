@@ -14,7 +14,11 @@
 # smoke serves under a deterministic fault plan (--fault-plan; net/fault.h)
 # and runs the loadgen with retries: faults must actually fire, yet every
 # job completes and the drain stays clean (docs/serving.md, "Failure
-# semantics & retries").
+# semantics & retries"). A fourth, store smoke serves with a dataset store
+# (--store-dir/--store-budget-mb), ships a dataset through the chunked
+# binary upload path via `proclus_cli upload`, runs GPU sweeps against the
+# uploaded id, and asserts the store counters registered the ingest
+# (store.upload_bytes_total non-zero) plus a clean drain (docs/store.md).
 #
 #   tools/ci.sh [--skip-tsan] [--skip-smoke] [--skip-lint]
 set -euo pipefail
@@ -59,9 +63,9 @@ else
   echo "== ThreadSanitizer build (PROCLUS_SANITIZE=thread) =="
   cmake -B build-tsan -S . -DPROCLUS_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j
-  echo "== TSAN: parallel / simt / obs / service / net suites =="
+  echo "== TSAN: parallel / simt / obs / service / net / store suites =="
   (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-      -R 'thread_pool_test|cancellation_test|device_test|atomic_test|stream_test|primitives_test|obs_trace_test|obs_metrics_test|service_test|service_stress_test|device_pool_test|sweep_scheduler_test|net_loopback_test|net_server_stress_test|net_frame_test|net_fault_test|net_retry_test|net_chaos_test')
+      -R 'thread_pool_test|cancellation_test|device_test|atomic_test|stream_test|primitives_test|obs_trace_test|obs_metrics_test|service_test|service_stress_test|device_pool_test|sweep_scheduler_test|net_loopback_test|net_server_stress_test|net_frame_test|net_fault_test|net_retry_test|net_chaos_test|net_upload_test|dataset_store_test|store_stress_test')
 fi
 
 if [[ "$SKIP_SMOKE" == 1 ]]; then
@@ -203,6 +207,36 @@ EOF
 
   stop_and_check_drain "$CHAOS_LOG" "$SERVE_PID"
   grep -q "faults injected:" "$CHAOS_LOG"
+
+  echo "== store smoke: serve --store-dir + proclus_cli upload + GPU sweep =="
+  STORE_DIR="$TRACE_DIR/store"
+  STORE_LOG="$TRACE_DIR/serve_store.log"
+  ./build/tools/proclus_cli serve --port 0 --generate 2000,10,4 \
+      --dataset-id smoke --queue-capacity 16 --gpu-devices 2 \
+      --store-dir "$STORE_DIR" --store-budget-mb 64 >"$STORE_LOG" 2>&1 &
+  SERVE_PID=$!
+  wait_for_port "$STORE_LOG" "$SERVE_PID"
+  grep -q "dataset store at" "$STORE_LOG"
+
+  # Ship a client-side dataset through the chunked binary ingest, then
+  # drive GPU sweeps against the uploaded id (resolved through the store,
+  # pinned for each job's lifetime).
+  ./build/tools/proclus_cli upload --generate 1500,12,4 --port "$SERVE_PORT" \
+      --dataset-id uploaded | grep "uploaded 'uploaded'"
+  STORE_LOADGEN_LOG="$TRACE_DIR/loadgen_store.log"
+  ./build/tools/proclus_loadgen --port "$SERVE_PORT" --no-register \
+      --dataset-id uploaded --connections 2 --rps 4 --duration 2 \
+      --sweeps 1 --backend gpu | tee "$STORE_LOADGEN_LOG"
+
+  # The upload must be visible in the store counters the report surfaces.
+  UPLOAD_BYTES="$(sed -n 's/.*store\.upload_bytes_total=\([0-9]*\).*/\1/p' "$STORE_LOADGEN_LOG")"
+  if [[ -z "$UPLOAD_BYTES" || "$UPLOAD_BYTES" -eq 0 ]]; then
+    echo "store smoke FAILED: store.upload_bytes_total missing or zero" >&2
+    exit 1
+  fi
+  echo "store smoke OK: store.upload_bytes_total=$UPLOAD_BYTES"
+
+  stop_and_check_drain "$STORE_LOG" "$SERVE_PID"
 fi
 
 echo "ci.sh: all green"

@@ -46,6 +46,9 @@ Retries (docs/serving.md "Failure semantics & retries"):
 Work per request:
   --dataset-id NAME     dataset to reference (default "loadgen")
   --no-register         do not register the dataset first (it must exist)
+  --upload              generate the dataset client-side and ship it over
+                        the chunked binary upload path (docs/store.md)
+                        instead of register-by-spec
   --gen N,D,C           registered dataset's spec (default 4000,12,5)
   --k INT --l INT       clustering parameters (default 10 / 5)
   --seed INT            clustering seed (default 42)
@@ -89,6 +92,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--no-register") {
       options.register_dataset = false;
+      continue;
+    }
+    if (arg == "--upload") {
+      options.upload_dataset = true;
       continue;
     }
     if (i + 1 >= args.size()) return fail("missing value for " + arg);
