@@ -1,0 +1,64 @@
+#ifndef PROCLUS_COMMON_MUTEX_H_
+#define PROCLUS_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace proclus {
+
+// Annotated mutex: a std::mutex the clang thread-safety analysis can see.
+// libstdc++'s std::mutex / std::lock_guard carry no capability
+// annotations, so locking through them is invisible to -Wthread-safety;
+// every concurrent class in this codebase guards its state with one of
+// these instead and declares members GUARDED_BY(mutex_).
+//
+// Lock it with MutexLock (below). Lock()/Unlock() exist for the analysis
+// and for the rare structured cases MutexLock cannot express — direct
+// calls in application code are rejected by tools/prolint.py (raw-lock
+// rule): scoped holders cannot leak a held lock on an early return.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// Scoped holder for a Mutex; the only sanctioned way to lock one. Usable
+// with std::condition_variable through native():
+//
+//   MutexLock lock(&mutex_);
+//   while (!done_) cv_.wait(lock.native());   // done_ GUARDED_BY(mutex_)
+//
+// Predicate waits are written as explicit while-loops like the above: a
+// predicate lambda is analyzed as a separate function and would not see
+// the held capability, while the loop body is checked in the enclosing
+// scope where the capability is visibly held. cv.wait() unlocks and
+// relocks internally, which preserves the invariant the analysis assumes
+// (capability held before and after the call).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : lock_(mu->mu_) {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() {}
+
+  // The underlying lock, for std::condition_variable::wait. The wait
+  // returns with the lock re-held, so the capability state is unchanged.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_COMMON_MUTEX_H_

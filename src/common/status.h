@@ -4,6 +4,15 @@
 #include <string>
 #include <utility>
 
+// Marks a type or function whose return value must not be silently dropped.
+// Applied to Status itself (below), so *every* function returning a Status —
+// including StatusOr-style pairs that carry one — trips -Wunused-result when
+// a call site ignores the outcome. Call sites that genuinely cannot act on a
+// failure (best-effort writes on teardown paths) must say so explicitly by
+// consuming the value, e.g. counting it into a metric; see
+// docs/concurrency.md for the convention.
+#define PROCLUS_MUST_USE_RESULT [[nodiscard]]
+
 namespace proclus {
 
 // Error category for Status. Mirrors the small set of failure modes the
@@ -26,7 +35,7 @@ enum class StatusCode {
 // Lightweight success-or-error result, in the style of arrow::Status.
 // A default-constructed Status is OK. Statuses are cheap to copy for the OK
 // case and carry a message otherwise.
-class Status {
+class PROCLUS_MUST_USE_RESULT Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -73,6 +82,12 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+// Explicitly discards a Status at call sites that are best-effort by design
+// (teardown writes, fault-injection paths that are about to close the socket
+// anyway). Prefer handling the error; use this only when no caller could act
+// on it, and say why in a comment. Greppable, unlike a bare (void) cast.
+inline void IgnoreError(const Status&) {}
 
 // Returns early from the enclosing function if `expr` evaluates to a non-OK
 // Status.

@@ -1,0 +1,80 @@
+#ifndef PROCLUS_COMMON_THREAD_ANNOTATIONS_H_
+#define PROCLUS_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety (capability) analysis annotations, in the style of
+// abseil's thread_annotations.h. Under clang with -Wthread-safety the
+// compiler proves, for every call path, that
+//
+//   * a member declared GUARDED_BY(mu) is only touched while `mu` is held,
+//   * a function declared REQUIRES(mu) is only called with `mu` held (the
+//     convention for private `...Locked()` helpers),
+//   * a function declared EXCLUDES(mu) is never called with `mu` held
+//     (functions that acquire `mu` themselves, or invoke user callbacks),
+//
+// which turns lock discipline from a reviewed-and-hoped property into a
+// compile-time one. On compilers without the attribute (gcc) everything
+// expands to nothing, so the annotations are free.
+//
+// The capability types these annotations attach to live in
+// common/mutex.h (`proclus::Mutex`, `proclus::MutexLock`): the standard
+// library's std::mutex / std::lock_guard are *not* annotated under
+// libstdc++, so guarded state must be locked through the annotated
+// wrappers for the analysis to see the acquisition.
+//
+// Build with the analysis: cmake -DPROCLUS_THREAD_SAFETY=ON (clang only;
+// adds -Wthread-safety -Wthread-safety-beta -Werror). See
+// docs/concurrency.md for the project's lock hierarchy and conventions;
+// tests/analysis/compile_fail/ pins that misuse actually fails to build.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PROCLUS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define PROCLUS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+// Declares a data member protected by the given capability. Reads require
+// the capability shared; writes require it exclusively.
+#define GUARDED_BY(x) PROCLUS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// Like GUARDED_BY for pointer members: the *pointed-to* data is protected.
+#define PT_GUARDED_BY(x) PROCLUS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// The function may only be called while holding the given capabilities;
+// it neither acquires nor releases them.
+#define REQUIRES(...) \
+  PROCLUS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// The caller must NOT hold the given capabilities (typically because the
+// function acquires them itself, or calls out while they must be free).
+#define EXCLUDES(...) \
+  PROCLUS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// The function acquires / releases the given capabilities.
+#define ACQUIRE(...) \
+  PROCLUS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  PROCLUS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+// Attaches to a type that models a capability (a mutex).
+#define CAPABILITY(x) PROCLUS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Attaches to a RAII type whose lifetime holds a capability (a scoped
+// lock holder).
+#define SCOPED_CAPABILITY PROCLUS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// The function returns a reference to the given capability (accessor for
+// an owned mutex, so callers can name it in their own annotations).
+#define RETURN_CAPABILITY(x) \
+  PROCLUS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Asserts at runtime semantics (no-op here) that the calling thread holds
+// the capability; informs the analysis without acquiring.
+#define ASSERT_CAPABILITY(x) \
+  PROCLUS_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+// Escape hatch: turns the analysis off for one function. Every use must
+// carry a comment explaining why the discipline cannot be expressed.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PROCLUS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // PROCLUS_COMMON_THREAD_ANNOTATIONS_H_

@@ -227,14 +227,15 @@ Status WriteFrameWithFaults(Socket* socket, const std::string& payload,
     // the frame outright instead of trying to allocate it.
     const std::array<unsigned char, 4> header =
         FrameHeader(kMaxFrameBytes + 1u);
-    socket->SendAll(header.data(), header.size());
+    // The injected fault IS the torn write; the peer may bail at any byte.
+    IgnoreError(socket->SendAll(header.data(), header.size()));
     socket->Close();
     return Status::IoError("injected fault: corrupt length header");
   }
   if (injector->Should(FaultKind::kCloseMidFrame)) {
     // Half a header, then gone — the reader sees a torn header.
     const std::array<unsigned char, 4> header = FrameHeader(len);
-    socket->SendAll(header.data(), 2);
+    IgnoreError(socket->SendAll(header.data(), 2));
     socket->Close();
     return Status::IoError("injected fault: close mid-frame");
   }
@@ -242,8 +243,8 @@ Status WriteFrameWithFaults(Socket* socket, const std::string& payload,
     // Intact header, half the payload — the reader sees a truncated
     // payload and must not keep the partial bytes.
     const std::array<unsigned char, 4> header = FrameHeader(len);
-    socket->SendAll(header.data(), header.size());
-    socket->SendAll(payload.data(), len / 2);
+    IgnoreError(socket->SendAll(header.data(), header.size()));
+    IgnoreError(socket->SendAll(payload.data(), len / 2));
     socket->Close();
     return Status::IoError("injected fault: truncated payload");
   }

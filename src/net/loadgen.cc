@@ -4,10 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "data/generator.h"
 #include "data/normalize.h"
 #include "net/client.h"
@@ -44,14 +45,16 @@ struct SharedCounters {
   std::atomic<int64_t> retries{0};
   std::atomic<int64_t> reconnects{0};
   std::atomic<int64_t> retry_give_ups{0};
-  std::mutex latencies_mutex;
-  std::vector<double> latencies;
+  Mutex latencies_mutex;
+  std::vector<double> latencies GUARDED_BY(latencies_mutex);
 };
 
 void WorkerLoop(const LoadgenOptions& options, Clock::time_point start,
                 Clock::time_point end, SharedCounters* counters) {
   ProclusClient client;
-  client.set_retry_policy(options.retry);
+  // RunLoadgen validated options.retry before spawning workers, so this
+  // cannot fail; WorkerLoop returns void and has nowhere to send it anyway.
+  IgnoreError(client.set_retry_policy(options.retry));
   if (!client.Connect(options.host, options.port).ok()) {
     counters->transport_errors.fetch_add(1, std::memory_order_relaxed);
     // With retries the client can still reach the server later (e.g. an
@@ -116,7 +119,7 @@ void WorkerLoop(const LoadgenOptions& options, Clock::time_point start,
         std::chrono::duration<double>(Clock::now() - due).count();
     counters->completed.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(counters->latencies_mutex);
+      MutexLock lock(&counters->latencies_mutex);
       counters->latencies.push_back(latency);
     }
   }
@@ -158,7 +161,7 @@ Status RunLoadgen(const LoadgenOptions& options, LoadgenReport* report) {
 
   if (options.register_dataset) {
     ProclusClient setup;
-    setup.set_retry_policy(options.retry);
+    PROCLUS_RETURN_NOT_OK(setup.set_retry_policy(options.retry));
     const Status connected = setup.Connect(options.host, options.port);
     // A failed first connect is recoverable when retries are on —
     // registration below reconnects per attempt.
@@ -212,15 +215,20 @@ Status RunLoadgen(const LoadgenOptions& options, LoadgenReport* report) {
   report->retries = counters.retries.load();
   report->reconnects = counters.reconnects.load();
   report->retry_give_ups = counters.retry_give_ups.load();
-  report->latencies_seconds = std::move(counters.latencies);
+  {
+    // Workers are joined; the lock is uncontended and keeps the guarded
+    // access visible to the capability analysis.
+    MutexLock lock(&counters.latencies_mutex);
+    report->latencies_seconds = std::move(counters.latencies);
+  }
 
   if (options.fetch_metrics) {
     ProclusClient metrics_client;
-    metrics_client.set_retry_policy(options.retry);
+    PROCLUS_RETURN_NOT_OK(metrics_client.set_retry_policy(options.retry));
     if (metrics_client.Connect(options.host, options.port).ok() ||
         options.retry.enabled()) {
       // Best-effort: a stopped server just leaves the snapshot empty.
-      metrics_client.FetchMetrics(&report->server_metrics);
+      IgnoreError(metrics_client.FetchMetrics(&report->server_metrics));
     }
   }
   return Status::OK();

@@ -92,7 +92,7 @@ void ProclusServer::Stop() {
   // response — graceful stop drains, it does not abort.
   std::vector<std::unique_ptr<Connection>> connections;
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(&connections_mutex_);
     connections.swap(connections_);
   }
   for (const std::unique_ptr<Connection>& connection : connections) {
@@ -105,7 +105,7 @@ void ProclusServer::Stop() {
 void ProclusServer::ReapFinishedConnections() {
   std::vector<std::unique_ptr<Connection>> finished;
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(&connections_mutex_);
     for (auto it = connections_.begin(); it != connections_.end();) {
       if ((*it)->done.load(std::memory_order_acquire)) {
         finished.push_back(std::move(*it));
@@ -137,7 +137,7 @@ void ProclusServer::AcceptLoop() {
 
     size_t active;
     {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
+      MutexLock lock(&connections_mutex_);
       active = connections_.size();
     }
     metrics_.counter("net.connections_accepted")->Increment();
@@ -159,7 +159,7 @@ void ProclusServer::AcceptLoop() {
     connection->socket = std::move(socket);
     Connection* raw = connection.get();
     {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
+      MutexLock lock(&connections_mutex_);
       connections_.push_back(std::move(connection));
       metrics_.gauge("net.active_connections")
           ->Set(static_cast<double>(connections_.size()));
@@ -188,7 +188,13 @@ void ProclusServer::ShedConnection(Socket socket) {
       Status::ResourceExhausted("connection budget exhausted; retry later"));
   std::string payload;
   if (EncodeResponse(response, &payload).ok()) {
-    WriteFrame(&socket, payload);
+    // Best-effort answer: the peer may already be gone. A failed write
+    // still sheds the connection, but it is counted — a silent drop here
+    // looks like a mute close to the client, which is exactly what this
+    // path exists to avoid.
+    if (!WriteFrame(&socket, payload).ok()) {
+      metrics_.counter("net.shed_write_failures")->Increment();
+    }
   }
   socket.Close();
 }
@@ -442,7 +448,7 @@ Response ProclusServer::HandleSubmit(Connection* connection,
   if (!request.wait) {
     metrics_.counter("net.submit_async")->Increment();
     {
-      std::lock_guard<std::mutex> lock(jobs_mutex_);
+      MutexLock lock(&jobs_mutex_);
       async_jobs_.emplace(handle.id(), handle);
     }
     Response response;
@@ -460,28 +466,30 @@ Response ProclusServer::HandleSubmit(Connection* connection,
   // cancel and walk away, and a *running* job only reaches its terminal
   // phase (and fires the callback) later, on a worker thread.
   struct WaitState {
-    std::mutex mutex;
+    Mutex mutex;
     std::condition_variable cv;
-    bool done = false;
+    bool done GUARDED_BY(mutex) = false;
   };
   auto state = std::make_shared<WaitState>();
   handle.OnComplete([state](const service::JobResult&) {
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(&state->mutex);
       state->done = true;
     }
     state->cv.notify_all();
   });
 
   for (;;) {
+    bool done;
     {
-      std::unique_lock<std::mutex> lock(state->mutex);
-      if (state->cv.wait_for(lock,
-                             std::chrono::milliseconds(kPollSliceMs),
-                             [&] { return state->done; })) {
-        break;
+      MutexLock lock(&state->mutex);
+      if (!state->done) {
+        state->cv.wait_for(lock.native(),
+                           std::chrono::milliseconds(kPollSliceMs));
       }
+      done = state->done;
     }
+    if (done) break;
     if (connection->socket.PeerClosed()) {
       metrics_.counter("net.disconnect_cancels")->Increment();
       handle.Cancel();
@@ -520,7 +528,7 @@ Response ProclusServer::HandleSubmit(Connection* connection,
 Response ProclusServer::HandleStatus(const Request& request) {
   service::JobHandle handle;
   {
-    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    MutexLock lock(&jobs_mutex_);
     const auto it = async_jobs_.find(request.job_id);
     if (it == async_jobs_.end()) {
       return ErrorResponse(
@@ -560,7 +568,7 @@ Response ProclusServer::HandleStatus(const Request& request) {
 Response ProclusServer::HandleCancel(const Request& request) {
   service::JobHandle handle;
   {
-    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    MutexLock lock(&jobs_mutex_);
     const auto it = async_jobs_.find(request.job_id);
     if (it == async_jobs_.end()) {
       return ErrorResponse(
@@ -583,7 +591,7 @@ Response ProclusServer::HandleMetrics() {
   service_->PublishMetrics(&metrics_);
   if (options_.fault != nullptr) options_.fault->PublishMetrics(&metrics_);
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(&connections_mutex_);
     metrics_.gauge("net.active_connections")
         ->Set(static_cast<double>(connections_.size()));
   }
@@ -603,7 +611,7 @@ Response ProclusServer::HandleHealth() {
   health.queue_depth = service_->queue_depth();
   health.queue_capacity = service_->options().queue_capacity;
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(&connections_mutex_);
     health.active_connections = static_cast<int>(connections_.size());
   }
   health.max_connections = options_.max_connections;

@@ -25,13 +25,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/fault.h"
 #include "net/protocol.h"
 #include "net/socket.h"
@@ -94,7 +95,7 @@ class ProclusServer {
         uploads;
   };
 
-  void AcceptLoop();
+  void AcceptLoop() EXCLUDES(connections_mutex_);
   void ServeConnection(Connection* connection);
   // One request -> one response. Returns false when the connection should
   // close (peer gone or transport error).
@@ -118,7 +119,7 @@ class ProclusServer {
   // Sheds an over-budget connection: answer its first request with a
   // retryable RESOURCE_EXHAUSTED and close.
   void ShedConnection(Socket socket);
-  void ReapFinishedConnections();
+  void ReapFinishedConnections() EXCLUDES(connections_mutex_);
 
   service::ProclusService* const service_;
   const ServerOptions options_;
@@ -129,13 +130,19 @@ class ProclusServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
-  std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  // Guards only the connection list (add/reap/join bookkeeping); a
+  // Connection's own thread serves its socket without this lock.
+  Mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      GUARDED_BY(connections_mutex_);
 
   // Async (wait=false) jobs, pollable via status/cancel from any
   // connection; they intentionally survive the submitting connection.
-  std::mutex jobs_mutex_;
-  std::unordered_map<uint64_t, service::JobHandle> async_jobs_;
+  // Leaf lock: held only around map lookups/inserts, never across a
+  // Submit/Wait/Cancel call into the service.
+  Mutex jobs_mutex_;
+  std::unordered_map<uint64_t, service::JobHandle> async_jobs_
+      GUARDED_BY(jobs_mutex_);
 
   std::atomic<uint64_t> next_upload_session_{1};
 

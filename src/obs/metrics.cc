@@ -33,7 +33,7 @@ double Histogram::BucketBound(int i) {
 }
 
 void Histogram::Observe(double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (data_.count == 0) {
     data_.min = value;
     data_.max = value;
@@ -49,33 +49,33 @@ void Histogram::Observe(double value) {
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return data_;
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 std::string MetricsRegistry::TextSnapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     out += name;
@@ -102,7 +102,7 @@ std::string MetricsRegistry::TextSnapshot() const {
 }
 
 json::JsonValue MetricsRegistry::JsonSnapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   json::JsonValue root = json::JsonValue::Object();
   json::JsonValue counters = json::JsonValue::Object();
   for (const auto& [name, counter] : counters_) {

@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/json.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace proclus::obs {
 
@@ -61,16 +62,16 @@ class Histogram {
   static constexpr int kNumBuckets = 12;
   static constexpr int kBucketOffset = -7;
 
-  void Observe(double value);
-  Snapshot snapshot() const;
+  void Observe(double value) EXCLUDES(mutex_);
+  Snapshot snapshot() const EXCLUDES(mutex_);
 
   // Upper bound of bucket `i` (the overflow bucket reports +inf).
   static double BucketBound(int i);
 
  private:
-  mutable std::mutex mutex_;
-  Snapshot data_{0, 0.0, 0.0, 0.0,
-                 std::vector<int64_t>(kNumBuckets + 1, 0)};
+  mutable Mutex mutex_;
+  Snapshot data_ GUARDED_BY(mutex_){0, 0.0, 0.0, 0.0,
+                                    std::vector<int64_t>(kNumBuckets + 1, 0)};
 };
 
 // Named registry of counters/gauges/histograms. Handles returned by
@@ -84,26 +85,31 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* counter(const std::string& name);
-  Gauge* gauge(const std::string& name);
-  Histogram* histogram(const std::string& name);
+  Counter* counter(const std::string& name) EXCLUDES(mutex_);
+  Gauge* gauge(const std::string& name) EXCLUDES(mutex_);
+  Histogram* histogram(const std::string& name) EXCLUDES(mutex_);
 
   // One "name value" line per metric, sorted by name; histograms report
   // count/sum/min/max. Meant for logs and quick dumps.
-  std::string TextSnapshot() const;
+  std::string TextSnapshot() const EXCLUDES(mutex_);
 
   // JSON object {"counters":{...},"gauges":{...},"histograms":{...}},
   // built on the shared src/common/json.h implementation. JsonSnapshot
   // returns the value tree (the net/ `metrics` wire response embeds it);
   // WriteJson renders it followed by a newline.
-  json::JsonValue JsonSnapshot() const;
-  void WriteJson(std::ostream& out) const;
+  json::JsonValue JsonSnapshot() const EXCLUDES(mutex_);
+  void WriteJson(std::ostream& out) const EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The registry lock only guards the name → handle maps; the handles
+  // themselves are atomics (or internally locked) and live until the
+  // registry dies, so updating a returned handle takes no registry lock.
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace proclus::obs

@@ -95,7 +95,7 @@ void TraceRecorder::AddComplete(const std::string& name,
                                 const std::string& category, double ts_us,
                                 double dur_us, std::vector<TraceArg> args) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   TraceEvent& event = events_.emplace_back();
   event.name = name;
   event.category = category;
@@ -111,7 +111,7 @@ void TraceRecorder::AddCompleteOnTrack(int track, const std::string& name,
                                        double ts_us, double dur_us,
                                        std::vector<TraceArg> args) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   TraceEvent& event = events_.emplace_back();
   event.name = name;
   event.category = category;
@@ -127,7 +127,7 @@ void TraceRecorder::AddInstant(const std::string& name,
                                std::vector<TraceArg> args) {
   if (!enabled()) return;
   const double now = NowMicros();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   TraceEvent& event = events_.emplace_back();
   event.name = name;
   event.category = category;
@@ -138,24 +138,24 @@ void TraceRecorder::AddInstant(const std::string& name,
 }
 
 int TraceRecorder::RegisterTrack(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const int track = next_track_++;
   named_tracks_.emplace_back(track, name);
   return track;
 }
 
 int64_t TraceRecorder::event_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return static_cast<int64_t>(events_.size());
 }
 
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return events_;
 }
 
 void TraceRecorder::WriteJson(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::string buffer;
   buffer.reserve(events_.size() * 160 + 1024);
   buffer += "{\"traceEvents\":[";

@@ -4,14 +4,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace proclus::obs {
 
@@ -94,47 +95,52 @@ class TraceRecorder {
 
   // Records a complete ('X') event on the calling thread's track.
   void AddComplete(const std::string& name, const std::string& category,
-                   double ts_us, double dur_us, std::vector<TraceArg> args = {});
+                   double ts_us, double dur_us,
+                   std::vector<TraceArg> args = {}) EXCLUDES(mutex_);
 
   // Records a complete event on an explicit track (see RegisterTrack).
   void AddCompleteOnTrack(int track, const std::string& name,
                           const std::string& category, double ts_us,
-                          double dur_us, std::vector<TraceArg> args = {});
+                          double dur_us, std::vector<TraceArg> args = {})
+      EXCLUDES(mutex_);
 
   // Records an instant ('i') event on the calling thread's track.
   void AddInstant(const std::string& name, const std::string& category,
-                  std::vector<TraceArg> args = {});
+                  std::vector<TraceArg> args = {}) EXCLUDES(mutex_);
 
   // Creates a named synthetic track (rendered like a thread in the viewer)
   // and returns its tid. Used for the simulated device's modeled timeline.
-  int RegisterTrack(const std::string& name);
+  int RegisterTrack(const std::string& name) EXCLUDES(mutex_);
 
-  int64_t event_count() const;
+  int64_t event_count() const EXCLUDES(mutex_);
 
   // Copy of the recorded events, in recording order. For tests.
-  std::vector<TraceEvent> Snapshot() const;
+  std::vector<TraceEvent> Snapshot() const EXCLUDES(mutex_);
 
   // Writes the full trace as Chrome trace_event JSON:
   //   {"traceEvents":[...], "displayTimeUnit":"ms"}
   // including process/thread metadata events naming the tracks.
-  void WriteJson(std::ostream& out) const;
+  void WriteJson(std::ostream& out) const EXCLUDES(mutex_);
 
   // WriteJson to `path`. IoError on failure.
-  Status WriteFile(const std::string& path) const;
+  Status WriteFile(const std::string& path) const EXCLUDES(mutex_);
 
  private:
-  int CurrentTid();
+  int CurrentTid() REQUIRES(mutex_);
 
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{true};
 
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
-  std::unordered_map<std::thread::id, int> thread_tids_;
-  std::vector<std::pair<int, std::string>> named_tracks_;
-  int next_tid_ = 1;
+  // Leaf lock: nothing is called out of a TraceRecorder while it is held,
+  // and callers must not hold a service lock when they enter (obs locks sit
+  // at the bottom of the hierarchy, docs/concurrency.md).
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> events_ GUARDED_BY(mutex_);
+  std::unordered_map<std::thread::id, int> thread_tids_ GUARDED_BY(mutex_);
+  std::vector<std::pair<int, std::string>> named_tracks_ GUARDED_BY(mutex_);
+  int next_tid_ GUARDED_BY(mutex_) = 1;
   // Synthetic tracks count down from here so they sort after real threads.
-  int next_track_ = 1000;
+  int next_track_ GUARDED_BY(mutex_) = 1000;
 };
 
 // RAII span: records a complete event covering its lifetime. Null recorder

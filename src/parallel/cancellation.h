@@ -17,7 +17,10 @@ namespace proclus::parallel {
 // of completed work is unaffected (partially cancelled results are simply
 // discarded by the caller).
 //
-// Thread-safe: Cancel()/SetDeadline() may race with Check() freely.
+// Thread-safe without a mutex: the entire state is two relaxed atomics, so
+// Cancel()/SetDeadline() may race with Check() freely and the token needs
+// no capability annotations (docs/concurrency.md). It can therefore be
+// polled from inside any critical section without creating lock nesting.
 class CancellationToken {
  public:
   CancellationToken() = default;

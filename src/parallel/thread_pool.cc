@@ -20,7 +20,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutting_down_ = true;
   }
   task_available_.notify_all();
@@ -29,7 +29,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     PROCLUS_CHECK(!shutting_down_);
     tasks_.push(std::move(task));
     ++pending_;
@@ -38,24 +38,25 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(&mutex_);
+  while (pending_ != 0) all_done_.wait(lock.native());
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!shutting_down_ && tasks_.empty()) {
+        task_available_.wait(lock.native());
+      }
       if (tasks_.empty()) return;  // shutting down
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       if (--pending_ == 0) all_done_.notify_all();
     }
   }
@@ -63,19 +64,19 @@ void ThreadPool::WorkerLoop() {
 
 void TaskGroup::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ++pending_;
   }
   pool_->Submit([this, task = std::move(task)] {
     task();
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (--pending_ == 0) done_.notify_all();
   });
 }
 
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(&mutex_);
+  while (pending_ != 0) done_.wait(lock.native());
 }
 
 void ParallelForChunked(ThreadPool& pool, int64_t begin, int64_t end,

@@ -4,10 +4,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace proclus::parallel {
 
@@ -30,24 +32,26 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   // Enqueues a task. Tasks must not throw.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   // Blocks until every submitted task has finished. Note this waits on the
   // pool's *global* pending count; when several clients share the pool
   // concurrently (the service does), use a TaskGroup instead so each client
   // waits only on its own tasks.
-  void Wait();
+  void Wait() EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  // Leaf lock: tasks always run outside it (a task that re-enters Submit
+  // would self-deadlock otherwise).
+  Mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
-  int64_t pending_ = 0;
-  bool shutting_down_ = false;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  int64_t pending_ GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
 };
 
 class CancellationToken;
@@ -66,16 +70,17 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   // Enqueues a task attributed to this group. Tasks must not throw.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   // Blocks until every task submitted *through this group* has finished.
-  void Wait();
+  void Wait() EXCLUDES(mutex_);
 
  private:
   ThreadPool* pool_;
-  std::mutex mutex_;
+  // Leaf lock; the wrapped task body runs before it is taken.
+  Mutex mutex_;
   std::condition_variable done_;
-  int64_t pending_ = 0;
+  int64_t pending_ GUARDED_BY(mutex_) = 0;
 };
 
 // Runs fn(i) for every i in [begin, end), splitting the range into chunks

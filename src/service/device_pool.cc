@@ -75,7 +75,7 @@ Status DevicePool::AcquireMany(int min_count, int max_count,
   }
   std::function<Status()> fault_hook;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     fault_hook = fault_hook_;
   }
   if (fault_hook) {
@@ -84,7 +84,7 @@ Status DevicePool::AcquireMany(int min_count, int max_count,
     // with the hook's (retryable) status instead of leasing anything.
     PROCLUS_RETURN_NOT_OK(fault_hook());
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (;;) {
     if (shutdown_) {
       return Status::FailedPrecondition("device pool is shut down");
@@ -113,7 +113,7 @@ Status DevicePool::AcquireMany(int min_count, int max_count,
     }
     // Slice the wait so a cancellation/deadline/shutdown that fires while
     // every device is leased unwedges the caller promptly.
-    device_idle_.wait_for(lock, std::chrono::milliseconds(10));
+    device_idle_.wait_for(lock.native(), std::chrono::milliseconds(10));
   }
 }
 
@@ -126,7 +126,7 @@ DevicePool::Lease DevicePool::Acquire() {
 
 void DevicePool::Shutdown() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutdown_ = true;
   }
   device_idle_.notify_all();
@@ -134,7 +134,7 @@ void DevicePool::Shutdown() {
 
 void DevicePool::Release(simt::Device* device) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (Entry& entry : entries_) {
       if (entry.device.get() == device) {
         PROCLUS_CHECK(entry.leased);
@@ -151,12 +151,12 @@ void DevicePool::Release(simt::Device* device) {
 }
 
 void DevicePool::SetFaultHook(std::function<Status()> hook) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   fault_hook_ = std::move(hook);
 }
 
 int DevicePool::leased() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   int leased = 0;
   for (const Entry& entry : entries_) {
     if (entry.leased) ++leased;
@@ -165,12 +165,12 @@ int DevicePool::leased() const {
 }
 
 int64_t DevicePool::acquires() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return acquires_;
 }
 
 int64_t DevicePool::reuse_hits() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return reuse_hits_;
 }
 

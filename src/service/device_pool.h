@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "parallel/cancellation.h"
 #include "simt/device.h"
 #include "simt/device_properties.h"
@@ -49,7 +50,8 @@ class DevicePool {
   // `cancel` (optional) fires, and with FailedPrecondition once the pool is
   // shut down — a caller waiting on a fully-leased pool can therefore
   // always be unwedged. On OK the caller must Release the leased device.
-  Status AcquireFor(const parallel::CancellationToken* cancel, Lease* lease);
+  Status AcquireFor(const parallel::CancellationToken* cancel, Lease* lease)
+      EXCLUDES(mutex_);
 
   // Multi-device acquisition for sweep sharding: blocks until at least
   // `min_count` devices are idle, then leases them — plus any further idle
@@ -64,31 +66,31 @@ class DevicePool {
   // never be satisfied).
   Status AcquireMany(int min_count, int max_count,
                      const parallel::CancellationToken* cancel,
-                     std::vector<Lease>* leases);
+                     std::vector<Lease>* leases) EXCLUDES(mutex_);
 
   // Blocks until a device is idle and leases it. Aborts the process if the
   // pool is shut down while waiting; prefer AcquireFor when the wait must
   // be interruptible.
-  Lease Acquire();
-  void Release(simt::Device* device);
+  Lease Acquire() EXCLUDES(mutex_);
+  void Release(simt::Device* device) EXCLUDES(mutex_);
 
   // Wakes every waiter (their AcquireFor returns FailedPrecondition) and
   // makes future acquires fail. Leased devices stay valid until Release.
   // Idempotent.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mutex_);
 
   // Installs a fault hook consulted once per AcquireFor/AcquireMany call,
   // before any wait: a non-OK return fails the acquisition with that
   // status. Used for injected device failures (net/fault.h); pass nullptr
   // to clear. The hook runs outside the pool lock and must be thread-safe.
-  void SetFaultHook(std::function<Status()> hook);
+  void SetFaultHook(std::function<Status()> hook) EXCLUDES(mutex_);
 
   int capacity() const { return capacity_; }
   // Devices currently leased out (pool saturation for health reporting).
-  int leased() const;
+  int leased() const EXCLUDES(mutex_);
   // Total leases handed out, and how many of them found a warm device.
-  int64_t acquires() const;
-  int64_t reuse_hits() const;
+  int64_t acquires() const EXCLUDES(mutex_);
+  int64_t reuse_hits() const EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -97,20 +99,20 @@ class DevicePool {
     bool used_before = false;
   };
 
-  Entry* FindIdleLocked();
-  Lease LeaseEntryLocked(Entry* entry);
+  Entry* FindIdleLocked() REQUIRES(mutex_);
+  Lease LeaseEntryLocked(Entry* entry) REQUIRES(mutex_);
 
   const int capacity_;
   const simt::DeviceProperties props_;
   const simt::DeviceOptions device_options_;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable device_idle_;
-  std::vector<Entry> entries_;
-  std::function<Status()> fault_hook_;
-  bool shutdown_ = false;
-  int64_t acquires_ = 0;
-  int64_t reuse_hits_ = 0;
+  std::vector<Entry> entries_ GUARDED_BY(mutex_);
+  std::function<Status()> fault_hook_ GUARDED_BY(mutex_);
+  bool shutdown_ GUARDED_BY(mutex_) = false;
+  int64_t acquires_ GUARDED_BY(mutex_) = 0;
+  int64_t reuse_hits_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace proclus::service

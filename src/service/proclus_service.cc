@@ -86,23 +86,28 @@ namespace internal {
 // Counters shared by the service and every job it created, so a JobHandle
 // outliving the service (or cancelling concurrently with shutdown) can
 // still record its terminal transition safely.
+//
+// Lock nesting: the stats mutex is a leaf — it is taken while holding a
+// job's mutex (terminal transitions) and while holding queue_mutex_
+// (Submit's accounting), and never takes another lock itself
+// (docs/concurrency.md).
 struct SharedStats {
-  std::mutex mutex;
-  int64_t submitted = 0;
-  int64_t rejected = 0;
-  int64_t completed = 0;
-  int64_t failed = 0;
-  int64_t cancelled = 0;
-  int64_t timed_out = 0;
-  int64_t queue_depth_high_water = 0;
-  double exec_seconds_total = 0.0;
-  double modeled_gpu_seconds_total = 0.0;
-  int64_t sanitizer_findings_total = 0;
-  int64_t sweep_shards_total = 0;
+  Mutex mutex;
+  int64_t submitted GUARDED_BY(mutex) = 0;
+  int64_t rejected GUARDED_BY(mutex) = 0;
+  int64_t completed GUARDED_BY(mutex) = 0;
+  int64_t failed GUARDED_BY(mutex) = 0;
+  int64_t cancelled GUARDED_BY(mutex) = 0;
+  int64_t timed_out GUARDED_BY(mutex) = 0;
+  int64_t queue_depth_high_water GUARDED_BY(mutex) = 0;
+  double exec_seconds_total GUARDED_BY(mutex) = 0.0;
+  double modeled_gpu_seconds_total GUARDED_BY(mutex) = 0.0;
+  int64_t sanitizer_findings_total GUARDED_BY(mutex) = 0;
+  int64_t sweep_shards_total GUARDED_BY(mutex) = 0;
   std::atomic<int64_t> next_start_sequence{0};
 
-  void CountTerminal(const Status& status) {
-    std::lock_guard<std::mutex> lock(mutex);
+  void CountTerminal(const Status& status) EXCLUDES(mutex) {
+    MutexLock lock(&mutex);
     switch (status.code()) {
       case StatusCode::kOk:
         ++completed;
@@ -140,8 +145,10 @@ struct Job {
 
   // Emits the span covering time spent waiting in the queue, ending now.
   // `outcome` is "run" when a worker picked the job up, else the reason it
-  // never ran.
-  void TraceQueueWait(const char* outcome) {
+  // never ran. Takes the TraceRecorder's lock internally, so it must never
+  // run under `mutex` — obs locks are leaves below every service lock
+  // (docs/concurrency.md); EXCLUDES makes the analysis reject a regression.
+  void TraceQueueWait(const char* outcome) EXCLUDES(mutex) {
     if (trace == nullptr || !trace->enabled()) return;
     trace->AddComplete("job.queue_wait", "service", submit_ts_us,
                        trace->NowMicros() - submit_ts_us,
@@ -149,19 +156,26 @@ struct Job {
                         obs::TraceArg::Str("outcome", outcome)});
   }
 
-  std::mutex mutex;
+  Mutex mutex;
   std::condition_variable cv;
-  JobPhase phase = JobPhase::kQueued;
+  JobPhase phase GUARDED_BY(mutex) = JobPhase::kQueued;
+  // Written under `mutex`; the terminal transition (FinishLocked) publishes
+  // it through `phase` + `cv`, after which it is immutable and readers
+  // (Wait's return, FlushCallbacks, the synchronous OnComplete path) may
+  // touch it without the lock. The capability analysis cannot express
+  // publish-once, so `result` is deliberately not GUARDED_BY.
   JobResult result;
   // Completion callbacks registered via JobHandle::OnComplete that have not
-  // fired yet. Guarded by `mutex`; invoked (outside the lock) by
-  // FlushCallbacks exactly once after the terminal transition.
-  std::vector<std::function<void(const JobResult&)>> completion_callbacks;
+  // fired yet; invoked (outside the lock) by FlushCallbacks exactly once
+  // after the terminal transition.
+  std::vector<std::function<void(const JobResult&)>> completion_callbacks
+      GUARDED_BY(mutex);
 
-  // Caller must hold `mutex`.
-  void FinishLocked(Status status) {
+  void FinishLocked(Status status) REQUIRES(mutex) {
     // Drop the store pin before the terminal transition publishes: once
-    // Wait() returns, the dataset must already be evictable again.
+    // Wait() returns, the dataset must already be evictable again. (This
+    // nests the store's lock under the job's — the sanctioned direction,
+    // see docs/concurrency.md.)
     data = nullptr;
     pin.Release();
     result.status = std::move(status);
@@ -173,10 +187,10 @@ struct Job {
   // WITHOUT `mutex` held, after the transition to a terminal phase; every
   // FinishLocked call site pairs with one FlushCallbacks once its lock is
   // released. Safe to call more than once (later calls see no callbacks).
-  void FlushCallbacks() {
+  void FlushCallbacks() EXCLUDES(mutex) {
     std::vector<std::function<void(const JobResult&)>> callbacks;
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(&mutex);
       callbacks.swap(completion_callbacks);
     }
     for (auto& callback : callbacks) callback(result);
@@ -191,20 +205,20 @@ uint64_t JobHandle::id() const { return job_ != nullptr ? job_->id : 0; }
 
 JobPhase JobHandle::phase() const {
   PROCLUS_CHECK(job_ != nullptr);
-  std::lock_guard<std::mutex> lock(job_->mutex);
+  MutexLock lock(&job_->mutex);
   return job_->phase;
 }
 
 const JobResult& JobHandle::Wait() const {
   PROCLUS_CHECK(job_ != nullptr);
-  std::unique_lock<std::mutex> lock(job_->mutex);
-  job_->cv.wait(lock, [this] { return IsTerminal(job_->phase); });
+  MutexLock lock(&job_->mutex);
+  while (!IsTerminal(job_->phase)) job_->cv.wait(lock.native());
   return job_->result;
 }
 
 const JobResult* JobHandle::TryGet() const {
   if (job_ == nullptr) return nullptr;
-  std::lock_guard<std::mutex> lock(job_->mutex);
+  MutexLock lock(&job_->mutex);
   return IsTerminal(job_->phase) ? &job_->result : nullptr;
 }
 
@@ -212,13 +226,14 @@ void JobHandle::OnComplete(
     std::function<void(const JobResult&)> callback) const {
   PROCLUS_CHECK(job_ != nullptr && callback != nullptr);
   {
-    std::unique_lock<std::mutex> lock(job_->mutex);
+    MutexLock lock(&job_->mutex);
     if (!IsTerminal(job_->phase)) {
       job_->completion_callbacks.push_back(std::move(callback));
       return;
     }
   }
-  // Already terminal: the result is immutable now, invoke synchronously.
+  // Already terminal: the result is immutable now, invoke synchronously
+  // (outside the lock — user callbacks never run under a service lock).
   callback(job_->result);
 }
 
@@ -227,20 +242,26 @@ void JobHandle::Cancel() {
   job_->token.Cancel();
   bool finished_here = false;
   {
-    std::lock_guard<std::mutex> lock(job_->mutex);
+    MutexLock lock(&job_->mutex);
     if (job_->phase == JobPhase::kQueued) {
       // Still waiting for a worker: finish right here; the worker skips
-      // the job when it eventually pops it.
+      // the job when it eventually pops it. Count before FinishLocked so
+      // stats() is consistent once Wait() returns.
       job_->result.queue_seconds = SecondsSince(job_->submit_time);
-      job_->TraceQueueWait("cancelled");
+      job_->stats->CountTerminal(Status::Cancelled("cancelled while queued"));
       job_->FinishLocked(Status::Cancelled("cancelled while queued"));
-      job_->stats->CountTerminal(job_->result.status);
       finished_here = true;
     }
     // Running jobs stop cooperatively via the token; the worker finishes
     // them with the Cancelled status the driver returns.
   }
-  if (finished_here) job_->FlushCallbacks();
+  if (finished_here) {
+    // Tracing and callbacks run outside the job lock: TraceQueueWait takes
+    // the TraceRecorder's lock, and obs locks must never nest under a
+    // service lock (docs/concurrency.md).
+    job_->TraceQueueWait("cancelled");
+    job_->FlushCallbacks();
+  }
 }
 
 // --- ProclusService ----------------------------------------------------------
@@ -248,15 +269,15 @@ void JobHandle::Cancel() {
 ProclusService::ProclusService(ServiceOptions options)
     : options_(std::move(options)),
       stats_(std::make_shared<internal::SharedStats>()),
-      store_(std::make_unique<store::DatasetStore>(store::StoreOptions{
-          options_.store_dir, options_.store_budget_bytes,
-          /*mmap_loads=*/true, options_.trace})),
       compute_pool_(
           std::make_unique<parallel::ThreadPool>(options_.compute_threads)),
       device_pool_(std::make_unique<DevicePool>(
           std::max(1, options_.gpu_devices), options_.device_properties,
           options_.prewarm_devices,
-          simt::DeviceOptions{0, options_.sanitize_devices})) {
+          simt::DeviceOptions{0, options_.sanitize_devices})),
+      store_(std::make_unique<store::DatasetStore>(store::StoreOptions{
+          options_.store_dir, options_.store_budget_bytes,
+          /*mmap_loads=*/true, options_.trace})) {
   if (options_.device_fault_hook) {
     device_pool_->SetFaultHook(options_.device_fault_hook);
   }
@@ -342,14 +363,14 @@ Status ProclusService::Submit(JobSpec spec, JobHandle* handle) {
   if (timeout > 0.0) job->token.SetTimeout(timeout);
 
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     if (stopping_) {
       return Status::FailedPrecondition("service is shut down");
     }
     const int64_t depth = static_cast<int64_t>(interactive_queue_.size() +
                                                bulk_queue_.size());
     if (depth >= options_.queue_capacity) {
-      std::lock_guard<std::mutex> stats_lock(stats_->mutex);
+      MutexLock stats_lock(&stats_->mutex);
       ++stats_->rejected;
       return Status::ResourceExhausted("job queue is full");
     }
@@ -357,7 +378,7 @@ Status ProclusService::Submit(JobSpec spec, JobHandle* handle) {
     (job->spec.priority == JobPriority::kInteractive ? interactive_queue_
                                                      : bulk_queue_)
         .push_back(job);
-    std::lock_guard<std::mutex> stats_lock(stats_->mutex);
+    MutexLock stats_lock(&stats_->mutex);
     ++stats_->submitted;
     stats_->queue_depth_high_water =
         std::max(stats_->queue_depth_high_water, depth + 1);
@@ -392,11 +413,11 @@ void ProclusService::WorkerLoop() {
   for (;;) {
     std::shared_ptr<internal::Job> job;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      work_available_.wait(lock, [this] {
-        return stopping_ || !interactive_queue_.empty() ||
-               !bulk_queue_.empty();
-      });
+      MutexLock lock(&queue_mutex_);
+      while (!stopping_ && interactive_queue_.empty() &&
+             bulk_queue_.empty()) {
+        work_available_.wait(lock.native());
+      }
       if (interactive_queue_.empty() && bulk_queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -410,24 +431,30 @@ void ProclusService::WorkerLoop() {
 void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
   const JobSpec& spec = job->spec;
   {
-    std::unique_lock<std::mutex> lock(job->mutex);
-    if (job->phase != JobPhase::kQueued) return;  // cancelled while queued
-    job->result.queue_seconds = SecondsSince(job->submit_time);
-    const Status queued_status = job->token.Check();
+    Status queued_status;
+    {
+      MutexLock lock(&job->mutex);
+      if (job->phase != JobPhase::kQueued) return;  // cancelled while queued
+      job->result.queue_seconds = SecondsSince(job->submit_time);
+      queued_status = job->token.Check();
+      if (!queued_status.ok()) {
+        // Cancelled or deadline elapsed before a worker got to it. Count
+        // before FinishLocked so stats() is consistent once Wait() returns.
+        stats_->CountTerminal(queued_status);
+        job->FinishLocked(queued_status);
+      } else {
+        job->phase = JobPhase::kRunning;
+        job->result.start_sequence = stats_->next_start_sequence++;
+      }
+    }
     if (!queued_status.ok()) {
-      // Cancelled or deadline elapsed before a worker got to it. Count
-      // before FinishLocked so stats() is consistent once Wait() returns.
+      // Tracing and callbacks outside the job lock (docs/concurrency.md).
       job->TraceQueueWait(queued_status.code() == StatusCode::kCancelled
                               ? "cancelled"
                               : "timed_out");
-      stats_->CountTerminal(queued_status);
-      job->FinishLocked(queued_status);
-      lock.unlock();
       job->FlushCallbacks();
       return;
     }
-    job->phase = JobPhase::kRunning;
-    job->result.start_sequence = stats_->next_start_sequence++;
   }
   job->TraceQueueWait("run");
   obs::TraceSpan run_span(job->trace, "job.run", "service");
@@ -455,7 +482,7 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
       run_span.End();
       stats_->CountTerminal(acquire_status);
       {
-        std::lock_guard<std::mutex> lock(job->mutex);
+        MutexLock lock(&job->mutex);
         job->FinishLocked(acquire_status);
       }
       job->FlushCallbacks();
@@ -546,7 +573,7 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
   // Update the aggregate counters first: once FinishLocked runs, Wait()
   // returns and the caller may immediately read stats().
   {
-    std::lock_guard<std::mutex> lock(stats_->mutex);
+    MutexLock lock(&stats_->mutex);
     stats_->exec_seconds_total += exec_seconds;
     stats_->modeled_gpu_seconds_total += modeled_gpu_seconds;
     stats_->sanitizer_findings_total += sanitizer_findings;
@@ -554,7 +581,7 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
   }
   stats_->CountTerminal(status);
   {
-    std::lock_guard<std::mutex> lock(job->mutex);
+    MutexLock lock(&job->mutex);
     job->result.results = std::move(results);
     job->result.setting_seconds = std::move(setting_seconds);
     job->result.exec_seconds = exec_seconds;
@@ -571,7 +598,7 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
 
 void ProclusService::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -588,7 +615,7 @@ void ProclusService::Shutdown() {
   // worker loop, not depend on them.
   std::deque<std::shared_ptr<internal::Job>> leftovers;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     leftovers.swap(interactive_queue_);
     for (auto& job : bulk_queue_) leftovers.push_back(std::move(job));
     bulk_queue_.clear();
@@ -596,10 +623,9 @@ void ProclusService::Shutdown() {
   for (const auto& job : leftovers) {
     bool finished_here = false;
     {
-      std::lock_guard<std::mutex> lock(job->mutex);
+      MutexLock lock(&job->mutex);
       if (job->phase == JobPhase::kQueued) {
         job->result.queue_seconds = SecondsSince(job->submit_time);
-        job->TraceQueueWait("shutdown");
         const Status status =
             Status::FailedPrecondition("service shut down before job ran");
         stats_->CountTerminal(status);
@@ -607,7 +633,11 @@ void ProclusService::Shutdown() {
         finished_here = true;
       }
     }
-    if (finished_here) job->FlushCallbacks();
+    if (finished_here) {
+      // Outside the job lock (docs/concurrency.md).
+      job->TraceQueueWait("shutdown");
+      job->FlushCallbacks();
+    }
   }
 
   // Nobody can wait on a device anymore; unwedge any stray waiter.
@@ -644,7 +674,7 @@ void ProclusService::PublishMetrics(obs::MetricsRegistry* registry,
 ServiceStats ProclusService::stats() const {
   ServiceStats snapshot;
   {
-    std::lock_guard<std::mutex> lock(stats_->mutex);
+    MutexLock lock(&stats_->mutex);
     snapshot.submitted = stats_->submitted;
     snapshot.rejected = stats_->rejected;
     snapshot.completed = stats_->completed;
@@ -664,7 +694,7 @@ ServiceStats ProclusService::stats() const {
 }
 
 int64_t ProclusService::queue_depth() const {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  MutexLock lock(&queue_mutex_);
   return static_cast<int64_t>(interactive_queue_.size() +
                               bulk_queue_.size());
 }

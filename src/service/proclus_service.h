@@ -10,7 +10,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "data/matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -132,11 +134,11 @@ class ProclusService {
   // Validates `spec`, resolves its dataset, and enqueues it. On OK fills
   // `*handle`. Returns ResourceExhausted when the queue is full and
   // FailedPrecondition after Shutdown. Never blocks on queue space.
-  Status Submit(JobSpec spec, JobHandle* handle);
+  Status Submit(JobSpec spec, JobHandle* handle) EXCLUDES(queue_mutex_);
 
   // Stops accepting jobs, runs everything still queued, joins the workers.
   // Idempotent; called by the destructor.
-  void Shutdown();
+  void Shutdown() EXCLUDES(queue_mutex_);
 
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
@@ -144,7 +146,7 @@ class ProclusService {
   // Instantaneous load figures for health reporting (net/protocol.h's
   // WireHealth): jobs currently waiting in the two queues, and device-pool
   // saturation.
-  int64_t queue_depth() const;
+  int64_t queue_depth() const EXCLUDES(queue_mutex_);
   int devices_leased() const;
   int device_capacity() const;
 
@@ -154,9 +156,10 @@ class ProclusService {
                       const std::string& prefix = "service") const;
 
  private:
-  void WorkerLoop();
-  std::shared_ptr<internal::Job> PopJobLocked();
-  void RunJob(const std::shared_ptr<internal::Job>& job);
+  void WorkerLoop() EXCLUDES(queue_mutex_);
+  std::shared_ptr<internal::Job> PopJobLocked() REQUIRES(queue_mutex_);
+  void RunJob(const std::shared_ptr<internal::Job>& job)
+      EXCLUDES(queue_mutex_);
 
   const ServiceOptions options_;
   std::shared_ptr<internal::SharedStats> stats_;
@@ -165,12 +168,14 @@ class ProclusService {
 
   std::unique_ptr<store::DatasetStore> store_;
 
-  mutable std::mutex queue_mutex_;
+  mutable Mutex queue_mutex_;
   std::condition_variable work_available_;
-  std::deque<std::shared_ptr<internal::Job>> interactive_queue_;
-  std::deque<std::shared_ptr<internal::Job>> bulk_queue_;
-  bool stopping_ = false;
-  uint64_t next_job_id_ = 1;
+  std::deque<std::shared_ptr<internal::Job>> interactive_queue_
+      GUARDED_BY(queue_mutex_);
+  std::deque<std::shared_ptr<internal::Job>> bulk_queue_
+      GUARDED_BY(queue_mutex_);
+  bool stopping_ GUARDED_BY(queue_mutex_) = false;
+  uint64_t next_job_id_ GUARDED_BY(queue_mutex_) = 1;
 
   std::vector<std::thread> workers_;
 };

@@ -27,6 +27,13 @@ namespace proclus::service {
 // per-setting seeds depend only on the input index, the shared artifacts
 // depend only on base.seed and the largest k, warm-start chains live
 // entirely inside one shard, and Dist/H cache state never changes results.
+//
+// Deliberately lock-free (no Mutex, no GUARDED_BY): each lane thread writes
+// only its own disjoint shard-status/result slots, the watcher counts
+// finished lanes through an atomic, and Run() joins every lane thread
+// before reading their output — the joins are the synchronization. Adding
+// state shared between lanes requires a Mutex and annotations
+// (docs/concurrency.md).
 class SweepScheduler {
  public:
   // `pool` must outlive the scheduler. GPU sweeps only — CPU sweeps have no

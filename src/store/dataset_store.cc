@@ -91,7 +91,7 @@ std::string DatasetStore::PathForHash(uint64_t hash) const {
 
 Status DatasetStore::Put(const std::string& id, data::Matrix points,
                          uint64_t* hash) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return PutLocked(id, std::move(points), hash, nullptr);
 }
 
@@ -152,7 +152,7 @@ Status DatasetStore::PutLocked(const std::string& id, data::Matrix points,
 
 Status DatasetStore::Acquire(const std::string& id, PinnedDataset* pinned) {
   PROCLUS_CHECK(pinned != nullptr);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = entries_.find(id);
   if (it == entries_.end()) {
     return Status::InvalidArgument("unknown dataset id: " + id);
@@ -172,12 +172,12 @@ Status DatasetStore::Acquire(const std::string& id, PinnedDataset* pinned) {
 }
 
 bool DatasetStore::Contains(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return entries_.count(id) > 0;
 }
 
 Status DatasetStore::Evict(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = entries_.find(id);
   if (it == entries_.end()) {
     return Status::InvalidArgument("unknown dataset id: " + id);
@@ -263,7 +263,7 @@ Status DatasetStore::SpillLocked(Entry* entry) {
 }
 
 void DatasetStore::Unpin(const std::shared_ptr<void>& entry) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto* e = static_cast<Entry*>(entry.get());
   PROCLUS_CHECK(e->pins > 0);
   e->pins--;
@@ -301,7 +301,7 @@ Status DatasetStore::UploadChunk(const std::shared_ptr<UploadSession>& session,
                                  int64_t offset, const void* bytes,
                                  int64_t len) {
   PROCLUS_CHECK(session != nullptr && (bytes != nullptr || len == 0));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   UploadSession* s = session.get();
   if (s->staging_.empty() && s->total_bytes_ > 0) {
     return Status::FailedPrecondition("upload session already finished: " +
@@ -334,7 +334,7 @@ Status DatasetStore::UploadCommit(
     const std::shared_ptr<UploadSession>& session, uint32_t crc32,
     uint64_t* hash, bool* deduped) {
   PROCLUS_CHECK(session != nullptr);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   UploadSession* s = session.get();
   if (s->staging_.empty() && s->total_bytes_ > 0) {
     return Status::FailedPrecondition("upload session already finished: " +
@@ -368,12 +368,12 @@ Status DatasetStore::UploadCommit(
 
 void DatasetStore::UploadAbort(const std::shared_ptr<UploadSession>& session) {
   if (session == nullptr) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   session->staging_ = data::Matrix();
 }
 
 std::vector<DatasetInfo> DatasetStore::List() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<DatasetInfo> out;
   out.reserve(entries_.size());
   for (const auto& [id, entry] : entries_) {
@@ -395,7 +395,7 @@ std::vector<DatasetInfo> DatasetStore::List() const {
 }
 
 StoreStats DatasetStore::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   StoreStats out = counters_;
   out.resident_bytes = resident_bytes_;
   out.datasets = static_cast<int64_t>(entries_.size());

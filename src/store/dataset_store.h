@@ -3,13 +3,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "data/matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -104,6 +105,13 @@ class UploadSession {
 
  private:
   friend class DatasetStore;
+  // Cross-object guarding: the mutable fields (received_bytes_, staging_)
+  // are written only by DatasetStore's upload methods while holding the
+  // STORE's mutex_ — a session has no lock of its own. The accessors above
+  // are read-side conveniences for the single connection thread driving the
+  // upload; concurrent UploadChunk calls on one session serialize through
+  // the store. The analysis cannot attach GUARDED_BY to another object's
+  // capability here, so this contract is documented rather than annotated.
   std::string dataset_id_;
   int64_t rows_ = 0;
   int64_t cols_ = 0;
@@ -144,42 +152,46 @@ class DatasetStore {
   // Returns the content hash via `hash` (optional). Identical content
   // already present under another id shares its on-disk file.
   Status Put(const std::string& id, data::Matrix points,
-             uint64_t* hash = nullptr);
+             uint64_t* hash = nullptr) EXCLUDES(mutex_);
 
   // Pins `id`'s payload and returns it, reloading from disk if it was
   // evicted. kInvalidArgument for an unknown id.
-  Status Acquire(const std::string& id, PinnedDataset* pinned);
+  Status Acquire(const std::string& id, PinnedDataset* pinned)
+      EXCLUDES(mutex_);
 
-  bool Contains(const std::string& id) const;
+  bool Contains(const std::string& id) const EXCLUDES(mutex_);
 
   // Drops `id` from the store entirely (its on-disk file too, unless another
   // id shares the content). kFailedPrecondition while the entry is pinned;
   // kInvalidArgument for an unknown id.
-  Status Evict(const std::string& id);
+  Status Evict(const std::string& id) EXCLUDES(mutex_);
 
   // --- chunked uploads -----------------------------------------------------
 
   // Starts a chunked upload of a rows x cols float32 dataset for `id`.
   Status UploadBegin(const std::string& id, int64_t rows, int64_t cols,
-                     std::shared_ptr<UploadSession>* session);
+                     std::shared_ptr<UploadSession>* session)
+      EXCLUDES(mutex_);
   // Appends `len` bytes of little-endian float32 payload at byte `offset`.
   // Offsets must be strictly sequential (offset == bytes received so far).
   Status UploadChunk(const std::shared_ptr<UploadSession>& session,
-                     int64_t offset, const void* bytes, int64_t len);
+                     int64_t offset, const void* bytes, int64_t len)
+      EXCLUDES(mutex_);
   // Verifies the payload is complete and matches `crc32`, then registers it
   // as if by Put(). `hash`/`deduped` (optional) report the content hash and
   // whether identical content was already stored.
   Status UploadCommit(const std::shared_ptr<UploadSession>& session,
                       uint32_t crc32, uint64_t* hash = nullptr,
-                      bool* deduped = nullptr);
+                      bool* deduped = nullptr) EXCLUDES(mutex_);
   // Discards the session's staging buffer. Safe on a committed session.
-  void UploadAbort(const std::shared_ptr<UploadSession>& session);
+  void UploadAbort(const std::shared_ptr<UploadSession>& session)
+      EXCLUDES(mutex_);
 
   // --- introspection -------------------------------------------------------
 
   // All stored datasets, sorted by id.
-  std::vector<DatasetInfo> List() const;
-  StoreStats stats() const;
+  std::vector<DatasetInfo> List() const EXCLUDES(mutex_);
+  StoreStats stats() const EXCLUDES(mutex_);
 
   // Publishes `<prefix>.resident_bytes|datasets` gauges and
   // `<prefix>.hits|misses|evictions|spills|dedup_hits|upload_bytes_total`
@@ -197,24 +209,30 @@ class DatasetStore {
   static uint64_t ContentHash(const data::Matrix& points);
 
   std::string PathForHash(uint64_t hash) const;
-  // Registers `points` under `id`; requires lock held.
+  // Registers `points` under `id`.
   Status PutLocked(const std::string& id, data::Matrix points,
-                   uint64_t* hash, bool* deduped);
+                   uint64_t* hash, bool* deduped) REQUIRES(mutex_);
   // Ensures `entry` has a resident payload, reloading from disk on a miss.
-  Status EnsureResidentLocked(Entry* entry);
+  Status EnsureResidentLocked(Entry* entry) REQUIRES(mutex_);
   // Spills + drops LRU unpinned entries until resident bytes fit the budget.
-  void EnforceBudgetLocked();
+  void EnforceBudgetLocked() REQUIRES(mutex_);
   // Writes the entry's payload to its content-addressed file if absent.
-  Status SpillLocked(Entry* entry);
-  void Unpin(const std::shared_ptr<void>& entry);
+  Status SpillLocked(Entry* entry) REQUIRES(mutex_);
+  void Unpin(const std::shared_ptr<void>& entry) EXCLUDES(mutex_);
 
   const StoreOptions options_;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
-  int64_t resident_bytes_ = 0;
-  uint64_t use_clock_ = 0;  // LRU timestamps
-  StoreStats counters_;     // hit/miss/eviction/... (resident computed live)
+  // Near the bottom of the lock hierarchy: taken under a job's mutex (pin
+  // release in FinishLocked). The only locks acquired while holding it are
+  // the obs leaves — load/spill/verify spans under the lock end up in
+  // TraceRecorder::AddComplete (docs/concurrency.md).
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_
+      GUARDED_BY(mutex_);
+  int64_t resident_bytes_ GUARDED_BY(mutex_) = 0;
+  uint64_t use_clock_ GUARDED_BY(mutex_) = 0;  // LRU timestamps
+  // hit/miss/eviction/... (resident computed live)
+  StoreStats counters_ GUARDED_BY(mutex_);
 };
 
 }  // namespace proclus::store

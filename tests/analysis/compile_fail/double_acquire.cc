@@ -1,0 +1,28 @@
+// Acquiring a mutex the caller already holds: self-deadlock on a
+// non-recursive mutex. Must fail to compile.
+// EXPECT: that is already held
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    proclus::MutexLock outer(&mutex_);
+    proclus::MutexLock inner(&mutex_);  // deadlock
+    ++value_;
+  }
+
+ private:
+  proclus::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

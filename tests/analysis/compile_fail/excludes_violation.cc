@@ -1,0 +1,36 @@
+// Calling an EXCLUDES(mutex_) function while holding mutex_ — the shape of
+// the lock-held-across-callback defect fixed in service/proclus_service.cc
+// (TraceQueueWait under job->mutex). Must fail to compile.
+// EXPECT: mutex 'mutex_' is held
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // Acquires the lock itself (or calls out while it must be free).
+  void Publish() EXCLUDES(mutex_) {
+    proclus::MutexLock lock(&mutex_);
+    ++published_;
+  }
+
+  void Increment() {
+    proclus::MutexLock lock(&mutex_);
+    ++value_;
+    Publish();  // would self-deadlock at runtime
+  }
+
+ private:
+  proclus::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+  int published_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,24 @@
+// A GUARDED_BY member written without holding its mutex: the original
+// sin the analysis exists to catch. Must fail to compile.
+// EXPECT: requires holding mutex 'mutex_'
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { ++value_; }  // no lock held
+
+ private:
+  proclus::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// A function that returns with the mutex still held on one path — the
+// early-return leak that scoped holders make impossible and raw Lock()
+// invites. Must fail to compile.
+// EXPECT: still held at the end of function
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  bool TryIncrement(bool enabled) {
+    mutex_.Lock();
+    if (!enabled) return false;  // leaks the lock
+    ++value_;
+    mutex_.Unlock();
+    return true;
+  }
+
+ private:
+  proclus::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.TryIncrement(true);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Positive control: a correctly annotated class that MUST compile cleanly
+// under -Wthread-safety -Werror. If this snippet fails, the harness flags
+// are broken (or common/mutex.h regressed) and every "expected failure"
+// below would be meaningless — the driver runs this one first and treats
+// any diagnostic as a harness error.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mutex_) {
+    proclus::MutexLock lock(&mutex_);
+    IncrementLocked();
+  }
+
+  int value() const EXCLUDES(mutex_) {
+    proclus::MutexLock lock(&mutex_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() REQUIRES(mutex_) { ++value_; }
+
+  mutable proclus::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.value() == 1 ? 0 : 1;
+}

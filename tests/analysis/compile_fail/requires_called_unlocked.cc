@@ -1,0 +1,26 @@
+// A REQUIRES(mutex_) helper — the `...Locked()` convention — called
+// without the lock held. Must fail to compile.
+// EXPECT: calling function 'IncrementLocked' requires holding mutex
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { IncrementLocked(); }  // forgot the MutexLock
+
+ private:
+  void IncrementLocked() REQUIRES(mutex_) { ++value_; }
+
+  proclus::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

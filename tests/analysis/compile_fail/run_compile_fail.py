@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Negative-compile driver for the thread-safety annotations.
+
+Each *.cc snippet in this directory carries an `// EXPECT: <substring>`
+comment naming a fragment of the clang -Wthread-safety diagnostic it must
+provoke. The driver compiles every snippet with
+
+    <clang++> -fsyntax-only -std=c++20 -Wthread-safety -Wthread-safety-beta
+              -Werror -I <src>
+
+and asserts that snippets WITH an EXPECT line fail with a diagnostic
+containing the substring, while snippets without one (the ok_baseline.cc
+positive control) compile cleanly. A snippet that fails for a *different*
+reason — syntax error, missing header — is reported as a harness bug, not
+a pass: the expected substring must actually appear.
+
+Registered as ctest `thread_safety_compile_fail_test` only when a clang++
+is on PATH (tests/analysis/CMakeLists.txt); gcc has no -Wthread-safety.
+
+Usage: run_compile_fail.py --compiler clang++ --include ../../src
+                           [--snippets DIR]
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+EXPECT_RE = re.compile(r"^//\s*EXPECT:\s*(.+?)\s*$", re.MULTILINE)
+
+BASE_FLAGS = [
+    "-fsyntax-only", "-std=c++20",
+    "-Wthread-safety", "-Wthread-safety-beta", "-Werror",
+]
+
+
+def run_snippet(compiler, include_dir, path):
+    """Returns (ok, detail) for one snippet."""
+    with open(path, "r", encoding="utf-8") as f:
+        source = f.read()
+    match = EXPECT_RE.search(source)
+    cmd = [compiler] + BASE_FLAGS + ["-I", include_dir, path]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    name = os.path.basename(path)
+    if match is None:
+        # Positive control: must compile cleanly.
+        if proc.returncode == 0:
+            return True, f"PASS {name} (compiles cleanly, as required)"
+        return False, (f"FAIL {name}: positive control did not compile — "
+                       f"harness or mutex.h is broken:\n{proc.stderr}")
+    expected = match.group(1)
+    if proc.returncode == 0:
+        return False, (f"FAIL {name}: compiled cleanly but must fail with "
+                       f"a diagnostic containing {expected!r}")
+    if expected not in proc.stderr:
+        return False, (f"FAIL {name}: failed for the wrong reason — "
+                       f"expected substring {expected!r} not in:\n"
+                       f"{proc.stderr}")
+    return True, f"PASS {name} (rejected: ...{expected}...)"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--compiler", required=True,
+                        help="clang++ binary to compile with")
+    parser.add_argument("--include", required=True,
+                        help="path to the repository's src/ directory")
+    parser.add_argument("--snippets",
+                        default=os.path.dirname(os.path.abspath(__file__)),
+                        help="directory of snippet .cc files")
+    args = parser.parse_args()
+
+    snippets = sorted(
+        os.path.join(args.snippets, f)
+        for f in os.listdir(args.snippets) if f.endswith(".cc"))
+    if not snippets:
+        print("no snippets found", file=sys.stderr)
+        return 2
+
+    # Sanity: the compiler must understand -Wthread-safety at all,
+    # otherwise every "expected failure" would pass vacuously under
+    # -Werror=unknown-warning-option... which clang does not emit for
+    # known-prefix flags, so probe explicitly with the positive control
+    # ordered first (ok_baseline.cc sorts after double_acquire; force it).
+    snippets.sort(key=lambda p: (not p.endswith("ok_baseline.cc"), p))
+
+    failures = 0
+    for path in snippets:
+        ok, detail = run_snippet(args.compiler, args.include, path)
+        print(detail)
+        if not ok:
+            failures += 1
+    if failures:
+        print(f"{failures} snippet(s) failed", file=sys.stderr)
+        return 1
+    print(f"all {len(snippets)} snippets behaved as annotated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+// Releasing a mutex that is not held (undefined behaviour on std::mutex).
+// Uses raw Unlock() — banned in src/ by prolint, legal in this fixture —
+// because a scoped holder cannot even express the bug. Must fail to
+// compile.
+// EXPECT: that was not held
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Reset() {
+    mutex_.Unlock();  // never locked
+    value_ = 0;
+  }
+
+ private:
+  proclus::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Reset();
+  return 0;
+}

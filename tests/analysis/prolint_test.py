@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Tests for tools/prolint.py: every rule must flag its known-bad fixture
+and stay quiet on the equivalent clean shape, and a full run over the real
+src/ tree must be violation-free (the pin that keeps CI green *because the
+tree is clean*, not because the linter stopped looking).
+
+Fixture trees are materialized in a tempdir per test case, so the file
+layout each rule depends on (header/source siblings, docs/observability.md,
+src/net/protocol.cc) is explicit in the test body. Registered as ctest
+`prolint_test` (tests/analysis/CMakeLists.txt); needs only python3.
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import prolint  # noqa: E402
+
+
+def write_tree(root, files):
+    for rel, content in files.items():
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+
+def lint_tree(files, paths=("src",)):
+    """Lints a dict of {relpath: content} and returns [(rule, path), ...]."""
+    with tempfile.TemporaryDirectory() as root:
+        write_tree(root, files)
+        violations = prolint.lint(root, list(paths))
+        return [(v.rule, v.path, v.message) for v in violations]
+
+
+def rules_of(violations):
+    return sorted({rule for rule, _path, _msg in violations})
+
+
+class RawLockTest(unittest.TestCase):
+    def test_flags_every_raw_primitive(self):
+        violations = lint_tree({
+            "src/bad.cc": (
+                "#include <mutex>\n"
+                "void f(std::mutex& m) {\n"
+                "  std::lock_guard<std::mutex> g(m);\n"
+                "  std::unique_lock<std::mutex> u(m);\n"
+                "  m.lock();\n"
+                "  m.unlock();\n"
+                "}\n"),
+        })
+        raw = [v for v in violations if v[0] == "raw-lock"]
+        self.assertEqual(len(raw), 4, violations)
+
+    def test_mutex_h_whitelisted_and_comments_ignored(self):
+        violations = lint_tree({
+            # The wrapper itself may use the primitives...
+            "src/common/mutex.h": "void L(M& m) { m.lock(); }\n",
+            # ...and commented/quoted mentions never count.
+            "src/ok.cc": (
+                "// calling .lock() here would deadlock\n"
+                "/* std::lock_guard is banned */\n"
+                "const char* kDoc = \"m.unlock()\";\n"),
+        })
+        self.assertEqual([v for v in violations if v[0] == "raw-lock"], [])
+
+
+class MutexGuardedByTest(unittest.TestCase):
+    def test_flags_std_mutex_member_and_orphan_mutex(self):
+        violations = lint_tree({
+            "src/bad.h": (
+                "class C {\n"
+                "  std::mutex raw_;\n"     # banned type
+                "  Mutex orphan_;\n"       # no annotation names it
+                "};\n"),
+        })
+        msgs = [m for r, _p, m in violations if r == "mutex-guarded-by"]
+        self.assertEqual(len(msgs), 2, violations)
+        self.assertTrue(any("std::mutex" in m for m in msgs))
+        self.assertTrue(any("orphan_" in m for m in msgs))
+
+    def test_user_in_source_sibling_satisfies_header_mutex(self):
+        violations = lint_tree({
+            "src/c.h": (
+                "class C {\n"
+                "  Mutex mutex_;\n"
+                "  int v_ GUARDED_BY(mutex_);\n"
+                "};\n"),
+            "src/d.h": "class D {\n  Mutex mutex_;\n};\n",
+            "src/d.cc": ("#include \"d.h\"\n"
+                         "void D::F() { MutexLock lock(&mutex_); }\n"),
+        })
+        self.assertEqual(
+            [v for v in violations if v[0] == "mutex-guarded-by"], [],
+            violations)
+
+
+class MetricTaxonomyTest(unittest.TestCase):
+    FILES = {
+        "docs/observability.md": "| `svc.documented` | counter |\n",
+        "src/m.cc": (
+            "void P(R* r) {\n"
+            "  r->counter(\"svc.documented\")->Increment();\n"
+            "  r->gauge(\"svc.undocumented\")->Set(1);\n"
+            "  r->histogram(prefix + \".dynamic\")->Observe(2);\n"
+            "}\n"),
+    }
+
+    def test_undocumented_literal_flagged_dynamic_exempt(self):
+        violations = lint_tree(self.FILES)
+        taxonomy = [v for v in violations if v[0] == "metric-taxonomy"]
+        self.assertEqual(len(taxonomy), 1, violations)
+        self.assertIn("svc.undocumented", taxonomy[0][2])
+
+
+class WireCodesTest(unittest.TestCase):
+    @staticmethod
+    def files(codes_doc):
+        return {
+            "docs/serving.md": codes_doc,
+            "src/net/protocol.cc": (
+                "const CodeName kCodeNames[] = {\n"
+                "    {StatusCode::kOk, \"OK\"},\n"
+                "    {StatusCode::kInternal, \"internal\"},\n"
+                "    {StatusCode::kIoError, \"IO_ERROR\"},\n"
+                "};\n"),
+        }
+
+    def test_lowercase_and_undocumented_codes_flagged(self):
+        violations = lint_tree(self.files("`OK` `IO_ERROR`\n"))
+        wire = [v for v in violations if v[0] == "wire-codes"]
+        # "internal" is flagged twice: not SCREAMING_SNAKE, not documented.
+        self.assertEqual(len(wire), 2, violations)
+        self.assertTrue(all("internal" in m for _r, _p, m in wire))
+
+    def test_documented_screaming_snake_table_is_clean(self):
+        violations = lint_tree(self.files("`OK` `internal` `IO_ERROR`\n"))
+        wire = [v for v in violations if v[0] == "wire-codes"]
+        self.assertEqual(len(wire), 1, violations)  # only the casing one
+        self.assertIn("SCREAMING_SNAKE", wire[0][2])
+
+
+class NondeterminismTest(unittest.TestCase):
+    def test_flags_rand_and_random_device(self):
+        violations = lint_tree({
+            "src/r.cc": (
+                "int f() { return rand(); }\n"
+                "void g() { srand(42); }\n"
+                "unsigned h() { return std::random_device{}(); }\n"
+                "// rand() in a comment is fine\n"
+                "int my_grand() { return 0; }\n"),  # substring, not a call
+        })
+        nondet = [v for v in violations if v[0] == "nondeterminism"]
+        self.assertEqual(len(nondet), 3, violations)
+
+
+class RealTreePinTest(unittest.TestCase):
+    def test_src_is_clean(self):
+        violations = prolint.lint(REPO_ROOT, ["src"])
+        self.assertEqual(
+            [str(v) for v in violations], [],
+            "tools/prolint.py must be clean over src/ — fix the source "
+            "or the docs, do not relax the linter")
+
+    def test_rule_list_stable(self):
+        # ci.sh and docs/concurrency.md name these rules; renaming one is
+        # an interface change, not a refactor.
+        self.assertEqual(prolint.ALL_RULES, [
+            "raw-lock", "mutex-guarded-by", "metric-taxonomy",
+            "wire-codes", "nondeterminism"])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "core/api.h"
 #include "core/multi_param.h"
@@ -467,6 +469,66 @@ TEST(ServiceTest, TracedJobsRecordLifecycleEvents) {
   EXPECT_EQ(submitted, 1);
   EXPECT_EQ(queue_wait, 1);
   EXPECT_EQ(run, 1);
+}
+
+// Regression for a lock-discipline defect: JobHandle::Cancel used to emit
+// the job.queue_wait trace span and run completion callbacks while still
+// holding the job mutex, nesting the TraceRecorder's lock (and arbitrary
+// user code) under it. Cancel now publishes the terminal state under the
+// lock and traces/flushes outside it — Job::TraceQueueWait is
+// EXCLUDES(mutex), so the old shape no longer compiles under
+// -Wthread-safety. This test hammers the racy shape under TSAN (ci.sh)
+// and pins exactly-once semantics: one queue_wait span and one callback
+// invocation per job, no matter how many threads race Cancel against the
+// worker draining the queue.
+TEST(ServiceTest, ConcurrentCancelTracesAndNotifiesEachJobOnce) {
+  const data::Dataset ds = TestData();
+  obs::TraceRecorder trace;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.trace = &trace;
+  constexpr int kJobs = 16;
+  std::atomic<int> callbacks{0};
+  {
+    ProclusService service(options);
+    JobHandle busy;
+    ASSERT_TRUE(service.Submit(HeavyJob(ds.points), &busy).ok());
+    std::vector<JobHandle> handles(kJobs);
+    for (int i = 0; i < kJobs; ++i) {
+      ASSERT_TRUE(service
+                      .Submit(JobSpec::Single(ds.points, TestParams(),
+                                              core::ClusterOptions::Cpu()),
+                              &handles[i])
+                      .ok());
+      handles[i].OnComplete(
+          [&callbacks](const JobResult&) { callbacks.fetch_add(1); });
+    }
+    // Several threads cancel every handle while the worker may be picking
+    // the same jobs up; Cancel is idempotent, so all orders are legal.
+    std::vector<std::thread> cancellers;
+    for (int t = 0; t < 4; ++t) {
+      cancellers.emplace_back([&handles] {
+        for (JobHandle& handle : handles) handle.Cancel();
+      });
+    }
+    for (std::thread& canceller : cancellers) canceller.join();
+    for (JobHandle& handle : handles) {
+      const StatusCode code = handle.Wait().status.code();
+      EXPECT_TRUE(code == StatusCode::kCancelled || code == StatusCode::kOk);
+    }
+    busy.Cancel();
+    busy.Wait();
+  }
+
+  EXPECT_EQ(callbacks.load(), kJobs);
+  int queue_wait = 0;
+  for (const obs::TraceEvent& event : trace.Snapshot()) {
+    if (event.category == "service" && event.name == "job.queue_wait") {
+      ++queue_wait;
+    }
+  }
+  // One span per job, including the decoy that occupied the worker.
+  EXPECT_EQ(queue_wait, kJobs + 1);
 }
 
 TEST(ServiceTest, SubmitRejectsCallerProvidedTraceRecorder) {

@@ -3,21 +3,41 @@
 # runs the concurrency-sensitive suites (parallel primitives, the simulated
 # device, and the async service layer), then an ASan+UBSan build
 # (PROCLUS_SANITIZE=address enables both) that runs the full suite to vet
-# memory safety and undefined behavior.
+# memory safety and undefined behavior. Before any of that, the analyze
+# stage runs tools/prolint.py and, when clang++ is installed, the
+# -Wthread-safety tree build (docs/concurrency.md) — --skip-analyze is the
+# escape hatch while iterating on something the linter flags.
 #
-#   tools/check.sh [--skip-tsan] [--skip-asan]
+#   tools/check.sh [--skip-tsan] [--skip-asan] [--skip-analyze]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
 SKIP_ASAN=0
+SKIP_ANALYZE=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
+    --skip-analyze) SKIP_ANALYZE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+
+if [[ "$SKIP_ANALYZE" == 1 ]]; then
+  echo "== skipping analyze =="
+else
+  echo "== analyze: prolint project invariants over src/ =="
+  python3 tools/prolint.py
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "== analyze: clang -Wthread-safety build (PROCLUS_THREAD_SAFETY=ON) =="
+    cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+        -DPROCLUS_THREAD_SAFETY=ON >/dev/null
+    cmake --build build-tsa -j
+  else
+    echo "== analyze: clang++ not installed; skipping thread-safety build =="
+  fi
+fi
 
 echo "== regular build + full test suite =="
 cmake -B build -S . >/dev/null

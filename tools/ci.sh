@@ -20,18 +20,27 @@
 # uploaded id, and asserts the store counters registered the ingest
 # (store.upload_bytes_total non-zero) plus a clean drain (docs/store.md).
 #
-#   tools/ci.sh [--skip-tsan] [--skip-smoke] [--skip-lint]
+# An analyze stage (before the lint stage) enforces the project's static
+# invariants: tools/prolint.py over src/ (always — python3 only), and a
+# full-tree build with clang's -Wthread-safety capability analysis as
+# errors (-DPROCLUS_THREAD_SAFETY=ON; see docs/concurrency.md) whenever a
+# clang++ is installed — gcc has no such analysis, so like the clang-tidy
+# gate it degrades to a skip message rather than a failure.
+#
+#   tools/ci.sh [--skip-tsan] [--skip-smoke] [--skip-lint] [--skip-analyze]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
 SKIP_SMOKE=0
 SKIP_LINT=0
+SKIP_ANALYZE=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-smoke) SKIP_SMOKE=1 ;;
     --skip-lint) SKIP_LINT=1 ;;
+    --skip-analyze) SKIP_ANALYZE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -46,6 +55,22 @@ echo "== checked execution: simt + core GPU suites under PROCLUS_SIMTCHECK=1 =="
 # production kernels must stay race- and memory-clean as the repo grows.
 (cd build && PROCLUS_SIMTCHECK=1 ctest --output-on-failure -j"$(nproc)" \
     -R 'sanitizer_test|device_test|atomic_test|stream_test|primitives_test|perf_model_test|gpu_backend_test|gpu_config_test|equivalence_test|fast_strategy_test|multi_param_test|multi_param_rng_test|metamorphic_test|trace_export_test')
+
+if [[ "$SKIP_ANALYZE" == 1 ]]; then
+  echo "== skipping analyze =="
+else
+  echo "== analyze: prolint project invariants over src/ =="
+  python3 tools/prolint.py
+
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "== analyze: clang -Wthread-safety build (PROCLUS_THREAD_SAFETY=ON) =="
+    cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+        -DPROCLUS_THREAD_SAFETY=ON >/dev/null
+    cmake --build build-tsa -j
+  else
+    echo "== analyze: clang++ not installed; skipping thread-safety build =="
+  fi
+fi
 
 if [[ "$SKIP_LINT" == 1 ]]; then
   echo "== skipping lint =="

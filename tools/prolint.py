@@ -1,0 +1,353 @@
+#!/usr/bin/env python3
+"""prolint: project-invariant linter for the proclus codebase.
+
+An AST-lite (regex + line-scan) linter enforcing invariants the compiler
+cannot, run by tools/ci.sh's analyze stage and tools/check.sh. Rules:
+
+  raw-lock         No raw Mutex::Lock()/Unlock() calls and no std:: lock
+                   primitives (std::lock_guard / std::unique_lock /
+                   std::scoped_lock / .lock() / .unlock()) outside
+                   src/common/mutex.h. Locking goes through the scoped
+                   proclus::MutexLock holder, which cannot leak a held lock
+                   on an early return and is visible to -Wthread-safety.
+
+  mutex-guarded-by No std::mutex members outside src/common/mutex.h (the
+                   annotated proclus::Mutex replaces them), and every
+                   proclus::Mutex member must have at least one
+                   GUARDED_BY/REQUIRES/EXCLUDES/ACQUIRE/RELEASE user naming
+                   it in the same file or its header/source pair — an
+                   unannotated mutex guards nothing the analysis can check.
+
+  metric-taxonomy  Every metric name published as a string literal via
+                   counter("...")/gauge("...")/histogram("...") must appear
+                   verbatim in docs/observability.md. Names assembled from
+                   a runtime prefix are exempt (the taxonomy doc covers the
+                   families).
+
+  wire-codes       The wire status-code table in src/net/protocol.cc
+                   (kCodeNames) must be SCREAMING_SNAKE and every code must
+                   appear verbatim in docs/serving.md, so the documented
+                   protocol cannot drift from the implementation.
+
+  nondeterminism   No rand()/srand()/un-seeded std::random_device outside
+                   the whitelist below. Every random draw in the
+                   reproduction flows from an explicit seed (the paper's
+                   determinism contract); random_device would silently
+                   break bit-identical reruns.
+
+Usage: prolint.py [--root DIR] [--list-rules] [paths...]
+Prints "file:line: rule: message" per violation; exit 1 if any.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# Files allowed to touch raw locking primitives: the annotated wrapper
+# itself.
+RAW_LOCK_WHITELIST = {"src/common/mutex.h"}
+
+# Files allowed nondeterminism. Nothing today: data generators and
+# algorithms all take explicit seeds. Extend deliberately, with a comment
+# in the file.
+NONDETERMINISM_WHITELIST: set[str] = set()
+
+SOURCE_EXTENSIONS = (".cc", ".h")
+
+METRIC_DOC = "docs/observability.md"
+SERVING_DOC = "docs/serving.md"
+PROTOCOL_CC = "src/net/protocol.cc"
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of // comments and string literals from a line.
+
+    Keeps the line length roughly stable so column context survives; good
+    enough for the token-level checks below (block comments spanning lines
+    are handled by the caller's state machine).
+    """
+    out = []
+    i = 0
+    in_string = False
+    string_delim = ""
+    while i < len(line):
+        ch = line[i]
+        if in_string:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == string_delim:
+                in_string = False
+            i += 1
+            continue
+        if ch in ('"', "'"):
+            in_string = True
+            string_delim = ch
+            i += 1
+            continue
+        if ch == "/" and i + 1 < len(line) and line[i + 1] == "/":
+            break
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def iter_code_lines(text: str):
+    """Yields (lineno, raw_line, code_line) with comments/strings removed."""
+    in_block_comment = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                yield lineno, raw, ""
+                continue
+            line = " " * (end + 2) + line[end + 2:]
+            in_block_comment = False
+        # Remove /* ... */ islands (possibly several per line).
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+        yield lineno, raw, strip_comments_and_strings(line)
+
+
+# --- rule: raw-lock ---------------------------------------------------------
+
+RAW_LOCK_PATTERNS = [
+    (re.compile(r"\bstd::lock_guard\b"), "std::lock_guard"),
+    (re.compile(r"\bstd::unique_lock\b"), "std::unique_lock"),
+    (re.compile(r"\bstd::scoped_lock\b"), "std::scoped_lock"),
+    (re.compile(r"\.\s*lock\s*\(\s*\)"), ".lock()"),
+    (re.compile(r"\.\s*unlock\s*\(\s*\)"), ".unlock()"),
+    (re.compile(r"\.\s*Lock\s*\(\s*\)"), "Mutex::Lock()"),
+    (re.compile(r"\.\s*Unlock\s*\(\s*\)"), "Mutex::Unlock()"),
+    (re.compile(r"->\s*lock\s*\(\s*\)"), "->lock()"),
+    (re.compile(r"->\s*unlock\s*\(\s*\)"), "->unlock()"),
+    (re.compile(r"->\s*Lock\s*\(\s*\)"), "Mutex::Lock()"),
+    (re.compile(r"->\s*Unlock\s*\(\s*\)"), "Mutex::Unlock()"),
+]
+
+
+def check_raw_lock(rel: str, text: str, out: list):
+    if rel in RAW_LOCK_WHITELIST:
+        return
+    for lineno, _raw, code in iter_code_lines(text):
+        for pattern, label in RAW_LOCK_PATTERNS:
+            if pattern.search(code):
+                out.append(Violation(
+                    rel, lineno, "raw-lock",
+                    f"{label} is banned; hold locks with a scoped "
+                    "proclus::MutexLock (src/common/mutex.h)"))
+
+
+# --- rule: mutex-guarded-by -------------------------------------------------
+
+STD_MUTEX_MEMBER = re.compile(r"\bstd::(?:recursive_|timed_|shared_)?mutex\b")
+# "Mutex name_;"-style member declarations (optionally mutable / qualified).
+MUTEX_MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?(?:proclus::)?Mutex\s+(\w+)\s*;")
+
+
+def sibling_paths(rel: str):
+    """The file itself plus its header/source pair, if present."""
+    stem, ext = os.path.splitext(rel)
+    pair = {".h": ".cc", ".cc": ".h"}.get(ext)
+    yield rel
+    if pair:
+        yield stem + pair
+
+
+def check_mutex_guarded_by(rel: str, text: str, read_file, out: list):
+    for lineno, _raw, code in iter_code_lines(text):
+        if rel not in RAW_LOCK_WHITELIST and STD_MUTEX_MEMBER.search(code):
+            out.append(Violation(
+                rel, lineno, "mutex-guarded-by",
+                "std::mutex is banned outside src/common/mutex.h; use the "
+                "annotated proclus::Mutex"))
+        match = MUTEX_MEMBER.match(code)
+        if match:
+            name = match.group(1)
+            users = re.compile(
+                r"\b(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|EXCLUDES|ACQUIRE|"
+                r"RELEASE|MutexLock(?:\s+\w+)?)\s*\(\s*&?(?:\w+(?:->|\.))?"
+                + re.escape(name) + r"\s*\)")
+            if not any(users.search(read_file(p) or "")
+                       for p in sibling_paths(rel)):
+                out.append(Violation(
+                    rel, lineno, "mutex-guarded-by",
+                    f"Mutex member '{name}' has no GUARDED_BY/REQUIRES/"
+                    "EXCLUDES user in this file or its header/source pair; "
+                    "annotate what it guards or delete it"))
+
+
+# --- rule: metric-taxonomy --------------------------------------------------
+
+METRIC_CALL = re.compile(r"\b(?:counter|gauge|histogram)\(\s*\"([^\"]+)\"")
+
+
+def check_metric_taxonomy(rel: str, text: str, doc_text: str, out: list):
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        for name in METRIC_CALL.findall(raw):
+            if name not in doc_text:
+                out.append(Violation(
+                    rel, lineno, "metric-taxonomy",
+                    f"metric '{name}' is not documented in {METRIC_DOC}; "
+                    "add it to the taxonomy (or build the name from a "
+                    "prefix if it is intentionally dynamic)"))
+
+
+# --- rule: wire-codes -------------------------------------------------------
+
+CODE_NAME_ENTRY = re.compile(r"\{\s*StatusCode::\w+\s*,\s*\"([^\"]+)\"\s*\}")
+SCREAMING_SNAKE = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+
+def check_wire_codes(root: str, read_file, out: list):
+    protocol = read_file(PROTOCOL_CC)
+    if protocol is None:
+        return
+    serving = read_file(SERVING_DOC) or ""
+    table = re.search(r"kCodeNames\[\]\s*=\s*\{(.*?)\n\};", protocol,
+                      re.DOTALL)
+    if table is None:
+        out.append(Violation(
+            PROTOCOL_CC, 1, "wire-codes",
+            "kCodeNames table not found; the wire-codes rule needs it"))
+        return
+    names = CODE_NAME_ENTRY.findall(table.group(1))
+    if not names:
+        out.append(Violation(
+            PROTOCOL_CC, 1, "wire-codes",
+            "kCodeNames table matched but no entries parsed"))
+        return
+    offset = protocol[:table.start()].count("\n") + 1
+    for name in names:
+        line = offset + table.group(0)[:table.group(0).find(
+            f'"{name}"')].count("\n")
+        if not SCREAMING_SNAKE.match(name):
+            out.append(Violation(
+                PROTOCOL_CC, line, "wire-codes",
+                f"wire code '{name}' must be SCREAMING_SNAKE"))
+        if name not in serving:
+            out.append(Violation(
+                PROTOCOL_CC, line, "wire-codes",
+                f"wire code '{name}' is not documented in {SERVING_DOC}"))
+
+
+# --- rule: nondeterminism ---------------------------------------------------
+
+NONDETERMINISM_PATTERNS = [
+    (re.compile(r"(?<![\w:.])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+]
+
+
+def check_nondeterminism(rel: str, text: str, out: list):
+    if rel in NONDETERMINISM_WHITELIST:
+        return
+    for lineno, _raw, code in iter_code_lines(text):
+        for pattern, label in NONDETERMINISM_PATTERNS:
+            if pattern.search(code):
+                out.append(Violation(
+                    rel, lineno, "nondeterminism",
+                    f"{label} is banned: every random draw must flow from "
+                    "an explicit seed (determinism contract, ROADMAP.md); "
+                    "whitelist in tools/prolint.py only with justification"))
+
+
+# --- driver -----------------------------------------------------------------
+
+ALL_RULES = ["raw-lock", "mutex-guarded-by", "metric-taxonomy", "wire-codes",
+             "nondeterminism"]
+
+
+def lint(root: str, paths: list) -> list:
+    cache: dict = {}
+
+    def read_file(rel: str):
+        if rel not in cache:
+            full = os.path.join(root, rel)
+            try:
+                with open(full, "r", encoding="utf-8",
+                          errors="replace") as f:
+                    cache[rel] = f.read()
+            except OSError:
+                cache[rel] = None
+        return cache[rel]
+
+    if not paths:
+        paths = ["src"]
+    files = []
+    for path in paths:
+        full = os.path.join(root, path)
+        if os.path.isfile(full):
+            files.append(path)
+            continue
+        for dirpath, _dirnames, filenames in os.walk(full):
+            for filename in sorted(filenames):
+                if filename.endswith(SOURCE_EXTENSIONS):
+                    files.append(os.path.relpath(
+                        os.path.join(dirpath, filename), root))
+    files = sorted(set(f.replace(os.sep, "/") for f in files))
+
+    doc_text = read_file(METRIC_DOC) or ""
+    out: list = []
+    for rel in files:
+        text = read_file(rel)
+        if text is None:
+            continue
+        check_raw_lock(rel, text, out)
+        check_mutex_guarded_by(rel, text, read_file, out)
+        check_metric_taxonomy(rel, text, doc_text, out)
+        check_nondeterminism(rel, text, out)
+    check_wire_codes(root, read_file, out)
+    out.sort(key=lambda v: (v.path, v.line, v.rule))
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: the repo containing this script)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule names and exit")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories relative to --root "
+                             "(default: src)")
+    args = parser.parse_args()
+    if args.list_rules:
+        print("\n".join(ALL_RULES))
+        return 0
+    violations = lint(args.root, args.paths)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"prolint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
