@@ -1,0 +1,110 @@
+// Result cache: cold execution versus a warm content-addressed hit, on the
+// §5.3 parameter-exploration grid and on single jobs. The hit serves the
+// bit-identical payload of the cold run (result_cache_test pins identity);
+// this bench measures what the cache buys — a hit costs one key
+// canonicalization, one map lookup and a payload copy, so it should be
+// orders of magnitude below re-executing the clustering. The `speedup`
+// column is the figure of merit; the acceptance bar is >= 10x.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "service/job.h"
+#include "service/proclus_service.h"
+#include "service/result_cache.h"
+
+namespace {
+
+void MustOk(const proclus::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+// Submits `spec` and waits; returns wall seconds and whether it was served
+// from the cache.
+double TimedSubmit(proclus::service::ProclusService* service,
+                   proclus::service::JobSpec spec, bool* cache_hit) {
+  proclus::StopWatch watch;
+  proclus::service::JobHandle handle;
+  MustOk(service->Submit(std::move(spec), &handle), "Submit");
+  const proclus::service::JobResult& result = handle.Wait();
+  MustOk(result.status, "job");
+  const double seconds = watch.ElapsedSeconds();
+  if (cache_hit != nullptr) *cache_hit = result.cache_hit;
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace proclus;
+  using namespace proclus::bench;
+
+  const auto sizes = ScaledSizes({8000});
+  const data::Dataset ds = MakeSynthetic(sizes[0]);
+  const core::ProclusParams base;  // paper defaults; Grid sweeps k+-2, l+-1
+  const int repeats = BenchRepeats();
+
+  service::ServiceOptions service_options;
+  service_options.result_cache_bytes = int64_t{256} << 20;
+  service::ProclusService service(service_options);
+
+  struct Workload {
+    const char* label;
+    service::JobSpec spec;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"single GPU-FAST*", service::JobSpec::Single(
+                               ds.points, base,
+                               core::ClusterOptions::Gpu())});
+  workloads.push_back(
+      {"single CPU FAST*",
+       service::JobSpec::Single(
+           ds.points, base,
+           core::ClusterOptions::Cpu(core::Strategy::kFastStar))});
+  workloads.push_back(
+      {"sec5.3 grid sweep (GPU, full reuse)",
+       service::JobSpec::Sweep(
+           ds.points, base,
+           core::SweepSpec::Grid(base, ds.points.cols(),
+                                 core::ReuseLevel::kWarmStart),
+           core::ClusterOptions::Gpu())});
+
+  TablePrinter table(
+      "Result cache - cold run vs content-addressed warm hit, n=" +
+          std::to_string(ds.points.rows()),
+      {"workload", "cold_wall", "hit_wall", "speedup"},
+      "result_cache");
+
+  for (const Workload& workload : workloads) {
+    bool hit = false;
+    const double cold = TimedSubmit(&service, workload.spec, &hit);
+    if (hit) {
+      std::fprintf(stderr, "cold run unexpectedly hit the cache\n");
+      return 1;
+    }
+    double warm = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      warm += TimedSubmit(&service, workload.spec, &hit);
+      if (!hit) {
+        std::fprintf(stderr, "warm run unexpectedly missed the cache\n");
+        return 1;
+      }
+    }
+    warm /= repeats;
+    table.AddRow({workload.label, TablePrinter::FormatSeconds(cold),
+                  TablePrinter::FormatSeconds(warm),
+                  TablePrinter::FormatDouble(cold / warm, 1) + "x"});
+  }
+  table.Print();
+
+  const service::ResultCacheStats stats = service.result_cache_stats();
+  std::printf("cache: %lld entries, %lld hits, %lld misses\n",
+              static_cast<long long>(stats.entries),
+              static_cast<long long>(stats.hits),
+              static_cast<long long>(stats.misses));
+  return 0;
+}

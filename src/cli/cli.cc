@@ -103,6 +103,12 @@ Serve mode (proclus_cli serve ...):
                         here transparently (default: memory-only)
   --store-budget-mb INT resident-bytes budget; past it, unpinned LRU
                         datasets spill to --store-dir (default 0 = none)
+  --result-cache-mb INT in-memory budget for the content-addressed result
+                        cache (docs/serving.md): identical resubmits are
+                        answered from cache, identical concurrent submits
+                        run once (default 0 = caching off)
+  --result-cache-dir DIR spill directory for evicted cached results
+                        (.pcr files; default: evicted results are dropped)
 
 Upload mode (proclus_cli upload ...):
   streams the --input/--generate dataset (normalized unless
@@ -313,6 +319,13 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
       PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
       PROCLUS_RETURN_NOT_OK(ParseInt(value, arg, &config->store_budget_mb));
       config->store_flag_seen = true;
+    } else if (arg == "--result-cache-dir") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &config->result_cache_dir));
+      config->result_cache_flag_seen = true;
+    } else if (arg == "--result-cache-mb") {
+      PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &value));
+      PROCLUS_RETURN_NOT_OK(ParseInt(value, arg, &config->result_cache_mb));
+      config->result_cache_flag_seen = true;
     } else if (arg == "--output") {
       PROCLUS_RETURN_NOT_OK(next_value(&i, arg, &config->output_path));
     } else if (arg == "--trace-out") {
@@ -364,6 +377,18 @@ Status ParseArgs(const std::vector<std::string>& args, CliConfig* config) {
   }
   if (config->store_budget_mb < 0) {
     return Status::InvalidArgument("--store-budget-mb must be >= 0");
+  }
+  if (!config->serve && config->result_cache_flag_seen) {
+    return Status::InvalidArgument(
+        "--result-cache-mb/--result-cache-dir require serve mode "
+        "(proclus_cli serve ...)");
+  }
+  if (config->result_cache_mb < 0) {
+    return Status::InvalidArgument("--result-cache-mb must be >= 0");
+  }
+  if (!config->result_cache_dir.empty() && config->result_cache_mb == 0) {
+    return Status::InvalidArgument(
+        "--result-cache-dir requires --result-cache-mb > 0");
   }
   if (config->upload && config->serve_port <= 0) {
     return Status::InvalidArgument("upload mode requires --port");
@@ -596,6 +621,9 @@ Status RunServe(const CliConfig& config, std::ostream& out) {
   service_options.store_dir = config.store_dir;
   service_options.store_budget_bytes =
       config.store_budget_mb * (int64_t{1} << 20);
+  service_options.result_cache_bytes =
+      config.result_cache_mb * (int64_t{1} << 20);
+  service_options.result_cache_dir = config.result_cache_dir;
   if (fault.has_value()) {
     service_options.device_fault_hook = fault->DeviceFaultHook();
   }
@@ -606,6 +634,13 @@ Status RunServe(const CliConfig& config, std::ostream& out) {
       out << " (budget " << config.store_budget_mb << " MiB)";
     }
     out << "\n";
+  }
+  if (config.result_cache_mb > 0) {
+    out << "result cache on (budget " << config.result_cache_mb << " MiB";
+    if (!config.result_cache_dir.empty()) {
+      out << ", spill to " << config.result_cache_dir;
+    }
+    out << ")\n";
   }
 
   if (config.generate || !config.input_path.empty()) {

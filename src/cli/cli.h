@@ -72,6 +72,13 @@ struct CliConfig {
   // --store-budget-mb N: resident-bytes budget; past it, unpinned LRU
   // datasets spill to --store-dir. 0 = unbounded.
   int64_t store_budget_mb = 0;
+  // --result-cache-mb N: in-memory budget for the content-addressed result
+  // cache (service/result_cache.h; docs/serving.md). 0 = caching off,
+  // every job executes.
+  int64_t result_cache_mb = 0;
+  // --result-cache-dir DIR: spill directory for evicted cached results
+  // (`.pcr` files). Empty = evicted results are dropped.
+  std::string result_cache_dir;
   // True when any serve-only flag (--host/--port/--max-connections/
   // --queue-capacity/--dataset-id) appeared, so other modes can reject
   // them instead of silently ignoring them. Upload mode shares the
@@ -79,6 +86,8 @@ struct CliConfig {
   bool serve_flag_seen = false;
   // True when --store-dir/--store-budget-mb appeared (serve only).
   bool store_flag_seen = false;
+  // True when --result-cache-mb/--result-cache-dir appeared (serve only).
+  bool result_cache_flag_seen = false;
   // Upload mode ("proclus_cli upload ..."): load or generate the dataset
   // locally and stream it to a running server over the chunked binary
   // upload path (docs/store.md), then exit. Uses serve_host/serve_port/

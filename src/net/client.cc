@@ -229,6 +229,17 @@ Status ProclusClient::EvictDataset(const std::string& id) {
   return CallChecked(request, &response);
 }
 
+Status ProclusClient::EvictResult(const std::string& cache_key,
+                                  bool* evicted) {
+  Request request;
+  request.type = RequestType::kEvictResult;
+  request.cache_key = cache_key;
+  Response response;
+  PROCLUS_RETURN_NOT_OK(CallChecked(request, &response));
+  if (evicted != nullptr) *evicted = response.evicted;
+  return Status::OK();
+}
+
 Status ProclusClient::SubmitSingle(const Request& request,
                                    WireJobResult* result) {
   if (result == nullptr) {

@@ -92,6 +92,10 @@ class ProclusClient {
   // Drops a dataset from the server's store; FailedPrecondition while
   // in-flight jobs pin it.
   Status EvictDataset(const std::string& id);
+  // Drops one cached clustering result by its cache_key (the 16-hex-digit
+  // handle in WireJobResult::cache_key). `*evicted` (optional) reports
+  // whether an entry was found; a server without a cache answers OK/false.
+  Status EvictResult(const std::string& cache_key, bool* evicted = nullptr);
 
   // Wait-mode submits: block until the server ships the finished job.
   Status SubmitSingle(const Request& request, WireJobResult* result);

@@ -45,9 +45,31 @@ struct SharedCounters {
   std::atomic<int64_t> retries{0};
   std::atomic<int64_t> reconnects{0};
   std::atomic<int64_t> retry_give_ups{0};
+  std::atomic<int64_t> cache_hits{0};
   Mutex latencies_mutex;
   std::vector<double> latencies GUARDED_BY(latencies_mutex);
+  std::vector<double> hit_latencies GUARDED_BY(latencies_mutex);
+  std::vector<double> miss_latencies GUARDED_BY(latencies_mutex);
 };
+
+// Whether arrival `index` resubmits an earlier arrival's key.
+bool IsRepeat(const LoadgenOptions& options, uint64_t index) {
+  return options.repeat_fraction > 0.0 && index > 0 &&
+         UnitUniform(options.seed, index, 3) < options.repeat_fraction;
+}
+
+// The arrival whose cache key arrival `index` carries. A non-repeat
+// arrival is its own key; a repeat walks to a uniformly chosen earlier
+// arrival (which may itself repeat — the walk strictly decreases, so it
+// terminates at some original). Pure function of (options, index): every
+// worker, and every rerun with the same configuration, agrees on the key
+// sequence without shared state.
+uint64_t KeyIndex(const LoadgenOptions& options, uint64_t index) {
+  while (IsRepeat(options, index)) {
+    index = Mix(options.seed ^ 0xda942042e4dd58b5ull, index) % index;
+  }
+  return index;
+}
 
 void WorkerLoop(const LoadgenOptions& options, Clock::time_point start,
                 Clock::time_point end, SharedCounters* counters) {
@@ -78,8 +100,13 @@ void WorkerLoop(const LoadgenOptions& options, Clock::time_point start,
     const uint64_t i = static_cast<uint64_t>(index);
     const bool interactive =
         UnitUniform(options.seed, i, 1) < options.interactive_fraction;
+    // With repeats on, the request shape (sweep vs single, clustering seed)
+    // is derived from the key index, so a repeat is bit-for-bit the request
+    // it repeats. Priority stays per-arrival — it does not shape the key.
+    const uint64_t key_index =
+        options.repeat_fraction > 0.0 ? KeyIndex(options, i) : i;
     const bool sweep =
-        UnitUniform(options.seed, i, 2) < options.sweep_fraction;
+        UnitUniform(options.seed, key_index, 2) < options.sweep_fraction;
 
     Request request;
     request.type =
@@ -87,6 +114,11 @@ void WorkerLoop(const LoadgenOptions& options, Clock::time_point start,
     request.dataset_id = options.dataset_id;
     request.params = options.params;
     request.options = options.options;
+    if (options.repeat_fraction > 0.0) {
+      // Distinct cache key per original arrival: perturb the clustering
+      // seed (any seed is as good as another for load purposes).
+      request.params.seed = options.params.seed + key_index;
+    }
     request.priority = interactive ? service::JobPriority::kInteractive
                                    : service::JobPriority::kBulk;
     request.timeout_ms = options.timeout_ms;
@@ -118,9 +150,15 @@ void WorkerLoop(const LoadgenOptions& options, Clock::time_point start,
     const double latency =
         std::chrono::duration<double>(Clock::now() - due).count();
     counters->completed.fetch_add(1, std::memory_order_relaxed);
+    const bool cache_hit = response.has_result && response.result.cache_hit;
+    if (cache_hit) {
+      counters->cache_hits.fetch_add(1, std::memory_order_relaxed);
+    }
     {
       MutexLock lock(&counters->latencies_mutex);
       counters->latencies.push_back(latency);
+      (cache_hit ? counters->hit_latencies : counters->miss_latencies)
+          .push_back(latency);
     }
   }
   const RetryStats& stats = client.retry_stats();
@@ -133,14 +171,18 @@ void WorkerLoop(const LoadgenOptions& options, Clock::time_point start,
 
 }  // namespace
 
-double LoadgenReport::LatencyPercentile(double p) const {
-  if (latencies_seconds.empty()) return 0.0;
-  std::vector<double> sorted = latencies_seconds;
+double PercentileOf(const std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted = samples;
   std::sort(sorted.begin(), sorted.end());
   const double clamped = std::min(100.0, std::max(0.0, p));
   const auto rank = static_cast<size_t>(
       std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
   return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double LoadgenReport::LatencyPercentile(double p) const {
+  return PercentileOf(latencies_seconds, p);
 }
 
 Status RunLoadgen(const LoadgenOptions& options, LoadgenReport* report) {
@@ -156,6 +198,9 @@ Status RunLoadgen(const LoadgenOptions& options, LoadgenReport* report) {
   }
   if (options.duration_seconds <= 0.0) {
     return Status::InvalidArgument("duration_seconds must be > 0");
+  }
+  if (options.repeat_fraction < 0.0 || options.repeat_fraction > 1.0) {
+    return Status::InvalidArgument("repeat_fraction must be in [0, 1]");
   }
   PROCLUS_RETURN_NOT_OK(options.retry.Validate());
 
@@ -215,11 +260,14 @@ Status RunLoadgen(const LoadgenOptions& options, LoadgenReport* report) {
   report->retries = counters.retries.load();
   report->reconnects = counters.reconnects.load();
   report->retry_give_ups = counters.retry_give_ups.load();
+  report->cache_hits = counters.cache_hits.load();
   {
     // Workers are joined; the lock is uncontended and keeps the guarded
     // access visible to the capability analysis.
     MutexLock lock(&counters.latencies_mutex);
     report->latencies_seconds = std::move(counters.latencies);
+    report->hit_latencies_seconds = std::move(counters.hit_latencies);
+    report->miss_latencies_seconds = std::move(counters.miss_latencies);
   }
 
   if (options.fetch_metrics) {
@@ -255,6 +303,25 @@ void PrintReport(const LoadgenReport& report, std::ostream& out) {
         << report.LatencyPercentile(99.0) << " s, max "
         << report.LatencyPercentile(100.0) << " s\n";
   }
+  if (report.cache_hits > 0 && report.completed > 0) {
+    out << "cache hits " << report.cache_hits << "/" << report.completed
+        << " (rate "
+        << static_cast<double>(report.cache_hits) /
+               static_cast<double>(report.completed)
+        << ")\n";
+    if (!report.hit_latencies_seconds.empty()) {
+      out << "hit latency p50 "
+          << PercentileOf(report.hit_latencies_seconds, 50.0) << " s, p90 "
+          << PercentileOf(report.hit_latencies_seconds, 90.0) << " s, p99 "
+          << PercentileOf(report.hit_latencies_seconds, 99.0) << " s\n";
+    }
+    if (!report.miss_latencies_seconds.empty()) {
+      out << "miss latency p50 "
+          << PercentileOf(report.miss_latencies_seconds, 50.0) << " s, p90 "
+          << PercentileOf(report.miss_latencies_seconds, 90.0) << " s, p99 "
+          << PercentileOf(report.miss_latencies_seconds, 99.0) << " s\n";
+    }
+  }
   if (report.server_metrics.is_object()) {
     const json::JsonValue* counters =
         report.server_metrics.Find("counters");
@@ -281,6 +348,10 @@ void PrintReport(const LoadgenReport& report, std::ostream& out) {
     emit("service.timed_out", gauges);
     emit("service.sweep_shards_total", gauges);
     emit("service.datasets_resident_bytes", gauges);
+    emit("service.cache.hits", counters);
+    emit("service.cache.misses", counters);
+    emit("service.cache.dedup_joins", counters);
+    emit("service.cache.entries", gauges);
     emit("store.upload_bytes_total", counters);
     emit("store.evictions", counters);
     emit("store.dedup_hits", counters);

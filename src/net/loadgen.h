@@ -50,6 +50,16 @@ struct LoadgenOptions {
   double sweep_fraction = 0.0;
   uint64_t seed = 1;
 
+  // Result-cache traffic shaping (servers with --result-cache-mb). 0 keeps
+  // every arrival identical (the historical mix). > 0 gives each arrival a
+  // distinct clustering seed — so each has a distinct cache key — and then
+  // makes this fraction of arrivals deterministically resubmit the key of
+  // an earlier arrival instead. Repeats are decided per arrival index from
+  // `seed`, so a fixed configuration offers the same key sequence every
+  // run. The report separates hit and miss latencies (a hit is what the
+  // server said: WireJobResult::cache_hit).
+  double repeat_fraction = 0.0;
+
   // Dataset: registered server-side (by spec) before traffic starts.
   bool register_dataset = true;
   std::string dataset_id = "loadgen";
@@ -93,14 +103,26 @@ struct LoadgenReport {
   int64_t reconnects = 0;
   int64_t retry_give_ups = 0;
   double wall_seconds = 0.0;
-  // Due-time latency of every completed request, unsorted.
+  // Completions the server answered from its result cache (or by joining
+  // an in-flight identical job); always 0 against a cacheless server.
+  int64_t cache_hits = 0;
+  // Due-time latency of every completed request, unsorted. The hit/miss
+  // vectors partition it by WireJobResult::cache_hit (both empty when the
+  // server reports no cache activity at all).
   std::vector<double> latencies_seconds;
+  std::vector<double> hit_latencies_seconds;
+  std::vector<double> miss_latencies_seconds;
   // Server-side registry snapshot ("net.*" + "service.*"), when fetched.
   json::JsonValue server_metrics;
 
   // p in [0, 100]; 0 when nothing completed.
   double LatencyPercentile(double p) const;
 };
+
+// Percentile over an arbitrary latency sample (p in [0, 100]; 0 on empty) —
+// the same nearest-rank rule LatencyPercentile uses, exposed so callers can
+// summarize the hit/miss partitions.
+double PercentileOf(const std::vector<double>& samples, double p);
 
 // Runs the configured load and fills `*report`. Returns non-OK only when
 // the run could not start (bad options, dataset registration failed, no

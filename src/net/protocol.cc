@@ -251,6 +251,10 @@ JsonValue EncodeWireJobResult(const WireJobResult& result) {
   if (result.sweep_shards > 0) {
     v.Set("sweep_shards", JsonValue::Int(result.sweep_shards));
   }
+  if (result.cache_hit) v.Set("cache_hit", JsonValue::Bool(true));
+  if (!result.cache_key.empty()) {
+    v.Set("cache_key", JsonValue::Str(result.cache_key));
+  }
   return v;
 }
 
@@ -285,6 +289,10 @@ WireJobResult DecodeWireJobResult(const JsonValue& v) {
   }
   if (const JsonValue* f = v.Find("sweep_shards")) {
     result.sweep_shards = static_cast<int>(f->AsInt());
+  }
+  if (const JsonValue* f = v.Find("cache_hit")) result.cache_hit = f->AsBool();
+  if (const JsonValue* f = v.Find("cache_key")) {
+    result.cache_key = f->AsString();
   }
   return result;
 }
@@ -330,6 +338,7 @@ bool IsIdempotentRequest(const Request& request) {
     case RequestType::kRegisterDataset:
     case RequestType::kListDatasets:
     case RequestType::kEvictDataset:
+    case RequestType::kEvictResult:
     case RequestType::kStatus:
     case RequestType::kCancel:
     case RequestType::kMetrics:
@@ -347,6 +356,7 @@ const char* RequestTypeName(RequestType type) {
     case RequestType::kUploadCommit: return "upload_commit";
     case RequestType::kListDatasets: return "list_datasets";
     case RequestType::kEvictDataset: return "evict_dataset";
+    case RequestType::kEvictResult: return "evict_result";
     case RequestType::kSubmitSingle: return "submit_single";
     case RequestType::kSubmitSweep: return "submit_sweep";
     case RequestType::kStatus: return "status";
@@ -364,7 +374,8 @@ Status RequestTypeFromName(const std::string& name, RequestType* out) {
        {RequestType::kRegisterDataset, RequestType::kUploadBegin,
         RequestType::kUploadChunk, RequestType::kUploadCommit,
         RequestType::kListDatasets, RequestType::kEvictDataset,
-        RequestType::kSubmitSingle, RequestType::kSubmitSweep,
+        RequestType::kEvictResult, RequestType::kSubmitSingle,
+        RequestType::kSubmitSweep,
         RequestType::kStatus, RequestType::kCancel, RequestType::kMetrics,
         RequestType::kHealth}) {
     if (name == RequestTypeName(type)) {
@@ -484,6 +495,12 @@ Status EncodeRequest(const Request& request, std::string* out) {
         return Status::InvalidArgument("evict_dataset needs dataset_id");
       }
       v.Set("id", JsonValue::Str(request.dataset_id));
+      break;
+    case RequestType::kEvictResult:
+      if (request.cache_key.empty()) {
+        return Status::InvalidArgument("evict_result needs cache_key");
+      }
+      v.Set("cache_key", JsonValue::Str(request.cache_key));
       break;
     case RequestType::kSubmitSingle:
     case RequestType::kSubmitSweep: {
@@ -662,6 +679,14 @@ Status DecodeRequest(const std::string& payload, Request* out) {
         return Status::InvalidArgument("evict_dataset needs \"id\"");
       }
       break;
+    case RequestType::kEvictResult:
+      if (const JsonValue* f = v.Find("cache_key")) {
+        out->cache_key = f->AsString();
+      }
+      if (out->cache_key.empty()) {
+        return Status::InvalidArgument("evict_result needs \"cache_key\"");
+      }
+      break;
     case RequestType::kSubmitSingle:
     case RequestType::kSubmitSweep: {
       if (const JsonValue* f = v.Find("dataset_id")) {
@@ -801,6 +826,13 @@ Status EncodeResponse(const Response& response, std::string* out) {
     health.Set("store_evictions", JsonValue::Int(h.store_evictions));
     health.Set("store_upload_bytes_total",
                JsonValue::Int(h.store_upload_bytes_total));
+    health.Set("cache_entries", JsonValue::Int(h.cache_entries));
+    health.Set("cache_bytes", JsonValue::Int(h.cache_bytes));
+    health.Set("cache_hits", JsonValue::Int(h.cache_hits));
+    health.Set("cache_misses", JsonValue::Int(h.cache_misses));
+    health.Set("cache_inserts", JsonValue::Int(h.cache_inserts));
+    health.Set("cache_evictions", JsonValue::Int(h.cache_evictions));
+    health.Set("cache_dedup_joins", JsonValue::Int(h.cache_dedup_joins));
     v.Set("health", std::move(health));
   }
   if (response.upload_session != 0) {
@@ -810,6 +842,9 @@ Status EncodeResponse(const Response& response, std::string* out) {
   if (!response.dataset_hash.empty()) {
     v.Set("hash", JsonValue::Str(response.dataset_hash));
     v.Set("deduped", JsonValue::Bool(response.deduped));
+  }
+  if (response.request == RequestType::kEvictResult && response.ok) {
+    v.Set("evicted", JsonValue::Bool(response.evicted));
   }
   if (response.has_datasets) {
     JsonValue datasets = JsonValue::Array();
@@ -891,12 +926,20 @@ Status DecodeResponse(const std::string& payload, Response* out) {
     if (const JsonValue* f = h->Find("store_upload_bytes_total")) {
       health.store_upload_bytes_total = f->AsInt();
     }
+    if (const JsonValue* f = h->Find("cache_entries")) health.cache_entries = f->AsInt();
+    if (const JsonValue* f = h->Find("cache_bytes")) health.cache_bytes = f->AsInt();
+    if (const JsonValue* f = h->Find("cache_hits")) health.cache_hits = f->AsInt();
+    if (const JsonValue* f = h->Find("cache_misses")) health.cache_misses = f->AsInt();
+    if (const JsonValue* f = h->Find("cache_inserts")) health.cache_inserts = f->AsInt();
+    if (const JsonValue* f = h->Find("cache_evictions")) health.cache_evictions = f->AsInt();
+    if (const JsonValue* f = h->Find("cache_dedup_joins")) health.cache_dedup_joins = f->AsInt();
   }
   if (const JsonValue* f = v.Find("session")) {
     out->upload_session = static_cast<uint64_t>(f->AsInt());
   }
   if (const JsonValue* f = v.Find("hash")) out->dataset_hash = f->AsString();
   if (const JsonValue* f = v.Find("deduped")) out->deduped = f->AsBool();
+  if (const JsonValue* f = v.Find("evicted")) out->evicted = f->AsBool();
   if (const JsonValue* d = v.Find("datasets"); d != nullptr && d->is_array()) {
     out->has_datasets = true;
     out->datasets.reserve(d->array_value.size());

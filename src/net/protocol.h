@@ -23,6 +23,8 @@
 //                      deduped). Response carries the content hash.
 //   list_datasets    — enumerate stored datasets (shape, residency, pins)
 //   evict_dataset    — drop a dataset from the store (fails while pinned)
+//   evict_result     — drop one entry from the result cache by its
+//                      cache_key (16 hex digits); no-op without a cache
 //   submit_single    — one clustering run
 //   submit_sweep     — a (k,l) multi-parameter sweep (§3.1/§5.3)
 //   status           — poll a previously submitted async job
@@ -89,6 +91,7 @@ enum class RequestType {
   kUploadCommit,
   kListDatasets,
   kEvictDataset,
+  kEvictResult,
   kSubmitSingle,
   kSubmitSweep,
   kStatus,
@@ -157,6 +160,10 @@ struct Request {
   int64_t chunk_declared_bytes = 0;
   // upload_commit: CRC32 (IEEE) of the complete payload.
   uint32_t upload_crc32 = 0;
+
+  // evict_result: the cache key to drop (16 hex digits, as reported in a
+  // result's cache_key field).
+  std::string cache_key;
 };
 
 Status EncodeRequest(const Request& request, std::string* out);
@@ -195,6 +202,12 @@ struct WireJobResult {
   // Sweeps: device lanes the sweep scheduler ran on (1 = serial; 0 for
   // single jobs).
   int sweep_shards = 0;
+  // Result-cache provenance (servers with --result-cache-mb): true when the
+  // result was served from the cache (or by joining an identical in-flight
+  // job) instead of executing, plus the request's 16-hex-digit content
+  // address — the handle evict_result takes. Defaults when caching is off.
+  bool cache_hit = false;
+  std::string cache_key;
 };
 
 // One stored dataset as reported by list_datasets (store::DatasetInfo on
@@ -227,6 +240,15 @@ struct WireHealth {
   int64_t store_resident_bytes = 0;
   int64_t store_evictions = 0;
   int64_t store_upload_bytes_total = 0;
+  // Result-cache effectiveness (service.cache.* metrics; all zero when the
+  // server runs without --result-cache-mb).
+  int64_t cache_entries = 0;
+  int64_t cache_bytes = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_inserts = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_dedup_joins = 0;
 };
 
 struct Response {
@@ -257,6 +279,9 @@ struct Response {
   // list_datasets.
   bool has_datasets = false;
   std::vector<WireDatasetInfo> datasets;
+
+  // evict_result: whether an entry (in memory or spilled) was dropped.
+  bool evicted = false;
 };
 
 Status EncodeResponse(const Response& response, std::string* out);

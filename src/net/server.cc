@@ -41,6 +41,8 @@ void FillResult(const service::JobResult& job_result, Response* response) {
       job_result.sanitizer_checked_accesses;
   response->result.sanitizer_reports = job_result.sanitizer_reports;
   response->result.sweep_shards = job_result.sweep_shards;
+  response->result.cache_hit = job_result.cache_hit;
+  response->result.cache_key = job_result.cache_key;
 }
 
 bool IsTerminal(service::JobPhase phase) {
@@ -288,6 +290,8 @@ Response ProclusServer::Dispatch(Connection* connection,
       return HandleListDatasets();
     case RequestType::kEvictDataset:
       return HandleEvictDataset(request);
+    case RequestType::kEvictResult:
+      return HandleEvictResult(request);
     case RequestType::kSubmitSingle:
     case RequestType::kSubmitSweep:
       return HandleSubmit(connection, request, peer_lost);
@@ -419,6 +423,24 @@ Response ProclusServer::HandleEvictDataset(const Request& request) {
   Response response;
   response.request = request.type;
   response.ok = true;
+  return response;
+}
+
+Response ProclusServer::HandleEvictResult(const Request& request) {
+  service::ResultCache* cache = service_->result_cache();
+  Response response;
+  response.request = request.type;
+  if (cache == nullptr) {
+    // No cache configured: nothing can be resident, so an evict is a
+    // successful no-op rather than an error a generic janitor would trip on.
+    response.ok = true;
+    return response;
+  }
+  bool evicted = false;
+  const Status status = cache->EvictByHex(request.cache_key, &evicted);
+  if (!status.ok()) return ErrorResponse(request.type, status);
+  response.ok = true;
+  response.evicted = evicted;
   return response;
 }
 
@@ -627,6 +649,15 @@ Response ProclusServer::HandleHealth() {
   health.store_resident_bytes = store_stats.resident_bytes;
   health.store_evictions = store_stats.evictions;
   health.store_upload_bytes_total = store_stats.upload_bytes_total;
+  const service::ResultCacheStats cache_stats =
+      service_->result_cache_stats();
+  health.cache_entries = cache_stats.entries;
+  health.cache_bytes = cache_stats.bytes;
+  health.cache_hits = cache_stats.hits;
+  health.cache_misses = cache_stats.misses;
+  health.cache_inserts = cache_stats.inserts;
+  health.cache_evictions = cache_stats.evictions;
+  health.cache_dedup_joins = cache_stats.dedup_joins;
   return response;
 }
 

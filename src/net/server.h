@@ -109,6 +109,7 @@ class ProclusServer {
   Response HandleUploadCommit(Connection* connection, const Request& request);
   Response HandleListDatasets();
   Response HandleEvictDataset(const Request& request);
+  Response HandleEvictResult(const Request& request);
   Response HandleSubmit(Connection* connection, const Request& request,
                         bool* peer_lost);
   Response HandleStatus(const Request& request);

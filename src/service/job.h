@@ -105,6 +105,15 @@ struct JobResult {
   // Global start order among all jobs of the service (-1 if never started);
   // lets callers observe scheduling, e.g. interactive-overtakes-bulk.
   int64_t start_sequence = -1;
+  // Result-cache provenance (docs/serving.md). `cache_key` is the
+  // 16-hex-digit content address of (dataset hash, params, options[, sweep])
+  // whenever the service has a result cache and the job was cacheable —
+  // on the cold run that populated the cache as well as on hits.
+  // `cache_hit` is true when this result was served from the cache (or by
+  // joining an identical in-flight job) instead of executing. Both stay at
+  // their defaults when caching is off.
+  bool cache_hit = false;
+  std::string cache_key;
 };
 
 namespace internal {

@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "core/multi_param.h"
 #include "parallel/cancellation.h"
+#include "service/result_cache.h"
 #include "service/sweep_scheduler.h"
 
 namespace proclus::service {
@@ -156,6 +157,26 @@ struct Job {
                         obs::TraceArg::Str("outcome", outcome)});
   }
 
+  // Single-flight leadership (service/result_cache.h): set at Submit —
+  // before the job is shared with any other thread — when this job leads
+  // the result-cache flight for its key; immutable afterwards. The one
+  // thread that performs the terminal transition settles the flight: the
+  // failure paths call SettleFlightFailed after their FinishLocked, while
+  // RunJob's normal path calls FinishFlight itself, before publishing, so
+  // an identical resubmit after Wait() is guaranteed to hit the cache.
+  ResultCache* flight_cache = nullptr;
+  ResultCacheKey flight_key;
+
+  // Settles a led flight with the published (terminal, hence immutable)
+  // status — nothing is cached, parked joiners inherit the status. Must be
+  // called without `mutex` held: joiner callbacks take their own jobs'
+  // mutexes, and the cache lock never nests under a job lock
+  // (docs/concurrency.md). No-op for non-leaders.
+  void SettleFlightFailed() EXCLUDES(mutex) {
+    if (flight_cache == nullptr) return;
+    flight_cache->FinishFlight(flight_key, result.status, nullptr);
+  }
+
   Mutex mutex;
   std::condition_variable cv;
   JobPhase phase GUARDED_BY(mutex) = JobPhase::kQueued;
@@ -261,6 +282,9 @@ void JobHandle::Cancel() {
     // service lock (docs/concurrency.md).
     job_->TraceQueueWait("cancelled");
     job_->FlushCallbacks();
+    // A cancelled leader takes its joiners with it (shared fate): they are
+    // notified once, with the Cancelled status.
+    job_->SettleFlightFailed();
   }
 }
 
@@ -277,7 +301,12 @@ ProclusService::ProclusService(ServiceOptions options)
           simt::DeviceOptions{0, options_.sanitize_devices})),
       store_(std::make_unique<store::DatasetStore>(store::StoreOptions{
           options_.store_dir, options_.store_budget_bytes,
-          /*mmap_loads=*/true, options_.trace})) {
+          /*mmap_loads=*/true, options_.trace})),
+      cache_(options_.result_cache_bytes > 0
+                 ? std::make_unique<ResultCache>(ResultCacheOptions{
+                       options_.result_cache_bytes,
+                       options_.result_cache_dir, options_.trace})
+                 : nullptr) {
   if (options_.device_fault_hook) {
     device_pool_->SetFaultHook(options_.device_fault_hook);
   }
@@ -329,11 +358,13 @@ Status ProclusService::Submit(JobSpec spec, JobHandle* handle) {
   // so the store cannot evict the payload while the job is queued/running.
   const data::Matrix* data = spec.data;
   store::PinnedDataset pin;
+  uint64_t dataset_hash = 0;
   if (!spec.dataset_id.empty()) {
     if (data != nullptr) {
       return Status::InvalidArgument("data and dataset_id are exclusive");
     }
-    PROCLUS_RETURN_NOT_OK(store_->Acquire(spec.dataset_id, &pin));
+    PROCLUS_RETURN_NOT_OK(store_->Acquire(spec.dataset_id, &pin,
+                                          &dataset_hash));
     data = pin.get();
   }
   if (data == nullptr) {
@@ -362,28 +393,128 @@ Status ProclusService::Submit(JobSpec spec, JobHandle* handle) {
                              : options_.default_timeout_seconds;
   if (timeout > 0.0) job->token.SetTimeout(timeout);
 
-  {
-    MutexLock lock(&queue_mutex_);
-    if (stopping_) {
-      return Status::FailedPrecondition("service is shut down");
+  // Result-cache admission, before any queue interaction. Checked runs
+  // never consult the cache: their purpose is executing under the
+  // sanitizer, and a served result would skip the check.
+  const bool cacheable =
+      cache_ != nullptr && !job->spec.options.gpu_sanitize &&
+      !(options_.sanitize_devices &&
+        job->spec.options.backend == core::ComputeBackend::kGpu);
+  bool enqueue = true;
+  std::shared_ptr<const CachedResult> cached;
+  if (cacheable) {
+    if (job->spec.dataset_id.empty()) {
+      // Inline-payload job: hash the caller's matrix the same way the
+      // store would address it.
+      dataset_hash = store::DatasetStore::ContentHash(*data);
     }
-    const int64_t depth = static_cast<int64_t>(interactive_queue_.size() +
-                                               bulk_queue_.size());
-    if (depth >= options_.queue_capacity) {
-      MutexLock stats_lock(&stats_->mutex);
-      ++stats_->rejected;
-      return Status::ResourceExhausted("job queue is full");
+    ResultCacheKey cache_key = ResultCache::MakeKey(
+        dataset_hash, job->spec.kind, job->spec.params, job->spec.options,
+        job->spec.sweep);
+    job->result.cache_key = cache_key.Hex();
+    const ResultCache::Admission admission = cache_->AdmitOrJoin(
+        cache_key, &cached,
+        [job](const Status& status,
+              std::shared_ptr<const CachedResult> payload) {
+          // Fan-in from the leader's flight settlement. The follower may
+          // have been cancelled (or timed out) meanwhile — then it is
+          // already terminal and must not be notified twice.
+          bool finished_here = false;
+          {
+            MutexLock lock(&job->mutex);
+            if (job->phase == JobPhase::kQueued) {
+              job->result.queue_seconds = SecondsSince(job->submit_time);
+              if (status.ok()) {
+                job->result.results = payload->results;
+                job->result.setting_seconds = payload->setting_seconds;
+                job->result.cache_hit = true;
+              }
+              job->stats->CountTerminal(status);
+              job->FinishLocked(status);
+              finished_here = true;
+            }
+          }
+          if (finished_here) {
+            // Outside the job lock (docs/concurrency.md).
+            job->TraceQueueWait("dedup");
+            job->FlushCallbacks();
+          }
+        });
+    if (admission == ResultCache::Admission::kLead) {
+      job->flight_cache = cache_.get();
+      job->flight_key = std::move(cache_key);
+    } else {
+      // Hit or joined: the job never enters the queue — a joiner consumes
+      // no queue slot, so dedup keeps working under queue-full
+      // backpressure — but it still gets an id and counts as submitted.
+      enqueue = false;
+      {
+        MutexLock lock(&queue_mutex_);
+        if (stopping_ && admission == ResultCache::Admission::kHit) {
+          // A joiner is still serviceable while stopping (the shutdown
+          // drain settles its leader's flight); a plain hit honors the
+          // post-Shutdown contract instead.
+          return Status::FailedPrecondition("service is shut down");
+        }
+        job->id = next_job_id_++;
+        MutexLock stats_lock(&stats_->mutex);
+        ++stats_->submitted;
+      }
+      if (admission == ResultCache::Admission::kHit) {
+        {
+          MutexLock lock(&job->mutex);
+          job->result.queue_seconds = SecondsSince(job->submit_time);
+          job->result.results = cached->results;
+          job->result.setting_seconds = cached->setting_seconds;
+          job->result.cache_hit = true;
+          stats_->CountTerminal(Status::OK());
+          job->FinishLocked(Status::OK());
+        }
+        job->TraceQueueWait("cache_hit");
+        job->FlushCallbacks();
+      }
     }
-    job->id = next_job_id_++;
-    (job->spec.priority == JobPriority::kInteractive ? interactive_queue_
-                                                     : bulk_queue_)
-        .push_back(job);
-    MutexLock stats_lock(&stats_->mutex);
-    ++stats_->submitted;
-    stats_->queue_depth_high_water =
-        std::max(stats_->queue_depth_high_water, depth + 1);
   }
-  work_available_.notify_one();
+
+  if (enqueue) {
+    Status enqueue_status;
+    {
+      MutexLock lock(&queue_mutex_);
+      if (stopping_) {
+        enqueue_status = Status::FailedPrecondition("service is shut down");
+      } else {
+        const int64_t depth = static_cast<int64_t>(
+            interactive_queue_.size() + bulk_queue_.size());
+        if (depth >= options_.queue_capacity) {
+          MutexLock stats_lock(&stats_->mutex);
+          ++stats_->rejected;
+          enqueue_status = Status::ResourceExhausted("job queue is full");
+        } else {
+          job->id = next_job_id_++;
+          (job->spec.priority == JobPriority::kInteractive
+               ? interactive_queue_
+               : bulk_queue_)
+              .push_back(job);
+          MutexLock stats_lock(&stats_->mutex);
+          ++stats_->submitted;
+          stats_->queue_depth_high_water =
+              std::max(stats_->queue_depth_high_water, depth + 1);
+        }
+      }
+    }
+    if (!enqueue_status.ok()) {
+      // A led flight must not leak: joiners that slipped in between the
+      // admission and this rejection inherit the rejection (for a full
+      // queue that is RESOURCE_EXHAUSTED — the one retryable code, so
+      // clients back off and resubmit).
+      if (job->flight_cache != nullptr) {
+        job->flight_cache->FinishFlight(job->flight_key, enqueue_status,
+                                        nullptr);
+      }
+      return enqueue_status;
+    }
+    work_available_.notify_one();
+  }
   if (job->trace != nullptr && job->trace->enabled()) {
     job->trace->AddInstant(
         "job.submitted", "service",
@@ -453,6 +584,7 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
                               ? "cancelled"
                               : "timed_out");
       job->FlushCallbacks();
+      job->SettleFlightFailed();
       return;
     }
   }
@@ -486,6 +618,7 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
         job->FinishLocked(acquire_status);
       }
       job->FlushCallbacks();
+      job->SettleFlightFailed();
       return;
     }
     lease.device->ResetArena();
@@ -570,6 +703,23 @@ void ProclusService::RunJob(const std::shared_ptr<internal::Job>& job) {
   }
   run_span.End();
 
+  // Settle the led flight before the terminal transition publishes: once a
+  // caller's Wait() returns, an identical resubmit must hit the cache, not
+  // race the insert. Failed, cancelled and timed-out runs — and any run
+  // with sanitizer findings — cache nothing; parked joiners inherit the
+  // status either way.
+  if (job->flight_cache != nullptr) {
+    std::shared_ptr<const CachedResult> payload;
+    if (status.ok() && sanitizer_findings == 0) {
+      auto entry = std::make_shared<CachedResult>();
+      entry->results = results;
+      entry->setting_seconds = setting_seconds;
+      payload = std::move(entry);
+    }
+    job->flight_cache->FinishFlight(job->flight_key, status,
+                                    std::move(payload));
+  }
+
   // Update the aggregate counters first: once FinishLocked runs, Wait()
   // returns and the caller may immediately read stats().
   {
@@ -637,6 +787,7 @@ void ProclusService::Shutdown() {
       // Outside the job lock (docs/concurrency.md).
       job->TraceQueueWait("shutdown");
       job->FlushCallbacks();
+      job->SettleFlightFailed();
     }
   }
 
@@ -669,6 +820,8 @@ void ProclusService::PublishMetrics(obs::MetricsRegistry* registry,
   set("datasets_resident_bytes",
       static_cast<double>(snap.datasets_resident_bytes));
   store_->PublishMetrics(registry, "store");
+  // The cache publishes under its literal full names (service.cache.*).
+  if (cache_ != nullptr) cache_->PublishMetrics(registry);
 }
 
 ServiceStats ProclusService::stats() const {

@@ -19,6 +19,7 @@
 #include "parallel/thread_pool.h"
 #include "service/device_pool.h"
 #include "service/job.h"
+#include "service/result_cache.h"
 #include "simt/device_properties.h"
 #include "store/dataset_store.h"
 
@@ -68,6 +69,16 @@ struct ServiceOptions {
   // Resident-bytes budget for stored datasets (0 = unbounded). Only
   // meaningful with a store_dir; LRU entries spill there under pressure.
   int64_t store_budget_bytes = 0;
+  // Result cache (service/result_cache.h, docs/serving.md): in-memory byte
+  // budget for cached clustering results. 0 disables caching entirely —
+  // every job executes. > 0 turns on content-addressed lookup before
+  // enqueue, insert-on-success, and single-flight dedup of identical
+  // concurrent submits (`proclus_cli serve --result-cache-mb`).
+  int64_t result_cache_bytes = 0;
+  // Optional spill directory for evicted results (`.pcr` files,
+  // `--result-cache-dir`); typically the dataset store's directory. Empty:
+  // evicted results are dropped (they are recomputable).
+  std::string result_cache_dir;
 };
 
 // Aggregate service counters. Snapshot via ProclusService::stats().
@@ -131,9 +142,28 @@ class ProclusService {
   store::DatasetStore* dataset_store() { return store_.get(); }
   const store::DatasetStore* dataset_store() const { return store_.get(); }
 
+  // The result cache, or null when ServiceOptions::result_cache_bytes is 0.
+  // The serving layer's evict_result op calls EvictByHex on it directly.
+  ResultCache* result_cache() { return cache_.get(); }
+  const ResultCache* result_cache() const { return cache_.get(); }
+
+  // Result-cache counters (all zero when the cache is disabled).
+  ResultCacheStats result_cache_stats() const {
+    return cache_ != nullptr ? cache_->stats() : ResultCacheStats();
+  }
+
   // Validates `spec`, resolves its dataset, and enqueues it. On OK fills
   // `*handle`. Returns ResourceExhausted when the queue is full and
   // FailedPrecondition after Shutdown. Never blocks on queue space.
+  //
+  // With a result cache configured, the lookup happens here, before the
+  // queue: a cached result finishes the job synchronously
+  // (JobResult::cache_hit), and a submit identical to a job already queued
+  // or running joins that job's flight instead of enqueuing — it consumes
+  // no queue slot (so dedup keeps working under queue-full backpressure)
+  // and finishes when the leader does, sharing its result or its terminal
+  // status. Checked runs (options.gpu_sanitize, or any GPU job on a
+  // sanitizing service) bypass the cache entirely.
   Status Submit(JobSpec spec, JobHandle* handle) EXCLUDES(queue_mutex_);
 
   // Stops accepting jobs, runs everything still queued, joins the workers.
@@ -167,6 +197,8 @@ class ProclusService {
   std::unique_ptr<DevicePool> device_pool_;
 
   std::unique_ptr<store::DatasetStore> store_;
+  // Null when result_cache_bytes is 0 (caching off).
+  std::unique_ptr<ResultCache> cache_;
 
   mutable Mutex queue_mutex_;
   std::condition_variable work_available_;

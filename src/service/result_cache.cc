@@ -1,0 +1,434 @@
+#include "service/result_cache.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/macros.h"
+#include "core/canonical.h"
+#include "core/serialization.h"
+#include "store/pds_format.h"
+
+namespace proclus::service {
+namespace {
+
+void PutU32(unsigned char* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+
+void PutU64(unsigned char* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+
+uint32_t GetU32(const unsigned char* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const unsigned char* in) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::string HexOf(uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, hash);
+  return std::string(buf, 16);
+}
+
+// Text payload of a .pcr file (see result_cache.h for the format).
+std::string EncodePayload(const ResultCacheKey& key,
+                          const CachedResult& payload) {
+  std::ostringstream out;
+  out << "proclus-cached-result v1\n";
+  out << "key " << key.text << "\n";
+  out << "results " << payload.results.size() << "\n";
+  for (const core::ProclusResult& r : payload.results) {
+    // WriteResult cannot fail on an ostringstream.
+    IgnoreError(core::WriteResult(r, out));
+  }
+  if (!payload.setting_seconds.empty()) {
+    out << "setting_seconds";
+    char buf[40];
+    for (const double s : payload.setting_seconds) {
+      std::snprintf(buf, sizeof(buf), "%.17g", s);
+      out << ' ' << buf;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status DecodePayload(const std::string& text, const ResultCacheKey& key,
+                     const std::string& path, CachedResult* payload) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "proclus-cached-result v1") {
+    return Status::IoError("corrupt .pcr payload (bad header): " + path);
+  }
+  if (!std::getline(in, line) || line.rfind("key ", 0) != 0) {
+    return Status::IoError("corrupt .pcr payload (missing key): " + path);
+  }
+  if (line.substr(4) != key.text) {
+    // A hash collision or a file renamed across keys: never serve it.
+    return Status::IoError("cached result key mismatch: " + path);
+  }
+  size_t count = 0;
+  if (!std::getline(in, line) || line.rfind("results ", 0) != 0) {
+    return Status::IoError("corrupt .pcr payload (missing count): " + path);
+  }
+  {
+    std::istringstream counts(line.substr(8));
+    if (!(counts >> count) || count == 0) {
+      return Status::IoError("corrupt .pcr payload (bad count): " + path);
+    }
+  }
+  payload->results.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    PROCLUS_RETURN_NOT_OK(core::ReadResult(in, &payload->results[i]));
+  }
+  payload->setting_seconds.clear();
+  if (std::getline(in, line) && line.rfind("setting_seconds", 0) == 0) {
+    std::istringstream seconds(line.substr(15));
+    double s = 0.0;
+    while (seconds >> s) payload->setting_seconds.push_back(s);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ResultCacheKey::Hex() const { return HexOf(hash); }
+
+int64_t CachedResult::EstimateBytes() const {
+  int64_t bytes = 64;
+  for (const core::ProclusResult& r : results) {
+    bytes += 128;  // struct + vector headers
+    bytes += static_cast<int64_t>(r.medoids.size()) * 4;
+    bytes += static_cast<int64_t>(r.assignment.size()) * 4;
+    for (const std::vector<int>& dims : r.dimensions) {
+      bytes += 24 + static_cast<int64_t>(dims.size()) * 4;
+    }
+  }
+  bytes += static_cast<int64_t>(setting_seconds.size()) * 8;
+  return bytes;
+}
+
+Status WritePcr(const ResultCacheKey& key, const CachedResult& payload,
+                const std::string& path) {
+  const std::string body = EncodePayload(key, payload);
+  unsigned char header[kPcrHeaderBytes] = {};
+  std::memcpy(header, kPcrMagic, sizeof(kPcrMagic));
+  PutU32(header + 4, kPcrVersion);
+  PutU64(header + 8, key.hash);
+  PutU64(header + 16, static_cast<uint64_t>(body.size()));
+  PutU32(header + 24, store::Crc32(body.data(), body.size()));
+  // header[28..31] stay zero (reserved).
+
+  // Sibling-then-rename, the .pds pattern: the final name is never a
+  // half-written file.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  bool ok = std::fwrite(header, 1, kPcrHeaderBytes, f) == kPcrHeaderBytes;
+  if (ok && !body.empty()) {
+    ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  }
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IoError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " to " + path + ": " +
+                           std::strerror(err));
+  }
+  return Status::OK();
+}
+
+Status ReadPcr(const std::string& path, const ResultCacheKey& key,
+               CachedResult* payload) {
+  PROCLUS_CHECK(payload != nullptr);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  unsigned char header[kPcrHeaderBytes] = {};
+  std::string body;
+  Status st = Status::OK();
+  if (std::fread(header, 1, kPcrHeaderBytes, f) != kPcrHeaderBytes) {
+    st = Status::IoError("truncated .pcr file: " + path);
+  } else if (std::memcmp(header, kPcrMagic, sizeof(kPcrMagic)) != 0) {
+    st = Status::IoError("not a .pcr file (bad magic): " + path);
+  } else if (GetU32(header + 4) != kPcrVersion) {
+    st = Status::IoError("unsupported .pcr version " +
+                         std::to_string(GetU32(header + 4)) + ": " + path);
+  } else if (GetU64(header + 8) != key.hash) {
+    st = Status::IoError("cached result hash mismatch: " + path);
+  } else if (GetU32(header + 28) != 0) {
+    st = Status::IoError("corrupt .pcr header (reserved bytes set): " + path);
+  } else {
+    const uint64_t payload_bytes = GetU64(header + 16);
+    if (payload_bytes > (1ull << 32)) {
+      st = Status::IoError("corrupt .pcr header (implausible size): " + path);
+    } else {
+      body.resize(payload_bytes);
+      if (payload_bytes > 0 &&
+          std::fread(body.data(), 1, body.size(), f) != body.size()) {
+        st = Status::IoError("truncated .pcr payload: " + path);
+      } else if (store::Crc32(body.data(), body.size()) !=
+                 GetU32(header + 24)) {
+        st = Status::IoError(".pcr payload checksum mismatch: " + path);
+      }
+    }
+  }
+  std::fclose(f);
+  PROCLUS_RETURN_NOT_OK(st);
+  return DecodePayload(body, key, path, payload);
+}
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : options_(std::move(options)) {}
+
+ResultCacheKey ResultCache::MakeKey(uint64_t dataset_hash, JobKind kind,
+                                    const core::ProclusParams& params,
+                                    const core::ClusterOptions& options,
+                                    const core::SweepSpec& sweep) {
+  ResultCacheKey key;
+  key.text = "proclus-job v1 dataset=" + HexOf(dataset_hash);
+  key.text += kind == JobKind::kSweep ? " kind=sweep " : " kind=single ";
+  core::AppendCanonicalParams(params, &key.text);
+  key.text.push_back(' ');
+  core::AppendCanonicalOptions(options, &key.text);
+  if (kind == JobKind::kSweep) {
+    key.text.push_back(' ');
+    core::AppendCanonicalSweep(sweep, &key.text);
+  }
+  key.hash = core::CanonicalHash(key.text);
+  return key;
+}
+
+std::string ResultCache::PathForHash(uint64_t hash) const {
+  return options_.dir + "/" + HexOf(hash) + kPcrExtension;
+}
+
+ResultCache::Admission ResultCache::AdmitOrJoin(
+    const ResultCacheKey& key, std::shared_ptr<const CachedResult>* hit,
+    Waiter waiter) {
+  PROCLUS_CHECK(key.valid());
+  PROCLUS_CHECK(hit != nullptr);
+  obs::TraceSpan span(options_.trace, "cache.lookup", "cache");
+  span.AddArg(obs::TraceArg::Str("key", key.Hex()));
+  MutexLock lock(&mutex_);
+  auto it = entries_.find(key.text);
+  if (it != entries_.end()) {
+    it->second.last_use = ++use_clock_;
+    counters_.hits++;
+    *hit = it->second.payload;
+    span.AddArg(obs::TraceArg::Str("outcome", "hit"));
+    return Admission::kHit;
+  }
+  auto flight = flights_.find(key.text);
+  if (flight != flights_.end()) {
+    flight->second.waiters.push_back(std::move(waiter));
+    counters_.dedup_joins++;
+    span.AddArg(obs::TraceArg::Str("outcome", "join"));
+    return Admission::kJoined;
+  }
+  if (!options_.dir.empty()) {
+    std::shared_ptr<const CachedResult> loaded = LoadSpillLocked(key);
+    if (loaded != nullptr) {
+      counters_.hits++;
+      counters_.disk_loads++;
+      *hit = std::move(loaded);
+      span.AddArg(obs::TraceArg::Str("outcome", "load"));
+      return Admission::kHit;
+    }
+  }
+  counters_.misses++;
+  flights_.emplace(key.text, Flight());
+  span.AddArg(obs::TraceArg::Str("outcome", "lead"));
+  return Admission::kLead;
+}
+
+void ResultCache::FinishFlight(const ResultCacheKey& key, const Status& status,
+                               std::shared_ptr<const CachedResult> payload) {
+  PROCLUS_CHECK(key.valid());
+  std::vector<Waiter> waiters;
+  {
+    MutexLock lock(&mutex_);
+    auto flight = flights_.find(key.text);
+    if (flight != flights_.end()) {
+      waiters = std::move(flight->second.waiters);
+      flights_.erase(flight);
+    }
+    if (status.ok() && payload != nullptr) {
+      obs::TraceSpan span(options_.trace, "cache.insert", "cache");
+      span.AddArg(obs::TraceArg::Str("key", key.Hex()));
+      InsertLocked(key, payload);
+    }
+  }
+  // Waiters take job mutexes; never invoke them with the cache lock held.
+  for (Waiter& waiter : waiters) {
+    if (waiter) waiter(status, payload);
+  }
+}
+
+Status ResultCache::EvictByHex(const std::string& hex, bool* evicted) {
+  if (evicted != nullptr) *evicted = false;
+  if (hex.size() != 16 ||
+      hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return Status::InvalidArgument("malformed cache key (want 16 hex digits): " +
+                                   hex);
+  }
+  uint64_t hash = 0;
+  for (const char c : hex) {
+    hash = hash << 4 |
+           static_cast<uint64_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+  }
+  MutexLock lock(&mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (core::CanonicalHash(it->first) != hash) continue;
+    resident_bytes_ -= it->second.bytes;
+    counters_.evictions++;
+    entries_.erase(it);
+    if (evicted != nullptr) *evicted = true;
+    break;
+  }
+  if (!options_.dir.empty()) {
+    if (std::remove(PathForHash(hash).c_str()) == 0 && evicted != nullptr) {
+      *evicted = true;
+    }
+  }
+  return Status::OK();
+}
+
+ResultCacheStats ResultCache::stats() const {
+  MutexLock lock(&mutex_);
+  ResultCacheStats snapshot = counters_;
+  snapshot.entries = static_cast<int64_t>(entries_.size());
+  snapshot.bytes = resident_bytes_;
+  return snapshot;
+}
+
+void ResultCache::PublishMetrics(obs::MetricsRegistry* registry) const {
+  PROCLUS_CHECK(registry != nullptr);
+  const ResultCacheStats s = stats();
+  // Literal full names: the prolint metric-taxonomy rule requires each to
+  // appear in the docs/observability.md full-name table.
+  registry->gauge("service.cache.entries")
+      ->Set(static_cast<double>(s.entries));
+  registry->gauge("service.cache.bytes")->Set(static_cast<double>(s.bytes));
+  const auto set_counter = [registry](obs::Counter* c, int64_t value) {
+    c->Increment(value - c->value());
+  };
+  set_counter(registry->counter("service.cache.hits"), s.hits);
+  set_counter(registry->counter("service.cache.misses"), s.misses);
+  set_counter(registry->counter("service.cache.inserts"), s.inserts);
+  set_counter(registry->counter("service.cache.evictions"), s.evictions);
+  set_counter(registry->counter("service.cache.dedup_joins"), s.dedup_joins);
+  set_counter(registry->counter("service.cache.spills"), s.spills);
+  set_counter(registry->counter("service.cache.disk_loads"), s.disk_loads);
+}
+
+void ResultCache::InsertLocked(const ResultCacheKey& key,
+                               std::shared_ptr<const CachedResult> payload) {
+  Entry& entry = entries_[key.text];
+  if (entry.payload != nullptr) {
+    // Replacing an identical-key entry (e.g. re-insert after EvictByHex
+    // raced an in-flight run): drop the old accounting first.
+    resident_bytes_ -= entry.bytes;
+  }
+  entry.payload = std::move(payload);
+  entry.bytes = entry.payload->EstimateBytes();
+  entry.on_disk = false;
+  entry.last_use = ++use_clock_;
+  resident_bytes_ += entry.bytes;
+  counters_.inserts++;
+  EnforceBudgetLocked();
+}
+
+void ResultCache::EnforceBudgetLocked() {
+  if (options_.budget_bytes <= 0) return;
+  while (resident_bytes_ > options_.budget_bytes && !entries_.empty()) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (!options_.dir.empty()) {
+      SpillLocked(victim->first, &victim->second);
+    }
+    resident_bytes_ -= victim->second.bytes;
+    counters_.evictions++;
+    entries_.erase(victim);
+  }
+}
+
+void ResultCache::SpillLocked(const std::string& text, Entry* entry) {
+  if (entry->on_disk) return;
+  ResultCacheKey key;
+  key.text = text;
+  key.hash = core::CanonicalHash(text);
+  obs::TraceSpan span(options_.trace, "cache.spill", "cache");
+  span.AddArg(obs::TraceArg::Str("key", key.Hex()));
+  const Status st = WritePcr(key, *entry->payload, PathForHash(key.hash));
+  if (st.ok()) {
+    entry->on_disk = true;
+    counters_.spills++;
+  }
+  span.AddArg(obs::TraceArg::Str("outcome", st.ok() ? "ok" : "error"));
+}
+
+std::shared_ptr<const CachedResult> ResultCache::LoadSpillLocked(
+    const ResultCacheKey& key) {
+  const std::string path = PathForHash(key.hash);
+  {
+    std::FILE* probe = std::fopen(path.c_str(), "rb");
+    if (probe == nullptr) return nullptr;  // plain miss, no span
+    std::fclose(probe);
+  }
+  obs::TraceSpan span(options_.trace, "cache.load", "cache");
+  span.AddArg(obs::TraceArg::Str("key", key.Hex()));
+  auto loaded = std::make_shared<CachedResult>();
+  const Status st = ReadPcr(path, key, loaded.get());
+  if (!st.ok()) {
+    // Corruption is a miss; remove the file so the next insert heals it.
+    std::remove(path.c_str());
+    span.AddArg(obs::TraceArg::Str("outcome", "corrupt"));
+    return nullptr;
+  }
+  std::shared_ptr<const CachedResult> payload = std::move(loaded);
+  Entry& entry = entries_[key.text];
+  entry.payload = payload;
+  entry.bytes = payload->EstimateBytes();
+  entry.on_disk = true;
+  entry.last_use = ++use_clock_;
+  resident_bytes_ += entry.bytes;
+  EnforceBudgetLocked();
+  span.AddArg(obs::TraceArg::Str("outcome", "ok"));
+  return payload;
+}
+
+}  // namespace proclus::service

@@ -150,7 +150,8 @@ Status DatasetStore::PutLocked(const std::string& id, data::Matrix points,
   return Status::OK();
 }
 
-Status DatasetStore::Acquire(const std::string& id, PinnedDataset* pinned) {
+Status DatasetStore::Acquire(const std::string& id, PinnedDataset* pinned,
+                             uint64_t* content_hash) {
   PROCLUS_CHECK(pinned != nullptr);
   MutexLock lock(&mutex_);
   auto it = entries_.find(id);
@@ -168,6 +169,7 @@ Status DatasetStore::Acquire(const std::string& id, PinnedDataset* pinned) {
     return resident;
   }
   *pinned = PinnedDataset(this, it->second, entry->resident);
+  if (content_hash != nullptr) *content_hash = entry->hash;
   return Status::OK();
 }
 

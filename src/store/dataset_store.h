@@ -155,9 +155,12 @@ class DatasetStore {
              uint64_t* hash = nullptr) EXCLUDES(mutex_);
 
   // Pins `id`'s payload and returns it, reloading from disk if it was
-  // evicted. kInvalidArgument for an unknown id.
-  Status Acquire(const std::string& id, PinnedDataset* pinned)
-      EXCLUDES(mutex_);
+  // evicted. kInvalidArgument for an unknown id. `content_hash` (optional)
+  // receives the entry's 64-bit content hash — the service's result cache
+  // keys on it, so a re-uploaded id with different content addresses
+  // different cached results.
+  Status Acquire(const std::string& id, PinnedDataset* pinned,
+                 uint64_t* content_hash = nullptr) EXCLUDES(mutex_);
 
   bool Contains(const std::string& id) const EXCLUDES(mutex_);
 
@@ -201,12 +204,15 @@ class DatasetStore {
 
   const StoreOptions& options() const { return options_; }
 
+  // 64-bit FNV-1a over (rows, cols, payload bytes) — the store's content
+  // address. Public so callers holding a dataset outside the store (e.g. a
+  // job submitted with an inline payload) can compute the same address the
+  // store would assign it.
+  static uint64_t ContentHash(const data::Matrix& points);
+
  private:
   struct Entry;
   friend class PinnedDataset;
-
-  // 64-bit FNV-1a over (rows, cols, payload bytes).
-  static uint64_t ContentHash(const data::Matrix& points);
 
   std::string PathForHash(uint64_t hash) const;
   // Registers `points` under `id`.

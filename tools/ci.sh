@@ -19,6 +19,11 @@
 # binary upload path via `proclus_cli upload`, runs GPU sweeps against the
 # uploaded id, and asserts the store counters registered the ingest
 # (store.upload_bytes_total non-zero) plus a clean drain (docs/store.md).
+# A fifth, cache smoke serves with the content-addressed result cache
+# enabled (--result-cache-mb) and drives the loadgen with
+# --repeat-fraction 0.5 (half the arrivals deterministically resubmit an
+# earlier request): the report must show non-zero service.cache.hits and
+# the drain must stay clean (docs/serving.md, "Result cache").
 #
 # An analyze stage (before the lint stage) enforces the project's static
 # invariants: tools/prolint.py over src/ (always — python3 only), and a
@@ -90,7 +95,7 @@ else
   cmake --build build-tsan -j
   echo "== TSAN: parallel / simt / obs / service / net / store suites =="
   (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-      -R 'thread_pool_test|cancellation_test|device_test|atomic_test|stream_test|primitives_test|obs_trace_test|obs_metrics_test|service_test|service_stress_test|device_pool_test|sweep_scheduler_test|net_loopback_test|net_server_stress_test|net_frame_test|net_fault_test|net_retry_test|net_chaos_test|net_upload_test|dataset_store_test|store_stress_test')
+      -R 'thread_pool_test|cancellation_test|device_test|atomic_test|stream_test|primitives_test|obs_trace_test|obs_metrics_test|service_test|service_stress_test|device_pool_test|sweep_scheduler_test|result_cache_test|result_cache_stress_test|net_loopback_test|net_server_stress_test|net_frame_test|net_fault_test|net_retry_test|net_chaos_test|net_upload_test|dataset_store_test|store_stress_test')
 fi
 
 if [[ "$SKIP_SMOKE" == 1 ]]; then
@@ -262,6 +267,33 @@ EOF
   echo "store smoke OK: store.upload_bytes_total=$UPLOAD_BYTES"
 
   stop_and_check_drain "$STORE_LOG" "$SERVE_PID"
+
+  echo "== cache smoke: serve --result-cache-mb + loadgen --repeat-fraction =="
+  CACHE_LOG="$TRACE_DIR/serve_cache.log"
+  ./build/tools/proclus_cli serve --port 0 --generate 2000,10,4 \
+      --dataset-id smoke --queue-capacity 16 \
+      --result-cache-mb 64 >"$CACHE_LOG" 2>&1 &
+  SERVE_PID=$!
+  wait_for_port "$CACHE_LOG" "$SERVE_PID"
+  grep -q "result cache on" "$CACHE_LOG"
+
+  # Half the arrivals deterministically resubmit an earlier request's exact
+  # parameters; the server must serve them from the cache — the loadgen
+  # report surfaces both its client-side hit count and the authoritative
+  # service.cache.hits counter, which must be non-zero.
+  CACHE_LOADGEN_LOG="$TRACE_DIR/loadgen_cache.log"
+  ./build/tools/proclus_loadgen --port "$SERVE_PORT" --no-register \
+      --dataset-id smoke --connections 4 --rps 20 --duration 2 \
+      --interactive 0.5 --backend cpu --repeat-fraction 0.5 \
+      | tee "$CACHE_LOADGEN_LOG"
+  CACHE_HITS="$(sed -n 's/.*service\.cache\.hits=\([0-9]*\).*/\1/p' "$CACHE_LOADGEN_LOG")"
+  if [[ -z "$CACHE_HITS" || "$CACHE_HITS" -eq 0 ]]; then
+    echo "cache smoke FAILED: service.cache.hits missing or zero" >&2
+    exit 1
+  fi
+  echo "cache smoke OK: service.cache.hits=$CACHE_HITS"
+
+  stop_and_check_drain "$CACHE_LOG" "$SERVE_PID"
 fi
 
 echo "ci.sh: all green"

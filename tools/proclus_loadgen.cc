@@ -32,6 +32,11 @@ Traffic:
   --duration NUM        seconds of traffic (default 2)
   --interactive NUM     fraction submitted interactive (default 0.5)
   --sweeps NUM          fraction submitted as (k,l) sweeps (default 0)
+  --repeat-fraction NUM fraction of arrivals that deterministically
+                        resubmit an earlier arrival's request (default 0);
+                        > 0 gives every arrival a distinct clustering seed
+                        so repeats exercise the server's result cache —
+                        the report then separates hit/miss latencies
   --shards INT          sweep shard budget, 0 = auto (default 0)
   --timeout-ms NUM      per-request deadline (default: server default)
   --mix-seed INT        seed of the deterministic mix (default 1)
@@ -116,6 +121,8 @@ int main(int argc, char** argv) {
       options.interactive_fraction = f64;
     } else if (arg == "--sweeps" && ParseF64(value, &f64)) {
       options.sweep_fraction = f64;
+    } else if (arg == "--repeat-fraction" && ParseF64(value, &f64)) {
+      options.repeat_fraction = f64;
     } else if (arg == "--shards" && ParseI64(value, &i64)) {
       options.sweep.max_shards = static_cast<int>(i64);
     } else if (arg == "--timeout-ms" && ParseF64(value, &f64)) {
